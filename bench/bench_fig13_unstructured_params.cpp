@@ -1,0 +1,126 @@
+// Fig. 13 — hyper-parameter effects on the unstructured reactor mesh.
+//
+// Paper setup: JSNT-U, reactor core mesh (64,479 cells), S4 (24 angles),
+// 4 energy groups, SLBD+SLBD unless stated, 384 cores for (a).
+//
+//  (a) patch size sweep {10..2500 cells}: time first drops steeply (fewer
+//      cross-patch messages), then creeps back up (downwind patches wait
+//      longer); cluster grain sweep {1..64}: time falls then flattens —
+//      unlike structured meshes it does NOT rise again, because available
+//      parallelism caps the effective grain (~16-64 ready vertices).
+//  (b) priority strategies at 384..6144 cores: differences are mild on
+//      unstructured meshes.
+
+#include "bench_common.hpp"
+
+using namespace jsweep;
+
+namespace {
+
+constexpr std::int64_t kReactorCells = 64479;
+
+sim::SimConfig reactor_config(int cores) {
+  sim::SimConfig cfg = bench::sim_config_for_cores(cores);
+  cfg.tet_mesh = true;
+  cfg.rep_block_hexes = 4;
+  cfg.cluster_grain = 64;
+  cfg.cost = sim::CostModel::jsnt_u();
+  return cfg;
+}
+
+sim::PatchTopology reactor_topology(std::int64_t patch_cells) {
+  // Lattice-of-blocks model: blocks_across³ × (π/4 fill) blocks ≈
+  // cells / patch_cells patches; interface ≈ surface tets of a block.
+  const auto patches =
+      std::max<std::int64_t>(2, kReactorCells / patch_cells);
+  const auto blocks_across = std::max(
+      2, static_cast<int>(std::cbrt(static_cast<double>(patches) * 4.0 /
+                                    3.1415926)));
+  const auto side_hexes = std::cbrt(static_cast<double>(patch_cells) / 6.0);
+  const auto interface = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(2.0 * side_hexes * side_hexes));
+  return sim::PatchTopology::lattice_cylinder(blocks_across, blocks_across,
+                                              patch_cells, interface);
+}
+
+void patch_size_sweep() {
+  bench::print_header(
+      "Fig 13a-left (simulated)", "patch size vs runtime, reactor",
+      "reactor ~64,479 tets, S4, grain 64, 384 cores; paper: steep drop to "
+      "~500 cells/patch, slight rise after ~1500");
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+  Table table({"patch cells", "patches", "sim time(s)"});
+  for (const std::int64_t size : {10, 100, 500, 1000, 1500, 2000, 2500}) {
+    const sim::PatchTopology topo = reactor_topology(size);
+    const auto r =
+        sim::DataDrivenSim(topo, quad, reactor_config(384)).run();
+    table.add_row({Table::num(size),
+                   Table::num(static_cast<std::int64_t>(topo.num_patches())),
+                   Table::num(r.elapsed_seconds, 4)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+void grain_sweep() {
+  bench::print_header(
+      "Fig 13a-right (simulated)", "cluster grain vs runtime, reactor",
+      "patch 500 cells, S4, 384 cores; paper: falls then stays flat (real "
+      "parallelism limits effective grain — no structured-style rise)");
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+  const sim::PatchTopology topo = reactor_topology(500);
+  Table table({"grain", "sim time(s)"});
+  for (const int grain : {1, 2, 4, 8, 16, 32, 64}) {
+    sim::SimConfig cfg = reactor_config(384);
+    cfg.cluster_grain = grain;
+    const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
+    table.add_row({Table::num(static_cast<std::int64_t>(grain)),
+                   Table::num(r.elapsed_seconds, 4)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+void priorities() {
+  bench::print_header(
+      "Fig 13b (simulated)", "priority strategies, reactor strong scaling",
+      "patch 500 cells, S4, grain 64; paper: BFS/SLBD combinations within a "
+      "narrow band — priority choice matters less than on structured");
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+  const sim::PatchTopology topo = reactor_topology(500);
+
+  struct Combo {
+    const char* name;
+    graph::PriorityStrategy patch;
+    graph::PriorityStrategy vertex;
+  };
+  const Combo combos[] = {
+      {"BFS", graph::PriorityStrategy::BFS, graph::PriorityStrategy::BFS},
+      {"BFS+SLBD", graph::PriorityStrategy::BFS,
+       graph::PriorityStrategy::SLBD},
+      {"SLBD", graph::PriorityStrategy::SLBD,
+       graph::PriorityStrategy::SLBD},
+      {"SLBD+BFS", graph::PriorityStrategy::SLBD,
+       graph::PriorityStrategy::BFS},
+  };
+  Table table({"strategy", "cores", "sim time(s)"});
+  for (const int cores : {384, 768, 1536, 3072, 6144}) {
+    for (const auto& combo : combos) {
+      sim::SimConfig cfg = reactor_config(cores);
+      cfg.patch_priority = combo.patch;
+      cfg.vertex_priority = combo.vertex;
+      const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
+      table.add_row({combo.name,
+                     Table::num(static_cast<std::int64_t>(cores)),
+                     Table::num(r.elapsed_seconds, 4)});
+    }
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  patch_size_sweep();
+  grain_sweep();
+  priorities();
+  return 0;
+}

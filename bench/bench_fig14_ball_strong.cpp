@@ -1,0 +1,72 @@
+// Fig. 14 — strong scalability on tetrahedral ball meshes.
+//
+// Paper setup & results (S4 = 24 angles, patch 500 cells, grain 64):
+//   (a) small ball, 482,248 cells: 24 → 6,144 cores; speedup 11.5 at 384
+//       (72% eff), 75.8 at 6,144 (30% eff), base 24 cores.
+//   (b) large ball, 173,197,768 cells: 3,072 → 49,152 cores; speedup 9.9
+//       at 49,152 vs 3,072 (62% eff).
+//
+// Default angle count is 8 (S2) for the large case to keep simulated event
+// counts tractable; set JSWEEP_FULL_ANGLES=1 for S4 everywhere.
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+
+using namespace jsweep;
+
+namespace {
+
+void run_ball(const char* name, std::int64_t total_cells,
+              const std::vector<int>& cores, int sn_order,
+              const char* paper_note) {
+  const std::int64_t patch_cells = 500;
+  const auto patches = total_cells / patch_cells;
+  // Ball lattice: (π/6)·B³ blocks ≈ patches.
+  const auto blocks_across = std::max(
+      2,
+      static_cast<int>(std::cbrt(static_cast<double>(patches) * 6.0 /
+                                 3.1415926)));
+  const auto side_hexes = std::cbrt(static_cast<double>(patch_cells) / 6.0);
+  const auto interface = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(2.0 * side_hexes * side_hexes));
+  const sim::PatchTopology topo =
+      sim::PatchTopology::lattice_ball(blocks_across, patch_cells, interface);
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(sn_order);
+
+  char setup[300];
+  std::snprintf(setup, sizeof(setup),
+                "ball %lld tets modeled as %d patches of %lld, S%d (%d "
+                "angles; paper S4=24), grain 64\npaper: %s",
+                static_cast<long long>(total_cells), topo.num_patches(),
+                static_cast<long long>(patch_cells), sn_order,
+                quad.num_angles(), paper_note);
+  bench::print_header(name, "ball strong scaling (simulated)", setup);
+
+  Table table({"case", "cores", "sim time(s)", "speedup", "eff %"});
+  std::vector<bench::ScalingRow> rows;
+  for (const int c : cores) {
+    sim::SimConfig cfg = bench::sim_config_for_cores(c);
+    cfg.tet_mesh = true;
+    cfg.rep_block_hexes = 4;
+    cfg.cluster_grain = 64;
+    cfg.cost = sim::CostModel::jsnt_u();
+    const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
+    rows.push_back({c, r.elapsed_seconds});
+  }
+  bench::print_scaling(table, rows, name);
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("JSWEEP_FULL_ANGLES") != nullptr;
+  run_ball("Fig 14a", 482248, {24, 48, 96, 192, 384, 768, 1536, 3072, 6144},
+           4,
+           "speedup 11.5 at 384 cores (72% eff), 75.8 at 6,144 (30% eff)");
+  run_ball("Fig 14b", 173197768, {3072, 6144, 12288, 24576, 49152},
+           full ? 4 : 2,
+           "speedup 9.9 at 49,152 vs 3,072 cores (62% eff)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 15 — weak scalability of JSNT-U on reactor and ball meshes.
+//
+// Paper setup: base meshes reactor 64,479 cells / ball 482,248 cells at 24
+// cores, grown by uniform ("approximate") refinement as cores scale
+// 24 → 12,288. Paper observation: weak efficiency decays to ~40% (reactor)
+// and below 20% (ball) at 12,288 cores — each process refines its own
+// subdomain, producing thick subdomains that lengthen the sweep critical
+// path. We reproduce that growth pattern: cells scale with cores, patch
+// size stays fixed, so the patch-lattice diameter (critical path) grows
+// with the cube root of the core count.
+
+#include "bench_common.hpp"
+
+using namespace jsweep;
+
+namespace {
+
+void weak_case(const char* name, bool ball, std::int64_t base_cells,
+               const char* paper_note) {
+  char setup[256];
+  std::snprintf(setup, sizeof(setup),
+                "base %lld tets at 24 cores; mesh refined with core count; "
+                "patch 500 cells, S2, grain 64\npaper: %s",
+                static_cast<long long>(base_cells), paper_note);
+  bench::print_header(name, "weak scaling (simulated)", setup);
+
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  Table table({"cores", "cells", "sim time(s)", "weak eff %"});
+  double base_time = 0.0;
+  for (const int cores : {24, 192, 1536, 12288}) {
+    const std::int64_t cells = base_cells * (cores / 24);
+    const std::int64_t patch_cells = 500;
+    const auto patches = cells / patch_cells;
+    const auto side_hexes =
+        std::cbrt(static_cast<double>(patch_cells) / 6.0);
+    const auto interface = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(2.0 * side_hexes * side_hexes));
+    sim::PatchTopology topo =
+        ball ? sim::PatchTopology::lattice_ball(
+                   std::max(2, static_cast<int>(std::cbrt(
+                                   static_cast<double>(patches) * 6.0 /
+                                   3.1415926))),
+                   patch_cells, interface)
+             : sim::PatchTopology::lattice_cylinder(
+                   std::max(2, static_cast<int>(std::cbrt(
+                                   static_cast<double>(patches) * 4.0 /
+                                   3.1415926))),
+                   std::max(2, static_cast<int>(std::cbrt(
+                                   static_cast<double>(patches) * 4.0 /
+                                   3.1415926))),
+                   patch_cells, interface);
+
+    sim::SimConfig cfg = bench::sim_config_for_cores(cores);
+    cfg.tet_mesh = true;
+    cfg.rep_block_hexes = 4;
+    cfg.cluster_grain = 64;
+    cfg.cost = sim::CostModel::jsnt_u();
+    const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
+    if (base_time == 0.0) base_time = r.elapsed_seconds;
+    table.add_row({Table::num(static_cast<std::int64_t>(cores)),
+                   Table::num(cells), Table::num(r.elapsed_seconds, 4),
+                   Table::num(base_time / r.elapsed_seconds * 100.0, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  weak_case("Fig 15-reactor", /*ball=*/false, 64479,
+            "efficiency ~40% at 12,288 cores");
+  weak_case("Fig 15-ball", /*ball=*/true, 482248,
+            "efficiency <20% at 12,288 cores");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 16 — runtime overhead breakdown of JSNT-S (Kobayashi 200³).
+//
+// Paper setup: 200³ mesh, all optimizations on (coarsened graph), one
+// sweep iteration, 192..3,072 cores. Paper observation: JSweep's own
+// overhead (graph-op + pack/unpack) is ~23%; the dominant loss is core
+// idling (22%..46%, growing with cores); communication is 13-19%.
+//
+// Category mapping from the simulator: kernel / graph-op / pack-unpack
+// are charged directly; "comm" is the master routing service; "idle" is
+// unused core time (workers + master).
+
+#include "bench_common.hpp"
+
+using namespace jsweep;
+
+int main() {
+  bench::print_header(
+      "Fig 16 (simulated)", "runtime breakdown, Kobayashi-200",
+      "200^3 cells, patch 20^3, grain 1000, coarsened graph, 48 angles "
+      "(paper: 320); columns are avg seconds per core\npaper: overhead "
+      "(graph-op+pack) ~23%, idle 22-46% growing with cores, comm 13-19%");
+
+  const sim::PatchTopology topo =
+      sim::PatchTopology::structured({200, 200, 200}, {20, 20, 20});
+  const sn::Quadrature quad = sn::Quadrature::product(4, 12);
+
+  Table table({"cores", "total(s)", "kernel", "graph-op", "pack", "comm",
+               "idle", "idle %"});
+  for (const int cores : {192, 384, 768, 1536, 3072}) {
+    sim::SimConfig cfg = bench::sim_config_for_cores(cores);
+    cfg.cluster_grain = 1000;
+    cfg.coarsened = true;
+    cfg.cost = sim::CostModel::jsnt_s();
+    const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
+    const double per_core = 1.0 / r.cores;
+    table.add_row(
+        {Table::num(static_cast<std::int64_t>(cores)),
+         Table::num(r.elapsed_seconds, 3),
+         Table::num(r.breakdown.kernel * per_core, 3),
+         Table::num(r.breakdown.graphop * per_core, 3),
+         Table::num(r.breakdown.pack * per_core, 4),
+         Table::num(r.breakdown.route * per_core, 4),
+         Table::num(r.breakdown.idle * per_core, 3),
+         Table::num(r.breakdown.idle / r.core_seconds() * 100.0, 1)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

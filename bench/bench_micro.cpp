@@ -1,0 +1,166 @@
+// Google-benchmark microbenchmarks for the hot building blocks: sweep
+// kernels, stream codecs, DAG construction, priorities, partitioners and
+// SFC codes. These also calibrate the simulator's per-vertex cost.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/priority.hpp"
+#include "graph/sweep_dag.hpp"
+#include "core/stream.hpp"
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
+#include "partition/patch_set.hpp"
+#include "partition/rcb.hpp"
+#include "partition/sfc.hpp"
+#include "sn/discretization.hpp"
+#include "sn/quadrature.hpp"
+#include "sweep/stream_codec.hpp"
+
+namespace {
+
+using namespace jsweep;
+
+void BM_DDKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const mesh::StructuredMesh m({n, n, n}, {1, 1, 1});
+  sn::CellXs xs;
+  const auto cells = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(cells, 0.5);
+  xs.sigma_s.assign(cells, 0.2);
+  xs.source.assign(cells, 1.0);
+  const sn::StructuredDD disc(m, std::move(xs));
+  const sn::Ordinate ang{mesh::normalized({0.5, 0.6, 0.62}), 1.0, 0};
+  const std::vector<double> q(cells, 0.25);
+  sn::FaceFluxMap flux;
+  for (auto _ : state) {
+    flux.clear();
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < m.num_cells(); ++c)
+      sum += disc.sweep_cell(CellId{c}, ang, q, flux);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_cells());
+}
+BENCHMARK(BM_DDKernel)->Arg(16)->Arg(32);
+
+void BM_TetStepKernel(benchmark::State& state) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(12, 6.0);
+  sn::CellXs xs = expand(sn::MaterialTable::ball(), m.materials(),
+                         m.num_cells());
+  const sn::TetStep disc(m, std::move(xs));
+  const sn::Ordinate ang{mesh::normalized({0.5, 0.6, 0.62}), 1.0, 0};
+  const std::vector<double> q(static_cast<std::size_t>(m.num_cells()), 0.25);
+  const graph::Digraph g = graph::build_global_cell_digraph(m, ang.dir);
+  const auto order = *g.topological_order();
+  sn::FaceFluxMap flux;
+  for (auto _ : state) {
+    flux.clear();
+    double sum = 0.0;
+    for (const auto v : order)
+      sum += disc.sweep_cell(CellId{v}, ang, q, flux);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * m.num_cells());
+}
+BENCHMARK(BM_TetStepKernel);
+
+void BM_StreamPackUnpack(benchmark::State& state) {
+  const auto items = static_cast<std::size_t>(state.range(0));
+  std::vector<sweep::StreamItem> batch(items);
+  for (std::size_t i = 0; i < items; ++i)
+    batch[i] = {static_cast<std::int64_t>(i), static_cast<std::int64_t>(i),
+                1.0};
+  std::vector<core::Stream> streams(1);
+  streams[0].src = {PatchId{0}, TaskTag{0}};
+  streams[0].dst = {PatchId{1}, TaskTag{0}};
+  for (auto _ : state) {
+    streams[0].data = sweep::encode_items(batch);
+    const auto wire = core::pack_streams(streams);
+    auto back = core::unpack_streams(wire);
+    auto decoded = sweep::decode_items(back[0].data);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(items) * 24);
+}
+BENCHMARK(BM_StreamPackUnpack)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_BuildPatchTaskGraph(benchmark::State& state) {
+  const mesh::StructuredMesh m({40, 40, 40}, {1, 1, 1});
+  const partition::StructuredBlockLayout layout({40, 40, 40}, {10, 10, 10});
+  const partition::PatchSet ps(partition::block_partition(layout),
+                               layout.num_patches());
+  const mesh::Vec3 omega = mesh::normalized({1, 1, 1});
+  for (auto _ : state) {
+    const auto g = graph::build_patch_task_graph(
+        m, ps, layout.patch_at({1, 1, 1}), omega, AngleId{0});
+    benchmark::DoNotOptimize(g.num_vertices);
+  }
+}
+BENCHMARK(BM_BuildPatchTaskGraph);
+
+void BM_VertexPriorities(benchmark::State& state) {
+  const mesh::StructuredMesh m({30, 30, 30}, {1, 1, 1});
+  const partition::StructuredBlockLayout layout({30, 30, 30}, {10, 10, 10});
+  const partition::PatchSet ps(partition::block_partition(layout),
+                               layout.num_patches());
+  const auto g = graph::build_patch_task_graph(
+      m, ps, layout.patch_at({1, 1, 1}), mesh::normalized({1, 1, 1}),
+      AngleId{0});
+  const auto strategy =
+      static_cast<graph::PriorityStrategy>(state.range(0));
+  for (auto _ : state) {
+    const auto prio = graph::vertex_priorities(strategy, g);
+    benchmark::DoNotOptimize(prio.data());
+  }
+}
+BENCHMARK(BM_VertexPriorities)
+    ->Arg(static_cast<int>(graph::PriorityStrategy::BFS))
+    ->Arg(static_cast<int>(graph::PriorityStrategy::LDCP))
+    ->Arg(static_cast<int>(graph::PriorityStrategy::SLBD));
+
+void BM_GraphPartition(benchmark::State& state) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(10, 5.0);
+  const partition::CsrGraph g = partition::cell_graph(m);
+  for (auto _ : state) {
+    const auto part =
+        partition::partition_graph(g, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(part.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_GraphPartition)->Arg(8)->Arg(32);
+
+void BM_Rcb(benchmark::State& state) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(10, 5.0);
+  const auto centroids = partition::cell_centroids(m);
+  for (auto _ : state) {
+    const auto part = partition::partition_rcb(centroids, 32);
+    benchmark::DoNotOptimize(part.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(centroids.size()));
+}
+BENCHMARK(BM_Rcb);
+
+void BM_SfcCodes(benchmark::State& state) {
+  const bool hilbert = state.range(0) != 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      acc ^= hilbert ? partition::hilbert3(i & 255, (i * 7) & 255,
+                                           (i * 13) & 255, 8)
+                     : partition::morton3(i & 255, (i * 7) & 255,
+                                          (i * 13) & 255);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SfcCodes)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

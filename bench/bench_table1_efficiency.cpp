@@ -1,0 +1,101 @@
+// Table I — parallel efficiency comparison with the literature.
+//
+// Paper rows:
+//   Denovo (KBA)   Kobayashi-400          77.8%  at 3,600 vs 144 cores
+//   JSweep         Kobayashi-400          89.6%  at 6,144 vs 384 cores
+//   PSD-b          sphere 151,265  S4     88%    at 1,024 vs 128 cores
+//   JSweep         sphere 482,248  S4     66%    at 1,536 vs 192 cores
+//
+// We regenerate the two JSweep rows with the data-driven simulator and the
+// Denovo-class row with the KBA pipeline model at the paper's core counts.
+// (PSD-b is a closed manual implementation; its row is reproduced only as
+// the paper-reported reference.)
+
+#include "bench_common.hpp"
+
+#include "sim/kba_sim.hpp"
+
+using namespace jsweep;
+
+namespace {
+
+double efficiency(double base_time, int base_cores, double time, int cores) {
+  return parallel_efficiency(base_time, base_cores, time, cores) * 100.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table I", "parallel efficiency vs literature (simulated)",
+      "efficiency = speedup x base_cores / cores; angle counts reduced vs "
+      "paper (shape-preserving)");
+
+  Table table(
+      {"application", "problem", "paper eff", "measured eff", "cores"});
+
+  // --- Denovo-style KBA on Kobayashi-400: 3,600 vs 144 cores.
+  {
+    const sn::Quadrature quad = sn::Quadrature::product(4, 12);
+    sim::KbaSimConfig cfg;
+    cfg.mesh_dims = {400, 400, 400};
+    cfg.z_block = 10;
+    cfg.cost = sim::CostModel::jsnt_s();
+    cfg.px = 12;
+    cfg.py = 12;  // 144 ranks
+    const double t_base = simulate_kba(cfg, quad).elapsed_seconds;
+    cfg.px = 60;
+    cfg.py = 60;  // 3,600 ranks
+    const double t_big = simulate_kba(cfg, quad).elapsed_seconds;
+    table.add_row({"KBA (Denovo-class)", "Kobayashi-400", "77.8%",
+                   Table::num(efficiency(t_base, 144, t_big, 3600), 1) + "%",
+                   "3600 vs 144"});
+  }
+
+  // --- JSweep on Kobayashi-400: 6,144 vs 384 cores.
+  {
+    const sim::PatchTopology topo =
+        sim::PatchTopology::structured({400, 400, 400}, {20, 20, 20});
+    const sn::Quadrature quad = sn::Quadrature::product(4, 12);
+    sim::SimConfig base = bench::sim_config_for_cores(384);
+    base.cluster_grain = 1000;
+    base.cost = sim::CostModel::jsnt_s();
+    sim::SimConfig big = bench::sim_config_for_cores(6144);
+    big.cluster_grain = 1000;
+    big.cost = sim::CostModel::jsnt_s();
+    const double t_base =
+        sim::DataDrivenSim(topo, quad, base).run().elapsed_seconds;
+    const double t_big =
+        sim::DataDrivenSim(topo, quad, big).run().elapsed_seconds;
+    table.add_row({"JSweep", "Kobayashi-400", "89.6%",
+                   Table::num(efficiency(t_base, 384, t_big, 6144), 1) + "%",
+                   "6144 vs 384"});
+  }
+
+  // --- PSD-b reference (not reproducible: closed implementation).
+  table.add_row({"PSD-b (paper only)", "sphere 151k S4", "88%", "n/a",
+                 "1024 vs 128"});
+
+  // --- JSweep on the 482k-cell sphere, S4: 1,536 vs 192 cores.
+  {
+    const sim::PatchTopology topo =
+        sim::PatchTopology::lattice_ball(12, 500, 40);
+    const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+    sim::SimConfig base = bench::sim_config_for_cores(192);
+    base.tet_mesh = true;
+    base.cluster_grain = 64;
+    base.cost = sim::CostModel::jsnt_u();
+    sim::SimConfig big = base;
+    big.processes = bench::sim_config_for_cores(1536).processes;
+    const double t_base =
+        sim::DataDrivenSim(topo, quad, base).run().elapsed_seconds;
+    const double t_big =
+        sim::DataDrivenSim(topo, quad, big).run().elapsed_seconds;
+    table.add_row({"JSweep", "sphere 482k S4", "66%",
+                   Table::num(efficiency(t_base, 192, t_big, 1536), 1) + "%",
+                   "1536 vs 192"});
+  }
+
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

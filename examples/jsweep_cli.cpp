@@ -1,0 +1,230 @@
+// jsweep_cli — general driver over the public API: pick a benchmark
+// problem, a mesh resolution, an engine and its knobs from the command
+// line, solve it, and optionally dump the flux as VTK.
+//
+//   build/examples/jsweep_cli --mesh=kobayashi --n=16 --sn=4 \
+//       --engine=jsweep --ranks=4 --workers=2 --grain=64 \
+//       --priority=SLBD --coarsened --vtk=/tmp/flux.vtk
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "comm/cluster.hpp"
+#include "mesh/generators.hpp"
+#include "mesh/vtk_output.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/serial_sweep.hpp"
+#include "sn/source_iteration.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "sweep/solver.hpp"
+
+namespace {
+
+using namespace jsweep;
+
+struct Options {
+  std::string mesh = "kobayashi";  // kobayashi | ball | reactor
+  int n = 16;
+  int sn = 4;
+  std::string engine = "jsweep";   // jsweep | bsp | serial
+  int ranks = 4;
+  int workers = 2;
+  int grain = 64;
+  int patch_cells = 0;  // 0 = default per mesh type
+  std::string priority = "SLBD";
+  bool coarsened = false;
+  double tolerance = 1e-6;
+  int max_iterations = 200;
+  std::string vtk;
+};
+
+void usage() {
+  std::printf(R"(jsweep_cli — solve an Sn transport benchmark problem
+
+  --mesh=kobayashi|ball|reactor   problem geometry (default kobayashi)
+  --n=N                           mesh resolution (cells across; default 16)
+  --sn=2|4|6|8                    level-symmetric order (default 4)
+  --engine=jsweep|bsp|serial      sweep engine (default jsweep)
+  --ranks=R                       in-process ranks (default 4)
+  --workers=W                     worker threads per rank (default 2)
+  --grain=G                       vertex clustering grain (default 64)
+  --patch-cells=P                 cells per patch (default: mesh-specific)
+  --priority=None|BFS|LDCP|SLBD   patch+vertex strategy (default SLBD)
+  --coarsened                     replay iterations 2+ on the coarsened graph
+  --tolerance=T                   source-iteration tolerance (default 1e-6)
+  --max-iterations=K              source-iteration cap (default 200)
+  --vtk=PATH                      write flux + material as legacy VTK
+  --help                          this text
+)");
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help") {
+      usage();
+      return std::nullopt;
+    } else if (auto v = value("--mesh")) {
+      opt.mesh = *v;
+    } else if (auto v = value("--n")) {
+      opt.n = std::atoi(v->c_str());
+    } else if (auto v = value("--sn")) {
+      opt.sn = std::atoi(v->c_str());
+    } else if (auto v = value("--engine")) {
+      opt.engine = *v;
+    } else if (auto v = value("--ranks")) {
+      opt.ranks = std::atoi(v->c_str());
+    } else if (auto v = value("--workers")) {
+      opt.workers = std::atoi(v->c_str());
+    } else if (auto v = value("--grain")) {
+      opt.grain = std::atoi(v->c_str());
+    } else if (auto v = value("--patch-cells")) {
+      opt.patch_cells = std::atoi(v->c_str());
+    } else if (auto v = value("--priority")) {
+      opt.priority = *v;
+    } else if (arg == "--coarsened") {
+      opt.coarsened = true;
+    } else if (auto v = value("--tolerance")) {
+      opt.tolerance = std::atof(v->c_str());
+    } else if (auto v = value("--max-iterations")) {
+      opt.max_iterations = std::atoi(v->c_str());
+    } else if (auto v = value("--vtk")) {
+      opt.vtk = *v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+/// Solve on a structured or tetrahedral mesh; shares all engine plumbing.
+template <class Mesh, class Disc>
+int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
+          const sn::CellXs& xs, const partition::PatchSet& patches) {
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(opt.sn);
+  const sn::SourceIterationOptions si{opt.tolerance, opt.max_iterations,
+                                      false};
+  std::printf("%lld cells, %d patches, S%d (%d angles), engine=%s\n",
+              static_cast<long long>(mesh.num_cells()),
+              patches.num_patches(), opt.sn, quad.num_angles(),
+              opt.engine.c_str());
+
+  sn::SourceIterationResult result;
+  WallTimer timer;
+  if (opt.engine == "serial") {
+    result = sn::source_iteration(
+        xs,
+        [&](const std::vector<double>& q) {
+          return sn::serial_sweep(disc, quad, q);
+        },
+        si);
+  } else {
+    comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
+      sweep::SolverConfig config;
+      config.engine = opt.engine == "bsp" ? sweep::EngineKind::Bsp
+                                          : sweep::EngineKind::DataDriven;
+      config.num_workers = opt.workers;
+      config.cluster_grain = opt.grain;
+      config.patch_priority = graph::priority_from_string(opt.priority);
+      config.vertex_priority = config.patch_priority;
+      config.use_coarsened_graph =
+          opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
+      const auto owner =
+          partition::assign_contiguous(patches.num_patches(), ctx.size());
+      sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
+                                config);
+      const auto r = sn::source_iteration(xs, solver.as_operator(), si);
+      if (ctx.rank().value() == 0) result = r;
+    });
+  }
+  const double seconds = timer.seconds();
+
+  double peak = 0.0;
+  double mean = 0.0;
+  for (const auto phi : result.phi) {
+    peak = std::max(peak, phi);
+    mean += phi;
+  }
+  mean /= static_cast<double>(result.phi.size());
+  std::printf("%s in %d iterations, %.3fs (error %.2e)\n",
+              result.converged ? "converged" : "NOT converged",
+              result.iterations, seconds, result.error);
+  std::printf("flux: mean %.5e  peak %.5e\n", mean, peak);
+
+  if (!opt.vtk.empty()) {
+    std::vector<double> material(
+        static_cast<std::size_t>(mesh.num_cells()));
+    for (std::int64_t c = 0; c < mesh.num_cells(); ++c)
+      material[static_cast<std::size_t>(c)] = mesh.material(CellId{c});
+    mesh::write_vtk_file(opt.vtk, mesh,
+                         {{"flux", &result.phi}, {"material", &material}});
+    std::printf("wrote %s\n", opt.vtk.c_str());
+  }
+  return result.converged ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse(argc, argv);
+  if (!parsed) return 1;
+  const Options& opt = *parsed;
+
+  try {
+    if (opt.mesh == "kobayashi") {
+      const mesh::StructuredMesh m = mesh::make_kobayashi_mesh(opt.n);
+      const int pc = opt.patch_cells > 0
+                         ? opt.patch_cells
+                         : std::max(2, opt.n / 4) * std::max(2, opt.n / 4) *
+                               std::max(2, opt.n / 4);
+      const int side = std::max(2, static_cast<int>(std::cbrt(pc)));
+      const partition::StructuredBlockLayout layout(m.dims(),
+                                                    {side, side, side});
+      const partition::CsrGraph cg = partition::cell_graph(m);
+      const partition::PatchSet patches(partition::block_partition(layout),
+                                        layout.num_patches(), &cg);
+      const sn::CellXs xs = expand(sn::MaterialTable::kobayashi(),
+                                   m.materials(), m.num_cells());
+      const sn::StructuredDD disc(m, xs);
+      return solve(opt, m, disc, xs, patches);
+    }
+    const bool ball = opt.mesh == "ball";
+    if (!ball && opt.mesh != "reactor") {
+      std::fprintf(stderr, "unknown mesh '%s' (try --help)\n",
+                   opt.mesh.c_str());
+      return 1;
+    }
+    const mesh::TetMesh m = ball ? mesh::make_ball_mesh(opt.n, 50.0)
+                                 : mesh::make_reactor_mesh(opt.n, 50.0, 100.0);
+    const int pc = opt.patch_cells > 0 ? opt.patch_cells : 500;
+    const int nparts = std::max(
+        2, static_cast<int>(m.num_cells() / std::max(1, pc)));
+    const partition::CsrGraph cg = partition::cell_graph(m);
+    const auto part = partition::partition_graph(cg, nparts);
+    const partition::PatchSet patches(part, nparts, &cg);
+    const sn::CellXs xs =
+        expand(ball ? sn::MaterialTable::ball() : sn::MaterialTable::reactor(),
+               m.materials(), m.num_cells());
+    const sn::TetStep disc(m, xs);
+    return solve(opt, m, disc, xs, patches);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,178 @@
+#include "comm/cluster.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace jsweep::comm {
+
+int Context::size() const { return cluster_.size(); }
+
+void Context::send(RankId dest, int tag, Bytes payload) {
+  JSWEEP_CHECK_MSG(dest.valid() && dest.value() < cluster_.size(),
+                   "send to invalid rank " << dest);
+  Message msg{rank_, tag, std::move(payload)};
+  if (msg.is_control()) {
+    ++stats_.control_sent;
+  } else {
+    ++stats_.basic_sent;
+  }
+  stats_.bytes_sent += static_cast<std::int64_t>(msg.payload.size());
+  cluster_.deliver(dest, std::move(msg));
+}
+
+std::optional<Message> Context::try_recv() {
+  auto msg = cluster_.mailbox(rank_).try_pop();
+  if (msg && !msg->is_control()) ++stats_.basic_received;
+  return msg;
+}
+
+Message Context::recv() {
+  Message msg = cluster_.mailbox(rank_).pop();
+  if (!msg.is_control()) ++stats_.basic_received;
+  return msg;
+}
+
+bool Context::wait_message(std::chrono::nanoseconds timeout) {
+  return cluster_.mailbox(rank_).wait_nonempty(timeout);
+}
+
+std::size_t Context::pending_messages() const {
+  return cluster_.mailbox(rank_).size();
+}
+
+void Context::barrier() { cluster_.barrier_.arrive_and_wait(); }
+
+template <class T, class Op>
+T Context::allreduce(T x, Op op, T init) {
+  // Two-phase: everyone writes its slot, barrier, everyone folds, barrier
+  // (the second barrier keeps slot reuse safe for back-to-back reductions).
+  auto& scratch = [&]() -> std::vector<T>& {
+    if constexpr (std::is_same_v<T, double>)
+      return cluster_.reduce_scratch_d_;
+    else
+      return cluster_.reduce_scratch_i_;
+  }();
+  scratch[static_cast<std::size_t>(rank_.value())] = x;
+  cluster_.barrier_.arrive_and_wait();
+  T acc = init;
+  for (int r = 0; r < cluster_.size(); ++r)
+    acc = op(acc, scratch[static_cast<std::size_t>(r)]);
+  cluster_.barrier_.arrive_and_wait();
+  return acc;
+}
+
+double Context::allreduce_sum(double x) {
+  return allreduce<double>(x, [](double a, double b) { return a + b; }, 0.0);
+}
+
+std::int64_t Context::allreduce_sum(std::int64_t x) {
+  return allreduce<std::int64_t>(
+      x, [](std::int64_t a, std::int64_t b) { return a + b; }, 0);
+}
+
+double Context::allreduce_max(double x) {
+  return allreduce<double>(
+      x, [](double a, double b) { return std::max(a, b); },
+      -std::numeric_limits<double>::infinity());
+}
+
+double Context::allreduce_min(double x) {
+  return allreduce<double>(
+      x, [](double a, double b) { return std::min(a, b); },
+      std::numeric_limits<double>::infinity());
+}
+
+void Context::allreduce_sum(std::vector<double>& v) {
+  // Publish a pointer to each rank's vector, fold in rank order on rank 0,
+  // then everyone copies the result. Rank-ordered folding keeps the result
+  // bitwise deterministic.
+  cluster_.vec_slots_[static_cast<std::size_t>(rank_.value())] = &v;
+  cluster_.barrier_.arrive_and_wait();
+  if (rank_.value() == 0) {
+    auto& result = cluster_.vec_result_;
+    result.assign(v.size(), 0.0);
+    for (int r = 0; r < cluster_.size(); ++r) {
+      const auto* contrib = cluster_.vec_slots_[static_cast<std::size_t>(r)];
+      JSWEEP_CHECK_MSG(contrib->size() == v.size(),
+                       "allreduce vector length mismatch");
+      for (std::size_t i = 0; i < v.size(); ++i) result[i] += (*contrib)[i];
+    }
+  }
+  cluster_.barrier_.arrive_and_wait();
+  v = cluster_.vec_result_;
+  cluster_.barrier_.arrive_and_wait();
+}
+
+std::int64_t Context::allreduce_max(std::int64_t x) {
+  return allreduce<std::int64_t>(
+      x, [](std::int64_t a, std::int64_t b) { return std::max(a, b); },
+      std::numeric_limits<std::int64_t>::min());
+}
+
+Cluster::Cluster(int nranks)
+    : barrier_(nranks),
+      reduce_scratch_d_(static_cast<std::size_t>(nranks)),
+      reduce_scratch_i_(static_cast<std::size_t>(nranks)),
+      vec_slots_(static_cast<std::size_t>(nranks), nullptr) {
+  JSWEEP_CHECK_MSG(nranks > 0, "cluster needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  contexts_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    contexts_.push_back(
+        std::unique_ptr<Context>(new Context(*this, RankId{r})));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Context& Cluster::context(RankId rank) {
+  JSWEEP_CHECK(rank.valid() && rank.value() < size());
+  return *contexts_[static_cast<std::size_t>(rank.value())];
+}
+
+void Cluster::deliver(RankId dest, Message msg) {
+  mailbox(dest).push(std::move(msg));
+}
+
+Mailbox& Cluster::mailbox(RankId rank) {
+  return *mailboxes_[static_cast<std::size_t>(rank.value())];
+}
+
+TrafficStats Cluster::total_traffic() const {
+  TrafficStats total;
+  for (const auto& ctx : contexts_) {
+    total.basic_sent += ctx->traffic().basic_sent;
+    total.basic_received += ctx->traffic().basic_received;
+    total.control_sent += ctx->traffic().control_sent;
+    total.bytes_sent += ctx->traffic().bytes_sent;
+  }
+  return total;
+}
+
+void Cluster::run(int nranks, const std::function<void(Context&)>& fn) {
+  Cluster cluster(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(cluster.context(RankId{r}));
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A dying rank would hang collectives on the others; there is no
+        // recovery story for that (matching MPI's abort-on-error default),
+        // so surface the failure immediately.
+        std::fprintf(stderr, "[jsweep comm] rank %d threw; aborting job\n", r);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace jsweep::comm

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file cluster.hpp
+/// The in-process cluster: JSweep's substitute for an MPI job.
+///
+/// Cluster::run(P, fn) launches P rank threads; each receives a Context with
+/// MPI-like point-to-point messaging (asynchronous send, probe/recv) and the
+/// collectives the runtime needs (barrier, allreduce). Message payloads are
+/// serialized byte buffers, so moving this layer onto real MPI is a
+/// transport swap, not a redesign — the engine above sees identical
+/// semantics: reliable, per-sender-FIFO, asynchronous delivery.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/message.hpp"
+#include "support/check.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::comm {
+
+class Cluster;
+
+/// Per-rank traffic counters, used for termination detection (basic message
+/// balance) and for benchmark reporting (bytes on the wire).
+struct TrafficStats {
+  std::int64_t basic_sent = 0;
+  std::int64_t basic_received = 0;
+  std::int64_t control_sent = 0;
+  std::int64_t bytes_sent = 0;
+};
+
+/// A rank's handle onto the cluster. Created by Cluster; one per rank
+/// thread. send() is thread-safe and may be called from worker threads
+/// belonging to the rank; all receive-side calls must stay on the rank's
+/// master thread.
+class Context {
+ public:
+  [[nodiscard]] RankId rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Asynchronous point-to-point send (thread-safe).
+  void send(RankId dest, int tag, Bytes payload);
+
+  /// Non-blocking receive of the next message in arrival order.
+  std::optional<Message> try_recv();
+
+  /// Blocking receive.
+  Message recv();
+
+  /// Block until a message is available or `timeout` elapses; returns
+  /// whether the mailbox is non-empty.
+  bool wait_message(std::chrono::nanoseconds timeout);
+
+  [[nodiscard]] std::size_t pending_messages() const;
+
+  /// Collective: all ranks must call; returns when every rank has arrived.
+  void barrier();
+
+  /// Collective reductions (all ranks must call with their contribution).
+  double allreduce_sum(double x);
+  std::int64_t allreduce_sum(std::int64_t x);
+  double allreduce_max(double x);
+  double allreduce_min(double x);
+  std::int64_t allreduce_max(std::int64_t x);
+
+  /// Element-wise vector sum-reduction; `v` is replaced by the global sum.
+  /// All ranks must pass the same length. Deterministic: contributions are
+  /// folded in rank order.
+  void allreduce_sum(std::vector<double>& v);
+
+  [[nodiscard]] const TrafficStats& traffic() const { return stats_; }
+
+ private:
+  friend class Cluster;
+  Context(Cluster& cluster, RankId rank) : cluster_(cluster), rank_(rank) {}
+
+  template <class T, class Op>
+  T allreduce(T x, Op op, T init);
+
+  Cluster& cluster_;
+  RankId rank_;
+  TrafficStats stats_;
+};
+
+/// Owns the mailboxes and collective state for one in-process "job".
+class Cluster {
+ public:
+  explicit Cluster(int nranks);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Launch one thread per rank running `fn`, join them all, and rethrow
+  /// the first exception raised by any rank (after all threads have
+  /// stopped). Convenience entry point used by tests and benches.
+  static void run(int nranks, const std::function<void(Context&)>& fn);
+
+  /// Lower-level API: obtain the context for a rank (call from that rank's
+  /// thread only). Useful when the caller manages its own threads.
+  Context& context(RankId rank);
+
+  /// Aggregate traffic across ranks (valid after all rank threads finish).
+  [[nodiscard]] TrafficStats total_traffic() const;
+
+ private:
+  friend class Context;
+
+  void deliver(RankId dest, Message msg);
+  Mailbox& mailbox(RankId rank);
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+
+  // Collective state: a generation-stamped scratch vector guarded by the
+  // barrier on both sides.
+  std::barrier<> barrier_;
+  std::vector<double> reduce_scratch_d_;
+  std::vector<std::int64_t> reduce_scratch_i_;
+  std::vector<const std::vector<double>*> vec_slots_;
+  std::vector<double> vec_result_;
+};
+
+}  // namespace jsweep::comm

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file mailbox.hpp
+/// Per-rank inbound message queue: multiple producers (any rank's sender),
+/// single consumer (the owning rank's master thread).
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.hpp"
+
+namespace jsweep::comm {
+
+/// Unbounded MPSC queue with blocking and timed waits. All operations are
+/// thread-safe; `pop`-side calls must come from a single consumer if FIFO
+/// consumption order matters to the caller.
+class Mailbox {
+ public:
+  void push(Message msg) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_one();
+  }
+
+  /// Non-blocking pop.
+  std::optional<Message> try_pop() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  /// Blocking pop.
+  Message pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  /// Wait until a message is available or the timeout elapses.
+  /// Returns true if the mailbox is non-empty on return.
+  bool wait_nonempty(std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); });
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace jsweep::comm

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file message.hpp
+/// The unit of communication between ranks: a tagged byte payload, exactly
+/// the information an MPI point-to-point message carries.
+
+#include <cstdint>
+
+#include "comm/serialize.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::comm {
+
+/// Message tags below kControlTagBase are "basic" (application) traffic and
+/// participate in termination-detection message counting; tags at or above
+/// it are runtime-internal control traffic (termination tokens, shutdown).
+inline constexpr int kControlTagBase = 1 << 30;
+
+/// Well-known tags used by the runtime.
+enum Tag : int {
+  kTagStream = 1,          ///< patch-program data stream
+  kTagUser = 100,          ///< first tag available to applications
+  kTagToken = kControlTagBase + 1,      ///< Safra termination token
+  kTagTerminate = kControlTagBase + 2,  ///< global-termination broadcast
+  kTagReduce = kControlTagBase + 3,     ///< non-blocking reduction traffic
+};
+
+struct Message {
+  RankId src;
+  int tag = 0;
+  Bytes payload;
+
+  [[nodiscard]] bool is_control() const { return tag >= kControlTagBase; }
+};
+
+}  // namespace jsweep::comm

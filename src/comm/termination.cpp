@@ -1,0 +1,77 @@
+#include "comm/termination.hpp"
+
+namespace jsweep::comm {
+
+namespace {
+
+Bytes encode_token(std::int64_t count, bool black) {
+  ByteWriter w(sizeof(std::int64_t) + 1);
+  w.write(count);
+  w.write(static_cast<std::uint8_t>(black ? 1 : 0));
+  return w.take();
+}
+
+}  // namespace
+
+SafraDetector::SafraDetector(Context& ctx) : ctx_(ctx) {
+  // A single-rank job terminates the moment it is idle; rank 0 handles that
+  // case in on_idle without sending itself tokens.
+}
+
+void SafraDetector::on_token(const Message& msg) {
+  ByteReader r(msg.payload);
+  held_.count = r.read<std::int64_t>();
+  held_.black = r.read<std::uint8_t>();
+  holding_token_ = true;
+  // The token is forwarded (or, at rank 0, judged) only when this rank is
+  // next idle; a busy rank legitimately sits on it.
+}
+
+void SafraDetector::on_idle() {
+  if (terminated_) return;
+  const int p = ctx_.size();
+  if (p == 1) {
+    terminated_ = true;
+    return;
+  }
+  if (ctx_.rank().value() == 0) {
+    if (holding_token_) {
+      holding_token_ = false;
+      probe_outstanding_ = false;
+      // Round completed: token is white and global count balances → done.
+      if (!held_.black && !black_ && held_.count + counter_ == 0) {
+        terminated_ = true;
+        for (int r = 1; r < p; ++r) ctx_.send(RankId{r}, kTagTerminate, {});
+        return;
+      }
+      // Inconclusive: whiten and start another round.
+      black_ = false;
+      initiate();
+      return;
+    }
+    if (!probe_outstanding_) initiate();
+    return;
+  }
+  if (holding_token_) forward_token();
+}
+
+void SafraDetector::initiate() {
+  ++rounds_;
+  probe_outstanding_ = true;
+  const int p = ctx_.size();
+  // Ring direction: 0 → p-1 → p-2 → ... → 1 → 0 (Safra's original order;
+  // any fixed ring works).
+  ctx_.send(RankId{p - 1}, kTagToken, encode_token(0, /*black=*/false));
+}
+
+void SafraDetector::forward_token() {
+  holding_token_ = false;
+  const int me = ctx_.rank().value();
+  const RankId next{me - 1};  // ring toward rank 0
+  const std::int64_t q = held_.count + counter_;
+  const bool black = held_.black || black_;
+  ctx_.send(next, kTagToken, encode_token(q, black));
+  black_ = false;  // whiten after forwarding
+}
+
+}  // namespace jsweep::comm

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file termination.hpp
+/// Distributed termination detection for the data-driven runtime.
+///
+/// The paper (Sec. III-B, IV-C) supports two modes:
+///   1. the general negotiating protocol for arbitrary patch-centric
+///      programs — here Safra's token algorithm (Misra-style marker
+///      circulation with message counting), and
+///   2. the fast path for algorithms whose total workload is known in
+///      advance (Sn sweeps): each rank commits its remaining (cell, angle)
+///      workload and detection needs only a cheap global count.
+///
+/// Both are implemented against comm::Context; the engine picks per run.
+
+#include <cstdint>
+#include <optional>
+
+#include "comm/cluster.hpp"
+
+namespace jsweep::comm {
+
+/// Safra's termination-detection token algorithm.
+///
+/// Usage, on each rank's master thread:
+///   - call note_basic_send() / note_basic_recv() for every application
+///     message (or construct with `use_context_counters` and let it read
+///     the Context's traffic stats);
+///   - when a control message with tag kTagToken arrives, call on_token();
+///   - whenever the rank is locally idle (no runnable work, no pending
+///     basic messages), call on_idle();
+///   - poll terminated(); rank 0 discovers global termination and
+///     broadcasts kTagTerminate, which other ranks observe via on_terminate
+///     (the engine forwards the message) or by receiving the tag and
+///     calling on_terminate() themselves.
+class SafraDetector {
+ public:
+  explicit SafraDetector(Context& ctx);
+
+  /// Record one application-level send/receive (message counting).
+  void note_basic_send() { ++counter_; }
+  void note_basic_recv() {
+    --counter_;
+    black_ = true;
+  }
+
+  /// Handle an incoming kTagToken control message.
+  void on_token(const Message& msg);
+
+  /// Handle an incoming kTagTerminate broadcast.
+  void on_terminate() { terminated_ = true; }
+
+  /// Notify the detector that this rank is locally passive. Rank 0
+  /// initiates a probe; other ranks forward a held token.
+  void on_idle();
+
+  /// Notify that this rank became active again (new local work appeared).
+  void on_active() { black_ = true; }
+
+  [[nodiscard]] bool terminated() const { return terminated_; }
+
+  /// Number of full probe rounds initiated (diagnostic).
+  [[nodiscard]] int rounds() const { return rounds_; }
+
+ private:
+  struct Token {
+    std::int64_t count = 0;
+    std::uint8_t black = 0;
+  };
+
+  void forward_token();
+  void initiate();
+
+  Context& ctx_;
+  std::int64_t counter_ = 0;  ///< basic sends minus basic receives
+  bool black_ = true;         ///< rank color (black until proven quiet)
+  bool terminated_ = false;
+  bool holding_token_ = false;
+  Token held_{};
+  bool probe_outstanding_ = false;  ///< rank 0: a token is circulating
+  int rounds_ = 0;
+};
+
+/// Workload-commitment detector: the fast path for known-workload
+/// algorithms. Each rank decrements a local remaining-work counter as
+/// patch-programs retire vertices; when every rank's counter hits zero the
+/// program is globally done. Completion is confirmed with a single
+/// allreduce once the local counter reaches zero and no messages are in
+/// flight locally (cheap compared to continuous token circulation).
+class WorkloadTracker {
+ public:
+  /// `local_total` is the number of work units this rank will retire.
+  explicit WorkloadTracker(std::int64_t local_total)
+      : remaining_(local_total) {}
+
+  void commit(std::int64_t additional) { remaining_ += additional; }
+  void retire(std::int64_t units = 1) { remaining_ -= units; }
+
+  [[nodiscard]] std::int64_t remaining() const { return remaining_; }
+  [[nodiscard]] bool locally_done() const { return remaining_ <= 0; }
+
+ private:
+  std::int64_t remaining_ = 0;
+};
+
+}  // namespace jsweep::comm

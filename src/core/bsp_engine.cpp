@@ -1,0 +1,132 @@
+#include "core/bsp_engine.hpp"
+
+#include "core/stream.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::core {
+
+BspEngine::BspEngine(comm::Context& ctx, BspConfig config)
+    : ctx_(ctx), config_(config) {
+  JSWEEP_CHECK(config_.num_threads >= 0);
+}
+
+void BspEngine::add_program(std::unique_ptr<PatchProgram> program,
+                            bool initially_active) {
+  JSWEEP_CHECK(program != nullptr);
+  auto slot = std::make_unique<Slot>();
+  slot->program = std::move(program);
+  slot->initially_active = initially_active;
+  const ProgramKey key = slot->program->key();
+  JSWEEP_CHECK_MSG(by_key_.emplace(key, slot.get()).second,
+                   "duplicate patch-program " << key);
+  slots_.push_back(std::move(slot));
+}
+
+void BspEngine::set_routes(std::vector<RankId> patch_owner) {
+  patch_owner_ = std::move(patch_owner);
+}
+
+void BspEngine::deliver(Stream s) {
+  const auto it = by_key_.find(s.dst);
+  JSWEEP_CHECK_MSG(it != by_key_.end(),
+                   "stream routed to " << s.dst << " but no such program");
+  it->second->inbox.push_back(std::move(s));
+  it->second->active = true;
+}
+
+void BspEngine::run() {
+  JSWEEP_CHECK_MSG(!patch_owner_.empty(), "set_routes() before run()");
+  stats_ = BspStats{};
+  WallTimer total_timer;
+  ThreadPool pool(config_.num_threads);
+
+  std::int64_t local_remaining = 0;
+  for (auto& slot : slots_) {
+    slot->initialized = false;
+    slot->active = slot->initially_active;
+    slot->halted = false;
+    slot->inbox.clear();
+    slot->outbox.clear();
+    local_remaining += slot->program->total_work();
+  }
+  std::int64_t global_remaining = ctx_.allreduce_sum(local_remaining);
+
+  std::vector<std::vector<Stream>> staging(
+      static_cast<std::size_t>(ctx_.size()));
+
+  while (global_remaining > 0) {
+    ++stats_.supersteps;
+
+    // --- Compute phase: every active program executes once, in parallel.
+    std::vector<Slot*> round;
+    for (auto& slot : slots_)
+      if (slot->active) round.push_back(slot.get());
+
+    std::atomic<std::int64_t> retired{0};
+    std::atomic<std::int64_t> executions{0};
+    pool.parallel_for(
+        static_cast<std::int64_t>(round.size()), [&](std::int64_t i) {
+          Slot& slot = *round[static_cast<std::size_t>(i)];
+          PatchProgram& prog = *slot.program;
+          if (!slot.initialized) {
+            prog.init();
+            slot.initialized = true;
+          }
+          for (const auto& s : slot.inbox) prog.input(s);
+          slot.inbox.clear();
+          const auto before = prog.remaining_work();
+          prog.compute();
+          retired.fetch_add(before - prog.remaining_work(),
+                            std::memory_order_relaxed);
+          executions.fetch_add(1, std::memory_order_relaxed);
+          while (auto out = prog.output())
+            slot.outbox.push_back(std::move(*out));
+          slot.halted = prog.vote_to_halt();
+        });
+    local_remaining -= retired.load();
+    stats_.executions += executions.load();
+
+    // --- Exchange phase (superstep boundary): local streams also wait
+    // until here — BSP semantics, Sec. II-B.
+    std::vector<Stream> local_pending;
+    for (Slot* slot : round) {
+      slot->active = !slot->halted;
+      for (auto& s : slot->outbox) {
+        const RankId dest =
+            patch_owner_[static_cast<std::size_t>(s.dst.patch.value())];
+        if (dest == ctx_.rank()) {
+          ++stats_.streams_local;
+          local_pending.push_back(std::move(s));
+        } else {
+          ++stats_.streams_remote;
+          stats_.stream_bytes += static_cast<std::int64_t>(s.data.size());
+          staging[static_cast<std::size_t>(dest.value())].push_back(
+              std::move(s));
+        }
+      }
+      slot->outbox.clear();
+    }
+    for (int r = 0; r < ctx_.size(); ++r) {
+      auto& staged = staging[static_cast<std::size_t>(r)];
+      if (staged.empty()) continue;
+      ctx_.send(RankId{r}, comm::kTagStream, pack_streams(staged));
+      staged.clear();
+    }
+
+    // In-process sends are delivered synchronously, so after the barrier
+    // every rank's mailbox holds everything sent this superstep.
+    ctx_.barrier();
+    while (auto msg = ctx_.try_recv()) {
+      JSWEEP_CHECK(msg->tag == comm::kTagStream);
+      for (auto& s : unpack_streams(msg->payload)) deliver(std::move(s));
+    }
+    for (auto& s : local_pending) deliver(std::move(s));
+
+    global_remaining = ctx_.allreduce_sum(local_remaining);
+  }
+
+  stats_.elapsed_seconds = total_timer.seconds();
+}
+
+}  // namespace jsweep::core

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file bsp_engine.hpp
+/// Bulk-synchronous baseline engine: the "previous JAxMIN" execution model
+/// the paper compares against (Fig. 17). The same patch-programs run in
+/// supersteps — every active program computes once per superstep using the
+/// data available at the step's start, then all streams are exchanged at
+/// the superstep boundary, then a collective checks for termination.
+///
+/// Because a patch-program typically cannot finish in one execution (zig-
+/// zag dependencies, Sec. II-D), a sweep needs many supersteps, each paying
+/// a full barrier + allreduce — exactly the inefficiency that motivates the
+/// data-driven engine.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/patch_program.hpp"
+#include "core/thread_pool.hpp"
+
+namespace jsweep::core {
+
+struct BspConfig {
+  /// Threads used for the compute phase (the calling thread also works, so
+  /// effective parallelism is num_threads + 1).
+  int num_threads = 1;
+};
+
+struct BspStats {
+  double elapsed_seconds = 0.0;
+  std::int64_t supersteps = 0;
+  std::int64_t executions = 0;
+  std::int64_t streams_local = 0;
+  std::int64_t streams_remote = 0;
+  std::int64_t stream_bytes = 0;
+};
+
+class BspEngine {
+ public:
+  BspEngine(comm::Context& ctx, BspConfig config);
+
+  void add_program(std::unique_ptr<PatchProgram> program,
+                   bool initially_active = true);
+  void set_routes(std::vector<RankId> patch_owner);
+
+  /// Run supersteps to global termination (remaining work reaches zero on
+  /// every rank). Collective.
+  void run();
+
+  [[nodiscard]] const BspStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<PatchProgram> program;
+    bool initialized = false;
+    bool initially_active = true;
+    bool active = false;
+    std::vector<Stream> inbox;
+    std::vector<Stream> outbox;
+    bool halted = false;
+  };
+
+  void deliver(Stream s);
+
+  comm::Context& ctx_;
+  BspConfig config_;
+  BspStats stats_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unordered_map<ProgramKey, Slot*> by_key_;
+  std::vector<RankId> patch_owner_;
+};
+
+}  // namespace jsweep::core

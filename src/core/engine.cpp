@@ -1,0 +1,402 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <queue>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace jsweep::core {
+
+struct Engine::ProgramState {
+  std::unique_ptr<PatchProgram> program;
+  double priority = 0.0;
+  bool initially_active = true;
+  bool initialized = false;
+  /// Idle = not queued or running (the paper's "inactive"); Active covers
+  /// both queued and running — a program has at most one outstanding
+  /// execution at a time.
+  enum class St { Idle, Active } state = St::Idle;
+  std::mutex inbox_mutex;
+  std::vector<Stream> inbox;
+};
+
+struct Engine::Completion {
+  ProgramState* ps = nullptr;
+  bool halted = true;
+  std::int64_t retired = 0;
+  std::vector<Stream> outputs;
+};
+
+struct Engine::Worker {
+  explicit Worker(int id_in) : id(id_in) {}
+
+  struct Entry {
+    double priority;
+    std::uint64_t seq;
+    ProgramState* ps;
+    /// Max-heap by priority; FIFO (by sequence) among equals.
+    bool operator<(const Entry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  int id;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::priority_queue<Entry> queue;
+  std::atomic<std::int64_t> load{0};
+  bool stop = false;
+  std::thread thread;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+};
+
+Engine::Engine(comm::Context& ctx, EngineConfig config)
+    : ctx_(ctx), config_(config) {
+  JSWEEP_CHECK_MSG(config_.num_workers >= 1,
+                   "engine needs at least one worker thread");
+  remote_staging_.resize(static_cast<std::size_t>(ctx_.size()));
+}
+
+Engine::~Engine() = default;
+
+void Engine::add_program(std::unique_ptr<PatchProgram> program,
+                         double priority, bool initially_active) {
+  JSWEEP_CHECK(program != nullptr);
+  const ProgramKey key = program->key();
+  auto ps = std::make_unique<ProgramState>();
+  ps->program = std::move(program);
+  ps->priority = priority;
+  ps->initially_active = initially_active;
+  const auto [it, inserted] = programs_.emplace(key, std::move(ps));
+  JSWEEP_CHECK_MSG(inserted, "duplicate patch-program " << key);
+}
+
+void Engine::set_routes(std::vector<RankId> patch_owner) {
+  patch_owner_ = std::move(patch_owner);
+}
+
+void Engine::worker_loop(Worker& w) {
+  WallTimer timer;
+  for (;;) {
+    ProgramState* ps = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(w.mutex);
+      timer.reset();
+      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      w.idle_seconds += timer.seconds();
+      if (w.queue.empty()) {
+        if (w.stop) return;
+        continue;
+      }
+      ps = w.queue.top().ps;
+      w.queue.pop();
+    }
+    timer.reset();
+    try {
+      Completion c = execute(*ps);
+      w.busy_seconds += timer.seconds();
+      {
+        const std::lock_guard<std::mutex> lock(completion_mutex_);
+        completions_.push_back(std::move(c));
+      }
+      completions_pending_.fetch_add(1, std::memory_order_release);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+    }
+    w.load.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Engine::Completion Engine::execute(ProgramState& ps) {
+  PatchProgram& prog = *ps.program;
+  if (!ps.initialized) {
+    prog.init();
+    ps.initialized = true;
+  }
+  std::vector<Stream> arrived;
+  {
+    const std::lock_guard<std::mutex> lock(ps.inbox_mutex);
+    arrived.swap(ps.inbox);
+  }
+  for (const auto& s : arrived) prog.input(s);
+
+  const std::int64_t before = prog.remaining_work();
+  prog.compute();
+  const std::int64_t after = prog.remaining_work();
+
+  Completion c;
+  c.ps = &ps;
+  c.retired = before - after;
+  while (auto out = prog.output()) c.outputs.push_back(std::move(*out));
+  c.halted = prog.vote_to_halt();
+  return c;
+}
+
+void Engine::enqueue(ProgramState& ps) {
+  // Dynamic owner assignment: route the program to the lightest worker
+  // (Sec. IV-B). Deterministic tie-break on worker id.
+  Worker* lightest = workers_.front().get();
+  for (const auto& w : workers_) {
+    if (w->load.load(std::memory_order_relaxed) <
+        lightest->load.load(std::memory_order_relaxed))
+      lightest = w.get();
+  }
+  lightest->load.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(lightest->mutex);
+    lightest->queue.push(Worker::Entry{ps.priority, enqueue_seq_++, &ps});
+  }
+  lightest->cv.notify_one();
+}
+
+void Engine::deliver_local(Stream stream) {
+  const auto it = programs_.find(stream.dst);
+  JSWEEP_CHECK_MSG(it != programs_.end(),
+                   "stream routed to " << stream.dst
+                                       << " but no such program on rank "
+                                       << ctx_.rank());
+  ProgramState& ps = *it->second;
+  {
+    const std::lock_guard<std::mutex> lock(ps.inbox_mutex);
+    ps.inbox.push_back(std::move(stream));
+  }
+  if (ps.state == ProgramState::St::Idle) {
+    ps.state = ProgramState::St::Active;
+    ++active_programs_;
+    enqueue(ps);
+  }
+}
+
+void Engine::route_outputs(std::vector<Stream>&& outputs) {
+  for (auto& s : outputs) {
+    JSWEEP_CHECK_MSG(
+        s.dst.patch.valid() &&
+            static_cast<std::size_t>(s.dst.patch.value()) <
+                patch_owner_.size(),
+        "stream targets unknown patch " << s.dst.patch);
+    const RankId dest =
+        patch_owner_[static_cast<std::size_t>(s.dst.patch.value())];
+    if (dest == ctx_.rank()) {
+      ++stats_.streams_local;
+      deliver_local(std::move(s));
+    } else {
+      ++stats_.streams_remote;
+      stats_.stream_bytes += static_cast<std::int64_t>(s.data.size());
+      remote_staging_[static_cast<std::size_t>(dest.value())].push_back(
+          std::move(s));
+    }
+  }
+}
+
+void Engine::flush_remote() {
+  for (int r = 0; r < ctx_.size(); ++r) {
+    auto& staged = remote_staging_[static_cast<std::size_t>(r)];
+    if (staged.empty()) continue;
+    ctx_.send(RankId{r}, comm::kTagStream, pack_streams(staged));
+    ++stats_.messages_sent;
+    staged.clear();
+  }
+}
+
+void Engine::process_message(const comm::Message& msg,
+                             comm::SafraDetector* detector) {
+  switch (msg.tag) {
+    case comm::kTagStream: {
+      if (detector != nullptr) detector->note_basic_recv();
+      for (auto& s : unpack_streams(msg.payload)) deliver_local(std::move(s));
+      break;
+    }
+    case comm::kTagToken:
+      JSWEEP_CHECK(detector != nullptr);
+      detector->on_token(msg);
+      break;
+    case comm::kTagTerminate:
+      JSWEEP_CHECK(detector != nullptr);
+      detector->on_terminate();
+      break;
+    default:
+      JSWEEP_CHECK_MSG(false, "unexpected message tag " << msg.tag);
+  }
+}
+
+bool Engine::locally_idle() const {
+  if (active_programs_ != 0) return false;
+  if (completions_pending_.load(std::memory_order_acquire) != 0) return false;
+  for (const auto& staged : remote_staging_)
+    if (!staged.empty()) return false;
+  return ctx_.pending_messages() == 0;
+}
+
+void Engine::run() {
+  JSWEEP_CHECK_MSG(!patch_owner_.empty(), "set_routes() before run()");
+  stats_ = EngineStats{};
+  WallTimer total_timer;
+  IntervalAccumulator route_time;
+
+  // Reset per-run program state; init() re-runs on first execution, which
+  // is exactly Listing 1's per-sweep re-initialization.
+  worker_error_ = nullptr;
+  local_remaining_ = 0;
+  active_programs_ = 0;
+  for (auto& [key, ps] : programs_) {
+    ps->initialized = false;
+    ps->state = ProgramState::St::Idle;
+    ps->inbox.clear();
+    local_remaining_ += ps->program->total_work();
+  }
+
+  // Launch workers.
+  workers_.clear();
+  for (int i = 0; i < config_.num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(i));
+  for (auto& w : workers_)
+    w->thread = std::thread([this, &w = *w] { worker_loop(w); });
+
+  // Queue the initially-active programs, highest priority first so worker
+  // queues start in priority order.
+  {
+    std::vector<ProgramState*> initial;
+    for (auto& [key, ps] : programs_)
+      if (ps->initially_active) initial.push_back(ps.get());
+    std::sort(initial.begin(), initial.end(),
+              [](const ProgramState* a, const ProgramState* b) {
+                if (a->priority != b->priority)
+                  return a->priority > b->priority;
+                return a->program->key() < b->program->key();
+              });
+    for (auto* ps : initial) {
+      ps->state = ProgramState::St::Active;
+      ++active_programs_;
+      enqueue(*ps);
+    }
+  }
+
+  std::optional<comm::SafraDetector> detector;
+  if (config_.termination == TerminationMode::Safra) detector.emplace(ctx_);
+  comm::SafraDetector* det = detector ? &*detector : nullptr;
+
+  // Whatever happens in the master loop, workers must be stopped and
+  // joined before leaving (a joinable std::thread destructor terminates).
+  const auto stop_workers = [this] {
+    for (auto& w : workers_) {
+      {
+        const std::lock_guard<std::mutex> lock(w->mutex);
+        w->stop = true;
+      }
+      w->cv.notify_all();
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+      stats_.worker_busy_seconds += w->busy_seconds;
+      stats_.worker_idle_seconds += w->idle_seconds;
+    }
+    workers_.clear();
+  };
+
+  try {
+    master_loop(det, route_time);
+  } catch (...) {
+    stop_workers();
+    throw;
+  }
+  stop_workers();
+
+  stats_.master_route_seconds = route_time.seconds();
+  stats_.elapsed_seconds = total_timer.seconds();
+  JSWEEP_CHECK_MSG(local_remaining_ == 0 || det != nullptr,
+                   "engine terminated with " << local_remaining_
+                                             << " work units outstanding");
+}
+
+void Engine::master_loop(comm::SafraDetector* det,
+                         IntervalAccumulator& route_time) {
+  for (;;) {
+    bool progress = false;
+
+    // 0. Worker failures abort the run.
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (worker_error_) std::rethrow_exception(worker_error_);
+    }
+
+    // 1. Incoming messages.
+    while (auto msg = ctx_.try_recv()) {
+      route_time.start();
+      process_message(*msg, det);
+      route_time.stop();
+      progress = true;
+    }
+
+    // 2. Worker completions.
+    if (completions_pending_.load(std::memory_order_acquire) > 0) {
+      std::vector<Completion> batch;
+      {
+        const std::lock_guard<std::mutex> lock(completion_mutex_);
+        batch.swap(completions_);
+      }
+      completions_pending_.fetch_sub(
+          static_cast<std::int64_t>(batch.size()), std::memory_order_release);
+      route_time.start();
+      for (auto& c : batch) {
+        ++stats_.executions;
+        local_remaining_ -= c.retired;
+        if (det != nullptr && !c.outputs.empty()) det->on_active();
+        route_outputs(std::move(c.outputs));
+        ProgramState& ps = *c.ps;
+        bool inbox_nonempty;
+        {
+          const std::lock_guard<std::mutex> lock(ps.inbox_mutex);
+          inbox_nonempty = !ps.inbox.empty();
+        }
+        if (!c.halted || inbox_nonempty) {
+          enqueue(ps);  // still Active
+        } else {
+          ps.state = ProgramState::St::Idle;
+          --active_programs_;
+        }
+      }
+      route_time.stop();
+      progress = true;
+    }
+
+    // 3. Ship staged remote streams.
+    route_time.start();
+    if (det != nullptr) {
+      // Safra counts wire messages, not streams.
+      const std::int64_t before = stats_.messages_sent;
+      flush_remote();
+      for (std::int64_t i = before; i < stats_.messages_sent; ++i)
+        det->note_basic_send();
+    } else {
+      flush_remote();
+    }
+    route_time.stop();
+
+    // 4. Termination.
+    if (config_.termination == TerminationMode::KnownWorkload) {
+      if (local_remaining_ == 0 && active_programs_ == 0 &&
+          completions_pending_.load(std::memory_order_acquire) == 0) {
+        // Workload-commitment fast path (Sec. III-B): every rank joins one
+        // collective when its committed workload is fully retired.
+        ctx_.allreduce_sum(std::int64_t{0});
+        break;
+      }
+    } else {
+      if (det->terminated()) break;
+      if (!progress && locally_idle()) {
+        det->on_idle();
+        if (det->terminated()) break;
+      }
+    }
+
+    if (!progress) ctx_.wait_message(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace jsweep::core

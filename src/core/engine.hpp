@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file engine.hpp
+/// The patch-centric data-driven runtime (Sec. IV of the paper).
+///
+/// One Engine instance runs per rank (process). The rank's thread acts as
+/// the *master*: it routes streams (local delivery or remote send via the
+/// comm substrate), schedules patch-programs onto *worker* threads, tracks
+/// progress and detects global termination. Workers execute patch-programs
+/// following Alg. 1 (init → input* → compute → output* → vote_to_halt) and
+/// hand the results back to the master.
+///
+/// Scheduling is priority-driven: every program carries a static priority
+/// (for Sn sweeps, combined_priority(angle, patch) from graph/priority.hpp)
+/// and each worker pops its highest-priority queued program. When a stream
+/// targets an inactive program, the master assigns the program to the
+/// lightest-loaded worker (dynamic owner assignment, Sec. IV-B).
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "comm/termination.hpp"
+#include "core/patch_program.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::core {
+
+enum class TerminationMode {
+  /// Workload known in advance (Sn sweeps): one collective when every
+  /// rank's remaining-work counter hits zero.
+  KnownWorkload,
+  /// General negotiation: Safra's token algorithm (particle tracing etc.).
+  Safra,
+};
+
+struct EngineConfig {
+  int num_workers = 2;
+  TerminationMode termination = TerminationMode::KnownWorkload;
+};
+
+struct EngineStats {
+  double elapsed_seconds = 0.0;
+  std::int64_t executions = 0;       ///< patch-program executions
+  std::int64_t streams_local = 0;    ///< streams delivered within the rank
+  std::int64_t streams_remote = 0;   ///< streams sent across ranks
+  std::int64_t stream_bytes = 0;     ///< payload bytes of remote streams
+  std::int64_t messages_sent = 0;    ///< wire messages (batched streams)
+  double master_route_seconds = 0.0; ///< master time spent routing/packing
+  double worker_busy_seconds = 0.0;  ///< summed across workers
+  double worker_idle_seconds = 0.0;  ///< summed across workers
+};
+
+class Engine {
+ public:
+  Engine(comm::Context& ctx, EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a patch-program owned by this rank. `priority` orders
+  /// scheduling (higher first). Initially-active programs are queued at
+  /// startup; inactive ones wait for their first stream.
+  void add_program(std::unique_ptr<PatchProgram> program, double priority,
+                   bool initially_active);
+
+  /// Route table: owner rank of every patch (same on all ranks).
+  void set_routes(std::vector<RankId> patch_owner);
+
+  /// Run to global termination. Collective: every rank must call run()
+  /// once per logical iteration.
+  void run();
+
+  [[nodiscard]] const EngineStats& stats() const { return stats_; }
+
+  /// Number of registered local programs.
+  [[nodiscard]] std::size_t num_programs() const { return programs_.size(); }
+
+ private:
+  struct ProgramState;
+  struct Worker;
+  struct Completion;
+
+  void worker_loop(Worker& w);
+  void master_loop(comm::SafraDetector* det, IntervalAccumulator& route_time);
+  Completion execute(ProgramState& ps);
+  void deliver_local(Stream stream);
+  void enqueue(ProgramState& ps);
+  void route_outputs(std::vector<Stream>&& outputs);
+  void flush_remote();
+  void process_message(const comm::Message& msg,
+                       comm::SafraDetector* detector);
+  [[nodiscard]] bool locally_idle() const;
+
+  comm::Context& ctx_;
+  EngineConfig config_;
+  EngineStats stats_;
+
+  std::unordered_map<ProgramKey, std::unique_ptr<ProgramState>> programs_;
+  std::vector<RankId> patch_owner_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  // Master-side completion queue (workers push, master drains).
+  std::mutex completion_mutex_;
+  std::vector<Completion> completions_;
+  std::atomic<std::int64_t> completions_pending_{0};
+
+  // First exception thrown inside a worker; rethrown by the master.
+  std::mutex error_mutex_;
+  std::exception_ptr worker_error_;
+
+  // Remote streams staged per destination rank, flushed as one message.
+  std::vector<std::vector<Stream>> remote_staging_;
+
+  std::int64_t local_remaining_ = 0;
+  std::int64_t active_programs_ = 0;  ///< programs Queued or Running
+  std::uint64_t enqueue_seq_ = 0;
+};
+
+}  // namespace jsweep::core

@@ -1,0 +1,45 @@
+#include "core/stream.hpp"
+
+namespace jsweep::core {
+
+namespace {
+
+struct WireKey {
+  std::int32_t patch;
+  std::int32_t task;
+};
+
+}  // namespace
+
+comm::Bytes pack_streams(const std::vector<Stream>& streams) {
+  std::size_t bytes = sizeof(std::uint32_t);
+  for (const auto& s : streams)
+    bytes += 4 * sizeof(WireKey) / 2 + sizeof(std::uint64_t) + s.data.size();
+  comm::ByteWriter w(bytes);
+  w.write(static_cast<std::uint32_t>(streams.size()));
+  for (const auto& s : streams) {
+    w.write(WireKey{s.src.patch.value(), s.src.task.value()});
+    w.write(WireKey{s.dst.patch.value(), s.dst.task.value()});
+    w.write_vector(s.data);
+  }
+  return w.take();
+}
+
+std::vector<Stream> unpack_streams(const comm::Bytes& payload) {
+  comm::ByteReader r(payload);
+  const auto count = r.read<std::uint32_t>();
+  std::vector<Stream> streams;
+  streams.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Stream s;
+    const auto src = r.read<WireKey>();
+    const auto dst = r.read<WireKey>();
+    s.src = {PatchId{src.patch}, TaskTag{src.task}};
+    s.dst = {PatchId{dst.patch}, TaskTag{dst.task}};
+    s.data = r.read_vector<std::byte>();
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+}  // namespace jsweep::core

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file stream.hpp
+/// The stream abstraction (Fig. 6 of the paper): the unit of communication
+/// between patch-programs. A stream names its source and target
+/// (patch, task) pairs and carries an opaque user payload; the runtime
+/// routes it to wherever the target patch-program lives.
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/serialize.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::core {
+
+struct Stream {
+  ProgramKey src;
+  ProgramKey dst;
+  comm::Bytes data;
+
+  [[nodiscard]] std::size_t byte_size() const { return data.size(); }
+};
+
+/// Pack a batch of streams into one wire message (the pack/unpack cost of
+/// Fig. 16 lives here).
+comm::Bytes pack_streams(const std::vector<Stream>& streams);
+
+/// Inverse of pack_streams.
+std::vector<Stream> unpack_streams(const comm::Bytes& payload);
+
+}  // namespace jsweep::core

@@ -1,0 +1,108 @@
+#include "core/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "support/check.hpp"
+
+namespace jsweep::core {
+
+struct ThreadPool::Batch {
+  std::int64_t n = 0;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<int> running{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  bool done = false;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  JSWEEP_CHECK(threads >= 0);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != nullptr; });
+      if (stop_) return;
+      batch = batch_;
+      batch->running.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (;;) {
+      const auto i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->n) break;
+      try {
+        (*batch->fn)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(batch->error_mutex);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (batch->running.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          batch_ == batch) {
+        // Last worker out flags completion; caller also participates, so
+        // "done" really means the index space is exhausted.
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t n,
+                              const std::function<void(std::int64_t)>& fn) {
+  JSWEEP_CHECK(n >= 0);
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+
+  // The caller works too — no idle spin while the pool churns.
+  for (;;) {
+    const auto i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(batch.error_mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+  }
+
+  // Wait for stragglers still inside fn.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_ = nullptr;  // prevent new workers from joining this batch
+    done_cv_.wait(lock, [&] {
+      return batch.running.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace jsweep::core

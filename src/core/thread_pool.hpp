@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Minimal fork-join pool used by the BSP engine's compute phase and the
+/// Sn solver's embarrassingly-parallel loops. (The data-driven engine has
+/// its own long-lived master/worker threads and does not use this.)
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsweep::core {
+
+class ThreadPool {
+ public:
+  /// `threads` workers; 0 means run everything inline on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(i) for i in [0, n), striped across the pool; blocks until all
+  /// iterations complete. Exceptions from fn propagate to the caller
+  /// (first one wins).
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;  // current batch, guarded by mutex_
+  bool stop_ = false;
+};
+
+}  // namespace jsweep::core

@@ -1,0 +1,56 @@
+#include "graph/coarsen.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/check.hpp"
+
+namespace jsweep::graph {
+
+CoarsenedGraph coarsen(const Digraph& fine,
+                       const std::vector<std::int32_t>& cluster_of,
+                       std::int32_t num_clusters) {
+  const auto n = fine.num_vertices();
+  JSWEEP_CHECK(static_cast<std::int32_t>(cluster_of.size()) == n);
+  JSWEEP_CHECK(num_clusters > 0);
+
+  CoarsenedGraph cg;
+  cg.num_clusters = num_clusters;
+  cg.members.resize(static_cast<std::size_t>(num_clusters));
+  for (std::int32_t v = 0; v < n; ++v) {
+    const auto c = cluster_of[static_cast<std::size_t>(v)];
+    JSWEEP_CHECK_MSG(c >= 0 && c < num_clusters,
+                     "vertex " << v << " in cluster " << c);
+    cg.members[static_cast<std::size_t>(c)].push_back(v);
+  }
+
+  // Aggregate fine edges per (cluster_u, cluster_v) pair, checking the
+  // execution-order premise along the way.
+  std::map<std::pair<std::int32_t, std::int32_t>,
+           std::vector<std::pair<std::int32_t, std::int32_t>>>
+      agg;
+  for (std::int32_t u = 0; u < n; ++u) {
+    const auto cu = cluster_of[static_cast<std::size_t>(u)];
+    fine.for_out(u, [&](std::int32_t v) {
+      const auto cv = cluster_of[static_cast<std::size_t>(v)];
+      JSWEEP_CHECK_MSG(cu <= cv, "fine edge (" << u << "→" << v
+                                               << ") goes backward in "
+                                                  "cluster order: "
+                                               << cu << "→" << cv);
+      if (cu != cv) agg[{cu, cv}].emplace_back(u, v);
+    });
+  }
+
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(agg.size());
+  cg.edge_members.reserve(agg.size());
+  for (auto& [key, fines] : agg) {
+    edges.push_back(key);
+    cg.coarse_edges.push_back(key);
+    cg.edge_members.push_back(std::move(fines));
+  }
+  cg.coarse = Digraph(num_clusters, edges);
+  return cg;
+}
+
+}  // namespace jsweep::graph

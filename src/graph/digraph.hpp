@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file digraph.hpp
+/// Directed graph in CSR form plus the topological utilities the sweep
+/// scheduler relies on.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace jsweep::graph {
+
+/// Immutable CSR directed graph over vertices [0, n).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Build from an edge list. Parallel edges are kept (callers that care
+  /// deduplicate first); vertex count must cover all endpoints.
+  Digraph(std::int32_t num_vertices,
+          const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
+
+  [[nodiscard]] std::int32_t num_vertices() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(targets_.size());
+  }
+
+  [[nodiscard]] std::int64_t out_degree(std::int32_t v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+  template <class Fn>
+  void for_out(std::int32_t v, Fn&& fn) const {
+    for (auto e = offsets_[static_cast<std::size_t>(v)];
+         e < offsets_[static_cast<std::size_t>(v) + 1]; ++e)
+      fn(targets_[static_cast<std::size_t>(e)]);
+  }
+
+  /// In-degree of every vertex.
+  [[nodiscard]] std::vector<std::int32_t> in_degrees() const;
+
+  /// Edge-reversed copy.
+  [[nodiscard]] Digraph reversed() const;
+
+  /// Kahn topological order; nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<std::int32_t>> topological_order()
+      const;
+
+  [[nodiscard]] bool is_acyclic() const {
+    return topological_order().has_value();
+  }
+
+  /// Some cycle as a vertex sequence (v0, v1, ..., v0-reachable), empty if
+  /// acyclic. Used for diagnostics when a mesh+direction is unsweepable.
+  [[nodiscard]] std::vector<std::int32_t> find_cycle() const;
+
+ private:
+  std::int32_t n_ = 0;
+  std::vector<std::int64_t> offsets_{0};
+  std::vector<std::int32_t> targets_;
+};
+
+}  // namespace jsweep::graph

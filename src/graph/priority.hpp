@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file priority.hpp
+/// The paper's priority strategies (Sec. V-D), usable at both levels of the
+/// two-level hierarchy:
+///   - vertex level: orders ready vertices inside one patch-program;
+///   - patch level:  orders active patch-programs on a rank.
+///
+/// Strategies (higher priority value = scheduled earlier):
+///   BFS   breadth-first level from the DAG's sources: upwind first, favors
+///         exposing parallelism early;
+///   LDCP  longest distance on critical path: vertices with the longest
+///         remaining downstream chain first (structured meshes);
+///   SLBD  shortest local boundary distance: vertices nearest (in sweep
+///         direction) to a cross-patch boundary first, so streams leave the
+///         patch as soon as possible (a DFS-flavored strategy; the paper's
+///         best performer).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/sweep_dag.hpp"
+
+namespace jsweep::graph {
+
+enum class PriorityStrategy { None, BFS, LDCP, SLBD };
+
+[[nodiscard]] std::string to_string(PriorityStrategy s);
+[[nodiscard]] PriorityStrategy priority_from_string(const std::string& name);
+
+/// BFS level of every vertex (sources = level 0), following edges forward.
+std::vector<std::int32_t> bfs_levels(const Digraph& g);
+
+/// Length (in edges) of the longest path from each vertex to any sink.
+/// Requires an acyclic graph.
+std::vector<std::int32_t> ldcp_depths(const Digraph& g);
+
+/// Shortest forward distance from each vertex to any vertex in `targets`
+/// (distance 0 for target vertices; INT32_MAX when unreachable).
+std::vector<std::int32_t> forward_distance_to(const Digraph& g,
+                                              const std::vector<char>& targets);
+
+/// Vertex priorities for one patch task graph. `strategy` maps to:
+///   BFS  : -level        (upwind levels first)
+///   LDCP : +depth        (longest remaining chain first)
+///   SLBD : -distance to a vertex with a remote outgoing edge
+///   None : 0 everywhere  (FIFO order)
+std::vector<double> vertex_priorities(PriorityStrategy strategy,
+                                      const PatchTaskGraph& g);
+
+/// Patch priorities for one direction's patch-level digraph (same
+/// semantics, with SLBD's boundary set = patches that feed other patches).
+std::vector<double> patch_priorities(PriorityStrategy strategy,
+                                     const Digraph& patch_graph);
+
+/// The paper's combined (patch, angle) priority:
+///   prior(p, a) = prior(a) * C + prior(p)
+/// with C large enough that angle priority always dominates.
+inline constexpr double kAngleFactor = 1e8;
+
+[[nodiscard]] inline double combined_priority(double angle_prior,
+                                              double patch_prior) {
+  return angle_prior * kAngleFactor + patch_prior;
+}
+
+}  // namespace jsweep::graph

@@ -1,0 +1,220 @@
+#include "graph/sweep_dag.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace jsweep::graph {
+
+namespace {
+
+/// Finalize shared parts: build the CSR local digraph and initial counts.
+void finalize(PatchTaskGraph& g) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(g.local_edges.size());
+  for (const auto& e : g.local_edges) edges.emplace_back(e.u, e.v);
+  g.local = Digraph(g.num_vertices, edges);
+
+  g.initial_counts.assign(static_cast<std::size_t>(g.num_vertices), 0);
+  for (const auto& e : g.local_edges)
+    ++g.initial_counts[static_cast<std::size_t>(e.v)];
+  for (const auto& e : g.remote_in)
+    ++g.initial_counts[static_cast<std::size_t>(e.v)];
+}
+
+}  // namespace
+
+PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
+                                      const partition::PatchSet& ps,
+                                      PatchId patch, const mesh::Vec3& omega,
+                                      AngleId angle) {
+  PatchTaskGraph g;
+  g.patch = patch;
+  g.angle = angle;
+  const auto& cells = ps.cells(patch);
+  g.num_vertices = static_cast<std::int32_t>(cells.size());
+
+  for (std::int32_t li = 0; li < g.num_vertices; ++li) {
+    const CellId c = cells[static_cast<std::size_t>(li)];
+    for (int d = 0; d < 6; ++d) {
+      const auto dir = static_cast<mesh::FaceDir>(d);
+      const double mu =
+          dot(mesh::kFaceNormals[static_cast<std::size_t>(d)], omega);
+      if (mu <= kGrazingTol) continue;  // only outgoing faces from c
+      const auto nb = m.neighbor(c, dir);
+      if (!nb) continue;  // domain boundary
+      const std::int64_t face = structured_face_id(c, dir);
+      const PatchId nb_patch = ps.patch_of(*nb);
+      if (nb_patch == patch) {
+        g.local_edges.push_back({li, ps.local_index(*nb), face});
+      } else {
+        g.remote_out.push_back({li, face, nb_patch, nb->value()});
+      }
+    }
+    // Incoming remote edges: upwind neighbors in other patches.
+    for (int d = 0; d < 6; ++d) {
+      const auto dir = static_cast<mesh::FaceDir>(d);
+      const double mu =
+          dot(mesh::kFaceNormals[static_cast<std::size_t>(d)], omega);
+      if (mu >= -kGrazingTol) continue;  // only incoming faces of c
+      const auto nb = m.neighbor(c, dir);
+      if (!nb) continue;
+      const PatchId nb_patch = ps.patch_of(*nb);
+      if (nb_patch == patch) continue;  // covered as a local edge of nb
+      // The face, named from the upwind cell nb's outgoing direction.
+      const std::int64_t face = structured_face_id(*nb, mesh::opposite(dir));
+      g.remote_in.push_back({nb_patch, nb->value(), face, li});
+    }
+  }
+  finalize(g);
+  return g;
+}
+
+PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
+                                      const partition::PatchSet& ps,
+                                      PatchId patch, const mesh::Vec3& omega,
+                                      AngleId angle) {
+  PatchTaskGraph g;
+  g.patch = patch;
+  g.angle = angle;
+  const auto& cells = ps.cells(patch);
+  g.num_vertices = static_cast<std::int32_t>(cells.size());
+
+  for (std::int32_t li = 0; li < g.num_vertices; ++li) {
+    const CellId c = cells[static_cast<std::size_t>(li)];
+    for (const auto f : m.cell_faces(c)) {
+      const mesh::Vec3 area = m.outward_area(f, c);
+      const double an = norm(area);
+      const double flux = dot(area, omega);
+      if (flux <= kGrazingTol * an) continue;  // not an outflow face of c
+      const CellId nb = m.across(f, c);
+      if (!nb.valid()) continue;  // domain boundary
+      const PatchId nb_patch = ps.patch_of(nb);
+      if (nb_patch == patch) {
+        g.local_edges.push_back({li, ps.local_index(nb), f});
+      } else {
+        g.remote_out.push_back({li, f, nb_patch, nb.value()});
+      }
+    }
+    for (const auto f : m.cell_faces(c)) {
+      const mesh::Vec3 area = m.outward_area(f, c);
+      const double an = norm(area);
+      const double flux = dot(area, omega);
+      if (flux >= -kGrazingTol * an) continue;  // not an inflow face of c
+      const CellId nb = m.across(f, c);
+      if (!nb.valid()) continue;
+      const PatchId nb_patch = ps.patch_of(nb);
+      if (nb_patch == patch) continue;
+      g.remote_in.push_back({nb_patch, nb.value(), f, li});
+    }
+  }
+  finalize(g);
+  return g;
+}
+
+Digraph build_patch_level_digraph(const std::vector<PatchTaskGraph>& graphs,
+                                  int num_patches) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (const auto& g : graphs) {
+    for (const auto& e : g.remote_out) {
+      edges.emplace_back(g.patch.value(), e.dst_patch.value());
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Digraph(num_patches, edges);
+}
+
+namespace {
+
+template <class EdgeFn>
+Digraph patch_digraph_from_edges(int num_patches, EdgeFn&& emit_edges) {
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  emit_edges(edges);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Digraph(num_patches, edges);
+}
+
+}  // namespace
+
+Digraph build_patch_digraph(const mesh::StructuredMesh& m,
+                            const partition::PatchSet& ps,
+                            const mesh::Vec3& omega) {
+  return patch_digraph_from_edges(
+      ps.num_patches(),
+      [&](std::vector<std::pair<std::int32_t, std::int32_t>>& edges) {
+        for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+          const PatchId pc = ps.patch_of(CellId{c});
+          for (int d = 0; d < 6; ++d) {
+            const double mu =
+                dot(mesh::kFaceNormals[static_cast<std::size_t>(d)], omega);
+            if (mu <= kGrazingTol) continue;
+            const auto nb =
+                m.neighbor(CellId{c}, static_cast<mesh::FaceDir>(d));
+            if (!nb) continue;
+            const PatchId pn = ps.patch_of(*nb);
+            if (pn != pc) edges.emplace_back(pc.value(), pn.value());
+          }
+        }
+      });
+}
+
+Digraph build_patch_digraph(const mesh::TetMesh& m,
+                            const partition::PatchSet& ps,
+                            const mesh::Vec3& omega) {
+  return patch_digraph_from_edges(
+      ps.num_patches(),
+      [&](std::vector<std::pair<std::int32_t, std::int32_t>>& edges) {
+        for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+          const PatchId pc = ps.patch_of(CellId{c});
+          for (const auto f : m.cell_faces(CellId{c})) {
+            const mesh::Vec3 area = m.outward_area(f, CellId{c});
+            if (dot(area, omega) <= kGrazingTol * norm(area)) continue;
+            const CellId nb = m.across(f, CellId{c});
+            if (!nb.valid()) continue;
+            const PatchId pn = ps.patch_of(nb);
+            if (pn != pc) edges.emplace_back(pc.value(), pn.value());
+          }
+        }
+      });
+}
+
+Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
+                                  const mesh::Vec3& omega) {
+  JSWEEP_CHECK_MSG(m.num_cells() < (1LL << 31),
+                   "global digraph limited to 2^31 cells");
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    for (int d = 0; d < 6; ++d) {
+      const double mu =
+          dot(mesh::kFaceNormals[static_cast<std::size_t>(d)], omega);
+      if (mu <= kGrazingTol) continue;
+      const auto nb = m.neighbor(CellId{c}, static_cast<mesh::FaceDir>(d));
+      if (nb)
+        edges.emplace_back(static_cast<std::int32_t>(c),
+                           static_cast<std::int32_t>(nb->value()));
+    }
+  }
+  return Digraph(static_cast<std::int32_t>(m.num_cells()), edges);
+}
+
+Digraph build_global_cell_digraph(const mesh::TetMesh& m,
+                                  const mesh::Vec3& omega) {
+  JSWEEP_CHECK_MSG(m.num_cells() < (1LL << 31),
+                   "global digraph limited to 2^31 cells");
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    for (const auto f : m.cell_faces(CellId{c})) {
+      const mesh::Vec3 area = m.outward_area(f, CellId{c});
+      if (dot(area, omega) <= kGrazingTol * norm(area)) continue;
+      const CellId nb = m.across(f, CellId{c});
+      if (nb.valid())
+        edges.emplace_back(static_cast<std::int32_t>(c),
+                           static_cast<std::int32_t>(nb.value()));
+    }
+  }
+  return Digraph(static_cast<std::int32_t>(m.num_cells()), edges);
+}
+
+}  // namespace jsweep::graph

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file sweep_dag.hpp
+/// Sweep dependency graphs: for a patch p and sweeping direction Ω, the
+/// induced subgraph G_{p,t} of the paper (Sec. V-A) — vertices are the
+/// patch's local cells, edges point from upwind to downwind cells, and
+/// cross-patch dependencies are recorded as remote-in / remote-out edge
+/// lists that the runtime turns into streams.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "partition/patch_set.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::graph {
+
+/// Dependency edge inside a patch: local vertex u feeds local vertex v
+/// through mesh face `face`.
+struct LocalEdge {
+  std::int32_t u;
+  std::int32_t v;
+  std::int64_t face;
+};
+
+/// Dependency entering the patch: remote cell `src_cell` (owned by
+/// `src_patch`) feeds local vertex v through `face`.
+struct RemoteInEdge {
+  PatchId src_patch;
+  std::int64_t src_cell;
+  std::int64_t face;
+  std::int32_t v;
+};
+
+/// Dependency leaving the patch: local vertex u feeds remote cell
+/// `dst_cell` (owned by `dst_patch`) through `face`.
+struct RemoteOutEdge {
+  std::int32_t u;
+  std::int64_t face;
+  PatchId dst_patch;
+  std::int64_t dst_cell;
+};
+
+/// Face id encoding for structured meshes, where faces have no global
+/// table: face = cell*6 + dir, with `cell` the cell on the *low* side of
+/// the face... — we instead encode from the upwind cell's perspective:
+/// face = upwind_cell*6 + outgoing FaceDir. Helpers below decode.
+[[nodiscard]] inline std::int64_t structured_face_id(CellId upwind,
+                                                     mesh::FaceDir out_dir) {
+  return upwind.value() * 6 + static_cast<int>(out_dir);
+}
+[[nodiscard]] inline CellId structured_face_cell(std::int64_t face) {
+  return CellId{face / 6};
+}
+[[nodiscard]] inline mesh::FaceDir structured_face_dir(std::int64_t face) {
+  return static_cast<mesh::FaceDir>(face % 6);
+}
+
+/// The full dependency structure of one (patch, angle) task.
+struct PatchTaskGraph {
+  PatchId patch;
+  AngleId angle;
+  std::int32_t num_vertices = 0;  ///< = patch's local cell count
+  Digraph local;                  ///< intra-patch dependencies
+  std::vector<LocalEdge> local_edges;
+  std::vector<RemoteInEdge> remote_in;
+  std::vector<RemoteOutEdge> remote_out;
+  /// Initial dependency count per local vertex (local + remote upwind).
+  std::vector<std::int32_t> initial_counts;
+
+  [[nodiscard]] std::int64_t total_work() const { return num_vertices; }
+};
+
+/// Tolerance for grazing faces: |Ω·n̂| below this treats the face as
+/// carrying no flux (no dependency either way).
+inline constexpr double kGrazingTol = 1e-12;
+
+/// Build G_{p,t} for a structured mesh.
+PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
+                                      const partition::PatchSet& ps,
+                                      PatchId patch, const mesh::Vec3& omega,
+                                      AngleId angle);
+
+/// Build G_{p,t} for a tetrahedral mesh.
+PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
+                                      const partition::PatchSet& ps,
+                                      PatchId patch, const mesh::Vec3& omega,
+                                      AngleId angle);
+
+/// Patch-level digraph for one direction: vertex = patch, edge p→q iff any
+/// cell of p feeds any cell of q. Input is the per-patch task graphs of
+/// that direction (indexed by patch id). Used by patch-priority strategies.
+Digraph build_patch_level_digraph(const std::vector<PatchTaskGraph>& graphs,
+                                  int num_patches);
+
+/// Patch-level digraph built directly from the mesh (every rank can build
+/// the global patch graph without materializing all patch task graphs).
+Digraph build_patch_digraph(const mesh::StructuredMesh& m,
+                            const partition::PatchSet& ps,
+                            const mesh::Vec3& omega);
+Digraph build_patch_digraph(const mesh::TetMesh& m,
+                            const partition::PatchSet& ps,
+                            const mesh::Vec3& omega);
+
+/// Whole-mesh sweep digraph over (cell) vertices for one direction —
+/// O(cells) memory; used by tests and the serial reference solver to
+/// validate acyclicity and ordering.
+Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
+                                  const mesh::Vec3& omega);
+Digraph build_global_cell_digraph(const mesh::TetMesh& m,
+                                  const mesh::Vec3& omega);
+
+}  // namespace jsweep::graph

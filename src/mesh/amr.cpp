@@ -1,0 +1,254 @@
+#include "mesh/amr.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+
+namespace jsweep::mesh {
+
+namespace {
+
+struct TagView {
+  Index3 dims;
+  const std::vector<char>* tags;
+
+  [[nodiscard]] bool at(int i, int j, int k) const {
+    return (*tags)[static_cast<std::size_t>(
+               i + static_cast<std::int64_t>(dims.i) *
+                       (j + static_cast<std::int64_t>(dims.j) * k))] != 0;
+  }
+};
+
+/// Tight bounding box of the tagged cells inside `box`; empty box (zero
+/// volume) when none are tagged.
+Box shrink_to_tags(const TagView& view, const Box& box) {
+  Box tight{{box.hi.i, box.hi.j, box.hi.k}, {box.lo.i, box.lo.j, box.lo.k}};
+  bool any = false;
+  for (int k = box.lo.k; k < box.hi.k; ++k) {
+    for (int j = box.lo.j; j < box.hi.j; ++j) {
+      for (int i = box.lo.i; i < box.hi.i; ++i) {
+        if (!view.at(i, j, k)) continue;
+        any = true;
+        tight.lo = {std::min(tight.lo.i, i), std::min(tight.lo.j, j),
+                    std::min(tight.lo.k, k)};
+        tight.hi = {std::max(tight.hi.i, i + 1), std::max(tight.hi.j, j + 1),
+                    std::max(tight.hi.k, k + 1)};
+      }
+    }
+  }
+  if (!any) return Box{{0, 0, 0}, {0, 0, 0}};
+  return tight;
+}
+
+std::int64_t count_tags(const TagView& view, const Box& box) {
+  std::int64_t count = 0;
+  for (int k = box.lo.k; k < box.hi.k; ++k)
+    for (int j = box.lo.j; j < box.hi.j; ++j)
+      for (int i = box.lo.i; i < box.hi.i; ++i)
+        count += view.at(i, j, k) ? 1 : 0;
+  return count;
+}
+
+/// Tag histogram ("signature") along one axis of a box.
+std::vector<std::int64_t> signature(const TagView& view, const Box& box,
+                                    int axis) {
+  const int lo = axis == 0 ? box.lo.i : axis == 1 ? box.lo.j : box.lo.k;
+  const int hi = axis == 0 ? box.hi.i : axis == 1 ? box.hi.j : box.hi.k;
+  std::vector<std::int64_t> sig(static_cast<std::size_t>(hi - lo), 0);
+  for (int k = box.lo.k; k < box.hi.k; ++k)
+    for (int j = box.lo.j; j < box.hi.j; ++j)
+      for (int i = box.lo.i; i < box.hi.i; ++i) {
+        if (!view.at(i, j, k)) continue;
+        const int x = axis == 0 ? i : axis == 1 ? j : k;
+        ++sig[static_cast<std::size_t>(x - lo)];
+      }
+  return sig;
+}
+
+/// Choose a split plane index (relative offset in [min_w, len - min_w]) or
+/// -1 if the box should not be split along this axis.
+int choose_cut(const std::vector<std::int64_t>& sig, int min_w) {
+  const int len = static_cast<int>(sig.size());
+  if (len < 2 * min_w) return -1;
+  // 1. A zero in the signature is a free cut.
+  for (int x = min_w; x <= len - min_w; ++x)
+    if (sig[static_cast<std::size_t>(x - 1)] == 0 ||
+        sig[static_cast<std::size_t>(x)] == 0)
+      return x;
+  // 2. Strongest sign change of the discrete Laplacian.
+  int best = -1;
+  std::int64_t best_mag = 0;
+  for (int x = std::max(min_w, 2); x <= std::min(len - min_w, len - 2);
+       ++x) {
+    const std::int64_t d1 = sig[static_cast<std::size_t>(x - 2)] -
+                            2 * sig[static_cast<std::size_t>(x - 1)] +
+                            sig[static_cast<std::size_t>(x)];
+    const std::int64_t d2 = sig[static_cast<std::size_t>(x - 1)] -
+                            2 * sig[static_cast<std::size_t>(x)] +
+                            sig[static_cast<std::size_t>(
+                                std::min(len - 1, x + 1))];
+    if ((d1 < 0) != (d2 < 0)) {
+      const std::int64_t mag = std::abs(d1 - d2);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = x;
+      }
+    }
+  }
+  if (best >= 0) return best;
+  // 3. Midpoint.
+  return len / 2;
+}
+
+}  // namespace
+
+std::vector<Box> cluster_tagged_cells(Index3 dims,
+                                      const std::vector<char>& tags,
+                                      double min_efficiency,
+                                      int min_box_width) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(tags.size()) ==
+               static_cast<std::int64_t>(dims.i) * dims.j * dims.k);
+  JSWEEP_CHECK(min_efficiency > 0.0 && min_efficiency <= 1.0);
+  JSWEEP_CHECK(min_box_width >= 1);
+  const TagView view{dims, &tags};
+
+  std::vector<Box> accepted;
+  std::deque<Box> queue;
+  {
+    const Box whole = shrink_to_tags(view, {{0, 0, 0}, dims});
+    if (whole.volume() == 0) return accepted;  // nothing tagged
+    queue.push_back(whole);
+  }
+
+  while (!queue.empty()) {
+    Box box = queue.front();
+    queue.pop_front();
+    box = shrink_to_tags(view, box);
+    if (box.volume() == 0) continue;
+    const std::int64_t tagged = count_tags(view, box);
+    const double efficiency =
+        static_cast<double>(tagged) / static_cast<double>(box.volume());
+    const Index3 ext{box.hi.i - box.lo.i, box.hi.j - box.lo.j,
+                     box.hi.k - box.lo.k};
+    const bool splittable = ext.i >= 2 * min_box_width ||
+                            ext.j >= 2 * min_box_width ||
+                            ext.k >= 2 * min_box_width;
+    if (efficiency >= min_efficiency || !splittable) {
+      accepted.push_back(box);
+      continue;
+    }
+    // Split along the longest splittable axis at the chosen cut.
+    int axis = 0;
+    int best_len = 0;
+    for (int a = 0; a < 3; ++a) {
+      const int len = a == 0 ? ext.i : a == 1 ? ext.j : ext.k;
+      if (len >= 2 * min_box_width && len > best_len) {
+        best_len = len;
+        axis = a;
+      }
+    }
+    const auto sig = signature(view, box, axis);
+    const int cut = choose_cut(sig, min_box_width);
+    JSWEEP_ASSERT(cut > 0);
+    Box left = box;
+    Box right = box;
+    switch (axis) {
+      case 0:
+        left.hi.i = box.lo.i + cut;
+        right.lo.i = box.lo.i + cut;
+        break;
+      case 1:
+        left.hi.j = box.lo.j + cut;
+        right.lo.j = box.lo.j + cut;
+        break;
+      default:
+        left.hi.k = box.lo.k + cut;
+        right.lo.k = box.lo.k + cut;
+        break;
+    }
+    queue.push_back(left);
+    queue.push_back(right);
+  }
+  return accepted;
+}
+
+AmrHierarchy::AmrHierarchy(const StructuredMesh& coarse,
+                           const std::function<bool(CellId)>& tag, int ratio,
+                           double min_efficiency, int nesting_buffer)
+    : coarse_(coarse), ratio_(ratio) {
+  JSWEEP_CHECK(ratio >= 2);
+  JSWEEP_CHECK(nesting_buffer >= 0);
+  const Index3 d = coarse.dims();
+
+  std::vector<char> tags(static_cast<std::size_t>(coarse.num_cells()), 0);
+  for (std::int64_t c = 0; c < coarse.num_cells(); ++c)
+    tags[static_cast<std::size_t>(c)] = tag(CellId{c}) ? 1 : 0;
+
+  // Grow tags by the nesting buffer, then cluster once: grown boxes stay
+  // disjoint because clustering happens after the growth.
+  if (nesting_buffer > 0) {
+    std::vector<char> grown = tags;
+    for (std::int64_t c = 0; c < coarse.num_cells(); ++c) {
+      if (!tags[static_cast<std::size_t>(c)]) continue;
+      const Index3 p = coarse.index_of(CellId{c});
+      for (int dk = -nesting_buffer; dk <= nesting_buffer; ++dk)
+        for (int dj = -nesting_buffer; dj <= nesting_buffer; ++dj)
+          for (int di = -nesting_buffer; di <= nesting_buffer; ++di) {
+            const Index3 q{p.i + di, p.j + dj, p.k + dk};
+            if (coarse.box().contains(q))
+              grown[static_cast<std::size_t>(
+                  coarse.cell_at(q).value())] = 1;
+          }
+    }
+    tags.swap(grown);
+  }
+
+  coarse_boxes_ = cluster_tagged_cells(d, tags, min_efficiency);
+
+  refined_.assign(static_cast<std::size_t>(coarse.num_cells()), 0);
+  for (const auto& box : coarse_boxes_) {
+    for (int k = box.lo.k; k < box.hi.k; ++k)
+      for (int j = box.lo.j; j < box.hi.j; ++j)
+        for (int i = box.lo.i; i < box.hi.i; ++i)
+          refined_[static_cast<std::size_t>(
+              coarse.cell_at({i, j, k}).value())] = 1;
+    fine_boxes_.push_back(
+        {{box.lo.i * ratio, box.lo.j * ratio, box.lo.k * ratio},
+         {box.hi.i * ratio, box.hi.j * ratio, box.hi.k * ratio}});
+    fine_cells_ += fine_boxes_.back().volume();
+  }
+  for (const auto r : refined_) uncovered_coarse_ += r ? 0 : 1;
+}
+
+bool AmrHierarchy::is_refined(CellId coarse_cell) const {
+  return refined_[static_cast<std::size_t>(coarse_cell.value())] != 0;
+}
+
+StructuredMesh AmrHierarchy::box_mesh(std::size_t box_index) const {
+  JSWEEP_CHECK(box_index < fine_boxes_.size());
+  const Box& fine = fine_boxes_[box_index];
+  const Box& coarse_box = coarse_boxes_[box_index];
+  const Vec3 h = coarse_.spacing() / static_cast<double>(ratio_);
+  const Vec3 origin{
+      coarse_.origin().x + coarse_box.lo.i * coarse_.spacing().x,
+      coarse_.origin().y + coarse_box.lo.j * coarse_.spacing().y,
+      coarse_.origin().z + coarse_box.lo.k * coarse_.spacing().z};
+  StructuredMesh mesh({fine.hi.i - fine.lo.i, fine.hi.j - fine.lo.j,
+                       fine.hi.k - fine.lo.k},
+                      h, origin);
+  if (!coarse_.materials().empty()) {
+    std::vector<int> mats(static_cast<std::size_t>(mesh.num_cells()));
+    for (std::int64_t c = 0; c < mesh.num_cells(); ++c) {
+      const Index3 p = mesh.index_of(CellId{c});
+      const CellId parent = coarse_.cell_at({coarse_box.lo.i + p.i / ratio_,
+                                             coarse_box.lo.j + p.j / ratio_,
+                                             coarse_box.lo.k + p.k / ratio_});
+      mats[static_cast<std::size_t>(c)] = coarse_.material(parent);
+    }
+    mesh.set_materials(std::move(mats));
+  }
+  return mesh;
+}
+
+}  // namespace jsweep::mesh

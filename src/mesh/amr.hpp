@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file amr.hpp
+/// Block-structured AMR: the "A" in JASMIN (J Adaptive Structured Mesh
+/// INfrastructure). The paper's sweep experiments run on uniform meshes,
+/// but the framework substrate is an AMR patch hierarchy — this module
+/// supplies it: Berger–Rigoutsos clustering of tagged cells into refined
+/// boxes and a two-level hierarchy with proper nesting, from which
+/// per-level patch decompositions (and sweeps) can be built.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mesh/structured_mesh.hpp"
+
+namespace jsweep::mesh {
+
+/// Berger–Rigoutsos box generation: cluster the tagged cells of a `dims`
+/// lattice into a small set of boxes, recursively splitting any box whose
+/// fill efficiency (tagged / volume) is below `min_efficiency`. Splits
+/// prefer zero-histogram cuts, then the strongest Laplacian inflection,
+/// then the midpoint of the longest axis.
+///
+/// Returns boxes that (a) cover every tagged cell, (b) contain no
+/// untagged-only boxes below the efficiency threshold unless they are
+/// single cells, and (c) do not overlap.
+std::vector<Box> cluster_tagged_cells(Index3 dims,
+                                      const std::vector<char>& tags,
+                                      double min_efficiency = 0.7,
+                                      int min_box_width = 2);
+
+/// A two-level refinement hierarchy over a coarse structured mesh.
+class AmrHierarchy {
+ public:
+  /// Tag coarse cells with `tag`, cluster them into boxes, refine each box
+  /// by `ratio` (cell-wise), and grow fine boxes by `nesting_buffer`
+  /// coarse cells (clipped to the domain) so features stay properly
+  /// nested after one advance.
+  AmrHierarchy(const StructuredMesh& coarse,
+               const std::function<bool(CellId)>& tag, int ratio = 2,
+               double min_efficiency = 0.7, int nesting_buffer = 1);
+
+  [[nodiscard]] const StructuredMesh& coarse() const { return coarse_; }
+  [[nodiscard]] int ratio() const { return ratio_; }
+
+  /// Refined boxes in *fine* index space (disjoint).
+  [[nodiscard]] const std::vector<Box>& fine_boxes() const {
+    return fine_boxes_;
+  }
+  /// The same boxes in coarse index space.
+  [[nodiscard]] const std::vector<Box>& coarse_boxes() const {
+    return coarse_boxes_;
+  }
+
+  /// Total fine cells across all boxes.
+  [[nodiscard]] std::int64_t fine_cells() const { return fine_cells_; }
+  /// Coarse cells not covered by any refined box.
+  [[nodiscard]] std::int64_t uncovered_coarse_cells() const {
+    return uncovered_coarse_;
+  }
+  /// Composite cell count: uncovered coarse + fine.
+  [[nodiscard]] std::int64_t composite_cells() const {
+    return uncovered_coarse_ + fine_cells_;
+  }
+
+  /// Whether a coarse cell is covered by a refined box.
+  [[nodiscard]] bool is_refined(CellId coarse_cell) const;
+
+  /// Materialize one refined box as a standalone mesh (geometry aligned
+  /// with the coarse mesh, materials injected from the coarse parent).
+  [[nodiscard]] StructuredMesh box_mesh(std::size_t box_index) const;
+
+ private:
+  const StructuredMesh& coarse_;
+  int ratio_;
+  std::vector<Box> coarse_boxes_;
+  std::vector<Box> fine_boxes_;
+  std::vector<char> refined_;  ///< per coarse cell
+  std::int64_t fine_cells_ = 0;
+  std::int64_t uncovered_coarse_ = 0;
+};
+
+}  // namespace jsweep::mesh

@@ -1,0 +1,186 @@
+#include "mesh/generators.hpp"
+
+#include <unordered_map>
+
+#include "support/rng.hpp"
+
+namespace jsweep::mesh {
+
+StructuredMesh make_cube_mesh(int n, double side) {
+  JSWEEP_CHECK(n > 0 && side > 0);
+  const double h = side / n;
+  return StructuredMesh({n, n, n}, {h, h, h});
+}
+
+void apply_kobayashi_materials(StructuredMesh& m) {
+  // Problem coordinates: the mesh box is mapped onto [0,100]³.
+  const Index3 d = m.dims();
+  const Vec3 sp = m.spacing();
+  const double sx = 100.0 / (d.i * sp.x);
+  const double sy = 100.0 / (d.j * sp.y);
+  const double sz = 100.0 / (d.k * sp.z);
+
+  std::vector<int> mats(static_cast<std::size_t>(m.num_cells()), kMatShield);
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    const Vec3 p0 = m.cell_center(CellId{c});
+    const Vec3 p{(p0.x - m.origin().x) * sx, (p0.y - m.origin().y) * sy,
+                 (p0.z - m.origin().z) * sz};
+    int mat = kMatShield;
+    if (p.x < 10 && p.y < 10 && p.z < 10) {
+      mat = kMatSource;
+    } else if ((p.x < 10 && p.y < 60 && p.z < 10) ||        // duct leg 1 (+y)
+               (p.x < 40 && p.y > 50 && p.y < 60 && p.z < 10) ||  // leg 2 (+x)
+               (p.x > 30 && p.x < 40 && p.y > 50 && p.y < 60 &&
+                p.z < 60)) {  // leg 3 (+z)
+      mat = kMatVoid;
+    }
+    mats[static_cast<std::size_t>(c)] = mat;
+  }
+  m.set_materials(std::move(mats));
+}
+
+StructuredMesh make_kobayashi_mesh(int n) {
+  StructuredMesh m = make_cube_mesh(n);
+  apply_kobayashi_materials(m);
+  return m;
+}
+
+TetMesh tetrahedralize_lattice(Index3 dims, Vec3 spacing, Vec3 origin,
+                               const KeepFn& keep,
+                               const MaterialFn& material) {
+  JSWEEP_CHECK(dims.i > 0 && dims.j > 0 && dims.k > 0);
+
+  // Kuhn/Freudenthal subdivision: 6 tets per hex, all sharing the main
+  // diagonal c000–c111. Using the same split in every hex makes the
+  // triangulation conforming across the lattice.
+  //
+  // Local corner numbering: bit 0 = +x, bit 1 = +y, bit 2 = +z.
+  static constexpr std::array<std::array<int, 4>, 6> kKuhnTets = {{
+      {0, 1, 3, 7},  // x, then y, then z
+      {0, 3, 2, 7},
+      {0, 2, 6, 7},
+      {0, 6, 4, 7},
+      {0, 4, 5, 7},
+      {0, 5, 1, 7},
+  }};
+
+  const auto node_key = [&](int i, int j, int k) -> std::int64_t {
+    return i + static_cast<std::int64_t>(dims.i + 1) *
+                   (j + static_cast<std::int64_t>(dims.j + 1) * k);
+  };
+
+  std::unordered_map<std::int64_t, std::int32_t> node_map;
+  std::vector<Vec3> nodes;
+  std::vector<std::array<std::int32_t, 4>> tets;
+  std::vector<int> mats;
+
+  const auto get_node = [&](int i, int j, int k) -> std::int32_t {
+    const std::int64_t key = node_key(i, j, k);
+    auto it = node_map.find(key);
+    if (it != node_map.end()) return it->second;
+    const auto id = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back({origin.x + i * spacing.x, origin.y + j * spacing.y,
+                     origin.z + k * spacing.z});
+    node_map.emplace(key, id);
+    return id;
+  };
+
+  for (int k = 0; k < dims.k; ++k) {
+    for (int j = 0; j < dims.j; ++j) {
+      for (int i = 0; i < dims.i; ++i) {
+        const Vec3 center{origin.x + (i + 0.5) * spacing.x,
+                          origin.y + (j + 0.5) * spacing.y,
+                          origin.z + (k + 0.5) * spacing.z};
+        if (!keep(center)) continue;
+        std::array<std::int32_t, 8> corner;
+        for (int b = 0; b < 8; ++b)
+          corner[static_cast<std::size_t>(b)] =
+              get_node(i + (b & 1), j + ((b >> 1) & 1), k + ((b >> 2) & 1));
+        const int mat = material(center);
+        for (const auto& t : kKuhnTets) {
+          tets.push_back({corner[static_cast<std::size_t>(t[0])],
+                          corner[static_cast<std::size_t>(t[1])],
+                          corner[static_cast<std::size_t>(t[2])],
+                          corner[static_cast<std::size_t>(t[3])]});
+          mats.push_back(mat);
+        }
+      }
+    }
+  }
+  JSWEEP_CHECK_MSG(!tets.empty(), "lattice predicate kept no cells");
+
+  TetMesh mesh(std::move(nodes), std::move(tets));
+  mesh.set_materials(std::move(mats));
+  return mesh;
+}
+
+TetMesh make_ball_mesh(int n, double radius) {
+  JSWEEP_CHECK(n > 1 && radius > 0);
+  const double h = 2.0 * radius / n;
+  const Vec3 origin{-radius, -radius, -radius};
+  const double inner = radius / 2.0;
+  return tetrahedralize_lattice(
+      {n, n, n}, {h, h, h}, origin,
+      [radius](const Vec3& p) { return dot(p, p) <= radius * radius; },
+      [inner](const Vec3& p) {
+        return dot(p, p) <= inner * inner ? kMatCore : kMatShield;
+      });
+}
+
+TetMesh make_reactor_mesh(int n, double radius, double height) {
+  JSWEEP_CHECK(n > 1 && radius > 0 && height > 0);
+  const double h = 2.0 * radius / n;
+  const int nz = std::max(1, static_cast<int>(height / h));
+  const Vec3 origin{-radius, -radius, 0.0};
+  const double core_r = 0.6 * radius;
+  return tetrahedralize_lattice(
+      {n, n, nz}, {h, h, height / nz}, origin,
+      [radius](const Vec3& p) {
+        return p.x * p.x + p.y * p.y <= radius * radius;
+      },
+      [core_r](const Vec3& p) {
+        return p.x * p.x + p.y * p.y <= core_r * core_r ? kMatCore
+                                                        : kMatReflector;
+      });
+}
+
+TetMesh make_jittered_ball_mesh(int n, double radius, double jitter,
+                                std::uint64_t seed) {
+  JSWEEP_CHECK(jitter >= 0.0 && jitter < 0.5);
+  const TetMesh regular = make_ball_mesh(n, radius);
+  const double h = 2.0 * radius / n;
+
+  // Displace nodes that are not on the mesh surface (boundary faces keep
+  // their nodes so the outer shape survives).
+  std::vector<char> on_boundary(
+      static_cast<std::size_t>(regular.num_nodes()), 0);
+  for (std::int64_t f = 0; f < regular.num_faces(); ++f) {
+    const TetFace& face = regular.face(f);
+    if (!face.is_boundary()) continue;
+    for (const auto v : face.nodes)
+      on_boundary[static_cast<std::size_t>(v)] = 1;
+  }
+
+  Rng rng(seed);
+  std::vector<Vec3> nodes = regular.nodes();
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    if (on_boundary[v]) continue;
+    nodes[v] += Vec3{rng.uniform(-jitter, jitter) * h,
+                     rng.uniform(-jitter, jitter) * h,
+                     rng.uniform(-jitter, jitter) * h};
+  }
+
+  std::vector<std::array<std::int32_t, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(regular.num_cells()));
+  std::vector<int> mats;
+  mats.reserve(static_cast<std::size_t>(regular.num_cells()));
+  for (std::int64_t c = 0; c < regular.num_cells(); ++c) {
+    tets.push_back(regular.tet(CellId{c}));
+    mats.push_back(regular.material(CellId{c}));
+  }
+  TetMesh jittered(std::move(nodes), std::move(tets));
+  jittered.set_materials(std::move(mats));
+  return jittered;
+}
+
+}  // namespace jsweep::mesh

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file generators.hpp
+/// Mesh generators for the paper's benchmark geometries.
+///
+/// - Kobayashi cube (structured): the paper's JSNT-S workload. We use the
+///   classic Kobayashi dog-leg void duct in a shield with a corner source;
+///   material ids: 0 = source, 1 = void duct, 2 = shield.
+/// - Ball (unstructured): hexahedral lattice clipped to a sphere, each hex
+///   split into 6 tets by the Kuhn/Freudenthal subdivision (consistent
+///   across the lattice, so shared faces match exactly).
+/// - Reactor core (unstructured): clipped cylinder with concentric material
+///   rings (inner core / outer reflector), same tetrahedralization.
+
+#include <functional>
+
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace jsweep::mesh {
+
+/// Material ids used by the benchmark problems.
+enum Material : int {
+  kMatSource = 0,
+  kMatVoid = 1,
+  kMatShield = 2,
+  kMatCore = 3,
+  kMatReflector = 4,
+};
+
+/// Cubic structured mesh: n×n×n cells spanning [0, side]³.
+StructuredMesh make_cube_mesh(int n, double side = 100.0);
+
+/// Assign Kobayashi-style materials to a cube mesh assumed to span
+/// [0, 100]³ in problem coordinates (any resolution): source [0,10]³,
+/// dog-leg void duct, shield elsewhere.
+void apply_kobayashi_materials(StructuredMesh& m);
+
+/// Convenience: make_cube_mesh + apply_kobayashi_materials. `n = 400`
+/// reproduces the paper's Kobayashi-400 mesh.
+StructuredMesh make_kobayashi_mesh(int n);
+
+/// Predicate deciding whether a lattice hex (by its center) is kept, and a
+/// material assignment for kept cells.
+using KeepFn = std::function<bool(const Vec3&)>;
+using MaterialFn = std::function<int(const Vec3&)>;
+
+/// Core lattice-to-tets generator: keep hexes whose center satisfies
+/// `keep`, split each into 6 Kuhn tets, assign materials by hex center.
+TetMesh tetrahedralize_lattice(Index3 dims, Vec3 spacing, Vec3 origin,
+                               const KeepFn& keep, const MaterialFn& material);
+
+/// Tetrahedral ball of radius `radius` centred at the origin, with `n`
+/// lattice cells across the diameter. Cell count grows as ~ (π/6)·6·n³.
+/// Material: kMatCore inside radius/2, kMatShield outside (gives the Sn
+/// solver a scattering/absorbing split to iterate on).
+TetMesh make_ball_mesh(int n, double radius = 50.0);
+
+/// Tetrahedral reactor core: cylinder of radius `radius` and height
+/// `height`, `n` lattice cells across the diameter. Inner 60% of the radius
+/// is kMatCore (fissile-like source+scatter), the rest kMatReflector.
+TetMesh make_reactor_mesh(int n, double radius = 50.0, double height = 100.0);
+
+/// Deforming-mesh model: a tetrahedral ball whose interior nodes are
+/// displaced by up to `jitter` cell widths (deterministic in `seed`).
+/// This is the paper's motivating "deforming structured mesh" case — the
+/// regular KBA decomposition no longer exists, and strong jitter can even
+/// produce cyclic sweep dependencies that the DAG machinery must detect.
+/// Jitter ≤ ~0.25 keeps every tet positively oriented.
+TetMesh make_jittered_ball_mesh(int n, double radius, double jitter,
+                                std::uint64_t seed = 1);
+
+}  // namespace jsweep::mesh

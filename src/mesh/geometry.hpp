@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file geometry.hpp
+/// Small geometric value types shared by both mesh families.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+namespace jsweep::mesh {
+
+/// Double-precision 3-vector.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3&) const = default;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& v) { return std::sqrt(dot(v, v)); }
+
+inline Vec3 normalized(const Vec3& v) {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : Vec3{};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << "," << v.y << "," << v.z << ")";
+}
+
+/// Integer lattice coordinate.
+struct Index3 {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+
+  constexpr bool operator==(const Index3&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Index3& n) {
+  return os << "[" << n.i << "," << n.j << "," << n.k << "]";
+}
+
+/// Half-open axis-aligned index box [lo, hi).
+struct Box {
+  Index3 lo;
+  Index3 hi;
+
+  [[nodiscard]] constexpr bool contains(const Index3& p) const {
+    return p.i >= lo.i && p.i < hi.i && p.j >= lo.j && p.j < hi.j &&
+           p.k >= lo.k && p.k < hi.k;
+  }
+
+  [[nodiscard]] constexpr long long volume() const {
+    if (hi.i <= lo.i || hi.j <= lo.j || hi.k <= lo.k) return 0;
+    return static_cast<long long>(hi.i - lo.i) * (hi.j - lo.j) *
+           (hi.k - lo.k);
+  }
+
+  [[nodiscard]] constexpr Box intersect(const Box& o) const {
+    const auto mx = [](int a, int b) { return a > b ? a : b; };
+    const auto mn = [](int a, int b) { return a < b ? a : b; };
+    return {{mx(lo.i, o.lo.i), mx(lo.j, o.lo.j), mx(lo.k, o.lo.k)},
+            {mn(hi.i, o.hi.i), mn(hi.j, o.hi.j), mn(hi.k, o.hi.k)}};
+  }
+
+  constexpr bool operator==(const Box&) const = default;
+};
+
+/// The six axis-aligned face directions of a structured cell, in the fixed
+/// order used across the structured sweep code.
+enum class FaceDir : int { XLo = 0, XHi = 1, YLo = 2, YHi = 3, ZLo = 4, ZHi = 5 };
+
+inline constexpr std::array<Index3, 6> kFaceOffsets = {{
+    {-1, 0, 0}, {+1, 0, 0}, {0, -1, 0}, {0, +1, 0}, {0, 0, -1}, {0, 0, +1},
+}};
+
+inline constexpr std::array<Vec3, 6> kFaceNormals = {{
+    {-1, 0, 0}, {+1, 0, 0}, {0, -1, 0}, {0, +1, 0}, {0, 0, -1}, {0, 0, +1},
+}};
+
+/// The opposite face (XLo <-> XHi, ...).
+constexpr FaceDir opposite(FaceDir d) {
+  return static_cast<FaceDir>(static_cast<int>(d) ^ 1);
+}
+
+}  // namespace jsweep::mesh

@@ -1,0 +1,82 @@
+#include "mesh/refine.hpp"
+
+#include <unordered_map>
+
+namespace jsweep::mesh {
+
+StructuredMesh refine_uniform(const StructuredMesh& m) {
+  const Index3 d = m.dims();
+  StructuredMesh fine({d.i * 2, d.j * 2, d.k * 2}, m.spacing() / 2.0,
+                      m.origin());
+  if (!m.materials().empty()) {
+    std::vector<int> mats(static_cast<std::size_t>(fine.num_cells()));
+    for (std::int64_t c = 0; c < fine.num_cells(); ++c) {
+      const Index3 p = fine.index_of(CellId{c});
+      const CellId parent = m.cell_at({p.i / 2, p.j / 2, p.k / 2});
+      mats[static_cast<std::size_t>(c)] = m.material(parent);
+    }
+    fine.set_materials(std::move(mats));
+  }
+  return fine;
+}
+
+TetMesh refine_uniform(const TetMesh& m) {
+  std::vector<Vec3> nodes = m.nodes();
+  std::vector<std::array<std::int32_t, 4>> tets;
+  std::vector<int> mats;
+  tets.reserve(static_cast<std::size_t>(m.num_cells()) * 8);
+  mats.reserve(static_cast<std::size_t>(m.num_cells()) * 8);
+
+  // Global edge-midpoint table keyed by the sorted endpoint pair; shared
+  // edges resolve to the same midpoint node, keeping the mesh conforming.
+  std::unordered_map<std::uint64_t, std::int32_t> midpoints;
+  const auto midpoint = [&](std::int32_t a, std::int32_t b) -> std::int32_t {
+    if (a > b) std::swap(a, b);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+        static_cast<std::uint32_t>(b);
+    auto it = midpoints.find(key);
+    if (it != midpoints.end()) return it->second;
+    const auto id = static_cast<std::int32_t>(nodes.size());
+    nodes.push_back((nodes[static_cast<std::size_t>(a)] +
+                     nodes[static_cast<std::size_t>(b)]) /
+                    2.0);
+    midpoints.emplace(key, id);
+    return id;
+  };
+
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    const auto& t = m.tet(CellId{c});
+    const std::int32_t v0 = t[0], v1 = t[1], v2 = t[2], v3 = t[3];
+    const std::int32_t m01 = midpoint(v0, v1);
+    const std::int32_t m02 = midpoint(v0, v2);
+    const std::int32_t m03 = midpoint(v0, v3);
+    const std::int32_t m12 = midpoint(v1, v2);
+    const std::int32_t m13 = midpoint(v1, v3);
+    const std::int32_t m23 = midpoint(v2, v3);
+
+    const std::array<std::array<std::int32_t, 4>, 8> children = {{
+        // Four corner tets.
+        {v0, m01, m02, m03},
+        {v1, m01, m12, m13},
+        {v2, m02, m12, m23},
+        {v3, m03, m13, m23},
+        // Inner octahedron split along the (m02, m13) diagonal.
+        {m02, m13, m01, m03},
+        {m02, m13, m03, m23},
+        {m02, m13, m23, m12},
+        {m02, m13, m12, m01},
+    }};
+    const int mat = m.material(CellId{c});
+    for (const auto& child : children) {
+      tets.push_back(child);
+      mats.push_back(mat);
+    }
+  }
+
+  TetMesh fine(std::move(nodes), std::move(tets));
+  fine.set_materials(std::move(mats));
+  return fine;
+}
+
+}  // namespace jsweep::mesh

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file refine.hpp
+/// Uniform refinement, the paper's "normal approximate refinement method"
+/// used to grow meshes for the weak-scaling study (Fig. 15).
+
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace jsweep::mesh {
+
+/// Split every cell into 8: doubled dims, halved spacing; child cells
+/// inherit the parent's material.
+StructuredMesh refine_uniform(const StructuredMesh& m);
+
+/// Bey red refinement: every tet splits into 4 corner tets plus an inner
+/// octahedron split into 4 along a fixed diagonal. Midpoint nodes are
+/// deduplicated globally, so the refined mesh is conforming. Children
+/// inherit the parent's material; total volume is preserved exactly
+/// (up to floating-point roundoff).
+TetMesh refine_uniform(const TetMesh& m);
+
+}  // namespace jsweep::mesh

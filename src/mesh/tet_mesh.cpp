@@ -1,0 +1,155 @@
+#include "mesh/tet_mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+namespace jsweep::mesh {
+
+namespace {
+
+double tet_volume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  return dot(b - a, cross(c - a, d - a)) / 6.0;
+}
+
+/// Hashable key for an unordered node triple.
+struct FaceKey {
+  std::array<std::int32_t, 3> n;
+
+  bool operator==(const FaceKey&) const = default;
+};
+
+struct FaceKeyHash {
+  std::size_t operator()(const FaceKey& k) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto v : k.n) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+FaceKey make_key(std::int32_t a, std::int32_t b, std::int32_t c) {
+  std::array<std::int32_t, 3> n{a, b, c};
+  std::sort(n.begin(), n.end());
+  return {n};
+}
+
+}  // namespace
+
+TetMesh::TetMesh(std::vector<Vec3> nodes,
+                 std::vector<std::array<std::int32_t, 4>> tets)
+    : nodes_(std::move(nodes)), tets_(std::move(tets)) {
+  JSWEEP_CHECK(!nodes_.empty() && !tets_.empty());
+  const auto nn = static_cast<std::int32_t>(nodes_.size());
+  volumes_.reserve(tets_.size());
+  centroids_.reserve(tets_.size());
+  for (auto& t : tets_) {
+    for (const auto v : t)
+      JSWEEP_CHECK_MSG(v >= 0 && v < nn, "tet references node " << v);
+    double vol = tet_volume(nodes_[static_cast<std::size_t>(t[0])],
+                            nodes_[static_cast<std::size_t>(t[1])],
+                            nodes_[static_cast<std::size_t>(t[2])],
+                            nodes_[static_cast<std::size_t>(t[3])]);
+    if (vol < 0.0) {
+      std::swap(t[2], t[3]);
+      vol = -vol;
+    }
+    JSWEEP_CHECK_MSG(vol > 0.0, "degenerate tet (zero volume)");
+    volumes_.push_back(vol);
+    total_volume_ += vol;
+    const Vec3 centroid = (nodes_[static_cast<std::size_t>(t[0])] +
+                           nodes_[static_cast<std::size_t>(t[1])] +
+                           nodes_[static_cast<std::size_t>(t[2])] +
+                           nodes_[static_cast<std::size_t>(t[3])]) /
+                          4.0;
+    centroids_.push_back(centroid);
+  }
+  build_faces();
+}
+
+void TetMesh::build_faces() {
+  // Local faces of a positively-oriented tet (outward normals):
+  // opposite node 0: (1,3,2); 1: (0,2,3); 2: (0,3,1); 3: (0,1,2).
+  static constexpr std::array<std::array<int, 3>, 4> kLocalFaces = {{
+      {1, 3, 2},
+      {0, 2, 3},
+      {0, 3, 1},
+      {0, 1, 2},
+  }};
+
+  std::unordered_map<FaceKey, std::int64_t, FaceKeyHash> index;
+  index.reserve(tets_.size() * 2);
+  cell_faces_.assign(tets_.size(), {-1, -1, -1, -1});
+  faces_.reserve(tets_.size() * 2);
+
+  for (std::size_t c = 0; c < tets_.size(); ++c) {
+    const auto& t = tets_[c];
+    for (int lf = 0; lf < 4; ++lf) {
+      const std::int32_t a = t[static_cast<std::size_t>(kLocalFaces[lf][0])];
+      const std::int32_t b = t[static_cast<std::size_t>(kLocalFaces[lf][1])];
+      const std::int32_t d = t[static_cast<std::size_t>(kLocalFaces[lf][2])];
+      const FaceKey key = make_key(a, b, d);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        TetFace face;
+        face.nodes = key.n;
+        face.owner = static_cast<std::int64_t>(c);
+        const Vec3& pa = nodes_[static_cast<std::size_t>(a)];
+        const Vec3& pb = nodes_[static_cast<std::size_t>(b)];
+        const Vec3& pd = nodes_[static_cast<std::size_t>(d)];
+        // Outward from owner because local faces are outward-oriented.
+        face.area_vec = cross(pb - pa, pd - pa) * 0.5;
+        const auto f = static_cast<std::int64_t>(faces_.size());
+        faces_.push_back(face);
+        index.emplace(key, f);
+        cell_faces_[c][static_cast<std::size_t>(lf)] = f;
+      } else {
+        TetFace& face = faces_[static_cast<std::size_t>(it->second)];
+        JSWEEP_CHECK_MSG(face.neighbor < 0,
+                         "face shared by more than two tets");
+        face.neighbor = static_cast<std::int64_t>(c);
+        cell_faces_[c][static_cast<std::size_t>(lf)] = it->second;
+      }
+    }
+  }
+}
+
+void TetMesh::set_materials(std::vector<int> m) {
+  JSWEEP_CHECK_MSG(static_cast<std::int64_t>(m.size()) == num_cells(),
+                   "material array size mismatch");
+  materials_ = std::move(m);
+}
+
+std::string TetMesh::validate() const {
+  std::ostringstream problems;
+  for (std::size_t c = 0; c < tets_.size(); ++c) {
+    if (volumes_[c] <= 0.0)
+      problems << "cell " << c << " volume " << volumes_[c] << "\n";
+    // Divergence theorem on the constant field: outward areas must close.
+    Vec3 sum{};
+    for (const auto f : cell_faces_[c]) {
+      if (f < 0) {
+        problems << "cell " << c << " missing a face\n";
+        continue;
+      }
+      sum += outward_area(f, CellId{static_cast<std::int64_t>(c)});
+    }
+    const double scale = std::cbrt(volumes_[c]);
+    if (norm(sum) > 1e-9 * scale * scale)
+      problems << "cell " << c << " surface not closed, |sum|=" << norm(sum)
+               << "\n";
+  }
+  for (std::size_t f = 0; f < faces_.size(); ++f) {
+    const auto& face = faces_[f];
+    if (face.owner < 0) problems << "face " << f << " has no owner\n";
+    if (face.owner == face.neighbor)
+      problems << "face " << f << " self-adjacent\n";
+  }
+  return problems.str();
+}
+
+}  // namespace jsweep::mesh

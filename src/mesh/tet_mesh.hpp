@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file tet_mesh.hpp
+/// Unstructured tetrahedral mesh (the JAUMIN-side substrate).
+///
+/// The mesh stores nodes, tets (4 node ids each, positively oriented) and a
+/// derived face table: every triangular face appears once, with an `owner`
+/// cell and either a `neighbor` cell (interior face) or none (boundary
+/// face). Face area vectors are stored oriented outward from the owner, so
+/// upwind/downwind classification against a sweep direction is a single dot
+/// product.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "support/check.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::mesh {
+
+struct TetFace {
+  std::array<std::int32_t, 3> nodes{};  ///< node ids (unordered triple)
+  std::int64_t owner = -1;              ///< cell owning the stored normal
+  std::int64_t neighbor = -1;           ///< adjacent cell, or -1 at boundary
+  Vec3 area_vec;                        ///< outward from owner; |v| = area
+
+  [[nodiscard]] bool is_boundary() const { return neighbor < 0; }
+};
+
+class TetMesh {
+ public:
+  /// Build from node coordinates and tet connectivity. Tets with negative
+  /// volume are reoriented (two nodes swapped); degenerate tets are
+  /// rejected.
+  TetMesh(std::vector<Vec3> nodes,
+          std::vector<std::array<std::int32_t, 4>> tets);
+
+  [[nodiscard]] std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(tets_.size());
+  }
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  [[nodiscard]] std::int64_t num_faces() const {
+    return static_cast<std::int64_t>(faces_.size());
+  }
+
+  [[nodiscard]] const std::vector<Vec3>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::array<std::int32_t, 4>& tet(CellId c) const {
+    return tets_[static_cast<std::size_t>(c.value())];
+  }
+
+  [[nodiscard]] const TetFace& face(std::int64_t f) const {
+    return faces_[static_cast<std::size_t>(f)];
+  }
+  /// The four face indices of a cell.
+  [[nodiscard]] const std::array<std::int64_t, 4>& cell_faces(CellId c) const {
+    return cell_faces_[static_cast<std::size_t>(c.value())];
+  }
+
+  /// Area vector of face `f` oriented outward from cell `c` (which must be
+  /// the face's owner or neighbor).
+  [[nodiscard]] Vec3 outward_area(std::int64_t f, CellId c) const {
+    const TetFace& face = faces_[static_cast<std::size_t>(f)];
+    JSWEEP_ASSERT(face.owner == c.value() || face.neighbor == c.value());
+    return face.owner == c.value() ? face.area_vec : -face.area_vec;
+  }
+
+  /// The cell on the other side of face `f` from `c`, or invalid at the
+  /// domain boundary.
+  [[nodiscard]] CellId across(std::int64_t f, CellId c) const {
+    const TetFace& face = faces_[static_cast<std::size_t>(f)];
+    const std::int64_t other =
+        face.owner == c.value() ? face.neighbor : face.owner;
+    return other >= 0 ? CellId{other} : CellId::invalid();
+  }
+
+  [[nodiscard]] double cell_volume(CellId c) const {
+    return volumes_[static_cast<std::size_t>(c.value())];
+  }
+  [[nodiscard]] Vec3 cell_centroid(CellId c) const {
+    return centroids_[static_cast<std::size_t>(c.value())];
+  }
+
+  [[nodiscard]] int material(CellId c) const {
+    return materials_.empty()
+               ? 0
+               : materials_[static_cast<std::size_t>(c.value())];
+  }
+  void set_materials(std::vector<int> m);
+  [[nodiscard]] const std::vector<int>& materials() const { return materials_; }
+
+  [[nodiscard]] double total_volume() const { return total_volume_; }
+
+  /// Structural validation: interior faces shared by exactly two cells,
+  /// positive volumes, closed per-cell surface (sum of outward area vectors
+  /// ≈ 0). Returns an empty string when valid, else a diagnostic.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  void build_faces();
+
+  std::vector<Vec3> nodes_;
+  std::vector<std::array<std::int32_t, 4>> tets_;
+  std::vector<TetFace> faces_;
+  std::vector<std::array<std::int64_t, 4>> cell_faces_;
+  std::vector<double> volumes_;
+  std::vector<Vec3> centroids_;
+  std::vector<int> materials_;
+  double total_volume_ = 0.0;
+};
+
+}  // namespace jsweep::mesh

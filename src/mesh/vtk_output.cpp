@@ -1,0 +1,95 @@
+#include "mesh/vtk_output.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "support/check.hpp"
+
+namespace jsweep::mesh {
+
+namespace {
+
+void check_fields(const std::vector<CellField>& fields,
+                  std::int64_t num_cells) {
+  for (const auto& f : fields) {
+    JSWEEP_CHECK_MSG(f.values != nullptr, "field '" << f.name << "' is null");
+    JSWEEP_CHECK_MSG(static_cast<std::int64_t>(f.values->size()) == num_cells,
+                     "field '" << f.name << "' has " << f.values->size()
+                               << " values for " << num_cells << " cells");
+    JSWEEP_CHECK_MSG(!f.name.empty() &&
+                         f.name.find(' ') == std::string::npos,
+                     "VTK field names must be non-empty and space-free");
+  }
+}
+
+void write_cell_data(std::ostream& os, const std::vector<CellField>& fields,
+                     std::int64_t num_cells) {
+  if (fields.empty()) return;
+  os << "CELL_DATA " << num_cells << "\n";
+  for (const auto& f : fields) {
+    os << "SCALARS " << f.name << " double 1\nLOOKUP_TABLE default\n";
+    for (const auto v : *f.values) os << v << "\n";
+  }
+}
+
+}  // namespace
+
+void write_vtk(std::ostream& os, const StructuredMesh& m,
+               const std::vector<CellField>& fields) {
+  check_fields(fields, m.num_cells());
+  const Index3 d = m.dims();
+  os << std::setprecision(12);
+  os << "# vtk DataFile Version 3.0\njsweep structured mesh\nASCII\n";
+  os << "DATASET STRUCTURED_POINTS\n";
+  // Point dimensions = cell dimensions + 1.
+  os << "DIMENSIONS " << d.i + 1 << " " << d.j + 1 << " " << d.k + 1 << "\n";
+  os << "ORIGIN " << m.origin().x << " " << m.origin().y << " "
+     << m.origin().z << "\n";
+  os << "SPACING " << m.spacing().x << " " << m.spacing().y << " "
+     << m.spacing().z << "\n";
+  write_cell_data(os, fields, m.num_cells());
+}
+
+void write_vtk(std::ostream& os, const TetMesh& m,
+               const std::vector<CellField>& fields) {
+  check_fields(fields, m.num_cells());
+  os << std::setprecision(12);
+  os << "# vtk DataFile Version 3.0\njsweep tetrahedral mesh\nASCII\n";
+  os << "DATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << m.num_nodes() << " double\n";
+  for (const auto& p : m.nodes())
+    os << p.x << " " << p.y << " " << p.z << "\n";
+  os << "CELLS " << m.num_cells() << " " << m.num_cells() * 5 << "\n";
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    const auto& t = m.tet(CellId{c});
+    os << "4 " << t[0] << " " << t[1] << " " << t[2] << " " << t[3] << "\n";
+  }
+  os << "CELL_TYPES " << m.num_cells() << "\n";
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) os << "10\n";  // VTK_TETRA
+  write_cell_data(os, fields, m.num_cells());
+}
+
+namespace {
+
+template <class Mesh>
+void write_file_impl(const std::string& path, const Mesh& m,
+                     const std::vector<CellField>& fields) {
+  std::ofstream os(path);
+  JSWEEP_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  write_vtk(os, m, fields);
+  JSWEEP_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace
+
+void write_vtk_file(const std::string& path, const StructuredMesh& m,
+                    const std::vector<CellField>& fields) {
+  write_file_impl(path, m, fields);
+}
+
+void write_vtk_file(const std::string& path, const TetMesh& m,
+                    const std::vector<CellField>& fields) {
+  write_file_impl(path, m, fields);
+}
+
+}  // namespace jsweep::mesh

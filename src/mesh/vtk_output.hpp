@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file vtk_output.hpp
+/// Legacy-VTK writers for visualizing meshes and per-cell fields (scalar
+/// flux, materials, patch assignments) in ParaView/VisIt. ASCII legacy
+/// format: verbose but dependency-free and universally readable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace jsweep::mesh {
+
+/// A named per-cell scalar field.
+struct CellField {
+  std::string name;
+  const std::vector<double>* values = nullptr;
+};
+
+/// Write a structured mesh as VTK STRUCTURED_POINTS with the given cell
+/// fields (each must have num_cells entries).
+void write_vtk(std::ostream& os, const StructuredMesh& m,
+               const std::vector<CellField>& fields);
+
+/// Write a tetrahedral mesh as VTK UNSTRUCTURED_GRID with cell fields.
+void write_vtk(std::ostream& os, const TetMesh& m,
+               const std::vector<CellField>& fields);
+
+/// Convenience: write to a file path; throws CheckError on I/O failure.
+void write_vtk_file(const std::string& path, const StructuredMesh& m,
+                    const std::vector<CellField>& fields);
+void write_vtk_file(const std::string& path, const TetMesh& m,
+                    const std::vector<CellField>& fields);
+
+}  // namespace jsweep::mesh

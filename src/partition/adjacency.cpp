@@ -1,0 +1,104 @@
+#include "partition/adjacency.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+CsrGraph cell_graph(const mesh::TetMesh& m) {
+  const auto n = m.num_cells();
+  CsrGraph g;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (const auto f : m.cell_faces(CellId{c})) {
+      if (m.across(f, CellId{c}).valid())
+        ++g.offsets[static_cast<std::size_t>(c) + 1];
+    }
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i)
+    g.offsets[i] += g.offsets[i - 1];
+  g.neighbors.resize(static_cast<std::size_t>(g.offsets.back()));
+  std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (const auto f : m.cell_faces(CellId{c})) {
+      const CellId other = m.across(f, CellId{c});
+      if (other.valid())
+        g.neighbors[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(c)]++)] = other.value();
+    }
+  }
+  return g;
+}
+
+CsrGraph cell_graph(const mesh::StructuredMesh& m) {
+  const auto n = m.num_cells();
+  CsrGraph g;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (int d = 0; d < 6; ++d)
+      if (m.neighbor(CellId{c}, static_cast<mesh::FaceDir>(d)))
+        ++g.offsets[static_cast<std::size_t>(c) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i)
+    g.offsets[i] += g.offsets[i - 1];
+  g.neighbors.resize(static_cast<std::size_t>(g.offsets.back()));
+  std::vector<std::int64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (int d = 0; d < 6; ++d) {
+      const auto nb = m.neighbor(CellId{c}, static_cast<mesh::FaceDir>(d));
+      if (nb)
+        g.neighbors[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(c)]++)] = nb->value();
+    }
+  }
+  return g;
+}
+
+std::vector<mesh::Vec3> cell_centroids(const mesh::TetMesh& m) {
+  std::vector<mesh::Vec3> c(static_cast<std::size_t>(m.num_cells()));
+  for (std::int64_t i = 0; i < m.num_cells(); ++i)
+    c[static_cast<std::size_t>(i)] = m.cell_centroid(CellId{i});
+  return c;
+}
+
+std::vector<mesh::Vec3> cell_centroids(const mesh::StructuredMesh& m) {
+  std::vector<mesh::Vec3> c(static_cast<std::size_t>(m.num_cells()));
+  for (std::int64_t i = 0; i < m.num_cells(); ++i)
+    c[static_cast<std::size_t>(i)] = m.cell_center(CellId{i});
+  return c;
+}
+
+std::int64_t edge_cut(const CsrGraph& g,
+                      const std::vector<std::int32_t>& part) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(part.size()) == g.num_vertices());
+  std::int64_t cut = 0;
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    g.for_neighbors(v, [&](std::int64_t u) {
+      if (u > v && part[static_cast<std::size_t>(u)] !=
+                       part[static_cast<std::size_t>(v)])
+        ++cut;
+    });
+  }
+  return cut;
+}
+
+std::vector<std::int64_t> part_sizes(const std::vector<std::int32_t>& part,
+                                     int nparts) {
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(nparts), 0);
+  for (const auto p : part) {
+    JSWEEP_CHECK(p >= 0 && p < nparts);
+    ++sizes[static_cast<std::size_t>(p)];
+  }
+  return sizes;
+}
+
+double imbalance(const std::vector<std::int32_t>& part, int nparts) {
+  const auto sizes = part_sizes(part, nparts);
+  const auto max_size = *std::max_element(sizes.begin(), sizes.end());
+  const double mean =
+      static_cast<double>(part.size()) / static_cast<double>(nparts);
+  return mean > 0 ? static_cast<double>(max_size) / mean : 0.0;
+}
+
+}  // namespace jsweep::partition

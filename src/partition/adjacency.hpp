@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file adjacency.hpp
+/// Compressed sparse row cell-adjacency graphs, the common currency between
+/// the two mesh families and the partitioners.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+
+namespace jsweep::partition {
+
+/// Undirected cell-adjacency graph in CSR form.
+struct CsrGraph {
+  std::vector<std::int64_t> offsets;    ///< size = num_vertices + 1
+  std::vector<std::int64_t> neighbors;  ///< concatenated adjacency lists
+
+  [[nodiscard]] std::int64_t num_vertices() const {
+    return static_cast<std::int64_t>(offsets.size()) - 1;
+  }
+  [[nodiscard]] std::int64_t degree(std::int64_t v) const {
+    return offsets[static_cast<std::size_t>(v) + 1] -
+           offsets[static_cast<std::size_t>(v)];
+  }
+  /// Iterate neighbors of v.
+  template <class Fn>
+  void for_neighbors(std::int64_t v, Fn&& fn) const {
+    for (auto e = offsets[static_cast<std::size_t>(v)];
+         e < offsets[static_cast<std::size_t>(v) + 1]; ++e)
+      fn(neighbors[static_cast<std::size_t>(e)]);
+  }
+};
+
+/// Face-adjacency graph of a tetrahedral mesh.
+CsrGraph cell_graph(const mesh::TetMesh& m);
+
+/// Face-adjacency (6-point stencil) graph of a structured mesh. Intended
+/// for host-scale meshes; large structured runs use the implicit
+/// StructuredBlockLayout instead.
+CsrGraph cell_graph(const mesh::StructuredMesh& m);
+
+/// Cell centroids, for the geometric partitioners.
+std::vector<mesh::Vec3> cell_centroids(const mesh::TetMesh& m);
+std::vector<mesh::Vec3> cell_centroids(const mesh::StructuredMesh& m);
+
+/// Number of edges cut by a partition (each cut edge counted once).
+std::int64_t edge_cut(const CsrGraph& g, const std::vector<std::int32_t>& part);
+
+/// Sizes of each part.
+std::vector<std::int64_t> part_sizes(const std::vector<std::int32_t>& part,
+                                     int nparts);
+
+/// max(size) / mean(size); 1.0 is perfectly balanced.
+double imbalance(const std::vector<std::int32_t>& part, int nparts);
+
+}  // namespace jsweep::partition

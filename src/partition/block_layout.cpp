@@ -1,0 +1,89 @@
+#include "partition/block_layout.hpp"
+
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+namespace {
+int div_ceil(int a, int b) { return (a + b - 1) / b; }
+}  // namespace
+
+StructuredBlockLayout::StructuredBlockLayout(mesh::Index3 mesh_dims,
+                                             mesh::Index3 patch_dims)
+    : mesh_dims_(mesh_dims), patch_dims_(patch_dims) {
+  JSWEEP_CHECK(mesh_dims.i > 0 && mesh_dims.j > 0 && mesh_dims.k > 0);
+  JSWEEP_CHECK(patch_dims.i > 0 && patch_dims.j > 0 && patch_dims.k > 0);
+  grid_dims_ = {div_ceil(mesh_dims.i, patch_dims.i),
+                div_ceil(mesh_dims.j, patch_dims.j),
+                div_ceil(mesh_dims.k, patch_dims.k)};
+}
+
+PatchId StructuredBlockLayout::patch_of(mesh::Index3 cell) const {
+  JSWEEP_ASSERT(mesh::Box({{0, 0, 0}, mesh_dims_}).contains(cell));
+  return patch_at({cell.i / patch_dims_.i, cell.j / patch_dims_.j,
+                   cell.k / patch_dims_.k});
+}
+
+mesh::Box StructuredBlockLayout::patch_box(PatchId p) const {
+  const mesh::Index3 g = patch_index(p);
+  const mesh::Index3 lo{g.i * patch_dims_.i, g.j * patch_dims_.j,
+                        g.k * patch_dims_.k};
+  const mesh::Index3 hi{std::min(lo.i + patch_dims_.i, mesh_dims_.i),
+                        std::min(lo.j + patch_dims_.j, mesh_dims_.j),
+                        std::min(lo.k + patch_dims_.k, mesh_dims_.k)};
+  return {lo, hi};
+}
+
+mesh::Index3 StructuredBlockLayout::patch_index(PatchId p) const {
+  JSWEEP_ASSERT(p.valid() && p.value() < num_patches());
+  const int v = p.value();
+  return {v % grid_dims_.i, (v / grid_dims_.i) % grid_dims_.j,
+          v / (grid_dims_.i * grid_dims_.j)};
+}
+
+PatchId StructuredBlockLayout::patch_at(mesh::Index3 g) const {
+  JSWEEP_ASSERT(mesh::Box({{0, 0, 0}, grid_dims_}).contains(g));
+  return PatchId{g.i + grid_dims_.i * (g.j + grid_dims_.j * g.k)};
+}
+
+PatchId StructuredBlockLayout::neighbor(PatchId p, mesh::FaceDir dir) const {
+  mesh::Index3 g = patch_index(p);
+  const mesh::Index3 off = mesh::kFaceOffsets[static_cast<std::size_t>(dir)];
+  g.i += off.i;
+  g.j += off.j;
+  g.k += off.k;
+  if (!mesh::Box({{0, 0, 0}, grid_dims_}).contains(g))
+    return PatchId::invalid();
+  return patch_at(g);
+}
+
+std::int64_t StructuredBlockLayout::interface_cells(PatchId p,
+                                                    mesh::FaceDir dir) const {
+  if (!neighbor(p, dir).valid()) return 0;
+  const mesh::Box b = patch_box(p);
+  switch (dir) {
+    case mesh::FaceDir::XLo:
+    case mesh::FaceDir::XHi:
+      return static_cast<std::int64_t>(b.hi.j - b.lo.j) * (b.hi.k - b.lo.k);
+    case mesh::FaceDir::YLo:
+    case mesh::FaceDir::YHi:
+      return static_cast<std::int64_t>(b.hi.i - b.lo.i) * (b.hi.k - b.lo.k);
+    case mesh::FaceDir::ZLo:
+    case mesh::FaceDir::ZHi:
+      return static_cast<std::int64_t>(b.hi.i - b.lo.i) * (b.hi.j - b.lo.j);
+  }
+  return 0;
+}
+
+std::vector<std::int32_t> block_partition(const StructuredBlockLayout& layout) {
+  const mesh::Index3 d = layout.mesh_dims();
+  std::vector<std::int32_t> part(static_cast<std::size_t>(d.i) * d.j * d.k);
+  std::size_t idx = 0;
+  for (int k = 0; k < d.k; ++k)
+    for (int j = 0; j < d.j; ++j)
+      for (int i = 0; i < d.i; ++i, ++idx)
+        part[idx] = layout.patch_of({i, j, k}).value();
+  return part;
+}
+
+}  // namespace jsweep::partition

@@ -1,0 +1,187 @@
+#include "partition/graph_partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+namespace {
+
+/// BFS from `start`, returning the last vertex reached within `allowed`
+/// (part == -1) vertices — an approximation of the most distant free
+/// vertex, used to place the next part's seed far from existing parts.
+std::int64_t far_free_vertex(const CsrGraph& g,
+                             const std::vector<std::int32_t>& part,
+                             std::int64_t start) {
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::deque<std::int64_t> queue{start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  std::int64_t last = start;
+  while (!queue.empty()) {
+    const auto v = queue.front();
+    queue.pop_front();
+    last = v;
+    g.for_neighbors(v, [&](std::int64_t u) {
+      if (!seen[static_cast<std::size_t>(u)] &&
+          part[static_cast<std::size_t>(u)] < 0) {
+        seen[static_cast<std::size_t>(u)] = 1;
+        queue.push_back(u);
+      }
+    });
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> partition_graph(const CsrGraph& g, int nparts,
+                                          const GraphPartitionOptions& opts) {
+  const std::int64_t n = g.num_vertices();
+  JSWEEP_CHECK_MSG(nparts > 0 && nparts <= n,
+                   "nparts=" << nparts << " vertices=" << n);
+  std::vector<std::int32_t> part(static_cast<std::size_t>(n), -1);
+  if (nparts == 1) {
+    std::fill(part.begin(), part.end(), 0);
+    return part;
+  }
+
+  Rng rng(opts.seed);
+
+  // --- Phase 1: greedy graph growing -------------------------------------
+  std::int64_t assigned = 0;
+  std::int64_t seed_hint = static_cast<std::int64_t>(rng.below(
+      static_cast<std::uint64_t>(n)));
+  for (std::int32_t p = 0; p < nparts; ++p) {
+    // Remaining parts share the remaining vertices evenly.
+    const std::int64_t quota =
+        (n - assigned + (nparts - p) - 1) / (nparts - p);
+    // Find a free seed: far from already-assigned regions.
+    std::int64_t seed = -1;
+    if (part[static_cast<std::size_t>(seed_hint)] < 0) {
+      seed = far_free_vertex(g, part, seed_hint);
+    } else {
+      for (std::int64_t v = 0; v < n; ++v)
+        if (part[static_cast<std::size_t>(v)] < 0) {
+          seed = far_free_vertex(g, part, v);
+          break;
+        }
+    }
+    JSWEEP_CHECK(seed >= 0);
+
+    // Grow a connected region by BFS until the quota is met. Disconnected
+    // leftovers are handled by restarting from any free vertex.
+    std::int64_t grown = 0;
+    std::deque<std::int64_t> queue{seed};
+    part[static_cast<std::size_t>(seed)] = p;
+    while (grown < quota) {
+      if (queue.empty()) {
+        std::int64_t free_v = -1;
+        for (std::int64_t v = 0; v < n; ++v)
+          if (part[static_cast<std::size_t>(v)] < 0) {
+            free_v = v;
+            break;
+          }
+        if (free_v < 0) break;
+        part[static_cast<std::size_t>(free_v)] = p;
+        queue.push_back(free_v);
+      }
+      const auto v = queue.front();
+      queue.pop_front();
+      ++grown;
+      seed_hint = v;
+      g.for_neighbors(v, [&](std::int64_t u) {
+        if (part[static_cast<std::size_t>(u)] < 0 && grown < quota) {
+          // Claim on enqueue so quota is respected exactly.
+          part[static_cast<std::size_t>(u)] = p;
+          queue.push_back(u);
+        }
+      });
+      if (static_cast<std::int64_t>(queue.size()) + grown >= quota &&
+          grown < quota) {
+        // Drain the claimed frontier without expanding further.
+        while (!queue.empty() && grown < quota) {
+          queue.pop_front();
+          ++grown;
+        }
+        break;
+      }
+    }
+    assigned += grown;
+  }
+  // Any stragglers (possible with disconnected graphs) go to the smallest
+  // part.
+  auto sizes = part_sizes(
+      [&] {
+        std::vector<std::int32_t> tmp = part;
+        for (auto& x : tmp)
+          if (x < 0) x = 0;
+        return tmp;
+      }(),
+      nparts);
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (part[static_cast<std::size_t>(v)] < 0) {
+      const auto smallest = static_cast<std::int32_t>(std::distance(
+          sizes.begin(), std::min_element(sizes.begin(), sizes.end())));
+      part[static_cast<std::size_t>(v)] = smallest;
+      ++sizes[static_cast<std::size_t>(smallest)];
+    }
+  }
+
+  // --- Phase 2: boundary FM refinement ------------------------------------
+  sizes = part_sizes(part, nparts);
+  const double max_allowed = opts.balance_tolerance *
+                             static_cast<double>(n) /
+                             static_cast<double>(nparts);
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    std::int64_t moves = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      const std::int32_t from = part[static_cast<std::size_t>(v)];
+      // Count adjacency per neighboring part.
+      std::int64_t same = 0;
+      std::int32_t best_part = from;
+      std::int64_t best_links = -1;
+      // Few distinct neighbor parts per vertex: linear scan of neighbors.
+      std::array<std::pair<std::int32_t, std::int64_t>, 8> local{};
+      std::size_t local_n = 0;
+      g.for_neighbors(v, [&](std::int64_t u) {
+        const std::int32_t pu = part[static_cast<std::size_t>(u)];
+        if (pu == from) {
+          ++same;
+          return;
+        }
+        for (std::size_t i = 0; i < local_n; ++i) {
+          if (local[i].first == pu) {
+            ++local[i].second;
+            return;
+          }
+        }
+        if (local_n < local.size()) local[local_n++] = {pu, 1};
+      });
+      for (std::size_t i = 0; i < local_n; ++i) {
+        if (local[i].second > best_links) {
+          best_links = local[i].second;
+          best_part = local[i].first;
+        }
+      }
+      if (best_part == from) continue;
+      const std::int64_t gain = best_links - same;
+      const bool balance_ok =
+          static_cast<double>(sizes[static_cast<std::size_t>(best_part)] + 1) <=
+              max_allowed &&
+          sizes[static_cast<std::size_t>(from)] > 1;
+      if (gain > 0 && balance_ok) {
+        part[static_cast<std::size_t>(v)] = best_part;
+        --sizes[static_cast<std::size_t>(from)];
+        ++sizes[static_cast<std::size_t>(best_part)];
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+  return part;
+}
+
+}  // namespace jsweep::partition

@@ -1,0 +1,119 @@
+#include "partition/patch_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/sfc.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+PatchSet::PatchSet(std::vector<std::int32_t> cell_patch, int num_patches,
+                   const CsrGraph* g)
+    : cell_patch_(std::move(cell_patch)), num_patches_(num_patches) {
+  JSWEEP_CHECK(num_patches_ > 0);
+  cells_.resize(static_cast<std::size_t>(num_patches_));
+  local_index_.resize(cell_patch_.size());
+
+  for (std::size_t c = 0; c < cell_patch_.size(); ++c) {
+    const auto p = cell_patch_[c];
+    JSWEEP_CHECK_MSG(p >= 0 && p < num_patches_,
+                     "cell " << c << " has patch " << p);
+    auto& list = cells_[static_cast<std::size_t>(p)];
+    local_index_[c] = static_cast<std::int32_t>(list.size());
+    list.push_back(CellId{static_cast<std::int64_t>(c)});
+  }
+  for (int p = 0; p < num_patches_; ++p)
+    JSWEEP_CHECK_MSG(!cells_[static_cast<std::size_t>(p)].empty(),
+                     "patch " << p << " is empty");
+
+  neighbors_.resize(static_cast<std::size_t>(num_patches_));
+  if (g != nullptr) {
+    JSWEEP_CHECK(g->num_vertices() ==
+                 static_cast<std::int64_t>(cell_patch_.size()));
+    for (std::int64_t v = 0; v < g->num_vertices(); ++v) {
+      const auto pv = cell_patch_[static_cast<std::size_t>(v)];
+      g->for_neighbors(v, [&](std::int64_t u) {
+        const auto pu = cell_patch_[static_cast<std::size_t>(u)];
+        if (pu != pv) neighbors_[static_cast<std::size_t>(pv)].push_back(PatchId{pu});
+      });
+    }
+    for (auto& nb : neighbors_) {
+      std::sort(nb.begin(), nb.end());
+      nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    }
+  }
+}
+
+std::vector<mesh::Vec3> patch_centroids(
+    const PatchSet& ps, const std::vector<mesh::Vec3>& cell_centroids) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(cell_centroids.size()) ==
+               ps.num_cells());
+  std::vector<mesh::Vec3> out(static_cast<std::size_t>(ps.num_patches()));
+  for (int p = 0; p < ps.num_patches(); ++p) {
+    mesh::Vec3 sum{};
+    const auto& cells = ps.cells(PatchId{p});
+    for (const auto c : cells)
+      sum += cell_centroids[static_cast<std::size_t>(c.value())];
+    out[static_cast<std::size_t>(p)] =
+        sum / static_cast<double>(cells.size());
+  }
+  return out;
+}
+
+std::vector<RankId> assign_contiguous(int num_patches, int nranks) {
+  JSWEEP_CHECK(num_patches > 0 && nranks > 0);
+  std::vector<RankId> owner(static_cast<std::size_t>(num_patches));
+  for (int p = 0; p < num_patches; ++p)
+    owner[static_cast<std::size_t>(p)] =
+        RankId{static_cast<int>((static_cast<std::int64_t>(p) * nranks) /
+                                num_patches)};
+  return owner;
+}
+
+std::vector<RankId> assign_round_robin(int num_patches, int nranks) {
+  JSWEEP_CHECK(num_patches > 0 && nranks > 0);
+  std::vector<RankId> owner(static_cast<std::size_t>(num_patches));
+  for (int p = 0; p < num_patches; ++p)
+    owner[static_cast<std::size_t>(p)] = RankId{p % nranks};
+  return owner;
+}
+
+std::vector<RankId> assign_by_sfc(const std::vector<mesh::Vec3>& centroids,
+                                  int nranks) {
+  const auto n = static_cast<std::int64_t>(centroids.size());
+  JSWEEP_CHECK(n > 0 && nranks > 0);
+
+  mesh::Vec3 lo = centroids.front();
+  mesh::Vec3 hi = lo;
+  for (const auto& c : centroids) {
+    lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+    hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+  }
+  const mesh::Vec3 ext{std::max(hi.x - lo.x, 1e-300),
+                       std::max(hi.y - lo.y, 1e-300),
+                       std::max(hi.z - lo.z, 1e-300)};
+  constexpr std::uint32_t kGrid = (1u << 16) - 1;
+
+  std::vector<std::pair<std::uint64_t, std::int64_t>> keyed(
+      static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto& c = centroids[static_cast<std::size_t>(i)];
+    const auto qx =
+        static_cast<std::uint32_t>((c.x - lo.x) / ext.x * kGrid);
+    const auto qy =
+        static_cast<std::uint32_t>((c.y - lo.y) / ext.y * kGrid);
+    const auto qz =
+        static_cast<std::uint32_t>((c.z - lo.z) / ext.z * kGrid);
+    keyed[static_cast<std::size_t>(i)] = {morton3(qx, qy, qz), i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<RankId> owner(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    owner[static_cast<std::size_t>(keyed[static_cast<std::size_t>(i)].second)] =
+        RankId{static_cast<int>((i * nranks) / n)};
+  return owner;
+}
+
+}  // namespace jsweep::partition

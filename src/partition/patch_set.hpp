@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file patch_set.hpp
+/// The patch decomposition: JSweep's realization of the JAxMIN patch
+/// contract (Sec. II-B) — every patch knows its own cells, and, through the
+/// cell→patch map plus the mesh adjacency, all adjacency information about
+/// its neighboring patches.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "partition/adjacency.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::partition {
+
+class PatchSet {
+ public:
+  /// `cell_patch[c]` is the patch of cell c; patch ids must be dense in
+  /// [0, num_patches). If `g` is provided, patch adjacency is derived from
+  /// it (needed by the sweep's patch-priority strategies).
+  PatchSet(std::vector<std::int32_t> cell_patch, int num_patches,
+           const CsrGraph* g = nullptr);
+
+  [[nodiscard]] int num_patches() const { return num_patches_; }
+  [[nodiscard]] std::int64_t num_cells() const {
+    return static_cast<std::int64_t>(cell_patch_.size());
+  }
+
+  [[nodiscard]] PatchId patch_of(CellId c) const {
+    return PatchId{cell_patch_[static_cast<std::size_t>(c.value())]};
+  }
+
+  /// Global ids of the patch's local cells, in ascending order.
+  [[nodiscard]] const std::vector<CellId>& cells(PatchId p) const {
+    return cells_[static_cast<std::size_t>(p.value())];
+  }
+
+  /// Index of a cell within its owning patch's cell list.
+  [[nodiscard]] std::int32_t local_index(CellId c) const {
+    return local_index_[static_cast<std::size_t>(c.value())];
+  }
+
+  /// Patches adjacent to p (sharing at least one cell face). Empty when the
+  /// PatchSet was built without a graph.
+  [[nodiscard]] const std::vector<PatchId>& neighbors(PatchId p) const {
+    return neighbors_[static_cast<std::size_t>(p.value())];
+  }
+
+  [[nodiscard]] const std::vector<std::int32_t>& cell_patch() const {
+    return cell_patch_;
+  }
+
+ private:
+  std::vector<std::int32_t> cell_patch_;
+  int num_patches_;
+  std::vector<std::vector<CellId>> cells_;
+  std::vector<std::int32_t> local_index_;
+  std::vector<std::vector<PatchId>> neighbors_;
+};
+
+/// Mean centroid of each patch's cells.
+std::vector<mesh::Vec3> patch_centroids(const PatchSet& ps,
+                                        const std::vector<mesh::Vec3>& cell_centroids);
+
+/// Patch→rank assignments.
+std::vector<RankId> assign_contiguous(int num_patches, int nranks);
+std::vector<RankId> assign_round_robin(int num_patches, int nranks);
+/// Sort patches along a Morton curve over quantized centroids, then chop
+/// into contiguous chunks — keeps each rank's patches spatially compact.
+std::vector<RankId> assign_by_sfc(const std::vector<mesh::Vec3>& centroids,
+                                  int nranks);
+
+}  // namespace jsweep::partition

@@ -1,0 +1,83 @@
+#include "partition/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+namespace {
+
+struct RcbFrame {
+  std::int64_t begin;
+  std::int64_t end;
+  std::int32_t first_part;
+  std::int32_t nparts;
+};
+
+double axis_value(const mesh::Vec3& v, int axis) {
+  switch (axis) {
+    case 0: return v.x;
+    case 1: return v.y;
+    default: return v.z;
+  }
+}
+
+}  // namespace
+
+std::vector<std::int32_t> partition_rcb(
+    const std::vector<mesh::Vec3>& centroids, int nparts) {
+  const auto n = static_cast<std::int64_t>(centroids.size());
+  JSWEEP_CHECK(nparts > 0 && n >= nparts);
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  std::vector<std::int32_t> part(static_cast<std::size_t>(n), 0);
+
+  std::vector<RcbFrame> stack{{0, n, 0, nparts}};
+  while (!stack.empty()) {
+    const RcbFrame f = stack.back();
+    stack.pop_back();
+    if (f.nparts == 1) {
+      for (std::int64_t i = f.begin; i < f.end; ++i)
+        part[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+            f.first_part;
+      continue;
+    }
+    // Split part count as evenly as possible; cell counts proportionally.
+    const std::int32_t left_parts = f.nparts / 2;
+    const std::int32_t right_parts = f.nparts - left_parts;
+    const std::int64_t count = f.end - f.begin;
+    const std::int64_t left_count = count * left_parts / f.nparts;
+
+    // Longest axis of the bounding box.
+    mesh::Vec3 lo = centroids[static_cast<std::size_t>(
+        ids[static_cast<std::size_t>(f.begin)])];
+    mesh::Vec3 hi = lo;
+    for (std::int64_t i = f.begin; i < f.end; ++i) {
+      const auto& c =
+          centroids[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])];
+      lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+      hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+    }
+    const mesh::Vec3 ext = hi - lo;
+    int axis = 0;
+    if (ext.y > ext.x) axis = 1;
+    if (ext.z > axis_value(ext, axis)) axis = 2;
+
+    auto mid = ids.begin() + f.begin + left_count;
+    std::nth_element(ids.begin() + f.begin, mid, ids.begin() + f.end,
+                     [&](std::int64_t a, std::int64_t b) {
+                       return axis_value(centroids[static_cast<std::size_t>(a)],
+                                         axis) <
+                              axis_value(centroids[static_cast<std::size_t>(b)],
+                                         axis);
+                     });
+    stack.push_back({f.begin, f.begin + left_count, f.first_part, left_parts});
+    stack.push_back(
+        {f.begin + left_count, f.end, f.first_part + left_parts, right_parts});
+  }
+  return part;
+}
+
+}  // namespace jsweep::partition

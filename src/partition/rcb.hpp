@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file rcb.hpp
+/// Recursive coordinate bisection over cell centroids — the geometric
+/// fallback partitioner (useful when a cell graph is unavailable or as a
+/// baseline against the graph partitioner).
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace jsweep::partition {
+
+/// Partition `centroids` into `nparts` parts by recursively splitting the
+/// longest axis at the weighted median. Parts sizes differ by at most one.
+std::vector<std::int32_t> partition_rcb(const std::vector<mesh::Vec3>& centroids,
+                                        int nparts);
+
+}  // namespace jsweep::partition

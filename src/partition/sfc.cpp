@@ -1,0 +1,120 @@
+#include "partition/sfc.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+
+namespace {
+
+/// Spread the low 21 bits of v so they occupy every third bit.
+std::uint64_t spread3(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | v << 32) & 0x1f00000000ffffULL;
+  v = (v | v << 16) & 0x1f0000ff0000ffULL;
+  v = (v | v << 8) & 0x100f00f00f00f00fULL;
+  v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+  v = (v | v << 2) & 0x1249249249249249ULL;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t morton3(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  JSWEEP_CHECK(x < (1u << 21) && y < (1u << 21) && z < (1u << 21));
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+std::uint64_t hilbert3(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                       int bits) {
+  JSWEEP_CHECK(bits > 0 && bits <= 21);
+  JSWEEP_CHECK(x < (1u << bits) && y < (1u << bits) && z < (1u << bits));
+
+  // Skilling's AxestoTranspose, 3 axes.
+  std::array<std::uint32_t, 3> X{x, y, z};
+  const std::uint32_t M = 1u << (bits - 1);
+
+  // Inverse undo excess work.
+  for (std::uint32_t Q = M; Q > 1; Q >>= 1) {
+    const std::uint32_t P = Q - 1;
+    for (int i = 0; i < 3; ++i) {
+      if (X[static_cast<std::size_t>(i)] & Q) {
+        X[0] ^= P;  // invert
+      } else {
+        const std::uint32_t t = (X[0] ^ X[static_cast<std::size_t>(i)]) & P;
+        X[0] ^= t;
+        X[static_cast<std::size_t>(i)] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < 3; ++i)
+    X[static_cast<std::size_t>(i)] ^= X[static_cast<std::size_t>(i) - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t Q = M; Q > 1; Q >>= 1)
+    if (X[2] & Q) t ^= Q - 1;
+  for (auto& v : X) v ^= t;
+
+  // Interleave the transposed bits into a single index: bit b of axis a
+  // lands at position 3*b + (2 - a).
+  std::uint64_t h = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int a = 0; a < 3; ++a) {
+      h <<= 1;
+      h |= (X[static_cast<std::size_t>(a)] >> b) & 1u;
+    }
+  }
+  return h;
+}
+
+std::vector<std::int64_t> sfc_order(mesh::Index3 dims, Curve curve) {
+  JSWEEP_CHECK(dims.i > 0 && dims.j > 0 && dims.k > 0);
+  const std::int64_t n =
+      static_cast<std::int64_t>(dims.i) * dims.j * dims.k;
+  const int max_dim = std::max({dims.i, dims.j, dims.k});
+  const int bits = std::max(
+      1, static_cast<int>(std::bit_width(static_cast<unsigned>(max_dim - 1))));
+
+  std::vector<std::pair<std::uint64_t, std::int64_t>> keyed(
+      static_cast<std::size_t>(n));
+  std::int64_t idx = 0;
+  for (int z = 0; z < dims.k; ++z) {
+    for (int y = 0; y < dims.j; ++y) {
+      for (int x = 0; x < dims.i; ++x, ++idx) {
+        const std::uint64_t key =
+            curve == Curve::Morton
+                ? morton3(static_cast<std::uint32_t>(x),
+                          static_cast<std::uint32_t>(y),
+                          static_cast<std::uint32_t>(z))
+                : hilbert3(static_cast<std::uint32_t>(x),
+                           static_cast<std::uint32_t>(y),
+                           static_cast<std::uint32_t>(z), bits);
+        keyed[static_cast<std::size_t>(idx)] = {key, idx};
+      }
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    order[static_cast<std::size_t>(i)] = keyed[static_cast<std::size_t>(i)].second;
+  return order;
+}
+
+std::vector<std::int32_t> partition_sfc(mesh::Index3 dims, int nparts,
+                                        Curve curve) {
+  JSWEEP_CHECK(nparts > 0);
+  const auto order = sfc_order(dims, curve);
+  const auto n = static_cast<std::int64_t>(order.size());
+  std::vector<std::int32_t> part(order.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Chunk boundaries at floor(i * nparts / n) keep sizes within one.
+    const auto p = static_cast<std::int32_t>((i * nparts) / n);
+    part[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = p;
+  }
+  return part;
+}
+
+}  // namespace jsweep::partition

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file sfc.hpp
+/// Space-filling-curve orderings for structured patch distribution
+/// (the paper's "Morton and Hilbert space filling curves for structured
+/// meshes", Sec. V-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace jsweep::partition {
+
+enum class Curve { Morton, Hilbert };
+
+/// Morton (Z-order) code of a lattice point; coordinates up to 2^21.
+std::uint64_t morton3(std::uint32_t x, std::uint32_t y, std::uint32_t z);
+
+/// Hilbert-curve index of a lattice point using `bits` bits per axis
+/// (Skilling's transpose algorithm). Coordinates must be < 2^bits.
+std::uint64_t hilbert3(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                       int bits);
+
+/// Permutation of the `dims` lattice that visits points in curve order.
+/// Entry i of the result is the linear index (x + dims.i*(y + dims.j*z)) of
+/// the i-th point along the curve.
+std::vector<std::int64_t> sfc_order(mesh::Index3 dims, Curve curve);
+
+/// Chop a curve ordering into `nparts` near-equal contiguous chunks:
+/// result[linear_index] = part. The standard SFC partitioning.
+std::vector<std::int32_t> partition_sfc(mesh::Index3 dims, int nparts,
+                                        Curve curve);
+
+}  // namespace jsweep::partition

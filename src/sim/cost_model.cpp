@@ -1,0 +1,37 @@
+#include "sim/cost_model.hpp"
+
+#include "mesh/structured_mesh.hpp"
+#include "sn/discretization.hpp"
+#include "sn/quadrature.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::sim {
+
+double calibrate_vertex_ns() {
+  // Time the real diamond-difference kernel over a 32³ block for one
+  // ordinate; report ns per (cell, angle) vertex.
+  const mesh::StructuredMesh m({32, 32, 32}, {1, 1, 1});
+  sn::CellXs xs;
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(n, 0.5);
+  xs.sigma_s.assign(n, 0.2);
+  xs.source.assign(n, 1.0);
+  const sn::StructuredDD disc(m, std::move(xs));
+  const sn::Ordinate ang{mesh::normalized({0.5, 0.6, 0.62}), 1.0, 0};
+  const std::vector<double> q(n, 0.25);
+
+  sn::FaceFluxMap flux;
+  flux.reserve(n * 3);
+  // Warm-up pass, then a timed pass.
+  double sink = 0.0;
+  for (int pass = 0; pass < 2; ++pass) flux.clear();
+  WallTimer timer;
+  for (std::int64_t c = 0; c < m.num_cells(); ++c)
+    sink += disc.sweep_cell(CellId{c}, ang, q, flux);
+  const double ns =
+      timer.seconds() * 1e9 / static_cast<double>(m.num_cells());
+  // Keep the optimizer honest.
+  return sink == -1.0 ? 0.0 : ns;
+}
+
+}  // namespace jsweep::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file emission.hpp
+/// Boundary transfer curves: how quickly a patch-program emits data for its
+/// downwind neighbors and how late it can tolerate its upwind inputs, as a
+/// function of execution progress. The curves are extracted by replaying
+/// the *real* Listing-1 ready-queue order (with the requested vertex
+/// priority strategy) on a representative interior patch — the simulator's
+/// pipelining behavior is therefore derived from the actual algorithm, not
+/// assumed.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/priority.hpp"
+#include "mesh/geometry.hpp"
+
+namespace jsweep::sim {
+
+struct TransferCurves {
+  /// emission[c]: fraction of outgoing (downwind cross-patch) faces whose
+  /// values exist after chunk c completes (cumulative, ends at 1).
+  std::vector<double> emission;
+  /// consumption[c]: fraction of incoming faces that must have arrived
+  /// before chunk c can execute (cumulative, ends at 1).
+  std::vector<double> consumption;
+
+  [[nodiscard]] int num_chunks() const {
+    return static_cast<int>(emission.size());
+  }
+
+  /// Fractional lookups that tolerate a different chunk count than the
+  /// representative patch produced.
+  [[nodiscard]] double emission_at(int chunk, int total_chunks) const;
+  [[nodiscard]] double consumption_at(int chunk, int total_chunks) const;
+
+  /// Minimal upwind chunk (of `upwind_chunks`) whose emission covers this
+  /// patch's consumption need before chunk `my_chunk` (of `my_chunks`);
+  /// -1 when no upwind data is needed yet.
+  [[nodiscard]] int required_upwind_chunk(int my_chunk, int my_chunks,
+                                          int upwind_chunks) const;
+};
+
+/// Replay a representative structured block patch (interior patch of a
+/// 3×3×3 patch lattice) for one direction.
+TransferCurves extract_curves_structured(mesh::Index3 patch_dims,
+                                         const mesh::Vec3& omega,
+                                         graph::PriorityStrategy strategy,
+                                         int cluster_grain);
+
+/// Replay a representative tetrahedral block patch: the interior block of
+/// a 3×3×3 lattice of blocks, each block `block_hexes`³ hexes = 6·that
+/// many tets.
+TransferCurves extract_curves_tet(int block_hexes, const mesh::Vec3& omega,
+                                  graph::PriorityStrategy strategy,
+                                  int cluster_grain);
+
+}  // namespace jsweep::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file kba_sim.hpp
+/// Pipeline model of the KBA sweep at scale (Table I's Denovo-class
+/// comparator). Ranks form a Px×Py column grid, one core per rank; tasks
+/// are (rank, angle, z-block) stages whose upwind dependencies and message
+/// delays reproduce pipeline fill/drain behavior exactly. Because each
+/// rank's task order is static, the schedule is computed by a dependency-
+/// ordered pass — no event queue needed.
+
+#include "mesh/geometry.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/data_driven_sim.hpp"
+#include "sn/quadrature.hpp"
+
+namespace jsweep::sim {
+
+struct KbaSimConfig {
+  mesh::Index3 mesh_dims{400, 400, 400};
+  int px = 1;
+  int py = 1;
+  int z_block = 10;
+  CostModel cost;
+};
+
+/// Simulate one full KBA sweep over all angles; `cores` in the result is
+/// px*py (one rank per core, the classic KBA deployment).
+SimResult simulate_kba(const KbaSimConfig& config, const sn::Quadrature& quad);
+
+}  // namespace jsweep::sim

@@ -1,0 +1,197 @@
+#include "sim/patch_topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "partition/block_layout.hpp"
+#include "partition/sfc.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::sim {
+
+PatchTopology PatchTopology::structured(mesh::Index3 mesh_dims,
+                                        mesh::Index3 patch_dims) {
+  const partition::StructuredBlockLayout layout(mesh_dims, patch_dims);
+  PatchTopology topo;
+  const int n = layout.num_patches();
+  topo.cells_.resize(static_cast<std::size_t>(n));
+  topo.neighbors_.resize(static_cast<std::size_t>(n));
+  topo.positions_.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    topo.cells_[static_cast<std::size_t>(p)] = layout.cells_in(PatchId{p});
+    topo.total_cells_ += topo.cells_[static_cast<std::size_t>(p)];
+    const mesh::Index3 g = layout.patch_index(PatchId{p});
+    topo.positions_[static_cast<std::size_t>(p)] = {
+        static_cast<double>(g.i), static_cast<double>(g.j),
+        static_cast<double>(g.k)};
+    for (int d = 0; d < 6; ++d) {
+      const auto dir = static_cast<mesh::FaceDir>(d);
+      const PatchId nb = layout.neighbor(PatchId{p}, dir);
+      if (!nb.valid()) continue;
+      topo.neighbors_[static_cast<std::size_t>(p)].push_back(
+          {nb.value(), mesh::kFaceNormals[static_cast<std::size_t>(d)],
+           layout.interface_cells(PatchId{p}, dir)});
+    }
+  }
+  return topo;
+}
+
+namespace {
+
+/// Shared lattice-of-blocks builder with a keep predicate over block
+/// coordinates (block side = 1, centered on the lattice).
+template <class Keep>
+PatchTopology lattice_blocks(mesh::Index3 dims, const Keep& keep,
+                             std::int64_t cells_per_patch,
+                             std::int64_t faces_per_interface) {
+  std::vector<std::int64_t> cells;
+  std::vector<mesh::Vec3> positions;
+  std::unordered_map<std::int64_t, std::int32_t> id_of;
+  const auto key = [&](int i, int j, int k) {
+    return i + static_cast<std::int64_t>(dims.i) *
+                   (j + static_cast<std::int64_t>(dims.j) * k);
+  };
+  for (int k = 0; k < dims.k; ++k) {
+    for (int j = 0; j < dims.j; ++j) {
+      for (int i = 0; i < dims.i; ++i) {
+        if (!keep(i, j, k)) continue;
+        const auto id = static_cast<std::int32_t>(cells.size());
+        id_of.emplace(key(i, j, k), id);
+        cells.push_back(cells_per_patch);
+        positions.push_back({static_cast<double>(i), static_cast<double>(j),
+                             static_cast<double>(k)});
+      }
+    }
+  }
+  JSWEEP_CHECK_MSG(!cells.empty(), "lattice model kept no patches");
+  std::vector<std::vector<PatchNeighbor>> neighbors(cells.size());
+  for (const auto& [k0, id] : id_of) {
+    const int i = static_cast<int>(k0 % dims.i);
+    const int j = static_cast<int>((k0 / dims.i) % dims.j);
+    const int k = static_cast<int>(k0 / (static_cast<std::int64_t>(dims.i) *
+                                         dims.j));
+    for (int d = 0; d < 6; ++d) {
+      const mesh::Index3 off = mesh::kFaceOffsets[static_cast<std::size_t>(d)];
+      const int ni = i + off.i;
+      const int nj = j + off.j;
+      const int nk = k + off.k;
+      if (ni < 0 || ni >= dims.i || nj < 0 || nj >= dims.j || nk < 0 ||
+          nk >= dims.k)
+        continue;
+      const auto it = id_of.find(key(ni, nj, nk));
+      if (it == id_of.end()) continue;
+      neighbors[static_cast<std::size_t>(id)].push_back(
+          {it->second, mesh::kFaceNormals[static_cast<std::size_t>(d)],
+           faces_per_interface});
+    }
+  }
+  return PatchTopology::from_raw(std::move(cells), std::move(neighbors),
+                                 std::move(positions));
+}
+
+}  // namespace
+
+PatchTopology PatchTopology::lattice_ball(int blocks_across,
+                                          std::int64_t cells_per_patch,
+                                          std::int64_t faces_per_interface) {
+  JSWEEP_CHECK(blocks_across >= 2);
+  const double r = blocks_across / 2.0;
+  return lattice_blocks(
+      {blocks_across, blocks_across, blocks_across},
+      [r, blocks_across](int i, int j, int k) {
+        const double x = i + 0.5 - blocks_across / 2.0;
+        const double y = j + 0.5 - blocks_across / 2.0;
+        const double z = k + 0.5 - blocks_across / 2.0;
+        return x * x + y * y + z * z <= r * r;
+      },
+      cells_per_patch, faces_per_interface);
+}
+
+PatchTopology PatchTopology::lattice_cylinder(
+    int blocks_across, int blocks_high, std::int64_t cells_per_patch,
+    std::int64_t faces_per_interface) {
+  JSWEEP_CHECK(blocks_across >= 2 && blocks_high >= 1);
+  const double r = blocks_across / 2.0;
+  return lattice_blocks(
+      {blocks_across, blocks_across, blocks_high},
+      [r, blocks_across](int i, int j, int) {
+        const double x = i + 0.5 - blocks_across / 2.0;
+        const double y = j + 0.5 - blocks_across / 2.0;
+        return x * x + y * y <= r * r;
+      },
+      cells_per_patch, faces_per_interface);
+}
+
+PatchTopology PatchTopology::from_patchset(const mesh::TetMesh& m,
+                                           const partition::PatchSet& ps) {
+  PatchTopology topo;
+  const int n = ps.num_patches();
+  topo.cells_.resize(static_cast<std::size_t>(n));
+  topo.neighbors_.resize(static_cast<std::size_t>(n));
+  topo.positions_.resize(static_cast<std::size_t>(n));
+
+  // Interface face counts and centroids from the mesh.
+  std::unordered_map<std::int64_t, std::int64_t> interface;  // (p,q) packed
+  const auto pack = [n](std::int32_t a, std::int32_t b) {
+    return static_cast<std::int64_t>(a) * n + b;
+  };
+  std::vector<mesh::Vec3> centroid_sum(static_cast<std::size_t>(n));
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    const auto p = ps.patch_of(CellId{c}).value();
+    centroid_sum[static_cast<std::size_t>(p)] += m.cell_centroid(CellId{c});
+    for (const auto f : m.cell_faces(CellId{c})) {
+      const CellId other = m.across(f, CellId{c});
+      if (!other.valid()) continue;
+      const auto q = ps.patch_of(other).value();
+      if (q != p) ++interface[pack(p, q)];
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    const auto count = static_cast<std::int64_t>(ps.cells(PatchId{p}).size());
+    topo.cells_[static_cast<std::size_t>(p)] = count;
+    topo.total_cells_ += count;
+    topo.positions_[static_cast<std::size_t>(p)] =
+        centroid_sum[static_cast<std::size_t>(p)] /
+        static_cast<double>(count);
+  }
+  for (const auto& [key, faces] : interface) {
+    const auto p = static_cast<std::int32_t>(key / n);
+    const auto q = static_cast<std::int32_t>(key % n);
+    const mesh::Vec3 off = normalized(topo.positions_[static_cast<std::size_t>(q)] -
+                                      topo.positions_[static_cast<std::size_t>(p)]);
+    topo.neighbors_[static_cast<std::size_t>(p)].push_back({q, off, faces});
+  }
+  return topo;
+}
+
+PatchTopology PatchTopology::from_raw(
+    std::vector<std::int64_t> cells,
+    std::vector<std::vector<PatchNeighbor>> neighbors,
+    std::vector<mesh::Vec3> positions) {
+  JSWEEP_CHECK(cells.size() == neighbors.size() &&
+               cells.size() == positions.size());
+  PatchTopology topo;
+  topo.cells_ = std::move(cells);
+  topo.neighbors_ = std::move(neighbors);
+  topo.positions_ = std::move(positions);
+  for (const auto c : topo.cells_) topo.total_cells_ += c;
+  return topo;
+}
+
+std::vector<std::int32_t> assign_processes(const PatchTopology& topo,
+                                           int processes) {
+  JSWEEP_CHECK(processes > 0);
+  const std::int32_t n = topo.num_patches();
+  std::vector<mesh::Vec3> centroids(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p)
+    centroids[static_cast<std::size_t>(p)] = topo.position(p);
+  const auto ranks = partition::assign_by_sfc(centroids, processes);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+  for (std::int32_t p = 0; p < n; ++p)
+    out[static_cast<std::size_t>(p)] =
+        ranks[static_cast<std::size_t>(p)].value();
+  return out;
+}
+
+}  // namespace jsweep::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file patch_topology.hpp
+/// Patch-level description of a decomposed mesh, the simulator's input.
+/// Holding only patch-granularity data (cell counts, neighbor offsets,
+/// interface sizes) lets the simulator represent Kobayashi-800-class
+/// problems (512M cells, 64k patches) that could never be materialized as
+/// cell meshes on this host.
+
+#include <cstdint>
+#include <vector>
+
+#include "mesh/geometry.hpp"
+#include "partition/patch_set.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::sim {
+
+struct PatchNeighbor {
+  std::int32_t patch = -1;        ///< neighbor patch id
+  mesh::Vec3 offset;              ///< direction from this patch to neighbor
+  std::int64_t interface_faces = 0;  ///< shared cell faces
+};
+
+class PatchTopology {
+ public:
+  [[nodiscard]] std::int32_t num_patches() const {
+    return static_cast<std::int32_t>(cells_.size());
+  }
+  [[nodiscard]] std::int64_t cells(std::int32_t p) const {
+    return cells_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::int64_t total_cells() const { return total_cells_; }
+  [[nodiscard]] const std::vector<PatchNeighbor>& neighbors(
+      std::int32_t p) const {
+    return neighbors_[static_cast<std::size_t>(p)];
+  }
+  /// Lattice coordinate of each patch (used for SFC process assignment).
+  [[nodiscard]] const mesh::Vec3& position(std::int32_t p) const {
+    return positions_[static_cast<std::size_t>(p)];
+  }
+
+  /// Upwind neighbors of p for direction omega (dot(offset, Ω) < 0 means
+  /// the neighbor feeds us).
+  template <class Fn>
+  void for_upwind(std::int32_t p, const mesh::Vec3& omega, Fn&& fn) const {
+    for (const auto& nb : neighbors(p))
+      if (dot(nb.offset, omega) < 0.0) fn(nb);
+  }
+  template <class Fn>
+  void for_downwind(std::int32_t p, const mesh::Vec3& omega, Fn&& fn) const {
+    for (const auto& nb : neighbors(p))
+      if (dot(nb.offset, omega) > 0.0) fn(nb);
+  }
+
+  /// Regular block decomposition of a structured mesh (implicit lattice).
+  static PatchTopology structured(mesh::Index3 mesh_dims,
+                                  mesh::Index3 patch_dims);
+
+  /// Lattice-of-blocks model of a tetrahedralized ball: keep blocks whose
+  /// center lies inside the sphere of `blocks_across/2` block radii; every
+  /// kept block holds `cells_per_patch` tets and interfaces carry
+  /// `faces_per_interface` tet faces.
+  static PatchTopology lattice_ball(int blocks_across,
+                                    std::int64_t cells_per_patch,
+                                    std::int64_t faces_per_interface);
+
+  /// Same for a cylinder (reactor core model).
+  static PatchTopology lattice_cylinder(int blocks_across, int blocks_high,
+                                        std::int64_t cells_per_patch,
+                                        std::int64_t faces_per_interface);
+
+  /// Exact topology from a real mesh decomposition (host-scale cases).
+  static PatchTopology from_patchset(const mesh::TetMesh& m,
+                                     const partition::PatchSet& ps);
+
+  /// Assemble from raw arrays (used by the builders; sizes must agree).
+  static PatchTopology from_raw(std::vector<std::int64_t> cells,
+                                std::vector<std::vector<PatchNeighbor>> neighbors,
+                                std::vector<mesh::Vec3> positions);
+
+ private:
+  std::vector<std::int64_t> cells_;
+  std::vector<std::vector<PatchNeighbor>> neighbors_;
+  std::vector<mesh::Vec3> positions_;
+  std::int64_t total_cells_ = 0;
+};
+
+/// Patch → process assignment over the topology (SFC order on positions).
+std::vector<std::int32_t> assign_processes(const PatchTopology& topo,
+                                           int processes);
+
+}  // namespace jsweep::sim

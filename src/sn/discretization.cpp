@@ -1,0 +1,106 @@
+#include "sn/discretization.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+namespace {
+
+double lookup(const FaceFluxMap& flux, std::int64_t face) {
+  const auto it = flux.find(face);
+  return it == flux.end() ? 0.0 : it->second;  // vacuum boundary
+}
+
+}  // namespace
+
+StructuredDD::StructuredDD(const mesh::StructuredMesh& m, CellXs xs,
+                           bool negative_flux_fixup)
+    : mesh_(m), xs_(std::move(xs)), fixup_(negative_flux_fixup) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(xs_.sigma_t.size()) ==
+               m.num_cells());
+}
+
+double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
+                                const std::vector<double>& q_per_ster,
+                                FaceFluxMap& flux) const {
+  const mesh::Vec3 sp = mesh_.spacing();
+  const mesh::Vec3 omega = ang.dir;
+
+  // Per-axis upwind/downwind faces for this ordinate.
+  const std::array<double, 3> absmu{std::abs(omega.x), std::abs(omega.y),
+                                    std::abs(omega.z)};
+  const std::array<double, 3> width{sp.x, sp.y, sp.z};
+  const std::array<mesh::FaceDir, 3> in_dir{
+      omega.x > 0 ? mesh::FaceDir::XLo : mesh::FaceDir::XHi,
+      omega.y > 0 ? mesh::FaceDir::YLo : mesh::FaceDir::YHi,
+      omega.z > 0 ? mesh::FaceDir::ZLo : mesh::FaceDir::ZHi};
+
+  double numerator = q_per_ster[static_cast<std::size_t>(c.value())];
+  double denominator = xs_.sigma_t[static_cast<std::size_t>(c.value())];
+  std::array<double, 3> psi_in{};
+  for (int axis = 0; axis < 3; ++axis) {
+    const double alpha = 2.0 * absmu[static_cast<std::size_t>(axis)] /
+                         width[static_cast<std::size_t>(axis)];
+    const auto nb = mesh_.neighbor(c, in_dir[static_cast<std::size_t>(axis)]);
+    const double in =
+        nb ? lookup(flux, graph::structured_face_id(
+                              *nb, mesh::opposite(
+                                       in_dir[static_cast<std::size_t>(axis)])))
+           : 0.0;
+    psi_in[static_cast<std::size_t>(axis)] = in;
+    numerator += alpha * in;
+    denominator += alpha;
+  }
+
+  const double psi_c = numerator / denominator;
+
+  for (int axis = 0; axis < 3; ++axis) {
+    double out = 2.0 * psi_c - psi_in[static_cast<std::size_t>(axis)];
+    if (fixup_ && out < 0.0) out = 0.0;
+    const mesh::FaceDir out_dir =
+        mesh::opposite(in_dir[static_cast<std::size_t>(axis)]);
+    flux[graph::structured_face_id(c, out_dir)] = out;
+  }
+  return psi_c;
+}
+
+TetStep::TetStep(const mesh::TetMesh& m, CellXs xs)
+    : mesh_(m), xs_(std::move(xs)) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(xs_.sigma_t.size()) ==
+               m.num_cells());
+}
+
+double TetStep::sweep_cell(CellId c, const Ordinate& ang,
+                           const std::vector<double>& q_per_ster,
+                           FaceFluxMap& flux) const {
+  const double volume = mesh_.cell_volume(c);
+  const mesh::Vec3 omega = ang.dir;
+
+  double numerator =
+      q_per_ster[static_cast<std::size_t>(c.value())] * volume;
+  double denominator =
+      xs_.sigma_t[static_cast<std::size_t>(c.value())] * volume;
+
+  // First pass: gather inflow and accumulate outflow coefficients.
+  for (const auto f : mesh_.cell_faces(c)) {
+    const mesh::Vec3 area = mesh_.outward_area(f, c);
+    const double adot = dot(area, omega);
+    if (adot > 0.0) {
+      denominator += adot;
+    } else if (adot < 0.0) {
+      numerator += (-adot) * lookup(flux, f);
+    }
+  }
+  const double psi_c = numerator / denominator;
+
+  // Second pass: the step scheme's outgoing face flux equals ψ_c.
+  for (const auto f : mesh_.cell_faces(c)) {
+    const mesh::Vec3 area = mesh_.outward_area(f, c);
+    if (dot(area, omega) > 0.0) flux[f] = psi_c;
+  }
+  return psi_c;
+}
+
+}  // namespace jsweep::sn

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file discretization.hpp
+/// Per-cell sweep kernels: the "user-defined numerical computation" of
+/// Listing 1. Given the incoming face angular fluxes of a cell, the kernel
+/// computes the cell flux and its outgoing face fluxes.
+///
+/// - StructuredDD: diamond-difference on uniform hexahedral cells (the
+///   JSNT-S / TORT-style kernel).
+/// - TetStep: upwind step (first-order finite volume) on tetrahedra (the
+///   JSNT-U-style kernel). Always positive and strictly conservative.
+///
+/// Face fluxes live in a FaceFluxMap keyed by global face id: the mesh face
+/// index for tets, structured_face_id(upwind_cell, out_dir) for structured
+/// meshes. A missing key reads as 0 (vacuum boundary).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/sweep_dag.hpp"
+#include "mesh/structured_mesh.hpp"
+#include "mesh/tet_mesh.hpp"
+#include "sn/quadrature.hpp"
+#include "sn/xs.hpp"
+
+namespace jsweep::sn {
+
+using FaceFluxMap = std::unordered_map<std::int64_t, double>;
+
+/// Abstract per-cell sweep kernel.
+class Discretization {
+ public:
+  virtual ~Discretization() = default;
+
+  /// Compute cell `c` for ordinate `ang` with per-steradian total source
+  /// `q_per_ster[c]`; reads incoming and writes outgoing face fluxes in
+  /// `flux`. Returns the cell-average angular flux ψ_c.
+  virtual double sweep_cell(CellId c, const Ordinate& ang,
+                            const std::vector<double>& q_per_ster,
+                            FaceFluxMap& flux) const = 0;
+
+  [[nodiscard]] virtual std::int64_t num_cells() const = 0;
+  [[nodiscard]] virtual double cell_volume(CellId c) const = 0;
+  [[nodiscard]] virtual const CellXs& xs() const = 0;
+};
+
+/// Diamond difference on a uniform structured mesh.
+class StructuredDD final : public Discretization {
+ public:
+  /// `negative_flux_fixup`: clamp negative extrapolated face fluxes to 0
+  /// (set-to-zero fixup, no rebalance). Recommended for void regions.
+  StructuredDD(const mesh::StructuredMesh& m, CellXs xs,
+               bool negative_flux_fixup = true);
+
+  double sweep_cell(CellId c, const Ordinate& ang,
+                    const std::vector<double>& q_per_ster,
+                    FaceFluxMap& flux) const override;
+
+  [[nodiscard]] std::int64_t num_cells() const override {
+    return mesh_.num_cells();
+  }
+  [[nodiscard]] double cell_volume(CellId) const override {
+    return mesh_.cell_volume();
+  }
+  [[nodiscard]] const CellXs& xs() const override { return xs_; }
+  [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
+
+ private:
+  const mesh::StructuredMesh& mesh_;
+  CellXs xs_;
+  bool fixup_;
+};
+
+/// Upwind step scheme on tetrahedra.
+class TetStep final : public Discretization {
+ public:
+  TetStep(const mesh::TetMesh& m, CellXs xs);
+
+  double sweep_cell(CellId c, const Ordinate& ang,
+                    const std::vector<double>& q_per_ster,
+                    FaceFluxMap& flux) const override;
+
+  [[nodiscard]] std::int64_t num_cells() const override {
+    return mesh_.num_cells();
+  }
+  [[nodiscard]] double cell_volume(CellId c) const override {
+    return mesh_.cell_volume(c);
+  }
+  [[nodiscard]] const CellXs& xs() const override { return xs_; }
+  [[nodiscard]] const mesh::TetMesh& mesh() const { return mesh_; }
+
+ private:
+  const mesh::TetMesh& mesh_;
+  CellXs xs_;
+};
+
+}  // namespace jsweep::sn

@@ -1,0 +1,140 @@
+#include "sn/multigroup.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+MultigroupXs::MultigroupXs(int groups, std::int64_t cells)
+    : groups_(groups), cells_(cells) {
+  JSWEEP_CHECK(groups >= 1 && cells >= 1);
+  sigma_t_.assign(static_cast<std::size_t>(cells) * groups_, 0.0);
+  source_.assign(static_cast<std::size_t>(cells) * groups_, 0.0);
+  sigma_s_.assign(static_cast<std::size_t>(cells) * groups_ * groups_, 0.0);
+}
+
+CellXs MultigroupXs::group_view(int g) const {
+  JSWEEP_CHECK(g >= 0 && g < groups_);
+  CellXs xs;
+  xs.sigma_t.resize(static_cast<std::size_t>(cells_));
+  xs.sigma_s.resize(static_cast<std::size_t>(cells_));
+  xs.source.resize(static_cast<std::size_t>(cells_));
+  for (std::int64_t c = 0; c < cells_; ++c) {
+    xs.sigma_t[static_cast<std::size_t>(c)] = sigma_t(g, c);
+    xs.sigma_s[static_cast<std::size_t>(c)] = sigma_s(g, g, c);
+    // The external part of group g's source is filled per outer iteration
+    // by solve_multigroup; group_view carries only the material source.
+    xs.source[static_cast<std::size_t>(c)] = source(g, c);
+  }
+  return xs;
+}
+
+bool MultigroupXs::has_upscatter() const {
+  for (std::int64_t c = 0; c < cells_; ++c)
+    for (int from = 0; from < groups_; ++from)
+      for (int to = 0; to < from; ++to)
+        if (sigma_s(from, to, c) != 0.0) return true;
+  return false;
+}
+
+MultigroupXs MultigroupXs::cascade(const MaterialTable& table,
+                                   const std::vector<int>& materials,
+                                   std::int64_t cells, int groups,
+                                   double within) {
+  JSWEEP_CHECK(within >= 0.0 && within <= 1.0);
+  MultigroupXs xs(groups, cells);
+  for (std::int64_t c = 0; c < cells; ++c) {
+    const int mat =
+        materials.empty() ? 0 : materials[static_cast<std::size_t>(c)];
+    const CrossSection& base = table.at(mat);
+    for (int g = 0; g < groups; ++g) {
+      // Harder (higher) groups are slightly more absorbing.
+      xs.sigma_t(g, c) = base.sigma_t * (1.0 + 0.25 * g);
+      // External source enters the fastest group only (fission-like).
+      xs.source(g, c) = g == 0 ? base.source : 0.0;
+      const double total_scatter = base.sigma_s * (1.0 + 0.25 * g);
+      if (g + 1 < groups) {
+        xs.sigma_s(g, g, c) = within * total_scatter;
+        xs.sigma_s(g, g + 1, c) = (1.0 - within) * total_scatter;
+      } else {
+        xs.sigma_s(g, g, c) = total_scatter;  // terminal group
+      }
+    }
+  }
+  return xs;
+}
+
+MultigroupResult solve_multigroup(const MultigroupXs& xs,
+                                  const GroupSweepFactory& sweeps,
+                                  const MultigroupOptions& options) {
+  const int G = xs.groups();
+  const std::int64_t n = xs.cells();
+  constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
+
+  MultigroupResult result;
+  result.phi.assign(static_cast<std::size_t>(G),
+                    std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  std::vector<SweepOperator> group_sweep;
+  group_sweep.reserve(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) group_sweep.push_back(sweeps(g));
+
+  const int outers =
+      xs.has_upscatter() ? options.max_outer_iterations : 1;
+
+  for (int outer = 0; outer < outers; ++outer) {
+    double outer_error = 0.0;
+    for (int g = 0; g < G; ++g) {
+      // Fixed in-scatter from the other groups' latest fluxes.
+      std::vector<double> inscatter(static_cast<std::size_t>(n), 0.0);
+      for (int from = 0; from < G; ++from) {
+        if (from == g) continue;
+        for (std::int64_t c = 0; c < n; ++c)
+          inscatter[static_cast<std::size_t>(c)] +=
+              xs.sigma_s(from, g, c) *
+              result.phi[static_cast<std::size_t>(from)]
+                        [static_cast<std::size_t>(c)];
+      }
+
+      // Within-group source iteration: q = (σ_gg φ_g + Q_g + inscatter)/4π.
+      CellXs view = xs.group_view(g);
+      std::vector<double> phi = result.phi[static_cast<std::size_t>(g)];
+      double error = 0.0;
+      int iterations = 0;
+      for (int it = 0; it < options.inner.max_iterations; ++it) {
+        std::vector<double> q(static_cast<std::size_t>(n));
+        for (std::int64_t c = 0; c < n; ++c)
+          q[static_cast<std::size_t>(c)] =
+              (view.sigma_s[static_cast<std::size_t>(c)] *
+                   phi[static_cast<std::size_t>(c)] +
+               view.source[static_cast<std::size_t>(c)] +
+               inscatter[static_cast<std::size_t>(c)]) *
+              kInvFourPi;
+        std::vector<double> phi_new =
+            group_sweep[static_cast<std::size_t>(g)](q);
+        ++result.total_sweeps;
+        error = relative_linf(phi_new, phi);
+        phi = std::move(phi_new);
+        iterations = it + 1;
+        if (error < options.inner.tolerance) break;
+      }
+      (void)iterations;
+      outer_error = std::max(
+          outer_error,
+          relative_linf(phi, result.phi[static_cast<std::size_t>(g)]));
+      result.phi[static_cast<std::size_t>(g)] = std::move(phi);
+    }
+    result.outer_iterations = outer + 1;
+    result.error = outer_error;
+    if (outer_error < options.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!xs.has_upscatter()) result.converged = true;
+  return result;
+}
+
+}  // namespace jsweep::sn

@@ -1,0 +1,154 @@
+#include "sn/quadrature.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+/// Level-symmetric LQn data (Lewis & Miller, Table 4-1). `mu` lists the
+/// positive direction-cosine levels; each point class is a multiset of
+/// three level indices with Σ μ² = 1 plus its per-octant weight
+/// (octant weights sum to 1).
+struct LqnData {
+  std::vector<double> mu;
+  struct PointClass {
+    std::array<int, 3> levels;  // sorted level indices (0-based)
+    double weight;
+  };
+  std::vector<PointClass> classes;
+};
+
+LqnData lqn_data(int n) {
+  switch (n) {
+    case 2:
+      return {{0.5773503}, {{{0, 0, 0}, 1.0}}};
+    case 4:
+      return {{0.3500212, 0.8688903}, {{{0, 0, 1}, 1.0 / 3.0}}};
+    case 6:
+      return {{0.2666355, 0.6815076, 0.9261808},
+              {{{0, 0, 2}, 0.1761263}, {{0, 1, 1}, 0.1572071}}};
+    case 8:
+      return {{0.2182179, 0.5773503, 0.7867958, 0.9511897},
+              {{{0, 0, 3}, 0.1209877},
+               {{0, 1, 2}, 0.0907407},
+               {{1, 1, 1}, 0.0925926}}};
+    default:
+      JSWEEP_CHECK_MSG(false, "level-symmetric S" << n
+                                                  << " not tabulated "
+                                                     "(use S2/S4/S6/S8 or a "
+                                                     "product set)");
+  }
+  return {};
+}
+
+/// All distinct permutations of a sorted index triple.
+std::vector<std::array<int, 3>> permutations(std::array<int, 3> levels) {
+  std::vector<std::array<int, 3>> perms;
+  std::sort(levels.begin(), levels.end());
+  do {
+    perms.push_back(levels);
+  } while (std::next_permutation(levels.begin(), levels.end()));
+  return perms;
+}
+
+/// Gauss-Legendre nodes/weights on [-1, 1] by Newton iteration.
+void gauss_legendre(int n, std::vector<double>& x, std::vector<double>& w) {
+  x.assign(static_cast<std::size_t>(n), 0.0);
+  w.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < (n + 1) / 2; ++i) {
+    // Chebyshev initial guess.
+    double z = std::cos(std::numbers::pi * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p0 = 1.0;
+      double p1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * z * p1 - j * p2) / (j + 1.0);
+      }
+      pp = n * (z * p0 - p1) / (z * z - 1.0);
+      const double z1 = z;
+      z = z1 - p0 / pp;
+      if (std::abs(z - z1) < 1e-15) break;
+    }
+    x[static_cast<std::size_t>(i)] = -z;
+    x[static_cast<std::size_t>(n - 1 - i)] = z;
+    w[static_cast<std::size_t>(i)] = 2.0 / ((1.0 - z * z) * pp * pp);
+    w[static_cast<std::size_t>(n - 1 - i)] = w[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace
+
+int octant_of(const mesh::Vec3& dir) {
+  return (dir.x < 0 ? 1 : 0) | (dir.y < 0 ? 2 : 0) | (dir.z < 0 ? 4 : 0);
+}
+
+Quadrature Quadrature::level_symmetric(int n) {
+  const LqnData data = lqn_data(n);
+  std::vector<Ordinate> ords;
+  ords.reserve(static_cast<std::size_t>(n * (n + 2)));
+  for (int oct = 0; oct < 8; ++oct) {
+    const double sx = (oct & 1) ? -1.0 : 1.0;
+    const double sy = (oct & 2) ? -1.0 : 1.0;
+    const double sz = (oct & 4) ? -1.0 : 1.0;
+    for (const auto& cls : data.classes) {
+      for (const auto& perm : permutations(cls.levels)) {
+        Ordinate o;
+        o.dir = {sx * data.mu[static_cast<std::size_t>(perm[0])],
+                 sy * data.mu[static_cast<std::size_t>(perm[1])],
+                 sz * data.mu[static_cast<std::size_t>(perm[2])]};
+        // Per-octant class weights sum to 1; scale so the sphere totals 4π.
+        o.weight = cls.weight * kFourPi / 8.0;
+        o.octant = oct;
+        ords.push_back(o);
+      }
+    }
+  }
+  JSWEEP_CHECK(static_cast<int>(ords.size()) == n * (n + 2));
+  return Quadrature(std::move(ords));
+}
+
+Quadrature Quadrature::product(int npolar, int nazim) {
+  JSWEEP_CHECK(npolar >= 2 && nazim >= 4 && nazim % 4 == 0);
+  std::vector<double> mu;
+  std::vector<double> wmu;
+  gauss_legendre(npolar, mu, wmu);
+
+  std::vector<Ordinate> ords;
+  ords.reserve(static_cast<std::size_t>(npolar) * nazim);
+  for (int i = 0; i < npolar; ++i) {
+    const double c = mu[static_cast<std::size_t>(i)];
+    const double s = std::sqrt(std::max(0.0, 1.0 - c * c));
+    for (int j = 0; j < nazim; ++j) {
+      // Offset keeps directions away from the axes (no grazing faces on
+      // axis-aligned meshes).
+      const double phi =
+          2.0 * std::numbers::pi * (j + 0.5) / static_cast<double>(nazim);
+      Ordinate o;
+      o.dir = {s * std::cos(phi), s * std::sin(phi), c};
+      o.weight = wmu[static_cast<std::size_t>(i)] * 2.0 * std::numbers::pi /
+                 static_cast<double>(nazim);
+      o.octant = octant_of(o.dir);
+      ords.push_back(o);
+    }
+  }
+  return Quadrature(std::move(ords));
+}
+
+double Quadrature::total_weight() const {
+  double sum = 0.0;
+  for (const auto& o : ordinates_) sum += o.weight;
+  return sum;
+}
+
+}  // namespace jsweep::sn

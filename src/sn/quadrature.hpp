@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file quadrature.hpp
+/// Angular quadrature sets for discrete-ordinates (Sn) transport.
+///
+/// Two families:
+///   - level-symmetric LQn sets (S2..S8) with the standard ordinates and
+///     weights, the sets the paper's experiments use (S2 for SnSweep-S,
+///     S4 = 24 angles for JSNT-U);
+///   - product (Gauss-Legendre polar × uniform azimuthal) sets for
+///     arbitrary direction counts (the paper's Kobayashi runs use 320
+///     directions).
+///
+/// Weights are normalized so they sum to 4π; the scalar flux is
+/// φ = Σ_m w_m ψ_m.
+
+#include <vector>
+
+#include "mesh/geometry.hpp"
+
+namespace jsweep::sn {
+
+struct Ordinate {
+  mesh::Vec3 dir;     ///< unit direction Ω
+  double weight = 0;  ///< quadrature weight (Σ = 4π)
+  int octant = 0;     ///< 0..7, bit 0: Ωx<0, bit 1: Ωy<0, bit 2: Ωz<0
+};
+
+class Quadrature {
+ public:
+  /// Level-symmetric LQn quadrature; n ∈ {2, 4, 6, 8}; n(n+2) directions.
+  static Quadrature level_symmetric(int n);
+
+  /// Product quadrature: `npolar` Gauss-Legendre polar levels × `nazim`
+  /// uniformly weighted azimuthal angles = npolar*nazim directions.
+  static Quadrature product(int npolar, int nazim);
+
+  [[nodiscard]] int num_angles() const {
+    return static_cast<int>(ordinates_.size());
+  }
+  [[nodiscard]] const Ordinate& angle(int a) const {
+    return ordinates_[static_cast<std::size_t>(a)];
+  }
+  [[nodiscard]] const std::vector<Ordinate>& ordinates() const {
+    return ordinates_;
+  }
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  explicit Quadrature(std::vector<Ordinate> ords)
+      : ordinates_(std::move(ords)) {}
+
+  std::vector<Ordinate> ordinates_;
+};
+
+/// Octant id of a direction.
+[[nodiscard]] int octant_of(const mesh::Vec3& dir);
+
+}  // namespace jsweep::sn

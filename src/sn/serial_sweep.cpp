@@ -1,0 +1,60 @@
+#include "sn/serial_sweep.hpp"
+
+#include "graph/sweep_dag.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+std::vector<double> serial_sweep(const StructuredDD& disc,
+                                 const Quadrature& quad,
+                                 const std::vector<double>& q_per_ster) {
+  const mesh::StructuredMesh& m = disc.mesh();
+  const mesh::Index3 d = m.dims();
+  std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
+
+  FaceFluxMap flux;
+  for (const auto& ang : quad.ordinates()) {
+    flux.clear();
+    // Upwind-to-downwind nested loops per axis sign.
+    const int i0 = ang.dir.x > 0 ? 0 : d.i - 1;
+    const int istep = ang.dir.x > 0 ? 1 : -1;
+    const int j0 = ang.dir.y > 0 ? 0 : d.j - 1;
+    const int jstep = ang.dir.y > 0 ? 1 : -1;
+    const int k0 = ang.dir.z > 0 ? 0 : d.k - 1;
+    const int kstep = ang.dir.z > 0 ? 1 : -1;
+    for (int kk = 0, k = k0; kk < d.k; ++kk, k += kstep) {
+      for (int jj = 0, j = j0; jj < d.j; ++jj, j += jstep) {
+        for (int ii = 0, i = i0; ii < d.i; ++ii, i += istep) {
+          const CellId c = m.cell_at({i, j, k});
+          const double psi = disc.sweep_cell(c, ang, q_per_ster, flux);
+          phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
+        }
+      }
+    }
+  }
+  return phi;
+}
+
+std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
+                                 const std::vector<double>& q_per_ster) {
+  const mesh::TetMesh& m = disc.mesh();
+  std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
+
+  FaceFluxMap flux;
+  for (const auto& ang : quad.ordinates()) {
+    flux.clear();
+    const graph::Digraph g = graph::build_global_cell_digraph(m, ang.dir);
+    const auto order = g.topological_order();
+    JSWEEP_CHECK_MSG(order.has_value(),
+                     "mesh induces a cyclic sweep dependency for direction "
+                         << ang.dir);
+    for (const auto v : *order) {
+      const CellId c{v};
+      const double psi = disc.sweep_cell(c, ang, q_per_ster, flux);
+      phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
+    }
+  }
+  return phi;
+}
+
+}  // namespace jsweep::sn

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file serial_sweep.hpp
+/// Serial reference sweeps: single-threaded, topologically ordered
+/// traversals used as ground truth by the test suite and as the inner
+/// operator of the serial solver examples. The parallel engines must
+/// reproduce these results bit-for-bit (the kernels are deterministic and
+/// execution order along the DAG does not change any operand).
+
+#include <vector>
+
+#include "sn/discretization.hpp"
+#include "sn/quadrature.hpp"
+
+namespace jsweep::sn {
+
+/// One full sweep over all angles on a structured mesh (octant-ordered
+/// nested loops — no explicit graph needed). Returns the scalar flux
+/// φ = Σ_m w_m ψ_m.
+std::vector<double> serial_sweep(const StructuredDD& disc,
+                                 const Quadrature& quad,
+                                 const std::vector<double>& q_per_ster);
+
+/// One full sweep over all angles on a tetrahedral mesh (explicit
+/// topological order per angle). Throws if any direction induces a cyclic
+/// dependency.
+std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
+                                 const std::vector<double>& q_per_ster);
+
+}  // namespace jsweep::sn

@@ -1,0 +1,58 @@
+#include "sn/source_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace jsweep::sn {
+
+std::vector<double> emission_density(const CellXs& xs,
+                                     const std::vector<double>& phi) {
+  JSWEEP_CHECK(phi.size() == xs.sigma_s.size());
+  constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
+  std::vector<double> q(phi.size());
+  for (std::size_t c = 0; c < phi.size(); ++c)
+    q[c] = (xs.sigma_s[c] * phi[c] + xs.source[c]) * kInvFourPi;
+  return q;
+}
+
+double relative_linf(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  JSWEEP_CHECK(a.size() == b.size());
+  double diff = 0.0;
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff = std::max(diff, std::abs(a[i] - b[i]));
+    scale = std::max(scale, std::abs(a[i]));
+  }
+  return scale > 0.0 ? diff / scale : diff;
+}
+
+SourceIterationResult source_iteration(
+    const CellXs& xs, const SweepOperator& sweep,
+    const SourceIterationOptions& options) {
+  SourceIterationResult result;
+  result.phi.assign(xs.sigma_t.size(), 0.0);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    const std::vector<double> q = emission_density(xs, result.phi);
+    std::vector<double> phi_new = sweep(q);
+    JSWEEP_CHECK(phi_new.size() == result.phi.size());
+    result.error = relative_linf(phi_new, result.phi);
+    result.phi = std::move(phi_new);
+    result.iterations = it + 1;
+    if (options.verbose)
+      JSWEEP_INFO("source iteration " << result.iterations << " error "
+                                      << result.error);
+    if (result.error < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace jsweep::sn

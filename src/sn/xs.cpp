@@ -1,0 +1,56 @@
+#include "sn/xs.hpp"
+
+namespace jsweep::sn {
+
+MaterialTable MaterialTable::kobayashi() {
+  // Indexed by mesh::Material: kMatSource=0, kMatVoid=1, kMatShield=2.
+  // Values follow the Kobayashi benchmark's "case with 50% scattering".
+  return MaterialTable({
+      {0.10, 0.05, 1.0},    // source
+      {1e-4, 5e-5, 0.0},    // void duct
+      {0.10, 0.05, 0.0},    // shield
+  });
+}
+
+MaterialTable MaterialTable::reactor() {
+  return MaterialTable({
+      {0.0, 0.0, 0.0},      // (unused id 0)
+      {0.0, 0.0, 0.0},      // (unused id 1)
+      {0.0, 0.0, 0.0},      // (unused id 2)
+      {1.0, 0.80, 1.0},     // kMatCore
+      {0.5, 0.45, 0.0},     // kMatReflector
+  });
+}
+
+MaterialTable MaterialTable::ball() {
+  return MaterialTable({
+      {0.0, 0.0, 0.0},      // (unused id 0)
+      {0.0, 0.0, 0.0},      // (unused id 1)
+      {0.20, 0.10, 0.0},    // kMatShield (outer)
+      {0.50, 0.25, 1.0},    // kMatCore (inner source)
+  });
+}
+
+MaterialTable MaterialTable::pure_absorber(double sigma_t, double source) {
+  return MaterialTable({{sigma_t, 0.0, source}});
+}
+
+CellXs expand(const MaterialTable& table, const std::vector<int>& materials,
+              std::int64_t num_cells) {
+  CellXs out;
+  out.sigma_t.resize(static_cast<std::size_t>(num_cells));
+  out.sigma_s.resize(static_cast<std::size_t>(num_cells));
+  out.source.resize(static_cast<std::size_t>(num_cells));
+  for (std::int64_t c = 0; c < num_cells; ++c) {
+    const int mat = materials.empty()
+                        ? 0
+                        : materials[static_cast<std::size_t>(c)];
+    const CrossSection& xs = table.at(mat);
+    out.sigma_t[static_cast<std::size_t>(c)] = xs.sigma_t;
+    out.sigma_s[static_cast<std::size_t>(c)] = xs.sigma_s;
+    out.source[static_cast<std::size_t>(c)] = xs.source;
+  }
+  return out;
+}
+
+}  // namespace jsweep::sn

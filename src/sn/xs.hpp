@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file xs.hpp
+/// One-group cross sections and the material tables of the benchmark
+/// problems.
+
+#include <vector>
+
+#include "mesh/generators.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+/// One-group, isotropic-scattering material.
+struct CrossSection {
+  double sigma_t = 0.0;  ///< total macroscopic cross section (1/cm)
+  double sigma_s = 0.0;  ///< isotropic scattering cross section (1/cm)
+  double source = 0.0;   ///< external volumetric source (n/cm³·s)
+};
+
+/// Material table indexed by mesh material id.
+class MaterialTable {
+ public:
+  MaterialTable() = default;
+  explicit MaterialTable(std::vector<CrossSection> xs) : xs_(std::move(xs)) {}
+
+  [[nodiscard]] const CrossSection& at(int material) const {
+    JSWEEP_CHECK_MSG(material >= 0 &&
+                         material < static_cast<int>(xs_.size()),
+                     "material " << material << " not in table");
+    return xs_[static_cast<std::size_t>(material)];
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(xs_.size()); }
+
+  /// Kobayashi-style table (ids from mesh::Material): source region with
+  /// 50% scattering, near-void duct, absorbing shield.
+  static MaterialTable kobayashi();
+
+  /// Reactor-style table: multiplying-ish core (high scattering ratio,
+  /// distributed source) and a reflector.
+  static MaterialTable reactor();
+
+  /// Ball: source core inside a scattering shield.
+  static MaterialTable ball();
+
+  /// Pure absorber everywhere (σs = 0) — used by the analytic attenuation
+  /// tests.
+  static MaterialTable pure_absorber(double sigma_t, double source);
+
+ private:
+  std::vector<CrossSection> xs_;
+};
+
+/// Expand per-cell arrays from a material map.
+struct CellXs {
+  std::vector<double> sigma_t;
+  std::vector<double> sigma_s;
+  std::vector<double> source;
+};
+
+CellXs expand(const MaterialTable& table, const std::vector<int>& materials,
+              std::int64_t num_cells);
+
+}  // namespace jsweep::sn

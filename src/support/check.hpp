@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file check.hpp
+/// Assertion and precondition macros used across the library.
+///
+/// JSWEEP_CHECK is always active (release builds included) and is used for
+/// user-facing precondition violations; JSWEEP_ASSERT compiles out in
+/// release builds and guards internal invariants on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace jsweep {
+
+/// Thrown when a JSWEEP_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "JSWEEP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace jsweep
+
+/// Precondition check, active in all build types. Throws jsweep::CheckError.
+#define JSWEEP_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::jsweep::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/// Precondition check with a streamed message:
+///   JSWEEP_CHECK_MSG(n > 0, "n=" << n);
+#define JSWEEP_CHECK_MSG(expr, stream_msg)                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream jsweep_check_os_;                                 \
+      jsweep_check_os_ << stream_msg;                                      \
+      ::jsweep::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                     jsweep_check_os_.str());              \
+    }                                                                      \
+  } while (0)
+
+/// Internal invariant; compiled out when NDEBUG is defined.
+#ifdef NDEBUG
+#define JSWEEP_ASSERT(expr) ((void)0)
+#else
+#define JSWEEP_ASSERT(expr) JSWEEP_CHECK(expr)
+#endif

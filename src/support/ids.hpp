@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file ids.hpp
+/// Strongly-typed identifiers for the entities that flow through JSweep.
+///
+/// Patch/cell/angle/rank indices are all plain integers at heart; wrapping
+/// them in distinct types catches the classic "passed a cell id where a
+/// patch id was expected" bug at compile time at zero runtime cost.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace jsweep {
+
+/// CRTP-free strong integer id. `Tag` disambiguates unrelated id spaces.
+template <class Tag, class Rep = std::int32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  /// Sentinel for "no such entity".
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{Rep{-1}}; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+ private:
+  Rep value_ = -1;
+};
+
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
+  return os << id.value();
+}
+
+struct PatchTag {};
+struct CellTag {};
+struct AngleTag {};
+struct RankTag {};
+struct WorkerTag {};
+struct TaskTagTag {};
+
+/// A patch (subdomain) of the mesh.
+using PatchId = StrongId<PatchTag>;
+/// A cell within the global mesh.
+using CellId = StrongId<CellTag, std::int64_t>;
+/// An angular ordinate (sweeping direction).
+using AngleId = StrongId<AngleTag>;
+/// A process rank in the communication substrate.
+using RankId = StrongId<RankTag>;
+/// A worker thread within one rank.
+using WorkerId = StrongId<WorkerTag>;
+/// Task tag distinguishing patch-programs on the same patch
+/// (for Sn sweeps this is the angle id; other components may use other tags).
+using TaskTag = StrongId<TaskTagTag>;
+
+/// Identifies one patch-program: the (patch, task) pair of the paper.
+struct ProgramKey {
+  PatchId patch;
+  TaskTag task;
+
+  constexpr auto operator<=>(const ProgramKey&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ProgramKey& k) {
+  return os << "(" << k.patch << "," << k.task << ")";
+}
+
+}  // namespace jsweep
+
+namespace std {
+
+template <class Tag, class Rep>
+struct hash<jsweep::StrongId<Tag, Rep>> {
+  size_t operator()(jsweep::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct hash<jsweep::ProgramKey> {
+  size_t operator()(const jsweep::ProgramKey& k) const noexcept {
+    // Splitmix-style mix of the two 32-bit ids.
+    std::uint64_t x = (static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(k.patch.value()))
+                       << 32) |
+                      static_cast<std::uint32_t>(k.task.value());
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe; writes whole lines so concurrent
+/// ranks don't interleave. Level is process-global and defaults to Warn so
+/// tests and benches stay quiet unless asked.
+
+#include <sstream>
+#include <string>
+
+namespace jsweep {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global log threshold.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+}  // namespace jsweep
+
+#define JSWEEP_LOG(level, stream_msg)                               \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::jsweep::log_level())) {                  \
+      std::ostringstream jsweep_log_os_;                            \
+      jsweep_log_os_ << stream_msg;                                 \
+      ::jsweep::detail::log_line(level, jsweep_log_os_.str());      \
+    }                                                               \
+  } while (0)
+
+#define JSWEEP_DEBUG(msg) JSWEEP_LOG(::jsweep::LogLevel::Debug, msg)
+#define JSWEEP_INFO(msg) JSWEEP_LOG(::jsweep::LogLevel::Info, msg)
+#define JSWEEP_WARN(msg) JSWEEP_LOG(::jsweep::LogLevel::Warn, msg)
+#define JSWEEP_ERROR(msg) JSWEEP_LOG(::jsweep::LogLevel::Error, msg)

@@ -1,0 +1,98 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace jsweep {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::min() const { return n_ ? min_ : 0.0; }
+double RunningStat::max() const { return n_ ? max_ : 0.0; }
+double RunningStat::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  JSWEEP_CHECK_MSG(hi > lo && bins > 0,
+                   "histogram range [" << lo << "," << hi << ") bins=" << bins);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::int64_t>(i, 0,
+                               static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+std::int64_t Histogram::bin_count(std::size_t i) const {
+  JSWEEP_CHECK(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  JSWEEP_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << lo_ << ".." << hi_ << ":";
+  for (const auto c : counts_) os << " " << c;
+  return os.str();
+}
+
+double speedup(double base_time, double time) {
+  JSWEEP_CHECK(time > 0.0);
+  return base_time / time;
+}
+
+double parallel_efficiency(double base_time, double base_cores, double time,
+                           double cores) {
+  JSWEEP_CHECK(cores > 0.0);
+  return speedup(base_time, time) * base_cores / cores;
+}
+
+}  // namespace jsweep

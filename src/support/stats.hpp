@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics used by the benchmark harness and the simulator's
+/// load/idle accounting.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsweep {
+
+/// Welford streaming accumulator: min / max / mean / variance without
+/// storing samples.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sum() const { return sum_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+  void reset() { *this = RunningStat{}; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for message-size and queue-depth profiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::int64_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+
+  /// Render as a compact single-line summary "lo..hi: c0 c1 c2 ...".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Parallel-efficiency helpers shared by the scaling benches.
+///
+/// speedup(base_time, base_cores, time, cores)   = base_time / time
+/// efficiency(...) = speedup * base_cores / cores
+[[nodiscard]] double speedup(double base_time, double time);
+[[nodiscard]] double parallel_efficiency(double base_time, double base_cores,
+                                         double time, double cores);
+
+}  // namespace jsweep

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for the benchmark harness. Every figure/table bench
+/// prints its series through this so the output format is uniform and easy
+/// to diff against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace jsweep {
+
+/// Column-aligned ASCII table.
+///
+///   Table t({"cores", "time(s)", "speedup"});
+///   t.add_row({"768", "143.2", "1.00"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int precision = 3);
+  /// Format helper: integer with no grouping.
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jsweep

@@ -1,0 +1,186 @@
+#include "sweep/coarsened_program.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace jsweep::sweep {
+
+CoarsenedSweepData::CoarsenedSweepData(const SweepTaskData& fine,
+                                       std::vector<std::int32_t> cluster_of,
+                                       std::int32_t num_clusters)
+    : fine_(fine),
+      cluster_of_(std::move(cluster_of)),
+      num_clusters_(num_clusters) {
+  const auto n = fine_.num_vertices();
+  JSWEEP_CHECK(static_cast<std::int32_t>(cluster_of_.size()) == n);
+  JSWEEP_CHECK(num_clusters_ > 0);
+
+  members_.resize(static_cast<std::size_t>(num_clusters_));
+  for (std::int32_t v = 0; v < n; ++v) {
+    const auto c = cluster_of_[static_cast<std::size_t>(v)];
+    JSWEEP_CHECK_MSG(c >= 0 && c < num_clusters_,
+                     "vertex " << v << " not clustered (run recorded?)");
+  }
+  // Members must be listed in the recorded *execution* order, which is the
+  // order vertices were popped — we reconstruct it per cluster by a local
+  // topological pass restricted to the cluster (any topological order of
+  // the cluster's internal sub-DAG is a valid execution order).
+  {
+    // In-degree restricted to intra-cluster edges.
+    std::vector<std::int32_t> indeg(static_cast<std::size_t>(n), 0);
+    for (std::int32_t u = 0; u < n; ++u) {
+      const auto cu = cluster_of_[static_cast<std::size_t>(u)];
+      fine_.for_out_local(u, [&](const OutLocal& e) {
+        JSWEEP_CHECK_MSG(
+            cu <= cluster_of_[static_cast<std::size_t>(e.w)],
+            "recorded clustering violates execution order on edge "
+                << u << "→" << e.w);
+        if (cluster_of_[static_cast<std::size_t>(e.w)] == cu)
+          ++indeg[static_cast<std::size_t>(e.w)];
+      });
+    }
+    std::vector<std::vector<std::int32_t>> frontier(
+        static_cast<std::size_t>(num_clusters_));
+    for (std::int32_t v = 0; v < n; ++v)
+      if (indeg[static_cast<std::size_t>(v)] == 0)
+        frontier[static_cast<std::size_t>(
+                     cluster_of_[static_cast<std::size_t>(v)])]
+            .push_back(v);
+    for (std::int32_t c = 0; c < num_clusters_; ++c) {
+      auto& order = members_[static_cast<std::size_t>(c)];
+      auto& ready = frontier[static_cast<std::size_t>(c)];
+      // Deterministic pop order: ascending vertex id.
+      std::sort(ready.begin(), ready.end(), std::greater<>());
+      while (!ready.empty()) {
+        const auto v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        fine_.for_out_local(v, [&](const OutLocal& e) {
+          if (cluster_of_[static_cast<std::size_t>(e.w)] == c &&
+              --indeg[static_cast<std::size_t>(e.w)] == 0) {
+            // Insert keeping descending order (small clusters: linear ok).
+            const auto it = std::lower_bound(ready.begin(), ready.end(), e.w,
+                                             std::greater<>());
+            ready.insert(it, e.w);
+          }
+        });
+      }
+    }
+    std::int64_t placed = 0;
+    for (const auto& m : members_) placed += static_cast<std::int64_t>(m.size());
+    JSWEEP_CHECK_MSG(placed == n, "cluster-internal cycle detected");
+  }
+
+  // Coarse edges (deduplicated) and initial counts.
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t u = 0; u < n; ++u) {
+    const auto cu = cluster_of_[static_cast<std::size_t>(u)];
+    fine_.for_out_local(u, [&](const OutLocal& e) {
+      const auto cw = cluster_of_[static_cast<std::size_t>(e.w)];
+      if (cu != cw) edges.emplace_back(cu, cw);
+    });
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  succ_off_.assign(static_cast<std::size_t>(num_clusters_) + 1, 0);
+  for (const auto& [cu, cw] : edges)
+    ++succ_off_[static_cast<std::size_t>(cu) + 1];
+  for (std::size_t i = 1; i < succ_off_.size(); ++i)
+    succ_off_[i] += succ_off_[i - 1];
+  succ_.resize(edges.size());
+  {
+    std::vector<std::int64_t> cursor(succ_off_.begin(), succ_off_.end() - 1);
+    for (const auto& [cu, cw] : edges)
+      succ_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(cu)]++)] =
+          cw;
+  }
+
+  initial_counts_.assign(static_cast<std::size_t>(num_clusters_), 0);
+  for (const auto& [cu, cw] : edges)
+    ++initial_counts_[static_cast<std::size_t>(cw)];
+  for (const auto& e : fine_.graph().remote_in)
+    ++initial_counts_[static_cast<std::size_t>(
+        cluster_of_[static_cast<std::size_t>(e.v)])];
+}
+
+CoarsenedSweepProgram::CoarsenedSweepProgram(const CoarsenedSweepData& data,
+                                             const SweepShared& shared)
+    : core::PatchProgram(data.fine().patch(),
+                         TaskTag{data.fine().angle().value()}),
+      data_(data),
+      shared_(shared),
+      fine_vertices_(data.fine().num_vertices()) {}
+
+void CoarsenedSweepProgram::init() {
+  counts_ = data_.initial_counts();
+  ready_ = {};
+  for (std::int32_t c = 0; c < data_.num_clusters(); ++c)
+    if (counts_[static_cast<std::size_t>(c)] == 0) ready_.push(c);
+  flux_.clear();
+  out_items_.clear();
+  pending_.clear();
+  phi_.assign(static_cast<std::size_t>(fine_vertices_), 0.0);
+  computed_ = 0;
+}
+
+void CoarsenedSweepProgram::input(const core::Stream& s) {
+  JSWEEP_CHECK(s.dst == key());
+  for (const auto& item : decode_items(s.data)) {
+    flux_[item.face] = item.value;
+    const std::int32_t v =
+        shared_.patches->local_index(CellId{item.cell});
+    const auto c = data_.cluster_of()[static_cast<std::size_t>(v)];
+    auto& count = counts_[static_cast<std::size_t>(c)];
+    JSWEEP_CHECK_MSG(count > 0, "coarse dependency underflow at cluster "
+                                    << c);
+    if (--count == 0) ready_.push(c);
+  }
+}
+
+void CoarsenedSweepProgram::compute() {
+  if (ready_.empty()) return;
+  const std::int32_t c = ready_.top();
+  ready_.pop();
+
+  const sn::Ordinate& ang = shared_.quad->angle(key().task.value());
+  const std::vector<double>& q = *shared_.q_per_ster;
+  const auto& cells = shared_.patches->cells(key().patch);
+  const SweepTaskData& fine = data_.fine();
+
+  for (const auto v : data_.members(c)) {
+    const CellId cell = cells[static_cast<std::size_t>(v)];
+    const double psi = shared_.disc->sweep_cell(cell, ang, q, flux_);
+    phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    ++computed_;
+    fine.for_out_remote(v, [&](const graph::RemoteOutEdge& e) {
+      out_items_[e.dst_patch].push_back(
+          StreamItem{e.dst_cell, e.face, flux_[e.face]});
+    });
+  }
+  data_.for_succ(c, [&](std::int32_t succ) {
+    if (--counts_[static_cast<std::size_t>(succ)] == 0) ready_.push(succ);
+  });
+
+  for (auto& [dst_patch, items] : out_items_) {
+    if (items.empty()) continue;
+    core::Stream s;
+    s.src = key();
+    s.dst = ProgramKey{dst_patch, key().task};
+    s.data = encode_items(items);
+    items.clear();
+    pending_.push_back(std::move(s));
+  }
+}
+
+std::optional<core::Stream> CoarsenedSweepProgram::output() {
+  if (pending_.empty()) return std::nullopt;
+  core::Stream s = std::move(pending_.back());
+  pending_.pop_back();
+  return s;
+}
+
+bool CoarsenedSweepProgram::vote_to_halt() { return ready_.empty(); }
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file coarsened_program.hpp
+/// Coarsened-graph sweep replay (Sec. V-E). After one recorded DAG sweep,
+/// each (patch, angle) program's compute() batches become the clusters of a
+/// coarsened graph CG; later iterations run one cluster per task execution,
+/// skipping per-vertex scheduling and per-fine-edge counter updates.
+///
+/// Deadlock-freedom across patches: clusters are compute() batches, streams
+/// are emitted at batch end and consumed between batches, so every coarse
+/// edge (local or remote) points from a cluster that finished earlier to
+/// one that started later — the global coarse graph is acyclic (the
+/// distributed extension of the paper's Theorem 1).
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "core/patch_program.hpp"
+#include "sweep/sweep_program.hpp"
+
+namespace jsweep::sweep {
+
+/// Immutable cluster-level structure derived from a recorded execution.
+class CoarsenedSweepData {
+ public:
+  /// `cluster_of[v]` = recorded cluster of each fine vertex (all >= 0),
+  /// with cluster ids in batch-creation order.
+  CoarsenedSweepData(const SweepTaskData& fine,
+                     std::vector<std::int32_t> cluster_of,
+                     std::int32_t num_clusters);
+
+  [[nodiscard]] const SweepTaskData& fine() const { return fine_; }
+  [[nodiscard]] std::int32_t num_clusters() const { return num_clusters_; }
+  [[nodiscard]] const std::vector<std::int32_t>& members(
+      std::int32_t c) const {
+    return members_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& cluster_of() const {
+    return cluster_of_;
+  }
+  [[nodiscard]] const std::vector<std::int32_t>& initial_counts() const {
+    return initial_counts_;
+  }
+
+  /// Coarse local successors of cluster c (deduplicated).
+  template <class Fn>
+  void for_succ(std::int32_t c, Fn&& fn) const {
+    for (auto e = succ_off_[static_cast<std::size_t>(c)];
+         e < succ_off_[static_cast<std::size_t>(c) + 1]; ++e)
+      fn(succ_[static_cast<std::size_t>(e)]);
+  }
+
+ private:
+  const SweepTaskData& fine_;
+  std::vector<std::int32_t> cluster_of_;
+  std::int32_t num_clusters_;
+  std::vector<std::vector<std::int32_t>> members_;  ///< execution order
+  std::vector<std::int64_t> succ_off_;
+  std::vector<std::int32_t> succ_;
+  /// #coarse local predecessors + #remote-in fine edges, per cluster.
+  std::vector<std::int32_t> initial_counts_;
+};
+
+/// Patch-program that replays the sweep cluster-by-cluster on CG.
+class CoarsenedSweepProgram final : public core::PatchProgram {
+ public:
+  CoarsenedSweepProgram(const CoarsenedSweepData& data,
+                        const SweepShared& shared);
+
+  void init() override;
+  void input(const core::Stream& s) override;
+  void compute() override;
+  std::optional<core::Stream> output() override;
+  bool vote_to_halt() override;
+  [[nodiscard]] std::int64_t remaining_work() const override {
+    return fine_vertices_ - computed_;
+  }
+  [[nodiscard]] std::int64_t total_work() const override {
+    return fine_vertices_;
+  }
+
+  [[nodiscard]] const std::vector<double>& phi_local() const { return phi_; }
+
+ private:
+  const CoarsenedSweepData& data_;
+  const SweepShared& shared_;
+  std::int64_t fine_vertices_;
+
+  std::vector<std::int32_t> counts_;  ///< per cluster
+  /// Ready clusters in creation order (min-heap on cluster id — creation
+  /// order is a topological order of CG).
+  std::priority_queue<std::int32_t, std::vector<std::int32_t>,
+                      std::greater<>>
+      ready_;
+  sn::FaceFluxMap flux_;
+  std::map<PatchId, std::vector<StreamItem>> out_items_;
+  std::vector<core::Stream> pending_;
+  std::vector<double> phi_;
+  std::int64_t computed_ = 0;
+};
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,200 @@
+#include "sweep/kba.hpp"
+
+#include "graph/sweep_dag.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::sweep {
+
+namespace {
+
+/// Even split of n cells over p parts: part i owns [lo, hi).
+std::pair<int, int> split_range(int n, int p, int i) {
+  const int lo = static_cast<int>(static_cast<std::int64_t>(n) * i / p);
+  const int hi = static_cast<int>(static_cast<std::int64_t>(n) * (i + 1) / p);
+  return {lo, hi};
+}
+
+struct PlaneHeader {
+  std::int32_t angle;
+  std::int32_t block;
+  std::int32_t axis;
+};
+
+}  // namespace
+
+KbaSolver::KbaSolver(comm::Context& ctx, const sn::StructuredDD& disc,
+                     const sn::Quadrature& quad, KbaConfig config)
+    : ctx_(ctx), disc_(disc), quad_(quad), config_(config) {
+  JSWEEP_CHECK_MSG(config_.px * config_.py == ctx_.size(),
+                   "KBA grid " << config_.px << "x" << config_.py
+                               << " != ranks " << ctx_.size());
+  JSWEEP_CHECK(config_.z_block >= 1);
+  const mesh::Index3 d = disc_.mesh().dims();
+  rx_ = ctx_.rank().value() % config_.px;
+  ry_ = ctx_.rank().value() / config_.px;
+  std::tie(x_lo_, x_hi_) = split_range(d.i, config_.px, rx_);
+  std::tie(y_lo_, y_hi_) = split_range(d.j, config_.py, ry_);
+  JSWEEP_CHECK_MSG(x_hi_ > x_lo_ && y_hi_ > y_lo_,
+                   "KBA grid finer than the mesh");
+}
+
+std::vector<double> KbaSolver::recv_plane(const PlaneKey& key) {
+  WallTimer wait;
+  for (;;) {
+    const auto it = plane_buffer_.find(key);
+    if (it != plane_buffer_.end()) {
+      std::vector<double> values = std::move(it->second);
+      plane_buffer_.erase(it);
+      stats_.wait_seconds += wait.seconds();
+      return values;
+    }
+    const comm::Message msg = ctx_.recv();
+    JSWEEP_CHECK(msg.tag == comm::kTagUser);
+    comm::ByteReader r(msg.payload);
+    const auto header = r.read<PlaneHeader>();
+    auto values = r.read_vector<double>();
+    plane_buffer_.emplace(PlaneKey{header.angle, header.block, header.axis},
+                          std::move(values));
+  }
+}
+
+void KbaSolver::send_plane(RankId dest, const PlaneKey& key,
+                           const std::vector<double>& values) {
+  comm::ByteWriter w(sizeof(PlaneHeader) + 8 + values.size() * 8);
+  w.write(PlaneHeader{key.angle, key.block, key.axis});
+  w.write_vector(values);
+  stats_.bytes += static_cast<std::int64_t>(w.size());
+  ++stats_.messages;
+  ctx_.send(dest, comm::kTagUser, w.take());
+}
+
+std::vector<double> KbaSolver::sweep(const std::vector<double>& q_per_ster) {
+  const mesh::StructuredMesh& m = disc_.mesh();
+  const mesh::Index3 d = m.dims();
+  JSWEEP_CHECK(static_cast<std::int64_t>(q_per_ster.size()) == m.num_cells());
+  WallTimer total;
+  stats_ = KbaStats{};
+
+  std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
+  const int nx = x_hi_ - x_lo_;
+  const int ny = y_hi_ - y_lo_;
+  const int nblocks = (d.k + config_.z_block - 1) / config_.z_block;
+
+  sn::FaceFluxMap flux;
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    const sn::Ordinate& ang = quad_.angle(a);
+    flux.clear();
+
+    const bool xup = ang.dir.x > 0;  // sweep toward +x?
+    const bool yup = ang.dir.y > 0;
+    const bool zup = ang.dir.z > 0;
+    // Upwind/downwind neighbor ranks (invalid at grid edges).
+    const int rx_up = xup ? rx_ - 1 : rx_ + 1;
+    const int rx_dn = xup ? rx_ + 1 : rx_ - 1;
+    const int ry_up = yup ? ry_ - 1 : ry_ + 1;
+    const int ry_dn = yup ? ry_ + 1 : ry_ - 1;
+    const bool has_x_up = rx_up >= 0 && rx_up < config_.px;
+    const bool has_x_dn = rx_dn >= 0 && rx_dn < config_.px;
+    const bool has_y_up = ry_up >= 0 && ry_up < config_.py;
+    const bool has_y_dn = ry_dn >= 0 && ry_dn < config_.py;
+
+    // The boundary cell column we receive into / send from.
+    const int x_in = xup ? x_lo_ : x_hi_ - 1;   // our upwind x column
+    const int x_out = xup ? x_hi_ - 1 : x_lo_;  // our downwind x column
+    const int y_in = yup ? y_lo_ : y_hi_ - 1;
+    const int y_out = yup ? y_hi_ - 1 : y_lo_;
+    const mesh::FaceDir x_out_dir = xup ? mesh::FaceDir::XHi
+                                        : mesh::FaceDir::XLo;
+    const mesh::FaceDir y_out_dir = yup ? mesh::FaceDir::YHi
+                                        : mesh::FaceDir::YLo;
+
+    for (int b = 0; b < nblocks; ++b) {
+      // Block b is the b-th pipeline stage along the sweep direction, so
+      // for Ωz<0 stages run from the top of the mesh downward.
+      const int zb_lo = zup ? b * config_.z_block
+                            : std::max(0, d.k - (b + 1) * config_.z_block);
+      const int zb_hi =
+          zup ? std::min(d.k, zb_lo + config_.z_block) : d.k - b * config_.z_block;
+      const int block_nz = zb_hi - zb_lo;
+
+      // Receive upwind boundary planes and seed the flux map. The plane is
+      // stored as values through the faces of the *neighbor's* boundary
+      // cells, keyed exactly as the DD kernel looks them up.
+      if (has_x_up) {
+        const auto values = recv_plane({a, b, 0});
+        JSWEEP_CHECK(static_cast<int>(values.size()) == ny * block_nz);
+        std::size_t idx = 0;
+        const int nb_x = xup ? x_lo_ - 1 : x_hi_;  // ghost cell column
+        for (int z = 0; z < block_nz; ++z) {
+          for (int y = 0; y < ny; ++y, ++idx) {
+            const int zz = zup ? zb_lo + z : zb_hi - 1 - z;
+            const CellId ghost = m.cell_at({nb_x, y_lo_ + y, zz});
+            flux[graph::structured_face_id(ghost, x_out_dir)] = values[idx];
+          }
+        }
+      }
+      if (has_y_up) {
+        const auto values = recv_plane({a, b, 1});
+        JSWEEP_CHECK(static_cast<int>(values.size()) == nx * block_nz);
+        std::size_t idx = 0;
+        const int nb_y = yup ? y_lo_ - 1 : y_hi_;
+        for (int z = 0; z < block_nz; ++z) {
+          for (int x = 0; x < nx; ++x, ++idx) {
+            const int zz = zup ? zb_lo + z : zb_hi - 1 - z;
+            const CellId ghost = m.cell_at({x_lo_ + x, nb_y, zz});
+            flux[graph::structured_face_id(ghost, y_out_dir)] = values[idx];
+          }
+        }
+      }
+
+      // Compute the block, upwind to downwind in all three axes.
+      for (int zz = 0; zz < block_nz; ++zz) {
+        const int z = zup ? zb_lo + zz : zb_hi - 1 - zz;
+        for (int yy = 0; yy < ny; ++yy) {
+          const int y = yup ? y_lo_ + yy : y_hi_ - 1 - yy;
+          for (int xx = 0; xx < nx; ++xx) {
+            const int x = xup ? x_lo_ + xx : x_hi_ - 1 - xx;
+            const CellId c = m.cell_at({x, y, z});
+            const double psi = disc_.sweep_cell(c, ang, q_per_ster, flux);
+            phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
+          }
+        }
+      }
+
+      // Ship downwind boundary planes.
+      if (has_x_dn) {
+        std::vector<double> values;
+        values.reserve(static_cast<std::size_t>(ny) * block_nz);
+        for (int z = 0; z < block_nz; ++z) {
+          for (int y = 0; y < ny; ++y) {
+            const int zz = zup ? zb_lo + z : zb_hi - 1 - z;
+            const CellId c = m.cell_at({x_out, y_lo_ + y, zz});
+            values.push_back(
+                flux[graph::structured_face_id(c, x_out_dir)]);
+          }
+        }
+        send_plane(rank_at(rx_dn, ry_), {a, b, 0}, values);
+      }
+      if (has_y_dn) {
+        std::vector<double> values;
+        values.reserve(static_cast<std::size_t>(nx) * block_nz);
+        for (int z = 0; z < block_nz; ++z) {
+          for (int x = 0; x < nx; ++x) {
+            const int zz = zup ? zb_lo + z : zb_hi - 1 - z;
+            const CellId c = m.cell_at({x_lo_ + x, y_out, zz});
+            values.push_back(
+                flux[graph::structured_face_id(c, y_out_dir)]);
+          }
+        }
+        send_plane(rank_at(rx_, ry_dn), {a, b, 1}, values);
+      }
+    }
+  }
+
+  ctx_.allreduce_sum(phi);
+  stats_.elapsed_seconds = total.seconds();
+  return phi;
+}
+
+}  // namespace jsweep::sweep

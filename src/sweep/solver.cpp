@@ -1,0 +1,215 @@
+#include "sweep/solver.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::sweep {
+
+SweepSolver::SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
+                         const partition::PatchSet& ps,
+                         std::vector<RankId> patch_owner,
+                         const sn::StructuredDD& disc,
+                         const sn::Quadrature& quad, SolverConfig config)
+    : ctx_(ctx),
+      ps_(ps),
+      owner_(std::move(patch_owner)),
+      quad_(quad),
+      config_(config) {
+  shared_.disc = &disc;
+  shared_.patches = &ps_;
+  shared_.quad = &quad_;
+  build(
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a) {
+        return graph::build_patch_task_graph(m, ps_, p, omega, a);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::build_patch_digraph(m, ps_, omega);
+      });
+}
+
+SweepSolver::SweepSolver(comm::Context& ctx, const mesh::TetMesh& m,
+                         const partition::PatchSet& ps,
+                         std::vector<RankId> patch_owner,
+                         const sn::TetStep& disc, const sn::Quadrature& quad,
+                         SolverConfig config)
+    : ctx_(ctx),
+      ps_(ps),
+      owner_(std::move(patch_owner)),
+      quad_(quad),
+      config_(config) {
+  shared_.disc = &disc;
+  shared_.patches = &ps_;
+  shared_.quad = &quad_;
+  build(
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a) {
+        return graph::build_patch_task_graph(m, ps_, p, omega, a);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::build_patch_digraph(m, ps_, omega);
+      });
+}
+
+SweepSolver::~SweepSolver() = default;
+
+void SweepSolver::build(
+    const std::function<graph::PatchTaskGraph(PatchId, const mesh::Vec3&,
+                                              AngleId)>& task_builder,
+    const std::function<graph::Digraph(const mesh::Vec3&)>&
+        patch_digraph_builder) {
+  JSWEEP_CHECK_MSG(static_cast<int>(owner_.size()) == ps_.num_patches(),
+                   "patch owner table size mismatch");
+  WallTimer timer;
+
+  std::vector<PatchId> local_patches;
+  for (int p = 0; p < ps_.num_patches(); ++p)
+    if (owner_[static_cast<std::size_t>(p)] == ctx_.rank())
+      local_patches.push_back(PatchId{p});
+
+  if (!config_.patch_angle_parallelism) {
+    patch_mutex_.resize(static_cast<std::size_t>(ps_.num_patches()));
+    for (const auto p : local_patches)
+      patch_mutex_[static_cast<std::size_t>(p.value())] =
+          std::make_unique<std::mutex>();
+  }
+
+  // Outer loop over angles so all programs of one angle share its
+  // patch-priority vector; programs are stored angle-major, a fixed order
+  // reused by the deterministic φ collection.
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    const mesh::Vec3 omega = quad_.angle(a).dir;
+    const graph::Digraph patch_graph = patch_digraph_builder(omega);
+    const std::vector<double> pprio =
+        graph::patch_priorities(config_.patch_priority, patch_graph);
+    // Angle priority: earlier (lower-id) angles strictly dominate so
+    // same-angle programs chain through the mesh back-to-back (Sec. V-D).
+    const double angle_prior = -static_cast<double>(a);
+    for (const auto p : local_patches) {
+      task_data_.push_back(std::make_unique<SweepTaskData>(
+          task_builder(p, omega, AngleId{a}), config_.vertex_priority));
+      program_priority_.push_back(graph::combined_priority(
+          angle_prior, pprio[static_cast<std::size_t>(p.value())]));
+    }
+  }
+
+  install_programs(config_.use_coarsened_graph);
+  stats_.build_seconds = timer.seconds();
+}
+
+void SweepSolver::install_programs(bool record_clusters) {
+  programs_.clear();
+  if (config_.engine == EngineKind::DataDriven) {
+    core::EngineConfig ec;
+    ec.num_workers = config_.num_workers;
+    ec.termination = core::TerminationMode::KnownWorkload;
+    engine_ = std::make_unique<core::Engine>(ctx_, ec);
+  } else {
+    core::BspConfig bc;
+    bc.num_threads = std::max(0, config_.num_workers - 1);
+    bsp_ = std::make_unique<core::BspEngine>(ctx_, bc);
+  }
+
+  for (std::size_t i = 0; i < task_data_.size(); ++i) {
+    SweepProgramOptions opts;
+    opts.cluster_grain = config_.cluster_grain;
+    opts.record_clusters = record_clusters;
+    if (!config_.patch_angle_parallelism)
+      opts.patch_serializer =
+          patch_mutex_[static_cast<std::size_t>(
+                           task_data_[i]->patch().value())]
+              .get();
+    auto prog = std::make_unique<SweepPatchProgram>(*task_data_[i], shared_,
+                                                    opts);
+    programs_.push_back(prog.get());
+    if (engine_) {
+      engine_->add_program(std::move(prog), program_priority_[i],
+                           /*initially_active=*/true);
+    } else {
+      bsp_->add_program(std::move(prog), /*initially_active=*/true);
+    }
+  }
+  if (engine_) {
+    engine_->set_routes(owner_);
+  } else {
+    bsp_->set_routes(owner_);
+  }
+}
+
+void SweepSolver::activate_coarsened() {
+  WallTimer timer;
+  coarse_data_.clear();
+  coarse_programs_.clear();
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    coarse_data_.push_back(std::make_unique<CoarsenedSweepData>(
+        *task_data_[i], programs_[i]->recorded_clusters(),
+        std::max<std::int32_t>(1, programs_[i]->recorded_num_clusters())));
+  }
+
+  // Fresh engine holding the coarsened programs; priorities carry over.
+  core::EngineConfig ec;
+  ec.num_workers = config_.num_workers;
+  ec.termination = core::TerminationMode::KnownWorkload;
+  auto coarse_engine = std::make_unique<core::Engine>(ctx_, ec);
+  for (std::size_t i = 0; i < coarse_data_.size(); ++i) {
+    auto prog =
+        std::make_unique<CoarsenedSweepProgram>(*coarse_data_[i], shared_);
+    coarse_programs_.push_back(prog.get());
+    coarse_engine->add_program(std::move(prog), program_priority_[i],
+                               /*initially_active=*/true);
+  }
+  coarse_engine->set_routes(owner_);
+  engine_ = std::move(coarse_engine);
+  programs_.clear();  // fine programs are gone with the old engine
+  coarsened_active_ = true;
+  stats_.coarsen_seconds += timer.seconds();
+}
+
+void SweepSolver::collect_phi(std::vector<double>& phi_global) const {
+  // Fixed program order + rank-ordered allreduce → bitwise deterministic
+  // results regardless of worker count or scheduling.
+  const auto accumulate = [&](const auto& progs) {
+    for (const auto* prog : progs) {
+      const auto& cells = ps_.cells(prog->key().patch);
+      const auto& phi = prog->phi_local();
+      for (std::size_t v = 0; v < phi.size(); ++v)
+        phi_global[static_cast<std::size_t>(cells[v].value())] += phi[v];
+    }
+  };
+  if (coarsened_active_) {
+    accumulate(coarse_programs_);
+  } else {
+    accumulate(programs_);
+  }
+}
+
+std::vector<double> SweepSolver::sweep(const std::vector<double>& q_per_ster) {
+  JSWEEP_CHECK(static_cast<std::int64_t>(q_per_ster.size()) ==
+               ps_.num_cells());
+  WallTimer timer;
+  q_current_ = q_per_ster;
+  shared_.q_per_ster = &q_current_;
+
+  if (engine_) {
+    engine_->run();
+    stats_.engine = engine_->stats();
+  } else {
+    bsp_->run();
+    stats_.bsp = bsp_->stats();
+  }
+
+  std::vector<double> phi(static_cast<std::size_t>(ps_.num_cells()), 0.0);
+  collect_phi(phi);
+  ctx_.allreduce_sum(phi);
+
+  // After the first recorded sweep, switch to the coarsened graph.
+  if (config_.use_coarsened_graph && !coarsened_active_ && engine_)
+    activate_coarsened();
+
+  ++stats_.sweeps;
+  stats_.last_sweep_seconds = timer.seconds();
+  return phi;
+}
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file solver.hpp
+/// The parallel sweep solver: builds the per-(patch, angle) task data on
+/// every rank, wires the sweep patch-programs into the chosen engine
+/// (data-driven or BSP baseline), and exposes one collective sweep()
+/// operation that source iteration plugs in as its SweepOperator.
+///
+/// Optimizations from Sec. V, all configurable:
+///   - patch-angle parallelism: one program per (patch, angle); the
+///     ablation serializes each patch's programs with a shared mutex;
+///   - vertex clustering: compute() batch size (`cluster_grain`);
+///   - two-level priority: `patch_priority` orders programs on a rank,
+///     `vertex_priority` orders ready vertices within a program;
+///   - coarsened graph: record the first sweep's clusters, replay later
+///     sweeps on the cluster-level graph.
+
+#include <memory>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/bsp_engine.hpp"
+#include "core/engine.hpp"
+#include "sn/source_iteration.hpp"
+#include "sweep/coarsened_program.hpp"
+#include "sweep/sweep_program.hpp"
+
+namespace jsweep::sweep {
+
+enum class EngineKind { DataDriven, Bsp };
+
+struct SolverConfig {
+  EngineKind engine = EngineKind::DataDriven;
+  int num_workers = 2;
+  int cluster_grain = 64;
+  graph::PriorityStrategy patch_priority = graph::PriorityStrategy::SLBD;
+  graph::PriorityStrategy vertex_priority = graph::PriorityStrategy::SLBD;
+  /// false = serialize all angles of a patch (the pre-JSweep model).
+  bool patch_angle_parallelism = true;
+  /// Replay sweeps 2..n on the coarsened graph.
+  bool use_coarsened_graph = false;
+};
+
+struct SolverStats {
+  int sweeps = 0;
+  double build_seconds = 0.0;
+  double coarsen_seconds = 0.0;
+  double last_sweep_seconds = 0.0;
+  core::EngineStats engine;  ///< last data-driven run
+  core::BspStats bsp;        ///< last BSP run
+};
+
+class SweepSolver {
+ public:
+  /// Structured-mesh solver. `patch_owner[p]` must be identical on all
+  /// ranks; `disc` and `quad` must outlive the solver.
+  SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
+              const partition::PatchSet& ps, std::vector<RankId> patch_owner,
+              const sn::StructuredDD& disc, const sn::Quadrature& quad,
+              SolverConfig config);
+
+  /// Unstructured-mesh solver.
+  SweepSolver(comm::Context& ctx, const mesh::TetMesh& m,
+              const partition::PatchSet& ps, std::vector<RankId> patch_owner,
+              const sn::TetStep& disc, const sn::Quadrature& quad,
+              SolverConfig config);
+
+  ~SweepSolver();
+
+  SweepSolver(const SweepSolver&) = delete;
+  SweepSolver& operator=(const SweepSolver&) = delete;
+
+  /// One full transport sweep over all angles; returns the global scalar
+  /// flux (identical on every rank). Collective.
+  std::vector<double> sweep(const std::vector<double>& q_per_ster);
+
+  /// Adapter for sn::source_iteration.
+  [[nodiscard]] sn::SweepOperator as_operator() {
+    return [this](const std::vector<double>& q) { return sweep(q); };
+  }
+
+  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+
+ private:
+  void build(const std::function<graph::PatchTaskGraph(
+                 PatchId, const mesh::Vec3&, AngleId)>& task_builder,
+             const std::function<graph::Digraph(const mesh::Vec3&)>&
+                 patch_digraph_builder);
+  void install_programs(bool record_clusters);
+  void activate_coarsened();
+  void collect_phi(std::vector<double>& phi_global) const;
+
+  comm::Context& ctx_;
+  const partition::PatchSet& ps_;
+  std::vector<RankId> owner_;
+  const sn::Quadrature& quad_;
+  SolverConfig config_;
+
+  SweepShared shared_;
+  std::vector<double> q_current_;
+
+  std::vector<std::unique_ptr<SweepTaskData>> task_data_;
+  std::vector<double> program_priority_;  ///< parallel to task_data_
+  std::vector<std::unique_ptr<std::mutex>> patch_mutex_;  ///< ablation
+
+  std::unique_ptr<core::Engine> engine_;
+  std::unique_ptr<core::BspEngine> bsp_;
+  std::vector<SweepPatchProgram*> programs_;  ///< engine-owned, fixed order
+  std::vector<std::unique_ptr<CoarsenedSweepData>> coarse_data_;
+  std::vector<CoarsenedSweepProgram*> coarse_programs_;
+  bool coarsened_active_ = false;
+
+  SolverStats stats_;
+};
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file stream_codec.hpp
+/// Payload format of sweep streams: a batch of face-flux deliveries. Each
+/// item says "the flux through `face` feeding your cell `cell` is `value`".
+/// Vertex clustering aggregates many items per stream (Sec. V-C benefit 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/serialize.hpp"
+
+namespace jsweep::sweep {
+
+struct StreamItem {
+  std::int64_t cell;   ///< destination cell (global id)
+  std::int64_t face;   ///< mesh face id carrying the flux
+  double value;        ///< angular face flux
+};
+
+static_assert(std::is_trivially_copyable_v<StreamItem>);
+
+inline comm::Bytes encode_items(const std::vector<StreamItem>& items) {
+  comm::ByteWriter w(sizeof(std::uint64_t) +
+                     items.size() * sizeof(StreamItem));
+  w.write_vector(items);
+  return w.take();
+}
+
+inline std::vector<StreamItem> decode_items(const comm::Bytes& bytes) {
+  comm::ByteReader r(bytes);
+  return r.read_vector<StreamItem>();
+}
+
+}  // namespace jsweep::sweep

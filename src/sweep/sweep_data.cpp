@@ -1,0 +1,43 @@
+#include "sweep/sweep_data.hpp"
+
+#include <algorithm>
+
+namespace jsweep::sweep {
+
+SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
+                             graph::PriorityStrategy vertex_strategy)
+    : graph_(std::move(g)) {
+  const auto n = static_cast<std::size_t>(graph_.num_vertices);
+
+  // Local out-edges with faces, CSR by source vertex.
+  out_off_.assign(n + 1, 0);
+  for (const auto& e : graph_.local_edges)
+    ++out_off_[static_cast<std::size_t>(e.u) + 1];
+  for (std::size_t i = 1; i < out_off_.size(); ++i)
+    out_off_[i] += out_off_[i - 1];
+  out_.resize(graph_.local_edges.size());
+  {
+    std::vector<std::int64_t> cursor(out_off_.begin(), out_off_.end() - 1);
+    for (const auto& e : graph_.local_edges)
+      out_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] =
+          {e.v, e.face};
+  }
+
+  // Remote out-edges, CSR by source vertex.
+  rout_off_.assign(n + 1, 0);
+  for (const auto& e : graph_.remote_out)
+    ++rout_off_[static_cast<std::size_t>(e.u) + 1];
+  for (std::size_t i = 1; i < rout_off_.size(); ++i)
+    rout_off_[i] += rout_off_[i - 1];
+  rout_.resize(graph_.remote_out.size());
+  {
+    std::vector<std::int64_t> cursor(rout_off_.begin(), rout_off_.end() - 1);
+    for (const auto& e : graph_.remote_out)
+      rout_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.u)]++)] = e;
+  }
+
+  vprio_ = graph::vertex_priorities(vertex_strategy, graph_);
+}
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file sweep_data.hpp
+/// Immutable per-(patch, angle) sweep data shared by every engine and every
+/// source iteration: the dependency graph in per-vertex CSR form (with face
+/// ids), vertex priorities, and the combined (patch, angle) scheduling
+/// priority. Building this once and reusing it across iterations mirrors
+/// the paper's constant-mesh assumption (Sec. V-E).
+
+#include <memory>
+#include <vector>
+
+#include "graph/priority.hpp"
+#include "graph/sweep_dag.hpp"
+#include "sn/quadrature.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::sweep {
+
+/// A local downwind edge of one vertex.
+struct OutLocal {
+  std::int32_t w;       ///< downwind local vertex
+  std::int64_t face;    ///< connecting face
+};
+
+class SweepTaskData {
+ public:
+  SweepTaskData(graph::PatchTaskGraph g,
+                graph::PriorityStrategy vertex_strategy);
+
+  [[nodiscard]] const graph::PatchTaskGraph& graph() const { return graph_; }
+  [[nodiscard]] PatchId patch() const { return graph_.patch; }
+  [[nodiscard]] AngleId angle() const { return graph_.angle; }
+  [[nodiscard]] std::int32_t num_vertices() const {
+    return graph_.num_vertices;
+  }
+
+  /// Local downwind edges of vertex v.
+  template <class Fn>
+  void for_out_local(std::int32_t v, Fn&& fn) const {
+    for (auto e = out_off_[static_cast<std::size_t>(v)];
+         e < out_off_[static_cast<std::size_t>(v) + 1]; ++e)
+      fn(out_[static_cast<std::size_t>(e)]);
+  }
+
+  /// Remote downwind edges of vertex v.
+  template <class Fn>
+  void for_out_remote(std::int32_t v, Fn&& fn) const {
+    for (auto e = rout_off_[static_cast<std::size_t>(v)];
+         e < rout_off_[static_cast<std::size_t>(v) + 1]; ++e)
+      fn(rout_[static_cast<std::size_t>(e)]);
+  }
+
+  [[nodiscard]] const std::vector<std::int32_t>& initial_counts() const {
+    return graph_.initial_counts;
+  }
+  [[nodiscard]] double vertex_priority(std::int32_t v) const {
+    return vprio_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::int64_t num_remote_out() const {
+    return static_cast<std::int64_t>(rout_.size());
+  }
+
+ private:
+  graph::PatchTaskGraph graph_;
+  std::vector<std::int64_t> out_off_;
+  std::vector<OutLocal> out_;
+  std::vector<std::int64_t> rout_off_;
+  std::vector<graph::RemoteOutEdge> rout_;
+  std::vector<double> vprio_;
+};
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,110 @@
+#include "sweep/sweep_program.hpp"
+
+#include "support/check.hpp"
+
+namespace jsweep::sweep {
+
+SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
+                                     const SweepShared& shared,
+                                     SweepProgramOptions options)
+    : core::PatchProgram(data.patch(), TaskTag{data.angle().value()}),
+      data_(data),
+      shared_(shared),
+      options_(options) {
+  JSWEEP_CHECK(options_.cluster_grain >= 1);
+}
+
+void SweepPatchProgram::mark_ready(std::int32_t v) {
+  ready_.push(ReadyEntry{data_.vertex_priority(v), v});
+}
+
+void SweepPatchProgram::init() {
+  counts_ = data_.initial_counts();
+  ready_ = {};
+  for (std::int32_t v = 0; v < data_.num_vertices(); ++v)
+    if (counts_[static_cast<std::size_t>(v)] == 0) mark_ready(v);
+  flux_.clear();
+  out_items_.clear();
+  pending_.clear();
+  phi_.assign(static_cast<std::size_t>(data_.num_vertices()), 0.0);
+  computed_ = 0;
+  if (options_.record_clusters) {
+    cluster_of_.assign(static_cast<std::size_t>(data_.num_vertices()), -1);
+    next_cluster_ = 0;
+  }
+}
+
+void SweepPatchProgram::input(const core::Stream& s) {
+  JSWEEP_CHECK_MSG(s.dst == key(), "stream for " << s.dst << " delivered to "
+                                                 << key());
+  for (const auto& item : decode_items(s.data)) {
+    flux_[item.face] = item.value;
+    const CellId cell{item.cell};
+    JSWEEP_ASSERT(shared_.patches->patch_of(cell) == data_.patch());
+    const std::int32_t v = shared_.patches->local_index(cell);
+    auto& count = counts_[static_cast<std::size_t>(v)];
+    JSWEEP_CHECK_MSG(count > 0, "dependency underflow at vertex " << v);
+    if (--count == 0) mark_ready(v);
+  }
+}
+
+void SweepPatchProgram::compute() {
+  // Optional per-patch serialization (patch-angle parallelism ablation).
+  std::unique_lock<std::mutex> serialize_lock;
+  if (options_.patch_serializer != nullptr)
+    serialize_lock = std::unique_lock<std::mutex>(*options_.patch_serializer);
+
+  const sn::Ordinate& ang = shared_.quad->angle(data_.angle().value());
+  const std::vector<double>& q = *shared_.q_per_ster;
+  const auto& cells = shared_.patches->cells(data_.patch());
+
+  int in_batch = 0;
+  while (!ready_.empty() && in_batch < options_.cluster_grain) {
+    const std::int32_t v = ready_.top().v;
+    ready_.pop();
+    ++in_batch;
+
+    const CellId cell = cells[static_cast<std::size_t>(v)];
+    const double psi = shared_.disc->sweep_cell(cell, ang, q, flux_);
+    phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    ++computed_;
+    if (options_.record_clusters)
+      cluster_of_[static_cast<std::size_t>(v)] = next_cluster_;
+
+    // Downwind updates: local vertices may become ready (possibly within
+    // this same batch — Listing 1's inner enqueue); remote edges buffer
+    // stream items for their destination patch.
+    data_.for_out_local(v, [&](const OutLocal& e) {
+      if (--counts_[static_cast<std::size_t>(e.w)] == 0) mark_ready(e.w);
+    });
+    data_.for_out_remote(v, [&](const graph::RemoteOutEdge& e) {
+      const auto it = flux_.find(e.face);
+      JSWEEP_ASSERT(it != flux_.end());
+      out_items_[e.dst_patch].push_back(
+          StreamItem{e.dst_cell, e.face, it->second});
+    });
+  }
+  if (options_.record_clusters && in_batch > 0) ++next_cluster_;
+
+  // Aggregate this batch's items into one stream per destination patch.
+  for (auto& [dst_patch, items] : out_items_) {
+    if (items.empty()) continue;
+    core::Stream s;
+    s.src = key();
+    s.dst = ProgramKey{dst_patch, TaskTag{data_.angle().value()}};
+    s.data = encode_items(items);
+    items.clear();
+    pending_.push_back(std::move(s));
+  }
+}
+
+std::optional<core::Stream> SweepPatchProgram::output() {
+  if (pending_.empty()) return std::nullopt;
+  core::Stream s = std::move(pending_.back());
+  pending_.pop_back();
+  return s;
+}
+
+bool SweepPatchProgram::vote_to_halt() { return ready_.empty(); }
+
+}  // namespace jsweep::sweep

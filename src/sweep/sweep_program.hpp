@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file sweep_program.hpp
+/// The data-driven Sn sweep patch-program — a faithful implementation of
+/// the paper's Listing 1. One instance handles one (patch, angle) pair;
+/// its local context is the per-vertex dependency counters, the ready
+/// priority queue, the face-flux table and the per-destination out-stream
+/// buffers. compute() retires up to `cluster_grain` ready vertices per
+/// execution (vertex clustering, Sec. V-C) and can record the resulting
+/// clusters to build the coarsened graph (Sec. V-E).
+
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "core/patch_program.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/discretization.hpp"
+#include "sn/quadrature.hpp"
+#include "sweep/stream_codec.hpp"
+#include "sweep/sweep_data.hpp"
+
+namespace jsweep::sweep {
+
+/// Rank-level context shared by all sweep programs of one solver. The
+/// solver updates `q_per_ster` between source iterations; everything else
+/// is immutable during a run.
+struct SweepShared {
+  const sn::Discretization* disc = nullptr;
+  const partition::PatchSet* patches = nullptr;
+  const sn::Quadrature* quad = nullptr;
+  const std::vector<double>* q_per_ster = nullptr;
+};
+
+struct SweepProgramOptions {
+  /// Max vertices retired per compute() execution (the paper's N).
+  int cluster_grain = 64;
+  /// Record compute() batches as clusters for coarsened-graph replay.
+  bool record_clusters = false;
+  /// When non-null, compute() holds this mutex — serializes all angles of
+  /// one patch, the "patch is the unit of parallelism" ablation.
+  std::mutex* patch_serializer = nullptr;
+};
+
+class SweepPatchProgram final : public core::PatchProgram {
+ public:
+  SweepPatchProgram(const SweepTaskData& data, const SweepShared& shared,
+                    SweepProgramOptions options);
+
+  void init() override;
+  void input(const core::Stream& s) override;
+  void compute() override;
+  std::optional<core::Stream> output() override;
+  bool vote_to_halt() override;
+  [[nodiscard]] std::int64_t remaining_work() const override {
+    return data_.num_vertices() - computed_;
+  }
+  [[nodiscard]] std::int64_t total_work() const override {
+    return data_.num_vertices();
+  }
+
+  /// Per-local-vertex contribution w_a * ψ to the scalar flux, valid after
+  /// a run completes.
+  [[nodiscard]] const std::vector<double>& phi_local() const { return phi_; }
+
+  /// Cluster id per vertex from the recorded execution (record_clusters
+  /// must have been set); -1 for vertices never computed (none, after a
+  /// complete run).
+  [[nodiscard]] const std::vector<std::int32_t>& recorded_clusters() const {
+    return cluster_of_;
+  }
+  [[nodiscard]] std::int32_t recorded_num_clusters() const {
+    return next_cluster_;
+  }
+
+  [[nodiscard]] const SweepTaskData& data() const { return data_; }
+
+ private:
+  struct ReadyEntry {
+    double priority;
+    std::int32_t v;
+    /// Max-heap by priority; deterministic tie-break on vertex id.
+    bool operator<(const ReadyEntry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return v > o.v;
+    }
+  };
+
+  void mark_ready(std::int32_t v);
+
+  const SweepTaskData& data_;
+  const SweepShared& shared_;
+  SweepProgramOptions options_;
+
+  // --- Local context (Listing 1, part 1), reset by init() ---------------
+  std::vector<std::int32_t> counts_;
+  std::priority_queue<ReadyEntry> ready_;
+  sn::FaceFluxMap flux_;
+  std::map<PatchId, std::vector<StreamItem>> out_items_;
+  std::vector<core::Stream> pending_;
+  std::vector<double> phi_;
+  std::int64_t computed_ = 0;
+  std::vector<std::int32_t> cluster_of_;
+  std::int32_t next_cluster_ = 0;
+};
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,173 @@
+// Tests for the AMR substrate: Berger–Rigoutsos clustering and the
+// two-level hierarchy (coverage, disjointness, efficiency, nesting).
+
+#include <gtest/gtest.h>
+
+#include "mesh/amr.hpp"
+#include "mesh/generators.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace jsweep::mesh {
+namespace {
+
+std::vector<char> empty_tags(Index3 d) {
+  return std::vector<char>(
+      static_cast<std::size_t>(d.i) * d.j * d.k, 0);
+}
+
+void tag(std::vector<char>& tags, Index3 d, Index3 p) {
+  tags[static_cast<std::size_t>(
+      p.i + static_cast<std::int64_t>(d.i) *
+                (p.j + static_cast<std::int64_t>(d.j) * p.k))] = 1;
+}
+
+/// Coverage + disjointness invariants shared by all clustering tests.
+void check_invariants(Index3 d, const std::vector<char>& tags,
+                      const std::vector<Box>& boxes) {
+  std::vector<char> covered(tags.size(), 0);
+  for (const auto& box : boxes) {
+    for (int k = box.lo.k; k < box.hi.k; ++k) {
+      for (int j = box.lo.j; j < box.hi.j; ++j) {
+        for (int i = box.lo.i; i < box.hi.i; ++i) {
+          auto& c = covered[static_cast<std::size_t>(
+              i + static_cast<std::int64_t>(d.i) *
+                      (j + static_cast<std::int64_t>(d.j) * k))];
+          EXPECT_EQ(c, 0) << "boxes overlap at " << i << "," << j << "," << k;
+          c = 1;
+        }
+      }
+    }
+  }
+  for (std::size_t c = 0; c < tags.size(); ++c)
+    if (tags[c]) EXPECT_TRUE(covered[c]) << "tagged cell " << c << " uncovered";
+}
+
+TEST(BergerRigoutsos, EmptyTagsYieldNoBoxes) {
+  const Index3 d{8, 8, 8};
+  EXPECT_TRUE(cluster_tagged_cells(d, empty_tags(d)).empty());
+}
+
+TEST(BergerRigoutsos, SingleTagTightBox) {
+  const Index3 d{8, 8, 8};
+  auto tags = empty_tags(d);
+  tag(tags, d, {3, 4, 5});
+  const auto boxes = cluster_tagged_cells(d, tags);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].volume(), 1);
+  EXPECT_TRUE(boxes[0].contains({3, 4, 5}));
+}
+
+TEST(BergerRigoutsos, CompactBlockIsOneBox) {
+  const Index3 d{16, 16, 16};
+  auto tags = empty_tags(d);
+  for (int k = 4; k < 8; ++k)
+    for (int j = 4; j < 8; ++j)
+      for (int i = 4; i < 8; ++i) tag(tags, d, {i, j, k});
+  const auto boxes = cluster_tagged_cells(d, tags);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], (Box{{4, 4, 4}, {8, 8, 8}}));
+  check_invariants(d, tags, boxes);
+}
+
+TEST(BergerRigoutsos, TwoSeparatedClustersSplit) {
+  const Index3 d{20, 8, 8};
+  auto tags = empty_tags(d);
+  for (int i = 0; i < 3; ++i) tag(tags, d, {i, 2, 2});
+  for (int i = 16; i < 20; ++i) tag(tags, d, {i, 5, 5});
+  const auto boxes = cluster_tagged_cells(d, tags, 0.7);
+  EXPECT_GE(boxes.size(), 2u);
+  check_invariants(d, tags, boxes);
+  // Efficiency holds: total box volume close to tag count.
+  std::int64_t volume = 0;
+  for (const auto& b : boxes) volume += b.volume();
+  EXPECT_LE(volume, 7 * 3);  // loose bound: far better than one 20x8x8 box
+}
+
+TEST(BergerRigoutsos, LShapeRespectsEfficiency) {
+  const Index3 d{16, 16, 1};
+  auto tags = empty_tags(d);
+  for (int i = 0; i < 16; ++i) tag(tags, d, {i, 0, 0});   // bottom bar
+  for (int j = 0; j < 16; ++j) tag(tags, d, {0, j, 0});   // left bar
+  const auto boxes = cluster_tagged_cells(d, tags, 0.8);
+  check_invariants(d, tags, boxes);
+  std::int64_t volume = 0;
+  std::int64_t tagged = 31;
+  for (const auto& b : boxes) volume += b.volume();
+  EXPECT_LE(static_cast<double>(volume), tagged / 0.5);
+}
+
+TEST(BergerRigoutsos, RandomTagsInvariantsHold) {
+  Rng rng(999);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index3 d{12, 10, 8};
+    auto tags = empty_tags(d);
+    const int count = 5 + static_cast<int>(rng.below(60));
+    for (int t = 0; t < count; ++t)
+      tag(tags, d,
+          {static_cast<int>(rng.below(12)), static_cast<int>(rng.below(10)),
+           static_cast<int>(rng.below(8))});
+    const auto boxes = cluster_tagged_cells(d, tags, 0.65);
+    check_invariants(d, tags, boxes);
+  }
+}
+
+TEST(AmrHierarchy, RefinesKobayashiSourceAndDuct) {
+  StructuredMesh coarse = mesh::make_kobayashi_mesh(20);
+  const AmrHierarchy amr(
+      coarse,
+      [&](CellId c) { return coarse.material(c) != kMatShield; },  // src+duct
+      2, 0.7, 1);
+  EXPECT_FALSE(amr.fine_boxes().empty());
+  // Every non-shield cell is refined.
+  for (std::int64_t c = 0; c < coarse.num_cells(); ++c)
+    if (coarse.material(CellId{c}) != kMatShield)
+      EXPECT_TRUE(amr.is_refined(CellId{c}));
+  // Composite has more cells than coarse but less than full refinement.
+  EXPECT_GT(amr.composite_cells(), coarse.num_cells());
+  EXPECT_LT(amr.composite_cells(), coarse.num_cells() * 8);
+  // Fine boxes are ratio-aligned.
+  for (std::size_t b = 0; b < amr.fine_boxes().size(); ++b) {
+    EXPECT_EQ(amr.fine_boxes()[b].lo.i % 2, 0);
+    EXPECT_EQ(amr.fine_boxes()[b].volume(),
+              amr.coarse_boxes()[b].volume() * 8);
+  }
+}
+
+TEST(AmrHierarchy, BoxMeshGeometryAndMaterials) {
+  StructuredMesh coarse = mesh::make_kobayashi_mesh(10);
+  const AmrHierarchy amr(
+      coarse, [&](CellId c) { return coarse.material(c) == kMatSource; }, 2,
+      0.7, 0);
+  ASSERT_FALSE(amr.fine_boxes().empty());
+  const StructuredMesh fine = amr.box_mesh(0);
+  // Spacing halves; box origin sits on the parent's corner.
+  EXPECT_DOUBLE_EQ(fine.spacing().x, coarse.spacing().x / 2.0);
+  // Fine cells inherit the parent material (source box → all source).
+  for (std::int64_t c = 0; c < fine.num_cells(); ++c)
+    EXPECT_EQ(fine.material(CellId{c}), kMatSource);
+  // Fine box volume in physical units equals the coarse box's.
+  const double fine_volume =
+      static_cast<double>(fine.num_cells()) * fine.cell_volume();
+  const double coarse_volume =
+      static_cast<double>(amr.coarse_boxes()[0].volume()) *
+      coarse.cell_volume();
+  EXPECT_NEAR(fine_volume, coarse_volume, 1e-9 * coarse_volume);
+}
+
+TEST(AmrHierarchy, NestingBufferGrowsBoxes) {
+  StructuredMesh coarse({12, 12, 12}, {1, 1, 1});
+  const auto tag_center = [&](CellId c) {
+    const Index3 p = coarse.index_of(c);
+    return p.i == 6 && p.j == 6 && p.k == 6;
+  };
+  const AmrHierarchy none(coarse, tag_center, 2, 0.7, 0);
+  const AmrHierarchy buffered(coarse, tag_center, 2, 0.7, 2);
+  EXPECT_GT(buffered.fine_cells(), none.fine_cells());
+  // Buffered box contains the unbuffered one.
+  EXPECT_TRUE(buffered.coarse_boxes()[0].contains({6, 6, 6}));
+  EXPECT_TRUE(buffered.coarse_boxes()[0].contains({4, 4, 4}));
+}
+
+}  // namespace
+}  // namespace jsweep::mesh

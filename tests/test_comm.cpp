@@ -1,0 +1,269 @@
+// Tests for the in-process message-passing substrate: point-to-point
+// semantics, collectives, serialization and termination detection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "comm/cluster.hpp"
+#include "comm/serialize.hpp"
+#include "comm/termination.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace jsweep::comm {
+namespace {
+
+Bytes bytes_of(std::int64_t v) {
+  ByteWriter w;
+  w.write(v);
+  return w.take();
+}
+
+std::int64_t value_of(const Message& m) {
+  ByteReader r(m.payload);
+  return r.read<std::int64_t>();
+}
+
+TEST(Serialize, RoundTripScalars) {
+  ByteWriter w;
+  w.write(std::int32_t{-7});
+  w.write(3.25);
+  w.write(std::uint8_t{200});
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.read<std::int32_t>(), -7);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint8_t>(), 200);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, RoundTripVectorsAndStrings) {
+  ByteWriter w;
+  w.write_vector(std::vector<double>{1.0, 2.0, 3.0});
+  w.write_string("jsweep");
+  w.write_vector(std::vector<std::int16_t>{});
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.read_vector<double>(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(r.read_string(), "jsweep");
+  EXPECT_TRUE(r.read_vector<std::int16_t>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, OverrunThrows) {
+  ByteWriter w;
+  w.write(std::int32_t{1});
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_THROW(r.read<std::int64_t>(), CheckError);
+}
+
+TEST(Cluster, PingPong) {
+  Cluster::run(2, [](Context& ctx) {
+    if (ctx.rank().value() == 0) {
+      ctx.send(RankId{1}, kTagUser, bytes_of(42));
+      const Message reply = ctx.recv();
+      EXPECT_EQ(value_of(reply), 43);
+      EXPECT_EQ(reply.src, RankId{1});
+    } else {
+      const Message m = ctx.recv();
+      ctx.send(m.src, kTagUser, bytes_of(value_of(m) + 1));
+    }
+  });
+}
+
+TEST(Cluster, PerSenderFifoOrder) {
+  constexpr int kMessages = 200;
+  Cluster::run(2, [](Context& ctx) {
+    if (ctx.rank().value() == 0) {
+      for (std::int64_t i = 0; i < kMessages; ++i)
+        ctx.send(RankId{1}, kTagUser, bytes_of(i));
+    } else {
+      for (std::int64_t i = 0; i < kMessages; ++i) {
+        const Message m = ctx.recv();
+        EXPECT_EQ(value_of(m), i);
+      }
+    }
+  });
+}
+
+TEST(Cluster, AllToAllDelivery) {
+  constexpr int kRanks = 6;
+  Cluster::run(kRanks, [](Context& ctx) {
+    for (int r = 0; r < ctx.size(); ++r) {
+      if (r == ctx.rank().value()) continue;
+      ctx.send(RankId{r}, kTagUser, bytes_of(ctx.rank().value()));
+    }
+    std::int64_t sum = 0;
+    for (int i = 0; i < ctx.size() - 1; ++i) sum += value_of(ctx.recv());
+    // Everyone else's rank id exactly once.
+    EXPECT_EQ(sum, kRanks * (kRanks - 1) / 2 - ctx.rank().value());
+  });
+}
+
+TEST(Cluster, TryRecvNonBlocking) {
+  Cluster::run(2, [](Context& ctx) {
+    if (ctx.rank().value() == 0) {
+      EXPECT_FALSE(ctx.try_recv().has_value());
+      ctx.barrier();          // let rank 1 send
+      ctx.barrier();          // wait for the send to land
+      const auto m = ctx.try_recv();
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(value_of(*m), 5);
+    } else {
+      ctx.barrier();
+      ctx.send(RankId{0}, kTagUser, bytes_of(5));
+      ctx.barrier();
+    }
+  });
+}
+
+TEST(Cluster, AllreduceSumAndMax) {
+  Cluster::run(5, [](Context& ctx) {
+    const auto me = static_cast<std::int64_t>(ctx.rank().value());
+    EXPECT_EQ(ctx.allreduce_sum(me), 0 + 1 + 2 + 3 + 4);
+    EXPECT_EQ(ctx.allreduce_max(me), 4);
+    EXPECT_DOUBLE_EQ(ctx.allreduce_sum(0.5), 2.5);
+    EXPECT_DOUBLE_EQ(ctx.allreduce_max(static_cast<double>(me)), 4.0);
+    EXPECT_DOUBLE_EQ(ctx.allreduce_min(static_cast<double>(me)), 0.0);
+    // Back-to-back reductions must not interfere.
+    EXPECT_EQ(ctx.allreduce_sum(std::int64_t{1}), 5);
+  });
+}
+
+TEST(Cluster, AllreduceVectorSum) {
+  Cluster::run(4, [](Context& ctx) {
+    std::vector<double> v(8);
+    std::iota(v.begin(), v.end(), static_cast<double>(ctx.rank().value()));
+    ctx.allreduce_sum(v);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      EXPECT_DOUBLE_EQ(v[i], 4.0 * static_cast<double>(i) + 6.0);
+  });
+}
+
+TEST(Cluster, TrafficCounters) {
+  Cluster cluster(2);
+  std::thread t0([&] {
+    auto& ctx = cluster.context(RankId{0});
+    ctx.send(RankId{1}, kTagUser, bytes_of(1));
+    ctx.send(RankId{1}, kTagTerminate, {});  // control, not counted as basic
+    ctx.barrier();
+  });
+  std::thread t1([&] {
+    auto& ctx = cluster.context(RankId{1});
+    (void)ctx.recv();
+    (void)ctx.recv();
+    ctx.barrier();
+  });
+  t0.join();
+  t1.join();
+  const auto total = cluster.total_traffic();
+  EXPECT_EQ(total.basic_sent, 1);
+  EXPECT_EQ(total.basic_received, 1);
+  EXPECT_EQ(total.control_sent, 1);
+  EXPECT_EQ(total.bytes_sent, static_cast<std::int64_t>(sizeof(std::int64_t)));
+}
+
+TEST(Cluster, RankExceptionPropagates) {
+  EXPECT_THROW(Cluster::run(2,
+                            [](Context& ctx) {
+                              if (ctx.rank().value() == 1)
+                                throw std::runtime_error("rank 1 died");
+                            }),
+               std::runtime_error);
+}
+
+TEST(Cluster, SingleRankWorks) {
+  Cluster::run(1, [](Context& ctx) {
+    EXPECT_EQ(ctx.size(), 1);
+    ctx.send(RankId{0}, kTagUser, bytes_of(9));  // self-send
+    EXPECT_EQ(value_of(ctx.recv()), 9);
+    EXPECT_EQ(ctx.allreduce_sum(std::int64_t{3}), 3);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Safra termination detection
+// ---------------------------------------------------------------------------
+
+/// Drives a toy data-driven computation: each rank forwards a decrementing
+/// hop counter to a random peer; when all counters die out, the system is
+/// globally quiet and Safra must detect it (and must not detect it before).
+void run_safra_workload(int ranks, int initial_tokens, int hops) {
+  std::atomic<std::int64_t> total_hops{0};
+  Cluster::run(ranks, [&](Context& ctx) {
+    SafraDetector detector(ctx);
+    Rng rng(1000 + static_cast<std::uint64_t>(ctx.rank().value()));
+
+    // Seed: rank 0 launches `initial_tokens` wandering messages.
+    if (ctx.rank().value() == 0) {
+      for (int i = 0; i < initial_tokens; ++i) {
+        const auto dest = static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(ctx.size())));
+        detector.note_basic_send();
+        ctx.send(RankId{dest}, kTagUser, bytes_of(hops));
+      }
+    }
+
+    while (!detector.terminated()) {
+      if (auto msg = ctx.try_recv()) {
+        switch (msg->tag) {
+          case kTagUser: {
+            detector.note_basic_recv();
+            total_hops.fetch_add(1, std::memory_order_relaxed);
+            const std::int64_t remaining = value_of(*msg) - 1;
+            if (remaining > 0) {
+              const auto dest = static_cast<int>(rng.below(
+                  static_cast<std::uint64_t>(ctx.size())));
+              detector.note_basic_send();
+              ctx.send(RankId{dest}, kTagUser, bytes_of(remaining));
+            }
+            break;
+          }
+          case kTagToken:
+            detector.on_token(*msg);
+            break;
+          case kTagTerminate:
+            detector.on_terminate();
+            break;
+          default:
+            FAIL() << "unexpected tag " << msg->tag;
+        }
+        continue;
+      }
+      detector.on_idle();
+      if (!detector.terminated())
+        ctx.wait_message(std::chrono::microseconds(50));
+    }
+  });
+  EXPECT_EQ(total_hops.load(), static_cast<std::int64_t>(initial_tokens) * hops);
+}
+
+TEST(Safra, DetectsQuiescenceTwoRanks) { run_safra_workload(2, 4, 10); }
+
+TEST(Safra, DetectsQuiescenceManyRanks) { run_safra_workload(7, 16, 25); }
+
+TEST(Safra, ImmediateTerminationNoWork) { run_safra_workload(5, 0, 0); }
+
+TEST(Safra, SingleRankTerminatesInstantly) {
+  Cluster::run(1, [](Context& ctx) {
+    SafraDetector detector(ctx);
+    detector.on_idle();
+    EXPECT_TRUE(detector.terminated());
+  });
+}
+
+TEST(WorkloadTracker, CommitRetire) {
+  WorkloadTracker t(10);
+  EXPECT_FALSE(t.locally_done());
+  t.retire(4);
+  t.commit(2);
+  EXPECT_EQ(t.remaining(), 8);
+  t.retire(8);
+  EXPECT_TRUE(t.locally_done());
+}
+
+}  // namespace
+}  // namespace jsweep::comm

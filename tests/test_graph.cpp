@@ -1,0 +1,343 @@
+// Tests for the digraph utilities, sweep-DAG construction, priority
+// strategies and graph coarsening (Theorem 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/coarsen.hpp"
+#include "graph/digraph.hpp"
+#include "graph/priority.hpp"
+#include "graph/sweep_dag.hpp"
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "sn/quadrature.hpp"
+#include "partition/graph_partition.hpp"
+#include "partition/sfc.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace jsweep::graph {
+namespace {
+
+using Edge = std::pair<std::int32_t, std::int32_t>;
+using mesh::normalized;
+
+TEST(Digraph, DegreesAndIteration) {
+  const Digraph g(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.out_degree(3), 0);
+  const auto indeg = g.in_degrees();
+  EXPECT_EQ(indeg[0], 0);
+  EXPECT_EQ(indeg[3], 2);
+}
+
+TEST(Digraph, TopologicalOrderValid) {
+  const Digraph g(6, {{0, 2}, {1, 2}, {2, 3}, {3, 4}, {3, 5}});
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(6);
+  for (std::size_t i = 0; i < order->size(); ++i)
+    position[static_cast<std::size_t>((*order)[i])] = static_cast<int>(i);
+  for (std::int32_t v = 0; v < 6; ++v)
+    g.for_out(v, [&](std::int32_t u) {
+      EXPECT_LT(position[static_cast<std::size_t>(v)],
+                position[static_cast<std::size_t>(u)]);
+    });
+}
+
+TEST(Digraph, DetectsCycle) {
+  const Digraph g(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(g.is_acyclic());
+  const auto cycle = g.find_cycle();
+  ASSERT_GE(cycle.size(), 3u);
+  // The returned sequence really is a cycle.
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const auto v = cycle[i];
+    const auto u = cycle[(i + 1) % cycle.size()];
+    bool has_edge = false;
+    g.for_out(v, [&](std::int32_t w) { has_edge |= (w == u); });
+    EXPECT_TRUE(has_edge) << "missing edge " << v << "→" << u;
+  }
+}
+
+TEST(Digraph, AcyclicHasNoCycle) {
+  const Digraph g(4, {{0, 1}, {1, 2}, {0, 3}});
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.find_cycle().empty());
+}
+
+TEST(Digraph, ReversedSwapsDegrees) {
+  const Digraph g(3, {{0, 1}, {0, 2}});
+  const Digraph r = g.reversed();
+  EXPECT_EQ(r.out_degree(0), 0);
+  EXPECT_EQ(r.out_degree(1), 1);
+  EXPECT_EQ(r.out_degree(2), 1);
+}
+
+TEST(Priority, BfsLevels) {
+  //   0 → 1 → 2
+  //   3 ──────^
+  const Digraph g(4, {{0, 1}, {1, 2}, {3, 2}});
+  const auto level = bfs_levels(g);
+  EXPECT_EQ(level[0], 0);
+  EXPECT_EQ(level[3], 0);
+  EXPECT_EQ(level[1], 1);
+  EXPECT_EQ(level[2], 2);  // longest distance from a source
+}
+
+TEST(Priority, LdcpDepths) {
+  const Digraph g(5, {{0, 1}, {1, 2}, {2, 3}, {0, 4}});
+  const auto depth = ldcp_depths(g);
+  EXPECT_EQ(depth[0], 3);  // 0→1→2→3
+  EXPECT_EQ(depth[1], 2);
+  EXPECT_EQ(depth[3], 0);
+  EXPECT_EQ(depth[4], 0);
+}
+
+TEST(Priority, LdcpRequiresAcyclic) {
+  const Digraph g(2, {{0, 1}, {1, 0}});
+  EXPECT_THROW(ldcp_depths(g), CheckError);
+}
+
+TEST(Priority, ForwardDistance) {
+  const Digraph g(5, {{0, 1}, {1, 2}, {3, 4}});
+  std::vector<char> targets(5, 0);
+  targets[2] = 1;
+  const auto dist = forward_distance_to(g, targets);
+  EXPECT_EQ(dist[2], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[0], 2);
+  EXPECT_EQ(dist[3], std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(Priority, StrategyNamesRoundTrip) {
+  for (const auto s :
+       {PriorityStrategy::None, PriorityStrategy::BFS, PriorityStrategy::LDCP,
+        PriorityStrategy::SLBD})
+    EXPECT_EQ(priority_from_string(to_string(s)), s);
+  EXPECT_THROW(priority_from_string("bogus"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep DAG construction
+// ---------------------------------------------------------------------------
+
+TEST(SweepDag, StructuredGlobalIsAcyclicAllOctants) {
+  const mesh::StructuredMesh m({5, 4, 3}, {1, 1, 1});
+  for (const double sx : {1.0, -1.0})
+    for (const double sy : {1.0, -1.0})
+      for (const double sz : {1.0, -1.0}) {
+        const mesh::Vec3 omega =
+            normalized({0.48 * sx, 0.62 * sy, 0.62 * sz});
+        const Digraph g = build_global_cell_digraph(m, omega);
+        EXPECT_TRUE(g.is_acyclic());
+        // Interior cell count check: every interior face is one edge.
+        EXPECT_EQ(g.num_edges(), 4LL * 4 * 3 + 5 * 3 * 3 + 5 * 4 * 2);
+      }
+}
+
+TEST(SweepDag, TetBallAcyclicForSampleDirections) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(6, 3.0);
+  for (const auto& omega :
+       {mesh::Vec3{0.57735, 0.57735, 0.57735}, mesh::Vec3{-0.9, 0.3, 0.3},
+        mesh::Vec3{0.2, -0.5, 0.84}}) {
+    const Digraph g = build_global_cell_digraph(m, normalized(omega));
+    EXPECT_TRUE(g.is_acyclic());
+  }
+}
+
+TEST(SweepDag, PatchTaskGraphCountsConsistent) {
+  const mesh::StructuredMesh m({6, 6, 1}, {1, 1, 1});
+  const auto part = partition::partition_sfc({6, 6, 1}, 4,
+                                             partition::Curve::Morton);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const partition::PatchSet ps(part, 4, &cg);
+  const mesh::Vec3 omega = normalized({0.6, 0.8, 0.0});
+
+  std::int64_t local_edges = 0;
+  std::int64_t remote_out = 0;
+  std::int64_t remote_in = 0;
+  for (int p = 0; p < 4; ++p) {
+    const auto g =
+        build_patch_task_graph(m, ps, PatchId{p}, omega, AngleId{0});
+    EXPECT_EQ(g.num_vertices,
+              static_cast<std::int32_t>(ps.cells(PatchId{p}).size()));
+    local_edges += static_cast<std::int64_t>(g.local_edges.size());
+    remote_out += static_cast<std::int64_t>(g.remote_out.size());
+    remote_in += static_cast<std::int64_t>(g.remote_in.size());
+    // Initial counts equal local in-degree + remote in-degree.
+    std::vector<std::int32_t> expect(
+        static_cast<std::size_t>(g.num_vertices), 0);
+    for (const auto& e : g.local_edges)
+      ++expect[static_cast<std::size_t>(e.v)];
+    for (const auto& e : g.remote_in) ++expect[static_cast<std::size_t>(e.v)];
+    EXPECT_EQ(g.initial_counts, expect);
+    // Local sub-DAG must be acyclic (induced subgraph of a DAG).
+    EXPECT_TRUE(g.local.is_acyclic());
+  }
+  // Every remote-out edge is some patch's remote-in edge.
+  EXPECT_EQ(remote_out, remote_in);
+  // Total directed edges = directed interior faces with Ω·n > 0. With
+  // Ωz = 0 on a 2-D-like mesh: x-faces 5*6 + y-faces 6*5 = 60.
+  EXPECT_EQ(local_edges + remote_out, 60);
+}
+
+TEST(SweepDag, RemoteEdgesMatchAcrossPatches) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(6, 3.0);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 3);
+  const partition::PatchSet ps(part, 3, &cg);
+  const mesh::Vec3 omega = normalized({0.3, 0.5, 0.81});
+
+  std::vector<PatchTaskGraph> graphs;
+  for (int p = 0; p < 3; ++p)
+    graphs.push_back(
+        build_patch_task_graph(m, ps, PatchId{p}, omega, AngleId{0}));
+
+  // Collect (src_cell, face, dst_cell) across patches from both views.
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> outs;
+  std::set<std::tuple<std::int64_t, std::int64_t, std::int64_t>> ins;
+  for (const auto& g : graphs) {
+    const auto& cells = ps.cells(g.patch);
+    for (const auto& e : g.remote_out)
+      outs.insert({cells[static_cast<std::size_t>(e.u)].value(), e.face,
+                   e.dst_cell});
+    for (const auto& e : g.remote_in)
+      ins.insert({e.src_cell, e.face,
+                  cells[static_cast<std::size_t>(e.v)].value()});
+  }
+  EXPECT_EQ(outs, ins);
+}
+
+TEST(SweepDag, PatchDigraphMatchesTaskGraphs) {
+  const mesh::StructuredMesh m({8, 8, 2}, {1, 1, 1});
+  const auto part =
+      partition::partition_sfc({8, 8, 2}, 4, partition::Curve::Hilbert);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const partition::PatchSet ps(part, 4, &cg);
+  const mesh::Vec3 omega = normalized({0.5, 0.7, 0.5});
+
+  std::vector<PatchTaskGraph> graphs;
+  for (int p = 0; p < 4; ++p)
+    graphs.push_back(
+        build_patch_task_graph(m, ps, PatchId{p}, omega, AngleId{0}));
+  const Digraph from_graphs = build_patch_level_digraph(graphs, 4);
+  const Digraph from_mesh = build_patch_digraph(m, ps, omega);
+
+  // Same edge sets.
+  const auto edges_of = [](const Digraph& g) {
+    std::set<Edge> edges;
+    for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+      g.for_out(v, [&](std::int32_t u) { edges.insert({v, u}); });
+    return edges;
+  };
+  EXPECT_EQ(edges_of(from_graphs), edges_of(from_mesh));
+}
+
+// ---------------------------------------------------------------------------
+// Coarsening (Theorem 1)
+// ---------------------------------------------------------------------------
+
+/// Random DAG with vertices labelled in topological order.
+Digraph random_dag(Rng& rng, std::int32_t n, double edge_prob) {
+  std::vector<Edge> edges;
+  for (std::int32_t u = 0; u < n; ++u)
+    for (std::int32_t v = u + 1; v < n; ++v)
+      if (rng.chance(edge_prob)) edges.push_back({u, v});
+  return Digraph(n, edges);
+}
+
+/// Cluster assignment consistent with execution order: cut the topological
+/// id space into random runs.
+std::vector<std::int32_t> random_clustering(Rng& rng, std::int32_t n,
+                                            std::int32_t& num_clusters) {
+  std::vector<std::int32_t> cluster(static_cast<std::size_t>(n));
+  std::int32_t current = 0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    cluster[static_cast<std::size_t>(v)] = current;
+    if (rng.chance(0.3)) ++current;
+  }
+  num_clusters = current + 1;
+  return cluster;
+}
+
+TEST(Coarsen, Theorem1CoarsenedGraphAcyclic) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto n = static_cast<std::int32_t>(10 + rng.below(40));
+    const Digraph fine = random_dag(rng, n, 0.15);
+    std::int32_t num_clusters = 0;
+    const auto cluster = random_clustering(rng, n, num_clusters);
+    const CoarsenedGraph cg = coarsen(fine, cluster, num_clusters);
+    EXPECT_TRUE(cg.coarse.is_acyclic()) << "trial " << trial;
+  }
+}
+
+TEST(Coarsen, MembersPartitionVertices) {
+  Rng rng(7);
+  const Digraph fine = random_dag(rng, 30, 0.2);
+  std::int32_t num_clusters = 0;
+  const auto cluster = random_clustering(rng, 30, num_clusters);
+  const CoarsenedGraph cg = coarsen(fine, cluster, num_clusters);
+  std::int64_t total = 0;
+  for (const auto& m : cg.members) total += static_cast<std::int64_t>(m.size());
+  EXPECT_EQ(total, 30);
+}
+
+TEST(Coarsen, EdgePropertiesAggregateFineEdges) {
+  // 0,1 -> cluster 0; 2,3 -> cluster 1; edges 0→2, 1→2, 1→3, 0→1 (internal).
+  const Digraph fine(4, {{0, 2}, {1, 2}, {1, 3}, {0, 1}});
+  const CoarsenedGraph cg = coarsen(fine, {0, 0, 1, 1}, 2);
+  ASSERT_EQ(cg.coarse_edges.size(), 1u);
+  EXPECT_EQ(cg.coarse_edges[0], (Edge{0, 1}));
+  EXPECT_EQ(cg.edge_members[0].size(), 3u);  // internal 0→1 absorbed
+  EXPECT_EQ(cg.coarse.num_edges(), 1);
+}
+
+TEST(Coarsen, RejectsBackwardClustering) {
+  const Digraph fine(2, {{0, 1}});
+  EXPECT_THROW(coarsen(fine, {1, 0}, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace jsweep::graph
+
+// --- Deforming meshes and the sweep DAG -------------------------------------
+
+namespace jsweep::graph {
+namespace {
+
+TEST(SweepDag, JitteredMeshSweepableOrCycleReported) {
+  // A moderately deformed mesh: for each direction either the global DAG
+  // is acyclic, or the cycle detector produces a genuine cycle — never a
+  // silent wrong answer.
+  const mesh::TetMesh m = mesh::make_jittered_ball_mesh(6, 3.0, 0.2, 3);
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  int acyclic = 0;
+  for (const auto& ang : quad.ordinates()) {
+    const Digraph g = build_global_cell_digraph(m, ang.dir);
+    const auto order = g.topological_order();
+    if (order.has_value()) {
+      ++acyclic;
+    } else {
+      const auto cycle = g.find_cycle();
+      ASSERT_GE(cycle.size(), 2u);
+      for (std::size_t i = 0; i < cycle.size(); ++i) {
+        bool has_edge = false;
+        g.for_out(cycle[i], [&](std::int32_t w) {
+          has_edge |= (w == cycle[(i + 1) % cycle.size()]);
+        });
+        EXPECT_TRUE(has_edge);
+      }
+    }
+  }
+  // Moderate jitter keeps most (usually all) directions sweepable.
+  EXPECT_GE(acyclic, quad.num_angles() / 2);
+}
+
+}  // namespace
+}  // namespace jsweep::graph

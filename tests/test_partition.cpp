@@ -1,0 +1,248 @@
+// Tests for partitioners (SFC, blocks, graph-growing, RCB) and PatchSet.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
+#include "partition/patch_set.hpp"
+#include "partition/rcb.hpp"
+#include "partition/sfc.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::partition {
+namespace {
+
+TEST(Morton, InterleavesBits) {
+  EXPECT_EQ(morton3(0, 0, 0), 0u);
+  EXPECT_EQ(morton3(1, 0, 0), 1u);
+  EXPECT_EQ(morton3(0, 1, 0), 2u);
+  EXPECT_EQ(morton3(0, 0, 1), 4u);
+  EXPECT_EQ(morton3(1, 1, 1), 7u);
+  EXPECT_EQ(morton3(2, 0, 0), 8u);
+}
+
+TEST(Morton, IsInjectiveOnSmallLattice) {
+  std::set<std::uint64_t> codes;
+  for (std::uint32_t z = 0; z < 8; ++z)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t x = 0; x < 8; ++x) codes.insert(morton3(x, y, z));
+  EXPECT_EQ(codes.size(), 512u);
+}
+
+TEST(Hilbert, BijectiveAndContiguous) {
+  // The Hilbert curve on a 2^b lattice visits every point exactly once and
+  // consecutive indices are adjacent lattice points.
+  constexpr int kBits = 3;
+  constexpr int kN = 1 << kBits;
+  std::vector<mesh::Index3> by_index(kN * kN * kN, {-1, -1, -1});
+  std::set<std::uint64_t> codes;
+  for (int z = 0; z < kN; ++z) {
+    for (int y = 0; y < kN; ++y) {
+      for (int x = 0; x < kN; ++x) {
+        const auto h = hilbert3(static_cast<std::uint32_t>(x),
+                                static_cast<std::uint32_t>(y),
+                                static_cast<std::uint32_t>(z), kBits);
+        ASSERT_LT(h, static_cast<std::uint64_t>(kN) * kN * kN);
+        codes.insert(h);
+        by_index[static_cast<std::size_t>(h)] = {x, y, z};
+      }
+    }
+  }
+  EXPECT_EQ(codes.size(), static_cast<std::size_t>(kN) * kN * kN);
+  for (std::size_t i = 1; i < by_index.size(); ++i) {
+    const auto& a = by_index[i - 1];
+    const auto& b = by_index[i];
+    const int dist = std::abs(a.i - b.i) + std::abs(a.j - b.j) +
+                     std::abs(a.k - b.k);
+    EXPECT_EQ(dist, 1) << "hilbert discontinuity at index " << i;
+  }
+}
+
+TEST(Sfc, PartitionBalanced) {
+  for (const auto curve : {Curve::Morton, Curve::Hilbert}) {
+    const auto part = partition_sfc({10, 10, 10}, 7, curve);
+    const auto sizes = part_sizes(part, 7);
+    const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*mx - *mn, 1);
+  }
+}
+
+TEST(BlockLayout, GridAndBoxes) {
+  const StructuredBlockLayout layout({45, 40, 20}, {20, 20, 20});
+  EXPECT_EQ(layout.grid_dims(), (mesh::Index3{3, 2, 1}));
+  EXPECT_EQ(layout.num_patches(), 6);
+  // Trailing patch in x absorbs the remainder (5 cells).
+  const mesh::Box last = layout.patch_box(layout.patch_at({2, 0, 0}));
+  EXPECT_EQ(last.lo.i, 40);
+  EXPECT_EQ(last.hi.i, 45);
+  // Every cell maps to the patch whose box contains it.
+  std::int64_t total = 0;
+  for (int p = 0; p < layout.num_patches(); ++p)
+    total += layout.cells_in(PatchId{p});
+  EXPECT_EQ(total, 45LL * 40 * 20);
+  EXPECT_EQ(layout.patch_of({41, 3, 3}), layout.patch_at({2, 0, 0}));
+}
+
+TEST(BlockLayout, NeighborsAndInterfaces) {
+  const StructuredBlockLayout layout({40, 40, 40}, {20, 20, 20});
+  const PatchId origin = layout.patch_at({0, 0, 0});
+  EXPECT_FALSE(layout.neighbor(origin, mesh::FaceDir::XLo).valid());
+  const PatchId right = layout.neighbor(origin, mesh::FaceDir::XHi);
+  ASSERT_TRUE(right.valid());
+  EXPECT_EQ(layout.patch_index(right), (mesh::Index3{1, 0, 0}));
+  EXPECT_EQ(layout.interface_cells(origin, mesh::FaceDir::XHi), 20 * 20);
+  EXPECT_EQ(layout.interface_cells(origin, mesh::FaceDir::XLo), 0);
+}
+
+TEST(Adjacency, StructuredDegrees) {
+  const mesh::StructuredMesh m({3, 3, 3}, {1, 1, 1});
+  const CsrGraph g = cell_graph(m);
+  EXPECT_EQ(g.num_vertices(), 27);
+  // Corner cells have 3 neighbors, center has 6.
+  EXPECT_EQ(g.degree(m.cell_at({0, 0, 0}).value()), 3);
+  EXPECT_EQ(g.degree(m.cell_at({1, 1, 1}).value()), 6);
+}
+
+TEST(Adjacency, TetGraphSymmetric) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(8, 4.0);
+  const CsrGraph g = cell_graph(m);
+  // Symmetry: u in adj(v) <=> v in adj(u).
+  for (std::int64_t v = 0; v < g.num_vertices(); ++v) {
+    g.for_neighbors(v, [&](std::int64_t u) {
+      bool found = false;
+      g.for_neighbors(u, [&](std::int64_t w) { found |= (w == v); });
+      EXPECT_TRUE(found);
+    });
+  }
+}
+
+TEST(GraphPartition, BalancedAndBetterThanRandomCut) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(10, 5.0);
+  const CsrGraph g = cell_graph(m);
+  const int kParts = 8;
+  const auto part = partition_graph(g, kParts);
+  EXPECT_LE(imbalance(part, kParts), 1.10);
+
+  // Compare against a scrambled assignment with the same sizes.
+  std::vector<std::int32_t> random_part = part;
+  std::mt19937 scramble(42);
+  std::shuffle(random_part.begin(), random_part.end(), scramble);
+  EXPECT_LT(edge_cut(g, part), edge_cut(g, random_part) / 2);
+}
+
+TEST(GraphPartition, SinglePartTrivial) {
+  const mesh::StructuredMesh m({4, 4, 4}, {1, 1, 1});
+  const CsrGraph g = cell_graph(m);
+  const auto part = partition_graph(g, 1);
+  EXPECT_TRUE(std::all_of(part.begin(), part.end(),
+                          [](std::int32_t p) { return p == 0; }));
+}
+
+TEST(GraphPartition, DeterministicForFixedSeed) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(8, 4.0);
+  const CsrGraph g = cell_graph(m);
+  const auto a = partition_graph(g, 5);
+  const auto b = partition_graph(g, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rcb, BalancedAndSpatial) {
+  const mesh::StructuredMesh m({8, 8, 8}, {1, 1, 1});
+  const auto centroids = cell_centroids(m);
+  const auto part = partition_rcb(centroids, 8);
+  const auto sizes = part_sizes(part, 8);
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*mx - *mn, 1);
+  // RCB of a cube into 8 parts should roughly produce octants: cells in
+  // the same octant share a part much more often than not.
+  std::int64_t agree = 0;
+  std::int64_t total = 0;
+  for (std::int64_t c = 0; c + 1 < m.num_cells(); ++c) {
+    const auto pa = m.index_of(CellId{c});
+    const auto pb = m.index_of(CellId{c + 1});
+    if (pa.i / 4 == pb.i / 4 && pa.j / 4 == pb.j / 4 && pa.k / 4 == pb.k / 4) {
+      ++total;
+      agree += (part[static_cast<std::size_t>(c)] ==
+                part[static_cast<std::size_t>(c + 1)]);
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree), 0.8 * static_cast<double>(total));
+}
+
+TEST(PatchSet, CellsAndLocalIndices) {
+  const mesh::StructuredMesh m({4, 4, 1}, {1, 1, 1});
+  const auto part = partition_sfc({4, 4, 1}, 4, Curve::Morton);
+  const CsrGraph g = cell_graph(m);
+  const PatchSet ps(part, 4, &g);
+  EXPECT_EQ(ps.num_patches(), 4);
+  EXPECT_EQ(ps.num_cells(), 16);
+  std::int64_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    const auto& cells = ps.cells(PatchId{p});
+    total += static_cast<std::int64_t>(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(ps.patch_of(cells[i]), PatchId{p});
+      EXPECT_EQ(ps.local_index(cells[i]), static_cast<std::int32_t>(i));
+    }
+  }
+  EXPECT_EQ(total, 16);
+}
+
+TEST(PatchSet, NeighborsSymmetric) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(8, 4.0);
+  const CsrGraph g = cell_graph(m);
+  const auto part = partition_graph(g, 6);
+  const PatchSet ps(part, 6, &g);
+  for (int p = 0; p < 6; ++p) {
+    for (const auto q : ps.neighbors(PatchId{p})) {
+      const auto& back = ps.neighbors(q);
+      EXPECT_NE(std::find(back.begin(), back.end(), PatchId{p}), back.end());
+      EXPECT_NE(q, PatchId{p});
+    }
+  }
+}
+
+TEST(PatchSet, RejectsEmptyPatch) {
+  // Patch 1 unused → must throw.
+  EXPECT_THROW(PatchSet({0, 0, 2}, 3), CheckError);
+}
+
+TEST(Assignment, ContiguousAndRoundRobinCoverAllRanks) {
+  for (const auto& owners :
+       {assign_contiguous(10, 3), assign_round_robin(10, 3)}) {
+    std::set<int> used;
+    for (const auto r : owners) {
+      EXPECT_TRUE(r.valid());
+      EXPECT_LT(r.value(), 3);
+      used.insert(r.value());
+    }
+    EXPECT_EQ(used.size(), 3u);
+  }
+}
+
+TEST(Assignment, SfcBalanced) {
+  const mesh::StructuredMesh m({6, 6, 6}, {1, 1, 1});
+  const auto owners = assign_by_sfc(cell_centroids(m), 4);
+  std::vector<int> counts(4, 0);
+  for (const auto r : owners) ++counts[static_cast<std::size_t>(r.value())];
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*mx - *mn, 1);
+}
+
+TEST(PatchCentroids, MeanOfCells) {
+  const mesh::StructuredMesh m({2, 1, 1}, {1, 1, 1});
+  const PatchSet ps({0, 1}, 2);
+  const auto pc = patch_centroids(ps, cell_centroids(m));
+  EXPECT_DOUBLE_EQ(pc[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(pc[1].x, 1.5);
+}
+
+}  // namespace
+}  // namespace jsweep::partition

@@ -1,0 +1,352 @@
+// Tests for the Sn transport substrate: quadrature, kernels, serial sweeps
+// and source iteration physics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "mesh/generators.hpp"
+#include "sn/discretization.hpp"
+#include "sn/quadrature.hpp"
+#include "sn/serial_sweep.hpp"
+#include "sn/source_iteration.hpp"
+#include "sn/xs.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+class QuadratureLevelSymmetric : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadratureLevelSymmetric, CountWeightsAndSymmetry) {
+  const int n = GetParam();
+  const Quadrature q = Quadrature::level_symmetric(n);
+  EXPECT_EQ(q.num_angles(), n * (n + 2));
+  EXPECT_NEAR(q.total_weight(), kFourPi, 1e-6 * kFourPi);
+  // Unit directions; octant parity; first-moment cancellation.
+  mesh::Vec3 first{};
+  for (const auto& o : q.ordinates()) {
+    EXPECT_NEAR(norm(o.dir), 1.0, 1e-6);
+    EXPECT_EQ(o.octant, octant_of(o.dir));
+    first += o.dir * o.weight;
+  }
+  EXPECT_NEAR(norm(first), 0.0, 1e-9);
+  // Second moment: ∫ Ωx² dΩ = 4π/3.
+  double mxx = 0.0;
+  for (const auto& o : q.ordinates()) mxx += o.weight * o.dir.x * o.dir.x;
+  EXPECT_NEAR(mxx, kFourPi / 3.0, 1e-4 * kFourPi);
+}
+
+INSTANTIATE_TEST_SUITE_P(S2toS8, QuadratureLevelSymmetric,
+                         ::testing::Values(2, 4, 6, 8));
+
+TEST(Quadrature, UnsupportedLevelSymmetricThrows) {
+  EXPECT_THROW(Quadrature::level_symmetric(10), CheckError);
+}
+
+class QuadratureProduct
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QuadratureProduct, MomentsExact) {
+  const auto [npolar, nazim] = GetParam();
+  const Quadrature q = Quadrature::product(npolar, nazim);
+  EXPECT_EQ(q.num_angles(), npolar * nazim);
+  EXPECT_NEAR(q.total_weight(), kFourPi, 1e-10 * kFourPi);
+  mesh::Vec3 first{};
+  for (const auto& o : q.ordinates()) first += o.dir * o.weight;
+  EXPECT_NEAR(norm(first), 0.0, 1e-10);
+  // No grazing components (directions stay off the coordinate planes).
+  for (const auto& o : q.ordinates()) {
+    EXPECT_GT(std::abs(o.dir.x), 1e-8);
+    EXPECT_GT(std::abs(o.dir.y), 1e-8);
+    EXPECT_GT(std::abs(o.dir.z), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QuadratureProduct,
+                         ::testing::Values(std::pair{2, 4}, std::pair{4, 8},
+                                           std::pair{8, 40}));
+
+TEST(MaterialTable, LookupAndBounds) {
+  const MaterialTable t = MaterialTable::kobayashi();
+  EXPECT_DOUBLE_EQ(t.at(mesh::kMatSource).source, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(mesh::kMatVoid).sigma_t, 1e-4);
+  EXPECT_THROW(t.at(99), CheckError);
+}
+
+TEST(MaterialTable, ExpandPerCell) {
+  mesh::StructuredMesh m = mesh::make_kobayashi_mesh(10);
+  const CellXs xs =
+      expand(MaterialTable::kobayashi(), m.materials(), m.num_cells());
+  EXPECT_EQ(static_cast<std::int64_t>(xs.sigma_t.size()), m.num_cells());
+  // Source region has the external source.
+  double total_source = 0.0;
+  for (const auto s : xs.source) total_source += s;
+  EXPECT_GT(total_source, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Diamond-difference kernel
+// --------------------------------------------------------------------------
+
+TEST(StructuredDD, MatchesManual1dRecurrence) {
+  // Direction along +x only: DD reduces to the classic 1-D recurrence.
+  const int kN = 16;
+  const double kSigma = 0.7;
+  const double kQ = 0.3;  // per steradian
+  const mesh::StructuredMesh m({kN, 1, 1}, {0.25, 1, 1});
+  CellXs xs;
+  xs.sigma_t.assign(kN, kSigma);
+  xs.sigma_s.assign(kN, 0.0);
+  xs.source.assign(kN, 0.0);
+  const StructuredDD disc(m, xs, /*fixup=*/false);
+
+  const Ordinate ang{{1.0, 0.0, 0.0}, 1.0, 0};
+  const std::vector<double> q(kN, kQ);
+  FaceFluxMap flux;
+  std::vector<double> psi(kN);
+  for (int i = 0; i < kN; ++i)
+    psi[static_cast<std::size_t>(i)] =
+        disc.sweep_cell(m.cell_at({i, 0, 0}), ang, q, flux);
+
+  // Manual recurrence: psi_c = (q + 2/dx * psi_in) / (sigma + 2/dx).
+  double in = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double alpha = 2.0 / 0.25;
+    const double expect = (kQ + alpha * in) / (kSigma + alpha);
+    EXPECT_NEAR(psi[static_cast<std::size_t>(i)], expect, 1e-14);
+    in = 2.0 * expect - in;
+  }
+}
+
+TEST(StructuredDD, ConvergesToAnalyticAttenuation) {
+  // Pure absorber, boundary source imitated by a thin source layer is
+  // awkward — instead check the infinite-medium limit: uniform source,
+  // deep interior, φ → q_per_ster * 4π / σt.
+  const int kN = 20;
+  const double kSigma = 2.0;
+  const mesh::StructuredMesh m({kN, kN, kN}, {1, 1, 1});
+  CellXs xs;
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(n, kSigma);
+  xs.sigma_s.assign(n, 0.0);
+  xs.source.assign(n, 1.0);
+  const StructuredDD disc(m, xs);
+  const Quadrature quad = Quadrature::level_symmetric(4);
+  const std::vector<double> q(n, 1.0 / kFourPi);
+  const auto phi = serial_sweep(disc, quad, q);
+  const CellId center = m.cell_at({kN / 2, kN / 2, kN / 2});
+  // φ_inf = Q / σ_t for a pure absorber.
+  EXPECT_NEAR(phi[static_cast<std::size_t>(center.value())], 1.0 / kSigma,
+              0.02 / kSigma);
+  // Boundary cells see vacuum: flux strictly below the interior value.
+  EXPECT_LT(phi[0], phi[static_cast<std::size_t>(center.value())]);
+}
+
+TEST(StructuredDD, FixupClampsNegativeFaceFlux) {
+  // A single optically thick cell with incoming flux drives 2ψc − ψin
+  // negative; with fixup the stored face flux must be ≥ 0.
+  const mesh::StructuredMesh m({2, 1, 1}, {100.0, 1, 1});
+  CellXs xs;
+  xs.sigma_t.assign(2, 5.0);
+  xs.sigma_s.assign(2, 0.0);
+  xs.source.assign(2, 0.0);
+  const StructuredDD fix(m, xs, true);
+  const Ordinate ang{{1.0, 0.0, 0.0}, 1.0, 0};
+  const std::vector<double> q{1.0, 0.0};
+  FaceFluxMap flux;
+  (void)fix.sweep_cell(m.cell_at({0, 0, 0}), ang, q, flux);
+  (void)fix.sweep_cell(m.cell_at({1, 0, 0}), ang, q, flux);
+  for (const auto& [face, value] : flux) EXPECT_GE(value, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Tet step kernel
+// --------------------------------------------------------------------------
+
+TEST(TetStep, SingleTetManualSolution) {
+  const mesh::TetMesh m({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+                        {{{0, 1, 2, 3}}});
+  CellXs xs;
+  xs.sigma_t = {2.0};
+  xs.sigma_s = {0.0};
+  xs.source = {0.0};
+  const TetStep disc(m, xs);
+  const Ordinate ang{normalized(mesh::Vec3{1, 1, 1}), 1.0, 0};
+  const std::vector<double> q{3.0};
+  FaceFluxMap flux;
+  const double psi = disc.sweep_cell(CellId{0}, ang, q, flux);
+
+  double outflow_coeff = 0.0;
+  for (const auto f : m.cell_faces(CellId{0})) {
+    const double adot = dot(m.outward_area(f, CellId{0}), ang.dir);
+    if (adot > 0) outflow_coeff += adot;
+  }
+  const double volume = 1.0 / 6.0;
+  EXPECT_NEAR(psi, 3.0 * volume / (2.0 * volume + outflow_coeff), 1e-14);
+  // Outgoing faces carry ψc; step scheme is positive.
+  for (const auto& [face, value] : flux) EXPECT_DOUBLE_EQ(value, psi);
+}
+
+TEST(TetStep, PerCellBalanceHolds) {
+  // Conservation per cell and angle: inflow + qV = σtV ψ + outflow.
+  const mesh::TetMesh m = mesh::make_ball_mesh(6, 3.0);
+  const CellXs xs = expand(MaterialTable::ball(), m.materials(), m.num_cells());
+  const TetStep disc(m, xs);
+  const Ordinate ang{normalized(mesh::Vec3{0.3, -0.5, 0.81}), 1.0, 0};
+  std::vector<double> q(static_cast<std::size_t>(m.num_cells()), 0.25);
+
+  const graph::Digraph g = graph::build_global_cell_digraph(m, ang.dir);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  FaceFluxMap flux;
+  for (const auto v : *order) {
+    const CellId c{v};
+    const double psi = disc.sweep_cell(c, ang, q, flux);
+    double in = 0.0;
+    double out = 0.0;
+    for (const auto f : m.cell_faces(c)) {
+      const double adot = dot(m.outward_area(f, c), ang.dir);
+      if (adot > 0) {
+        out += adot * flux[f];
+      } else {
+        const auto it = flux.find(f);
+        in += (-adot) * (it == flux.end() ? 0.0 : it->second);
+      }
+    }
+    const double volume = m.cell_volume(c);
+    const double sigma = xs.sigma_t[static_cast<std::size_t>(c.value())];
+    EXPECT_NEAR(in + 0.25 * volume, sigma * volume * psi + out,
+                1e-10 * (1.0 + out));
+  }
+}
+
+TEST(TetStep, InfiniteMediumLimit) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(10, 5.0);
+  CellXs xs;
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(n, 3.0);
+  xs.sigma_s.assign(n, 0.0);
+  xs.source.assign(n, 1.0);
+  const TetStep disc(m, xs);
+  const Quadrature quad = Quadrature::level_symmetric(2);
+  const std::vector<double> q(n, 1.0 / kFourPi);
+  const auto phi = serial_sweep(disc, quad, q);
+  // Center cell: a few mean free paths from the boundary.
+  std::int64_t center = 0;
+  double best = 1e300;
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    const double r = norm(m.cell_centroid(CellId{c}));
+    if (r < best) {
+      best = r;
+      center = c;
+    }
+  }
+  EXPECT_NEAR(phi[static_cast<std::size_t>(center)], 1.0 / 3.0, 0.05 / 3.0);
+}
+
+// --------------------------------------------------------------------------
+// Source iteration
+// --------------------------------------------------------------------------
+
+TEST(SourceIteration, EmissionDensityFormula) {
+  CellXs xs;
+  xs.sigma_t = {1.0};
+  xs.sigma_s = {0.5};
+  xs.source = {2.0};
+  const auto q = emission_density(xs, {3.0});
+  EXPECT_NEAR(q[0], (0.5 * 3.0 + 2.0) / kFourPi, 1e-15);
+}
+
+TEST(SourceIteration, RelativeLinf) {
+  EXPECT_DOUBLE_EQ(relative_linf({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(relative_linf({2.0, 4.0}, {2.0, 3.0}), 0.25);
+  EXPECT_DOUBLE_EQ(relative_linf({0.0}, {0.0}), 0.0);
+}
+
+TEST(SourceIteration, ConvergesOnScatteringProblem) {
+  const mesh::StructuredMesh m = mesh::make_cube_mesh(8, 8.0);
+  CellXs xs;
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(n, 1.0);
+  xs.sigma_s.assign(n, 0.5);  // scattering ratio c = 0.5 → fast convergence
+  xs.source.assign(n, 1.0);
+  const StructuredDD disc(m, xs);
+  const Quadrature quad = Quadrature::level_symmetric(2);
+
+  const auto result = source_iteration(
+      xs,
+      [&](const std::vector<double>& q) { return serial_sweep(disc, quad, q); },
+      {1e-8, 200, false});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.error, 1e-8);
+  // With scattering the flux must exceed the no-scattering flux.
+  const auto phi0 = serial_sweep(
+      disc, quad, emission_density(CellXs{xs.sigma_t, std::vector<double>(n, 0.0),
+                                          xs.source},
+                                   std::vector<double>(n, 0.0)));
+  double with_scatter = 0.0;
+  double without = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    with_scatter += result.phi[c];
+    without += phi0[c];
+  }
+  EXPECT_GT(with_scatter, without);
+}
+
+TEST(SourceIteration, IterationCountGrowsWithScatteringRatio) {
+  const mesh::StructuredMesh m = mesh::make_cube_mesh(6, 6.0);
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  const Quadrature quad = Quadrature::level_symmetric(2);
+  int iters_low = 0;
+  int iters_high = 0;
+  for (const double c : {0.3, 0.9}) {
+    CellXs xs;
+    xs.sigma_t.assign(n, 1.0);
+    xs.sigma_s.assign(n, c);
+    xs.source.assign(n, 1.0);
+    const StructuredDD disc(m, xs);
+    const auto result = source_iteration(
+        xs,
+        [&](const std::vector<double>& q) {
+          return serial_sweep(disc, quad, q);
+        },
+        {1e-6, 500, false});
+    EXPECT_TRUE(result.converged);
+    (c < 0.5 ? iters_low : iters_high) = result.iterations;
+  }
+  EXPECT_GT(iters_high, iters_low);
+}
+
+TEST(SourceIteration, KobayashiVoidDuctChannelsFlux) {
+  // Physics sanity on the benchmark problem: the void duct transports
+  // particles much farther than the shield does.
+  const mesh::StructuredMesh m = mesh::make_kobayashi_mesh(10);  // 10cm cells
+  const CellXs xs =
+      expand(MaterialTable::kobayashi(), m.materials(), m.num_cells());
+  const StructuredDD disc(m, xs);
+  const Quadrature quad = Quadrature::level_symmetric(4);
+  const auto result = source_iteration(
+      xs,
+      [&](const std::vector<double>& q) { return serial_sweep(disc, quad, q); },
+      {1e-6, 100, false});
+  EXPECT_TRUE(result.converged);
+  // Compare points equidistant from the source: down the duct's first leg
+  // (x<10, y≈45, z<10 in problem coordinates) vs the same distance into
+  // the shield. The near-void duct must channel several times more flux
+  // (S4 ray effects cap the contrast on this coarse mesh).
+  const auto phi_at = [&](int i, int j, int k) {
+    return result.phi[static_cast<std::size_t>(
+        m.cell_at({i, j, k}).value())];
+  };
+  EXPECT_GT(phi_at(0, 4, 0), 4.0 * phi_at(4, 0, 0));
+  EXPECT_GT(phi_at(0, 2, 0), 4.0 * phi_at(2, 0, 0));
+  // Flux decays monotonically along the duct.
+  EXPECT_GT(phi_at(0, 2, 0), phi_at(0, 4, 0));
+}
+
+}  // namespace
+}  // namespace jsweep::sn

@@ -1,0 +1,237 @@
+// Unit tests for the support layer: ids, rng, stats, tables, checks, timers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/ids.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  PatchId p;
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(p, PatchId::invalid());
+}
+
+TEST(StrongId, ComparesByValue) {
+  EXPECT_LT(PatchId{1}, PatchId{2});
+  EXPECT_EQ(PatchId{7}, PatchId{7});
+  EXPECT_NE(PatchId{7}, PatchId{8});
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<PatchId, AngleId>);
+  static_assert(!std::is_same_v<CellId, PatchId>);
+}
+
+TEST(StrongId, StreamsItsValue) {
+  std::ostringstream os;
+  os << PatchId{42};
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(ProgramKey, OrderingAndHash) {
+  const ProgramKey a{PatchId{1}, TaskTag{2}};
+  const ProgramKey b{PatchId{1}, TaskTag{3}};
+  const ProgramKey c{PatchId{2}, TaskTag{0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (ProgramKey{PatchId{1}, TaskTag{2}}));
+  const std::hash<ProgramKey> h;
+  EXPECT_NE(h(a), h(b));  // overwhelmingly likely for a good mix
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(11);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  Rng r(5);
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.uniform(-10, 10);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-5.0);  // clamps to bin 0
+  h.add(25.0);  // clamps to bin 4
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+}
+
+TEST(Efficiency, SpeedupAndParallelEfficiency) {
+  EXPECT_DOUBLE_EQ(speedup(100.0, 25.0), 4.0);
+  // 4x speedup on 8x the cores = 50% efficiency.
+  EXPECT_DOUBLE_EQ(parallel_efficiency(100.0, 96, 25.0, 768), 0.5);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"cores", "time"});
+  t.add_row({"96", "1.5"});
+  t.add_row({"768", "0.25"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("cores"), std::string::npos);
+  EXPECT_NE(s.find("768"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    JSWEEP_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.seconds(), 0.005);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(IntervalAccumulator, AccumulatesIntervals) {
+  IntervalAccumulator acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    acc.stop();
+  }
+  EXPECT_EQ(acc.count(), 3);
+  EXPECT_GE(acc.seconds(), 0.003);
+}
+
+}  // namespace
+}  // namespace jsweep
+
+// --- Logging -----------------------------------------------------------------
+
+#include "support/log.hpp"
+
+namespace jsweep {
+namespace {
+
+TEST(Log, LevelThresholdRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  // Below-threshold macro must not evaluate its stream arguments.
+  int evaluations = 0;
+  const auto count = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  JSWEEP_DEBUG("value " << count());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Off);
+  JSWEEP_ERROR("suppressed " << count());
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace jsweep

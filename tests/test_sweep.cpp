@@ -1,0 +1,372 @@
+// Integration tests for the parallel sweep component: the data-driven
+// engine, the BSP baseline, the coarsened graph and KBA must all reproduce
+// the serial reference exactly, under every configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "comm/cluster.hpp"
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/serial_sweep.hpp"
+#include "sn/source_iteration.hpp"
+#include "sweep/kba.hpp"
+#include "sweep/solver.hpp"
+
+namespace jsweep::sweep {
+namespace {
+
+/// Shared structured fixture: Kobayashi 8³ mesh in 2³-cell patches.
+struct StructuredCase {
+  StructuredCase()
+      : mesh(mesh::make_kobayashi_mesh(8)),
+        layout({8, 8, 8}, {2, 2, 2}),
+        graph(partition::cell_graph(mesh)),
+        patches(partition::block_partition(layout), layout.num_patches(),
+                &graph),
+        xs(sn::expand(sn::MaterialTable::kobayashi(), mesh.materials(),
+                      mesh.num_cells())),
+        disc(mesh, xs),
+        quad(sn::Quadrature::level_symmetric(2)),
+        q(static_cast<std::size_t>(mesh.num_cells()), 0.25) {}
+
+  std::vector<double> serial() const {
+    return sn::serial_sweep(disc, quad, q);
+  }
+
+  mesh::StructuredMesh mesh;
+  partition::StructuredBlockLayout layout;
+  partition::CsrGraph graph;
+  partition::PatchSet patches;
+  sn::CellXs xs;
+  sn::StructuredDD disc;
+  sn::Quadrature quad;
+  std::vector<double> q;
+};
+
+/// Shared unstructured fixture: small tetrahedral ball.
+struct BallCase {
+  BallCase()
+      : mesh(mesh::make_ball_mesh(6, 3.0)),
+        graph(partition::cell_graph(mesh)),
+        part(partition::partition_graph(graph, 5)),
+        patches(part, 5, &graph),
+        xs(sn::expand(sn::MaterialTable::ball(), mesh.materials(),
+                      mesh.num_cells())),
+        disc(mesh, xs),
+        quad(sn::Quadrature::level_symmetric(4)),
+        q(static_cast<std::size_t>(mesh.num_cells()), 0.125) {}
+
+  std::vector<double> serial() const {
+    return sn::serial_sweep(disc, quad, q);
+  }
+
+  mesh::TetMesh mesh;
+  partition::CsrGraph graph;
+  std::vector<std::int32_t> part;
+  partition::PatchSet patches;
+  sn::CellXs xs;
+  sn::TetStep disc;
+  sn::Quadrature quad;
+  std::vector<double> q;
+};
+
+template <class Case>
+std::vector<double> run_parallel(const Case& cs, int ranks,
+                                 SolverConfig config) {
+  std::vector<double> result;
+  std::mutex result_mutex;
+  comm::Cluster::run(ranks, [&](comm::Context& ctx) {
+    const auto owner = partition::assign_contiguous(
+        cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       config);
+    const auto phi = solver.sweep(cs.q);
+    if (ctx.rank().value() == 0) {
+      const std::lock_guard<std::mutex> lock(result_mutex);
+      result = phi;
+    }
+  });
+  return result;
+}
+
+void expect_equal(const std::vector<double>& a, const std::vector<double>& b,
+                  double tol = 1e-13) {
+  ASSERT_EQ(a.size(), b.size());
+  double scale = 0.0;
+  for (const auto v : a) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_NEAR(a[i], b[i], tol * scale) << "cell " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Data-driven engine vs serial reference
+// ---------------------------------------------------------------------------
+
+TEST(SweepStructured, MatchesSerialSingleRank) {
+  const StructuredCase cs;
+  expect_equal(run_parallel(cs, 1, {}), cs.serial());
+}
+
+TEST(SweepStructured, MatchesSerialMultiRank) {
+  const StructuredCase cs;
+  SolverConfig cfg;
+  cfg.num_workers = 3;
+  expect_equal(run_parallel(cs, 4, cfg), cs.serial());
+}
+
+TEST(SweepBall, MatchesSerialSingleRank) {
+  const BallCase cs;
+  expect_equal(run_parallel(cs, 1, {}), cs.serial());
+}
+
+TEST(SweepBall, MatchesSerialMultiRank) {
+  const BallCase cs;
+  SolverConfig cfg;
+  cfg.num_workers = 2;
+  expect_equal(run_parallel(cs, 3, cfg), cs.serial());
+}
+
+// The result must be bitwise identical whatever the parallel configuration:
+// the DAG fixes every operand and the reduction order is fixed.
+TEST(SweepDeterminism, BitwiseIdenticalAcrossConfigurations) {
+  const BallCase cs;
+  const auto base = run_parallel(cs, 1, {});
+  for (const int ranks : {2, 4}) {
+    for (const int workers : {1, 3}) {
+      SolverConfig cfg;
+      cfg.num_workers = workers;
+      const auto phi = run_parallel(cs, ranks, cfg);
+      ASSERT_EQ(phi.size(), base.size());
+      for (std::size_t i = 0; i < phi.size(); ++i)
+        ASSERT_EQ(phi[i], base[i])
+            << "ranks=" << ranks << " workers=" << workers << " cell=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration sweeps (priorities, clustering, ablations)
+// ---------------------------------------------------------------------------
+
+using PriorityPair =
+    std::pair<graph::PriorityStrategy, graph::PriorityStrategy>;
+
+class SweepPriorities : public ::testing::TestWithParam<PriorityPair> {};
+
+TEST_P(SweepPriorities, AllStrategiesMatchSerial) {
+  const StructuredCase cs;
+  SolverConfig cfg;
+  cfg.patch_priority = GetParam().first;
+  cfg.vertex_priority = GetParam().second;
+  expect_equal(run_parallel(cs, 2, cfg), cs.serial());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, SweepPriorities,
+    ::testing::Values(
+        PriorityPair{graph::PriorityStrategy::None,
+                     graph::PriorityStrategy::None},
+        PriorityPair{graph::PriorityStrategy::BFS,
+                     graph::PriorityStrategy::BFS},
+        PriorityPair{graph::PriorityStrategy::LDCP,
+                     graph::PriorityStrategy::LDCP},
+        PriorityPair{graph::PriorityStrategy::SLBD,
+                     graph::PriorityStrategy::SLBD},
+        PriorityPair{graph::PriorityStrategy::LDCP,
+                     graph::PriorityStrategy::SLBD},
+        PriorityPair{graph::PriorityStrategy::BFS,
+                     graph::PriorityStrategy::SLBD}));
+
+class SweepGrain : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepGrain, AllClusterGrainsMatchSerial) {
+  const BallCase cs;
+  SolverConfig cfg;
+  cfg.cluster_grain = GetParam();
+  expect_equal(run_parallel(cs, 2, cfg), cs.serial());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, SweepGrain,
+                         ::testing::Values(1, 2, 8, 64, 4096));
+
+TEST(SweepAblation, PatchSerializedStillCorrect) {
+  const StructuredCase cs;
+  SolverConfig cfg;
+  cfg.patch_angle_parallelism = false;
+  cfg.num_workers = 3;
+  expect_equal(run_parallel(cs, 2, cfg), cs.serial());
+}
+
+// ---------------------------------------------------------------------------
+// BSP engine
+// ---------------------------------------------------------------------------
+
+TEST(SweepBsp, MatchesSerial) {
+  const StructuredCase cs;
+  SolverConfig cfg;
+  cfg.engine = EngineKind::Bsp;
+  expect_equal(run_parallel(cs, 2, cfg), cs.serial());
+}
+
+TEST(SweepBsp, BallMatchesSerial) {
+  const BallCase cs;
+  SolverConfig cfg;
+  cfg.engine = EngineKind::Bsp;
+  cfg.num_workers = 2;
+  expect_equal(run_parallel(cs, 2, cfg), cs.serial());
+}
+
+TEST(SweepBsp, DataDrivenUsesFewerGlobalSyncs) {
+  // The data-driven engine needs one collective per sweep; BSP needs one
+  // (plus a barrier) per superstep. Count supersteps to document the gap.
+  const StructuredCase cs;
+  std::atomic<std::int64_t> supersteps{0};
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    SolverConfig cfg;
+    cfg.engine = EngineKind::Bsp;
+    const auto owner =
+        partition::assign_contiguous(cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       cfg);
+    (void)solver.sweep(cs.q);
+    if (ctx.rank().value() == 0)
+      supersteps.store(solver.stats().bsp.supersteps);
+  });
+  EXPECT_GT(supersteps.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Coarsened graph
+// ---------------------------------------------------------------------------
+
+TEST(SweepCoarsened, SecondSweepMatchesFirst) {
+  const BallCase cs;
+  std::vector<double> first;
+  std::vector<double> second;
+  std::vector<double> third;
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    SolverConfig cfg;
+    cfg.use_coarsened_graph = true;
+    cfg.num_workers = 2;
+    const auto owner =
+        partition::assign_contiguous(cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       cfg);
+    const auto phi1 = solver.sweep(cs.q);  // DAG sweep, records clusters
+    const auto phi2 = solver.sweep(cs.q);  // coarsened replay
+    const auto phi3 = solver.sweep(cs.q);  // reusable across iterations
+    if (ctx.rank().value() == 0) {
+      first = phi1;
+      second = phi2;
+      third = phi3;
+    }
+  });
+  expect_equal(second, first, 1e-15);
+  expect_equal(third, first, 1e-15);
+  expect_equal(first, cs.serial());
+}
+
+TEST(SweepCoarsened, StructuredMatchesSerial) {
+  const StructuredCase cs;
+  std::vector<double> coarse_phi;
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    SolverConfig cfg;
+    cfg.use_coarsened_graph = true;
+    cfg.cluster_grain = 4;
+    const auto owner =
+        partition::assign_contiguous(cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       cfg);
+    (void)solver.sweep(cs.q);
+    const auto phi = solver.sweep(cs.q);
+    if (ctx.rank().value() == 0) coarse_phi = phi;
+  });
+  expect_equal(coarse_phi, cs.serial());
+}
+
+// ---------------------------------------------------------------------------
+// KBA baseline
+// ---------------------------------------------------------------------------
+
+class SweepKba : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SweepKba, MatchesSerial) {
+  const auto [px, py, zb] = GetParam();
+  const StructuredCase cs;
+  std::vector<double> kba_phi;
+  comm::Cluster::run(px * py, [&](comm::Context& ctx) {
+    KbaSolver kba(ctx, cs.disc, cs.quad, {px, py, zb});
+    const auto phi = kba.sweep(cs.q);
+    if (ctx.rank().value() == 0) kba_phi = phi;
+  });
+  expect_equal(kba_phi, cs.serial());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, SweepKba,
+                         ::testing::Values(std::tuple{1, 1, 4},
+                                           std::tuple{2, 2, 2},
+                                           std::tuple{4, 2, 8},
+                                           std::tuple{2, 3, 1}));
+
+// ---------------------------------------------------------------------------
+// Full solves: source iteration through the parallel sweep
+// ---------------------------------------------------------------------------
+
+TEST(SweepSourceIteration, ParallelSolveMatchesSerialSolve) {
+  const StructuredCase cs;
+
+  const auto serial_result = sn::source_iteration(
+      cs.xs,
+      [&](const std::vector<double>& q) {
+        return sn::serial_sweep(cs.disc, cs.quad, q);
+      },
+      {1e-7, 100, false});
+  ASSERT_TRUE(serial_result.converged);
+
+  std::vector<double> parallel_phi;
+  int parallel_iters = 0;
+  comm::Cluster::run(3, [&](comm::Context& ctx) {
+    SolverConfig cfg;
+    cfg.use_coarsened_graph = true;  // iterations 2+ on CG
+    const auto owner =
+        partition::assign_contiguous(cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       cfg);
+    const auto result =
+        sn::source_iteration(cs.xs, solver.as_operator(), {1e-7, 100, false});
+    EXPECT_TRUE(result.converged);
+    if (ctx.rank().value() == 0) {
+      parallel_phi = result.phi;
+      parallel_iters = result.iterations;
+    }
+  });
+  EXPECT_EQ(parallel_iters, serial_result.iterations);
+  expect_equal(parallel_phi, serial_result.phi);
+}
+
+TEST(SweepStats, EngineCountsLookSane) {
+  const StructuredCase cs;
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    SolverConfig cfg;
+    cfg.cluster_grain = 4;
+    const auto owner =
+        partition::assign_contiguous(cs.patches.num_patches(), ctx.size());
+    SweepSolver solver(ctx, cs.mesh, cs.patches, owner, cs.disc, cs.quad,
+                       cfg);
+    (void)solver.sweep(cs.q);
+    const auto& st = solver.stats().engine;
+    // 8 angles × 32 local patches, at least one execution each.
+    EXPECT_GE(st.executions, 8 * 32);
+    EXPECT_GT(st.streams_remote + st.streams_local, 0);
+    EXPECT_GT(st.worker_busy_seconds, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace jsweep::sweep
