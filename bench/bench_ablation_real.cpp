@@ -45,12 +45,14 @@ struct Fixture {
   std::vector<double> q;
 };
 
+constexpr int kRanks = 4;
+
 /// Time `sweeps` repeated sweeps under a config; returns seconds/sweep of
 /// the post-warm-up sweeps.
 double time_sweeps(const Fixture& fx, sweep::SolverConfig config,
                    int sweeps = 3) {
   double result = 0.0;
-  comm::Cluster::run(4, [&](comm::Context& ctx) {
+  comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
     const auto owner =
         partition::assign_contiguous(fx.patches.num_patches(), ctx.size());
     sweep::SweepSolver solver(ctx, fx.mesh, fx.patches, owner, fx.disc,
@@ -65,7 +67,8 @@ double time_sweeps(const Fixture& fx, sweep::SolverConfig config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ablation_real");
   const Fixture fx;
   bench::print_header(
       "Ablations (real runtime)",
@@ -77,8 +80,14 @@ int main() {
   sweep::SolverConfig base;
   base.num_workers = 2;
   base.cluster_grain = 64;
+  const std::int64_t problem = fx.mesh.num_cells() * fx.quad.num_angles();
+  const int threads = kRanks * base.num_workers;
+  const auto sample = [&](const char* tag, double seconds) {
+    bench::record({tag, seconds, threads, problem, {}});
+  };
   const double t_base = time_sweeps(fx, base);
   table.add_row({"data-driven DAG (baseline)", Table::num(t_base, 4), "1.00"});
+  sample("baseline", t_base);
 
   {
     sweep::SolverConfig cfg = base;
@@ -86,6 +95,7 @@ int main() {
     const double t = time_sweeps(fx, cfg);
     table.add_row({"coarsened graph (Sec V-E)", Table::num(t, 4),
                    Table::num(t_base / t, 2) + "x faster"});
+    sample("coarsened_graph", t);
   }
   {
     sweep::SolverConfig cfg = base;
@@ -93,6 +103,7 @@ int main() {
     const double t = time_sweeps(fx, cfg);
     table.add_row({"patch-serial (no patch-angle par.)", Table::num(t, 4),
                    Table::num(t / t_base, 2) + "x slower"});
+    sample("patch_serial", t);
   }
   {
     sweep::SolverConfig cfg = base;
@@ -100,6 +111,7 @@ int main() {
     const double t = time_sweeps(fx, cfg);
     table.add_row({"BSP supersteps (pre-JSweep model)", Table::num(t, 4),
                    Table::num(t / t_base, 2) + "x slower"});
+    sample("bsp_supersteps", t);
   }
   {
     sweep::SolverConfig cfg = base;
@@ -107,6 +119,7 @@ int main() {
     const double t = time_sweeps(fx, cfg);
     table.add_row({"no vertex clustering (grain 1)", Table::num(t, 4),
                    Table::num(t / t_base, 2) + "x slower"});
+    sample("no_clustering", t);
   }
   std::printf("%s", table.str().c_str());
 
@@ -153,6 +166,12 @@ int main() {
     };
     const double with_pa = time_small(true);
     const double without_pa = time_small(false);
+    const std::int64_t small_problem =
+        small.num_cells() * quad.num_angles();
+    bench::record({"small_mesh/patch_angle_parallel", with_pa, 8,
+                   small_problem, {}});
+    bench::record({"small_mesh/patch_serial", without_pa, 8, small_problem,
+                   {}});
     Table t2({"configuration", "s/sweep", "ratio"});
     t2.add_row({"patch-angle parallel", Table::num(with_pa, 4), "1.00"});
     t2.add_row({"patch-serial", Table::num(without_pa, 4),

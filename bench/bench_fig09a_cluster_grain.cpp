@@ -33,13 +33,17 @@ void simulated_paper_scale() {
       sim::PatchTopology::structured({160, 160, 180}, {20, 20, 20});
   const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
 
+  constexpr int kCores = 96;
   Table table({"grain", "sim time(s)"});
   for (const int grain : {1, 8, 64, 256, 1024, 2048, 4096}) {
-    sim::SimConfig cfg = bench::sim_config_for_cores(96);
+    sim::SimConfig cfg = bench::sim_config_for_cores(kCores);
     cfg.cluster_grain = grain;
     const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
     table.add_row({Table::num(static_cast<std::int64_t>(grain)),
                    Table::num(r.elapsed_seconds, 3)});
+    bench::record({"sim/grain_" + std::to_string(grain), r.elapsed_seconds,
+                   kCores, topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0}, {"grain", double(grain)}}});
   }
   std::printf("%s", table.str().c_str());
 }
@@ -61,13 +65,15 @@ void real_host_scale() {
   const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
   const std::vector<double> q(static_cast<std::size_t>(m.num_cells()), 0.25);
 
+  constexpr int kRanks = 4;
+  constexpr int kWorkers = 2;
   Table table({"grain", "sweep time(s)", "executions"});
   for (const int grain : {1, 8, 64, 256, 1000, 4096}) {
     double seconds = 0.0;
     std::int64_t executions = 0;
-    comm::Cluster::run(4, [&](comm::Context& ctx) {
+    comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
       sweep::SolverConfig config;
-      config.num_workers = 2;
+      config.num_workers = kWorkers;
       config.cluster_grain = grain;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
@@ -82,13 +88,18 @@ void real_host_scale() {
     });
     table.add_row({Table::num(static_cast<std::int64_t>(grain)),
                    Table::num(seconds, 4), Table::num(executions)});
+    bench::record({"real/grain_" + std::to_string(grain), seconds,
+                   kRanks * kWorkers, m.num_cells() * quad.num_angles(),
+                   {{"grain", double(grain)},
+                    {"executions", double(executions)}}});
   }
   std::printf("%s", table.str().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig09a_cluster_grain");
   simulated_paper_scale();
   real_host_scale();
   return 0;

@@ -9,7 +9,8 @@
 
 using namespace jsweep;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig09b_priority_structured");
   bench::print_header(
       "Fig 9b (simulated)", "priority strategies, structured strong scaling",
       "mesh 160x160x180, patch 20^3, S2, grain 1000; strategies are "
@@ -50,6 +51,11 @@ int main() {
       table.add_row({combo.name,
                      Table::num(static_cast<std::int64_t>(cores)),
                      Table::num(r.elapsed_seconds, 3)});
+      bench::record({std::string(combo.name) + "/cores_" +
+                         std::to_string(cores),
+                     r.elapsed_seconds, cores,
+                     topo.total_cells() * quad.num_angles(),
+                     {{"simulated", 1.0}}});
     }
   }
   std::printf("%s", table.str().c_str());

@@ -45,13 +45,16 @@ void run_case(const char* name, mesh::Index3 dims,
     const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
     rows.push_back({c, r.elapsed_seconds});
   }
-  bench::print_scaling(table, rows, name);
+  bench::print_scaling(table, rows, name,
+                       static_cast<std::int64_t>(dims.i) * dims.j * dims.k *
+                           quad.num_angles());
   std::printf("%s", table.str().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig12_kobayashi_strong");
   run_case("Fig 12a", {400, 400, 400}, {768, 1536, 3072, 6144, 12288, 24576},
            "speedup 14.3 at 24,576 vs 768 cores (44.7% efficiency)");
   run_case("Fig 12b", {800, 800, 800}, {4800, 9600, 19200, 38400, 76800},

@@ -18,6 +18,7 @@ using namespace jsweep;
 namespace {
 
 constexpr std::int64_t kReactorCells = 64479;
+constexpr int kSweepCores = 384;  // paper's core count for Fig 13a
 
 sim::SimConfig reactor_config(int cores) {
   sim::SimConfig cfg = bench::sim_config_for_cores(cores);
@@ -53,10 +54,13 @@ void patch_size_sweep() {
   for (const std::int64_t size : {10, 100, 500, 1000, 1500, 2000, 2500}) {
     const sim::PatchTopology topo = reactor_topology(size);
     const auto r =
-        sim::DataDrivenSim(topo, quad, reactor_config(384)).run();
+        sim::DataDrivenSim(topo, quad, reactor_config(kSweepCores)).run();
     table.add_row({Table::num(size),
                    Table::num(static_cast<std::int64_t>(topo.num_patches())),
                    Table::num(r.elapsed_seconds, 4)});
+    bench::record({"patch_size_" + std::to_string(size), r.elapsed_seconds,
+                   kSweepCores, topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0}, {"patch_cells", double(size)}}});
   }
   std::printf("%s", table.str().c_str());
 }
@@ -70,11 +74,14 @@ void grain_sweep() {
   const sim::PatchTopology topo = reactor_topology(500);
   Table table({"grain", "sim time(s)"});
   for (const int grain : {1, 2, 4, 8, 16, 32, 64}) {
-    sim::SimConfig cfg = reactor_config(384);
+    sim::SimConfig cfg = reactor_config(kSweepCores);
     cfg.cluster_grain = grain;
     const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
     table.add_row({Table::num(static_cast<std::int64_t>(grain)),
                    Table::num(r.elapsed_seconds, 4)});
+    bench::record({"grain_" + std::to_string(grain), r.elapsed_seconds,
+                   kSweepCores, topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0}, {"grain", double(grain)}}});
   }
   std::printf("%s", table.str().c_str());
 }
@@ -111,6 +118,11 @@ void priorities() {
       table.add_row({combo.name,
                      Table::num(static_cast<std::int64_t>(cores)),
                      Table::num(r.elapsed_seconds, 4)});
+      bench::record({std::string(combo.name) + "/cores_" +
+                         std::to_string(cores),
+                     r.elapsed_seconds, cores,
+                     topo.total_cells() * quad.num_angles(),
+                     {{"simulated", 1.0}}});
     }
   }
   std::printf("%s", table.str().c_str());
@@ -118,7 +130,8 @@ void priorities() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig13_unstructured_params");
   patch_size_sweep();
   grain_sweep();
   priorities();

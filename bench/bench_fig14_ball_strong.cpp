@@ -54,13 +54,15 @@ void run_ball(const char* name, std::int64_t total_cells,
     const auto r = sim::DataDrivenSim(topo, quad, cfg).run();
     rows.push_back({c, r.elapsed_seconds});
   }
-  bench::print_scaling(table, rows, name);
+  bench::print_scaling(table, rows, name,
+                       total_cells * quad.num_angles());
   std::printf("%s", table.str().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig14_ball_strong");
   const bool full = std::getenv("JSWEEP_FULL_ANGLES") != nullptr;
   run_ball("Fig 14a", 482248, {24, 48, 96, 192, 384, 768, 1536, 3072, 6144},
            4,

@@ -60,13 +60,18 @@ void weak_case(const char* name, bool ball, std::int64_t base_cells,
     table.add_row({Table::num(static_cast<std::int64_t>(cores)),
                    Table::num(cells), Table::num(r.elapsed_seconds, 4),
                    Table::num(base_time / r.elapsed_seconds * 100.0, 1)});
+    bench::record({std::string(name) + "/cores_" + std::to_string(cores),
+                   r.elapsed_seconds, cores, cells * quad.num_angles(),
+                   {{"simulated", 1.0},
+                    {"weak_efficiency", base_time / r.elapsed_seconds}}});
   }
   std::printf("%s", table.str().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig15_weak_scaling");
   weak_case("Fig 15-reactor", /*ball=*/false, 64479,
             "efficiency ~40% at 12,288 cores");
   weak_case("Fig 15-ball", /*ball=*/true, 482248,

@@ -13,7 +13,8 @@
 
 using namespace jsweep;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig16_breakdown");
   bench::print_header(
       "Fig 16 (simulated)", "runtime breakdown, Kobayashi-200",
       "200^3 cells, patch 20^3, grain 1000, coarsened graph, 48 angles "
@@ -42,6 +43,15 @@ int main() {
          Table::num(r.breakdown.route * per_core, 4),
          Table::num(r.breakdown.idle * per_core, 3),
          Table::num(r.breakdown.idle / r.core_seconds() * 100.0, 1)});
+    bench::record({"cores_" + std::to_string(cores), r.elapsed_seconds,
+                   cores, topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0},
+                    {"kernel_s", r.breakdown.kernel * per_core},
+                    {"graphop_s", r.breakdown.graphop * per_core},
+                    {"pack_s", r.breakdown.pack * per_core},
+                    {"comm_s", r.breakdown.route * per_core},
+                    {"idle_s", r.breakdown.idle * per_core},
+                    {"idle_frac", r.breakdown.idle / r.core_seconds()}}});
   }
   std::printf("%s", table.str().c_str());
   return 0;

@@ -21,6 +21,7 @@ namespace {
 void compare(const char* name, const sim::PatchTopology& topo,
              const sn::Quadrature& quad, const std::vector<int>& cores,
              bool tet, int grain, const char* paper_note) {
+  const std::int64_t size = topo.total_cells() * quad.num_angles();
   char setup[256];
   std::snprintf(setup, sizeof(setup),
                 "%d patches, %d angles, grain %d\npaper: %s",
@@ -42,13 +43,19 @@ void compare(const char* name, const sim::PatchTopology& topo,
     table.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(t_bsp, 3), Table::num(t_dd, 3),
                    Table::num(t_dd / t_bsp, 3)});
+    bench::record({std::string(name) + "/jsweep/cores_" + std::to_string(c),
+                   t_dd, c, size, {{"simulated", 1.0}}});
+    bench::record({std::string(name) + "/bsp/cores_" + std::to_string(c),
+                   t_bsp, c, size,
+                   {{"simulated", 1.0}, {"vs_bsp_ratio", t_dd / t_bsp}}});
   }
   std::printf("%s", table.str().c_str());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig17_vs_bsp");
   {
     const sim::PatchTopology topo =
         sim::PatchTopology::structured({400, 400, 400}, {20, 20, 20});

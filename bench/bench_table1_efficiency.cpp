@@ -25,7 +25,8 @@ double efficiency(double base_time, int base_cores, double time, int cores) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "table1_efficiency");
   bench::print_header(
       "Table I", "parallel efficiency vs literature (simulated)",
       "efficiency = speedup x base_cores / cores; angle counts reduced vs "
@@ -50,6 +51,12 @@ int main() {
     table.add_row({"KBA (Denovo-class)", "Kobayashi-400", "77.8%",
                    Table::num(efficiency(t_base, 144, t_big, 3600), 1) + "%",
                    "3600 vs 144"});
+    const std::int64_t kba_cells = static_cast<std::int64_t>(
+        cfg.mesh_dims.i) * cfg.mesh_dims.j * cfg.mesh_dims.k;
+    bench::record({"kba_kobayashi400/cores_3600", t_big, 3600,
+                   kba_cells * quad.num_angles(),
+                   {{"simulated", 1.0},
+                    {"efficiency", efficiency(t_base, 144, t_big, 3600)}}});
   }
 
   // --- JSweep on Kobayashi-400: 6,144 vs 384 cores.
@@ -70,6 +77,10 @@ int main() {
     table.add_row({"JSweep", "Kobayashi-400", "89.6%",
                    Table::num(efficiency(t_base, 384, t_big, 6144), 1) + "%",
                    "6144 vs 384"});
+    bench::record({"jsweep_kobayashi400/cores_6144", t_big, 6144,
+                   topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0},
+                    {"efficiency", efficiency(t_base, 384, t_big, 6144)}}});
   }
 
   // --- PSD-b reference (not reproducible: closed implementation).
@@ -94,6 +105,10 @@ int main() {
     table.add_row({"JSweep", "sphere 482k S4", "66%",
                    Table::num(efficiency(t_base, 192, t_big, 1536), 1) + "%",
                    "1536 vs 192"});
+    bench::record({"jsweep_sphere482k/cores_1536", t_big, 1536,
+                   topo.total_cells() * quad.num_angles(),
+                   {{"simulated", 1.0},
+                    {"efficiency", efficiency(t_base, 192, t_big, 1536)}}});
   }
 
   std::printf("%s", table.str().c_str());

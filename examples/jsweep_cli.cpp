@@ -1,11 +1,11 @@
 // jsweep_cli — general driver over the public API: pick a benchmark
 // problem, a mesh resolution, an engine and its knobs from the command
 // line, solve it, and optionally dump the flux as VTK.
-//
-//   build/examples/jsweep_cli --mesh=kobayashi --n=16 --sn=4 \
-//       --engine=jsweep --ranks=4 --workers=2 --grain=64 \
-//       --priority=SLBD --coarsened --vtk=/tmp/flux.vtk
-//
+/*
+   build/examples/jsweep_cli --mesh=kobayashi --n=16 --sn=4 \
+       --engine=jsweep --ranks=4 --workers=2 --grain=64 \
+       --priority=SLBD --coarsened --vtk=/tmp/flux.vtk
+*/
 // Run with --help for the full flag list.
 
 #include <cstdio>

@@ -99,10 +99,8 @@ std::vector<double> KbaSolver::sweep(const std::vector<double>& q_per_ster) {
     const bool has_y_up = ry_up >= 0 && ry_up < config_.py;
     const bool has_y_dn = ry_dn >= 0 && ry_dn < config_.py;
 
-    // The boundary cell column we receive into / send from.
-    const int x_in = xup ? x_lo_ : x_hi_ - 1;   // our upwind x column
+    // The boundary cell column we send from (receives land via ghost faces).
     const int x_out = xup ? x_hi_ - 1 : x_lo_;  // our downwind x column
-    const int y_in = yup ? y_lo_ : y_hi_ - 1;
     const int y_out = yup ? y_hi_ - 1 : y_lo_;
     const mesh::FaceDir x_out_dir = xup ? mesh::FaceDir::XHi
                                         : mesh::FaceDir::XLo;

@@ -39,8 +39,11 @@ void check_invariants(Index3 d, const std::vector<char>& tags,
       }
     }
   }
-  for (std::size_t c = 0; c < tags.size(); ++c)
-    if (tags[c]) EXPECT_TRUE(covered[c]) << "tagged cell " << c << " uncovered";
+  for (std::size_t c = 0; c < tags.size(); ++c) {
+    if (tags[c]) {
+      EXPECT_TRUE(covered[c]) << "tagged cell " << c << " uncovered";
+    }
+  }
 }
 
 TEST(BergerRigoutsos, EmptyTagsYieldNoBoxes) {
@@ -120,9 +123,11 @@ TEST(AmrHierarchy, RefinesKobayashiSourceAndDuct) {
       2, 0.7, 1);
   EXPECT_FALSE(amr.fine_boxes().empty());
   // Every non-shield cell is refined.
-  for (std::int64_t c = 0; c < coarse.num_cells(); ++c)
-    if (coarse.material(CellId{c}) != kMatShield)
+  for (std::int64_t c = 0; c < coarse.num_cells(); ++c) {
+    if (coarse.material(CellId{c}) != kMatShield) {
       EXPECT_TRUE(amr.is_refined(CellId{c}));
+    }
+  }
   // Composite has more cells than coarse but less than full refinement.
   EXPECT_GT(amr.composite_cells(), coarse.num_cells());
   EXPECT_LT(amr.composite_cells(), coarse.num_cells() * 8);

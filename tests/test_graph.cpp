@@ -119,7 +119,7 @@ TEST(Priority, StrategyNamesRoundTrip) {
        {PriorityStrategy::None, PriorityStrategy::BFS, PriorityStrategy::LDCP,
         PriorityStrategy::SLBD})
     EXPECT_EQ(priority_from_string(to_string(s)), s);
-  EXPECT_THROW(priority_from_string("bogus"), CheckError);
+  EXPECT_THROW((void)priority_from_string("bogus"), CheckError);
 }
 
 // ---------------------------------------------------------------------------

@@ -74,7 +74,7 @@ TEST(MaterialTable, LookupAndBounds) {
   const MaterialTable t = MaterialTable::kobayashi();
   EXPECT_DOUBLE_EQ(t.at(mesh::kMatSource).source, 1.0);
   EXPECT_DOUBLE_EQ(t.at(mesh::kMatVoid).sigma_t, 1e-4);
-  EXPECT_THROW(t.at(99), CheckError);
+  EXPECT_THROW((void)t.at(99), CheckError);
 }
 
 TEST(MaterialTable, ExpandPerCell) {
