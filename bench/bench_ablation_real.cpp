@@ -47,11 +47,19 @@ struct Fixture {
 
 constexpr int kRanks = 4;
 
+/// Seconds/sweep plus the last sweep's engine counters (rank 0's view;
+/// data-driven runs only — the BSP engine has its own stats shape).
+struct Timed {
+  double seconds = 0.0;
+  core::EngineStats engine;
+  bool has_engine = false;
+};
+
 /// Time `sweeps` repeated sweeps under a config; returns seconds/sweep of
 /// the post-warm-up sweeps.
-double time_sweeps(const Fixture& fx, sweep::SolverConfig config,
-                   int sweeps = 3) {
-  double result = 0.0;
+Timed time_sweeps(const Fixture& fx, sweep::SolverConfig config,
+                  int sweeps = 3) {
+  Timed result;
   comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
     const auto owner =
         partition::assign_contiguous(fx.patches.num_patches(), ctx.size());
@@ -60,7 +68,13 @@ double time_sweeps(const Fixture& fx, sweep::SolverConfig config,
     (void)solver.sweep(fx.q);  // warm-up / recording sweep
     WallTimer timer;
     for (int i = 0; i < sweeps; ++i) (void)solver.sweep(fx.q);
-    if (ctx.rank().value() == 0) result = timer.seconds() / sweeps;
+    if (ctx.rank().value() == 0) {
+      result.seconds = timer.seconds() / sweeps;
+      if (config.engine == sweep::EngineKind::DataDriven) {
+        result.engine = solver.stats().engine;
+        result.has_engine = true;
+      }
+    }
   });
   return result;
 }
@@ -82,43 +96,49 @@ int main(int argc, char** argv) {
   base.cluster_grain = 64;
   const std::int64_t problem = fx.mesh.num_cells() * fx.quad.num_angles();
   const int threads = kRanks * base.num_workers;
-  const auto sample = [&](const char* tag, double seconds) {
-    bench::record({tag, seconds, threads, problem, {}});
+  const auto sample = [&](const char* tag, const Timed& t) {
+    bench::Sample s{tag, t.seconds, threads, problem, {}};
+    if (t.has_engine) bench::append_engine_stats(s, t.engine);
+    bench::record(std::move(s));
   };
-  const double t_base = time_sweeps(fx, base);
-  table.add_row({"data-driven DAG (baseline)", Table::num(t_base, 4), "1.00"});
+  const Timed t_base = time_sweeps(fx, base);
+  table.add_row(
+      {"data-driven DAG (baseline)", Table::num(t_base.seconds, 4), "1.00"});
   sample("baseline", t_base);
 
   {
     sweep::SolverConfig cfg = base;
     cfg.use_coarsened_graph = true;  // sweeps 2+ replay on CG
-    const double t = time_sweeps(fx, cfg);
-    table.add_row({"coarsened graph (Sec V-E)", Table::num(t, 4),
-                   Table::num(t_base / t, 2) + "x faster"});
+    const Timed t = time_sweeps(fx, cfg);
+    table.add_row({"coarsened graph (Sec V-E)", Table::num(t.seconds, 4),
+                   Table::num(t_base.seconds / t.seconds, 2) + "x faster"});
     sample("coarsened_graph", t);
   }
   {
     sweep::SolverConfig cfg = base;
     cfg.patch_angle_parallelism = false;
-    const double t = time_sweeps(fx, cfg);
-    table.add_row({"patch-serial (no patch-angle par.)", Table::num(t, 4),
-                   Table::num(t / t_base, 2) + "x slower"});
+    const Timed t = time_sweeps(fx, cfg);
+    table.add_row({"patch-serial (no patch-angle par.)",
+                   Table::num(t.seconds, 4),
+                   Table::num(t.seconds / t_base.seconds, 2) + "x slower"});
     sample("patch_serial", t);
   }
   {
     sweep::SolverConfig cfg = base;
     cfg.engine = sweep::EngineKind::Bsp;
-    const double t = time_sweeps(fx, cfg);
-    table.add_row({"BSP supersteps (pre-JSweep model)", Table::num(t, 4),
-                   Table::num(t / t_base, 2) + "x slower"});
+    const Timed t = time_sweeps(fx, cfg);
+    table.add_row({"BSP supersteps (pre-JSweep model)",
+                   Table::num(t.seconds, 4),
+                   Table::num(t.seconds / t_base.seconds, 2) + "x slower"});
     sample("bsp_supersteps", t);
   }
   {
     sweep::SolverConfig cfg = base;
     cfg.cluster_grain = 1;
-    const double t = time_sweeps(fx, cfg);
-    table.add_row({"no vertex clustering (grain 1)", Table::num(t, 4),
-                   Table::num(t / t_base, 2) + "x slower"});
+    const Timed t = time_sweeps(fx, cfg);
+    table.add_row({"no vertex clustering (grain 1)",
+                   Table::num(t.seconds, 4),
+                   Table::num(t.seconds / t_base.seconds, 2) + "x slower"});
     sample("no_clustering", t);
   }
   std::printf("%s", table.str().c_str());
@@ -147,7 +167,7 @@ int main(int argc, char** argv) {
                                 0.25);
 
     const auto time_small = [&](bool patch_angle) {
-      double result = 0.0;
+      Timed result;
       comm::Cluster::run(1, [&](comm::Context& ctx) {
         sweep::SolverConfig config;
         config.num_workers = 8;
@@ -160,22 +180,36 @@ int main(int argc, char** argv) {
         (void)solver.sweep(q);
         WallTimer timer;
         for (int i = 0; i < 3; ++i) (void)solver.sweep(q);
-        if (ctx.rank().value() == 0) result = timer.seconds() / 3;
+        if (ctx.rank().value() == 0) {
+          result.seconds = timer.seconds() / 3;
+          result.engine = solver.stats().engine;
+          result.has_engine = true;
+        }
       });
       return result;
     };
-    const double with_pa = time_small(true);
-    const double without_pa = time_small(false);
+    const Timed with_pa = time_small(true);
+    const Timed without_pa = time_small(false);
     const std::int64_t small_problem =
         small.num_cells() * quad.num_angles();
-    bench::record({"small_mesh/patch_angle_parallel", with_pa, 8,
-                   small_problem, {}});
-    bench::record({"small_mesh/patch_serial", without_pa, 8, small_problem,
-                   {}});
+    {
+      bench::Sample s{"small_mesh/patch_angle_parallel", with_pa.seconds, 8,
+                      small_problem, {}};
+      bench::append_engine_stats(s, with_pa.engine);
+      bench::record(std::move(s));
+    }
+    {
+      bench::Sample s{"small_mesh/patch_serial", without_pa.seconds, 8,
+                      small_problem, {}};
+      bench::append_engine_stats(s, without_pa.engine);
+      bench::record(std::move(s));
+    }
     Table t2({"configuration", "s/sweep", "ratio"});
-    t2.add_row({"patch-angle parallel", Table::num(with_pa, 4), "1.00"});
-    t2.add_row({"patch-serial", Table::num(without_pa, 4),
-                Table::num(without_pa / with_pa, 2) + "x slower"});
+    t2.add_row(
+        {"patch-angle parallel", Table::num(with_pa.seconds, 4), "1.00"});
+    t2.add_row({"patch-serial", Table::num(without_pa.seconds, 4),
+                Table::num(without_pa.seconds / with_pa.seconds, 2) +
+                    "x slower"});
     std::printf("%s", t2.str().c_str());
   }
   return 0;

@@ -43,15 +43,14 @@ int main(int argc, char** argv) {
          Table::num(r.breakdown.route * per_core, 4),
          Table::num(r.breakdown.idle * per_core, 3),
          Table::num(r.breakdown.idle / r.core_seconds() * 100.0, 1)});
-    bench::record({"cores_" + std::to_string(cores), r.elapsed_seconds,
-                   cores, topo.total_cells() * quad.num_angles(),
-                   {{"simulated", 1.0},
-                    {"kernel_s", r.breakdown.kernel * per_core},
-                    {"graphop_s", r.breakdown.graphop * per_core},
-                    {"pack_s", r.breakdown.pack * per_core},
-                    {"comm_s", r.breakdown.route * per_core},
-                    {"idle_s", r.breakdown.idle * per_core},
-                    {"idle_frac", r.breakdown.idle / r.core_seconds()}}});
+    // Per-category totals come from append_sim_breakdown (divide by
+    // `threads` for the per-core view the table prints).
+    bench::Sample s{"cores_" + std::to_string(cores), r.elapsed_seconds,
+                    cores, topo.total_cells() * quad.num_angles(),
+                    {{"simulated", 1.0},
+                     {"idle_frac", r.breakdown.idle / r.core_seconds()}}};
+    bench::append_sim_breakdown(s, r);
+    bench::record(std::move(s));
   }
   std::printf("%s", table.str().c_str());
   return 0;

@@ -36,18 +36,24 @@ void compare(const char* name, const sim::PatchTopology& topo,
     dd.cost = tet ? sim::CostModel::jsnt_u() : sim::CostModel::jsnt_s();
     sim::SimConfig bsp = dd;
     bsp.engine = sim::SimEngine::Bsp;
-    const double t_dd =
-        sim::DataDrivenSim(topo, quad, dd).run().elapsed_seconds;
-    const double t_bsp =
-        sim::DataDrivenSim(topo, quad, bsp).run().elapsed_seconds;
+    const sim::SimResult r_dd = sim::DataDrivenSim(topo, quad, dd).run();
+    const sim::SimResult r_bsp = sim::DataDrivenSim(topo, quad, bsp).run();
+    const double t_dd = r_dd.elapsed_seconds;
+    const double t_bsp = r_bsp.elapsed_seconds;
     table.add_row({Table::num(static_cast<std::int64_t>(c)),
                    Table::num(t_bsp, 3), Table::num(t_dd, 3),
                    Table::num(t_dd / t_bsp, 3)});
-    bench::record({std::string(name) + "/jsweep/cores_" + std::to_string(c),
-                   t_dd, c, size, {{"simulated", 1.0}}});
-    bench::record({std::string(name) + "/bsp/cores_" + std::to_string(c),
-                   t_bsp, c, size,
-                   {{"simulated", 1.0}, {"vs_bsp_ratio", t_dd / t_bsp}}});
+    bench::Sample s_dd{std::string(name) + "/jsweep/cores_" +
+                           std::to_string(c),
+                       t_dd, c, size, {{"simulated", 1.0}}};
+    bench::append_sim_breakdown(s_dd, r_dd);
+    bench::record(std::move(s_dd));
+    bench::Sample s_bsp{std::string(name) + "/bsp/cores_" +
+                            std::to_string(c),
+                        t_bsp, c, size,
+                        {{"simulated", 1.0}, {"vs_bsp_ratio", t_dd / t_bsp}}};
+    bench::append_sim_breakdown(s_bsp, r_bsp);
+    bench::record(std::move(s_bsp));
   }
   std::printf("%s", table.str().c_str());
 }

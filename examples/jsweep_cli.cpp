@@ -4,7 +4,8 @@
 /*
    build/examples/jsweep_cli --mesh=kobayashi --n=16 --sn=4 \
        --engine=jsweep --ranks=4 --workers=2 --grain=64 \
-       --priority=SLBD --coarsened --vtk=/tmp/flux.vtk
+       --priority=SLBD --coarsened --trace=/tmp/trace.json --profile \
+       --vtk=/tmp/flux.vtk
 */
 // Run with --help for the full flag list.
 
@@ -26,6 +27,9 @@
 #include "support/table.hpp"
 #include "support/timer.hpp"
 #include "sweep/solver.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -45,6 +49,8 @@ struct Options {
   double tolerance = 1e-6;
   int max_iterations = 200;
   std::string vtk;
+  std::string trace;
+  bool profile = false;
 };
 
 void usage() {
@@ -63,6 +69,9 @@ void usage() {
   --tolerance=T                   source-iteration tolerance (default 1e-6)
   --max-iterations=K              source-iteration cap (default 200)
   --vtk=PATH                      write flux + material as legacy VTK
+  --trace=PATH                    record the runs and write a Chrome trace
+                                  (open in chrome://tracing or Perfetto)
+  --profile                       print critical-path + busy/idle breakdown
   --help                          this text
 )");
 }
@@ -105,6 +114,10 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.max_iterations = std::atoi(v->c_str());
     } else if (auto v = value("--vtk")) {
       opt.vtk = *v;
+    } else if (auto v = value("--trace")) {
+      opt.trace = *v;
+    } else if (arg == "--profile") {
+      opt.profile = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return std::nullopt;
@@ -124,6 +137,14 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
               static_cast<long long>(mesh.num_cells()),
               patches.num_patches(), opt.sn, quad.num_angles(),
               opt.engine.c_str());
+
+  const bool want_trace = !opt.trace.empty() || opt.profile;
+  std::optional<trace::Recorder> recorder;
+  if (want_trace && opt.engine != "serial") recorder.emplace();
+  if (want_trace && opt.engine == "serial")
+    std::fprintf(stderr,
+                 "note: --trace/--profile need --engine=jsweep or bsp; "
+                 "ignored for the serial sweep\n");
 
   sn::SourceIterationResult result;
   WallTimer timer;
@@ -145,6 +166,7 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
       config.vertex_priority = config.patch_priority;
       config.use_coarsened_graph =
           opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
+      config.trace.recorder = recorder ? &*recorder : nullptr;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
       sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
@@ -154,6 +176,24 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
     });
   }
   const double seconds = timer.seconds();
+
+  if (recorder) {
+    if (!opt.trace.empty()) {
+      if (!trace::write_chrome_trace_file(*recorder, opt.trace)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     opt.trace.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%lld events, %lld dropped)\n",
+                  opt.trace.c_str(),
+                  static_cast<long long>(recorder->total_events()),
+                  static_cast<long long>(recorder->dropped_events()));
+    }
+    if (opt.profile) {
+      const trace::ProfileReport prof = trace::analyze(*recorder);
+      std::printf("\n%s\n", trace::render_profile(prof).c_str());
+    }
+  }
 
   double peak = 0.0;
   double mean = 0.0;

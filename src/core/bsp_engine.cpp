@@ -1,10 +1,50 @@
 #include "core/bsp_engine.hpp"
 
+#include <algorithm>
+
 #include "core/stream.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace jsweep::core {
+
+namespace {
+
+/// Execution interval captured during the fork-join compute phase. The
+/// pool does not expose which thread ran which program, so executions are
+/// assigned to non-overlapping "lanes" afterwards (lane count is bounded
+/// by the pool's parallelism) and each lane becomes one worker track.
+struct ExecSpan {
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 0;
+  ProgramKey key{};
+};
+
+void record_exec_lanes(trace::Recorder& rec, std::int32_t rank,
+                       std::vector<ExecSpan>& spans,
+                       std::vector<trace::Track*>& lanes) {
+  std::sort(spans.begin(), spans.end(),
+            [](const ExecSpan& a, const ExecSpan& b) {
+              if (a.t0 != b.t0) return a.t0 < b.t0;
+              return a.t1 < b.t1;
+            });
+  std::vector<std::int64_t> lane_end;
+  for (const ExecSpan& s : spans) {
+    std::size_t lane = 0;
+    while (lane < lane_end.size() && lane_end[lane] > s.t0) ++lane;
+    if (lane == lane_end.size()) lane_end.push_back(0);
+    lane_end[lane] = s.t1;
+    if (lane >= lanes.size()) lanes.resize(lane + 1, nullptr);
+    if (lanes[lane] == nullptr)
+      lanes[lane] = &rec.track(rank, static_cast<std::int32_t>(lane));
+    auto e = trace::make_span(trace::EventKind::Exec, s.t0, s.t1);
+    e.src = s.key;
+    lanes[lane]->record(e);
+  }
+}
+
+}  // namespace
 
 BspEngine::BspEngine(comm::Context& ctx, BspConfig config)
     : ctx_(ctx), config_(config) {
@@ -31,6 +71,14 @@ void BspEngine::deliver(Stream s) {
   const auto it = by_key_.find(s.dst);
   JSWEEP_CHECK_MSG(it != by_key_.end(),
                    "stream routed to " << s.dst << " but no such program");
+  if (trace_master_ != nullptr) {
+    auto e = trace::make_instant(trace::EventKind::StreamRecv,
+                                 config_.recorder->now_ns());
+    e.src = s.src;
+    e.dst = s.dst;
+    e.bytes = static_cast<std::int64_t>(s.data.size());
+    trace_master_->record(e);
+  }
   it->second->inbox.push_back(std::move(s));
   it->second->active = true;
 }
@@ -40,6 +88,13 @@ void BspEngine::run() {
   stats_ = BspStats{};
   WallTimer total_timer;
   ThreadPool pool(config_.num_threads);
+  trace::Recorder* const rec = config_.recorder;
+  trace_master_ =
+      rec != nullptr
+          ? &rec->track(ctx_.rank().value(), trace::kMasterTrack)
+          : nullptr;
+  std::vector<ExecSpan> exec_spans;
+  std::vector<trace::Track*> exec_lanes;
 
   std::int64_t local_remaining = 0;
   for (auto& slot : slots_) {
@@ -57,11 +112,13 @@ void BspEngine::run() {
 
   while (global_remaining > 0) {
     ++stats_.supersteps;
+    const std::int64_t step_t0 = rec != nullptr ? rec->now_ns() : 0;
 
     // --- Compute phase: every active program executes once, in parallel.
     std::vector<Slot*> round;
     for (auto& slot : slots_)
       if (slot->active) round.push_back(slot.get());
+    if (rec != nullptr) exec_spans.assign(round.size(), ExecSpan{});
 
     std::atomic<std::int64_t> retired{0};
     std::atomic<std::int64_t> executions{0};
@@ -69,6 +126,7 @@ void BspEngine::run() {
         static_cast<std::int64_t>(round.size()), [&](std::int64_t i) {
           Slot& slot = *round[static_cast<std::size_t>(i)];
           PatchProgram& prog = *slot.program;
+          const std::int64_t exec_t0 = rec != nullptr ? rec->now_ns() : 0;
           if (!slot.initialized) {
             prog.init();
             slot.initialized = true;
@@ -83,9 +141,14 @@ void BspEngine::run() {
           while (auto out = prog.output())
             slot.outbox.push_back(std::move(*out));
           slot.halted = prog.vote_to_halt();
+          if (rec != nullptr)
+            exec_spans[static_cast<std::size_t>(i)] =
+                ExecSpan{exec_t0, rec->now_ns(), prog.key()};
         });
     local_remaining -= retired.load();
     stats_.executions += executions.load();
+    if (rec != nullptr && !exec_spans.empty())
+      record_exec_lanes(*rec, ctx_.rank().value(), exec_spans, exec_lanes);
 
     // --- Exchange phase (superstep boundary): local streams also wait
     // until here — BSP semantics, Sec. II-B.
@@ -95,6 +158,14 @@ void BspEngine::run() {
       for (auto& s : slot->outbox) {
         const RankId dest =
             patch_owner_[static_cast<std::size_t>(s.dst.patch.value())];
+        if (trace_master_ != nullptr) {
+          auto e = trace::make_instant(trace::EventKind::StreamSend,
+                                       rec->now_ns());
+          e.src = s.src;
+          e.dst = s.dst;
+          e.bytes = static_cast<std::int64_t>(s.data.size());
+          trace_master_->record(e);
+        }
         if (dest == ctx_.rank()) {
           ++stats_.streams_local;
           local_pending.push_back(std::move(s));
@@ -123,7 +194,16 @@ void BspEngine::run() {
     }
     for (auto& s : local_pending) deliver(std::move(s));
 
+    const std::int64_t coll_t0 = rec != nullptr ? rec->now_ns() : 0;
     global_remaining = ctx_.allreduce_sum(local_remaining);
+    if (trace_master_ != nullptr) {
+      trace_master_->record(trace::make_span(trace::EventKind::Collective,
+                                             coll_t0, rec->now_ns()));
+      auto e = trace::make_span(trace::EventKind::Superstep, step_t0,
+                                rec->now_ns());
+      e.bytes = stats_.supersteps;
+      trace_master_->record(e);
+    }
   }
 
   stats_.elapsed_seconds = total_timer.seconds();

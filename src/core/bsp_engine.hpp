@@ -21,12 +21,20 @@
 #include "core/patch_program.hpp"
 #include "core/thread_pool.hpp"
 
+namespace jsweep::trace {
+class Recorder;
+class Track;
+}  // namespace jsweep::trace
+
 namespace jsweep::core {
 
 struct BspConfig {
   /// Threads used for the compute phase (the calling thread also works, so
   /// effective parallelism is num_threads + 1).
   int num_threads = 1;
+  /// When non-null, supersteps/executions/streams are recorded into this
+  /// recorder (trace/trace.hpp); null disables tracing.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct BspStats {
@@ -68,6 +76,7 @@ class BspEngine {
   comm::Context& ctx_;
   BspConfig config_;
   BspStats stats_;
+  trace::Track* trace_master_ = nullptr;  ///< this rank's master track
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<ProgramKey, Slot*> by_key_;
   std::vector<RankId> patch_owner_;

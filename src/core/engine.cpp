@@ -7,8 +7,16 @@
 
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "trace/trace.hpp"
 
 namespace jsweep::core {
+
+namespace {
+
+/// Idle waits shorter than this are not worth a trace event.
+constexpr std::int64_t kMinTracedIdleNs = 1000;
+
+}  // namespace
 
 struct Engine::ProgramState {
   std::unique_ptr<PatchProgram> program;
@@ -81,14 +89,30 @@ void Engine::set_routes(std::vector<RankId> patch_owner) {
 }
 
 void Engine::worker_loop(Worker& w) {
+  trace::Recorder* const rec = config_.recorder;
+  trace::Track* const tr =
+      rec != nullptr ? &rec->track(ctx_.rank().value(), w.id) : nullptr;
+  // Every instant of the loop's lifetime lands in exactly one of the two
+  // buckets — idle while blocked in the condition wait, busy otherwise
+  // (execution plus queue/completion bookkeeping) — so that
+  // busy + idle ≈ elapsed × num_workers holds for EngineStats.
   WallTimer timer;
   for (;;) {
     ProgramState* ps = nullptr;
     {
       std::unique_lock<std::mutex> lock(w.mutex);
+      w.busy_seconds += timer.seconds();
       timer.reset();
+      const std::int64_t idle_t0 = tr != nullptr ? rec->now_ns() : 0;
       w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
       w.idle_seconds += timer.seconds();
+      timer.reset();
+      if (tr != nullptr) {
+        const std::int64_t idle_t1 = rec->now_ns();
+        if (idle_t1 - idle_t0 >= kMinTracedIdleNs)
+          tr->record(
+              trace::make_span(trace::EventKind::Idle, idle_t0, idle_t1));
+      }
       if (w.queue.empty()) {
         if (w.stop) return;
         continue;
@@ -96,10 +120,16 @@ void Engine::worker_loop(Worker& w) {
       ps = w.queue.top().ps;
       w.queue.pop();
     }
-    timer.reset();
+    const std::int64_t exec_t0 = tr != nullptr ? rec->now_ns() : 0;
     try {
       Completion c = execute(*ps);
-      w.busy_seconds += timer.seconds();
+      if (tr != nullptr) {
+        auto e =
+            trace::make_span(trace::EventKind::Exec, exec_t0, rec->now_ns());
+        e.src = ps->program->key();
+        e.bytes = c.retired;
+        tr->record(e);
+      }
       {
         const std::lock_guard<std::mutex> lock(completion_mutex_);
         completions_.push_back(std::move(c));
@@ -162,6 +192,14 @@ void Engine::deliver_local(Stream stream) {
                                        << " but no such program on rank "
                                        << ctx_.rank());
   ProgramState& ps = *it->second;
+  if (trace_master_ != nullptr) {
+    auto e = trace::make_instant(trace::EventKind::StreamRecv,
+                                 config_.recorder->now_ns());
+    e.src = stream.src;
+    e.dst = stream.dst;
+    e.bytes = static_cast<std::int64_t>(stream.data.size());
+    trace_master_->record(e);
+  }
   {
     const std::lock_guard<std::mutex> lock(ps.inbox_mutex);
     ps.inbox.push_back(std::move(stream));
@@ -182,6 +220,14 @@ void Engine::route_outputs(std::vector<Stream>&& outputs) {
         "stream targets unknown patch " << s.dst.patch);
     const RankId dest =
         patch_owner_[static_cast<std::size_t>(s.dst.patch.value())];
+    if (trace_master_ != nullptr) {
+      auto e = trace::make_instant(trace::EventKind::StreamSend,
+                                   config_.recorder->now_ns());
+      e.src = s.src;
+      e.dst = s.dst;
+      e.bytes = static_cast<std::int64_t>(s.data.size());
+      trace_master_->record(e);
+    }
     if (dest == ctx_.rank()) {
       ++stats_.streams_local;
       deliver_local(std::move(s));
@@ -198,7 +244,17 @@ void Engine::flush_remote() {
   for (int r = 0; r < ctx_.size(); ++r) {
     auto& staged = remote_staging_[static_cast<std::size_t>(r)];
     if (staged.empty()) continue;
-    ctx_.send(RankId{r}, comm::kTagStream, pack_streams(staged));
+    const std::int64_t pack_t0 =
+        trace_master_ != nullptr ? config_.recorder->now_ns() : 0;
+    comm::Bytes payload = pack_streams(staged);
+    const auto payload_bytes = static_cast<std::int64_t>(payload.size());
+    ctx_.send(RankId{r}, comm::kTagStream, std::move(payload));
+    if (trace_master_ != nullptr) {
+      auto e = trace::make_span(trace::EventKind::Pack, pack_t0,
+                                config_.recorder->now_ns());
+      e.bytes = payload_bytes;
+      trace_master_->record(e);
+    }
     ++stats_.messages_sent;
     staged.clear();
   }
@@ -238,6 +294,10 @@ void Engine::run() {
   stats_ = EngineStats{};
   WallTimer total_timer;
   IntervalAccumulator route_time;
+  trace_master_ = config_.recorder != nullptr
+                      ? &config_.recorder->track(ctx_.rank().value(),
+                                                 trace::kMasterTrack)
+                      : nullptr;
 
   // Reset per-run program state; init() re-runs on first execution, which
   // is exactly Listing 1's per-sweep re-initialization.
@@ -316,8 +376,16 @@ void Engine::run() {
 
 void Engine::master_loop(comm::SafraDetector* det,
                          IntervalAccumulator& route_time) {
+  trace::Recorder* const rec = config_.recorder;
+  trace::Track* const mt = trace_master_;
+  // Consecutive empty polls coalesce into one master idle span, closed at
+  // the timestamp where the next iteration's work began (iter_t0) so idle
+  // never overlaps the Route/Pack/Collective spans recorded after it.
+  std::int64_t idle_t0 = -1;
+  std::int64_t iter_t0 = 0;
   for (;;) {
     bool progress = false;
+    if (mt != nullptr) iter_t0 = rec->now_ns();
 
     // 0. Worker failures abort the run.
     {
@@ -328,7 +396,11 @@ void Engine::master_loop(comm::SafraDetector* det,
     // 1. Incoming messages.
     while (auto msg = ctx_.try_recv()) {
       route_time.start();
+      const std::int64_t route_t0 = mt != nullptr ? rec->now_ns() : 0;
       process_message(*msg, det);
+      if (mt != nullptr)
+        mt->record(trace::make_span(trace::EventKind::Route, route_t0,
+                                    rec->now_ns()));
       route_time.stop();
       progress = true;
     }
@@ -343,6 +415,7 @@ void Engine::master_loop(comm::SafraDetector* det,
       completions_pending_.fetch_sub(
           static_cast<std::int64_t>(batch.size()), std::memory_order_release);
       route_time.start();
+      const std::int64_t route_t0 = mt != nullptr ? rec->now_ns() : 0;
       for (auto& c : batch) {
         ++stats_.executions;
         local_remaining_ -= c.retired;
@@ -361,6 +434,9 @@ void Engine::master_loop(comm::SafraDetector* det,
           --active_programs_;
         }
       }
+      if (mt != nullptr)
+        mt->record(trace::make_span(trace::EventKind::Route, route_t0,
+                                    rec->now_ns()));
       route_time.stop();
       progress = true;
     }
@@ -378,13 +454,24 @@ void Engine::master_loop(comm::SafraDetector* det,
     }
     route_time.stop();
 
+    // Close a pending master idle span once progress resumes.
+    if (mt != nullptr && idle_t0 >= 0 && progress) {
+      mt->record(
+          trace::make_span(trace::EventKind::Idle, idle_t0, iter_t0));
+      idle_t0 = -1;
+    }
+
     // 4. Termination.
     if (config_.termination == TerminationMode::KnownWorkload) {
       if (local_remaining_ == 0 && active_programs_ == 0 &&
           completions_pending_.load(std::memory_order_acquire) == 0) {
         // Workload-commitment fast path (Sec. III-B): every rank joins one
         // collective when its committed workload is fully retired.
+        const std::int64_t coll_t0 = mt != nullptr ? rec->now_ns() : 0;
         ctx_.allreduce_sum(std::int64_t{0});
+        if (mt != nullptr)
+          mt->record(trace::make_span(trace::EventKind::Collective, coll_t0,
+                                      rec->now_ns()));
         break;
       }
     } else {
@@ -395,8 +482,13 @@ void Engine::master_loop(comm::SafraDetector* det,
       }
     }
 
-    if (!progress) ctx_.wait_message(std::chrono::microseconds(50));
+    if (!progress) {
+      if (mt != nullptr && idle_t0 < 0) idle_t0 = rec->now_ns();
+      ctx_.wait_message(std::chrono::microseconds(50));
+    }
   }
+  if (mt != nullptr && idle_t0 >= 0)
+    mt->record(trace::make_span(trace::EventKind::Idle, idle_t0, iter_t0));
 }
 
 }  // namespace jsweep::core

@@ -26,6 +26,11 @@
 #include "core/patch_program.hpp"
 #include "support/timer.hpp"
 
+namespace jsweep::trace {
+class Recorder;
+class Track;
+}  // namespace jsweep::trace
+
 namespace jsweep::core {
 
 enum class TerminationMode {
@@ -39,6 +44,10 @@ enum class TerminationMode {
 struct EngineConfig {
   int num_workers = 2;
   TerminationMode termination = TerminationMode::KnownWorkload;
+  /// When non-null, the engine records execution/stream/route/idle events
+  /// into this recorder (trace/trace.hpp). Null (the default) disables
+  /// tracing: the hot path then pays one pointer check per would-be event.
+  trace::Recorder* recorder = nullptr;
 };
 
 struct EngineStats {
@@ -98,6 +107,7 @@ class Engine {
   comm::Context& ctx_;
   EngineConfig config_;
   EngineStats stats_;
+  trace::Track* trace_master_ = nullptr;  ///< this rank's master track
 
   std::unordered_map<ProgramKey, std::unique_ptr<ProgramState>> programs_;
   std::vector<RankId> patch_owner_;

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "support/check.hpp"
+#include "trace/trace.hpp"
 
 namespace jsweep::sim {
 
@@ -147,6 +148,7 @@ struct Event {
   std::int64_t prog;
   std::int32_t a1;  ///< ChunkDone: chunk index; DepArrive: upwind patch
   std::int32_t a2;  ///< DepArrive: upwind completed chunk
+  std::int32_t worker = 0;  ///< ChunkDone: worker running the chunk
 
   bool operator>(const Event& o) const {
     if (t != o.t) return t > o.t;
@@ -184,9 +186,15 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
           prep.angle_base[static_cast<std::size_t>(prep.num_angles)]),
       -1);
 
-  // Per-process state.
-  std::vector<int> free_workers(static_cast<std::size_t>(config_.processes),
-                                config_.workers_per_process);
+  // Per-process state. Free workers are an id stack (not a counter) so the
+  // simulator knows which worker runs each chunk — per-worker trace tracks
+  // need the identity; pop/push keeps the counts, and therefore the
+  // schedule, identical to a plain counter.
+  std::vector<std::vector<std::int32_t>> free_workers(
+      static_cast<std::size_t>(config_.processes));
+  for (auto& ids : free_workers)
+    for (std::int32_t w = config_.workers_per_process - 1; w >= 0; --w)
+      ids.push_back(w);
   std::vector<std::priority_queue<ReadyEntry>> ready(
       static_cast<std::size_t>(config_.processes));
   std::vector<double> master_free(
@@ -201,6 +209,39 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
   const auto patch_of = [&](std::int64_t prog) {
     return static_cast<std::int32_t>(prog % prep.num_patches);
   };
+
+  // Virtual-time trace emission (track pointers cached per proc/worker).
+  trace::Recorder* const rec = config_.recorder;
+  std::vector<trace::Track*> trace_workers;
+  std::vector<trace::Track*> trace_masters;
+  if (rec != nullptr) {
+    trace_workers.assign(static_cast<std::size_t>(config_.processes) *
+                             static_cast<std::size_t>(
+                                 config_.workers_per_process),
+                         nullptr);
+    trace_masters.assign(static_cast<std::size_t>(config_.processes),
+                         nullptr);
+  }
+  const auto wtrack = [&](std::size_t proc,
+                          std::int32_t worker) -> trace::Track& {
+    trace::Track*& t =
+        trace_workers[proc * static_cast<std::size_t>(
+                                 config_.workers_per_process) +
+                      static_cast<std::size_t>(worker)];
+    if (t == nullptr)
+      t = &rec->track(static_cast<std::int32_t>(proc), worker);
+    return *t;
+  };
+  const auto mtrack = [&](std::size_t proc) -> trace::Track& {
+    trace::Track*& t = trace_masters[proc];
+    if (t == nullptr)
+      t = &rec->track(static_cast<std::int32_t>(proc), trace::kMasterTrack);
+    return *t;
+  };
+  const auto key_of = [&](std::int64_t prog) {
+    return ProgramKey{PatchId{patch_of(prog)}, TaskTag{angle_of(prog)}};
+  };
+  const auto vns = [](double t) { return static_cast<std::int64_t>(t); };
   const auto priority_of = [&](std::int64_t prog) {
     const int a = angle_of(prog);
     const int oct = quad_.angle(a).octant;
@@ -238,7 +279,8 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     return (topo_.cells(p) + n - 1) / n;
   };
 
-  const auto start_chunk = [&](std::int64_t prog, double t) {
+  const auto start_chunk = [&](std::int64_t prog, double t,
+                               std::int32_t worker) {
     const std::int32_t p = patch_of(prog);
     const std::int32_t c = next_chunk[static_cast<std::size_t>(prog)];
     const auto cells = static_cast<double>(chunk_cells(p, c));
@@ -249,7 +291,16 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     result.breakdown.graphop += cells * graphop_ns +
                                 fold * cm.t_exec_overhead_ns;
     result.chunk_executions += static_cast<std::int64_t>(fold);
-    events.push(Event{t + dur, seq++, Event::kChunkDone, prog, c, 0});
+    events.push(Event{t + dur, seq++, Event::kChunkDone, prog, c, 0, worker});
+    if (rec != nullptr) {
+      auto e = trace::make_span(trace::EventKind::Exec, vns(t), vns(t + dur));
+      e.src = key_of(prog);
+      e.bytes = static_cast<std::int64_t>(cells);
+      wtrack(static_cast<std::size_t>(
+                 prep.proc_of[static_cast<std::size_t>(p)]),
+             worker)
+          .record(e);
+    }
   };
 
   /// Enqueue the program's pending chunk if it exists, is unqueued and
@@ -264,9 +315,10 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     queued[static_cast<std::size_t>(prog)] = 1;
     const auto proc = static_cast<std::size_t>(
         prep.proc_of[static_cast<std::size_t>(p)]);
-    if (free_workers[proc] > 0) {
-      --free_workers[proc];
-      start_chunk(prog, t);
+    if (!free_workers[proc].empty()) {
+      const std::int32_t worker = free_workers[proc].back();
+      free_workers[proc].pop_back();
+      start_chunk(prog, t, worker);
     } else {
       ready[proc].push(ReadyEntry{priority_of(prog), seq++, prog});
     }
@@ -342,6 +394,20 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
         master_free[proc] = ts;
         result.breakdown.route += cm.local_route_ns;
         events.push(Event{ts, seq++, Event::kDepArrive, dprog, p, c});
+        if (rec != nullptr) {
+          trace::Track& mt = mtrack(proc);
+          mt.record(trace::make_span(trace::EventKind::Route,
+                                     vns(ts - cm.local_route_ns), vns(ts)));
+          auto send = trace::make_instant(trace::EventKind::StreamSend,
+                                          vns(ts));
+          send.src = key_of(prog);
+          send.dst = key_of(dprog);
+          send.bytes = static_cast<std::int64_t>(bytes);
+          mt.record(send);
+          auto recv = send;
+          recv.kind = trace::EventKind::StreamRecv;
+          mt.record(recv);
+        }
         return;
       }
       RemoteBatch* batch = nullptr;
@@ -365,8 +431,8 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
         const RemoteBatch& batch = batches[static_cast<std::size_t>(i)];
         const double pack_ns = batch.bytes * cm.pack_byte_ns;
         const double route_ns = fold * cm.route_msg_ns;
-        const double ts =
-            std::max(master_free[proc], now) + pack_ns + route_ns;
+        const double send_start = std::max(master_free[proc], now);
+        const double ts = send_start + pack_ns + route_ns;
         master_free[proc] = ts;
         result.breakdown.pack += pack_ns;
         result.breakdown.route += route_ns;
@@ -374,14 +440,41 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
         result.bytes += static_cast<std::int64_t>(batch.bytes);
         const double arrival =
             ts + cm.msg_latency_ns + batch.bytes * cm.byte_ns;
-        const double tr = std::max(master_free[batch.dproc], arrival) +
-                          pack_ns + route_ns;
+        const double recv_start = std::max(master_free[batch.dproc], arrival);
+        const double tr = recv_start + pack_ns + route_ns;
         master_free[batch.dproc] = tr;
         result.breakdown.pack += pack_ns;
         result.breakdown.route += route_ns;
         for (int j = 0; j < batch.count; ++j)
           events.push(Event{tr, seq++, Event::kDepArrive,
                             batch.dprogs[static_cast<std::size_t>(j)], p, c});
+        if (rec != nullptr) {
+          trace::Track& smt = mtrack(proc);
+          smt.record(trace::make_span(trace::EventKind::Pack, vns(send_start),
+                                      vns(send_start + pack_ns)));
+          smt.record(trace::make_span(trace::EventKind::Route,
+                                      vns(send_start + pack_ns), vns(ts)));
+          trace::Track& dmt = mtrack(batch.dproc);
+          dmt.record(trace::make_span(trace::EventKind::Pack, vns(recv_start),
+                                      vns(recv_start + pack_ns)));
+          dmt.record(trace::make_span(trace::EventKind::Route,
+                                      vns(recv_start + pack_ns), vns(tr)));
+          const auto per_stream = static_cast<std::int64_t>(
+              batch.bytes / std::max(1, batch.count));
+          for (int j = 0; j < batch.count; ++j) {
+            auto send = trace::make_instant(trace::EventKind::StreamSend,
+                                            vns(ts));
+            send.src = key_of(prog);
+            send.dst =
+                key_of(batch.dprogs[static_cast<std::size_t>(j)]);
+            send.bytes = per_stream;
+            smt.record(send);
+            auto recv = send;
+            recv.kind = trace::EventKind::StreamRecv;
+            recv.t0_ns = recv.t1_ns = vns(tr);
+            dmt.record(recv);
+          }
+        }
       }
     }
 
@@ -393,9 +486,9 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     if (!queue.empty()) {
       const auto entry = queue.top();
       queue.pop();
-      start_chunk(entry.prog, now);
+      start_chunk(entry.prog, now, ev.worker);
     } else {
-      ++free_workers[proc];
+      free_workers[proc].push_back(ev.worker);
     }
   }
 
@@ -409,6 +502,11 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
   }
 
   const double elapsed_ns = now + cm.collective_ns(config_.processes);
+  if (rec != nullptr)
+    for (int proc = 0; proc < config_.processes; ++proc)
+      mtrack(static_cast<std::size_t>(proc))
+          .record(trace::make_span(trace::EventKind::Collective, vns(now),
+                                   vns(elapsed_ns)));
   result.elapsed_seconds = elapsed_ns * 1e-9;
   const double busy_ns = result.breakdown.kernel + result.breakdown.graphop +
                          result.breakdown.pack + result.breakdown.route;
@@ -573,6 +671,14 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
     // Straggler: the last wave of a superstep cannot be packed perfectly.
     step_ns += max_chunk_ns;
     step_ns += cm.msg_latency_ns + cm.collective_ns(config_.processes);
+    if (config_.recorder != nullptr) {
+      auto e = trace::make_span(trace::EventKind::Superstep,
+                                static_cast<std::int64_t>(elapsed_ns),
+                                static_cast<std::int64_t>(elapsed_ns +
+                                                          step_ns));
+      e.bytes = result.supersteps;
+      config_.recorder->track(0, trace::kMasterTrack).record(e);
+    }
     elapsed_ns += step_ns;
   }
 

@@ -23,6 +23,10 @@
 #include "sim/patch_topology.hpp"
 #include "sn/quadrature.hpp"
 
+namespace jsweep::trace {
+class Recorder;
+}  // namespace jsweep::trace
+
 namespace jsweep::sim {
 
 enum class SimEngine { DataDriven, Bsp };
@@ -55,6 +59,12 @@ struct SimConfig {
   bool tet_mesh = false;
   mesh::Index3 rep_patch_dims{20, 20, 20};  ///< structured representative
   int rep_block_hexes = 4;                  ///< tet representative
+
+  /// When non-null, the simulation emits virtual-time events (executions,
+  /// stream send/recv, master pack/route, collectives) into this recorder
+  /// so simulated runs produce traces comparable with real engine runs.
+  /// Timestamps are simulated nanoseconds since sweep start.
+  trace::Recorder* recorder = nullptr;
 
   CostModel cost;
 };

@@ -104,10 +104,12 @@ void SweepSolver::install_programs(bool record_clusters) {
     core::EngineConfig ec;
     ec.num_workers = config_.num_workers;
     ec.termination = core::TerminationMode::KnownWorkload;
+    ec.recorder = config_.trace.recorder;
     engine_ = std::make_unique<core::Engine>(ctx_, ec);
   } else {
     core::BspConfig bc;
     bc.num_threads = std::max(0, config_.num_workers - 1);
+    bc.recorder = config_.trace.recorder;
     bsp_ = std::make_unique<core::BspEngine>(ctx_, bc);
   }
 
@@ -151,6 +153,7 @@ void SweepSolver::activate_coarsened() {
   core::EngineConfig ec;
   ec.num_workers = config_.num_workers;
   ec.termination = core::TerminationMode::KnownWorkload;
+  ec.recorder = config_.trace.recorder;
   auto coarse_engine = std::make_unique<core::Engine>(ctx_, ec);
   for (std::size_t i = 0; i < coarse_data_.size(); ++i) {
     auto prog =

@@ -25,9 +25,20 @@
 #include "sweep/coarsened_program.hpp"
 #include "sweep/sweep_program.hpp"
 
+namespace jsweep::trace {
+class Recorder;
+}  // namespace jsweep::trace
+
 namespace jsweep::sweep {
 
 enum class EngineKind { DataDriven, Bsp };
+
+/// Runtime-tracing knob: when `recorder` is non-null every engine run of
+/// the solver (fine and coarsened) records events into it, ready for
+/// trace::write_chrome_trace / trace::analyze. Null (default) = off.
+struct TraceConfig {
+  trace::Recorder* recorder = nullptr;
+};
 
 struct SolverConfig {
   EngineKind engine = EngineKind::DataDriven;
@@ -39,6 +50,8 @@ struct SolverConfig {
   bool patch_angle_parallelism = true;
   /// Replay sweeps 2..n on the coarsened graph.
   bool use_coarsened_graph = false;
+  /// Runtime tracing (off unless a recorder is supplied).
+  TraceConfig trace;
 };
 
 struct SolverStats {

@@ -1,0 +1,106 @@
+#include "trace/chrome_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "support/log.hpp"
+#include "trace/trace.hpp"
+
+namespace jsweep::trace {
+
+namespace {
+
+/// Chrome's tid space has no negative ids: master = 0, worker w = w + 1.
+int tid_of(const Track& t) { return t.is_master() ? 0 : t.id() + 1; }
+
+/// Microsecond timestamp with sub-µs precision (the format allows doubles).
+std::string us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) * 1e-3);
+  return buf;
+}
+
+void write_metadata(std::ostream& os, const Track& t, bool& first) {
+  const auto open = [&](const char* name) {
+    os << (first ? "" : ",") << "\n    {\"name\": \"" << name
+       << "\", \"ph\": \"M\", \"pid\": " << t.rank()
+       << ", \"tid\": " << tid_of(t) << ", \"args\": {";
+    first = false;
+  };
+  if (t.is_master()) {
+    open("process_name");
+    os << "\"name\": \"rank " << t.rank() << "\"}}";
+    open("thread_name");
+    os << "\"name\": \"master\"}}";
+  } else {
+    open("thread_name");
+    os << "\"name\": \"worker " << t.id() << "\"}}";
+  }
+  open("thread_sort_index");
+  os << "\"sort_index\": " << tid_of(t) << "}}";
+}
+
+void write_event(std::ostream& os, const Track& t, const Event& e,
+                 bool& first) {
+  os << (first ? "" : ",") << "\n    {\"name\": \"";
+  first = false;
+  if (e.kind == EventKind::Exec) {
+    os << "exec " << e.src;
+  } else {
+    os << to_string(e.kind);
+  }
+  os << "\", \"cat\": \"" << to_string(e.kind) << "\", \"pid\": " << t.rank()
+     << ", \"tid\": " << tid_of(t) << ", \"ts\": " << us(e.t0_ns);
+  if (e.t1_ns > e.t0_ns) {
+    os << ", \"ph\": \"X\", \"dur\": " << us(e.t1_ns - e.t0_ns);
+  } else {
+    os << ", \"ph\": \"i\", \"s\": \"t\"";
+  }
+  os << ", \"args\": {";
+  bool first_arg = true;
+  const auto arg_key = [&](const char* name, const ProgramKey& key) {
+    os << (first_arg ? "" : ", ") << "\"" << name << "\": \"" << key << "\"";
+    first_arg = false;
+  };
+  if (e.src.patch.valid()) arg_key("src", e.src);
+  if (e.dst.patch.valid()) arg_key("dst", e.dst);
+  if (e.bytes != 0)
+    os << (first_arg ? "" : ", ") << "\"bytes\": " << e.bytes;
+  os << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& recorder, std::ostream& os) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+     << "{\"dropped_events\": " << recorder.dropped_events()
+     << "},\n  \"traceEvents\": [";
+  bool first = true;
+  const auto tracks = recorder.tracks();
+  for (const Track* t : tracks) write_metadata(os, *t, first);
+  for (const Track* t : tracks) {
+    const EventRing& ring = t->ring();
+    for (std::size_t i = 0; i < ring.size(); ++i)
+      write_event(os, *t, ring.at(i), first);
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool write_chrome_trace_file(const Recorder& recorder,
+                             const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    JSWEEP_ERROR("trace: cannot open " << path << " for writing");
+    return false;
+  }
+  write_chrome_trace(recorder, f);
+  f.flush();
+  if (!f) {
+    JSWEEP_ERROR("trace: failed writing " << path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace jsweep::trace

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file chrome_export.hpp
+/// Chrome trace-event JSON export of a trace::Recorder.
+///
+/// The output is the catapult "trace event format" consumed by
+/// chrome://tracing and https://ui.perfetto.dev: a top-level object with a
+/// `traceEvents` array. Ranks map to processes (pid), tracks to threads
+/// (tid 0 is the master, worker w is tid w+1); spans are complete ("X")
+/// events with microsecond timestamps, stream send/recv are instants.
+
+#include <iosfwd>
+#include <string>
+
+namespace jsweep::trace {
+
+class Recorder;
+
+/// Write the recorder's events as Chrome trace-event JSON.
+void write_chrome_trace(const Recorder& recorder, std::ostream& os);
+
+/// Write to `path`; returns false (after logging) when the file cannot be
+/// opened or fully written.
+bool write_chrome_trace_file(const Recorder& recorder,
+                             const std::string& path);
+
+}  // namespace jsweep::trace

@@ -1,0 +1,275 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace jsweep::trace {
+
+namespace {
+
+/// One program execution, a node of the reconstructed task graph.
+struct Node {
+  ProgramKey prog{};
+  std::int32_t rank = 0;
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 0;
+  double cp = 0.0;        ///< best chain length ending here (seconds)
+  double gap = 0.0;       ///< wait before this hop on that chain
+  std::int64_t pred = -1;
+
+  [[nodiscard]] double dur() const {
+    return static_cast<double>(t1 - t0) * 1e-9;
+  }
+};
+
+std::string key_str(const ProgramKey& k) {
+  std::ostringstream os;
+  os << k;
+  return os.str();
+}
+
+}  // namespace
+
+ProfileReport analyze(const Recorder& recorder,
+                      const ProfileOptions& options) {
+  ProfileReport rep;
+  rep.dropped = recorder.dropped_events();
+
+  std::vector<Node> nodes;
+  struct Recv {
+    std::int64_t t;
+    ProgramKey src;
+    ProgramKey dst;
+  };
+  std::vector<Recv> recvs;
+
+  std::int64_t span_t0 = std::numeric_limits<std::int64_t>::max();
+  std::int64_t span_t1 = std::numeric_limits<std::int64_t>::min();
+  std::unordered_map<std::int32_t, RankBreakdown> ranks;
+  std::unordered_map<ProgramKey, HotProgram> hot;
+
+  for (const Track* track : recorder.tracks()) {
+    RankBreakdown& rb = ranks[track->rank()];
+    rb.rank = track->rank();
+    if (!track->is_master()) ++rb.workers;
+    const EventRing& ring = track->ring();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const Event& e = ring.at(i);
+      ++rep.events;
+      span_t0 = std::min(span_t0, e.t0_ns);
+      span_t1 = std::max(span_t1, e.t1_ns);
+      switch (e.kind) {
+        case EventKind::Exec: {
+          Node n;
+          n.prog = e.src;
+          n.rank = e.rank;
+          n.t0 = e.t0_ns;
+          n.t1 = e.t1_ns;
+          nodes.push_back(n);
+          rb.busy_seconds += e.seconds();
+          ++rb.executions;
+          HotProgram& h = hot[e.src];
+          h.prog = e.src;
+          ++h.executions;
+          h.exec_seconds += e.seconds();
+          break;
+        }
+        case EventKind::StreamRecv:
+          recvs.push_back(Recv{e.t0_ns, e.src, e.dst});
+          break;
+        case EventKind::Route:
+          rb.route_seconds += e.seconds();
+          break;
+        case EventKind::Pack:
+          rb.pack_seconds += e.seconds();
+          break;
+        case EventKind::Idle:
+          rb.idle_seconds += e.seconds();
+          break;
+        case EventKind::Collective:
+          rb.collective_seconds += e.seconds();
+          break;
+        case EventKind::StreamSend:
+        case EventKind::Superstep:
+          break;  // counted in `events` only
+      }
+    }
+  }
+  if (rep.events == 0) return rep;
+  rep.span_seconds = static_cast<double>(span_t1 - span_t0) * 1e-9;
+
+  for (const auto& [rank, rb] : ranks) rep.ranks.push_back(rb);
+  std::sort(rep.ranks.begin(), rep.ranks.end(),
+            [](const RankBreakdown& a, const RankBreakdown& b) {
+              return a.rank < b.rank;
+            });
+
+  for (const auto& [key, h] : hot) rep.hottest.push_back(h);
+  std::sort(rep.hottest.begin(), rep.hottest.end(),
+            [](const HotProgram& a, const HotProgram& b) {
+              if (a.exec_seconds != b.exec_seconds)
+                return a.exec_seconds > b.exec_seconds;
+              if (a.executions != b.executions)
+                return a.executions > b.executions;
+              return a.prog < b.prog;
+            });
+  if (rep.hottest.size() > static_cast<std::size_t>(options.top_k))
+    rep.hottest.resize(static_cast<std::size_t>(options.top_k));
+
+  // --- Critical path over the executed task graph --------------------------
+  std::sort(nodes.begin(), nodes.end(), [](const Node& a, const Node& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (a.t1 != b.t1) return a.t1 < b.t1;
+    return a.prog < b.prog;
+  });
+  std::unordered_map<ProgramKey, std::vector<std::int64_t>> by_prog;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    by_prog[nodes[i].prog].push_back(static_cast<std::int64_t>(i));
+
+  // Incoming edges: (producer node, wait seconds). Serial edges chain each
+  // program's consecutive executions and carry zero wait — they only model
+  // one-execution-at-a-time ordering, and a halted program's dead time is
+  // not dependency latency. Stream edges link the execution that produced a
+  // delivered stream to the first downstream execution able to consume it;
+  // their wait is the full producer-end to consumer-start latency (routing,
+  // wire time, queueing). Both kinds keep producer-index < consumer-index,
+  // so a single pass in t0 order is a topological sweep.
+  std::vector<std::vector<std::pair<std::int64_t, double>>> in(nodes.size());
+  const auto gap_seconds = [&](std::int64_t pred, std::int64_t succ) {
+    const Node& a = nodes[static_cast<std::size_t>(pred)];
+    const Node& b = nodes[static_cast<std::size_t>(succ)];
+    return std::max(0.0, static_cast<double>(b.t0 - a.t1) * 1e-9);
+  };
+  for (const auto& [key, idxs] : by_prog)
+    for (std::size_t k = 1; k < idxs.size(); ++k)
+      in[static_cast<std::size_t>(idxs[k])].push_back({idxs[k - 1], 0.0});
+  for (const Recv& r : recvs) {
+    const auto src_it = by_prog.find(r.src);
+    const auto dst_it = by_prog.find(r.dst);
+    if (src_it == by_prog.end() || dst_it == by_prog.end()) continue;
+    // Producer: the source program's last execution finished by delivery
+    // time. Executions of one program never overlap, so t1 is sorted too.
+    const auto& src_idx = src_it->second;
+    const auto pit = std::partition_point(
+        src_idx.begin(), src_idx.end(), [&](std::int64_t i) {
+          return nodes[static_cast<std::size_t>(i)].t1 <= r.t;
+        });
+    if (pit == src_idx.begin()) continue;  // producer lost to ring overflow
+    const std::int64_t producer = *(pit - 1);
+    // Consumer: the destination program's first execution starting at or
+    // after delivery.
+    const auto& dst_idx = dst_it->second;
+    const auto cit = std::partition_point(
+        dst_idx.begin(), dst_idx.end(), [&](std::int64_t i) {
+          return nodes[static_cast<std::size_t>(i)].t0 < r.t;
+        });
+    if (cit == dst_idx.end()) continue;
+    const std::int64_t consumer = *cit;
+    if (producer >= consumer) continue;
+    in[static_cast<std::size_t>(consumer)].push_back(
+        {producer, gap_seconds(producer, consumer)});
+  }
+
+  double best = -1.0;
+  std::int64_t best_i = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Node& n = nodes[i];
+    n.cp = n.dur();
+    for (const auto& [pred, gap] : in[i]) {
+      const double via =
+          nodes[static_cast<std::size_t>(pred)].cp + gap + n.dur();
+      if (via > n.cp) {
+        n.cp = via;
+        n.pred = pred;
+        n.gap = gap;
+      }
+    }
+    if (n.cp > best) {
+      best = n.cp;
+      best_i = static_cast<std::int64_t>(i);
+    }
+  }
+  if (best_i >= 0) {
+    rep.critical_path_seconds = best;
+    std::vector<std::int64_t> chain;
+    for (std::int64_t i = best_i; i >= 0;
+         i = nodes[static_cast<std::size_t>(i)].pred)
+      chain.push_back(i);
+    std::reverse(chain.begin(), chain.end());
+    for (const std::int64_t i : chain) {
+      const Node& n = nodes[static_cast<std::size_t>(i)];
+      rep.critical_path.push_back(
+          CriticalHop{n.prog, n.rank, n.dur(), n.gap});
+    }
+  }
+  return rep;
+}
+
+Table critical_path_table(const ProfileReport& report, std::size_t max_rows) {
+  Table t({"hop", "program", "rank", "exec(s)", "wait(s)"});
+  const std::size_t n = report.critical_path.size();
+  for (std::size_t i = 0; i < n && i < max_rows; ++i) {
+    const CriticalHop& h = report.critical_path[i];
+    t.add_row({Table::num(static_cast<std::int64_t>(i)), key_str(h.prog),
+               Table::num(static_cast<std::int64_t>(h.rank)),
+               Table::num(h.exec_seconds, 6), Table::num(h.wait_seconds, 6)});
+  }
+  if (n > max_rows)
+    t.add_row({"...",
+               "(+" + std::to_string(n - max_rows) + " more hops)", "", "",
+               ""});
+  return t;
+}
+
+Table rank_breakdown_table(const ProfileReport& report) {
+  Table t({"rank", "workers", "execs", "busy(s)", "idle(s)", "route(s)",
+           "pack(s)", "coll(s)"});
+  for (const RankBreakdown& r : report.ranks)
+    t.add_row({Table::num(static_cast<std::int64_t>(r.rank)),
+               Table::num(static_cast<std::int64_t>(r.workers)),
+               Table::num(r.executions), Table::num(r.busy_seconds, 4),
+               Table::num(r.idle_seconds, 4), Table::num(r.route_seconds, 4),
+               Table::num(r.pack_seconds, 4),
+               Table::num(r.collective_seconds, 4)});
+  return t;
+}
+
+Table hot_programs_table(const ProfileReport& report) {
+  double total_busy = 0.0;
+  for (const RankBreakdown& r : report.ranks) total_busy += r.busy_seconds;
+  Table t({"program", "execs", "exec(s)", "% busy"});
+  for (const HotProgram& h : report.hottest)
+    t.add_row({key_str(h.prog), Table::num(h.executions),
+               Table::num(h.exec_seconds, 6),
+               Table::num(total_busy > 0.0
+                              ? h.exec_seconds / total_busy * 100.0
+                              : 0.0,
+                          1)});
+  return t;
+}
+
+std::string render_profile(const ProfileReport& report) {
+  std::ostringstream os;
+  os << "trace profile: " << report.events << " events";
+  if (report.dropped > 0) os << " (" << report.dropped << " dropped)";
+  os << ", span " << Table::num(report.span_seconds, 4) << " s\n";
+  os << "critical path: " << Table::num(report.critical_path_seconds, 4)
+     << " s across " << report.critical_path.size() << " executions";
+  if (report.span_seconds > 0.0)
+    os << " ("
+       << Table::num(
+              report.critical_path_seconds / report.span_seconds * 100.0, 1)
+       << "% of span)";
+  os << "\n\nper-rank breakdown\n"
+     << rank_breakdown_table(report).str() << "\nhottest patch-programs\n"
+     << hot_programs_table(report).str() << "\ncritical path\n"
+     << critical_path_table(report).str();
+  return os.str();
+}
+
+}  // namespace jsweep::trace

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file critical_path.hpp
+/// Post-mortem analysis of a recorded trace: reconstructs the executed
+/// task graph (program executions linked by stream deliveries and by each
+/// program's serial execution order), extracts the critical path — the
+/// longest chain of execution time plus inter-execution latency — and
+/// aggregates per-rank busy/idle/route/pack breakdowns and the hottest
+/// patch-programs. This is the instrument behind the paper's Fig. 16-style
+/// "why is this sweep slow" questions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/table.hpp"
+
+namespace jsweep::trace {
+
+class Recorder;
+
+struct ProfileOptions {
+  int top_k = 10;  ///< hottest-program rows to keep
+};
+
+/// One execution on the critical path.
+struct CriticalHop {
+  ProgramKey prog{};
+  std::int32_t rank = 0;
+  double exec_seconds = 0.0;  ///< duration of this execution
+  /// Stream latency (producer end → this start: routing, wire, queueing)
+  /// when this hop was reached via a stream; 0 for serial continuation.
+  double wait_seconds = 0.0;
+};
+
+/// Per-rank time breakdown summed over the rank's tracks.
+struct RankBreakdown {
+  std::int32_t rank = 0;
+  int workers = 0;  ///< worker tracks observed
+  std::int64_t executions = 0;
+  double busy_seconds = 0.0;        ///< worker execution time
+  double idle_seconds = 0.0;        ///< recorded worker + master idle
+  double route_seconds = 0.0;       ///< master routing service
+  double pack_seconds = 0.0;        ///< master pack/unpack
+  double collective_seconds = 0.0;  ///< collectives (termination etc.)
+};
+
+struct HotProgram {
+  ProgramKey prog{};
+  std::int64_t executions = 0;
+  double exec_seconds = 0.0;
+};
+
+struct ProfileReport {
+  std::int64_t events = 0;
+  std::int64_t dropped = 0;
+  double span_seconds = 0.0;  ///< last event end − first event begin
+  double critical_path_seconds = 0.0;
+  std::vector<CriticalHop> critical_path;  ///< first hop first
+  std::vector<RankBreakdown> ranks;        ///< ordered by rank
+  std::vector<HotProgram> hottest;         ///< by exec time, descending
+};
+
+/// Analyze a completed trace. Tolerant of ring overflow: edges whose
+/// producer or consumer execution was overwritten are simply skipped.
+[[nodiscard]] ProfileReport analyze(const Recorder& recorder,
+                                    const ProfileOptions& options = {});
+
+/// Render pieces of the report as support::Table (for tests and drivers).
+[[nodiscard]] Table critical_path_table(const ProfileReport& report,
+                                        std::size_t max_rows = 24);
+[[nodiscard]] Table rank_breakdown_table(const ProfileReport& report);
+[[nodiscard]] Table hot_programs_table(const ProfileReport& report);
+
+/// Full human-readable profile: summary lines plus the three tables.
+[[nodiscard]] std::string render_profile(const ProfileReport& report);
+
+}  // namespace jsweep::trace

@@ -1,0 +1,85 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace jsweep::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::Exec:
+      return "exec";
+    case EventKind::StreamSend:
+      return "stream send";
+    case EventKind::StreamRecv:
+      return "stream recv";
+    case EventKind::Route:
+      return "route";
+    case EventKind::Pack:
+      return "pack";
+    case EventKind::Idle:
+      return "idle";
+    case EventKind::Collective:
+      return "collective";
+    case EventKind::Superstep:
+      return "superstep";
+  }
+  return "?";
+}
+
+EventRing::EventRing(std::size_t capacity)
+    : buf_(std::max<std::size_t>(1, capacity)) {}
+
+const Event& EventRing::at(std::size_t i) const {
+  JSWEEP_CHECK_MSG(i < count_, "EventRing index " << i << " out of " << count_);
+  const std::size_t oldest = count_ < buf_.size() ? 0 : next_;
+  std::size_t idx = oldest + i;
+  if (idx >= buf_.size()) idx -= buf_.size();
+  return buf_[idx];
+}
+
+Recorder::Recorder(RecorderOptions options)
+    : options_(options), epoch_(WallTimer::clock::now()) {}
+
+Track& Recorder::track(std::int32_t rank, std::int32_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& t : tracks_)
+    if (t->rank() == rank && t->id() == id) return *t;
+  tracks_.push_back(
+      std::make_unique<Track>(rank, id, options_.events_per_track));
+  return *tracks_.back();
+}
+
+std::vector<const Track*> Recorder::tracks() const {
+  std::vector<const Track*> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(tracks_.size());
+    for (const auto& t : tracks_) out.push_back(t.get());
+  }
+  std::sort(out.begin(), out.end(), [](const Track* a, const Track* b) {
+    if (a->rank() != b->rank()) return a->rank() < b->rank();
+    // Master track first within a rank, then workers by id.
+    if (a->is_master() != b->is_master()) return a->is_master();
+    return a->id() < b->id();
+  });
+  return out;
+}
+
+std::int64_t Recorder::total_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t n = 0;
+  for (const auto& t : tracks_)
+    n += static_cast<std::int64_t>(t->ring().size());
+  return n;
+}
+
+std::int64_t Recorder::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::int64_t n = 0;
+  for (const auto& t : tracks_) n += t->ring().dropped();
+  return n;
+}
+
+}  // namespace jsweep::trace

@@ -1,0 +1,177 @@
+#pragma once
+
+/// \file trace.hpp
+/// Low-overhead runtime tracing: typed events in per-track append-only ring
+/// buffers, one track per (rank, worker) plus a master track per rank.
+///
+/// The recorder exists so the paper's performance *breakdowns* (Fig. 16's
+/// master-routing vs worker-compute vs idle split, the Fig. 9/13 ablations)
+/// can be read off a real or simulated run instead of inferred from scalar
+/// totals. Engines hold a `Recorder*` that is null when tracing is off: the
+/// hot path pays exactly one pointer check per would-be event and never
+/// allocates (rings are preallocated at track creation). Exporters live in
+/// chrome_export.hpp (Chrome trace-event JSON for Perfetto /
+/// chrome://tracing) and critical_path.hpp (executed-task-graph analysis).
+///
+/// Threading contract: Recorder::track() is thread-safe (tracks are created
+/// under a mutex and have stable addresses); each returned Track must then
+/// be written by a single thread only — exactly the engine's structure,
+/// where every worker thread and the master own their track. Readers
+/// (export/analysis) run after the traced region completes.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/ids.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::trace {
+
+/// Typed runtime events. Spans carry [t0, t1]; instants have t1 == t0.
+enum class EventKind : std::uint8_t {
+  Exec,        ///< one patch-program execution (worker track)
+  StreamSend,  ///< master routed an outgoing stream (instant)
+  StreamRecv,  ///< stream delivered into the destination inbox (instant)
+  Route,       ///< master routing/dispatch service
+  Pack,        ///< master pack/unpack of wire messages
+  Idle,        ///< a worker or the master waited with nothing to do
+  Collective,  ///< termination / reduction collective
+  Superstep,   ///< one BSP superstep (master track; `bytes` is the index)
+};
+
+[[nodiscard]] const char* to_string(EventKind kind);
+
+/// Track id of a rank's master thread; workers use their ids 0..W-1.
+inline constexpr std::int32_t kMasterTrack = -1;
+
+/// One recorded event. Fixed-size POD: recording is a copy into a
+/// preallocated ring slot, nothing more.
+struct Event {
+  std::int64_t t0_ns = 0;
+  std::int64_t t1_ns = 0;  ///< == t0_ns for instantaneous events
+  EventKind kind = EventKind::Exec;
+  std::int32_t rank = 0;
+  std::int32_t track = kMasterTrack;
+  ProgramKey src{};    ///< executing / sending program (when known)
+  ProgramKey dst{};    ///< stream destination program (when known)
+  std::int64_t bytes = 0;  ///< payload bytes, retired work, or aux index
+
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(t1_ns - t0_ns) * 1e-9;
+  }
+};
+
+/// Span [t0, t1] of `kind`; rank/track are filled in by Track::record().
+[[nodiscard]] inline Event make_span(EventKind kind, std::int64_t t0_ns,
+                                     std::int64_t t1_ns) {
+  Event e;
+  e.kind = kind;
+  e.t0_ns = t0_ns;
+  e.t1_ns = t1_ns;
+  return e;
+}
+
+/// Instantaneous event of `kind` at `t_ns`.
+[[nodiscard]] inline Event make_instant(EventKind kind, std::int64_t t_ns) {
+  return make_span(kind, t_ns, t_ns);
+}
+
+/// Fixed-capacity ring of events: appends are O(1) and allocation-free;
+/// once full, the oldest events are overwritten (and counted as dropped) so
+/// a long run keeps its most recent window instead of failing.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  void push(const Event& e) {
+    buf_[next_] = e;
+    next_ = next_ + 1 == buf_.size() ? 0 : next_ + 1;
+    if (count_ < buf_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Events currently held (≤ capacity).
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+
+  /// i-th event in record order (0 = oldest retained).
+  [[nodiscard]] const Event& at(std::size_t i) const;
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+/// One event timeline: a (rank, worker-or-master) pair. Single-writer.
+class Track {
+ public:
+  Track(std::int32_t rank, std::int32_t id, std::size_t capacity)
+      : rank_(rank), id_(id), ring_(capacity) {}
+
+  void record(Event e) {
+    e.rank = rank_;
+    e.track = id_;
+    ring_.push(e);
+  }
+
+  [[nodiscard]] std::int32_t rank() const { return rank_; }
+  /// kMasterTrack for the rank's master thread, else the worker id.
+  [[nodiscard]] std::int32_t id() const { return id_; }
+  [[nodiscard]] bool is_master() const { return id_ == kMasterTrack; }
+  [[nodiscard]] const EventRing& ring() const { return ring_; }
+
+ private:
+  std::int32_t rank_;
+  std::int32_t id_;
+  EventRing ring_;
+};
+
+struct RecorderOptions {
+  /// Ring capacity per track; ~56 B/event, so the default holds ~16k
+  /// events (<1 MiB) per track.
+  std::size_t events_per_track = std::size_t{1} << 14;
+};
+
+/// Owns the tracks of one traced run (all ranks of the in-process
+/// cluster). Construction fixes the shared steady-clock epoch so every
+/// rank's timestamps are directly comparable.
+class Recorder {
+ public:
+  explicit Recorder(RecorderOptions options = {});
+
+  /// Nanoseconds since the recorder's construction (steady clock).
+  [[nodiscard]] std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               WallTimer::clock::now() - epoch_)
+        .count();
+  }
+
+  /// The track for (rank, id), created on first use. Thread-safe; the
+  /// returned reference stays valid for the recorder's lifetime. A given
+  /// track must only be written by one thread at a time.
+  Track& track(std::int32_t rank, std::int32_t id);
+
+  /// All tracks ordered by (rank, master-first, id). Call after the traced
+  /// region has completed.
+  [[nodiscard]] std::vector<const Track*> tracks() const;
+
+  [[nodiscard]] std::int64_t total_events() const;
+  [[nodiscard]] std::int64_t dropped_events() const;
+
+ private:
+  RecorderOptions options_;
+  WallTimer::clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+}  // namespace jsweep::trace

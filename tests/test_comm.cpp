@@ -9,6 +9,7 @@
 #include "comm/cluster.hpp"
 #include "comm/serialize.hpp"
 #include "comm/termination.hpp"
+#include "core/stream.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -58,6 +59,108 @@ TEST(Serialize, OverrunThrows) {
   const Bytes b = w.take();
   ByteReader r(b);
   EXPECT_THROW(r.read<std::int64_t>(), CheckError);
+}
+
+TEST(Serialize, EmptyBufferAndEmptyString) {
+  const Bytes empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_THROW(r.read<std::uint8_t>(), CheckError);
+
+  ByteWriter w;
+  w.write_string("");
+  const Bytes b = w.take();
+  ByteReader r2(b);
+  EXPECT_EQ(r2.read_string(), "");
+  EXPECT_TRUE(r2.exhausted());
+}
+
+TEST(Serialize, LargePayloadRoundTrip) {
+  // Multi-megabyte vector survives intact (catches size-type truncation).
+  Rng rng(1234);
+  std::vector<std::uint64_t> big(1 << 18);
+  for (auto& v : big) v = rng();
+  ByteWriter w;
+  w.write_vector(big);
+  const Bytes b = w.take();
+  EXPECT_EQ(b.size(), sizeof(std::uint64_t) + big.size() * sizeof(big[0]));
+  ByteReader r(b);
+  EXPECT_EQ(r.read_vector<std::uint64_t>(), big);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, TruncatedVectorHeaderThrows) {
+  // A length prefix promising more bytes than the buffer holds must throw,
+  // not read out of bounds.
+  ByteWriter w;
+  w.write(std::uint64_t{1000});  // claims 1000 doubles, provides none
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_THROW(r.read_vector<double>(), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Stream batch (pack_streams/unpack_streams) round-trips. These are the
+// wire format of every engine message; they were previously exercised only
+// indirectly through engine runs.
+// ---------------------------------------------------------------------------
+
+core::Stream make_stream(std::int32_t src_patch, std::int32_t dst_patch,
+                         std::int32_t task, std::size_t payload_bytes) {
+  core::Stream s;
+  s.src = {PatchId{src_patch}, TaskTag{task}};
+  s.dst = {PatchId{dst_patch}, TaskTag{task}};
+  s.data.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    s.data[i] = static_cast<std::byte>((i * 31 + payload_bytes) & 0xff);
+  return s;
+}
+
+TEST(StreamCodec, EmptyBatchRoundTrip) {
+  const Bytes wire = core::pack_streams({});
+  EXPECT_TRUE(core::unpack_streams(wire).empty());
+}
+
+TEST(StreamCodec, EmptyPayloadStreamRoundTrip) {
+  // A stream may carry no payload at all (pure activation signal).
+  const auto back = core::unpack_streams(
+      core::pack_streams({make_stream(3, 9, 2, 0)}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].src, (ProgramKey{PatchId{3}, TaskTag{2}}));
+  EXPECT_EQ(back[0].dst, (ProgramKey{PatchId{9}, TaskTag{2}}));
+  EXPECT_TRUE(back[0].data.empty());
+}
+
+TEST(StreamCodec, LargePayloadRoundTrip) {
+  const auto original = make_stream(1, 2, 0, std::size_t{1} << 21);  // 2 MiB
+  const auto back =
+      core::unpack_streams(core::pack_streams({original}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].data, original.data);
+}
+
+TEST(StreamCodec, MixedBatchRoundTrip) {
+  // One wire message batching streams of wildly different sizes and keys —
+  // exactly what flush_remote() produces.
+  std::vector<core::Stream> batch;
+  batch.push_back(make_stream(0, 1, 0, 0));
+  batch.push_back(make_stream(5, 2, 7, 1));
+  batch.push_back(make_stream(3, 4, 3, 4096));
+  batch.push_back(make_stream(8, 8, 0, 13));
+  const auto back = core::unpack_streams(core::pack_streams(batch));
+  ASSERT_EQ(back.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(back[i].src, batch[i].src) << "stream " << i;
+    EXPECT_EQ(back[i].dst, batch[i].dst) << "stream " << i;
+    EXPECT_EQ(back[i].data, batch[i].data) << "stream " << i;
+  }
+}
+
+TEST(StreamCodec, TruncatedWireThrows) {
+  Bytes wire = core::pack_streams({make_stream(0, 1, 0, 64)});
+  wire.resize(wire.size() / 2);
+  EXPECT_THROW(core::unpack_streams(wire), CheckError);
 }
 
 TEST(Cluster, PingPong) {

@@ -13,6 +13,7 @@
 #include "core/thread_pool.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "support/timer.hpp"
 
 namespace jsweep::core {
 namespace {
@@ -326,6 +327,87 @@ TEST(Engine, KnownWorkloadStatsAreCoherent) {
       EXPECT_GT(engine.stats().stream_bytes, 0);
     }
     EXPECT_GT(engine.stats().elapsed_seconds, 0.0);
+  });
+}
+
+/// Chain link that burns measurable wall time: waits for one stream
+/// (patch 0 starts immediately), spins `spin_seconds`, then feeds the next
+/// patch. Forces a serial schedule so one of two workers must sit idle.
+class SpinRelayProgram final : public PatchProgram {
+ public:
+  SpinRelayProgram(PatchId p, bool wait_for_stream, std::int32_t dest,
+                   double spin_seconds)
+      : PatchProgram(p, TaskTag{0}),
+        wait_for_stream_(wait_for_stream),
+        dest_(dest),
+        spin_seconds_(spin_seconds) {}
+
+  void init() override {
+    armed_ = !wait_for_stream_;
+    fired_ = false;
+    out_.clear();
+  }
+  void input(const Stream&) override { armed_ = true; }
+  void compute() override {
+    if (fired_ || !armed_) return;
+    fired_ = true;
+    WallTimer t;
+    while (t.seconds() < spin_seconds_) {
+    }
+    if (dest_ >= 0)
+      out_.push_back(
+          Stream{key(), {PatchId{dest_}, TaskTag{0}}, comm::Bytes(8)});
+  }
+  std::optional<Stream> output() override {
+    if (out_.empty()) return std::nullopt;
+    Stream s = std::move(out_.back());
+    out_.pop_back();
+    return s;
+  }
+  bool vote_to_halt() override { return true; }
+  [[nodiscard]] std::int64_t remaining_work() const override {
+    return fired_ ? 0 : 1;
+  }
+  [[nodiscard]] std::int64_t total_work() const override { return 1; }
+
+ private:
+  bool wait_for_stream_;
+  std::int32_t dest_;
+  double spin_seconds_;
+  bool armed_ = false;
+  bool fired_ = false;
+  std::vector<Stream> out_;
+};
+
+TEST(Engine, BusyIdleAccountingCoversElapsed) {
+  // Regression test for EngineStats time accounting: every instant of a
+  // worker's loop lifetime is charged to busy or idle, so
+  // busy + idle ≈ elapsed × num_workers — the only unaccounted windows
+  // are thread spawn/join. The serial chain keeps one of the two workers
+  // idle, so missing idle accounting would show up as a large deficit.
+  comm::Cluster::run(1, [](comm::Context& ctx) {
+    constexpr int kWorkers = 2;
+    constexpr int kPatches = 5;
+    constexpr double kSpin = 15e-3;
+    Engine engine(ctx, {kWorkers, TerminationMode::KnownWorkload});
+    for (int p = 0; p < kPatches; ++p)
+      engine.add_program(
+          std::make_unique<SpinRelayProgram>(
+              PatchId{p}, /*wait_for_stream=*/p != 0,
+              /*dest=*/p + 1 < kPatches ? p + 1 : -1, kSpin),
+          /*priority=*/0.0, /*initially_active=*/true);
+    engine.set_routes(std::vector<RankId>(kPatches, RankId{0}));
+    engine.run();
+
+    const EngineStats& s = engine.stats();
+    const double accounted = s.worker_busy_seconds + s.worker_idle_seconds;
+    const double expected = s.elapsed_seconds * kWorkers;
+    EXPECT_GE(s.elapsed_seconds, kPatches * kSpin);
+    EXPECT_GT(s.worker_busy_seconds, 0.0);
+    // The chain serializes ~all compute, so the second worker's wait time
+    // must be accounted as idle.
+    EXPECT_GT(s.worker_idle_seconds, 0.3 * s.elapsed_seconds);
+    EXPECT_NEAR(accounted, expected, 0.15 * expected + 0.02);
   });
 }
 

@@ -1,0 +1,516 @@
+// Tests for the jsweep::trace subsystem: ring-buffer recorder semantics,
+// engine/sim event emission, Chrome trace-event JSON export, and
+// critical-path extraction on a known tiny DAG.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "core/bsp_engine.hpp"
+#include "core/engine.hpp"
+#include "sim/data_driven_sim.hpp"
+#include "sn/quadrature.hpp"
+#include "support/timer.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/critical_path.hpp"
+#include "trace/trace.hpp"
+
+namespace jsweep {
+namespace {
+
+constexpr std::int64_t kMs = 1'000'000;  // ns per millisecond
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker (validates structure, builds no DOM).
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  static bool valid(const std::string& s) {
+    JsonChecker c(s);
+    c.ws();
+    if (!c.value()) return false;
+    c.ws();
+    return c.pos_ == s.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  void ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(const char* lit) {
+    for (; *lit != '\0'; ++lit)
+      if (!consume(*lit)) return false;
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (eof()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && (peek() == '-' || peek() == '+')) ++pos_;
+    bool digits = false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '-' || peek() == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(peek()))) digits = true;
+      ++pos_;
+    }
+    return digits && pos_ > start;
+  }
+
+  bool members(char close, bool keyed) {
+    ws();
+    if (consume(close)) return true;
+    for (;;) {
+      ws();
+      if (keyed) {
+        if (!string()) return false;
+        ws();
+        if (!consume(':')) return false;
+        ws();
+      }
+      if (!value()) return false;
+      ws();
+      if (consume(',')) continue;
+      return consume(close);
+    }
+  }
+
+  bool value() {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{':
+        ++pos_;
+        return members('}', /*keyed=*/true);
+      case '[':
+        ++pos_;
+        return members(']', /*keyed=*/false);
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonChecker, SanityOnKnownStrings) {
+  EXPECT_TRUE(JsonChecker::valid(R"({"a": [1, 2.5, -3e4], "b": "x\"y"})"));
+  EXPECT_TRUE(JsonChecker::valid("[]"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a": 1,})"));
+  EXPECT_FALSE(JsonChecker::valid(R"({"a": })"));
+  EXPECT_FALSE(JsonChecker::valid("{\"a\": 1} trailing"));
+}
+
+// ---------------------------------------------------------------------------
+// Recorder / ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(EventRing, KeepsRecordOrder) {
+  trace::EventRing ring(8);
+  for (int i = 0; i < 5; ++i)
+    ring.push(trace::make_instant(trace::EventKind::StreamSend, i));
+  ASSERT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(ring.at(i).t0_ns, static_cast<std::int64_t>(i));
+}
+
+TEST(EventRing, OverwritesOldestWhenFull) {
+  trace::EventRing ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.push(trace::make_instant(trace::EventKind::StreamSend, i));
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6);
+  // The 4 most recent events survive, still in record order.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(ring.at(i).t0_ns, static_cast<std::int64_t>(6 + i));
+}
+
+TEST(Recorder, TrackIdentityAndOrdering) {
+  trace::Recorder rec;
+  trace::Track& a = rec.track(1, 0);
+  trace::Track& b = rec.track(0, trace::kMasterTrack);
+  trace::Track& c = rec.track(0, 1);
+  trace::Track& a2 = rec.track(1, 0);
+  EXPECT_EQ(&a, &a2);  // same (rank, id) -> same track
+  const auto tracks = rec.tracks();
+  ASSERT_EQ(tracks.size(), 3u);
+  // Rank-major, master before workers.
+  EXPECT_EQ(tracks[0], &b);
+  EXPECT_EQ(tracks[1], &c);
+  EXPECT_EQ(tracks[2], &a);
+  EXPECT_EQ(rec.total_events(), 0);
+}
+
+TEST(Recorder, NowIsMonotonic) {
+  trace::Recorder rec;
+  std::int64_t last = rec.now_ns();
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t t = rec.now_ns();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine event emission
+// ---------------------------------------------------------------------------
+
+/// Waits for `waits` input streams, then does ~50µs of work once and sends
+/// one stream to each destination patch.
+class RelayProgram final : public core::PatchProgram {
+ public:
+  RelayProgram(PatchId p, int waits, std::vector<std::int32_t> dests)
+      : PatchProgram(p, TaskTag{0}), waits_(waits), dests_(std::move(dests)) {}
+
+  void init() override {
+    received_ = 0;
+    fired_ = false;
+    out_.clear();
+  }
+  void input(const core::Stream&) override { ++received_; }
+  void compute() override {
+    if (fired_ || received_ < waits_) return;
+    fired_ = true;
+    WallTimer t;
+    while (t.seconds() < 50e-6) {
+    }
+    for (const auto d : dests_)
+      out_.push_back(core::Stream{key(), {PatchId{d}, TaskTag{0}},
+                                  comm::Bytes(16)});
+  }
+  std::optional<core::Stream> output() override {
+    if (out_.empty()) return std::nullopt;
+    core::Stream s = std::move(out_.back());
+    out_.pop_back();
+    return s;
+  }
+  bool vote_to_halt() override { return true; }
+  [[nodiscard]] std::int64_t remaining_work() const override {
+    return fired_ ? 0 : 1;
+  }
+  [[nodiscard]] std::int64_t total_work() const override { return 1; }
+
+ private:
+  int waits_;
+  std::vector<std::int32_t> dests_;
+  int received_ = 0;
+  bool fired_ = false;
+  std::vector<core::Stream> out_;
+};
+
+/// Chain patch 0 → 1 → … → npatches-1 split across `ranks` ranks; returns
+/// the summed engine executions.
+std::int64_t run_traced_chain(trace::Recorder& rec, int ranks,
+                              int npatches) {
+  std::atomic<std::int64_t> executions{0};
+  comm::Cluster::run(ranks, [&](comm::Context& ctx) {
+    core::Engine engine(
+        ctx, {2, core::TerminationMode::KnownWorkload, &rec});
+    std::vector<RankId> owner(static_cast<std::size_t>(npatches));
+    for (int p = 0; p < npatches; ++p)
+      owner[static_cast<std::size_t>(p)] = RankId{p % ranks};
+    for (int p = 0; p < npatches; ++p) {
+      if (owner[static_cast<std::size_t>(p)] != ctx.rank()) continue;
+      std::vector<std::int32_t> dests;
+      if (p + 1 < npatches) dests.push_back(p + 1);
+      engine.add_program(std::make_unique<RelayProgram>(
+                             PatchId{p}, p == 0 ? 0 : 1, dests),
+                         /*priority=*/0.0, /*initially_active=*/true);
+    }
+    engine.set_routes(owner);
+    engine.run();
+    executions.fetch_add(engine.stats().executions);
+  });
+  return executions.load();
+}
+
+TEST(EngineTrace, RecordsOrderedExecutionsPerTrack) {
+  trace::Recorder rec;
+  const std::int64_t executions = run_traced_chain(rec, 2, 8);
+  ASSERT_GT(executions, 0);
+
+  std::int64_t exec_events = 0;
+  std::vector<std::int32_t> ranks_seen;
+  for (const trace::Track* t : rec.tracks()) {
+    if (ranks_seen.empty() || ranks_seen.back() != t->rank())
+      ranks_seen.push_back(t->rank());
+    std::int64_t last_t0 = -1;
+    for (std::size_t i = 0; i < t->ring().size(); ++i) {
+      const trace::Event& e = t->ring().at(i);
+      EXPECT_EQ(e.rank, t->rank());
+      EXPECT_EQ(e.track, t->id());
+      EXPECT_LE(e.t0_ns, e.t1_ns);
+      if (e.kind != trace::EventKind::Exec) continue;
+      ++exec_events;
+      EXPECT_FALSE(t->is_master()) << "exec events belong to workers";
+      EXPECT_TRUE(e.src.patch.valid());
+      // A worker's executions are recorded in chronological order.
+      EXPECT_GE(e.t0_ns, last_t0);
+      last_t0 = e.t0_ns;
+    }
+  }
+  EXPECT_EQ(exec_events, executions);
+  EXPECT_EQ(ranks_seen, (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(rec.dropped_events(), 0);
+}
+
+TEST(EngineTrace, StreamEventsCoverChainEdges) {
+  trace::Recorder rec;
+  run_traced_chain(rec, 2, 6);
+  std::int64_t sends = 0;
+  std::int64_t recvs = 0;
+  for (const trace::Track* t : rec.tracks())
+    for (std::size_t i = 0; i < t->ring().size(); ++i) {
+      const trace::Event& e = t->ring().at(i);
+      if (e.kind == trace::EventKind::StreamSend) ++sends;
+      if (e.kind == trace::EventKind::StreamRecv) ++recvs;
+    }
+  // One stream per chain edge, each both sent and delivered.
+  EXPECT_EQ(sends, 5);
+  EXPECT_EQ(recvs, 5);
+}
+
+TEST(EngineTrace, DisabledRecorderLeavesNoTrace) {
+  comm::Cluster::run(1, [](comm::Context& ctx) {
+    core::Engine engine(ctx, {1, core::TerminationMode::KnownWorkload});
+    engine.add_program(std::make_unique<RelayProgram>(
+                           PatchId{0}, 0, std::vector<std::int32_t>{}),
+                       0.0, true);
+    engine.set_routes({RankId{0}});
+    engine.run();  // must not crash with recorder == nullptr
+    EXPECT_GT(engine.stats().executions, 0);
+  });
+}
+
+TEST(BspEngineTrace, RecordsSuperstepsAndExecs) {
+  trace::Recorder rec;
+  comm::Cluster::run(1, [&](comm::Context& ctx) {
+    core::BspEngine engine(ctx, {1, &rec});
+    for (int p = 0; p < 4; ++p)
+      engine.add_program(std::make_unique<RelayProgram>(
+          PatchId{p}, p == 0 ? 0 : 1,
+          p + 1 < 4 ? std::vector<std::int32_t>{p + 1}
+                    : std::vector<std::int32_t>{}));
+    engine.set_routes(std::vector<RankId>(4, RankId{0}));
+    engine.run();
+    std::int64_t supersteps = 0;
+    std::int64_t execs = 0;
+    for (const trace::Track* t : rec.tracks())
+      for (std::size_t i = 0; i < t->ring().size(); ++i) {
+        const trace::Event& e = t->ring().at(i);
+        if (e.kind == trace::EventKind::Superstep) ++supersteps;
+        if (e.kind == trace::EventKind::Exec) ++execs;
+      }
+    EXPECT_EQ(supersteps, engine.stats().supersteps);
+    EXPECT_EQ(execs, engine.stats().executions);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chrome export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeExport, EmitsValidJsonWithOneTrackPerRank) {
+  trace::Recorder rec;
+  run_traced_chain(rec, 2, 6);
+  std::ostringstream os;
+  trace::write_chrome_trace(rec, os);
+  const std::string json = os.str();
+  EXPECT_TRUE(JsonChecker::valid(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"master\""), std::string::npos);
+}
+
+TEST(ChromeExport, EmptyRecorderStillValid) {
+  trace::Recorder rec;
+  std::ostringstream os;
+  trace::write_chrome_trace(rec, os);
+  EXPECT_TRUE(JsonChecker::valid(os.str()));
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path extraction
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, KnownTinyDag) {
+  // A [0,10ms] --stream@11ms--> B [12,30ms] --stream@31ms--> C [32,40ms];
+  // D [0,1ms] is off-path. Expected chain A→B→C with waits 2ms before B
+  // and 2ms before C: 10 + 2 + 18 + 2 + 8 = 40ms.
+  trace::Recorder rec;
+  const ProgramKey a{PatchId{0}, TaskTag{0}};
+  const ProgramKey b{PatchId{1}, TaskTag{0}};
+  const ProgramKey c{PatchId{2}, TaskTag{0}};
+  const ProgramKey d{PatchId{3}, TaskTag{0}};
+
+  const auto exec = [&](trace::Track& t, const ProgramKey& key,
+                        std::int64_t t0, std::int64_t t1) {
+    auto e = trace::make_span(trace::EventKind::Exec, t0, t1);
+    e.src = key;
+    t.record(e);
+  };
+  const auto recv = [&](trace::Track& t, const ProgramKey& src,
+                        const ProgramKey& dst, std::int64_t at) {
+    auto e = trace::make_instant(trace::EventKind::StreamRecv, at);
+    e.src = src;
+    e.dst = dst;
+    t.record(e);
+  };
+
+  exec(rec.track(0, 0), a, 0, 10 * kMs);
+  exec(rec.track(0, 1), d, 0, 1 * kMs);
+  recv(rec.track(0, trace::kMasterTrack), a, b, 11 * kMs);
+  exec(rec.track(0, 0), b, 12 * kMs, 30 * kMs);
+  recv(rec.track(1, trace::kMasterTrack), b, c, 31 * kMs);
+  exec(rec.track(1, 0), c, 32 * kMs, 40 * kMs);
+
+  const trace::ProfileReport rep = trace::analyze(rec);
+  EXPECT_EQ(rep.events, 6);
+  EXPECT_NEAR(rep.span_seconds, 0.040, 1e-12);
+  ASSERT_EQ(rep.critical_path.size(), 3u);
+  EXPECT_EQ(rep.critical_path[0].prog, a);
+  EXPECT_EQ(rep.critical_path[1].prog, b);
+  EXPECT_EQ(rep.critical_path[2].prog, c);
+  EXPECT_NEAR(rep.critical_path_seconds, 0.040, 1e-12);
+  EXPECT_NEAR(rep.critical_path[0].wait_seconds, 0.0, 1e-12);
+  EXPECT_NEAR(rep.critical_path[1].wait_seconds, 0.002, 1e-12);
+  EXPECT_NEAR(rep.critical_path[1].exec_seconds, 0.018, 1e-12);
+  EXPECT_NEAR(rep.critical_path[2].wait_seconds, 0.002, 1e-12);
+  EXPECT_EQ(rep.critical_path[2].rank, 1);
+
+  // Hottest program is B (18ms of exec time).
+  ASSERT_FALSE(rep.hottest.empty());
+  EXPECT_EQ(rep.hottest[0].prog, b);
+
+  // Tables render one row per entry plus a header.
+  EXPECT_EQ(trace::critical_path_table(rep).rows(), 3u);
+  EXPECT_EQ(trace::rank_breakdown_table(rep).rows(), 2u);
+  EXPECT_FALSE(trace::render_profile(rep).empty());
+}
+
+TEST(CriticalPath, SerialExecutionsChainWithoutStreams) {
+  // One program executing three times serially: the path is the serial
+  // chain of execution time; dead time between executions is not
+  // dependency latency and does not count.
+  trace::Recorder rec;
+  const ProgramKey a{PatchId{0}, TaskTag{0}};
+  trace::Track& t = rec.track(0, 0);
+  for (int i = 0; i < 3; ++i) {
+    auto e = trace::make_span(trace::EventKind::Exec, (10 * i) * kMs,
+                              (10 * i + 4) * kMs);
+    e.src = a;
+    t.record(e);
+  }
+  const trace::ProfileReport rep = trace::analyze(rec);
+  ASSERT_EQ(rep.critical_path.size(), 3u);
+  EXPECT_NEAR(rep.critical_path_seconds, 3 * 0.004, 1e-12);
+  EXPECT_NEAR(rep.critical_path[1].wait_seconds, 0.0, 1e-12);
+}
+
+TEST(CriticalPath, EmptyRecorderYieldsEmptyReport) {
+  trace::Recorder rec;
+  const trace::ProfileReport rep = trace::analyze(rec);
+  EXPECT_EQ(rep.events, 0);
+  EXPECT_TRUE(rep.critical_path.empty());
+  EXPECT_TRUE(rep.ranks.empty());
+}
+
+TEST(CriticalPath, EngineTraceAnalyzes) {
+  trace::Recorder rec;
+  const std::int64_t executions = run_traced_chain(rec, 2, 8);
+  const trace::ProfileReport rep = trace::analyze(rec);
+  ASSERT_EQ(rep.ranks.size(), 2u);
+  std::int64_t execs = 0;
+  for (const auto& r : rep.ranks) {
+    execs += r.executions;
+    EXPECT_GT(r.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(execs, executions);
+  // The chain forces a nontrivial critical path spanning both ranks.
+  EXPECT_GT(rep.critical_path_seconds, 0.0);
+  EXPECT_GE(rep.critical_path.size(), 8u);
+  EXPECT_LE(rep.critical_path_seconds, rep.span_seconds * 1.001);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator virtual-time emission
+// ---------------------------------------------------------------------------
+
+TEST(SimTrace, VirtualEventsMatchChunkCountsAndExport) {
+  const sim::PatchTopology topo =
+      sim::PatchTopology::structured({16, 16, 16}, {8, 8, 8});
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  trace::Recorder rec;
+  sim::SimConfig cfg;
+  cfg.processes = 2;
+  cfg.workers_per_process = 2;
+  cfg.cluster_grain = 128;
+  cfg.recorder = &rec;
+  const sim::SimResult r = sim::DataDrivenSim(topo, quad, cfg).run();
+  ASSERT_GT(r.chunk_executions, 0);
+
+  std::int64_t exec_events = 0;
+  std::int64_t max_t1 = 0;
+  for (const trace::Track* t : rec.tracks())
+    for (std::size_t i = 0; i < t->ring().size(); ++i) {
+      const trace::Event& e = t->ring().at(i);
+      if (e.kind == trace::EventKind::Exec) ++exec_events;
+      max_t1 = std::max(max_t1, e.t1_ns);
+    }
+  // Folding may merge several true executions into one simulated chunk,
+  // so events ≤ chunk_executions; with a tiny mesh they are equal.
+  EXPECT_GT(exec_events, 0);
+  EXPECT_LE(exec_events, r.chunk_executions);
+  // Virtual timestamps live on the simulated clock: within the simulated
+  // elapsed time, far beyond what the wall clock spent.
+  EXPECT_LE(static_cast<double>(max_t1) * 1e-9,
+            r.elapsed_seconds + 1e-9);
+
+  std::ostringstream os;
+  trace::write_chrome_trace(rec, os);
+  EXPECT_TRUE(JsonChecker::valid(os.str()));
+
+  const trace::ProfileReport rep = trace::analyze(rec);
+  EXPECT_EQ(rep.ranks.size(), 2u);
+  EXPECT_GT(rep.critical_path_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace jsweep
