@@ -15,6 +15,7 @@
 #include "mesh/generators.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
 #include "partition/patch_set.hpp"
 #include "sweep/solver.hpp"
 
@@ -211,6 +212,82 @@ int main(int argc, char** argv) {
                 Table::num(without_pa.seconds / with_pa.seconds, 2) +
                     "x slower"});
     std::printf("%s", t2.str().c_str());
+  }
+
+  // --- Cycle-breaking cost ----------------------------------------------
+  // Identical column lattice with and without twist: the twisted variant
+  // has cyclic sweep dependencies in every direction and runs under
+  // CyclePolicy::Lag (feedback edges cut, fluxes lagged). The gap is the
+  // price of cycle handling; the cut/SCC counters land in the JSON.
+  {
+    bench::print_header(
+        "Ablation: cycle-breaking",
+        "twisted (cyclic) vs straight (acyclic) column, same lattice",
+        "8x8x16-hex column as tets (6144 cells), S4 (24 angles), 2 ranks x "
+        "2 workers; twisted runs with cycle_policy=lag");
+    const auto time_column = [&](double twist, sweep::SolverStats* stats) {
+      const mesh::TetMesh m =
+          mesh::make_twisted_column_mesh(8, 16, twist, 20.0, 32.0);
+      const partition::CsrGraph cg = partition::cell_graph(m);
+      const partition::PatchSet ps(
+          partition::partition_graph(cg, 12), 12, &cg);
+      const sn::CellXs col_xs =
+          expand(sn::MaterialTable::ball(), m.materials(), m.num_cells());
+      const sn::TetStep disc(m, col_xs);
+      const sn::Quadrature col_quad = sn::Quadrature::level_symmetric(4);
+      const std::vector<double> col_q(
+          static_cast<std::size_t>(m.num_cells()), 0.25);
+      double seconds = 0.0;
+      comm::Cluster::run(2, [&](comm::Context& ctx) {
+        sweep::SolverConfig config;
+        config.num_workers = 2;
+        config.cluster_grain = 64;
+        config.cycle_policy = sweep::CyclePolicy::Lag;
+        const auto owner =
+            partition::assign_contiguous(ps.num_patches(), ctx.size());
+        sweep::SweepSolver solver(ctx, m, ps, owner, disc, col_quad,
+                                  config);
+        (void)solver.sweep(col_q);
+        WallTimer timer;
+        for (int i = 0; i < 3; ++i) (void)solver.sweep(col_q);
+        if (ctx.rank().value() == 0) {
+          seconds = timer.seconds() / 3;
+          *stats = solver.stats();
+        }
+      });
+      return seconds;
+    };
+    sweep::SolverStats straight_stats;
+    sweep::SolverStats twisted_stats;
+    const double t_straight = time_column(0.0, &straight_stats);
+    const double t_twisted = time_column(5.0, &twisted_stats);
+    const std::int64_t col_problem = 6144LL * 24;
+    {
+      bench::Sample s{"cycles/straight_column", t_straight, 4, col_problem,
+                      {}};
+      bench::append_engine_stats(s, straight_stats.engine);
+      bench::append_cycle_stats(s, straight_stats);
+      bench::record(std::move(s));
+    }
+    {
+      bench::Sample s{"cycles/twisted_column", t_twisted, 4, col_problem,
+                      {}};
+      bench::append_engine_stats(s, twisted_stats.engine);
+      bench::append_cycle_stats(s, twisted_stats);
+      bench::record(std::move(s));
+    }
+    Table t3({"configuration", "s/sweep", "cyclic dirs", "edges lagged",
+              "ratio"});
+    t3.add_row({"straight column (acyclic)", Table::num(t_straight, 4),
+                Table::num(static_cast<std::int64_t>(
+                    straight_stats.cyclic_angles)),
+                Table::num(straight_stats.cycles.edges_cut), "1.00"});
+    t3.add_row({"twisted column (lag policy)", Table::num(t_twisted, 4),
+                Table::num(static_cast<std::int64_t>(
+                    twisted_stats.cyclic_angles)),
+                Table::num(twisted_stats.cycles.edges_cut),
+                Table::num(t_twisted / t_straight, 2) + "x"});
+    std::printf("%s", t3.str().c_str());
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <type_traits>
 
 #include "comm/cluster.hpp"
 #include "mesh/generators.hpp"
@@ -36,7 +37,8 @@ namespace {
 using namespace jsweep;
 
 struct Options {
-  std::string mesh = "kobayashi";  // kobayashi | ball | reactor
+  // kobayashi | ball | reactor | twisted | swirled
+  std::string mesh = "kobayashi";
   int n = 16;
   int sn = 4;
   std::string engine = "jsweep";   // jsweep | bsp | serial
@@ -46,6 +48,8 @@ struct Options {
   int patch_cells = 0;  // 0 = default per mesh type
   std::string priority = "SLBD";
   bool coarsened = false;
+  std::string cycle_policy = "error";  // assume | error | lag
+  int lag_sweeps = 1;
   double tolerance = 1e-6;
   int max_iterations = 200;
   std::string vtk;
@@ -56,7 +60,10 @@ struct Options {
 void usage() {
   std::printf(R"(jsweep_cli — solve an Sn transport benchmark problem
 
-  --mesh=kobayashi|ball|reactor   problem geometry (default kobayashi)
+  --mesh=kobayashi|ball|reactor|twisted|swirled
+                                  problem geometry (default kobayashi);
+                                  twisted/swirled meshes have cyclic sweep
+                                  dependencies (need --cycle-policy=lag)
   --n=N                           mesh resolution (cells across; default 16)
   --sn=2|4|6|8                    level-symmetric order (default 4)
   --engine=jsweep|bsp|serial      sweep engine (default jsweep)
@@ -66,6 +73,11 @@ void usage() {
   --patch-cells=P                 cells per patch (default: mesh-specific)
   --priority=None|BFS|LDCP|SLBD   patch+vertex strategy (default SLBD)
   --coarsened                     replay iterations 2+ on the coarsened graph
+  --cycle-policy=assume|error|lag cyclic-dependence handling (default error:
+                                  detect and refuse; lag: cut feedback edges
+                                  and iterate their fluxes)
+  --lag-sweeps=K                  max engine sweeps per transport sweep on a
+                                  cut mesh (default 1)
   --tolerance=T                   source-iteration tolerance (default 1e-6)
   --max-iterations=K              source-iteration cap (default 200)
   --vtk=PATH                      write flux + material as legacy VTK
@@ -108,6 +120,10 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.priority = *v;
     } else if (arg == "--coarsened") {
       opt.coarsened = true;
+    } else if (auto v = value("--cycle-policy")) {
+      opt.cycle_policy = *v;
+    } else if (auto v = value("--lag-sweeps")) {
+      opt.lag_sweeps = std::atoi(v->c_str());
     } else if (auto v = value("--tolerance")) {
       opt.tolerance = std::atof(v->c_str());
     } else if (auto v = value("--max-iterations")) {
@@ -146,15 +162,42 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
                  "note: --trace/--profile need --engine=jsweep or bsp; "
                  "ignored for the serial sweep\n");
 
+  const sweep::CyclePolicy cycle_policy =
+      sweep::cycle_policy_from_string(opt.cycle_policy);
+
   sn::SourceIterationResult result;
+  sweep::SolverStats solver_stats;
   WallTimer timer;
   if (opt.engine == "serial") {
-    result = sn::source_iteration(
-        xs,
-        [&](const std::vector<double>& q) {
-          return sn::serial_sweep(disc, quad, q);
-        },
-        si);
+    if (opt.lag_sweeps > 1)
+      std::fprintf(stderr,
+                   "note: --lag-sweeps needs --engine=jsweep or bsp; the "
+                   "serial sweeper always lags one sweep\n");
+    bool done = false;
+    if constexpr (std::is_same_v<Disc, sn::TetStep>) {
+      if (cycle_policy == sweep::CyclePolicy::Lag) {
+        // Cycle-aware stateful reference: cuts feedback edges and lags
+        // their fluxes exactly like the parallel solver.
+        sn::SerialSweeper sweeper(disc, quad);
+        result = sn::source_iteration(
+            xs,
+            [&](const std::vector<double>& q) { return sweeper.sweep(q); },
+            si);
+        solver_stats.cycles = sweeper.cycle_stats();
+        solver_stats.cyclic_angles = sweeper.cyclic_angles();
+        solver_stats.last_lag_sweeps = 1;
+        solver_stats.last_lag_residual = sweeper.last_lag_residual();
+        done = true;
+      }
+    }
+    if (!done) {
+      result = sn::source_iteration(
+          xs,
+          [&](const std::vector<double>& q) {
+            return sn::serial_sweep(disc, quad, q);
+          },
+          si);
+    }
   } else {
     comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
       sweep::SolverConfig config;
@@ -166,16 +209,32 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
       config.vertex_priority = config.patch_priority;
       config.use_coarsened_graph =
           opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
+      config.cycle_policy = cycle_policy;
+      config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
       config.trace.recorder = recorder ? &*recorder : nullptr;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
       sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
                                 config);
       const auto r = sn::source_iteration(xs, solver.as_operator(), si);
-      if (ctx.rank().value() == 0) result = r;
+      if (ctx.rank().value() == 0) {
+        result = r;
+        solver_stats = solver.stats();
+      }
     });
   }
   const double seconds = timer.seconds();
+
+  if (solver_stats.cycles.any()) {
+    std::printf(
+        "cycles: %d direction(s) cyclic, %d SCC(s), largest %d cells, "
+        "%lld feedback edge(s) lagged; last sweep: %d engine run(s), "
+        "lag residual %.2e\n",
+        solver_stats.cyclic_angles, solver_stats.cycles.cyclic_components,
+        solver_stats.cycles.largest_component,
+        static_cast<long long>(solver_stats.cycles.edges_cut),
+        solver_stats.last_lag_sweeps, solver_stats.last_lag_residual);
+  }
 
   if (recorder) {
     if (!opt.trace.empty()) {
@@ -245,22 +304,32 @@ int main(int argc, char** argv) {
       return solve(opt, m, disc, xs, patches);
     }
     const bool ball = opt.mesh == "ball";
-    if (!ball && opt.mesh != "reactor") {
+    const bool reactor = opt.mesh == "reactor";
+    const bool twisted = opt.mesh == "twisted";
+    const bool swirled = opt.mesh == "swirled";
+    if (!ball && !reactor && !twisted && !swirled) {
       std::fprintf(stderr, "unknown mesh '%s' (try --help)\n",
                    opt.mesh.c_str());
       return 1;
     }
-    const mesh::TetMesh m = ball ? mesh::make_ball_mesh(opt.n, 50.0)
-                                 : mesh::make_reactor_mesh(opt.n, 50.0, 100.0);
+    // twisted/swirled: cyclic-dependence meshes (cycle-breaking showcase).
+    // The twisted column keeps the tuned twist/aspect and scales layers
+    // with the resolution so any --n stays provably cyclic.
+    const mesh::TetMesh m =
+        ball      ? mesh::make_ball_mesh(opt.n, 50.0)
+        : reactor ? mesh::make_reactor_mesh(opt.n, 50.0, 100.0)
+        : twisted ? mesh::make_twisted_column_mesh(opt.n, 2 * opt.n, 5.0,
+                                                   20.0, 4.0 * opt.n)
+                  : mesh::make_swirled_ball_mesh(opt.n, 50.0);
     const int pc = opt.patch_cells > 0 ? opt.patch_cells : 500;
     const int nparts = std::max(
         2, static_cast<int>(m.num_cells() / std::max(1, pc)));
     const partition::CsrGraph cg = partition::cell_graph(m);
     const auto part = partition::partition_graph(cg, nparts);
     const partition::PatchSet patches(part, nparts, &cg);
-    const sn::CellXs xs =
-        expand(ball ? sn::MaterialTable::ball() : sn::MaterialTable::reactor(),
-               m.materials(), m.num_cells());
+    const sn::CellXs xs = expand(
+        reactor ? sn::MaterialTable::reactor() : sn::MaterialTable::ball(),
+        m.materials(), m.num_cells());
     const sn::TetStep disc(m, xs);
     return solve(opt, m, disc, xs, patches);
   } catch (const std::exception& e) {

@@ -31,6 +31,14 @@ class Digraph {
            offsets_[static_cast<std::size_t>(v)];
   }
 
+  /// i-th out-neighbor of v (0 ≤ i < out_degree(v)); cursor-style access
+  /// for iterative DFS algorithms that cannot use for_out().
+  [[nodiscard]] std::int32_t out_neighbor(std::int32_t v,
+                                          std::int64_t i) const {
+    return targets_[static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(v)] + i)];
+  }
+
   template <class Fn>
   void for_out(std::int32_t v, Fn&& fn) const {
     for (auto e = offsets_[static_cast<std::size_t>(v)];

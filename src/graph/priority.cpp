@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "graph/scc.hpp"
 #include "support/check.hpp"
 
 namespace jsweep::graph {
@@ -48,12 +49,14 @@ std::vector<std::int32_t> bfs_levels(const Digraph& g) {
   return level;
 }
 
-std::vector<std::int32_t> ldcp_depths(const Digraph& g) {
-  const auto order = g.topological_order();
-  JSWEEP_CHECK_MSG(order.has_value(), "LDCP requires an acyclic graph");
+namespace {
+
+/// Longest-path-to-sink depths given a precomputed topological order.
+std::vector<std::int32_t> depths_from_order(
+    const Digraph& g, const std::vector<std::int32_t>& order) {
   std::vector<std::int32_t> depth(static_cast<std::size_t>(g.num_vertices()),
                                   0);
-  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const auto v = *it;
     g.for_out(v, [&](std::int32_t u) {
       depth[static_cast<std::size_t>(v)] =
@@ -62,6 +65,14 @@ std::vector<std::int32_t> ldcp_depths(const Digraph& g) {
     });
   }
   return depth;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> ldcp_depths(const Digraph& g) {
+  const auto order = g.topological_order();
+  JSWEEP_CHECK_MSG(order.has_value(), "LDCP requires an acyclic graph");
+  return depths_from_order(g, *order);
 }
 
 std::vector<std::int32_t> forward_distance_to(
@@ -109,8 +120,18 @@ std::vector<double> priorities_impl(PriorityStrategy strategy,
       break;
     }
     case PriorityStrategy::LDCP: {
-      const auto depth = ldcp_depths(g);
-      for (std::size_t v = 0; v < n; ++v) prio[v] = depth[v];
+      if (const auto order = g.topological_order(); order) {
+        const auto depth = depths_from_order(g, *order);
+        for (std::size_t v = 0; v < n; ++v) prio[v] = depth[v];
+      } else {
+        // Cyclic graph (a patch-level graph over a cyclic mesh): fall back
+        // to critical-path depths on the SCC condensation — every vertex
+        // of one component shares its component's depth.
+        const auto scc = strongly_connected_components(g);
+        const auto depth = ldcp_depths(condensation(g, scc));
+        for (std::size_t v = 0; v < n; ++v)
+          prio[v] = depth[static_cast<std::size_t>(scc.component_of[v])];
+      }
       break;
     }
     case PriorityStrategy::SLBD: {

@@ -31,10 +31,14 @@ enum class PriorityStrategy { None, BFS, LDCP, SLBD };
 [[nodiscard]] PriorityStrategy priority_from_string(const std::string& name);
 
 /// BFS level of every vertex (sources = level 0), following edges forward.
+/// Tolerates cycles: cycle members are never enqueued by the Kahn
+/// wavefront, but may still inherit nonzero levels relaxed from upstream
+/// acyclic vertices — levels are scheduling hints, not cycle detection.
 std::vector<std::int32_t> bfs_levels(const Digraph& g);
 
 /// Length (in edges) of the longest path from each vertex to any sink.
-/// Requires an acyclic graph.
+/// Requires an acyclic graph; vertex_priorities/patch_priorities fall back
+/// to SCC-condensation depths on cyclic graphs instead of calling this.
 std::vector<std::int32_t> ldcp_depths(const Digraph& g);
 
 /// Shortest forward distance from each vertex to any vertex in `targets`

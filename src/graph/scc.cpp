@@ -1,0 +1,185 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace jsweep::graph {
+
+std::vector<std::int32_t> SccResult::component_sizes() const {
+  std::vector<std::int32_t> sizes(static_cast<std::size_t>(num_components),
+                                  0);
+  for (const auto c : component_of) ++sizes[static_cast<std::size_t>(c)];
+  return sizes;
+}
+
+SccResult strongly_connected_components(const Digraph& g) {
+  const std::int32_t n = g.num_vertices();
+  constexpr std::int32_t kUnvisited = -1;
+
+  SccResult result;
+  result.component_of.assign(static_cast<std::size_t>(n), kUnvisited);
+
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> stack;  // Tarjan's vertex stack
+  std::int32_t next_index = 0;
+
+  // Explicit DFS frame: vertex + out-edge cursor (index into its CSR row).
+  struct Frame {
+    std::int32_t v;
+    std::int64_t cursor;
+  };
+  std::vector<Frame> dfs;
+
+  for (std::int32_t root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = 1;
+
+    while (!dfs.empty()) {
+      Frame& fr = dfs.back();
+      const std::int32_t v = fr.v;
+      if (fr.cursor < g.out_degree(v)) {
+        const std::int32_t next = g.out_neighbor(v, fr.cursor);
+        ++fr.cursor;
+        const auto u = static_cast<std::size_t>(next);
+        if (index[u] == kUnvisited) {
+          index[u] = next_index;
+          lowlink[u] = next_index;
+          ++next_index;
+          stack.push_back(next);
+          on_stack[u] = 1;
+          dfs.push_back({next, 0});
+        } else if (on_stack[u]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)], index[u]);
+        }
+        continue;
+      }
+      // v's out-edges exhausted: close the frame.
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        auto& parent = lowlink[static_cast<std::size_t>(dfs.back().v)];
+        parent = std::min(parent, lowlink[static_cast<std::size_t>(v)]);
+      }
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        // v is an SCC root: pop its component off the stack.
+        const std::int32_t comp = result.num_components++;
+        for (;;) {
+          const std::int32_t w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          result.component_of[static_cast<std::size_t>(w)] = comp;
+          if (w == v) break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Digraph condensation(const Digraph& g, const SccResult& scc) {
+  JSWEEP_CHECK(static_cast<std::int32_t>(scc.component_of.size()) ==
+               g.num_vertices());
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto cv = scc.component_of[static_cast<std::size_t>(v)];
+    g.for_out(v, [&](std::int32_t u) {
+      const auto cu = scc.component_of[static_cast<std::size_t>(u)];
+      if (cv != cu) edges.emplace_back(cv, cu);
+    });
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Digraph(scc.num_components, edges);
+}
+
+CycleBreak break_cycles(
+    std::int32_t num_vertices,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& edges) {
+  CycleBreak result;
+  result.cut.assign(edges.size(), 0);
+
+  // CSR over *edge indices* so back edges can be marked in the input list.
+  std::vector<std::int64_t> off(static_cast<std::size_t>(num_vertices) + 1,
+                                0);
+  for (const auto& [u, v] : edges) {
+    JSWEEP_CHECK_MSG(u >= 0 && u < num_vertices && v >= 0 &&
+                         v < num_vertices,
+                     "edge (" << u << "," << v << ") outside [0,"
+                              << num_vertices << ")");
+    ++off[static_cast<std::size_t>(u) + 1];
+  }
+  for (std::size_t i = 1; i < off.size(); ++i) off[i] += off[i - 1];
+  std::vector<std::int64_t> edge_ids(edges.size());
+  {
+    std::vector<std::int64_t> cursor(off.begin(), off.end() - 1);
+    for (std::size_t e = 0; e < edges.size(); ++e)
+      edge_ids[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(edges[e].first)]++)] =
+          static_cast<std::int64_t>(e);
+  }
+
+  // Iterative coloring DFS: cut every edge into a gray (on-stack) vertex.
+  enum : char { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<char> color(static_cast<std::size_t>(num_vertices), kWhite);
+  struct Frame {
+    std::int32_t v;
+    std::int64_t cursor;  // offset within v's CSR row
+  };
+  std::vector<Frame> dfs;
+  for (std::int32_t root = 0; root < num_vertices; ++root) {
+    if (color[static_cast<std::size_t>(root)] != kWhite) continue;
+    color[static_cast<std::size_t>(root)] = kGray;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& fr = dfs.back();
+      const auto begin = off[static_cast<std::size_t>(fr.v)];
+      const auto end = off[static_cast<std::size_t>(fr.v) + 1];
+      if (begin + fr.cursor >= end) {
+        color[static_cast<std::size_t>(fr.v)] = kBlack;
+        dfs.pop_back();
+        continue;
+      }
+      const std::int64_t e =
+          edge_ids[static_cast<std::size_t>(begin + fr.cursor)];
+      ++fr.cursor;
+      const std::int32_t u = edges[static_cast<std::size_t>(e)].second;
+      if (color[static_cast<std::size_t>(u)] == kWhite) {
+        color[static_cast<std::size_t>(u)] = kGray;
+        dfs.push_back({u, 0});
+      } else if (color[static_cast<std::size_t>(u)] == kGray) {
+        result.cut[static_cast<std::size_t>(e)] = 1;
+        ++result.stats.edges_cut;
+      }
+    }
+  }
+
+  // Diagnostics: SCC structure of the *original* graph.
+  result.scc = strongly_connected_components(Digraph(num_vertices, edges));
+  std::vector<char> has_self_loop(
+      static_cast<std::size_t>(result.scc.num_components), 0);
+  for (const auto& [u, v] : edges)
+    if (u == v)
+      has_self_loop[static_cast<std::size_t>(
+          result.scc.component_of[static_cast<std::size_t>(u)])] = 1;
+  const auto sizes = result.scc.component_sizes();
+  for (std::int32_t c = 0; c < result.scc.num_components; ++c) {
+    if (sizes[static_cast<std::size_t>(c)] >= 2 ||
+        has_self_loop[static_cast<std::size_t>(c)]) {
+      ++result.stats.cyclic_components;
+      result.stats.largest_component = std::max(
+          result.stats.largest_component, sizes[static_cast<std::size_t>(c)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace jsweep::graph

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file scc.hpp
+/// Strongly connected components and cycle breaking. Real unstructured /
+/// deformed meshes can induce *cyclic* sweep dependence graphs (non-convex
+/// or twisted cells — the headline problem of "Massively Parallel Transport
+/// Sweeps on Meshes with Cyclic Dependencies"). This module supplies the
+/// graph machinery the solver uses to handle them:
+///
+///   - strongly_connected_components(): iterative Tarjan SCC;
+///   - condensation(): the acyclic component-level quotient graph;
+///   - break_cycles(): a deterministic feedback-edge selection (DFS back
+///     edges) that marks a small set of edges whose removal makes the graph
+///     acyclic. Every selected edge provably lies inside an SCC, so the
+///     sweep treats exactly the cyclic part as *lagged* (old-iterate)
+///     inputs and keeps true dependencies everywhere else.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace jsweep::graph {
+
+struct SccResult {
+  std::int32_t num_components = 0;
+  /// Component id per vertex. Ids are assigned in *reverse* topological
+  /// order of the condensation (Tarjan completion order): if the
+  /// condensation has an edge C1 → C2 then C1's id is greater than C2's.
+  std::vector<std::int32_t> component_of;
+
+  [[nodiscard]] std::vector<std::int32_t> component_sizes() const;
+};
+
+/// Iterative Tarjan over the CSR digraph (no recursion — safe for
+/// million-vertex cell graphs).
+SccResult strongly_connected_components(const Digraph& g);
+
+/// Component-level quotient graph (deduplicated edges). Always acyclic.
+Digraph condensation(const Digraph& g, const SccResult& scc);
+
+/// Cycle diagnostics, accumulated per sweep direction by the solver.
+struct CycleStats {
+  std::int32_t cyclic_components = 0;  ///< SCCs of size ≥ 2 (or self-loops)
+  std::int32_t largest_component = 0;  ///< vertices in the largest such SCC
+  std::int64_t edges_cut = 0;          ///< feedback edges selected
+
+  [[nodiscard]] bool any() const { return edges_cut > 0; }
+  void merge(const CycleStats& o) {
+    cyclic_components += o.cyclic_components;
+    largest_component = std::max(largest_component, o.largest_component);
+    edges_cut += o.edges_cut;
+  }
+};
+
+struct CycleBreak {
+  /// cut[e] = 1 iff edges[e] is a selected feedback edge. Removing all
+  /// selected edges leaves an acyclic graph.
+  std::vector<char> cut;
+  SccResult scc;
+  CycleStats stats;
+};
+
+/// Deterministic feedback-edge selection: a global iterative DFS (roots in
+/// vertex order, edges in list order) marks every back edge — an edge into
+/// a vertex currently on the DFS stack — as cut. The DFS forest minus its
+/// back edges is acyclic, and a back edge's endpoints are always mutually
+/// reachable, so every cut edge lies inside an SCC. Acyclic inputs come
+/// back with zero edges cut.
+CycleBreak break_cycles(
+    std::int32_t num_vertices,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
+
+}  // namespace jsweep::graph

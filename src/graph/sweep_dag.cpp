@@ -22,17 +22,39 @@ void finalize(PatchTaskGraph& g) {
     ++g.initial_counts[static_cast<std::size_t>(e.v)];
 }
 
+/// Enumerate every downwind cell-to-cell dependence of the mesh for one
+/// direction as fn(upwind_cell, downwind_cell, face). Single source of
+/// truth for the grazing test and face convention shared by the global
+/// digraph builder and the cycle analyzer.
+template <class Fn>
+void for_each_downwind_edge(const mesh::TetMesh& m, const mesh::Vec3& omega,
+                            Fn&& fn) {
+  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+    for (const auto f : m.cell_faces(CellId{c})) {
+      const mesh::Vec3 area = m.outward_area(f, CellId{c});
+      if (dot(area, omega) <= kGrazingTol * norm(area)) continue;
+      const CellId nb = m.across(f, CellId{c});
+      if (!nb.valid()) continue;
+      fn(static_cast<std::int32_t>(c), static_cast<std::int32_t>(nb.value()),
+         f);
+    }
+  }
+}
+
 }  // namespace
 
 PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
                                       const partition::PatchSet& ps,
                                       PatchId patch, const mesh::Vec3& omega,
-                                      AngleId angle) {
+                                      AngleId angle, const CycleCut* cut) {
   PatchTaskGraph g;
   g.patch = patch;
   g.angle = angle;
   const auto& cells = ps.cells(patch);
   g.num_vertices = static_cast<std::int32_t>(cells.size());
+  const auto lagged = [&](std::int64_t face) {
+    return cut != nullptr && cut->contains(face);
+  };
 
   for (std::int32_t li = 0; li < g.num_vertices; ++li) {
     const CellId c = cells[static_cast<std::size_t>(li)];
@@ -46,9 +68,11 @@ PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
       const std::int64_t face = structured_face_id(c, dir);
       const PatchId nb_patch = ps.patch_of(*nb);
       if (nb_patch == patch) {
-        g.local_edges.push_back({li, ps.local_index(*nb), face});
+        (lagged(face) ? g.lagged_local : g.local_edges)
+            .push_back({li, ps.local_index(*nb), face});
       } else {
-        g.remote_out.push_back({li, face, nb_patch, nb->value()});
+        (lagged(face) ? g.lagged_out : g.remote_out)
+            .push_back({li, face, nb_patch, nb->value()});
       }
     }
     // Incoming remote edges: upwind neighbors in other patches.
@@ -63,7 +87,8 @@ PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
       if (nb_patch == patch) continue;  // covered as a local edge of nb
       // The face, named from the upwind cell nb's outgoing direction.
       const std::int64_t face = structured_face_id(*nb, mesh::opposite(dir));
-      g.remote_in.push_back({nb_patch, nb->value(), face, li});
+      (lagged(face) ? g.lagged_in : g.remote_in)
+          .push_back({nb_patch, nb->value(), face, li});
     }
   }
   finalize(g);
@@ -73,12 +98,15 @@ PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
 PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
                                       const partition::PatchSet& ps,
                                       PatchId patch, const mesh::Vec3& omega,
-                                      AngleId angle) {
+                                      AngleId angle, const CycleCut* cut) {
   PatchTaskGraph g;
   g.patch = patch;
   g.angle = angle;
   const auto& cells = ps.cells(patch);
   g.num_vertices = static_cast<std::int32_t>(cells.size());
+  const auto lagged = [&](std::int64_t face) {
+    return cut != nullptr && cut->contains(face);
+  };
 
   for (std::int32_t li = 0; li < g.num_vertices; ++li) {
     const CellId c = cells[static_cast<std::size_t>(li)];
@@ -91,9 +119,11 @@ PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
       if (!nb.valid()) continue;  // domain boundary
       const PatchId nb_patch = ps.patch_of(nb);
       if (nb_patch == patch) {
-        g.local_edges.push_back({li, ps.local_index(nb), f});
+        (lagged(f) ? g.lagged_local : g.local_edges)
+            .push_back({li, ps.local_index(nb), f});
       } else {
-        g.remote_out.push_back({li, f, nb_patch, nb.value()});
+        (lagged(f) ? g.lagged_out : g.remote_out)
+            .push_back({li, f, nb_patch, nb.value()});
       }
     }
     for (const auto f : m.cell_faces(c)) {
@@ -105,11 +135,46 @@ PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
       if (!nb.valid()) continue;
       const PatchId nb_patch = ps.patch_of(nb);
       if (nb_patch == patch) continue;
-      g.remote_in.push_back({nb_patch, nb.value(), f, li});
+      (lagged(f) ? g.lagged_in : g.remote_in)
+          .push_back({nb_patch, nb.value(), f, li});
     }
   }
   finalize(g);
   return g;
+}
+
+CycleCut compute_cycle_cut(const mesh::TetMesh& m, const mesh::Vec3& omega) {
+  JSWEEP_CHECK_MSG(m.num_cells() < (1LL << 31),
+                   "cycle analysis limited to 2^31 cells");
+  // Whole-mesh edge list with the carrying face kept alongside, so cut
+  // edges map straight back to face ids.
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  std::vector<std::int64_t> edge_face;
+  for_each_downwind_edge(
+      m, omega, [&](std::int32_t u, std::int32_t v, std::int64_t f) {
+        edges.emplace_back(u, v);
+        edge_face.push_back(f);
+      });
+  CycleCut cut;
+  // Cheap acyclicity test first: the common case pays one Kahn pass and no
+  // SCC machinery.
+  if (Digraph(static_cast<std::int32_t>(m.num_cells()), edges).is_acyclic())
+    return cut;
+  const CycleBreak broken =
+      break_cycles(static_cast<std::int32_t>(m.num_cells()), edges);
+  cut.stats = broken.stats;
+  for (std::size_t e = 0; e < edges.size(); ++e)
+    if (broken.cut[e]) cut.lagged_faces.insert(edge_face[e]);
+  return cut;
+}
+
+CycleCut compute_cycle_cut(const mesh::StructuredMesh& m,
+                           const mesh::Vec3& omega) {
+  // An orthogonal structured grid orders totally along each axis sign, so
+  // no direction can induce a cycle — nothing to analyze.
+  (void)m;
+  (void)omega;
+  return {};
 }
 
 Digraph build_patch_level_digraph(const std::vector<PatchTaskGraph>& graphs,
@@ -181,7 +246,8 @@ Digraph build_patch_digraph(const mesh::TetMesh& m,
 }
 
 Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
-                                  const mesh::Vec3& omega) {
+                                  const mesh::Vec3& omega,
+                                  const CycleCut* cut) {
   JSWEEP_CHECK_MSG(m.num_cells() < (1LL << 31),
                    "global digraph limited to 2^31 cells");
   std::vector<std::pair<std::int32_t, std::int32_t>> edges;
@@ -191,29 +257,29 @@ Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
           dot(mesh::kFaceNormals[static_cast<std::size_t>(d)], omega);
       if (mu <= kGrazingTol) continue;
       const auto nb = m.neighbor(CellId{c}, static_cast<mesh::FaceDir>(d));
-      if (nb)
-        edges.emplace_back(static_cast<std::int32_t>(c),
-                           static_cast<std::int32_t>(nb->value()));
+      if (!nb) continue;
+      if (cut != nullptr &&
+          cut->contains(structured_face_id(CellId{c},
+                                           static_cast<mesh::FaceDir>(d))))
+        continue;
+      edges.emplace_back(static_cast<std::int32_t>(c),
+                         static_cast<std::int32_t>(nb->value()));
     }
   }
   return Digraph(static_cast<std::int32_t>(m.num_cells()), edges);
 }
 
 Digraph build_global_cell_digraph(const mesh::TetMesh& m,
-                                  const mesh::Vec3& omega) {
+                                  const mesh::Vec3& omega,
+                                  const CycleCut* cut) {
   JSWEEP_CHECK_MSG(m.num_cells() < (1LL << 31),
                    "global digraph limited to 2^31 cells");
   std::vector<std::pair<std::int32_t, std::int32_t>> edges;
-  for (std::int64_t c = 0; c < m.num_cells(); ++c) {
-    for (const auto f : m.cell_faces(CellId{c})) {
-      const mesh::Vec3 area = m.outward_area(f, CellId{c});
-      if (dot(area, omega) <= kGrazingTol * norm(area)) continue;
-      const CellId nb = m.across(f, CellId{c});
-      if (nb.valid())
-        edges.emplace_back(static_cast<std::int32_t>(c),
-                           static_cast<std::int32_t>(nb.value()));
-    }
-  }
+  for_each_downwind_edge(
+      m, omega, [&](std::int32_t u, std::int32_t v, std::int64_t f) {
+        if (cut != nullptr && cut->contains(f)) return;
+        edges.emplace_back(u, v);
+      });
   return Digraph(static_cast<std::int32_t>(m.num_cells()), edges);
 }
 

@@ -8,9 +8,11 @@
 /// lists that the runtime turns into streams.
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "graph/scc.hpp"
 #include "mesh/structured_mesh.hpp"
 #include "mesh/tet_mesh.hpp"
 #include "partition/patch_set.hpp"
@@ -60,6 +62,14 @@ struct RemoteOutEdge {
 }
 
 /// The full dependency structure of one (patch, angle) task.
+///
+/// Lagged edges: when the task graph was built against a CycleCut, edges
+/// whose face lies in the cut are recorded in the `lagged_*` lists instead
+/// of the dependency lists above — they never count toward `initial_counts`
+/// and never carry streams. Their face flux is read from the previous
+/// sweep's value (old iterate) and the freshly computed value is staged for
+/// the next sweep, which makes the remaining graph acyclic while keeping
+/// results independent of execution order.
 struct PatchTaskGraph {
   PatchId patch;
   AngleId angle;
@@ -70,25 +80,59 @@ struct PatchTaskGraph {
   std::vector<RemoteOutEdge> remote_out;
   /// Initial dependency count per local vertex (local + remote upwind).
   std::vector<std::int32_t> initial_counts;
+  /// Cut (lagged) edges, excluded from the dependency structure above.
+  std::vector<LocalEdge> lagged_local;
+  std::vector<RemoteInEdge> lagged_in;
+  std::vector<RemoteOutEdge> lagged_out;
 
   [[nodiscard]] std::int64_t total_work() const { return num_vertices; }
+  [[nodiscard]] bool has_lagged() const {
+    return !lagged_local.empty() || !lagged_in.empty() ||
+           !lagged_out.empty();
+  }
 };
+
+/// The feedback edges of one sweep direction, identified by the face that
+/// carries the flux (faces are globally unique per direction: a face moves
+/// flux one way only). Computed identically on every rank from the global
+/// cell digraph, so all ranks agree on what is lagged.
+struct CycleCut {
+  std::unordered_set<std::int64_t> lagged_faces;
+  CycleStats stats;
+
+  [[nodiscard]] bool empty() const { return lagged_faces.empty(); }
+  [[nodiscard]] bool contains(std::int64_t face) const {
+    return lagged_faces.count(face) != 0;
+  }
+};
+
+/// Detect and break cycles of the whole-mesh sweep digraph for direction
+/// `omega`. Returns the faces of a deterministic feedback-edge set (empty
+/// when the direction is acyclic) plus SCC diagnostics. The structured
+/// overload is a free no-op: an orthogonal grid's sweep graph is acyclic
+/// for every direction.
+CycleCut compute_cycle_cut(const mesh::TetMesh& m, const mesh::Vec3& omega);
+CycleCut compute_cycle_cut(const mesh::StructuredMesh& m,
+                           const mesh::Vec3& omega);
 
 /// Tolerance for grazing faces: |Ω·n̂| below this treats the face as
 /// carrying no flux (no dependency either way).
 inline constexpr double kGrazingTol = 1e-12;
 
-/// Build G_{p,t} for a structured mesh.
+/// Build G_{p,t} for a structured mesh. A non-null `cut` diverts cut faces
+/// into the lagged edge lists.
 PatchTaskGraph build_patch_task_graph(const mesh::StructuredMesh& m,
                                       const partition::PatchSet& ps,
                                       PatchId patch, const mesh::Vec3& omega,
-                                      AngleId angle);
+                                      AngleId angle,
+                                      const CycleCut* cut = nullptr);
 
 /// Build G_{p,t} for a tetrahedral mesh.
 PatchTaskGraph build_patch_task_graph(const mesh::TetMesh& m,
                                       const partition::PatchSet& ps,
                                       PatchId patch, const mesh::Vec3& omega,
-                                      AngleId angle);
+                                      AngleId angle,
+                                      const CycleCut* cut = nullptr);
 
 /// Patch-level digraph for one direction: vertex = patch, edge p→q iff any
 /// cell of p feeds any cell of q. Input is the per-patch task graphs of
@@ -107,10 +151,13 @@ Digraph build_patch_digraph(const mesh::TetMesh& m,
 
 /// Whole-mesh sweep digraph over (cell) vertices for one direction —
 /// O(cells) memory; used by tests and the serial reference solver to
-/// validate acyclicity and ordering.
+/// validate acyclicity and ordering. A non-null `cut` omits the cut faces'
+/// edges (the graph is then acyclic by construction).
 Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
-                                  const mesh::Vec3& omega);
+                                  const mesh::Vec3& omega,
+                                  const CycleCut* cut = nullptr);
 Digraph build_global_cell_digraph(const mesh::TetMesh& m,
-                                  const mesh::Vec3& omega);
+                                  const mesh::Vec3& omega,
+                                  const CycleCut* cut = nullptr);
 
 }  // namespace jsweep::graph

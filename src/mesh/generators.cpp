@@ -1,10 +1,31 @@
 #include "mesh/generators.hpp"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "support/rng.hpp"
 
 namespace jsweep::mesh {
+
+namespace {
+
+/// Rebuild a mesh with the same connectivity and materials but displaced
+/// node coordinates (shared by the deforming-mesh generators).
+TetMesh rebuild_with_nodes(const TetMesh& base, std::vector<Vec3> nodes) {
+  std::vector<std::array<std::int32_t, 4>> tets;
+  tets.reserve(static_cast<std::size_t>(base.num_cells()));
+  std::vector<int> mats;
+  mats.reserve(static_cast<std::size_t>(base.num_cells()));
+  for (std::int64_t c = 0; c < base.num_cells(); ++c) {
+    tets.push_back(base.tet(CellId{c}));
+    mats.push_back(base.material(CellId{c}));
+  }
+  TetMesh out(std::move(nodes), std::move(tets));
+  out.set_materials(std::move(mats));
+  return out;
+}
+
+}  // namespace
 
 StructuredMesh make_cube_mesh(int n, double side) {
   JSWEEP_CHECK(n > 0 && side > 0);
@@ -170,17 +191,62 @@ TetMesh make_jittered_ball_mesh(int n, double radius, double jitter,
                      rng.uniform(-jitter, jitter) * h};
   }
 
-  std::vector<std::array<std::int32_t, 4>> tets;
-  tets.reserve(static_cast<std::size_t>(regular.num_cells()));
-  std::vector<int> mats;
-  mats.reserve(static_cast<std::size_t>(regular.num_cells()));
-  for (std::int64_t c = 0; c < regular.num_cells(); ++c) {
-    tets.push_back(regular.tet(CellId{c}));
-    mats.push_back(regular.material(CellId{c}));
+  return rebuild_with_nodes(regular, std::move(nodes));
+}
+
+TetMesh make_twisted_column_mesh(int n, int layers, double total_twist,
+                                 double width, double height) {
+  JSWEEP_CHECK(n > 1 && layers > 0 && width > 0 && height > 0);
+  const double core_r = width / 4.0;
+  const TetMesh straight = tetrahedralize_lattice(
+      {n, n, layers}, {width / n, width / n, height / layers},
+      {-width / 2.0, -width / 2.0, 0.0}, [](const Vec3&) { return true; },
+      [core_r](const Vec3& p) {
+        return p.x * p.x + p.y * p.y <= core_r * core_r ? kMatCore
+                                                        : kMatShield;
+      });
+
+  std::vector<Vec3> nodes = straight.nodes();
+  for (auto& p : nodes) {
+    const double theta = total_twist * (p.z / height);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    p = {c * p.x - s * p.y, s * p.x + c * p.y, p.z};
   }
-  TetMesh jittered(std::move(nodes), std::move(tets));
-  jittered.set_materials(std::move(mats));
-  return jittered;
+  return rebuild_with_nodes(straight, std::move(nodes));
+}
+
+TetMesh make_swirled_ball_mesh(int n, double radius, double swirl,
+                               double jitter, std::uint64_t seed) {
+  JSWEEP_CHECK(jitter >= 0.0 && jitter < 0.5);
+  const TetMesh regular = make_ball_mesh(n, radius);
+  const double h = 2.0 * radius / n;
+
+  std::vector<char> on_boundary(
+      static_cast<std::size_t>(regular.num_nodes()), 0);
+  for (std::int64_t f = 0; f < regular.num_faces(); ++f) {
+    const TetFace& face = regular.face(f);
+    if (!face.is_boundary()) continue;
+    for (const auto v : face.nodes)
+      on_boundary[static_cast<std::size_t>(v)] = 1;
+  }
+
+  Rng rng(seed);
+  std::vector<Vec3> nodes = regular.nodes();
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
+    Vec3& p = nodes[v];
+    // Swirl: per-slice rotation (an isometry — surface nodes keep their
+    // distance from the axis, so the ball's outer shape survives).
+    const double theta = swirl * (p.z / radius);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    p = {c * p.x - s * p.y, s * p.x + c * p.y, p.z};
+    if (on_boundary[v]) continue;
+    p += Vec3{rng.uniform(-jitter, jitter) * h,
+              rng.uniform(-jitter, jitter) * h,
+              rng.uniform(-jitter, jitter) * h};
+  }
+  return rebuild_with_nodes(regular, std::move(nodes));
 }
 
 }  // namespace jsweep::mesh

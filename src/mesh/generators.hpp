@@ -70,4 +70,27 @@ TetMesh make_reactor_mesh(int n, double radius = 50.0, double height = 100.0);
 TetMesh make_jittered_ball_mesh(int n, double radius, double jitter,
                                 std::uint64_t seed = 1);
 
+/// Twisted column: an n×n×layers hex lattice spanning
+/// [-width/2, width/2]² × [0, height], Kuhn-split into tets, with every
+/// node rotated about the column axis by `total_twist` · z/height radians.
+/// The twist tilts the (triangulated) faces azimuthally, so rings of cells
+/// around the axis feed each other in one rotational sense and induce
+/// cyclic dependencies once the per-layer twist is large enough. With the
+/// default parameters every level-symmetric S2 direction is cyclic (the
+/// test suite asserts this). Deterministic: no randomness. Materials:
+/// kMatCore within width/4 of the axis, kMatShield outside.
+TetMesh make_twisted_column_mesh(int n = 4, int layers = 8,
+                                 double total_twist = 5.0,
+                                 double width = 20.0, double height = 16.0);
+
+/// Randomized perturbation mode: a tetrahedral ball whose nodes are swept
+/// by a z-dependent swirl (rotation about the z-axis by `swirl` · z/radius
+/// radians — an isometry per slice, so the outer surface keeps its shape)
+/// plus `jitter` cell widths of random displacement on interior nodes
+/// (deterministic in `seed`). The swirl's coherent azimuthal shear makes
+/// cyclic sweep dependencies near-certain at the default strength, while
+/// the jitter randomizes where they appear.
+TetMesh make_swirled_ball_mesh(int n, double radius, double swirl = 2.5,
+                               double jitter = 0.2, std::uint64_t seed = 1);
+
 }  // namespace jsweep::mesh

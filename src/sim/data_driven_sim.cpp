@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 #include "trace/trace.hpp"
 
 namespace jsweep::sim {
@@ -37,6 +38,15 @@ struct DataDrivenSim::Prepared {
   /// per-angle avail array; angle_base[a] shifts by whole octant blocks.
   std::array<std::vector<std::int64_t>, 8> up_prefix;  ///< size P+1 each
   std::vector<std::int64_t> angle_base;                ///< size A+1
+
+  /// Lag model: slots (parallel to the avail array) whose dependence is
+  /// cut — they never gate readiness. Empty when lagged_fraction == 0.
+  std::vector<char> lagged;
+  std::int64_t num_lagged = 0;
+
+  [[nodiscard]] bool slot_lagged(std::int64_t slot) const {
+    return !lagged.empty() && lagged[static_cast<std::size_t>(slot)] != 0;
+  }
 
   [[nodiscard]] std::int64_t prog_id(int a, std::int32_t p) const {
     return static_cast<std::int64_t>(a) * num_patches + p;
@@ -131,6 +141,21 @@ SimResult DataDrivenSim::run() {
                       [static_cast<std::size_t>(prep.num_patches)];
   }
 
+  // Lag model: deterministically mark cut dependence slots.
+  if (config_.lagged_fraction > 0.0) {
+    JSWEEP_CHECK(config_.lagged_fraction <= 1.0);
+    Rng rng(config_.lag_seed);
+    prep.lagged.assign(
+        static_cast<std::size_t>(
+            prep.angle_base[static_cast<std::size_t>(prep.num_angles)]),
+        0);
+    for (auto& flag : prep.lagged)
+      if (rng.chance(config_.lagged_fraction)) {
+        flag = 1;
+        ++prep.num_lagged;
+      }
+  }
+
   return config_.engine == SimEngine::DataDriven ? run_data_driven(prep)
                                                  : run_bsp(prep);
 }
@@ -175,6 +200,7 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
 
   SimResult result;
   result.cores = config_.processes * config_.cores_per_process();
+  result.lagged_slots = prep.num_lagged;
 
   // Per-program state.
   std::vector<std::int32_t> next_chunk(
@@ -262,7 +288,7 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     std::int64_t slot = 0;
     bool ok = true;
     topo_.for_upwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
-      if (ok) {
+      if (ok && !prep.slot_lagged(base + slot)) {
         const int req = curves.required_upwind_chunk(
             c, prep.nchunks[static_cast<std::size_t>(p)],
             prep.nchunks[static_cast<std::size_t>(nb.patch)]);
@@ -530,6 +556,7 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
 
   SimResult result;
   result.cores = config_.processes * config_.cores_per_process();
+  result.lagged_slots = prep.num_lagged;
 
   std::vector<std::int32_t> next_chunk(
       static_cast<std::size_t>(prep.num_programs), 0);
@@ -548,7 +575,7 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
     std::int64_t slot = 0;
     bool ok = true;
     topo_.for_upwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
-      if (ok) {
+      if (ok && !prep.slot_lagged(base + slot)) {
         const int req = curves.required_upwind_chunk(
             c, prep.nchunks[static_cast<std::size_t>(p)],
             prep.nchunks[static_cast<std::size_t>(nb.patch)]);

@@ -60,6 +60,18 @@ struct SimConfig {
   mesh::Index3 rep_patch_dims{20, 20, 20};  ///< structured representative
   int rep_block_hexes = 4;                  ///< tet representative
 
+  /// Cycle-breaking model: every (angle, patch, upwind-interface)
+  /// dependence slot is independently treated as *lagged* (cut) with this
+  /// probability, drawn deterministically from `lag_seed`. Lagged slots
+  /// never gate chunk readiness — the simulated sweep runs as the real
+  /// engines do on a cycle-broken graph, where cut edges read old-iterate
+  /// data instead of waiting. The patch topology's geometric dependence
+  /// structure is acyclic by construction, so this models the *cost shift*
+  /// of cycle-breaking (better pipelining per sweep, more sweeps needed),
+  /// not deadlock avoidance.
+  double lagged_fraction = 0.0;
+  std::uint64_t lag_seed = 1;
+
   /// When non-null, the simulation emits virtual-time events (executions,
   /// stream send/recv, master pack/route, collectives) into this recorder
   /// so simulated runs produce traces comparable with real engine runs.
@@ -83,6 +95,7 @@ struct SimResult {
   std::int64_t messages = 0;
   std::int64_t bytes = 0;
   std::int64_t supersteps = 0;  ///< BSP mode only
+  std::int64_t lagged_slots = 0;  ///< dependence slots cut by the lag model
   int cores = 0;
   SimBreakdown breakdown;
 

@@ -1,5 +1,8 @@
 #include "sn/serial_sweep.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/sweep_dag.hpp"
 #include "support/check.hpp"
 
@@ -53,6 +56,72 @@ std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
       const double psi = disc.sweep_cell(c, ang, q_per_ster, flux);
       phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
     }
+  }
+  return phi;
+}
+
+SerialSweeper::SerialSweeper(const TetStep& disc, const Quadrature& quad)
+    : disc_(disc), quad_(quad) {
+  const mesh::TetMesh& m = disc_.mesh();
+  angles_.resize(static_cast<std::size_t>(quad_.num_angles()));
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    AngleState& st = angles_[static_cast<std::size_t>(a)];
+    st.cut = graph::compute_cycle_cut(m, quad_.angle(a).dir);
+    if (!st.cut.empty()) {
+      stats_.merge(st.cut.stats);
+      ++cyclic_angles_;
+      for (const auto face : st.cut.lagged_faces) st.prev.emplace(face, 0.0);
+    }
+    const graph::Digraph g = graph::build_global_cell_digraph(
+        m, quad_.angle(a).dir, st.cut.empty() ? nullptr : &st.cut);
+    const auto order = g.topological_order();
+    JSWEEP_CHECK_MSG(order.has_value(),
+                     "cut graph still cyclic for direction "
+                         << quad_.angle(a).dir);
+    st.order = *order;
+  }
+}
+
+std::vector<double> SerialSweeper::sweep(
+    const std::vector<double>& q_per_ster) {
+  const mesh::TetMesh& m = disc_.mesh();
+  std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
+
+  FaceFluxMap flux;
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    AngleState& st = angles_[static_cast<std::size_t>(a)];
+    const Ordinate& ang = quad_.angle(a);
+    flux.clear();
+    // Seed the cut faces with the previous sweep's iterates.
+    for (const auto& [face, value] : st.prev) flux[face] = value;
+    for (const auto v : st.order) {
+      const CellId c{v};
+      const double psi = disc_.sweep_cell(c, ang, q_per_ster, flux);
+      phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
+      if (st.cut.empty()) continue;
+      // Stage freshly written cut faces and restore the old iterate so
+      // later readers see exactly what the cut promised (matching the
+      // parallel programs' save/restore).
+      for (const auto f : m.cell_faces(c)) {
+        if (!st.cut.contains(f)) continue;
+        const mesh::Vec3 area = m.outward_area(f, c);
+        if (dot(area, ang.dir) <= graph::kGrazingTol * norm(area)) continue;
+        const auto it = flux.find(f);
+        JSWEEP_ASSERT(it != flux.end());
+        st.next[f] = it->second;
+        it->second = st.prev[f];
+      }
+    }
+  }
+
+  // Commit: promote the staged iterates for the next sweep.
+  residual_ = 0.0;
+  for (auto& st : angles_) {
+    for (const auto& [face, value] : st.next) {
+      residual_ = std::max(residual_, std::abs(value - st.prev[face]));
+      st.prev[face] = value;
+    }
+    st.next.clear();
   }
   return phi;
 }

@@ -7,8 +7,11 @@
 /// reproduce these results bit-for-bit (the kernels are deterministic and
 /// execution order along the DAG does not change any operand).
 
+#include <unordered_map>
 #include <vector>
 
+#include "graph/scc.hpp"
+#include "graph/sweep_dag.hpp"
 #include "sn/discretization.hpp"
 #include "sn/quadrature.hpp"
 
@@ -26,5 +29,46 @@ std::vector<double> serial_sweep(const StructuredDD& disc,
 /// dependency.
 std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
                                  const std::vector<double>& q_per_ster);
+
+/// Cycle-aware serial reference sweeper for tetrahedral meshes. Stateful:
+/// it computes the same per-direction feedback-edge cut as the parallel
+/// solver (graph::compute_cycle_cut), sweeps the acyclic remainder in
+/// topological order, and carries the cut faces' fluxes from sweep to
+/// sweep as lagged (old-iterate) inputs. Because the cut and the lag
+/// semantics are identical to SweepSolver with CyclePolicy::Lag and
+/// max_lag_sweeps = 1, sweep() reproduces the parallel engines' scalar
+/// flux bit-for-bit, sweep after sweep — the ground truth of the
+/// cross-engine equivalence suite on cyclic meshes.
+class SerialSweeper {
+ public:
+  SerialSweeper(const TetStep& disc, const Quadrature& quad);
+
+  /// One full sweep over all angles; commits the lagged iterates at the
+  /// end, so successive calls converge toward the cycle-resolved solution.
+  std::vector<double> sweep(const std::vector<double>& q_per_ster);
+
+  /// Cut diagnostics accumulated over all angles (zero ⇒ mesh acyclic).
+  [[nodiscard]] const graph::CycleStats& cycle_stats() const {
+    return stats_;
+  }
+  [[nodiscard]] int cyclic_angles() const { return cyclic_angles_; }
+  /// Max |change| over lagged faces at the last commit.
+  [[nodiscard]] double last_lag_residual() const { return residual_; }
+
+ private:
+  struct AngleState {
+    graph::CycleCut cut;
+    std::vector<std::int32_t> order;  ///< topo order of the cut graph
+    std::unordered_map<std::int64_t, double> prev;  ///< lagged iterates
+    std::unordered_map<std::int64_t, double> next;
+  };
+
+  const TetStep& disc_;
+  const Quadrature& quad_;
+  std::vector<AngleState> angles_;
+  graph::CycleStats stats_;
+  int cyclic_angles_ = 0;
+  double residual_ = 0.0;
+};
 
 }  // namespace jsweep::sn

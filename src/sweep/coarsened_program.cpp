@@ -119,6 +119,8 @@ void CoarsenedSweepProgram::init() {
   for (std::int32_t c = 0; c < data_.num_clusters(); ++c)
     if (counts_[static_cast<std::size_t>(c)] == 0) ready_.push(c);
   flux_.clear();
+  // Same lagged-face seeding as the fine program (cycle-cut replay).
+  seed_lagged_faces(data_.fine(), shared_.lagged, flux_);
   out_items_.clear();
   pending_.clear();
   phi_.assign(static_cast<std::size_t>(fine_vertices_), 0.0);
@@ -158,6 +160,7 @@ void CoarsenedSweepProgram::compute() {
       out_items_[e.dst_patch].push_back(
           StreamItem{e.dst_cell, e.face, flux_[e.face]});
     });
+    stage_lagged_writes(fine, shared_.lagged, v, flux_);
   }
   data_.for_succ(c, [&](std::int32_t succ) {
     if (--counts_[static_cast<std::size_t>(succ)] == 0) ready_.push(succ);

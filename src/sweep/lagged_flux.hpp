@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file lagged_flux.hpp
+/// Storage for lagged (old-iterate) face fluxes, the runtime half of the
+/// cycle-breaking subsystem. Every feedback face cut by graph::CycleCut
+/// gets one slot keyed by (angle, face); a sweep reads `prev` values seeded
+/// from the last sweep and stages freshly computed values into `next`,
+/// which commit() exchanges globally (each slot is written by exactly one
+/// rank, so one allreduce-sum assembles the full vector everywhere).
+///
+/// Thread safety: slots are registered at build time; during a run,
+/// workers call stage() on *distinct* slots (one writer cell per face) and
+/// read prev() concurrently — both touch pre-sized vectors, no locking.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::sweep {
+
+class LaggedFluxStore {
+ public:
+  /// Register the slot for (angle, face). Must be called identically on
+  /// every rank (same order), before the first sweep.
+  void add_slot(std::int32_t angle, std::int64_t face) {
+    const auto [it, inserted] =
+        slot_.emplace(key(angle, face),
+                      static_cast<std::int32_t>(prev_.size()));
+    JSWEEP_CHECK_MSG(inserted, "duplicate lagged slot for angle "
+                                   << angle << " face " << face);
+    prev_.push_back(0.0);
+    next_.push_back(0.0);
+  }
+
+  [[nodiscard]] bool empty() const { return prev_.empty(); }
+  [[nodiscard]] std::int64_t num_slots() const {
+    return static_cast<std::int64_t>(prev_.size());
+  }
+
+  /// Previous-sweep value of a lagged face (0 before the first commit —
+  /// the vacuum initial iterate).
+  [[nodiscard]] double prev(std::int32_t angle, std::int64_t face) const {
+    return prev_[slot(angle, face)];
+  }
+
+  /// Stage this sweep's freshly computed value for the next commit.
+  void stage(std::int32_t angle, std::int64_t face, double value) {
+    next_[slot(angle, face)] = value;
+  }
+
+  /// Collective: assemble the staged values globally, promote them to
+  /// `prev`, and return the max |next - prev| residual (identical on all
+  /// ranks). Call once per sweep, after the engine run.
+  double commit(comm::Context& ctx) {
+    ctx.allreduce_sum(next_);
+    double residual = 0.0;
+    for (std::size_t i = 0; i < next_.size(); ++i)
+      residual = std::max(residual, std::abs(next_[i] - prev_[i]));
+    prev_ = next_;
+    next_.assign(next_.size(), 0.0);
+    return residual;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t key(std::int32_t angle,
+                                         std::int64_t face) {
+    JSWEEP_ASSERT(angle >= 0 && angle < (1 << 20) && face >= 0 &&
+                  face < (1LL << 44));
+    return (static_cast<std::uint64_t>(angle) << 44) |
+           static_cast<std::uint64_t>(face);
+  }
+
+  [[nodiscard]] std::size_t slot(std::int32_t angle,
+                                 std::int64_t face) const {
+    const auto it = slot_.find(key(angle, face));
+    JSWEEP_CHECK_MSG(it != slot_.end(), "no lagged slot for angle "
+                                            << angle << " face " << face);
+    return static_cast<std::size_t>(it->second);
+  }
+
+  std::unordered_map<std::uint64_t, std::int32_t> slot_;
+  std::vector<double> prev_;
+  std::vector<double> next_;
+};
+
+}  // namespace jsweep::sweep

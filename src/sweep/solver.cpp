@@ -8,6 +8,24 @@
 
 namespace jsweep::sweep {
 
+std::string to_string(CyclePolicy p) {
+  switch (p) {
+    case CyclePolicy::Assume: return "assume";
+    case CyclePolicy::Error: return "error";
+    case CyclePolicy::Lag: return "lag";
+  }
+  return "?";
+}
+
+CyclePolicy cycle_policy_from_string(const std::string& name) {
+  if (name == "assume") return CyclePolicy::Assume;
+  if (name == "error") return CyclePolicy::Error;
+  if (name == "lag") return CyclePolicy::Lag;
+  JSWEEP_CHECK_MSG(false, "unknown cycle policy '" << name
+                                                   << "' (assume|error|lag)");
+  return CyclePolicy::Error;
+}
+
 SweepSolver::SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
                          const partition::PatchSet& ps,
                          std::vector<RankId> patch_owner,
@@ -22,11 +40,15 @@ SweepSolver::SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
   shared_.patches = &ps_;
   shared_.quad = &quad_;
   build(
-      [&](PatchId p, const mesh::Vec3& omega, AngleId a) {
-        return graph::build_patch_task_graph(m, ps_, p, omega, a);
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
+          const graph::CycleCut* cut) {
+        return graph::build_patch_task_graph(m, ps_, p, omega, a, cut);
       },
       [&](const mesh::Vec3& omega) {
         return graph::build_patch_digraph(m, ps_, omega);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::compute_cycle_cut(m, omega);
       });
 }
 
@@ -44,21 +66,27 @@ SweepSolver::SweepSolver(comm::Context& ctx, const mesh::TetMesh& m,
   shared_.patches = &ps_;
   shared_.quad = &quad_;
   build(
-      [&](PatchId p, const mesh::Vec3& omega, AngleId a) {
-        return graph::build_patch_task_graph(m, ps_, p, omega, a);
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
+          const graph::CycleCut* cut) {
+        return graph::build_patch_task_graph(m, ps_, p, omega, a, cut);
       },
       [&](const mesh::Vec3& omega) {
         return graph::build_patch_digraph(m, ps_, omega);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::compute_cycle_cut(m, omega);
       });
 }
 
 SweepSolver::~SweepSolver() = default;
 
 void SweepSolver::build(
-    const std::function<graph::PatchTaskGraph(PatchId, const mesh::Vec3&,
-                                              AngleId)>& task_builder,
+    const std::function<graph::PatchTaskGraph(
+        PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
+        task_builder,
     const std::function<graph::Digraph(const mesh::Vec3&)>&
-        patch_digraph_builder) {
+        patch_digraph_builder,
+    const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder) {
   JSWEEP_CHECK_MSG(static_cast<int>(owner_.size()) == ps_.num_patches(),
                    "patch owner table size mismatch");
   WallTimer timer;
@@ -80,6 +108,29 @@ void SweepSolver::build(
   // reused by the deterministic φ collection.
   for (int a = 0; a < quad_.num_angles(); ++a) {
     const mesh::Vec3 omega = quad_.angle(a).dir;
+    // Cycle handling: detect (unless told to assume acyclicity), and either
+    // refuse with diagnostics or cut + lag the feedback faces. The cut is a
+    // deterministic function of the mesh and direction, so every rank
+    // computes the identical set and registers identical store slots.
+    graph::CycleCut cut;
+    if (config_.cycle_policy != CyclePolicy::Assume) cut = cut_builder(omega);
+    if (!cut.empty()) {
+      JSWEEP_CHECK_MSG(
+          config_.cycle_policy == CyclePolicy::Lag,
+          "sweep direction "
+              << a << " (" << omega << ") has cyclic dependencies: "
+              << cut.stats.cyclic_components << " SCC(s), largest "
+              << cut.stats.largest_component << " cells, "
+              << cut.stats.edges_cut
+              << " feedback edge(s); set SolverConfig::cycle_policy = "
+                 "CyclePolicy::Lag to cut and lag them");
+      stats_.cycles.merge(cut.stats);
+      ++stats_.cyclic_angles;
+      std::vector<std::int64_t> faces(cut.lagged_faces.begin(),
+                                      cut.lagged_faces.end());
+      std::sort(faces.begin(), faces.end());
+      for (const auto face : faces) lagged_store_.add_slot(a, face);
+    }
     const graph::Digraph patch_graph = patch_digraph_builder(omega);
     const std::vector<double> pprio =
         graph::patch_priorities(config_.patch_priority, patch_graph);
@@ -88,11 +139,13 @@ void SweepSolver::build(
     const double angle_prior = -static_cast<double>(a);
     for (const auto p : local_patches) {
       task_data_.push_back(std::make_unique<SweepTaskData>(
-          task_builder(p, omega, AngleId{a}), config_.vertex_priority));
+          task_builder(p, omega, AngleId{a}, cut.empty() ? nullptr : &cut),
+          config_.vertex_priority));
       program_priority_.push_back(graph::combined_priority(
           angle_prior, pprio[static_cast<std::size_t>(p.value())]));
     }
   }
+  if (!lagged_store_.empty()) shared_.lagged = &lagged_store_;
 
   install_programs(config_.use_coarsened_graph);
   stats_.build_seconds = timer.seconds();
@@ -194,12 +247,24 @@ std::vector<double> SweepSolver::sweep(const std::vector<double>& q_per_ster) {
   q_current_ = q_per_ster;
   shared_.q_per_ster = &q_current_;
 
-  if (engine_) {
-    engine_->run();
-    stats_.engine = engine_->stats();
-  } else {
-    bsp_->run();
-    stats_.bsp = bsp_->stats();
+  // On a cut (cyclic) mesh, optionally iterate the engine run until the
+  // lagged faces stop changing, so one sweep() approximates the true
+  // (cycle-resolved) transport application. Every run must commit — even
+  // the last — so the next sweep() starts from the freshest iterates.
+  stats_.last_lag_sweeps = 0;
+  for (;;) {
+    if (engine_) {
+      engine_->run();
+      stats_.engine = engine_->stats();
+    } else {
+      bsp_->run();
+      stats_.bsp = bsp_->stats();
+    }
+    ++stats_.last_lag_sweeps;
+    if (lagged_store_.empty()) break;
+    stats_.last_lag_residual = lagged_store_.commit(ctx_);
+    if (stats_.last_lag_sweeps >= std::max(1, config_.max_lag_sweeps)) break;
+    if (stats_.last_lag_residual <= config_.lag_tolerance) break;
   }
 
   std::vector<double> phi(static_cast<std::size_t>(ps_.num_cells()), 0.0);

@@ -16,6 +16,7 @@
 ///     sweeps on the cluster-level graph.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/cluster.hpp"
@@ -32,6 +33,24 @@ class Recorder;
 namespace jsweep::sweep {
 
 enum class EngineKind { DataDriven, Bsp };
+
+/// What to do when a sweep direction's dependence graph has cycles
+/// (non-convex / twisted / perturbed unstructured meshes).
+enum class CyclePolicy {
+  /// Trust the mesh: skip detection entirely (the pre-cycle-aware
+  /// behavior — a genuinely cyclic mesh then hangs the engines).
+  Assume,
+  /// Detect at build time and throw with SCC diagnostics instead of
+  /// deadlocking at run time. The default.
+  Error,
+  /// Detect, cut a minimal feedback-edge set per direction and run the
+  /// acyclic remainder; cut faces read the previous sweep's flux (lagged /
+  /// old-iterate inputs) and converge over (source) iterations.
+  Lag,
+};
+
+[[nodiscard]] std::string to_string(CyclePolicy p);
+[[nodiscard]] CyclePolicy cycle_policy_from_string(const std::string& name);
 
 /// Runtime-tracing knob: when `recorder` is non-null every engine run of
 /// the solver (fine and coarsened) records events into it, ready for
@@ -50,6 +69,14 @@ struct SolverConfig {
   bool patch_angle_parallelism = true;
   /// Replay sweeps 2..n on the coarsened graph.
   bool use_coarsened_graph = false;
+  /// Cyclic-dependence handling (see CyclePolicy).
+  CyclePolicy cycle_policy = CyclePolicy::Error;
+  /// With CyclePolicy::Lag and a cyclic mesh, run up to this many engine
+  /// sweeps per sweep() call, re-feeding the lagged faces each time, until
+  /// their residual drops below `lag_tolerance`. 1 = plain lagging (the
+  /// outer source iteration absorbs the lag error).
+  int max_lag_sweeps = 1;
+  double lag_tolerance = 0.0;
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
 };
@@ -61,6 +88,11 @@ struct SolverStats {
   double last_sweep_seconds = 0.0;
   core::EngineStats engine;  ///< last data-driven run
   core::BspStats bsp;        ///< last BSP run
+  // Cycle-breaking diagnostics (all zero on acyclic meshes).
+  graph::CycleStats cycles;     ///< accumulated over all angles at build
+  int cyclic_angles = 0;        ///< directions that needed a cut
+  int last_lag_sweeps = 0;      ///< engine runs of the last sweep() call
+  double last_lag_residual = 0.0;  ///< max lagged-face change, last commit
 };
 
 class SweepSolver {
@@ -95,10 +127,13 @@ class SweepSolver {
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
  private:
-  void build(const std::function<graph::PatchTaskGraph(
-                 PatchId, const mesh::Vec3&, AngleId)>& task_builder,
-             const std::function<graph::Digraph(const mesh::Vec3&)>&
-                 patch_digraph_builder);
+  void build(
+      const std::function<graph::PatchTaskGraph(
+          PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
+          task_builder,
+      const std::function<graph::Digraph(const mesh::Vec3&)>&
+          patch_digraph_builder,
+      const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder);
   void install_programs(bool record_clusters);
   void activate_coarsened();
   void collect_phi(std::vector<double>& phi_global) const;
@@ -110,6 +145,7 @@ class SweepSolver {
   SolverConfig config_;
 
   SweepShared shared_;
+  LaggedFluxStore lagged_store_;
   std::vector<double> q_current_;
 
   std::vector<std::unique_ptr<SweepTaskData>> task_data_;

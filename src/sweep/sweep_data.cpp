@@ -37,6 +37,33 @@ SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
           cursor[static_cast<std::size_t>(e.u)]++)] = e;
   }
 
+  // Lagged structure: read-side faces to seed (deduplicated — an intra-
+  // patch cut edge appears once) and a CSR of write-side faces per vertex.
+  lagged_seed_.reserve(graph_.lagged_local.size() + graph_.lagged_in.size());
+  for (const auto& e : graph_.lagged_local) lagged_seed_.push_back(e.face);
+  for (const auto& e : graph_.lagged_in) lagged_seed_.push_back(e.face);
+  std::sort(lagged_seed_.begin(), lagged_seed_.end());
+  lagged_seed_.erase(std::unique(lagged_seed_.begin(), lagged_seed_.end()),
+                     lagged_seed_.end());
+
+  lag_off_.assign(n + 1, 0);
+  for (const auto& e : graph_.lagged_local)
+    ++lag_off_[static_cast<std::size_t>(e.u) + 1];
+  for (const auto& e : graph_.lagged_out)
+    ++lag_off_[static_cast<std::size_t>(e.u) + 1];
+  for (std::size_t i = 1; i < lag_off_.size(); ++i)
+    lag_off_[i] += lag_off_[i - 1];
+  lag_faces_.resize(graph_.lagged_local.size() + graph_.lagged_out.size());
+  {
+    std::vector<std::int64_t> cursor(lag_off_.begin(), lag_off_.end() - 1);
+    for (const auto& e : graph_.lagged_local)
+      lag_faces_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.u)]++)] = e.face;
+    for (const auto& e : graph_.lagged_out)
+      lag_faces_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(e.u)]++)] = e.face;
+  }
+
   vprio_ = graph::vertex_priorities(vertex_strategy, graph_);
 }
 

@@ -61,6 +61,23 @@ class SweepTaskData {
     return static_cast<std::int64_t>(rout_.size());
   }
 
+  // --- Lagged (cycle-cut) structure -------------------------------------
+  [[nodiscard]] bool has_lagged() const { return graph_.has_lagged(); }
+  /// Faces whose old-iterate value must be seeded into the flux map before
+  /// any vertex computes (read side of every lagged edge this patch sees).
+  [[nodiscard]] const std::vector<std::int64_t>& lagged_seed_faces() const {
+    return lagged_seed_;
+  }
+  /// Lagged faces *written* by vertex v (the upwind side of a cut edge):
+  /// their freshly computed flux must be staged for the next sweep and the
+  /// old value restored, so downstream reads stay order-independent.
+  template <class Fn>
+  void for_lagged_writes(std::int32_t v, Fn&& fn) const {
+    for (auto e = lag_off_[static_cast<std::size_t>(v)];
+         e < lag_off_[static_cast<std::size_t>(v) + 1]; ++e)
+      fn(lag_faces_[static_cast<std::size_t>(e)]);
+  }
+
  private:
   graph::PatchTaskGraph graph_;
   std::vector<std::int64_t> out_off_;
@@ -68,6 +85,9 @@ class SweepTaskData {
   std::vector<std::int64_t> rout_off_;
   std::vector<graph::RemoteOutEdge> rout_;
   std::vector<double> vprio_;
+  std::vector<std::int64_t> lagged_seed_;
+  std::vector<std::int64_t> lag_off_;
+  std::vector<std::int64_t> lag_faces_;
 };
 
 }  // namespace jsweep::sweep

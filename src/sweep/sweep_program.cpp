@@ -4,6 +4,25 @@
 
 namespace jsweep::sweep {
 
+void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
+                       sn::FaceFluxMap& flux) {
+  if (!data.has_lagged()) return;
+  JSWEEP_CHECK_MSG(store != nullptr,
+                   "task graph has lagged edges but no LaggedFluxStore");
+  for (const auto face : data.lagged_seed_faces())
+    flux[face] = store->prev(data.angle().value(), face);
+}
+
+void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
+                         std::int32_t v, sn::FaceFluxMap& flux) {
+  data.for_lagged_writes(v, [&](std::int64_t face) {
+    const auto it = flux.find(face);
+    JSWEEP_ASSERT(it != flux.end());
+    store->stage(data.angle().value(), face, it->second);
+    it->second = store->prev(data.angle().value(), face);
+  });
+}
+
 SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
                                      const SweepShared& shared,
                                      SweepProgramOptions options)
@@ -24,6 +43,8 @@ void SweepPatchProgram::init() {
   for (std::int32_t v = 0; v < data_.num_vertices(); ++v)
     if (counts_[static_cast<std::size_t>(v)] == 0) mark_ready(v);
   flux_.clear();
+  // Cycle-cut faces read the previous sweep's flux instead of waiting.
+  seed_lagged_faces(data_, shared_.lagged, flux_);
   out_items_.clear();
   pending_.clear();
   phi_.assign(static_cast<std::size_t>(data_.num_vertices()), 0.0);
@@ -83,6 +104,10 @@ void SweepPatchProgram::compute() {
       out_items_[e.dst_patch].push_back(
           StreamItem{e.dst_cell, e.face, it->second});
     });
+    // Lagged (cycle-cut) faces: stage the fresh value for the next sweep,
+    // then restore the old iterate so any later reader — regardless of
+    // scheduling order — sees the same value the cut promised it.
+    stage_lagged_writes(data_, shared_.lagged, v, flux_);
   }
   if (options_.record_clusters && in_batch > 0) ++next_cluster_;
 

@@ -18,6 +18,7 @@
 #include "partition/patch_set.hpp"
 #include "sn/discretization.hpp"
 #include "sn/quadrature.hpp"
+#include "sweep/lagged_flux.hpp"
 #include "sweep/stream_codec.hpp"
 #include "sweep/sweep_data.hpp"
 
@@ -31,7 +32,23 @@ struct SweepShared {
   const partition::PatchSet* patches = nullptr;
   const sn::Quadrature* quad = nullptr;
   const std::vector<double>* q_per_ster = nullptr;
+  /// Old-iterate fluxes of cycle-cut faces; null when the sweep graphs are
+  /// acyclic (no cut). Programs read prev values and stage fresh ones.
+  LaggedFluxStore* lagged = nullptr;
 };
+
+/// Shared lagged-face (cycle-cut) handling — ONE implementation of the
+/// schedule-independence invariant for both the fine and the coarsened
+/// program, which must stay bitwise-identical:
+///   - at init, seed every lagged read face with the previous sweep's
+///     iterate so cut dependencies never wait;
+///   - after computing vertex v, stage each lagged face it wrote for the
+///     next sweep and restore the old iterate, so any later reader sees
+///     the value the cut promised regardless of execution order.
+void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
+                       sn::FaceFluxMap& flux);
+void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
+                         std::int32_t v, sn::FaceFluxMap& flux);
 
 struct SweepProgramOptions {
   /// Max vertices retired per compute() execution (the paper's N).

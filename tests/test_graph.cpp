@@ -9,6 +9,7 @@
 #include "graph/coarsen.hpp"
 #include "graph/digraph.hpp"
 #include "graph/priority.hpp"
+#include "graph/scc.hpp"
 #include "graph/sweep_dag.hpp"
 #include "mesh/generators.hpp"
 #include "partition/adjacency.hpp"
@@ -337,6 +338,258 @@ TEST(SweepDag, JitteredMeshSweepableOrCycleReported) {
   }
   // Moderate jitter keeps most (usually all) directions sweepable.
   EXPECT_GE(acyclic, quad.num_angles() / 2);
+}
+
+// ---------------------------------------------------------------------------
+// SCC + cycle breaking
+// ---------------------------------------------------------------------------
+
+TEST(Scc, HandPickedComponents) {
+  // Two 2-cycles bridged by a DAG edge plus an isolated vertex.
+  const Digraph g(5, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  const SccResult scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.num_components, 3);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+  // Reverse-topological ids: {0,1} feeds {2,3}, so its id is larger.
+  EXPECT_GT(scc.component_of[0], scc.component_of[2]);
+  const Digraph cond = condensation(g, scc);
+  EXPECT_EQ(cond.num_vertices(), 3);
+  EXPECT_TRUE(cond.is_acyclic());
+}
+
+TEST(Scc, BreakCyclesSimpleLoop) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  const CycleBreak cb = break_cycles(4, edges);
+  EXPECT_EQ(cb.stats.edges_cut, 1);
+  EXPECT_EQ(cb.stats.cyclic_components, 1);
+  EXPECT_EQ(cb.stats.largest_component, 3);
+  // Exactly one of the triangle's edges is cut; the bridge is kept.
+  EXPECT_EQ(cb.cut[3], 0);
+}
+
+TEST(Scc, AcyclicInputUntouched) {
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const CycleBreak cb = break_cycles(4, edges);
+  EXPECT_EQ(cb.stats.edges_cut, 0);
+  EXPECT_EQ(cb.stats.cyclic_components, 0);
+  EXPECT_FALSE(cb.stats.any());
+}
+
+/// Brute-force SCC via transitive closure (Floyd–Warshall reachability):
+/// u, v share a component iff u reaches v and v reaches u.
+std::vector<std::int32_t> brute_force_components(
+    std::int32_t n, const std::vector<Edge>& edges) {
+  std::vector<std::vector<char>> reach(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n), 0));
+  for (std::int32_t v = 0; v < n; ++v)
+    reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 1;
+  for (const auto& [u, v] : edges)
+    reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+  for (std::int32_t k = 0; k < n; ++k)
+    for (std::int32_t i = 0; i < n; ++i)
+      for (std::int32_t j = 0; j < n; ++j)
+        if (reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] &&
+            reach[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)])
+          reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+  std::vector<std::int32_t> comp(static_cast<std::size_t>(n), -1);
+  std::int32_t next = 0;
+  for (std::int32_t v = 0; v < n; ++v) {
+    if (comp[static_cast<std::size_t>(v)] >= 0) continue;
+    comp[static_cast<std::size_t>(v)] = next;
+    for (std::int32_t u = v + 1; u < n; ++u)
+      if (reach[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] &&
+          reach[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)])
+        comp[static_cast<std::size_t>(u)] = next;
+    ++next;
+  }
+  return comp;
+}
+
+/// Seeded random edge list over n vertices (occasional self-loops and
+/// parallel edges included on purpose).
+std::vector<Edge> random_edges(Rng& rng, std::int32_t n, double density) {
+  std::vector<Edge> edges;
+  const auto target = static_cast<std::int64_t>(density * n * n);
+  for (std::int64_t e = 0; e < target; ++e)
+    edges.emplace_back(
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n))),
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n))));
+  return edges;
+}
+
+TEST(SccProperty, MatchesBruteForceOnSmallRandomDigraphs) {
+  // Tarjan vs transitive-closure components on ~200 random graphs.
+  Rng rng(20260731);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto n = static_cast<std::int32_t>(2 + rng.below(9));
+    const auto edges = random_edges(rng, n, rng.uniform(0.05, 0.5));
+    const SccResult scc = strongly_connected_components(Digraph(n, edges));
+    const auto brute = brute_force_components(n, edges);
+    ASSERT_EQ(scc.component_of.size(), brute.size());
+    // Same partition: component ids agree up to relabeling.
+    for (std::int32_t u = 0; u < n; ++u)
+      for (std::int32_t v = u + 1; v < n; ++v)
+        ASSERT_EQ(scc.component_of[static_cast<std::size_t>(u)] ==
+                      scc.component_of[static_cast<std::size_t>(v)],
+                  brute[static_cast<std::size_t>(u)] ==
+                      brute[static_cast<std::size_t>(v)])
+            << "trial " << trial << " vertices " << u << "," << v;
+  }
+}
+
+TEST(SccProperty, RandomDigraphCycleBreaking) {
+  // The cycle-breaking invariants on ~300 random digraphs of mixed size
+  // and density:
+  //   1. node coverage: every vertex gets exactly one component, sizes sum
+  //      to n, and ids stay within [0, num_components);
+  //   2. the condensation is acyclic;
+  //   3. the kept (non-cut) edges form an acyclic graph;
+  //   4. every cut edge lies strictly inside an SCC.
+  Rng rng(42424242);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto n = static_cast<std::int32_t>(1 + rng.below(60));
+    const auto edges = random_edges(rng, n, rng.uniform(0.01, 0.2));
+    const Digraph g(n, edges);
+
+    const SccResult scc = strongly_connected_components(g);
+    std::int64_t covered = 0;
+    for (const auto c : scc.component_of) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, scc.num_components);
+      ++covered;
+    }
+    ASSERT_EQ(covered, n);
+    const auto sizes = scc.component_sizes();
+    std::int64_t total = 0;
+    for (const auto s : sizes) {
+      ASSERT_GE(s, 1);
+      total += s;
+    }
+    ASSERT_EQ(total, n);
+
+    ASSERT_TRUE(condensation(g, scc).is_acyclic()) << "trial " << trial;
+
+    const CycleBreak cb = break_cycles(n, edges);
+    std::vector<Edge> kept;
+    std::int64_t cut_count = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (cb.cut[e]) {
+        ++cut_count;
+        // Property 4: a cut edge's endpoints are mutually reachable.
+        ASSERT_EQ(scc.component_of[static_cast<std::size_t>(edges[e].first)],
+                  scc.component_of[static_cast<std::size_t>(edges[e].second)])
+            << "trial " << trial << " cut edge " << edges[e].first << "→"
+            << edges[e].second << " crosses components";
+      } else {
+        kept.push_back(edges[e]);
+      }
+    }
+    ASSERT_EQ(cut_count, cb.stats.edges_cut);
+    ASSERT_TRUE(Digraph(n, kept).is_acyclic()) << "trial " << trial;
+    // Acyclic input ⇔ nothing cut.
+    ASSERT_EQ(cb.stats.edges_cut == 0, g.is_acyclic());
+  }
+}
+
+TEST(SccProperty, LdcpPriorityTolerantOfCycles) {
+  // patch_priorities with LDCP must survive a cyclic patch graph (falls
+  // back to condensation depths) and still rank strictly-upwind components
+  // higher.
+  const Digraph g(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}});
+  const auto prio = patch_priorities(PriorityStrategy::LDCP, g);
+  EXPECT_GT(prio[0], prio[2]);
+  EXPECT_GT(prio[2], prio[3]);
+  EXPECT_DOUBLE_EQ(prio[0], prio[1]);  // same component, same depth
+}
+
+TEST(SweepDag, CyclicGeneratorsAreActuallyCyclic) {
+  // The advertised cyclic meshes must produce cycles under the quadrature
+  // the solver tests use — and the cut must make every direction acyclic.
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  {
+    const mesh::TetMesh m = mesh::make_twisted_column_mesh();
+    int cyclic = 0;
+    for (const auto& ang : quad.ordinates()) {
+      const CycleCut cut = compute_cycle_cut(m, ang.dir);
+      if (cut.empty()) continue;
+      ++cyclic;
+      EXPECT_TRUE(
+          build_global_cell_digraph(m, ang.dir, &cut).is_acyclic());
+      EXPECT_EQ(static_cast<std::int64_t>(cut.lagged_faces.size()),
+                cut.stats.edges_cut);
+    }
+    // The default twisted column is cyclic in every S2 direction.
+    EXPECT_EQ(cyclic, quad.num_angles());
+  }
+  {
+    const mesh::TetMesh m = mesh::make_swirled_ball_mesh(6, 3.0);
+    int cyclic = 0;
+    for (const auto& ang : quad.ordinates()) {
+      const CycleCut cut = compute_cycle_cut(m, ang.dir);
+      if (cut.empty()) continue;
+      ++cyclic;
+      EXPECT_TRUE(
+          build_global_cell_digraph(m, ang.dir, &cut).is_acyclic());
+    }
+    EXPECT_GE(cyclic, 2);  // randomized mode: most directions in practice
+  }
+  {
+    // Control: the straight generators stay acyclic everywhere.
+    const mesh::TetMesh m = mesh::make_ball_mesh(5, 3.0);
+    for (const auto& ang : quad.ordinates())
+      EXPECT_TRUE(compute_cycle_cut(m, ang.dir).empty());
+  }
+}
+
+TEST(SweepDag, CutTaskGraphsExcludeLaggedDependencies) {
+  // Building patch task graphs against a cut: lagged edges disappear from
+  // counts/local digraph, land in the lagged lists, and the union of
+  // normal + lagged edges equals the uncut graph's edges.
+  const mesh::TetMesh m = mesh::make_twisted_column_mesh();
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 4);
+  const partition::PatchSet ps(part, 4, &cg);
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const mesh::Vec3 omega = quad.angle(0).dir;
+  const CycleCut cut = compute_cycle_cut(m, omega);
+  ASSERT_FALSE(cut.empty());
+
+  std::int64_t lagged_seen = 0;
+  for (int p = 0; p < 4; ++p) {
+    const PatchTaskGraph uncut =
+        build_patch_task_graph(m, ps, PatchId{p}, omega, AngleId{0});
+    const PatchTaskGraph with_cut =
+        build_patch_task_graph(m, ps, PatchId{p}, omega, AngleId{0}, &cut);
+    EXPECT_EQ(uncut.local_edges.size(), with_cut.local_edges.size() +
+                                            with_cut.lagged_local.size());
+    EXPECT_EQ(uncut.remote_in.size(),
+              with_cut.remote_in.size() + with_cut.lagged_in.size());
+    EXPECT_EQ(uncut.remote_out.size(),
+              with_cut.remote_out.size() + with_cut.lagged_out.size());
+    EXPECT_TRUE(with_cut.local.is_acyclic());
+    lagged_seen += static_cast<std::int64_t>(with_cut.lagged_local.size());
+    for (const auto& e : with_cut.lagged_local)
+      EXPECT_TRUE(cut.contains(e.face));
+    for (const auto& e : with_cut.lagged_in)
+      EXPECT_TRUE(cut.contains(e.face));
+    // Counts must reflect only the kept dependencies.
+    std::vector<std::int32_t> expect_counts(
+        static_cast<std::size_t>(with_cut.num_vertices), 0);
+    for (const auto& e : with_cut.local_edges)
+      ++expect_counts[static_cast<std::size_t>(e.v)];
+    for (const auto& e : with_cut.remote_in)
+      ++expect_counts[static_cast<std::size_t>(e.v)];
+    EXPECT_EQ(with_cut.initial_counts, expect_counts);
+    // Cross-patch lagged edges show up once as lagged_out (upwind side)
+    // and once as lagged_in (downwind side).
+    lagged_seen += static_cast<std::int64_t>(with_cut.lagged_out.size());
+  }
+  // Every cut face appears somewhere: as a lagged local edge (once) or as
+  // a lagged_out (the matching lagged_in is the same face).
+  EXPECT_EQ(lagged_seen, cut.stats.edges_cut);
 }
 
 }  // namespace

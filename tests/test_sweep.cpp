@@ -21,6 +21,39 @@
 namespace jsweep::sweep {
 namespace {
 
+TEST(LaggedFluxStore, SlotLifecycleAndCommit) {
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    LaggedFluxStore store;
+    EXPECT_TRUE(store.empty());
+    store.add_slot(0, 100);
+    store.add_slot(0, 200);
+    store.add_slot(3, 100);  // same face, different angle = distinct slot
+    EXPECT_EQ(store.num_slots(), 3);
+    // First sweep reads the vacuum iterate.
+    EXPECT_EQ(store.prev(0, 100), 0.0);
+    // Each "rank" owns disjoint slots.
+    if (ctx.rank().value() == 0) {
+      store.stage(0, 100, 2.0);
+      store.stage(0, 200, 4.0);
+    } else {
+      store.stage(3, 100, 8.0);
+    }
+    const double residual = store.commit(ctx);
+    EXPECT_DOUBLE_EQ(residual, 8.0);  // identical on every rank
+    EXPECT_DOUBLE_EQ(store.prev(0, 100), 2.0);
+    EXPECT_DOUBLE_EQ(store.prev(0, 200), 4.0);
+    EXPECT_DOUBLE_EQ(store.prev(3, 100), 8.0);
+    // A second commit with closer values shrinks the residual.
+    if (ctx.rank().value() == 0) {
+      store.stage(0, 100, 2.5);
+      store.stage(0, 200, 4.0);
+    } else {
+      store.stage(3, 100, 8.0);
+    }
+    EXPECT_DOUBLE_EQ(store.commit(ctx), 0.5);
+  });
+}
+
 /// Shared structured fixture: Kobayashi 8³ mesh in 2³-cell patches.
 struct StructuredCase {
   StructuredCase()
