@@ -131,7 +131,10 @@ void BspEngine::run() {
             prog.init();
             slot.initialized = true;
           }
-          for (const auto& s : slot.inbox) prog.input(s);
+          for (auto& s : slot.inbox) {
+            prog.input(s);
+            buffer_pool_.release(std::move(s.data));
+          }
           slot.inbox.clear();
           const auto before = prog.remaining_work();
           prog.compute();
@@ -182,6 +185,7 @@ void BspEngine::run() {
       auto& staged = staging[static_cast<std::size_t>(r)];
       if (staged.empty()) continue;
       ctx_.send(RankId{r}, comm::kTagStream, pack_streams(staged));
+      for (auto& s : staged) buffer_pool_.release(std::move(s.data));
       staged.clear();
     }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "core/buffer_pool.hpp"
 #include "core/patch_program.hpp"
 #include "core/thread_pool.hpp"
 
@@ -60,6 +61,9 @@ class BspEngine {
 
   [[nodiscard]] const BspStats& stats() const { return stats_; }
 
+  /// Stream payload recycling (see core::Engine::buffer_pool).
+  [[nodiscard]] BufferPool& buffer_pool() { return buffer_pool_; }
+
  private:
   struct Slot {
     std::unique_ptr<PatchProgram> program;
@@ -76,6 +80,7 @@ class BspEngine {
   comm::Context& ctx_;
   BspConfig config_;
   BspStats stats_;
+  BufferPool buffer_pool_;
   trace::Track* trace_master_ = nullptr;  ///< this rank's master track
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<ProgramKey, Slot*> by_key_;

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file buffer_pool.hpp
+/// Recycling pool for stream payload byte buffers. Every compute batch
+/// used to heap-allocate a fresh comm::Bytes per destination stream and
+/// free it after delivery; instead, programs draw buffers here (worker
+/// threads) and the engine returns them once the payload is consumed —
+/// after a local stream's items are applied, or after remote streams are
+/// packed into a wire message. Steady-state sweeps then recycle a small
+/// working set of buffers instead of churning the allocator.
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "comm/serialize.hpp"
+
+namespace jsweep::core {
+
+class BufferPool {
+ public:
+  /// An empty buffer, recycled (with its old capacity) when one is free.
+  [[nodiscard]] comm::Bytes acquire() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    if (free_.empty()) return {};
+    ++reuses_;
+    comm::Bytes b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();  // keeps capacity
+    return b;
+  }
+
+  /// Return a consumed payload. Capacity is retained for reuse; the free
+  /// list is capped so a traffic burst cannot pin memory forever.
+  void release(comm::Bytes&& b) {
+    if (b.capacity() == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.size() >= kMaxFree) return;  // drop: deallocates
+    free_.push_back(std::move(b));
+    free_.back().clear();
+  }
+
+  [[nodiscard]] std::int64_t acquires() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return acquires_;
+  }
+  [[nodiscard]] std::int64_t reuses() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+
+ private:
+  static constexpr std::size_t kMaxFree = 4096;
+
+  mutable std::mutex mutex_;
+  std::vector<comm::Bytes> free_;
+  std::int64_t acquires_ = 0;
+  std::int64_t reuses_ = 0;
+};
+
+}  // namespace jsweep::core

@@ -154,7 +154,11 @@ Engine::Completion Engine::execute(ProgramState& ps) {
     const std::lock_guard<std::mutex> lock(ps.inbox_mutex);
     arrived.swap(ps.inbox);
   }
-  for (const auto& s : arrived) prog.input(s);
+  for (auto& s : arrived) {
+    prog.input(s);
+    // Payload consumed; recycle the buffer for a future encode.
+    buffer_pool_.release(std::move(s.data));
+  }
 
   const std::int64_t before = prog.remaining_work();
   prog.compute();
@@ -256,6 +260,8 @@ void Engine::flush_remote() {
       trace_master_->record(e);
     }
     ++stats_.messages_sent;
+    // The streams' payloads were copied onto the wire; recycle them.
+    for (auto& s : staged) buffer_pool_.release(std::move(s.data));
     staged.clear();
   }
 }

@@ -23,6 +23,7 @@
 
 #include "comm/cluster.hpp"
 #include "comm/termination.hpp"
+#include "core/buffer_pool.hpp"
 #include "core/patch_program.hpp"
 #include "support/timer.hpp"
 
@@ -88,6 +89,11 @@ class Engine {
   /// Number of registered local programs.
   [[nodiscard]] std::size_t num_programs() const { return programs_.size(); }
 
+  /// Recycling pool for stream payload buffers: programs draw encode
+  /// buffers here; the engine returns every payload once it is consumed
+  /// (applied locally or packed onto the wire).
+  [[nodiscard]] BufferPool& buffer_pool() { return buffer_pool_; }
+
  private:
   struct ProgramState;
   struct Worker;
@@ -107,6 +113,7 @@ class Engine {
   comm::Context& ctx_;
   EngineConfig config_;
   EngineStats stats_;
+  BufferPool buffer_pool_;
   trace::Track* trace_master_ = nullptr;  ///< this rank's master track
 
   std::unordered_map<ProgramKey, std::unique_ptr<ProgramState>> programs_;

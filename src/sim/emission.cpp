@@ -62,7 +62,7 @@ TransferCurves curves_from_task_data(const sweep::SweepTaskData& data,
   // Per-vertex remote edge counts.
   std::vector<std::int32_t> remote_out(static_cast<std::size_t>(n), 0);
   for (std::int32_t v = 0; v < n; ++v)
-    data.for_out_remote(v, [&](const graph::RemoteOutEdge&) {
+    data.for_out_remote(v, [&](const sweep::RemoteOut&) {
       ++remote_out[static_cast<std::size_t>(v)];
     });
   std::vector<std::int32_t> remote_in(static_cast<std::size_t>(n), 0);

@@ -22,6 +22,42 @@ StructuredDD::StructuredDD(const mesh::StructuredMesh& m, CellXs xs,
                m.num_cells());
 }
 
+// The dense and map kernels must perform the identical floating-point
+// operations in the identical order — the dense path replaces only *where*
+// face fluxes live, never the arithmetic — so results stay bitwise equal.
+
+double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
+                                const std::vector<double>& q_per_ster,
+                                const FaceFluxView& flux) const {
+  const mesh::Vec3 sp = mesh_.spacing();
+  const mesh::Vec3 omega = ang.dir;
+
+  const std::array<double, 3> absmu{std::abs(omega.x), std::abs(omega.y),
+                                    std::abs(omega.z)};
+  const std::array<double, 3> width{sp.x, sp.y, sp.z};
+
+  double numerator = q_per_ster[static_cast<std::size_t>(c.value())];
+  double denominator = xs_.sigma_t[static_cast<std::size_t>(c.value())];
+  std::array<double, 3> psi_in{};
+  for (int axis = 0; axis < 3; ++axis) {
+    const double alpha = 2.0 * absmu[static_cast<std::size_t>(axis)] /
+                         width[static_cast<std::size_t>(axis)];
+    const double in = flux.read_in(axis);  // vacuum slot reads 0
+    psi_in[static_cast<std::size_t>(axis)] = in;
+    numerator += alpha * in;
+    denominator += alpha;
+  }
+
+  const double psi_c = numerator / denominator;
+
+  for (int axis = 0; axis < 3; ++axis) {
+    double out = 2.0 * psi_c - psi_in[static_cast<std::size_t>(axis)];
+    if (fixup_ && out < 0.0) out = 0.0;
+    flux.write_out(axis, out);
+  }
+  return psi_c;
+}
+
 double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
                                 const std::vector<double>& q_per_ster,
                                 FaceFluxMap& flux) const {
@@ -66,10 +102,64 @@ double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
   return psi_c;
 }
 
+void StructuredDD::face_ids(CellId c, const Ordinate& ang,
+                            CellFaceIds& ids) const {
+  const mesh::Vec3 omega = ang.dir;
+  const std::array<mesh::FaceDir, 3> in_dir{
+      omega.x > 0 ? mesh::FaceDir::XLo : mesh::FaceDir::XHi,
+      omega.y > 0 ? mesh::FaceDir::YLo : mesh::FaceDir::YHi,
+      omega.z > 0 ? mesh::FaceDir::ZLo : mesh::FaceDir::ZHi};
+  ids = CellFaceIds{};
+  ids.count = 3;
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto d = in_dir[static_cast<std::size_t>(axis)];
+    const auto nb = mesh_.neighbor(c, d);
+    ids.in[static_cast<std::size_t>(axis)] =
+        nb ? graph::structured_face_id(*nb, mesh::opposite(d))
+           : CellFaceIds::kNone;
+    ids.out[static_cast<std::size_t>(axis)] =
+        graph::structured_face_id(c, mesh::opposite(d));
+  }
+}
+
 TetStep::TetStep(const mesh::TetMesh& m, CellXs xs)
     : mesh_(m), xs_(std::move(xs)) {
   JSWEEP_CHECK(static_cast<std::int64_t>(xs_.sigma_t.size()) ==
                m.num_cells());
+}
+
+double TetStep::sweep_cell(CellId c, const Ordinate& ang,
+                           const std::vector<double>& q_per_ster,
+                           const FaceFluxView& flux) const {
+  const double volume = mesh_.cell_volume(c);
+  const mesh::Vec3 omega = ang.dir;
+
+  double numerator =
+      q_per_ster[static_cast<std::size_t>(c.value())] * volume;
+  double denominator =
+      xs_.sigma_t[static_cast<std::size_t>(c.value())] * volume;
+
+  // First pass: gather inflow and accumulate outflow coefficients, in cell
+  // face order (entry k of the slot record is cell_faces(c)[k]).
+  const auto& faces = mesh_.cell_faces(c);
+  std::array<double, 4> adot{};
+  for (int k = 0; k < 4; ++k) {
+    const mesh::Vec3 area =
+        mesh_.outward_area(faces[static_cast<std::size_t>(k)], c);
+    const double a = dot(area, omega);
+    adot[static_cast<std::size_t>(k)] = a;
+    if (a > 0.0) {
+      denominator += a;
+    } else if (a < 0.0) {
+      numerator += (-a) * flux.read_in(k);
+    }
+  }
+  const double psi_c = numerator / denominator;
+
+  // Second pass: the step scheme's outgoing face flux equals ψ_c.
+  for (int k = 0; k < 4; ++k)
+    if (adot[static_cast<std::size_t>(k)] > 0.0) flux.write_out(k, psi_c);
+  return psi_c;
 }
 
 double TetStep::sweep_cell(CellId c, const Ordinate& ang,
@@ -101,6 +191,22 @@ double TetStep::sweep_cell(CellId c, const Ordinate& ang,
     if (dot(area, omega) > 0.0) flux[f] = psi_c;
   }
   return psi_c;
+}
+
+void TetStep::face_ids(CellId c, const Ordinate& ang,
+                       CellFaceIds& ids) const {
+  const mesh::Vec3 omega = ang.dir;
+  ids = CellFaceIds{};
+  ids.count = 4;
+  const auto& faces = mesh_.cell_faces(c);
+  for (int k = 0; k < 4; ++k) {
+    const std::int64_t f = faces[static_cast<std::size_t>(k)];
+    const double adot = dot(mesh_.outward_area(f, c), omega);
+    // Same exact sign tests as the kernels: a grazing face (adot == 0)
+    // carries no flux either way.
+    if (adot < 0.0) ids.in[static_cast<std::size_t>(k)] = f;
+    if (adot > 0.0) ids.out[static_cast<std::size_t>(k)] = f;
+  }
 }
 
 }  // namespace jsweep::sn

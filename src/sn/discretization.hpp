@@ -10,9 +10,17 @@
 /// - TetStep: upwind step (first-order finite volume) on tetrahedra (the
 ///   JSNT-U-style kernel). Always positive and strictly conservative.
 ///
-/// Face fluxes live in a FaceFluxMap keyed by global face id: the mesh face
-/// index for tets, structured_face_id(upwind_cell, out_dir) for structured
-/// meshes. A missing key reads as 0 (vacuum boundary).
+/// Two flux interfaces, bitwise-identical in results:
+///   - the *dense* hot path: face fluxes live in a FaceFluxWorkspace
+///     (sn/face_flux.hpp) and the kernel receives the cell's precomputed
+///     slots through a FaceFluxView — no hashing, no allocation. face_ids()
+///     enumerates the global faces a cell touches so callers can build the
+///     slot index up front.
+///   - the retained *reference* path: a FaceFluxMap keyed by global face id
+///     (the mesh face index for tets, structured_face_id(upwind_cell,
+///     out_dir) for structured meshes). A missing key reads as 0 (vacuum
+///     boundary). Kept for ground-truth tests and the hash-map side of the
+///     bench_micro kernel-grind comparison.
 
 #include <cstdint>
 #include <unordered_map>
@@ -21,6 +29,7 @@
 #include "graph/sweep_dag.hpp"
 #include "mesh/structured_mesh.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 #include "sn/xs.hpp"
 
@@ -33,12 +42,23 @@ class Discretization {
  public:
   virtual ~Discretization() = default;
 
-  /// Compute cell `c` for ordinate `ang` with per-steradian total source
-  /// `q_per_ster[c]`; reads incoming and writes outgoing face fluxes in
-  /// `flux`. Returns the cell-average angular flux ψ_c.
+  /// Dense hot path: compute cell `c` for ordinate `ang` with per-steradian
+  /// total source `q_per_ster[c]`; reads incoming and writes outgoing face
+  /// fluxes through `flux` (workspace + this cell's precomputed slots).
+  /// Returns the cell-average angular flux ψ_c.
+  virtual double sweep_cell(CellId c, const Ordinate& ang,
+                            const std::vector<double>& q_per_ster,
+                            const FaceFluxView& flux) const = 0;
+
+  /// Reference path (hash map); same arithmetic, same results.
   virtual double sweep_cell(CellId c, const Ordinate& ang,
                             const std::vector<double>& q_per_ster,
                             FaceFluxMap& flux) const = 0;
+
+  /// Enumerate the global faces sweep_cell touches for (c, ang), in the
+  /// entry order the dense kernel consumes slots. Build-time only.
+  virtual void face_ids(CellId c, const Ordinate& ang,
+                        CellFaceIds& ids) const = 0;
 
   [[nodiscard]] virtual std::int64_t num_cells() const = 0;
   [[nodiscard]] virtual double cell_volume(CellId c) const = 0;
@@ -55,7 +75,12 @@ class StructuredDD final : public Discretization {
 
   double sweep_cell(CellId c, const Ordinate& ang,
                     const std::vector<double>& q_per_ster,
+                    const FaceFluxView& flux) const override;
+  double sweep_cell(CellId c, const Ordinate& ang,
+                    const std::vector<double>& q_per_ster,
                     FaceFluxMap& flux) const override;
+  void face_ids(CellId c, const Ordinate& ang,
+                CellFaceIds& ids) const override;
 
   [[nodiscard]] std::int64_t num_cells() const override {
     return mesh_.num_cells();
@@ -79,7 +104,12 @@ class TetStep final : public Discretization {
 
   double sweep_cell(CellId c, const Ordinate& ang,
                     const std::vector<double>& q_per_ster,
+                    const FaceFluxView& flux) const override;
+  double sweep_cell(CellId c, const Ordinate& ang,
+                    const std::vector<double>& q_per_ster,
                     FaceFluxMap& flux) const override;
+  void face_ids(CellId c, const Ordinate& ang,
+                CellFaceIds& ids) const override;
 
   [[nodiscard]] std::int64_t num_cells() const override {
     return mesh_.num_cells();

@@ -1,0 +1,226 @@
+#pragma once
+
+/// \file face_flux.hpp
+/// Dense face-flux storage for the sweep hot path.
+///
+/// The per-cell kernels used to read and write angular face fluxes through
+/// a std::unordered_map keyed by global face id — 4–6 hash operations per
+/// cell per angle. Instead, every face a (patch, angle) task can touch is
+/// assigned a dense local *slot* at build time, and the kernels run against
+/// a FaceFluxWorkspace: a flat double array with an epoch stamp per slot.
+///
+///   - read(slot)  : one indexed load + one epoch compare; a slot not
+///     written in the current epoch reads 0 (the vacuum boundary, matching
+///     the map's missing-key semantics);
+///   - write(slot) : one indexed store + epoch stamp;
+///   - reset()     : O(1) — bump the epoch instead of clearing memory.
+///
+/// Workspaces are recycled through a FaceFluxPool shared by all programs of
+/// a solver: a program borrows one sized for its slot count at init() and
+/// returns it when its last vertex retires, so steady-state sweeps allocate
+/// nothing and the number of live workspaces tracks the number of
+/// *concurrently active* programs, not the total program count.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::sn {
+
+/// Global face ids a kernel touches when sweeping one cell for one
+/// ordinate, in kernel-defined entry order (structured: 3 axis pairs;
+/// tets: the 4 cell faces). -1 marks "no face in this role" — a vacuum
+/// boundary inflow or an entry the kernel will not write.
+struct CellFaceIds {
+  static constexpr std::int64_t kNone = -1;
+  int count = 0;  ///< active entries (3 for StructuredDD, 4 for TetStep)
+  std::array<std::int64_t, 4> in{kNone, kNone, kNone, kNone};
+  std::array<std::int64_t, 4> out{kNone, kNone, kNone, kNone};
+};
+
+/// The dense counterpart of CellFaceIds: each global face id resolved to a
+/// workspace slot. Precomputed once per (patch, angle) task.
+struct CellFaceSlots {
+  static constexpr std::int32_t kNone = -1;
+  std::array<std::int32_t, 4> in{kNone, kNone, kNone, kNone};
+  std::array<std::int32_t, 4> out{kNone, kNone, kNone, kNone};
+};
+
+/// Identity resolution for whole-mesh sweeps (serial reference, benches,
+/// calibration) where global face ids are already dense: slot == face id.
+[[nodiscard]] inline CellFaceSlots identity_slots(const CellFaceIds& ids) {
+  CellFaceSlots s;
+  for (int k = 0; k < ids.count; ++k) {
+    JSWEEP_ASSERT(ids.in[static_cast<std::size_t>(k)] < INT32_MAX &&
+                  ids.out[static_cast<std::size_t>(k)] < INT32_MAX);
+    s.in[static_cast<std::size_t>(k)] =
+        static_cast<std::int32_t>(ids.in[static_cast<std::size_t>(k)]);
+    s.out[static_cast<std::size_t>(k)] =
+        static_cast<std::int32_t>(ids.out[static_cast<std::size_t>(k)]);
+  }
+  return s;
+}
+
+/// Identity-resolved slots for every cell of a whole-mesh sweep: one
+/// record per cell. `Disc` is any kernel exposing num_cells() and
+/// face_ids() — a template so this header need not depend on
+/// sn/discretization.hpp.
+template <class Disc, class Ord>
+[[nodiscard]] std::vector<CellFaceSlots> build_identity_slots(
+    const Disc& disc, const Ord& ang) {
+  std::vector<CellFaceSlots> slots(
+      static_cast<std::size_t>(disc.num_cells()));
+  CellFaceIds ids;
+  for (std::int64_t c = 0; c < disc.num_cells(); ++c) {
+    disc.face_ids(CellId{c}, ang, ids);
+    slots[static_cast<std::size_t>(c)] = identity_slots(ids);
+  }
+  return slots;
+}
+
+/// Flat face-flux array with per-slot epoch stamps. Not thread-safe; one
+/// workspace belongs to one program execution at a time.
+class FaceFluxWorkspace {
+ public:
+  /// Make the workspace usable for `num_slots` slots and reset it. Only
+  /// grows capacity; shrinking keeps the allocation (pool reuse).
+  void prepare(std::int64_t num_slots) {
+    JSWEEP_CHECK(num_slots >= 0 && num_slots < INT32_MAX);
+    if (static_cast<std::size_t>(num_slots) > values_.size()) {
+      values_.resize(static_cast<std::size_t>(num_slots));
+      epoch_.resize(static_cast<std::size_t>(num_slots), 0);
+    }
+    num_slots_ = num_slots;
+    reset();
+  }
+
+  /// O(1) bulk reset: every slot becomes "unwritten" (reads 0).
+  void reset() {
+    if (++current_ == 0) {  // epoch wrapped: re-zero stamps, restart at 1
+      std::fill(epoch_.begin(), epoch_.end(), 0u);
+      current_ = 1;
+    }
+  }
+
+  [[nodiscard]] double read(std::int32_t slot) const {
+    JSWEEP_ASSERT(slot >= 0 && slot < num_slots_);
+    return epoch_[static_cast<std::size_t>(slot)] == current_
+               ? values_[static_cast<std::size_t>(slot)]
+               : 0.0;
+  }
+
+  /// True iff the slot was written since the last reset().
+  [[nodiscard]] bool has(std::int32_t slot) const {
+    JSWEEP_ASSERT(slot >= 0 && slot < num_slots_);
+    return epoch_[static_cast<std::size_t>(slot)] == current_;
+  }
+
+  void write(std::int32_t slot, double value) {
+    JSWEEP_ASSERT(slot >= 0 && slot < num_slots_);
+    values_[static_cast<std::size_t>(slot)] = value;
+    epoch_[static_cast<std::size_t>(slot)] = current_;
+  }
+
+  [[nodiscard]] std::int64_t num_slots() const { return num_slots_; }
+  [[nodiscard]] std::int64_t capacity() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+ private:
+  std::vector<double> values_;
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t current_ = 1;
+  std::int32_t num_slots_ = 0;
+};
+
+/// What a kernel sees for one cell: the workspace plus that cell's
+/// precomputed slots. Missing `in` slots read 0 (vacuum boundary).
+struct FaceFluxView {
+  FaceFluxWorkspace* ws = nullptr;
+  const CellFaceSlots* slots = nullptr;
+
+  [[nodiscard]] double read_in(int k) const {
+    const std::int32_t s = slots->in[static_cast<std::size_t>(k)];
+    return s >= 0 ? ws->read(s) : 0.0;
+  }
+  void write_out(int k, double value) const {
+    const std::int32_t s = slots->out[static_cast<std::size_t>(k)];
+    JSWEEP_ASSERT(s >= 0);
+    ws->write(s, value);
+  }
+};
+
+/// Thread-safe recycling pool of workspaces, shared by every program of a
+/// solver (workers borrow lazily, return at retirement). Keyed by slot
+/// count: the free list stays sorted by capacity, so acquire() finds the
+/// smallest free workspace that already fits in O(log n) — large tasks do
+/// not pin oversized buffers forever and small ones do not grow them.
+class FaceFluxPool {
+ public:
+  [[nodiscard]] FaceFluxWorkspace* acquire(std::int64_t num_slots) {
+    FaceFluxWorkspace* ws = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++acquires_;
+      if (!free_.empty()) {
+        ++reuses_;
+        // Smallest free workspace with enough capacity; no fit means all
+        // are smaller — grow the largest (the back).
+        auto it = std::lower_bound(
+            free_.begin(), free_.end(), num_slots,
+            [](const FaceFluxWorkspace* w, std::int64_t n) {
+              return w->capacity() < n;
+            });
+        if (it == free_.end()) --it;
+        ws = *it;
+        free_.erase(it);
+      } else {
+        owned_.push_back(std::make_unique<FaceFluxWorkspace>());
+        ws = owned_.back().get();
+      }
+    }
+    ws->prepare(num_slots);
+    return ws;
+  }
+
+  void release(FaceFluxWorkspace* ws) {
+    if (ws == nullptr) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::upper_bound(
+        free_.begin(), free_.end(), ws->capacity(),
+        [](std::int64_t cap, const FaceFluxWorkspace* w) {
+          return cap < w->capacity();
+        });
+    free_.insert(it, ws);
+  }
+
+  /// Workspaces ever allocated — with pooling this tracks the peak number
+  /// of concurrently active programs, not the total program count.
+  [[nodiscard]] std::int64_t created() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<std::int64_t>(owned_.size());
+  }
+  [[nodiscard]] std::int64_t acquires() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return acquires_;
+  }
+  [[nodiscard]] std::int64_t reuses() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reuses_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<FaceFluxWorkspace>> owned_;
+  std::vector<FaceFluxWorkspace*> free_;
+  std::int64_t acquires_ = 0;
+  std::int64_t reuses_ = 0;
+};
+
+}  // namespace jsweep::sn

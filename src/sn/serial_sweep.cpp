@@ -63,6 +63,10 @@ std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
 SerialSweeper::SerialSweeper(const TetStep& disc, const Quadrature& quad)
     : disc_(disc), quad_(quad) {
   const mesh::TetMesh& m = disc_.mesh();
+  // Dense face-flux layout: mesh face ids are already dense, so the
+  // workspace slot of a face is the face id itself (identity resolution).
+  JSWEEP_CHECK(m.num_faces() < INT32_MAX);
+  flux_.prepare(m.num_faces());
   angles_.resize(static_cast<std::size_t>(quad_.num_angles()));
   for (int a = 0; a < quad_.num_angles(); ++a) {
     AngleState& st = angles_[static_cast<std::size_t>(a)];
@@ -79,6 +83,7 @@ SerialSweeper::SerialSweeper(const TetStep& disc, const Quadrature& quad)
                      "cut graph still cyclic for direction "
                          << quad_.angle(a).dir);
     st.order = *order;
+    st.slots = build_identity_slots(disc_, quad_.angle(a));
   }
 }
 
@@ -87,16 +92,18 @@ std::vector<double> SerialSweeper::sweep(
   const mesh::TetMesh& m = disc_.mesh();
   std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
 
-  FaceFluxMap flux;
   for (int a = 0; a < quad_.num_angles(); ++a) {
     AngleState& st = angles_[static_cast<std::size_t>(a)];
     const Ordinate& ang = quad_.angle(a);
-    flux.clear();
+    flux_.reset();
     // Seed the cut faces with the previous sweep's iterates.
-    for (const auto& [face, value] : st.prev) flux[face] = value;
+    for (const auto& [face, value] : st.prev)
+      flux_.write(static_cast<std::int32_t>(face), value);
     for (const auto v : st.order) {
       const CellId c{v};
-      const double psi = disc_.sweep_cell(c, ang, q_per_ster, flux);
+      const FaceFluxView view{
+          &flux_, &st.slots[static_cast<std::size_t>(v)]};
+      const double psi = disc_.sweep_cell(c, ang, q_per_ster, view);
       phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
       if (st.cut.empty()) continue;
       // Stage freshly written cut faces and restore the old iterate so
@@ -106,10 +113,10 @@ std::vector<double> SerialSweeper::sweep(
         if (!st.cut.contains(f)) continue;
         const mesh::Vec3 area = m.outward_area(f, c);
         if (dot(area, ang.dir) <= graph::kGrazingTol * norm(area)) continue;
-        const auto it = flux.find(f);
-        JSWEEP_ASSERT(it != flux.end());
-        st.next[f] = it->second;
-        it->second = st.prev[f];
+        const auto slot = static_cast<std::int32_t>(f);
+        JSWEEP_ASSERT(flux_.has(slot));
+        st.next[f] = flux_.read(slot);
+        flux_.write(slot, st.prev[f]);
       }
     }
   }

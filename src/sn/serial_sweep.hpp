@@ -13,6 +13,7 @@
 #include "graph/scc.hpp"
 #include "graph/sweep_dag.hpp"
 #include "sn/discretization.hpp"
+#include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 
 namespace jsweep::sn {
@@ -59,6 +60,9 @@ class SerialSweeper {
   struct AngleState {
     graph::CycleCut cut;
     std::vector<std::int32_t> order;  ///< topo order of the cut graph
+    /// Identity-resolved dense slots per cell (slot == mesh face id) —
+    /// the same dense layout the parallel programs sweep against.
+    std::vector<CellFaceSlots> slots;
     std::unordered_map<std::int64_t, double> prev;  ///< lagged iterates
     std::unordered_map<std::int64_t, double> next;
   };
@@ -66,6 +70,8 @@ class SerialSweeper {
   const TetStep& disc_;
   const Quadrature& quad_;
   std::vector<AngleState> angles_;
+  /// Dense face-flux workspace over the whole mesh (reset per angle).
+  FaceFluxWorkspace flux_;
   graph::CycleStats stats_;
   int cyclic_angles_ = 0;
   double residual_ = 0.0;

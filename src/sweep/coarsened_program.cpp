@@ -118,19 +118,20 @@ void CoarsenedSweepProgram::init() {
   ready_ = {};
   for (std::int32_t c = 0; c < data_.num_clusters(); ++c)
     if (counts_[static_cast<std::size_t>(c)] == 0) ready_.push(c);
-  flux_.clear();
-  // Same lagged-face seeding as the fine program (cycle-cut replay).
-  seed_lagged_faces(data_.fine(), shared_.lagged, flux_);
-  out_items_.clear();
-  pending_.clear();
+  lease_.reset_for_run(shared_);
+  prepare_out_buffers(data_.fine(), out_items_, pending_);
   phi_.assign(static_cast<std::size_t>(fine_vertices_), 0.0);
   computed_ = 0;
 }
 
 void CoarsenedSweepProgram::input(const core::Stream& s) {
   JSWEEP_CHECK(s.dst == key());
-  for (const auto& item : decode_items(s.data)) {
-    flux_[item.face] = item.value;
+  JSWEEP_CHECK_MSG(computed_ < fine_vertices_,
+                   "stream delivered to " << key()
+                                          << " after it retired all work");
+  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_.fine());
+  for_each_item(s.data, [&](const StreamItem& item) {
+    flux.write(data_.fine().slot_of_remote_in(item.face), item.value);
     const std::int32_t v =
         shared_.patches->local_index(CellId{item.cell});
     const auto c = data_.cluster_of()[static_cast<std::size_t>(v)];
@@ -138,11 +139,12 @@ void CoarsenedSweepProgram::input(const core::Stream& s) {
     JSWEEP_CHECK_MSG(count > 0, "coarse dependency underflow at cluster "
                                     << c);
     if (--count == 0) ready_.push(c);
-  }
+  });
 }
 
 void CoarsenedSweepProgram::compute() {
   if (ready_.empty()) return;
+  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_.fine());
   const std::int32_t c = ready_.top();
   ready_.pop();
 
@@ -153,28 +155,22 @@ void CoarsenedSweepProgram::compute() {
 
   for (const auto v : data_.members(c)) {
     const CellId cell = cells[static_cast<std::size_t>(v)];
-    const double psi = shared_.disc->sweep_cell(cell, ang, q, flux_);
+    const sn::FaceFluxView view{&flux, &fine.cell_slots(v)};
+    const double psi = shared_.disc->sweep_cell(cell, ang, q, view);
     phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
     ++computed_;
-    fine.for_out_remote(v, [&](const graph::RemoteOutEdge& e) {
-      out_items_[e.dst_patch].push_back(
-          StreamItem{e.dst_cell, e.face, flux_[e.face]});
+    fine.for_out_remote(v, [&](const RemoteOut& e) {
+      out_items_[static_cast<std::size_t>(e.dst)].push_back(
+          StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
     });
-    stage_lagged_writes(fine, shared_.lagged, v, flux_);
+    stage_lagged_writes(fine, shared_.lagged, v, flux);
   }
   data_.for_succ(c, [&](std::int32_t succ) {
     if (--counts_[static_cast<std::size_t>(succ)] == 0) ready_.push(succ);
   });
 
-  for (auto& [dst_patch, items] : out_items_) {
-    if (items.empty()) continue;
-    core::Stream s;
-    s.src = key();
-    s.dst = ProgramKey{dst_patch, key().task};
-    s.data = encode_items(items);
-    items.clear();
-    pending_.push_back(std::move(s));
-  }
+  flush_out_streams(fine, shared_, key(), out_items_, pending_);
+  lease_.release_if(computed_ == fine_vertices_, shared_);
 }
 
 std::optional<core::Stream> CoarsenedSweepProgram::output() {

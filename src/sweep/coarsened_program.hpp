@@ -12,7 +12,6 @@
 /// one that started later — the global coarse graph is acyclic (the
 /// distributed extension of the paper's Theorem 1).
 
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -93,8 +92,8 @@ class CoarsenedSweepProgram final : public core::PatchProgram {
   std::priority_queue<std::int32_t, std::vector<std::int32_t>,
                       std::greater<>>
       ready_;
-  sn::FaceFluxMap flux_;
-  std::map<PatchId, std::vector<StreamItem>> out_items_;
+  WorkspaceLease lease_;
+  std::vector<std::vector<StreamItem>> out_items_;  ///< by destination slot
   std::vector<core::Stream> pending_;
   std::vector<double> phi_;
   std::int64_t computed_ = 0;

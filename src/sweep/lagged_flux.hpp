@@ -53,6 +53,24 @@ class LaggedFluxStore {
     next_[slot(angle, face)] = value;
   }
 
+  // --- Dense (slot-indexed) access ---------------------------------------
+  // The sweep programs resolve (angle, face) once at task-build time and
+  // hit the prev/next arrays directly during sweeps — no hashing in the
+  // hot path.
+
+  /// Resolve the slot registered for (angle, face). Build-time only.
+  [[nodiscard]] std::int32_t slot_index(std::int32_t angle,
+                                        std::int64_t face) const {
+    return static_cast<std::int32_t>(slot(angle, face));
+  }
+
+  [[nodiscard]] double prev_by_slot(std::int32_t s) const {
+    return prev_[static_cast<std::size_t>(s)];
+  }
+  void stage_by_slot(std::int32_t s, double value) {
+    next_[static_cast<std::size_t>(s)] = value;
+  }
+
   /// Collective: assemble the staged values globally, promote them to
   /// `prev`, and return the max |next - prev| residual (identical on all
   /// ranks). Call once per sweep, after the engine run.

@@ -140,12 +140,14 @@ void SweepSolver::build(
     for (const auto p : local_patches) {
       task_data_.push_back(std::make_unique<SweepTaskData>(
           task_builder(p, omega, AngleId{a}, cut.empty() ? nullptr : &cut),
-          config_.vertex_priority));
+          config_.vertex_priority, *shared_.disc, ps_, quad_.angle(a),
+          lagged_store_.empty() ? nullptr : &lagged_store_));
       program_priority_.push_back(graph::combined_priority(
           angle_prior, pprio[static_cast<std::size_t>(p.value())]));
     }
   }
   if (!lagged_store_.empty()) shared_.lagged = &lagged_store_;
+  shared_.flux_pool = &flux_pool_;
 
   install_programs(config_.use_coarsened_graph);
   stats_.build_seconds = timer.seconds();
@@ -159,11 +161,13 @@ void SweepSolver::install_programs(bool record_clusters) {
     ec.termination = core::TerminationMode::KnownWorkload;
     ec.recorder = config_.trace.recorder;
     engine_ = std::make_unique<core::Engine>(ctx_, ec);
+    shared_.stream_buffers = &engine_->buffer_pool();
   } else {
     core::BspConfig bc;
     bc.num_threads = std::max(0, config_.num_workers - 1);
     bc.recorder = config_.trace.recorder;
     bsp_ = std::make_unique<core::BspEngine>(ctx_, bc);
+    shared_.stream_buffers = &bsp_->buffer_pool();
   }
 
   for (std::size_t i = 0; i < task_data_.size(); ++i) {
@@ -217,6 +221,7 @@ void SweepSolver::activate_coarsened() {
   }
   coarse_engine->set_routes(owner_);
   engine_ = std::move(coarse_engine);
+  shared_.stream_buffers = &engine_->buffer_pool();
   programs_.clear();  // fine programs are gone with the old engine
   coarsened_active_ = true;
   stats_.coarsen_seconds += timer.seconds();

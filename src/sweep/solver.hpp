@@ -126,6 +126,12 @@ class SweepSolver {
 
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
+  /// Observability for tests/benches: the shared face-flux workspace pool
+  /// (created/acquire/reuse counters prove steady-state recycling).
+  [[nodiscard]] const sn::FaceFluxPool& flux_pool() const {
+    return flux_pool_;
+  }
+
  private:
   void build(
       const std::function<graph::PatchTaskGraph(
@@ -146,6 +152,9 @@ class SweepSolver {
 
   SweepShared shared_;
   LaggedFluxStore lagged_store_;
+  /// Face-flux workspaces recycled across programs and sweeps (dense hot
+  /// path; see sn/face_flux.hpp).
+  sn::FaceFluxPool flux_pool_;
   std::vector<double> q_current_;
 
   std::vector<std::unique_ptr<SweepTaskData>> task_data_;

@@ -4,8 +4,14 @@
 /// Payload format of sweep streams: a batch of face-flux deliveries. Each
 /// item says "the flux through `face` feeding your cell `cell` is `value`".
 /// Vertex clustering aggregates many items per stream (Sec. V-C benefit 2).
+///
+/// The hot path never materializes item vectors: encode_items_into() fills
+/// a (pooled) byte buffer in place and for_each_item() iterates the payload
+/// directly. encode_items()/decode_items() remain as the allocating
+/// convenience forms for tests and tools.
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "comm/serialize.hpp"
@@ -20,16 +26,56 @@ struct StreamItem {
 
 static_assert(std::is_trivially_copyable_v<StreamItem>);
 
+/// Serialize `items` into `out` (cleared first; capacity is reused, so a
+/// pooled buffer makes steady-state encoding allocation-free).
+inline void encode_items_into(const std::vector<StreamItem>& items,
+                              comm::Bytes& out) {
+  const auto count = static_cast<std::uint64_t>(items.size());
+  out.clear();
+  out.resize(sizeof(count) + items.size() * sizeof(StreamItem));
+  std::memcpy(out.data(), &count, sizeof(count));
+  if (!items.empty())
+    std::memcpy(out.data() + sizeof(count), items.data(),
+                items.size() * sizeof(StreamItem));
+}
+
 inline comm::Bytes encode_items(const std::vector<StreamItem>& items) {
-  comm::ByteWriter w(sizeof(std::uint64_t) +
-                     items.size() * sizeof(StreamItem));
-  w.write_vector(items);
-  return w.take();
+  comm::Bytes out;
+  encode_items_into(items, out);
+  return out;
+}
+
+/// Number of items in an encoded payload (validates the framing).
+inline std::size_t item_count(const comm::Bytes& bytes) {
+  JSWEEP_CHECK_MSG(bytes.size() >= sizeof(std::uint64_t),
+                   "stream payload truncated: " << bytes.size() << " bytes");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  JSWEEP_CHECK_MSG(
+      bytes.size() == sizeof(count) + count * sizeof(StreamItem),
+      "stream payload size mismatch: " << bytes.size() << " bytes for "
+                                       << count << " items");
+  return static_cast<std::size_t>(count);
+}
+
+/// Visit each item of an encoded payload in place — no allocation, no
+/// intermediate vector.
+template <class Fn>
+inline void for_each_item(const comm::Bytes& bytes, Fn&& fn) {
+  const std::size_t count = item_count(bytes);
+  const std::byte* p = bytes.data() + sizeof(std::uint64_t);
+  for (std::size_t i = 0; i < count; ++i, p += sizeof(StreamItem)) {
+    StreamItem item;  // memcpy: payload bytes are not alignment-guaranteed
+    std::memcpy(&item, p, sizeof(item));
+    fn(item);
+  }
 }
 
 inline std::vector<StreamItem> decode_items(const comm::Bytes& bytes) {
-  comm::ByteReader r(bytes);
-  return r.read_vector<StreamItem>();
+  std::vector<StreamItem> items;
+  items.reserve(item_count(bytes));
+  for_each_item(bytes, [&](const StreamItem& it) { items.push_back(it); });
+  return items;
 }
 
 }  // namespace jsweep::sweep

@@ -3,17 +3,25 @@
 /// \file sweep_data.hpp
 /// Immutable per-(patch, angle) sweep data shared by every engine and every
 /// source iteration: the dependency graph in per-vertex CSR form (with face
-/// ids), vertex priorities, and the combined (patch, angle) scheduling
-/// priority. Building this once and reusing it across iterations mirrors
-/// the paper's constant-mesh assumption (Sec. V-E).
+/// ids), vertex priorities, the combined (patch, angle) scheduling
+/// priority, and the *dense face-flux index* — every face this task can
+/// touch (upwind in, interior, downwind out, lagged) resolved to a compact
+/// workspace slot so the kernels and the stream paths never hash at run
+/// time. Building this once and reusing it across iterations mirrors the
+/// paper's constant-mesh assumption (Sec. V-E).
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "graph/priority.hpp"
 #include "graph/sweep_dag.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/discretization.hpp"
+#include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 #include "support/ids.hpp"
+#include "sweep/lagged_flux.hpp"
 
 namespace jsweep::sweep {
 
@@ -23,8 +31,36 @@ struct OutLocal {
   std::int64_t face;    ///< connecting face
 };
 
+/// A remote downwind edge, fully resolved for the hot path: the carrying
+/// face's workspace slot and the destination patch's dense index into the
+/// per-destination out-item buffers.
+struct RemoteOut {
+  std::int64_t dst_cell;  ///< destination cell (global id)
+  std::int64_t face;      ///< mesh face id carrying the flux
+  std::int32_t slot;      ///< workspace slot of `face`
+  std::int32_t dst;       ///< destination index (see destination())
+};
+
+/// A lagged (cycle-cut) face written by a vertex: workspace slot paired
+/// with its LaggedFluxStore slot.
+struct LaggedSlot {
+  std::int32_t ws_slot;
+  std::int32_t store_slot;
+};
+
 class SweepTaskData {
  public:
+  /// `disc`, `ps` and `lagged` must outlive the task data; `lagged` may be
+  /// null iff the graph has no lagged edges.
+  SweepTaskData(graph::PatchTaskGraph g,
+                graph::PriorityStrategy vertex_strategy,
+                const sn::Discretization& disc,
+                const partition::PatchSet& ps, const sn::Ordinate& ordinate,
+                const LaggedFluxStore* lagged = nullptr);
+
+  /// Graph-only form for consumers that replay the DAG without sweeping
+  /// (e.g. the simulator's transfer-curve extraction): no dense face index
+  /// is built, so the task cannot back a sweep program.
   SweepTaskData(graph::PatchTaskGraph g,
                 graph::PriorityStrategy vertex_strategy);
 
@@ -43,7 +79,7 @@ class SweepTaskData {
       fn(out_[static_cast<std::size_t>(e)]);
   }
 
-  /// Remote downwind edges of vertex v.
+  /// Remote downwind edges of vertex v (slot-resolved).
   template <class Fn>
   void for_out_remote(std::int32_t v, Fn&& fn) const {
     for (auto e = rout_off_[static_cast<std::size_t>(v)];
@@ -61,11 +97,39 @@ class SweepTaskData {
     return static_cast<std::int64_t>(rout_.size());
   }
 
+  // --- Dense face-flux index --------------------------------------------
+  /// Workspace size this task needs (every touchable face has one slot).
+  [[nodiscard]] std::int64_t num_flux_slots() const { return num_slots_; }
+  /// Precomputed slots of the faces vertex v's cell touches.
+  [[nodiscard]] const sn::CellFaceSlots& cell_slots(std::int32_t v) const {
+    return cell_slots_[static_cast<std::size_t>(v)];
+  }
+  /// Slot of an incoming remote face (stream input path; binary search
+  /// over the sorted remote-in face list — no hashing).
+  [[nodiscard]] std::int32_t slot_of_remote_in(std::int64_t face) const;
+
+  // --- Stream destinations ----------------------------------------------
+  /// Distinct downwind patches, ascending by id; RemoteOut::dst indexes
+  /// this list.
+  [[nodiscard]] std::int32_t num_destinations() const {
+    return static_cast<std::int32_t>(dst_patches_.size());
+  }
+  [[nodiscard]] PatchId destination(std::int32_t d) const {
+    return dst_patches_[static_cast<std::size_t>(d)];
+  }
+  /// Upper bound of items ever buffered for destination d in one sweep
+  /// (= its remote-edge count): the reserve() size that makes per-batch
+  /// buffering allocation-free after the first sweep.
+  [[nodiscard]] std::int64_t destination_capacity(std::int32_t d) const {
+    return dst_capacity_[static_cast<std::size_t>(d)];
+  }
+
   // --- Lagged (cycle-cut) structure -------------------------------------
   [[nodiscard]] bool has_lagged() const { return graph_.has_lagged(); }
-  /// Faces whose old-iterate value must be seeded into the flux map before
-  /// any vertex computes (read side of every lagged edge this patch sees).
-  [[nodiscard]] const std::vector<std::int64_t>& lagged_seed_faces() const {
+  /// Faces whose old-iterate value must be seeded into the workspace
+  /// before any vertex computes (read side of every lagged edge this patch
+  /// sees), resolved to (workspace, store) slot pairs.
+  [[nodiscard]] const std::vector<LaggedSlot>& lagged_seed_slots() const {
     return lagged_seed_;
   }
   /// Lagged faces *written* by vertex v (the upwind side of a cut edge):
@@ -75,19 +139,32 @@ class SweepTaskData {
   void for_lagged_writes(std::int32_t v, Fn&& fn) const {
     for (auto e = lag_off_[static_cast<std::size_t>(v)];
          e < lag_off_[static_cast<std::size_t>(v) + 1]; ++e)
-      fn(lag_faces_[static_cast<std::size_t>(e)]);
+      fn(lag_slots_[static_cast<std::size_t>(e)]);
   }
 
  private:
+  SweepTaskData(graph::PatchTaskGraph g,
+                graph::PriorityStrategy vertex_strategy,
+                const sn::Discretization* disc,
+                const partition::PatchSet* ps, const sn::Ordinate* ordinate,
+                const LaggedFluxStore* lagged);
+
   graph::PatchTaskGraph graph_;
   std::vector<std::int64_t> out_off_;
   std::vector<OutLocal> out_;
   std::vector<std::int64_t> rout_off_;
-  std::vector<graph::RemoteOutEdge> rout_;
+  std::vector<RemoteOut> rout_;
   std::vector<double> vprio_;
-  std::vector<std::int64_t> lagged_seed_;
+
+  std::int64_t num_slots_ = 0;
+  std::vector<sn::CellFaceSlots> cell_slots_;
+  std::vector<std::pair<std::int64_t, std::int32_t>> remote_in_slots_;
+  std::vector<PatchId> dst_patches_;
+  std::vector<std::int64_t> dst_capacity_;
+
+  std::vector<LaggedSlot> lagged_seed_;
   std::vector<std::int64_t> lag_off_;
-  std::vector<std::int64_t> lag_faces_;
+  std::vector<LaggedSlot> lag_slots_;
 };
 
 }  // namespace jsweep::sweep

@@ -5,22 +5,84 @@
 namespace jsweep::sweep {
 
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       sn::FaceFluxMap& flux) {
+                       sn::FaceFluxWorkspace& flux) {
   if (!data.has_lagged()) return;
   JSWEEP_CHECK_MSG(store != nullptr,
                    "task graph has lagged edges but no LaggedFluxStore");
-  for (const auto face : data.lagged_seed_faces())
-    flux[face] = store->prev(data.angle().value(), face);
+  for (const auto& s : data.lagged_seed_slots())
+    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot));
 }
 
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
-                         std::int32_t v, sn::FaceFluxMap& flux) {
-  data.for_lagged_writes(v, [&](std::int64_t face) {
-    const auto it = flux.find(face);
-    JSWEEP_ASSERT(it != flux.end());
-    store->stage(data.angle().value(), face, it->second);
-    it->second = store->prev(data.angle().value(), face);
+                         std::int32_t v, sn::FaceFluxWorkspace& flux) {
+  data.for_lagged_writes(v, [&](const LaggedSlot& s) {
+    JSWEEP_ASSERT(flux.has(s.ws_slot));
+    store->stage_by_slot(s.store_slot, flux.read(s.ws_slot));
+    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot));
   });
+}
+
+void WorkspaceLease::reset_for_run(const SweepShared& shared) {
+  // The privately owned fallback workspace must never enter the pool.
+  if (flux_ != nullptr && flux_ != &owned_ && shared.flux_pool != nullptr)
+    shared.flux_pool->release(flux_);  // stale borrow from an aborted run
+  flux_ = nullptr;
+}
+
+sn::FaceFluxWorkspace& WorkspaceLease::ensure(const SweepShared& shared,
+                                              const SweepTaskData& data) {
+  if (flux_ != nullptr) return *flux_;
+  // Borrow a workspace sized for this task's face-slot count; reset is an
+  // O(1) epoch bump, so reuse across sweeps and programs costs nothing.
+  if (shared.flux_pool != nullptr) {
+    flux_ = shared.flux_pool->acquire(data.num_flux_slots());
+  } else {
+    owned_.prepare(data.num_flux_slots());
+    flux_ = &owned_;
+  }
+  // Cycle-cut faces read the previous sweep's flux instead of waiting.
+  seed_lagged_faces(data, shared.lagged, *flux_);
+  return *flux_;
+}
+
+void WorkspaceLease::release_if(bool done, const SweepShared& shared) {
+  if (!done || shared.flux_pool == nullptr || flux_ == nullptr ||
+      flux_ == &owned_)
+    return;
+  shared.flux_pool->release(flux_);
+  flux_ = nullptr;
+}
+
+void prepare_out_buffers(const SweepTaskData& data,
+                         std::vector<std::vector<StreamItem>>& out_items,
+                         std::vector<core::Stream>& pending) {
+  out_items.resize(static_cast<std::size_t>(data.num_destinations()));
+  for (std::int32_t d = 0; d < data.num_destinations(); ++d) {
+    auto& items = out_items[static_cast<std::size_t>(d)];
+    items.clear();
+    items.reserve(static_cast<std::size_t>(data.destination_capacity(d)));
+  }
+  pending.clear();
+  pending.reserve(static_cast<std::size_t>(data.num_destinations()));
+}
+
+void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
+                       const ProgramKey& src,
+                       std::vector<std::vector<StreamItem>>& out_items,
+                       std::vector<core::Stream>& pending) {
+  for (std::int32_t d = 0; d < data.num_destinations(); ++d) {
+    auto& items = out_items[static_cast<std::size_t>(d)];
+    if (items.empty()) continue;
+    core::Stream s;
+    s.src = src;
+    s.dst = ProgramKey{data.destination(d), src.task};
+    s.data = shared.stream_buffers != nullptr
+                 ? shared.stream_buffers->acquire()
+                 : comm::Bytes{};
+    encode_items_into(items, s.data);
+    items.clear();
+    pending.push_back(std::move(s));
+  }
 }
 
 SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
@@ -42,11 +104,10 @@ void SweepPatchProgram::init() {
   ready_ = {};
   for (std::int32_t v = 0; v < data_.num_vertices(); ++v)
     if (counts_[static_cast<std::size_t>(v)] == 0) mark_ready(v);
-  flux_.clear();
-  // Cycle-cut faces read the previous sweep's flux instead of waiting.
-  seed_lagged_faces(data_, shared_.lagged, flux_);
-  out_items_.clear();
-  pending_.clear();
+  // The workspace itself is borrowed lazily (WorkspaceLease::ensure) on
+  // the first input or compute that touches flux.
+  lease_.reset_for_run(shared_);
+  prepare_out_buffers(data_, out_items_, pending_);
   phi_.assign(static_cast<std::size_t>(data_.num_vertices()), 0.0);
   computed_ = 0;
   if (options_.record_clusters) {
@@ -58,15 +119,19 @@ void SweepPatchProgram::init() {
 void SweepPatchProgram::input(const core::Stream& s) {
   JSWEEP_CHECK_MSG(s.dst == key(), "stream for " << s.dst << " delivered to "
                                                  << key());
-  for (const auto& item : decode_items(s.data)) {
-    flux_[item.face] = item.value;
+  JSWEEP_CHECK_MSG(computed_ < data_.num_vertices(),
+                   "stream delivered to " << key()
+                                          << " after it retired all work");
+  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_);
+  for_each_item(s.data, [&](const StreamItem& item) {
+    flux.write(data_.slot_of_remote_in(item.face), item.value);
     const CellId cell{item.cell};
     JSWEEP_ASSERT(shared_.patches->patch_of(cell) == data_.patch());
     const std::int32_t v = shared_.patches->local_index(cell);
     auto& count = counts_[static_cast<std::size_t>(v)];
     JSWEEP_CHECK_MSG(count > 0, "dependency underflow at vertex " << v);
     if (--count == 0) mark_ready(v);
-  }
+  });
 }
 
 void SweepPatchProgram::compute() {
@@ -81,12 +146,14 @@ void SweepPatchProgram::compute() {
 
   int in_batch = 0;
   while (!ready_.empty() && in_batch < options_.cluster_grain) {
+    sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_);
     const std::int32_t v = ready_.top().v;
     ready_.pop();
     ++in_batch;
 
     const CellId cell = cells[static_cast<std::size_t>(v)];
-    const double psi = shared_.disc->sweep_cell(cell, ang, q, flux_);
+    const sn::FaceFluxView view{&flux, &data_.cell_slots(v)};
+    const double psi = shared_.disc->sweep_cell(cell, ang, q, view);
     phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
     ++computed_;
     if (options_.record_clusters)
@@ -98,29 +165,22 @@ void SweepPatchProgram::compute() {
     data_.for_out_local(v, [&](const OutLocal& e) {
       if (--counts_[static_cast<std::size_t>(e.w)] == 0) mark_ready(e.w);
     });
-    data_.for_out_remote(v, [&](const graph::RemoteOutEdge& e) {
-      const auto it = flux_.find(e.face);
-      JSWEEP_ASSERT(it != flux_.end());
-      out_items_[e.dst_patch].push_back(
-          StreamItem{e.dst_cell, e.face, it->second});
+    data_.for_out_remote(v, [&](const RemoteOut& e) {
+      JSWEEP_ASSERT(flux.has(e.slot));
+      out_items_[static_cast<std::size_t>(e.dst)].push_back(
+          StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
     });
     // Lagged (cycle-cut) faces: stage the fresh value for the next sweep,
     // then restore the old iterate so any later reader — regardless of
     // scheduling order — sees the same value the cut promised it.
-    stage_lagged_writes(data_, shared_.lagged, v, flux_);
+    stage_lagged_writes(data_, shared_.lagged, v, flux);
   }
   if (options_.record_clusters && in_batch > 0) ++next_cluster_;
 
-  // Aggregate this batch's items into one stream per destination patch.
-  for (auto& [dst_patch, items] : out_items_) {
-    if (items.empty()) continue;
-    core::Stream s;
-    s.src = key();
-    s.dst = ProgramKey{dst_patch, TaskTag{data_.angle().value()}};
-    s.data = encode_items(items);
-    items.clear();
-    pending_.push_back(std::move(s));
-  }
+  flush_out_streams(data_, shared_, key(), out_items_, pending_);
+  // All vertices retired: the workspace has served its purpose — return it
+  // so a not-yet-finished program can reuse the allocation.
+  lease_.release_if(computed_ == data_.num_vertices(), shared_);
 }
 
 std::optional<core::Stream> SweepPatchProgram::output() {

@@ -4,19 +4,26 @@
 /// The data-driven Sn sweep patch-program — a faithful implementation of
 /// the paper's Listing 1. One instance handles one (patch, angle) pair;
 /// its local context is the per-vertex dependency counters, the ready
-/// priority queue, the face-flux table and the per-destination out-stream
-/// buffers. compute() retires up to `cluster_grain` ready vertices per
-/// execution (vertex clustering, Sec. V-C) and can record the resulting
-/// clusters to build the coarsened graph (Sec. V-E).
+/// priority queue, the dense face-flux workspace and the per-destination
+/// out-stream buffers. compute() retires up to `cluster_grain` ready
+/// vertices per execution (vertex clustering, Sec. V-C) and can record the
+/// resulting clusters to build the coarsened graph (Sec. V-E).
+///
+/// Steady-state allocation budget: zero. The face-flux workspace comes
+/// from a shared FaceFluxPool (borrowed at init(), returned when the last
+/// vertex retires), stream payloads come from the engine's BufferPool, and
+/// the per-destination item buffers are reserved to their static maximum —
+/// the kernel grind performs no hash-map operation and no heap allocation.
 
-#include <map>
 #include <mutex>
 #include <queue>
 #include <vector>
 
+#include "core/buffer_pool.hpp"
 #include "core/patch_program.hpp"
 #include "partition/patch_set.hpp"
 #include "sn/discretization.hpp"
+#include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 #include "sweep/lagged_flux.hpp"
 #include "sweep/stream_codec.hpp"
@@ -35,6 +42,11 @@ struct SweepShared {
   /// Old-iterate fluxes of cycle-cut faces; null when the sweep graphs are
   /// acyclic (no cut). Programs read prev values and stage fresh ones.
   LaggedFluxStore* lagged = nullptr;
+  /// Shared workspace pool; null makes each program own a private
+  /// workspace (handy for tests driving programs without a solver).
+  sn::FaceFluxPool* flux_pool = nullptr;
+  /// Stream payload recycling; null falls back to plain allocation.
+  core::BufferPool* stream_buffers = nullptr;
 };
 
 /// Shared lagged-face (cycle-cut) handling — ONE implementation of the
@@ -46,9 +58,44 @@ struct SweepShared {
 ///     next sweep and restore the old iterate, so any later reader sees
 ///     the value the cut promised regardless of execution order.
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       sn::FaceFluxMap& flux);
+                       sn::FaceFluxWorkspace& flux);
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
-                         std::int32_t v, sn::FaceFluxMap& flux);
+                         std::int32_t v, sn::FaceFluxWorkspace& flux);
+
+/// One implementation of the workspace borrow/seed/release protocol for
+/// both the fine and the coarsened program. A program borrows its dense
+/// workspace lazily — nothing is held until the first flux arrives or the
+/// first vertex computes — and returns it the moment its last vertex
+/// retires, so the pool's live set tracks the sweep frontier. Without a
+/// shared pool the lease falls back to a privately owned workspace.
+class WorkspaceLease {
+ public:
+  /// Init-time: drop any stale borrow left by an aborted previous run.
+  void reset_for_run(const SweepShared& shared);
+  /// Borrow (and seed the lagged faces of) the workspace on first use.
+  sn::FaceFluxWorkspace& ensure(const SweepShared& shared,
+                                const SweepTaskData& data);
+  /// Return the workspace once the program has retired all its work.
+  void release_if(bool done, const SweepShared& shared);
+  /// Currently leased workspace (null when none is borrowed).
+  [[nodiscard]] sn::FaceFluxWorkspace* get() const { return flux_; }
+
+ private:
+  sn::FaceFluxWorkspace* flux_ = nullptr;
+  sn::FaceFluxWorkspace owned_;
+};
+
+/// Shared per-destination out-buffer handling: init-time sizing to the
+/// static per-sweep maximum, and the batch-end flush into one pooled-
+/// payload stream per destination patch (ascending patch id — the
+/// deterministic emission order).
+void prepare_out_buffers(const SweepTaskData& data,
+                         std::vector<std::vector<StreamItem>>& out_items,
+                         std::vector<core::Stream>& pending);
+void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
+                       const ProgramKey& src,
+                       std::vector<std::vector<StreamItem>>& out_items,
+                       std::vector<core::Stream>& pending);
 
 struct SweepProgramOptions {
   /// Max vertices retired per compute() execution (the paper's N).
@@ -113,8 +160,8 @@ class SweepPatchProgram final : public core::PatchProgram {
   // --- Local context (Listing 1, part 1), reset by init() ---------------
   std::vector<std::int32_t> counts_;
   std::priority_queue<ReadyEntry> ready_;
-  sn::FaceFluxMap flux_;
-  std::map<PatchId, std::vector<StreamItem>> out_items_;
+  WorkspaceLease lease_;
+  std::vector<std::vector<StreamItem>> out_items_;  ///< by destination slot
   std::vector<core::Stream> pending_;
   std::vector<double> phi_;
   std::int64_t computed_ = 0;

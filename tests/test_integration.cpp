@@ -130,7 +130,7 @@ TEST(RecordedCoarsening, Theorem1OnRealExecution) {
         data.push_back(std::make_unique<sweep::SweepTaskData>(
             graph::build_patch_task_graph(m, ps, PatchId{p},
                                           quad.angle(a).dir, AngleId{a}),
-            graph::PriorityStrategy::SLBD));
+            graph::PriorityStrategy::SLBD, disc, ps, quad.angle(a)));
         sweep::SweepProgramOptions opts;
         opts.cluster_grain = 8;
         opts.record_clusters = true;
