@@ -41,6 +41,8 @@ struct Options {
   std::string mesh = "kobayashi";
   int n = 16;
   int sn = 4;
+  int groups = 1;
+  bool group_barrier = false;
   std::string engine = "jsweep";   // jsweep | bsp | serial
   int ranks = 4;
   int workers = 2;
@@ -66,6 +68,12 @@ void usage() {
                                   dependencies (need --cycle-policy=lag)
   --n=N                           mesh resolution (cells across; default 16)
   --sn=2|4|6|8                    level-symmetric order (default 4)
+  --groups=G                      energy groups (default 1); G > 1 solves a
+                                  downscatter-cascade multigroup problem with
+                                  group-pipelined sweeps (see --group-barrier)
+  --group-barrier                 disable group pipelining: one engine run
+                                  (and a global barrier) per group per pass —
+                                  the ablation baseline
   --engine=jsweep|bsp|serial      sweep engine (default jsweep)
   --ranks=R                       in-process ranks (default 4)
   --workers=W                     worker threads per rank (default 2)
@@ -106,6 +114,10 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.n = std::atoi(v->c_str());
     } else if (auto v = value("--sn")) {
       opt.sn = std::atoi(v->c_str());
+    } else if (auto v = value("--groups")) {
+      opt.groups = std::atoi(v->c_str());
+    } else if (arg == "--group-barrier") {
+      opt.group_barrier = true;
     } else if (auto v = value("--engine")) {
       opt.engine = *v;
     } else if (auto v = value("--ranks")) {
@@ -140,6 +152,135 @@ std::optional<Options> parse(int argc, char** argv) {
     }
   }
   return opt;
+}
+
+/// Multigroup solve (--groups=G > 1): a downscatter cascade derived from
+/// the problem's material table, solved with the sweep-pass outer scheme —
+/// group-pipelined engines by default, barriered with --group-barrier,
+/// per-group serial sweeps for --engine=serial.
+template <class Mesh, class Disc>
+int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
+                     const sn::MaterialTable& table,
+                     const partition::PatchSet& patches) {
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(opt.sn);
+  const sn::MultigroupXs mxs = sn::MultigroupXs::cascade(
+      table, mesh.materials(), mesh.num_cells(), opt.groups);
+  sn::MultigroupOptions mg;
+  mg.inner = {opt.tolerance, opt.max_iterations, false};
+  std::printf(
+      "%lld cells, %d patches, S%d (%d angles), %d groups, engine=%s%s\n",
+      static_cast<long long>(mesh.num_cells()), patches.num_patches(),
+      opt.sn, quad.num_angles(), opt.groups, opt.engine.c_str(),
+      opt.engine == "serial" ? ""
+      : opt.group_barrier    ? " (group-barriered)"
+                             : " (group-pipelined)");
+
+  const bool want_trace = !opt.trace.empty() || opt.profile;
+  std::optional<trace::Recorder> recorder;
+  if (want_trace && opt.engine != "serial") recorder.emplace();
+  if (want_trace && opt.engine == "serial")
+    std::fprintf(stderr,
+                 "note: --trace/--profile need --engine=jsweep or bsp; "
+                 "ignored for the serial sweep\n");
+
+  sn::MultigroupResult result;
+  sweep::SolverStats solver_stats;
+  WallTimer timer;
+  if (opt.engine == "serial") {
+    result = sn::solve_multigroup_sweeps(
+        mxs,
+        sn::sequential_sweep_pass(
+            mxs,
+            [&](int g) -> sn::SweepOperator {
+              auto gd = std::make_shared<Disc>(mesh, mxs.group_view(g));
+              return [gd, &quad](const std::vector<double>& q) {
+                return sn::serial_sweep(*gd, quad, q);
+              };
+            }),
+        mg);
+  } else {
+    comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
+      sweep::SolverConfig config;
+      config.engine = opt.engine == "bsp" ? sweep::EngineKind::Bsp
+                                          : sweep::EngineKind::DataDriven;
+      config.num_workers = opt.workers;
+      config.cluster_grain = opt.grain;
+      config.patch_priority = graph::priority_from_string(opt.priority);
+      config.vertex_priority = config.patch_priority;
+      config.use_coarsened_graph =
+          opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
+      config.cycle_policy = sweep::cycle_policy_from_string(opt.cycle_policy);
+      config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
+      config.multigroup = &mxs;
+      config.group_pipelining = !opt.group_barrier;
+      config.trace.recorder = recorder ? &*recorder : nullptr;
+      const auto owner =
+          partition::assign_contiguous(patches.num_patches(), ctx.size());
+      sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
+                                config);
+      const auto r = solver.solve_multigroup(mg);
+      if (ctx.rank().value() == 0) {
+        result = r;
+        solver_stats = solver.stats();
+      }
+    });
+  }
+  const double seconds = timer.seconds();
+
+  if (solver_stats.cycles.any()) {
+    std::printf(
+        "cycles: %d direction(s) cyclic, %d SCC(s), largest %d cells, "
+        "%lld feedback edge(s) lagged; last pass: %d engine run(s), "
+        "lag residual %.2e\n",
+        solver_stats.cyclic_angles, solver_stats.cycles.cyclic_components,
+        solver_stats.cycles.largest_component,
+        static_cast<long long>(solver_stats.cycles.edges_cut),
+        solver_stats.last_lag_sweeps, solver_stats.last_lag_residual);
+  }
+
+  if (recorder) {
+    if (!opt.trace.empty()) {
+      if (!trace::write_chrome_trace_file(*recorder, opt.trace)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n",
+                     opt.trace.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%lld events, %lld dropped)\n", opt.trace.c_str(),
+                  static_cast<long long>(recorder->total_events()),
+                  static_cast<long long>(recorder->dropped_events()));
+    }
+    if (opt.profile) {
+      const trace::ProfileReport prof = trace::analyze(*recorder);
+      std::printf("\n%s\n", trace::render_profile(prof).c_str());
+    }
+  }
+
+  std::printf("%s: %d outer(s), %d pass(es), %lld sweeps, %.3fs (error "
+              "%.2e)\n",
+              result.converged ? "converged" : "NOT converged",
+              result.outer_iterations, result.pass_iterations,
+              static_cast<long long>(result.total_sweeps), seconds,
+              result.error);
+  for (int g = 0; g < opt.groups; ++g) {
+    double peak = 0.0;
+    double mean = 0.0;
+    for (const auto phi : result.phi[static_cast<std::size_t>(g)]) {
+      peak = std::max(peak, phi);
+      mean += phi;
+    }
+    mean /= static_cast<double>(result.phi[static_cast<std::size_t>(g)].size());
+    std::printf("group %d flux: mean %.5e  peak %.5e\n", g, mean, peak);
+  }
+
+  if (!opt.vtk.empty()) {
+    std::vector<mesh::CellField> fields;
+    for (int g = 0; g < opt.groups; ++g)
+      fields.push_back({"flux_g" + std::to_string(g),
+                        &result.phi[static_cast<std::size_t>(g)]});
+    mesh::write_vtk_file(opt.vtk, mesh, fields);
+    std::printf("wrote %s\n", opt.vtk.c_str());
+  }
+  return result.converged ? 0 : 2;
 }
 
 /// Solve on a structured or tetrahedral mesh; shares all engine plumbing.
@@ -298,9 +439,11 @@ int main(int argc, char** argv) {
       const partition::CsrGraph cg = partition::cell_graph(m);
       const partition::PatchSet patches(partition::block_partition(layout),
                                         layout.num_patches(), &cg);
-      const sn::CellXs xs = expand(sn::MaterialTable::kobayashi(),
-                                   m.materials(), m.num_cells());
+      const sn::MaterialTable table = sn::MaterialTable::kobayashi();
+      const sn::CellXs xs = expand(table, m.materials(), m.num_cells());
       const sn::StructuredDD disc(m, xs);
+      if (opt.groups > 1)
+        return solve_multigroup(opt, m, disc, table, patches);
       return solve(opt, m, disc, xs, patches);
     }
     const bool ball = opt.mesh == "ball";
@@ -327,10 +470,11 @@ int main(int argc, char** argv) {
     const partition::CsrGraph cg = partition::cell_graph(m);
     const auto part = partition::partition_graph(cg, nparts);
     const partition::PatchSet patches(part, nparts, &cg);
-    const sn::CellXs xs = expand(
-        reactor ? sn::MaterialTable::reactor() : sn::MaterialTable::ball(),
-        m.materials(), m.num_cells());
+    const sn::MaterialTable table =
+        reactor ? sn::MaterialTable::reactor() : sn::MaterialTable::ball();
+    const sn::CellXs xs = expand(table, m.materials(), m.num_cells());
     const sn::TetStep disc(m, xs);
+    if (opt.groups > 1) return solve_multigroup(opt, m, disc, table, patches);
     return solve(opt, m, disc, xs, patches);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

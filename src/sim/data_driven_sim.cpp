@@ -23,7 +23,9 @@ mesh::Vec3 octant_dir(int oct) {
 struct DataDrivenSim::Prepared {
   std::int32_t num_patches = 0;
   int num_angles = 0;
+  int num_groups = 1;
   std::int64_t num_programs = 0;
+  std::int64_t group_span = 0;  ///< upwind slots per group (angle_base[A])
 
   std::vector<std::int32_t> proc_of;   ///< per patch
   std::vector<std::int32_t> nchunks;   ///< per patch (capped)
@@ -48,12 +50,26 @@ struct DataDrivenSim::Prepared {
     return !lagged.empty() && lagged[static_cast<std::size_t>(slot)] != 0;
   }
 
-  [[nodiscard]] std::int64_t prog_id(int a, std::int32_t p) const {
-    return static_cast<std::int64_t>(a) * num_patches + p;
+  [[nodiscard]] std::int64_t prog_id(int g, int a, std::int32_t p) const {
+    return (static_cast<std::int64_t>(g) * num_angles + a) * num_patches + p;
   }
-  [[nodiscard]] std::int64_t avail_base(int a, std::int32_t p,
+  [[nodiscard]] std::int32_t patch_of(std::int64_t prog) const {
+    return static_cast<std::int32_t>(prog % num_patches);
+  }
+  [[nodiscard]] int angle_of(std::int64_t prog) const {
+    return static_cast<int>((prog / num_patches) % num_angles);
+  }
+  [[nodiscard]] int group_of(std::int64_t prog) const {
+    return static_cast<int>(prog / (static_cast<std::int64_t>(num_patches) *
+                                    num_angles));
+  }
+  /// Index into the (group-replicated) avail array. The lag-model flags
+  /// stay per (angle, patch, slot) — a direction's cut is the same for
+  /// every group — so lag lookups use the group-0 base.
+  [[nodiscard]] std::int64_t avail_base(int g, int a, std::int32_t p,
                                         int oct) const {
-    return angle_base[static_cast<std::size_t>(a)] +
+    return static_cast<std::int64_t>(g) * group_span +
+           angle_base[static_cast<std::size_t>(a)] +
            up_prefix[static_cast<std::size_t>(oct)]
                     [static_cast<std::size_t>(p)];
   }
@@ -64,14 +80,16 @@ DataDrivenSim::DataDrivenSim(const PatchTopology& topo,
     : topo_(topo), quad_(quad), config_(config) {
   JSWEEP_CHECK(config_.processes >= 1 && config_.workers_per_process >= 1);
   JSWEEP_CHECK(config_.cluster_grain >= 1);
+  JSWEEP_CHECK(config_.groups >= 1);
 }
 
 SimResult DataDrivenSim::run() {
   Prepared prep;
   prep.num_patches = topo_.num_patches();
   prep.num_angles = quad_.num_angles();
-  prep.num_programs =
-      static_cast<std::int64_t>(prep.num_angles) * prep.num_patches;
+  prep.num_groups = config_.groups;
+  prep.num_programs = static_cast<std::int64_t>(prep.num_groups) *
+                      prep.num_angles * prep.num_patches;
   prep.proc_of = assign_processes(topo_, config_.processes);
 
   prep.nchunks.resize(static_cast<std::size_t>(prep.num_patches));
@@ -140,6 +158,8 @@ SimResult DataDrivenSim::run() {
         prep.up_prefix[static_cast<std::size_t>(oct)]
                       [static_cast<std::size_t>(prep.num_patches)];
   }
+  prep.group_span =
+      prep.angle_base[static_cast<std::size_t>(prep.num_angles)];
 
   // Lag model: deterministically mark cut dependence slots.
   if (config_.lagged_fraction > 0.0) {
@@ -169,7 +189,7 @@ namespace {
 struct Event {
   double t;
   std::uint64_t seq;
-  enum Kind : int { kChunkDone, kDepArrive } kind;
+  enum Kind : int { kChunkDone, kDepArrive, kGroupOpen } kind;
   std::int64_t prog;
   std::int32_t a1;  ///< ChunkDone: chunk index; DepArrive: upwind patch
   std::int32_t a2;  ///< DepArrive: upwind completed chunk
@@ -208,9 +228,17 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
   std::vector<std::uint8_t> queued(
       static_cast<std::size_t>(prep.num_programs), 0);
   std::vector<std::int32_t> avail(
-      static_cast<std::size_t>(
-          prep.angle_base[static_cast<std::size_t>(prep.num_angles)]),
-      -1);
+      static_cast<std::size_t>(prep.num_groups * prep.group_span), -1);
+
+  // Group gates: (patch, group) program counts for pipelined injection,
+  // per-group totals for the barriered baseline.
+  std::vector<std::int32_t> patch_left(
+      static_cast<std::size_t>(prep.num_patches) *
+          static_cast<std::size_t>(prep.num_groups),
+      prep.num_angles);
+  std::vector<std::int64_t> group_left(
+      static_cast<std::size_t>(prep.num_groups),
+      static_cast<std::int64_t>(prep.num_angles) * prep.num_patches);
 
   // Per-process state. Free workers are an id stack (not a counter) so the
   // simulator knows which worker runs each chunk — per-worker trace tracks
@@ -229,12 +257,9 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::uint64_t seq = 0;
 
-  const auto angle_of = [&](std::int64_t prog) {
-    return static_cast<int>(prog / prep.num_patches);
-  };
-  const auto patch_of = [&](std::int64_t prog) {
-    return static_cast<std::int32_t>(prog % prep.num_patches);
-  };
+  const auto angle_of = [&](std::int64_t prog) { return prep.angle_of(prog); };
+  const auto patch_of = [&](std::int64_t prog) { return prep.patch_of(prog); };
+  const auto group_of = [&](std::int64_t prog) { return prep.group_of(prog); };
 
   // Virtual-time trace emission (track pointers cached per proc/worker).
   trace::Recorder* const rec = config_.recorder;
@@ -265,30 +290,45 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     return *t;
   };
   const auto key_of = [&](std::int64_t prog) {
-    return ProgramKey{PatchId{patch_of(prog)}, TaskTag{angle_of(prog)}};
+    return ProgramKey{PatchId{patch_of(prog)},
+                      TaskTag{group_of(prog) * prep.num_angles +
+                              angle_of(prog)}};
   };
   const auto vns = [](double t) { return static_cast<std::int64_t>(t); };
   const auto priority_of = [&](std::int64_t prog) {
     const int a = angle_of(prog);
     const int oct = quad_.angle(a).octant;
+    // Group-major task priority, matching the real solver: earlier groups
+    // dominate (they unblock downstream sources), then earlier angles.
     return graph::combined_priority(
-        -static_cast<double>(a),
+        -static_cast<double>(group_of(prog) * prep.num_angles + a),
         prep.patch_prio[static_cast<std::size_t>(oct)]
                        [static_cast<std::size_t>(patch_of(prog))]);
   };
 
   /// Deps of the pending chunk satisfied?
   const auto deps_ready = [&](std::int64_t prog) {
-    const int a = angle_of(prog);
+    const int g = group_of(prog);
     const std::int32_t p = patch_of(prog);
+    if (g > 0) {  // group gate: previous group's sources must exist
+      if (config_.group_pipelining) {
+        if (patch_left[static_cast<std::size_t>(p) * prep.num_groups +
+                       static_cast<std::size_t>(g - 1)] > 0)
+          return false;
+      } else {
+        if (group_left[static_cast<std::size_t>(g - 1)] > 0) return false;
+      }
+    }
+    const int a = angle_of(prog);
     const int oct = quad_.angle(a).octant;
     const auto& curves = prep.curves[static_cast<std::size_t>(oct)];
     const std::int32_t c = next_chunk[static_cast<std::size_t>(prog)];
-    const std::int64_t base = prep.avail_base(a, p, oct);
+    const std::int64_t base = prep.avail_base(g, a, p, oct);
+    const std::int64_t lag_base = prep.avail_base(0, a, p, oct);
     std::int64_t slot = 0;
     bool ok = true;
     topo_.for_upwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
-      if (ok && !prep.slot_lagged(base + slot)) {
+      if (ok && !prep.slot_lagged(lag_base + slot)) {
         const int req = curves.required_upwind_chunk(
             c, prep.nchunks[static_cast<std::size_t>(p)],
             prep.nchunks[static_cast<std::size_t>(nb.patch)]);
@@ -360,12 +400,17 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     events.pop();
     now = ev.t;
 
+    if (ev.kind == Event::kGroupOpen) {
+      try_activate(ev.prog, now);
+      continue;
+    }
+
     if (ev.kind == Event::kDepArrive) {
       // Update the avail slot for (prog ← upwind patch a1) to chunk a2.
       const int a = angle_of(ev.prog);
       const std::int32_t p = patch_of(ev.prog);
       const int oct = quad_.angle(a).octant;
-      const std::int64_t base = prep.avail_base(a, p, oct);
+      const std::int64_t base = prep.avail_base(group_of(ev.prog), a, p, oct);
       std::int64_t slot = 0;
       topo_.for_upwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
         if (nb.patch == ev.a1) {
@@ -382,6 +427,7 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     const std::int64_t prog = ev.prog;
     const std::int32_t c = ev.a1;
     const int a = angle_of(prog);
+    const int g = group_of(prog);
     const std::int32_t p = patch_of(prog);
     const int oct = quad_.angle(a).octant;
     const auto proc = static_cast<std::size_t>(
@@ -390,6 +436,31 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
 
     next_chunk[static_cast<std::size_t>(prog)] = c + 1;
     queued[static_cast<std::size_t>(prog)] = 0;
+
+    // Program finished? Advance the group gates, possibly injecting the
+    // next group (per patch when pipelining, globally — after one
+    // collective — when barriered).
+    if (c + 1 == prep.nchunks[static_cast<std::size_t>(p)]) {
+      auto& pl = patch_left[static_cast<std::size_t>(p) * prep.num_groups +
+                            static_cast<std::size_t>(g)];
+      --pl;
+      auto& gl = group_left[static_cast<std::size_t>(g)];
+      --gl;
+      if (g + 1 < prep.num_groups) {
+        if (config_.group_pipelining) {
+          if (pl == 0)
+            for (int na = 0; na < prep.num_angles; ++na)
+              events.push(Event{now, seq++, Event::kGroupOpen,
+                                prep.prog_id(g + 1, na, p), 0, 0});
+        } else if (gl == 0) {
+          const double t = now + cm.collective_ns(config_.processes);
+          for (int na = 0; na < prep.num_angles; ++na)
+            for (std::int32_t np = 0; np < prep.num_patches; ++np)
+              events.push(Event{t, seq++, Event::kGroupOpen,
+                                prep.prog_id(g + 1, na, np), 0, 0});
+        }
+      }
+    }
 
     // Emissions to downwind neighbors. Remote streams headed to the same
     // destination process share one wire message, exactly like the real
@@ -409,7 +480,7 @@ SimResult DataDrivenSim::run_data_driven(const Prepared& prep) {
     int nbatches = 0;
     topo_.for_downwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
       if (delta <= 0.0) return;
-      const std::int64_t dprog = prep.prog_id(a, nb.patch);
+      const std::int64_t dprog = prep.prog_id(g, a, nb.patch);
       const auto dproc = static_cast<std::size_t>(
           prep.proc_of[static_cast<std::size_t>(nb.patch)]);
       const double bytes =
@@ -561,21 +632,39 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
   std::vector<std::int32_t> next_chunk(
       static_cast<std::size_t>(prep.num_programs), 0);
   std::vector<std::int32_t> avail(
-      static_cast<std::size_t>(
-          prep.angle_base[static_cast<std::size_t>(prep.num_angles)]),
-      -1);
+      static_cast<std::size_t>(prep.num_groups * prep.group_span), -1);
+
+  // Group gates (see run_data_driven); updated at superstep boundaries.
+  std::vector<std::int32_t> patch_left(
+      static_cast<std::size_t>(prep.num_patches) *
+          static_cast<std::size_t>(prep.num_groups),
+      prep.num_angles);
+  std::vector<std::int64_t> group_left(
+      static_cast<std::size_t>(prep.num_groups),
+      static_cast<std::int64_t>(prep.num_angles) * prep.num_patches);
 
   const auto deps_ready = [&](std::int64_t prog) {
-    const int a = static_cast<int>(prog / prep.num_patches);
-    const auto p = static_cast<std::int32_t>(prog % prep.num_patches);
+    const int g = prep.group_of(prog);
+    const auto p = prep.patch_of(prog);
+    if (g > 0) {
+      if (config_.group_pipelining) {
+        if (patch_left[static_cast<std::size_t>(p) * prep.num_groups +
+                       static_cast<std::size_t>(g - 1)] > 0)
+          return false;
+      } else {
+        if (group_left[static_cast<std::size_t>(g - 1)] > 0) return false;
+      }
+    }
+    const int a = prep.angle_of(prog);
     const int oct = quad_.angle(a).octant;
     const auto& curves = prep.curves[static_cast<std::size_t>(oct)];
     const std::int32_t c = next_chunk[static_cast<std::size_t>(prog)];
-    const std::int64_t base = prep.avail_base(a, p, oct);
+    const std::int64_t base = prep.avail_base(g, a, p, oct);
+    const std::int64_t lag_base = prep.avail_base(0, a, p, oct);
     std::int64_t slot = 0;
     bool ok = true;
     topo_.for_upwind(p, quad_.angle(a).dir, [&](const PatchNeighbor& nb) {
-      if (ok && !prep.slot_lagged(base + slot)) {
+      if (ok && !prep.slot_lagged(lag_base + slot)) {
         const int req = curves.required_upwind_chunk(
             c, prep.nchunks[static_cast<std::size_t>(p)],
             prep.nchunks[static_cast<std::size_t>(nb.patch)]);
@@ -590,7 +679,7 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
   for (std::int32_t p = 0; p < prep.num_patches; ++p)
     remaining += static_cast<std::int64_t>(
                      prep.nchunks[static_cast<std::size_t>(p)]) *
-                 prep.num_angles;
+                 prep.num_angles * prep.num_groups;
 
   double elapsed_ns = 0.0;
   std::vector<double> proc_compute(
@@ -635,12 +724,19 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
 
     // Exchange phase at the superstep boundary.
     for (const auto& [prog, c] : completed) {
-      const int a = static_cast<int>(prog / prep.num_patches);
-      const auto p = static_cast<std::int32_t>(prog % prep.num_patches);
+      const int a = prep.angle_of(prog);
+      const int g = prep.group_of(prog);
+      const auto p = prep.patch_of(prog);
       const int oct = quad_.angle(a).octant;
       const auto& curves = prep.curves[static_cast<std::size_t>(oct)];
       next_chunk[static_cast<std::size_t>(prog)] = c + 1;
       --remaining;
+      // Advance the group gates (visible next superstep, BSP semantics).
+      if (c + 1 == prep.nchunks[static_cast<std::size_t>(p)]) {
+        --patch_left[static_cast<std::size_t>(p) * prep.num_groups +
+                     static_cast<std::size_t>(g)];
+        --group_left[static_cast<std::size_t>(g)];
+      }
       const double delta =
           curves.emission_at(c, prep.nchunks[static_cast<std::size_t>(p)]) -
           curves.emission_at(c - 1,
@@ -648,9 +744,9 @@ SimResult DataDrivenSim::run_bsp(const Prepared& prep) {
       topo_.for_downwind(p, quad_.angle(a).dir,
                          [&](const PatchNeighbor& nb) {
         // Update the downwind program's avail slot (visible next step).
-        const std::int64_t dprog = prep.prog_id(a, nb.patch);
+        const std::int64_t dprog = prep.prog_id(g, a, nb.patch);
         const int doct = oct;
-        const std::int64_t base = prep.avail_base(a, nb.patch, doct);
+        const std::int64_t base = prep.avail_base(g, a, nb.patch, doct);
         std::int64_t slot = 0;
         topo_.for_upwind(nb.patch, quad_.angle(a).dir,
                          [&](const PatchNeighbor& up) {

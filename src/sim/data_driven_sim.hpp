@@ -42,6 +42,15 @@ struct SimConfig {
     return workers_per_process + 1;
   }
 
+  /// Energy groups: the (patch, angle) task set replicates per group. A
+  /// patch's group-(g+1) programs unlock the moment all of its group-g
+  /// programs finish (group pipelining — matching the real solver's
+  /// activation streams); with `group_pipelining` false, group g+1 waits
+  /// for group g to finish *globally* and pays one collective per group
+  /// boundary (the barriered ablation baseline).
+  int groups = 1;
+  bool group_pipelining = true;
+
   int cluster_grain = 1000;
   /// Event-count cap: a program is simulated with at most this many
   /// chunks. When the true chunk count (cells/grain) exceeds the cap,

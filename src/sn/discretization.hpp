@@ -40,7 +40,7 @@ using FaceFluxMap = std::unordered_map<std::int64_t, double>;
 /// Abstract per-cell sweep kernel.
 class Discretization {
  public:
-  virtual ~Discretization() = default;
+  virtual ~Discretization() = default;  ///< polymorphic base
 
   /// Dense hot path: compute cell `c` for ordinate `ang` with per-steradian
   /// total source `q_per_ster[c]`; reads incoming and writes outgoing face
@@ -60,8 +60,11 @@ class Discretization {
   virtual void face_ids(CellId c, const Ordinate& ang,
                         CellFaceIds& ids) const = 0;
 
+  /// Cells of the discretized mesh.
   [[nodiscard]] virtual std::int64_t num_cells() const = 0;
+  /// Volume of cell c (cm³).
   [[nodiscard]] virtual double cell_volume(CellId c) const = 0;
+  /// Per-cell cross sections this kernel sweeps with.
   [[nodiscard]] virtual const CellXs& xs() const = 0;
 };
 
@@ -89,7 +92,11 @@ class StructuredDD final : public Discretization {
     return mesh_.cell_volume();
   }
   [[nodiscard]] const CellXs& xs() const override { return xs_; }
+  /// The structured mesh this kernel sweeps.
   [[nodiscard]] const mesh::StructuredMesh& mesh() const { return mesh_; }
+  /// The negative-flux-fixup setting (so per-group clones of this kernel
+  /// can inherit it).
+  [[nodiscard]] bool negative_flux_fixup() const { return fixup_; }
 
  private:
   const mesh::StructuredMesh& mesh_;
@@ -100,6 +107,7 @@ class StructuredDD final : public Discretization {
 /// Upwind step scheme on tetrahedra.
 class TetStep final : public Discretization {
  public:
+  /// `m` must outlive the kernel; `xs` is copied (per-cell, size cells).
   TetStep(const mesh::TetMesh& m, CellXs xs);
 
   double sweep_cell(CellId c, const Ordinate& ang,
@@ -118,6 +126,7 @@ class TetStep final : public Discretization {
     return mesh_.cell_volume(c);
   }
   [[nodiscard]] const CellXs& xs() const override { return xs_; }
+  /// The tetrahedral mesh this kernel sweeps.
   [[nodiscard]] const mesh::TetMesh& mesh() const { return mesh_; }
 
  private:

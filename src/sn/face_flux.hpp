@@ -15,6 +15,22 @@
 ///   - write(slot) : one indexed store + epoch stamp;
 ///   - reset()     : O(1) — bump the epoch instead of clearing memory.
 ///
+/// ## Epoch semantics (the invariants kernels rely on)
+///
+/// Each slot carries a uint32 stamp; a slot is "written" iff its stamp
+/// equals the workspace's current epoch. The invariants:
+///
+///   1. After prepare()/reset(), every slot reads 0 and has(slot) is
+///      false — regardless of what a previous borrower stored. Stale
+///      values can never leak across programs, sweeps, or pool reuses.
+///   2. write(s, v) makes read(s) == v and has(s) == true until the next
+///      reset — values are never silently dropped within an epoch.
+///   3. Epoch wrap (2^32 resets) is handled: the stamps are re-zeroed and
+///      the epoch restarts at 1, preserving invariant 1.
+///   4. prepare(n) only grows capacity; shrinking keeps the allocation so
+///      pool reuse never reallocates. num_slots() reflects the prepared
+///      size, and JSWEEP_ASSERT guards every access against it.
+///
 /// Workspaces are recycled through a FaceFluxPool shared by all programs of
 /// a solver: a program borrows one sized for its slot count at init() and
 /// returns it when its last vertex retires, so steady-state sweeps allocate
@@ -38,17 +54,21 @@ namespace jsweep::sn {
 /// tets: the 4 cell faces). -1 marks "no face in this role" — a vacuum
 /// boundary inflow or an entry the kernel will not write.
 struct CellFaceIds {
-  static constexpr std::int64_t kNone = -1;
+  static constexpr std::int64_t kNone = -1;  ///< "no face in this role"
   int count = 0;  ///< active entries (3 for StructuredDD, 4 for TetStep)
+  /// Inflow faces per entry.
   std::array<std::int64_t, 4> in{kNone, kNone, kNone, kNone};
+  /// Outflow faces per entry.
   std::array<std::int64_t, 4> out{kNone, kNone, kNone, kNone};
 };
 
 /// The dense counterpart of CellFaceIds: each global face id resolved to a
 /// workspace slot. Precomputed once per (patch, angle) task.
 struct CellFaceSlots {
-  static constexpr std::int32_t kNone = -1;
+  static constexpr std::int32_t kNone = -1;  ///< no slot (vacuum inflow)
+  /// Inflow slots per entry.
   std::array<std::int32_t, 4> in{kNone, kNone, kNone, kNone};
+  /// Outflow slots per entry.
   std::array<std::int32_t, 4> out{kNone, kNone, kNone, kNone};
 };
 
@@ -108,6 +128,7 @@ class FaceFluxWorkspace {
     }
   }
 
+  /// Value of a slot, or 0 when unwritten this epoch (vacuum boundary).
   [[nodiscard]] double read(std::int32_t slot) const {
     JSWEEP_ASSERT(slot >= 0 && slot < num_slots_);
     return epoch_[static_cast<std::size_t>(slot)] == current_
@@ -121,13 +142,16 @@ class FaceFluxWorkspace {
     return epoch_[static_cast<std::size_t>(slot)] == current_;
   }
 
+  /// Store a value and stamp the slot as written this epoch.
   void write(std::int32_t slot, double value) {
     JSWEEP_ASSERT(slot >= 0 && slot < num_slots_);
     values_[static_cast<std::size_t>(slot)] = value;
     epoch_[static_cast<std::size_t>(slot)] = current_;
   }
 
+  /// Slots prepared for the current borrower.
   [[nodiscard]] std::int64_t num_slots() const { return num_slots_; }
+  /// Allocated slots (≥ num_slots(); pool fit decisions use this).
   [[nodiscard]] std::int64_t capacity() const {
     return static_cast<std::int64_t>(values_.size());
   }
@@ -142,13 +166,15 @@ class FaceFluxWorkspace {
 /// What a kernel sees for one cell: the workspace plus that cell's
 /// precomputed slots. Missing `in` slots read 0 (vacuum boundary).
 struct FaceFluxView {
-  FaceFluxWorkspace* ws = nullptr;
-  const CellFaceSlots* slots = nullptr;
+  FaceFluxWorkspace* ws = nullptr;        ///< backing workspace
+  const CellFaceSlots* slots = nullptr;   ///< this cell's resolved slots
 
+  /// Incoming flux in entry k (0 for vacuum-boundary entries).
   [[nodiscard]] double read_in(int k) const {
     const std::int32_t s = slots->in[static_cast<std::size_t>(k)];
     return s >= 0 ? ws->read(s) : 0.0;
   }
+  /// Store the outgoing flux of entry k (must have a slot).
   void write_out(int k, double value) const {
     const std::int32_t s = slots->out[static_cast<std::size_t>(k)];
     JSWEEP_ASSERT(s >= 0);
@@ -163,6 +189,8 @@ struct FaceFluxView {
 /// not pin oversized buffers forever and small ones do not grow them.
 class FaceFluxPool {
  public:
+  /// Borrow a workspace prepared for `num_slots` slots (smallest free fit,
+  /// or a fresh allocation when none is free).
   [[nodiscard]] FaceFluxWorkspace* acquire(std::int64_t num_slots) {
     FaceFluxWorkspace* ws = nullptr;
     {
@@ -189,6 +217,7 @@ class FaceFluxPool {
     return ws;
   }
 
+  /// Return a borrowed workspace to the free list (null is a no-op).
   void release(FaceFluxWorkspace* ws) {
     if (ws == nullptr) return;
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -206,10 +235,12 @@ class FaceFluxPool {
     const std::lock_guard<std::mutex> lock(mutex_);
     return static_cast<std::int64_t>(owned_.size());
   }
+  /// Total acquire() calls.
   [[nodiscard]] std::int64_t acquires() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return acquires_;
   }
+  /// acquire() calls served from the free list (no allocation).
   [[nodiscard]] std::int64_t reuses() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return reuses_;

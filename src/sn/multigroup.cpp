@@ -1,6 +1,8 @@
 #include "sn/multigroup.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
 
 #include "support/check.hpp"
@@ -39,6 +41,32 @@ bool MultigroupXs::has_upscatter() const {
   return false;
 }
 
+void MultigroupXs::validate() const {
+  for (std::int64_t c = 0; c < cells_; ++c) {
+    for (int g = 0; g < groups_; ++g) {
+      const double st = sigma_t(g, c);
+      JSWEEP_CHECK_MSG(std::isfinite(st) && st >= 0.0,
+                       "σ_t[" << g << "] = " << st << " at cell " << c);
+      const double q = source(g, c);
+      JSWEEP_CHECK_MSG(std::isfinite(q) && q >= 0.0,
+                       "source[" << g << "] = " << q << " at cell " << c);
+      double out_scatter = 0.0;
+      for (int to = 0; to < groups_; ++to) {
+        const double ss = sigma_s(g, to, c);
+        JSWEEP_CHECK_MSG(std::isfinite(ss) && ss >= 0.0,
+                         "σ_s[" << g << "→" << to << "] = " << ss
+                                << " at cell " << c);
+        out_scatter += ss;
+      }
+      JSWEEP_CHECK_MSG(
+          out_scatter <= st * (1.0 + 1e-12),
+          "group " << g << " scatters Σ_to σ_s = " << out_scatter
+                   << " > σ_t = " << st << " at cell " << c
+                   << " (scattering ratio above one diverges)");
+    }
+  }
+}
+
 MultigroupXs MultigroupXs::cascade(const MaterialTable& table,
                                    const std::vector<int>& materials,
                                    std::int64_t cells, int groups,
@@ -71,7 +99,6 @@ MultigroupResult solve_multigroup(const MultigroupXs& xs,
                                   const MultigroupOptions& options) {
   const int G = xs.groups();
   const std::int64_t n = xs.cells();
-  constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
 
   MultigroupResult result;
   result.phi.assign(static_cast<std::size_t>(G),
@@ -134,6 +161,111 @@ MultigroupResult solve_multigroup(const MultigroupXs& xs,
     }
   }
   if (!xs.has_upscatter()) result.converged = true;
+  return result;
+}
+
+MultigroupSweepPass sequential_sweep_pass(const MultigroupXs& xs,
+                                          const GroupSweepFactory& sweeps) {
+  auto group_sweep = std::make_shared<std::vector<SweepOperator>>();
+  group_sweep->reserve(static_cast<std::size_t>(xs.groups()));
+  for (int g = 0; g < xs.groups(); ++g) group_sweep->push_back(sweeps(g));
+  return [&xs, group_sweep](const std::vector<std::vector<double>>& q_base,
+                            std::vector<std::vector<double>>& phi) {
+    const int G = xs.groups();
+    const std::int64_t n = xs.cells();
+    std::vector<double> q;
+    for (int g = 0; g < G; ++g) {
+      q = q_base[static_cast<std::size_t>(g)];
+      // Fresh Gauss-Seidel downscatter: groups below g were already swept
+      // this pass. `from` ascends — the accumulation order every pass
+      // implementation must share (see inscatter_term).
+      for (int from = 0; from < g; ++from) {
+        const auto& phi_from = phi[static_cast<std::size_t>(from)];
+        for (std::int64_t c = 0; c < n; ++c)
+          q[static_cast<std::size_t>(c)] += inscatter_term(
+              xs, from, g, c, phi_from[static_cast<std::size_t>(c)]);
+      }
+      phi[static_cast<std::size_t>(g)] =
+          (*group_sweep)[static_cast<std::size_t>(g)](q);
+    }
+  };
+}
+
+MultigroupResult solve_multigroup_sweeps(const MultigroupXs& xs,
+                                         const MultigroupSweepPass& pass,
+                                         const MultigroupOptions& options) {
+  xs.validate();
+  const int G = xs.groups();
+  const std::int64_t n = xs.cells();
+
+  MultigroupResult result;
+  result.phi.assign(static_cast<std::size_t>(G),
+                    std::vector<double>(static_cast<std::size_t>(n), 0.0));
+
+  // Cached one-group views: σ_gg and Q_g feed the lagged part of q_base
+  // through the SAME emission_density() the single-group path uses, which
+  // is what makes G == 1 degenerate bitwise to source_iteration().
+  std::vector<CellXs> views;
+  views.reserve(static_cast<std::size_t>(G));
+  for (int g = 0; g < G; ++g) views.push_back(xs.group_view(g));
+
+  const bool upscatter = xs.has_upscatter();
+  const int outers = upscatter ? options.max_outer_iterations : 1;
+
+  std::vector<std::vector<double>> q_base(static_cast<std::size_t>(G));
+  std::vector<std::vector<double>> phi_frozen;  ///< upscatter sources
+  std::vector<std::vector<double>> phi_old;
+
+  for (int outer = 0; outer < outers; ++outer) {
+    if (upscatter) phi_frozen = result.phi;
+    bool inner_converged = false;
+    double inner_error = 0.0;
+    for (int it = 0; it < options.inner.max_iterations; ++it) {
+      for (int g = 0; g < G; ++g) {
+        auto& q = q_base[static_cast<std::size_t>(g)];
+        q = emission_density(views[static_cast<std::size_t>(g)],
+                             result.phi[static_cast<std::size_t>(g)]);
+        if (upscatter) {
+          for (int from = g + 1; from < G; ++from) {
+            const auto& pf = phi_frozen[static_cast<std::size_t>(from)];
+            for (std::int64_t c = 0; c < n; ++c)
+              q[static_cast<std::size_t>(c)] += inscatter_term(
+                  xs, from, g, c, pf[static_cast<std::size_t>(c)]);
+          }
+        }
+      }
+      phi_old = result.phi;
+      pass(q_base, result.phi);
+      result.total_sweeps += G;
+      ++result.pass_iterations;
+      inner_error = 0.0;
+      for (int g = 0; g < G; ++g)
+        inner_error = std::max(
+            inner_error,
+            relative_linf(result.phi[static_cast<std::size_t>(g)],
+                          phi_old[static_cast<std::size_t>(g)]));
+      if (inner_error < options.inner.tolerance) {
+        inner_converged = true;
+        break;
+      }
+    }
+    result.outer_iterations = outer + 1;
+    if (!upscatter) {
+      result.converged = inner_converged;
+      result.error = inner_error;
+      break;
+    }
+    double outer_error = 0.0;
+    for (int g = 0; g < G; ++g)
+      outer_error = std::max(
+          outer_error, relative_linf(result.phi[static_cast<std::size_t>(g)],
+                                     phi_frozen[static_cast<std::size_t>(g)]));
+    result.error = outer_error;
+    if (outer_error < options.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
   return result;
 }
 

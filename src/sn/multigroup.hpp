@@ -3,15 +3,32 @@
 /// \file multigroup.hpp
 /// Multigroup Sn transport: G energy groups coupled through a scattering
 /// matrix. The paper's JSNT-U evaluation runs S4 with 4 energy groups
-/// (Sec. VI-B); this module supplies the outer machinery — within-group
-/// source iteration wrapped in a Gauss-Seidel loop over groups, with
-/// downscatter (and optional upscatter) feeding each group's source.
+/// (Sec. VI-B). Two outer schemes live here:
+///
+///   - solve_multigroup(): the classic Gauss-Seidel loop over groups with a
+///     *converged* within-group source iteration per group. Simple, but the
+///     groups are strictly sequential — nothing can overlap.
+///   - solve_multigroup_sweeps(): the sweep-pass formulation used by the
+///     parallel solver. Each pass applies ONE transport sweep per group, in
+///     ascending group order; within-pass downscatter in-scatter is
+///     Gauss-Seidel fresh (group g reads the pass's own φ of groups < g),
+///     within-group scattering is lagged one pass, and upscatter sources
+///     are frozen at the enclosing outer iteration. Because group g+1's
+///     source is a *cell-local* function of group g's flux, the per-group
+///     sweeps of one pass can be pipelined per patch — exactly what
+///     sweep::SweepSolver's group-aware engines do. Pure downscatter needs
+///     one outer (the pass loop alone converges); upscatter wraps the pass
+///     loop in an outer Gauss-Seidel that refreshes the frozen sources.
+///
+/// Both schemes converge to the same fixed point; the sweep-pass scheme
+/// degenerates bitwise to plain source_iteration() when G == 1.
 ///
 /// Each group's sweep reuses the same patch task graphs and engine: only
 /// cross sections and sources change, which is exactly the reuse the
 /// coarsened graph exploits across iterations.
 
 #include <functional>
+#include <numbers>
 #include <vector>
 
 #include "sn/source_iteration.hpp"
@@ -24,25 +41,33 @@ namespace jsweep::sn {
 /// cell (flattened [cell * G * G + from * G + to]).
 class MultigroupXs {
  public:
+  /// Zero-initialized table for `groups` × `cells` (both ≥ 1).
   MultigroupXs(int groups, std::int64_t cells);
 
+  /// Energy groups G.
   [[nodiscard]] int groups() const { return groups_; }
+  /// Mesh cells covered.
   [[nodiscard]] std::int64_t cells() const { return cells_; }
 
+  /// Total cross section of group g in cell c (mutable).
   double& sigma_t(int g, std::int64_t c) {
     return sigma_t_[index(g, c)];
   }
+  /// Total cross section of group g in cell c.
   [[nodiscard]] double sigma_t(int g, std::int64_t c) const {
     return sigma_t_[index(g, c)];
   }
+  /// External volumetric source of group g in cell c (mutable).
   double& source(int g, std::int64_t c) { return source_[index(g, c)]; }
+  /// External volumetric source of group g in cell c.
   [[nodiscard]] double source(int g, std::int64_t c) const {
     return source_[index(g, c)];
   }
-  /// σ_s[from → to] in cell c.
+  /// σ_s[from → to] in cell c (mutable).
   double& sigma_s(int from, int to, std::int64_t c) {
     return sigma_s_[smatrix_index(from, to, c)];
   }
+  /// σ_s[from → to] in cell c.
   [[nodiscard]] double sigma_s(int from, int to, std::int64_t c) const {
     return sigma_s_[smatrix_index(from, to, c)];
   }
@@ -54,6 +79,13 @@ class MultigroupXs {
   /// True if any σ_s[from→to] with from > to is nonzero (upscatter), in
   /// which case converge_upscatter iterations are needed.
   [[nodiscard]] bool has_upscatter() const;
+
+  /// Reject malformed data before a solve: every σ_t, σ_s and source entry
+  /// must be finite and non-negative, and each group's total outgoing
+  /// scattering Σ_to σ_s[g→to] must not exceed σ_t[g] (a scattering ratio
+  /// above one makes source iteration divergent). Throws CheckError with
+  /// the offending (group, cell) on violation.
+  void validate() const;
 
   /// Build a G-group table from a one-group material map with a simple
   /// downscatter cascade: group g keeps `within` of its scattering within
@@ -88,19 +120,24 @@ class MultigroupXs {
 /// group g (they may share one solver or use per-group discretizations).
 using GroupSweepFactory = std::function<SweepOperator(int group)>;
 
+/// Iteration control of both multigroup outer schemes.
 struct MultigroupOptions {
-  SourceIterationOptions inner;      ///< within-group iteration control
+  SourceIterationOptions inner;      ///< within-group / pass-loop control
   int max_outer_iterations = 20;     ///< Gauss-Seidel passes over groups
   double outer_tolerance = 1e-5;     ///< relative L∞ over all groups
 };
 
+/// Result of a multigroup solve (either outer scheme).
 struct MultigroupResult {
   /// phi[g] is group g's scalar flux.
   std::vector<std::vector<double>> phi;
-  int outer_iterations = 0;
-  double error = 0.0;
-  bool converged = false;
-  std::int64_t total_sweeps = 0;
+  int outer_iterations = 0;  ///< outer Gauss-Seidel iterations executed
+  /// Multigroup sweep passes executed (solve_multigroup_sweeps only):
+  /// total across all outers; each pass sweeps every group once.
+  int pass_iterations = 0;
+  double error = 0.0;      ///< final convergence metric (relative L∞)
+  bool converged = false;  ///< true when the final error beat tolerance
+  std::int64_t total_sweeps = 0;  ///< transport sweeps applied in total
 };
 
 /// Solve the multigroup system by Gauss-Seidel over groups: for each group
@@ -110,5 +147,54 @@ struct MultigroupResult {
 MultigroupResult solve_multigroup(const MultigroupXs& xs,
                                   const GroupSweepFactory& sweeps,
                                   const MultigroupOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Sweep-pass formulation (the parallel solver's outer scheme)
+// ---------------------------------------------------------------------------
+
+inline constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
+
+/// One fresh (Gauss-Seidel) in-scatter contribution: group `from`'s new
+/// flux φ scattering into group `to` at cell c, per steradian. ONE shared
+/// expression so the serial reference pass, the barriered per-group pass
+/// and the pipelined engines accumulate bitwise-identically — every caller
+/// must apply it as `q[c] += inscatter_term(...)` with `from` ascending.
+[[nodiscard]] inline double inscatter_term(const MultigroupXs& xs, int from,
+                                           int to, std::int64_t c,
+                                           double phi) {
+  return xs.sigma_s(from, to, c) * phi * kInvFourPi;
+}
+
+/// One multigroup sweep pass. On entry `q_base[g]` holds the per-steradian
+/// source of group g *without* the fresh downscatter part: external source,
+/// within-group scattering of the previous pass's φ, and (when upscatter
+/// exists) the frozen upscatter in-scatter of the enclosing outer. The
+/// pass must, for g ascending, form q_g = q_base[g] + Σ_{g'<g}
+/// inscatter_term(g'→g, φ_new[g']) and overwrite `phi[g]` with one
+/// transport sweep of group g against q_g. The incoming contents of `phi`
+/// must not be read (all lagged terms are already inside q_base).
+using MultigroupSweepPass =
+    std::function<void(const std::vector<std::vector<double>>& q_base,
+                       std::vector<std::vector<double>>& phi)>;
+
+/// The sequential reference pass: per-group sweep operators applied in
+/// ascending group order with fresh in-scatter accumulated via
+/// inscatter_term. Serial sweeps make this the ground truth the parallel
+/// (pipelined or barriered) passes must reproduce; solver-backed operators
+/// make it the group-barriered parallel baseline of the pipelining
+/// ablation.
+[[nodiscard]] MultigroupSweepPass sequential_sweep_pass(
+    const MultigroupXs& xs, const GroupSweepFactory& sweeps);
+
+/// Solve the multigroup system by iterating sweep passes: each inner
+/// iteration runs `pass` once (one sweep per group) and converges the
+/// joint downscatter + within-group system; with upscatter an outer
+/// Gauss-Seidel refreshes the frozen upscatter sources between inner
+/// sequences. Pure downscatter finishes in outer_iterations == 1. For
+/// G == 1 the iterates are bitwise-identical to source_iteration() with
+/// the same inner options.
+MultigroupResult solve_multigroup_sweeps(const MultigroupXs& xs,
+                                         const MultigroupSweepPass& pass,
+                                         const MultigroupOptions& options = {});
 
 }  // namespace jsweep::sn

@@ -26,6 +26,7 @@ struct Ordinate {
   int octant = 0;     ///< 0..7, bit 0: Ωx<0, bit 1: Ωy<0, bit 2: Ωz<0
 };
 
+/// An ordered set of ordinates with weights summing to 4π.
 class Quadrature {
  public:
   /// Level-symmetric LQn quadrature; n ∈ {2, 4, 6, 8}; n(n+2) directions.
@@ -35,15 +36,19 @@ class Quadrature {
   /// uniformly weighted azimuthal angles = npolar*nazim directions.
   static Quadrature product(int npolar, int nazim);
 
+  /// Ordinates in the set.
   [[nodiscard]] int num_angles() const {
     return static_cast<int>(ordinates_.size());
   }
+  /// Ordinate a (0-based).
   [[nodiscard]] const Ordinate& angle(int a) const {
     return ordinates_[static_cast<std::size_t>(a)];
   }
+  /// All ordinates, in angle-id order.
   [[nodiscard]] const std::vector<Ordinate>& ordinates() const {
     return ordinates_;
   }
+  /// Σ_m w_m (should be 4π up to roundoff).
   [[nodiscard]] double total_weight() const;
 
  private:

@@ -42,6 +42,8 @@ std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
 /// cross-engine equivalence suite on cyclic meshes.
 class SerialSweeper {
  public:
+  /// Computes each direction's cycle cut up front; `disc` and `quad` must
+  /// outlive the sweeper.
   SerialSweeper(const TetStep& disc, const Quadrature& quad);
 
   /// One full sweep over all angles; commits the lagged iterates at the

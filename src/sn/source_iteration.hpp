@@ -20,17 +20,19 @@ namespace jsweep::sn {
 using SweepOperator =
     std::function<std::vector<double>(const std::vector<double>&)>;
 
+/// Convergence control of the outer source iteration.
 struct SourceIterationOptions {
-  double tolerance = 1e-5;
-  int max_iterations = 200;
-  bool verbose = false;
+  double tolerance = 1e-5;   ///< stop when relative L∞ change drops below
+  int max_iterations = 200;  ///< hard iteration cap
+  bool verbose = false;      ///< log per-iteration errors
 };
 
+/// Outcome of a source-iteration solve.
 struct SourceIterationResult {
-  std::vector<double> phi;
-  int iterations = 0;
-  double error = 0.0;
-  bool converged = false;
+  std::vector<double> phi;  ///< converged (or last-iterate) scalar flux
+  int iterations = 0;       ///< sweeps applied
+  double error = 0.0;       ///< last relative L∞ change
+  bool converged = false;   ///< true when error beat tolerance
 };
 
 /// Run source iteration with cross sections `xs` (per cell) and the given

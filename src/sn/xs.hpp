@@ -21,9 +21,11 @@ struct CrossSection {
 /// Material table indexed by mesh material id.
 class MaterialTable {
  public:
-  MaterialTable() = default;
+  MaterialTable() = default;  ///< empty table
+  /// Table over the given materials (index = mesh material id).
   explicit MaterialTable(std::vector<CrossSection> xs) : xs_(std::move(xs)) {}
 
+  /// Cross sections of a material id; throws CheckError when absent.
   [[nodiscard]] const CrossSection& at(int material) const {
     JSWEEP_CHECK_MSG(material >= 0 &&
                          material < static_cast<int>(xs_.size()),
@@ -31,6 +33,7 @@ class MaterialTable {
     return xs_[static_cast<std::size_t>(material)];
   }
 
+  /// Materials in the table.
   [[nodiscard]] int size() const { return static_cast<int>(xs_.size()); }
 
   /// Kobayashi-style table (ids from mesh::Material): source region with
@@ -52,13 +55,14 @@ class MaterialTable {
   std::vector<CrossSection> xs_;
 };
 
-/// Expand per-cell arrays from a material map.
+/// Per-cell cross-section arrays (each sized to the mesh's cell count).
 struct CellXs {
-  std::vector<double> sigma_t;
-  std::vector<double> sigma_s;
-  std::vector<double> source;
+  std::vector<double> sigma_t;  ///< total cross section per cell
+  std::vector<double> sigma_s;  ///< isotropic scattering per cell
+  std::vector<double> source;   ///< external volumetric source per cell
 };
 
+/// Expand per-cell arrays from a material map (empty map = material 0).
 CellXs expand(const MaterialTable& table, const std::vector<int>& materials,
               std::int64_t num_cells);
 

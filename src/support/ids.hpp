@@ -43,6 +43,7 @@ std::ostream& operator<<(std::ostream& os, StrongId<Tag, Rep> id) {
 struct PatchTag {};
 struct CellTag {};
 struct AngleTag {};
+struct GroupTag {};
 struct RankTag {};
 struct WorkerTag {};
 struct TaskTagTag {};
@@ -53,12 +54,16 @@ using PatchId = StrongId<PatchTag>;
 using CellId = StrongId<CellTag, std::int64_t>;
 /// An angular ordinate (sweeping direction).
 using AngleId = StrongId<AngleTag>;
+/// An energy group of a multigroup transport solve.
+using GroupId = StrongId<GroupTag>;
 /// A process rank in the communication substrate.
 using RankId = StrongId<RankTag>;
 /// A worker thread within one rank.
 using WorkerId = StrongId<WorkerTag>;
-/// Task tag distinguishing patch-programs on the same patch
-/// (for Sn sweeps this is the angle id; other components may use other tags).
+/// Task tag distinguishing patch-programs on the same patch. For Sn sweeps
+/// this encodes the (angle, group) pair group-major (see
+/// sweep::sweep_task_tag) so a single-group sweep's tag is the plain angle
+/// id; other components may use other tag spaces.
 using TaskTag = StrongId<TaskTagTag>;
 
 /// Identifies one patch-program: the (patch, task) pair of the paper.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "sweep/group_pipeline.hpp"
 
 namespace jsweep::sweep {
 
@@ -106,12 +107,18 @@ CoarsenedSweepData::CoarsenedSweepData(const SweepTaskData& fine,
 }
 
 CoarsenedSweepProgram::CoarsenedSweepProgram(const CoarsenedSweepData& data,
-                                             const SweepShared& shared)
+                                             const SweepShared& shared,
+                                             GroupId group)
     : core::PatchProgram(data.fine().patch(),
-                         TaskTag{data.fine().angle().value()}),
+                         sweep_task_tag(data.fine().angle(), group,
+                                        shared.quad->num_angles())),
       data_(data),
       shared_(shared),
-      fine_vertices_(data.fine().num_vertices()) {}
+      group_(group),
+      fine_vertices_(data.fine().num_vertices()) {
+  JSWEEP_CHECK_MSG(group_.value() == 0 || shared_.pipeline != nullptr,
+                   "group > 0 programs need a GroupPipeline");
+}
 
 void CoarsenedSweepProgram::init() {
   counts_ = data_.initial_counts();
@@ -122,6 +129,8 @@ void CoarsenedSweepProgram::init() {
   prepare_out_buffers(data_.fine(), out_items_, pending_);
   phi_.assign(static_cast<std::size_t>(fine_vertices_), 0.0);
   computed_ = 0;
+  gate_open_ = shared_.pipeline == nullptr || group_ == GroupId{0};
+  completion_reported_ = false;
 }
 
 void CoarsenedSweepProgram::input(const core::Stream& s) {
@@ -129,7 +138,12 @@ void CoarsenedSweepProgram::input(const core::Stream& s) {
   JSWEEP_CHECK_MSG(computed_ < fine_vertices_,
                    "stream delivered to " << key()
                                           << " after it retired all work");
-  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_.fine());
+  if (s.data.empty()) {  // group-activation marker: sources are ready
+    gate_open_ = true;
+    return;
+  }
+  sn::FaceFluxWorkspace& flux =
+      lease_.ensure(shared_, data_.fine(), lag_group());
   for_each_item(s.data, [&](const StreamItem& item) {
     flux.write(data_.fine().slot_of_remote_in(item.face), item.value);
     const std::int32_t v =
@@ -143,34 +157,48 @@ void CoarsenedSweepProgram::input(const core::Stream& s) {
 }
 
 void CoarsenedSweepProgram::compute() {
-  if (ready_.empty()) return;
-  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_.fine());
+  if (!gate_open_ || ready_.empty()) return;
+  sn::FaceFluxWorkspace& flux =
+      lease_.ensure(shared_, data_.fine(), lag_group());
   const std::int32_t c = ready_.top();
   ready_.pop();
 
-  const sn::Ordinate& ang = shared_.quad->angle(key().task.value());
-  const std::vector<double>& q = *shared_.q_per_ster;
+  const sn::Ordinate& ang =
+      shared_.quad->angle(data_.fine().angle().value());
+  const sn::Discretization* disc = shared_.disc;
+  const std::vector<double>* q_ptr = shared_.q_per_ster;
+  if (shared_.pipeline != nullptr) {
+    disc = shared_.pipeline->group_disc(group_);
+    q_ptr = &shared_.pipeline->q_group(group_);
+  }
+  const std::vector<double>& q = *q_ptr;
   const auto& cells = shared_.patches->cells(key().patch);
   const SweepTaskData& fine = data_.fine();
 
   for (const auto v : data_.members(c)) {
     const CellId cell = cells[static_cast<std::size_t>(v)];
     const sn::FaceFluxView view{&flux, &fine.cell_slots(v)};
-    const double psi = shared_.disc->sweep_cell(cell, ang, q, view);
+    const double psi = disc->sweep_cell(cell, ang, q, view);
     phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
     ++computed_;
     fine.for_out_remote(v, [&](const RemoteOut& e) {
       out_items_[static_cast<std::size_t>(e.dst)].push_back(
           StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
     });
-    stage_lagged_writes(fine, shared_.lagged, v, flux);
+    stage_lagged_writes(fine, shared_.lagged, lag_group(), v, flux);
   }
   data_.for_succ(c, [&](std::int32_t succ) {
     if (--counts_[static_cast<std::size_t>(succ)] == 0) ready_.push(succ);
   });
 
   flush_out_streams(fine, shared_, key(), out_items_, pending_);
-  lease_.release_if(computed_ == fine_vertices_, shared_);
+  const bool done = computed_ == fine_vertices_;
+  lease_.release_if(done, shared_);
+  if (done && !completion_reported_ && shared_.pipeline != nullptr) {
+    completion_reported_ = true;
+    shared_.pipeline->on_program_complete(fine.patch(), group_, key(),
+                                          pending_);
+  }
 }
 
 std::optional<core::Stream> CoarsenedSweepProgram::output() {
@@ -180,6 +208,8 @@ std::optional<core::Stream> CoarsenedSweepProgram::output() {
   return s;
 }
 
-bool CoarsenedSweepProgram::vote_to_halt() { return ready_.empty(); }
+bool CoarsenedSweepProgram::vote_to_halt() {
+  return !gate_open_ || ready_.empty();
+}
 
 }  // namespace jsweep::sweep

@@ -29,15 +29,20 @@ class CoarsenedSweepData {
                      std::vector<std::int32_t> cluster_of,
                      std::int32_t num_clusters);
 
+  /// The fine (per-vertex) task data the clusters refer to.
   [[nodiscard]] const SweepTaskData& fine() const { return fine_; }
+  /// Clusters in the coarsened graph.
   [[nodiscard]] std::int32_t num_clusters() const { return num_clusters_; }
+  /// Fine vertices of cluster c, in recorded execution order.
   [[nodiscard]] const std::vector<std::int32_t>& members(
       std::int32_t c) const {
     return members_[static_cast<std::size_t>(c)];
   }
+  /// Cluster id per fine vertex.
   [[nodiscard]] const std::vector<std::int32_t>& cluster_of() const {
     return cluster_of_;
   }
+  /// Per-cluster initial dependency counts.
   [[nodiscard]] const std::vector<std::int32_t>& initial_counts() const {
     return initial_counts_;
   }
@@ -61,29 +66,46 @@ class CoarsenedSweepData {
   std::vector<std::int32_t> initial_counts_;
 };
 
-/// Patch-program that replays the sweep cluster-by-cluster on CG.
+/// Patch-program that replays the sweep cluster-by-cluster on CG. Carries
+/// the same (angle, group) task axis as the fine program it replaces —
+/// including the multigroup gate/activation protocol — so a coarsened
+/// multigroup pass stays bitwise-identical to the fine one.
 class CoarsenedSweepProgram final : public core::PatchProgram {
  public:
   CoarsenedSweepProgram(const CoarsenedSweepData& data,
-                        const SweepShared& shared);
+                        const SweepShared& shared, GroupId group = GroupId{0});
 
+  /// Reset local context (counters, ready clusters, φ, gate) for a run.
   void init() override;
+  /// Consume one face-flux stream (or a group-activation marker).
   void input(const core::Stream& s) override;
+  /// Replay one ready cluster; buffer boundary outputs.
   void compute() override;
+  /// Drain one pending outgoing stream (null when empty).
   std::optional<core::Stream> output() override;
+  /// True when nothing is runnable (empty ready queue or closed gate).
   bool vote_to_halt() override;
+  /// Unswept fine vertices (drives known-workload termination).
   [[nodiscard]] std::int64_t remaining_work() const override {
     return fine_vertices_ - computed_;
   }
+  /// Total fine vertices this program retires per run.
   [[nodiscard]] std::int64_t total_work() const override {
     return fine_vertices_;
   }
 
+  /// Per-local-vertex w_a·ψ contribution, valid after a run completes.
   [[nodiscard]] const std::vector<double>& phi_local() const { return phi_; }
 
  private:
+  /// See SweepPatchProgram::lag_group(): lagged-flux stride selection.
+  [[nodiscard]] GroupId lag_group() const {
+    return shared_.pipeline != nullptr ? group_ : shared_.current_group;
+  }
+
   const CoarsenedSweepData& data_;
   const SweepShared& shared_;
+  GroupId group_;
   std::int64_t fine_vertices_;
 
   std::vector<std::int32_t> counts_;  ///< per cluster
@@ -97,6 +119,8 @@ class CoarsenedSweepProgram final : public core::PatchProgram {
   std::vector<core::Stream> pending_;
   std::vector<double> phi_;
   std::int64_t computed_ = 0;
+  bool gate_open_ = true;  ///< see SweepPatchProgram's group gate
+  bool completion_reported_ = false;
 };
 
 }  // namespace jsweep::sweep

@@ -1,0 +1,136 @@
+#include "sweep/group_pipeline.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "sweep/sweep_data.hpp"
+
+namespace jsweep::sweep {
+
+GroupPipeline::GroupPipeline(
+    const sn::MultigroupXs& xs, const partition::PatchSet& ps,
+    int num_angles, std::vector<const sn::Discretization*> group_discs)
+    : xs_(xs),
+      ps_(ps),
+      num_angles_(num_angles),
+      discs_(std::move(group_discs)) {
+  JSWEEP_CHECK(num_angles_ >= 1);
+  JSWEEP_CHECK_MSG(static_cast<int>(discs_.size()) == xs_.groups(),
+                   "need one discretization per group");
+  JSWEEP_CHECK_MSG(xs_.cells() == ps_.num_cells(),
+                   "multigroup table covers "
+                       << xs_.cells() << " cells, mesh has "
+                       << ps_.num_cells());
+  local_of_patch_.assign(static_cast<std::size_t>(ps_.num_patches()), -1);
+  q_groups_.assign(static_cast<std::size_t>(xs_.groups()),
+                   std::vector<double>());
+  phi_groups_.assign(
+      static_cast<std::size_t>(xs_.groups()),
+      std::vector<double>(static_cast<std::size_t>(ps_.num_cells()), 0.0));
+}
+
+std::size_t GroupPipeline::local_index(PatchId p) const {
+  const std::int32_t idx = local_of_patch_[static_cast<std::size_t>(p.value())];
+  JSWEEP_CHECK_MSG(idx >= 0, "patch " << p << " not registered");
+  return static_cast<std::size_t>(idx);
+}
+
+void GroupPipeline::register_patches(const std::vector<PatchId>& patches) {
+  JSWEEP_CHECK_MSG(local_patches_.empty(), "patches already registered");
+  local_patches_ = patches;
+  for (std::size_t i = 0; i < local_patches_.size(); ++i) {
+    const PatchId p = local_patches_[i];
+    JSWEEP_CHECK(local_of_patch_[static_cast<std::size_t>(p.value())] < 0);
+    local_of_patch_[static_cast<std::size_t>(p.value())] =
+        static_cast<std::int32_t>(i);
+  }
+  const std::size_t slots =
+      local_patches_.size() * static_cast<std::size_t>(xs_.groups());
+  remaining_ = std::make_unique<std::atomic<std::int32_t>[]>(slots);
+  phi_ptrs_.assign(slots * static_cast<std::size_t>(num_angles_), nullptr);
+}
+
+void GroupPipeline::register_program(PatchId p, AngleId a, GroupId g,
+                                     const std::vector<double>* phi_local) {
+  JSWEEP_CHECK(phi_local != nullptr);
+  const std::size_t slot =
+      phi_slot(local_index(p), g.value(), a.value());
+  phi_ptrs_[slot] = phi_local;
+}
+
+void GroupPipeline::clear_programs() {
+  std::fill(phi_ptrs_.begin(), phi_ptrs_.end(), nullptr);
+}
+
+void GroupPipeline::begin_pass(
+    const std::vector<std::vector<double>>& q_base) {
+  JSWEEP_CHECK_MSG(static_cast<int>(q_base.size()) == xs_.groups(),
+                   "q_base must hold one source per group");
+  for (int g = 0; g < xs_.groups(); ++g) {
+    JSWEEP_CHECK(static_cast<std::int64_t>(
+                     q_base[static_cast<std::size_t>(g)].size()) ==
+                 ps_.num_cells());
+    q_groups_[static_cast<std::size_t>(g)] =
+        q_base[static_cast<std::size_t>(g)];
+    std::fill(phi_groups_[static_cast<std::size_t>(g)].begin(),
+              phi_groups_[static_cast<std::size_t>(g)].end(), 0.0);
+  }
+  const std::size_t slots =
+      local_patches_.size() * static_cast<std::size_t>(xs_.groups());
+  for (std::size_t i = 0; i < slots; ++i)
+    remaining_[i].store(num_angles_, std::memory_order_relaxed);
+}
+
+void GroupPipeline::on_program_complete(PatchId p, GroupId g,
+                                        const ProgramKey& src,
+                                        std::vector<core::Stream>& pending) {
+  const std::size_t idx = local_index(p);
+  const std::size_t slot =
+      idx * static_cast<std::size_t>(xs_.groups()) +
+      static_cast<std::size_t>(g.value());
+  // acq_rel: siblings' φ writes happen-before the last completer's reads.
+  if (remaining_[slot].fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+
+  const auto& cells = ps_.cells(p);
+  const int G = xs_.groups();
+  const int gv = g.value();
+
+  // 1. Patch p's group-g scalar flux, ascending angle order (the same
+  //    per-cell accumulation order as the serial Σ_a w_a ψ_a).
+  auto& phi_out = phi_groups_[static_cast<std::size_t>(gv)];
+  for (int a = 0; a < num_angles_; ++a) {
+    const std::vector<double>* phi_local =
+        phi_ptrs_[phi_slot(idx, gv, a)];
+    JSWEEP_CHECK_MSG(phi_local != nullptr,
+                     "program (" << p << ", angle " << a << ", group " << gv
+                                 << ") never registered");
+    for (std::size_t v = 0; v < cells.size(); ++v)
+      phi_out[static_cast<std::size_t>(cells[v].value())] += (*phi_local)[v];
+  }
+  if (gv + 1 >= G) return;
+
+  // 2. Group g+1's source on p: base + fresh in-scatter of groups 0..g,
+  //    ascending — one shared expression (inscatter_term) keeps this
+  //    bitwise-identical to sequential_sweep_pass.
+  auto& q = q_groups_[static_cast<std::size_t>(gv + 1)];
+  for (int from = 0; from <= gv; ++from) {
+    const auto& phi_from = phi_groups_[static_cast<std::size_t>(from)];
+    for (std::size_t v = 0; v < cells.size(); ++v) {
+      const std::int64_t c = cells[v].value();
+      q[static_cast<std::size_t>(c)] += sn::inscatter_term(
+          xs_, from, gv + 1, c, phi_from[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  // 3. Inject group g+1 on this patch: one empty-payload activation stream
+  //    per angle program.
+  for (int a = 0; a < num_angles_; ++a) {
+    core::Stream s;
+    s.src = src;
+    s.dst = ProgramKey{p, sweep_task_tag(AngleId{a}, GroupId{gv + 1},
+                                         num_angles_)};
+    pending.push_back(std::move(s));
+  }
+}
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,132 @@
+#pragma once
+
+/// \file group_pipeline.hpp
+/// Rank-local coordination of group-pipelined multigroup sweeps — the
+/// runtime that turns one engine run into a full multigroup sweep *pass*
+/// over (patch, angle, group) programs.
+///
+/// ## Why pipelining works
+///
+/// In the sweep-pass formulation (sn/multigroup.hpp), group g's source
+/// needs the pass's fresh flux of groups < g — but in-scatter is
+/// *cell-local*: q_g(c) depends only on φ_{g'}(c) of the same cell. So the
+/// moment patch p has finished group g (all angles retired), group g+1's
+/// source on p is fully determined and p's group-(g+1) programs may start,
+/// regardless of how far other patches have progressed. Consecutive
+/// groups' sweeps overlap instead of being barrier-separated — the same
+/// idle-hiding argument the data-driven engine makes for patch-angle
+/// parallelism, applied along the energy axis.
+///
+/// ## Protocol
+///
+/// Programs carry their GroupId; groups > 0 are registered inactive and
+/// *gated*: they buffer incoming face streams but compute nothing until an
+/// empty-payload **activation stream** arrives. When a program retires its
+/// last vertex it calls on_program_complete(); the last angle of (p, g)
+///   1. accumulates patch p's group-g scalar flux φ_g (ascending angle
+///      order — deterministic),
+///   2. forms group g+1's source on p's cells: q_{g+1}(c) = q_base(c) +
+///      Σ_{g'≤g, ascending} inscatter_term(g'→g+1) — bitwise-identical to
+///      the serial reference pass,
+///   3. emits one activation stream per (p, angle, g+1) program.
+/// Thread safety: the per-(patch, group) remaining-angle counters are
+/// atomics (BSP runs sibling programs concurrently); the acq_rel
+/// fetch_sub makes every sibling's φ writes visible to the last
+/// completer, and the engines' stream delivery orders the q writes before
+/// any activated reader runs. Each cell is written by exactly one patch,
+/// so no two gate completions ever race on a q or φ entry.
+///
+/// One pass = begin_pass(q_base) → one engine run → collect per-group φ
+/// (each rank contributes its local patches; the solver allreduces).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/discretization.hpp"
+#include "sn/multigroup.hpp"
+#include "support/ids.hpp"
+
+namespace jsweep::sweep {
+
+/// Rank-local multigroup gate/source coordinator (see
+/// \ref group_pipeline.hpp for the why and the protocol).
+class GroupPipeline {
+ public:
+  /// `xs`, `ps` and the discretizations must outlive the pipeline.
+  /// `group_discs[g]` is the kernel for group g (σ_t differs per group).
+  GroupPipeline(const sn::MultigroupXs& xs, const partition::PatchSet& ps,
+                int num_angles,
+                std::vector<const sn::Discretization*> group_discs);
+
+  /// Energy groups coordinated by this pipeline.
+  [[nodiscard]] int num_groups() const { return xs_.groups(); }
+  /// Ordinates per group (the per-(patch, group) gate width).
+  [[nodiscard]] int num_angles() const { return num_angles_; }
+  /// Group g's per-cell sweep kernel (σ_t varies by group).
+  [[nodiscard]] const sn::Discretization* group_disc(GroupId g) const {
+    return discs_[static_cast<std::size_t>(g.value())];
+  }
+  /// Group g's per-steradian source for the current pass. Valid for a
+  /// program once it is active (group 0 after begin_pass; higher groups
+  /// after their activation stream).
+  [[nodiscard]] const std::vector<double>& q_group(GroupId g) const {
+    return q_groups_[static_cast<std::size_t>(g.value())];
+  }
+
+  /// Build-time: declare this rank's local patches (once, sized in one
+  /// shot) and then each of their programs' φ arrays. Re-registration
+  /// (clear_programs + register_program) swaps in the coarsened programs'
+  /// arrays.
+  void register_patches(const std::vector<PatchId>& patches);
+  void register_program(PatchId p, AngleId a, GroupId g,
+                        const std::vector<double>* phi_local);
+  void clear_programs();
+
+  /// Reset for one multigroup sweep pass: copy the base sources, zero the
+  /// per-group flux accumulators and re-arm the gate counters.
+  void begin_pass(const std::vector<std::vector<double>>& q_base);
+
+  /// Called by a (patch, angle, group) program that retired its last
+  /// vertex, from worker context. The patch's last angle performs the gate
+  /// work above and appends the next group's activation streams to
+  /// `pending` (empty payload, dst = (p, sweep_task_tag(a, g+1))).
+  void on_program_complete(PatchId p, GroupId g, const ProgramKey& src,
+                           std::vector<core::Stream>& pending);
+
+  /// Group g's scalar-flux accumulation after a pass: this rank's local
+  /// patches are filled, all other cells are zero (allreduce to assemble).
+  [[nodiscard]] const std::vector<double>& phi_group(GroupId g) const {
+    return phi_groups_[static_cast<std::size_t>(g.value())];
+  }
+
+ private:
+  [[nodiscard]] std::size_t local_index(PatchId p) const;
+  [[nodiscard]] std::size_t phi_slot(std::size_t patch_idx, int g,
+                                     int a) const {
+    return (patch_idx * static_cast<std::size_t>(xs_.groups()) +
+            static_cast<std::size_t>(g)) *
+               static_cast<std::size_t>(num_angles_) +
+           static_cast<std::size_t>(a);
+  }
+
+  const sn::MultigroupXs& xs_;
+  const partition::PatchSet& ps_;
+  int num_angles_;
+  std::vector<const sn::Discretization*> discs_;
+
+  std::vector<PatchId> local_patches_;
+  std::vector<std::int32_t> local_of_patch_;  ///< patch id → index or -1
+  /// remaining_[patch_idx * G + g]: angle programs of (p, g) still running.
+  std::unique_ptr<std::atomic<std::int32_t>[]> remaining_;
+  /// phi_ptrs_[phi_slot(patch_idx, g, a)]: that program's φ array.
+  std::vector<const std::vector<double>*> phi_ptrs_;
+
+  std::vector<std::vector<double>> q_groups_;    ///< per group, global size
+  std::vector<std::vector<double>> phi_groups_;  ///< per group, global size
+};
+
+}  // namespace jsweep::sweep

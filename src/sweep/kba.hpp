@@ -22,21 +22,26 @@
 
 namespace jsweep::sweep {
 
+/// Process-grid and pipelining knobs of the KBA baseline.
 struct KbaConfig {
   int px = 1;       ///< process-grid extent in x (px*py must equal ranks)
   int py = 1;       ///< process-grid extent in y
   int z_block = 4;  ///< planes per pipeline stage
 };
 
+/// Per-sweep counters of the KBA baseline.
 struct KbaStats {
-  double elapsed_seconds = 0.0;
-  double wait_seconds = 0.0;   ///< time blocked on upwind planes
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
+  double elapsed_seconds = 0.0;  ///< wall time of the last sweep
+  double wait_seconds = 0.0;     ///< time blocked on upwind planes
+  std::int64_t messages = 0;     ///< plane messages sent
+  std::int64_t bytes = 0;        ///< plane payload bytes sent
 };
 
+/// The KBA wavefront sweeper (see \ref kba.hpp). One instance per rank.
 class KbaSolver {
  public:
+  /// `disc` and `quad` must outlive the solver; the mesh must be
+  /// rectangular structured and divide evenly into the px×py grid.
   KbaSolver(comm::Context& ctx, const sn::StructuredDD& disc,
             const sn::Quadrature& quad, KbaConfig config);
 
@@ -44,10 +49,12 @@ class KbaSolver {
   /// (identical on every rank). Collective.
   std::vector<double> sweep(const std::vector<double>& q_per_ster);
 
+  /// Adapter for sn::source_iteration.
   [[nodiscard]] sn::SweepOperator as_operator() {
     return [this](const std::vector<double>& q) { return sweep(q); };
   }
 
+  /// Last sweep's counters.
   [[nodiscard]] const KbaStats& stats() const { return stats_; }
 
  private:

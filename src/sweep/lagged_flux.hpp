@@ -8,9 +8,30 @@
 /// which commit() exchanges globally (each slot is written by exactly one
 /// rank, so one allreduce-sum assembles the full vector everywhere).
 ///
-/// Thread safety: slots are registered at build time; during a run,
-/// workers call stage() on *distinct* slots (one writer cell per face) and
-/// read prev() concurrently — both touch pre-sized vectors, no locking.
+/// ## Commit protocol (the invariant the engines rely on)
+///
+/// One sweep's lifecycle over the store is strictly three-phase:
+///
+///   1. **Seed** — at program init every lagged *read* face is filled from
+///      `prev` (zero before the first commit: the vacuum initial iterate).
+///   2. **Stage** — when a vertex computes a lagged *write* face, the fresh
+///      value goes to `next` via stage()/stage_by_slot() and the workspace
+///      is restored to the `prev` value, so any later reader sees the value
+///      the cut promised regardless of execution order. Distinct slots have
+///      distinct writer cells, so workers stage without locking.
+///   3. **Commit** — after the engine run, commit() allreduce-sums `next`
+///      (each slot written by exactly one rank, others contribute zero),
+///      promotes it to `prev`, zeroes `next` and returns the max |Δ|
+///      residual, identical on every rank. prev values are therefore
+///      constant for the whole duration of a sweep.
+///
+/// ## Group axis
+///
+/// A multigroup solve lags each energy group's face flux independently:
+/// set_num_groups(G) (before the first add_slot) makes every registered
+/// (angle, face) slot carry G values, addressed by the dense accessors'
+/// `group` parameter with stride slot*G + group. The map-keyed prev()/
+/// stage() convenience API addresses group 0 — the single-group case.
 
 #include <algorithm>
 #include <cmath>
@@ -23,34 +44,46 @@
 
 namespace jsweep::sweep {
 
+/// Old-iterate storage for cycle-cut face fluxes (see \ref lagged_flux.hpp
+/// for the seed → stage → commit protocol and the group stride).
 class LaggedFluxStore {
  public:
+  /// Number of energy groups each slot carries. Must be called before the
+  /// first add_slot(); defaults to 1.
+  void set_num_groups(int groups) {
+    JSWEEP_CHECK_MSG(prev_.empty(), "set_num_groups before add_slot");
+    JSWEEP_CHECK(groups >= 1);
+    groups_ = groups;
+  }
+  [[nodiscard]] int num_groups() const { return groups_; }
+
   /// Register the slot for (angle, face). Must be called identically on
   /// every rank (same order), before the first sweep.
   void add_slot(std::int32_t angle, std::int64_t face) {
-    const auto [it, inserted] =
-        slot_.emplace(key(angle, face),
-                      static_cast<std::int32_t>(prev_.size()));
+    const auto [it, inserted] = slot_.emplace(
+        key(angle, face), static_cast<std::int32_t>(slot_.size()));
     JSWEEP_CHECK_MSG(inserted, "duplicate lagged slot for angle "
                                    << angle << " face " << face);
-    prev_.push_back(0.0);
-    next_.push_back(0.0);
+    prev_.resize(prev_.size() + static_cast<std::size_t>(groups_), 0.0);
+    next_.resize(next_.size() + static_cast<std::size_t>(groups_), 0.0);
   }
 
+  /// True when no slots are registered (acyclic mesh).
   [[nodiscard]] bool empty() const { return prev_.empty(); }
+  /// Registered (angle, face) slots — group values not multiplied in.
   [[nodiscard]] std::int64_t num_slots() const {
-    return static_cast<std::int64_t>(prev_.size());
+    return static_cast<std::int64_t>(slot_.size());
   }
 
-  /// Previous-sweep value of a lagged face (0 before the first commit —
-  /// the vacuum initial iterate).
+  /// Previous-sweep value of a lagged face in group 0 (0 before the first
+  /// commit — the vacuum initial iterate).
   [[nodiscard]] double prev(std::int32_t angle, std::int64_t face) const {
-    return prev_[slot(angle, face)];
+    return prev_by_slot(slot(angle, face), 0);
   }
 
-  /// Stage this sweep's freshly computed value for the next commit.
+  /// Stage this sweep's freshly computed group-0 value for the next commit.
   void stage(std::int32_t angle, std::int64_t face, double value) {
-    next_[slot(angle, face)] = value;
+    stage_by_slot(slot(angle, face), 0, value);
   }
 
   // --- Dense (slot-indexed) access ---------------------------------------
@@ -61,19 +94,21 @@ class LaggedFluxStore {
   /// Resolve the slot registered for (angle, face). Build-time only.
   [[nodiscard]] std::int32_t slot_index(std::int32_t angle,
                                         std::int64_t face) const {
-    return static_cast<std::int32_t>(slot(angle, face));
+    return slot(angle, face);
   }
 
-  [[nodiscard]] double prev_by_slot(std::int32_t s) const {
-    return prev_[static_cast<std::size_t>(s)];
+  /// Previous-sweep value of slot `s` in energy group `group`.
+  [[nodiscard]] double prev_by_slot(std::int32_t s, std::int32_t group) const {
+    return prev_[index(s, group)];
   }
-  void stage_by_slot(std::int32_t s, double value) {
-    next_[static_cast<std::size_t>(s)] = value;
+  /// Stage slot `s`'s fresh value for group `group` (next commit).
+  void stage_by_slot(std::int32_t s, std::int32_t group, double value) {
+    next_[index(s, group)] = value;
   }
 
   /// Collective: assemble the staged values globally, promote them to
-  /// `prev`, and return the max |next - prev| residual (identical on all
-  /// ranks). Call once per sweep, after the engine run.
+  /// `prev`, and return the max |next - prev| residual over all groups
+  /// (identical on all ranks). Call once per sweep, after the engine run.
   double commit(comm::Context& ctx) {
     ctx.allreduce_sum(next_);
     double residual = 0.0;
@@ -93,14 +128,21 @@ class LaggedFluxStore {
            static_cast<std::uint64_t>(face);
   }
 
-  [[nodiscard]] std::size_t slot(std::int32_t angle,
-                                 std::int64_t face) const {
+  [[nodiscard]] std::int32_t slot(std::int32_t angle,
+                                  std::int64_t face) const {
     const auto it = slot_.find(key(angle, face));
     JSWEEP_CHECK_MSG(it != slot_.end(), "no lagged slot for angle "
                                             << angle << " face " << face);
-    return static_cast<std::size_t>(it->second);
+    return it->second;
   }
 
+  [[nodiscard]] std::size_t index(std::int32_t s, std::int32_t group) const {
+    JSWEEP_ASSERT(group >= 0 && group < groups_);
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(groups_) +
+           static_cast<std::size_t>(group);
+  }
+
+  int groups_ = 1;
   std::unordered_map<std::uint64_t, std::int32_t> slot_;
   std::vector<double> prev_;
   std::vector<double> next_;

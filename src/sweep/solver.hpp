@@ -1,10 +1,17 @@
 #pragma once
 
 /// \file solver.hpp
-/// The parallel sweep solver: builds the per-(patch, angle) task data on
-/// every rank, wires the sweep patch-programs into the chosen engine
-/// (data-driven or BSP baseline), and exposes one collective sweep()
-/// operation that source iteration plugs in as its SweepOperator.
+/// The parallel sweep solver: builds the per-(patch, angle, group) task
+/// data on every rank, wires the sweep patch-programs into the chosen
+/// engine (data-driven or BSP baseline), and exposes
+///   - sweep(): one collective single-group transport sweep, the
+///     SweepOperator source iteration plugs in, and
+///   - solve_multigroup(): a full multigroup solve in which the engines
+///     run all G groups' sweeps as ONE task system per pass — group g+1's
+///     programs are injected per patch the moment group g's scattering
+///     source is ready there (group pipelining; see group_pipeline.hpp),
+///     or barrier-separated per group when `group_pipelining` is off (the
+///     ablation baseline; also usable per group via sweep_group()).
 ///
 /// Optimizations from Sec. V, all configurable:
 ///   - patch-angle parallelism: one program per (patch, angle); the
@@ -22,8 +29,10 @@
 #include "comm/cluster.hpp"
 #include "core/bsp_engine.hpp"
 #include "core/engine.hpp"
+#include "sn/multigroup.hpp"
 #include "sn/source_iteration.hpp"
 #include "sweep/coarsened_program.hpp"
+#include "sweep/group_pipeline.hpp"
 #include "sweep/sweep_program.hpp"
 
 namespace jsweep::trace {
@@ -32,7 +41,11 @@ class Recorder;
 
 namespace jsweep::sweep {
 
-enum class EngineKind { DataDriven, Bsp };
+/// Which runtime executes the sweep programs.
+enum class EngineKind {
+  DataDriven,  ///< core::Engine — the paper's asynchronous runtime
+  Bsp,         ///< core::BspEngine — the superstep baseline
+};
 
 /// What to do when a sweep direction's dependence graph has cycles
 /// (non-convex / twisted / perturbed unstructured meshes).
@@ -49,21 +62,26 @@ enum class CyclePolicy {
   Lag,
 };
 
+/// Human-readable name of a cycle policy ("assume" | "error" | "lag").
 [[nodiscard]] std::string to_string(CyclePolicy p);
+/// Inverse of to_string(CyclePolicy); throws CheckError on unknown names.
 [[nodiscard]] CyclePolicy cycle_policy_from_string(const std::string& name);
 
 /// Runtime-tracing knob: when `recorder` is non-null every engine run of
 /// the solver (fine and coarsened) records events into it, ready for
 /// trace::write_chrome_trace / trace::analyze. Null (default) = off.
 struct TraceConfig {
-  trace::Recorder* recorder = nullptr;
+  trace::Recorder* recorder = nullptr;  ///< null disables tracing
 };
 
+/// All knobs of one solver instance, fixed at construction.
 struct SolverConfig {
-  EngineKind engine = EngineKind::DataDriven;
-  int num_workers = 2;
-  int cluster_grain = 64;
+  EngineKind engine = EngineKind::DataDriven;  ///< runtime selection
+  int num_workers = 2;    ///< worker threads per rank
+  int cluster_grain = 64; ///< max vertices retired per compute() (Sec. V-C)
+  /// Orders a rank's programs (angle-major combined priority, Sec. V-D).
   graph::PriorityStrategy patch_priority = graph::PriorityStrategy::SLBD;
+  /// Orders ready vertices within one program.
   graph::PriorityStrategy vertex_priority = graph::PriorityStrategy::SLBD;
   /// false = serialize all angles of a patch (the pre-JSweep model).
   bool patch_angle_parallelism = true;
@@ -77,15 +95,32 @@ struct SolverConfig {
   /// outer source iteration absorbs the lag error).
   int max_lag_sweeps = 1;
   double lag_tolerance = 0.0;
+  /// Multigroup solve: group-wise cross sections (must outlive the
+  /// solver). Non-null switches the solver to the group-aware task system;
+  /// use solve_multigroup() (or sweep_group() when `group_pipelining` is
+  /// off) instead of sweep(). Null = the classic single-group solver.
+  const sn::MultigroupXs* multigroup = nullptr;
+  /// true (default): one engine run per multigroup pass sweeps all groups,
+  /// (patch, angle, group) programs pipelined via activation streams.
+  /// false: one engine run per group per pass with a global barrier
+  /// between groups — the pipelining-ablation baseline. Both modes compute
+  /// bitwise-identical fluxes.
+  bool group_pipelining = true;
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
 };
 
+/// Counters and timings accumulated across a solver's lifetime.
 struct SolverStats {
-  int sweeps = 0;
-  double build_seconds = 0.0;
-  double coarsen_seconds = 0.0;
-  double last_sweep_seconds = 0.0;
+  int sweeps = 0;  ///< transport sweeps executed (all groups counted)
+  /// Energy groups the task system was built for (1 unless pipelined
+  /// multigroup).
+  int groups = 1;
+  /// Multigroup sweep passes executed by solve_multigroup().
+  int multigroup_passes = 0;
+  double build_seconds = 0.0;       ///< task-graph + program build time
+  double coarsen_seconds = 0.0;     ///< coarsened-graph construction time
+  double last_sweep_seconds = 0.0;  ///< wall time of the last sweep/pass
   core::EngineStats engine;  ///< last data-driven run
   core::BspStats bsp;        ///< last BSP run
   // Cycle-breaking diagnostics (all zero on acyclic meshes).
@@ -95,6 +130,8 @@ struct SolverStats {
   double last_lag_residual = 0.0;  ///< max lagged-face change, last commit
 };
 
+/// The parallel sweep solver (see \ref solver.hpp). One instance per rank;
+/// all entry points are collective across the cluster.
 class SweepSolver {
  public:
   /// Structured-mesh solver. `patch_owner[p]` must be identical on all
@@ -110,20 +147,39 @@ class SweepSolver {
               const sn::TetStep& disc, const sn::Quadrature& quad,
               SolverConfig config);
 
-  ~SweepSolver();
+  ~SweepSolver();  ///< joins nothing; engines stop at end of each run
 
-  SweepSolver(const SweepSolver&) = delete;
-  SweepSolver& operator=(const SweepSolver&) = delete;
+  SweepSolver(const SweepSolver&) = delete;             ///< non-copyable
+  SweepSolver& operator=(const SweepSolver&) = delete;  ///< non-copyable
 
   /// One full transport sweep over all angles; returns the global scalar
-  /// flux (identical on every rank). Collective.
+  /// flux (identical on every rank). Collective. Single-group solvers
+  /// only — a pipelined multigroup build must go through
+  /// solve_multigroup().
   std::vector<double> sweep(const std::vector<double>& q_per_ster);
+
+  /// One standalone transport sweep of energy group g: swaps in group g's
+  /// kernel and runs the shared single-group task system (requires
+  /// SolverConfig::multigroup, group_pipelining off). Collective. On
+  /// cyclic meshes with G > 1 this refuses — per-call lag commits would
+  /// cross-contaminate the groups' old iterates; use solve_multigroup(),
+  /// whose passes commit once per pass over all groups.
+  std::vector<double> sweep_group(GroupId g,
+                                  const std::vector<double>& q_per_ster);
+
+  /// Full multigroup solve over SolverConfig::multigroup with the
+  /// sweep-pass outer scheme (sn::solve_multigroup_sweeps): pipelined
+  /// passes when `group_pipelining` is on, per-group barriered engine runs
+  /// otherwise. Collective; identical result on every rank.
+  sn::MultigroupResult solve_multigroup(
+      const sn::MultigroupOptions& options = {});
 
   /// Adapter for sn::source_iteration.
   [[nodiscard]] sn::SweepOperator as_operator() {
     return [this](const std::vector<double>& q) { return sweep(q); };
   }
 
+  /// Counters and timings accumulated so far.
   [[nodiscard]] const SolverStats& stats() const { return stats_; }
 
   /// Observability for tests/benches: the shared face-flux workspace pool
@@ -133,6 +189,18 @@ class SweepSolver {
   }
 
  private:
+  /// One engine-registered program: shared structural task data (one per
+  /// (patch, angle), group-independent) plus this program's group and
+  /// scheduling priority.
+  struct ProgramSlot {
+    std::size_t data_index = 0;
+    GroupId group{0};
+    double priority = 0.0;
+  };
+
+  void init_multigroup(
+      const std::function<std::unique_ptr<sn::Discretization>(
+          const sn::CellXs&)>& disc_builder);
   void build(
       const std::function<graph::PatchTaskGraph(
           PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
@@ -143,6 +211,17 @@ class SweepSolver {
   void install_programs(bool record_clusters);
   void activate_coarsened();
   void collect_phi(std::vector<double>& phi_global) const;
+  /// Exactly one engine (or BSP) run; updates the engine stats.
+  void run_engine_once();
+  /// Engine run(s) including the cyclic-mesh lag loop (commit after every
+  /// run) — the single-group sweep() core.
+  void run_engines_once();
+  /// One multigroup sweep pass (sn::MultigroupSweepPass shape), pipelined
+  /// or barriered per the config. On cut meshes the lagged store commits
+  /// once per pass (after ALL groups), and `max_lag_sweeps` repeats the
+  /// whole pass — both modes therefore see identical old iterates.
+  void multigroup_pass(const std::vector<std::vector<double>>& q_base,
+                       std::vector<std::vector<double>>& phi);
 
   comm::Context& ctx_;
   const partition::PatchSet& ps_;
@@ -157,8 +236,14 @@ class SweepSolver {
   sn::FaceFluxPool flux_pool_;
   std::vector<double> q_current_;
 
+  /// Multigroup state: per-group kernels (σ_t varies by group) and, when
+  /// pipelining, the rank-local gate/source coordinator.
+  std::vector<std::unique_ptr<sn::Discretization>> group_discs_;
+  std::unique_ptr<GroupPipeline> pipeline_;
+  int groups_built_ = 1;  ///< program sets per (patch, angle)
+
   std::vector<std::unique_ptr<SweepTaskData>> task_data_;
-  std::vector<double> program_priority_;  ///< parallel to task_data_
+  std::vector<ProgramSlot> slots_;  ///< parallel to programs_
   std::vector<std::unique_ptr<std::mutex>> patch_mutex_;  ///< ablation
 
   std::unique_ptr<core::Engine> engine_;

@@ -5,6 +5,25 @@
 /// item says "the flux through `face` feeding your cell `cell` is `value`".
 /// Vertex clustering aggregates many items per stream (Sec. V-C benefit 2).
 ///
+/// ## Wire format
+///
+/// A payload is a flat little-endian byte sequence (host byte order — the
+/// in-process cluster never crosses endianness):
+///
+/// ```text
+///   offset 0            : uint64  count        (number of items)
+///   offset 8 + 24*i     : int64   item[i].cell (destination global cell)
+///   offset 8 + 24*i + 8 : int64   item[i].face (global face id)
+///   offset 8 + 24*i + 16: double  item[i].value(angular face flux)
+/// ```
+///
+/// i.e. an 8-byte count header followed by `count` packed 24-byte
+/// StreamItem records (the struct is trivially copyable and memcpy'd
+/// whole). item_count() validates the framing: a payload is well-formed
+/// iff size == 8 + 24·count. A zero-length payload is NOT a valid codec
+/// payload — the engines reserve empty stream data for the multigroup
+/// activation markers, which never reach the codec.
+///
 /// The hot path never materializes item vectors: encode_items_into() fills
 /// a (pooled) byte buffer in place and for_each_item() iterates the payload
 /// directly. encode_items()/decode_items() remain as the allocating
@@ -39,6 +58,7 @@ inline void encode_items_into(const std::vector<StreamItem>& items,
                 items.size() * sizeof(StreamItem));
 }
 
+/// Allocating convenience form of encode_items_into().
 inline comm::Bytes encode_items(const std::vector<StreamItem>& items) {
   comm::Bytes out;
   encode_items_into(items, out);
@@ -71,6 +91,7 @@ inline void for_each_item(const comm::Bytes& bytes, Fn&& fn) {
   }
 }
 
+/// Allocating convenience form of for_each_item() (tests and tools).
 inline std::vector<StreamItem> decode_items(const comm::Bytes& bytes) {
   std::vector<StreamItem> items;
   items.reserve(item_count(bytes));

@@ -25,6 +25,22 @@
 
 namespace jsweep::sweep {
 
+/// Task tag of a sweep program along the (angle, group) axes, group-major:
+/// tag = group · num_angles + angle. A single-group sweep's tag is the
+/// plain angle id, so every pre-multigroup key, trace and route stays
+/// unchanged; a G-group solve runs G·A programs per patch, one per
+/// (angle, group).
+[[nodiscard]] inline TaskTag sweep_task_tag(AngleId a, GroupId g,
+                                            int num_angles) {
+  return TaskTag{g.value() * num_angles + a.value()};
+}
+[[nodiscard]] inline AngleId sweep_task_angle(TaskTag t, int num_angles) {
+  return AngleId{t.value() % num_angles};
+}
+[[nodiscard]] inline GroupId sweep_task_group(TaskTag t, int num_angles) {
+  return GroupId{t.value() / num_angles};
+}
+
 /// A local downwind edge of one vertex.
 struct OutLocal {
   std::int32_t w;       ///< downwind local vertex
@@ -44,10 +60,14 @@ struct RemoteOut {
 /// A lagged (cycle-cut) face written by a vertex: workspace slot paired
 /// with its LaggedFluxStore slot.
 struct LaggedSlot {
-  std::int32_t ws_slot;
-  std::int32_t store_slot;
+  std::int32_t ws_slot;     ///< dense FaceFluxWorkspace slot of the face
+  std::int32_t store_slot;  ///< LaggedFluxStore slot (group-strided)
 };
 
+/// Immutable per-(patch, angle) sweep structure (see \ref sweep_data.hpp):
+/// the dependency graph in CSR form plus the dense face-flux index. Shared
+/// read-only by every group's program of that (patch, angle) and by every
+/// engine — built once, reused across all iterations.
 class SweepTaskData {
  public:
   /// `disc`, `ps` and `lagged` must outlive the task data; `lagged` may be
@@ -64,9 +84,13 @@ class SweepTaskData {
   SweepTaskData(graph::PatchTaskGraph g,
                 graph::PriorityStrategy vertex_strategy);
 
+  /// The underlying per-(patch, angle) dependency graph.
   [[nodiscard]] const graph::PatchTaskGraph& graph() const { return graph_; }
+  /// Patch this task sweeps.
   [[nodiscard]] PatchId patch() const { return graph_.patch; }
+  /// Sweep direction (ordinate id) of this task.
   [[nodiscard]] AngleId angle() const { return graph_.angle; }
+  /// Local vertices (= cells of the patch).
   [[nodiscard]] std::int32_t num_vertices() const {
     return graph_.num_vertices;
   }
@@ -87,12 +111,15 @@ class SweepTaskData {
       fn(rout_[static_cast<std::size_t>(e)]);
   }
 
+  /// Per-vertex initial dependency counts (local upwind + remote-in).
   [[nodiscard]] const std::vector<std::int32_t>& initial_counts() const {
     return graph_.initial_counts;
   }
+  /// Scheduling priority of vertex v within this program.
   [[nodiscard]] double vertex_priority(std::int32_t v) const {
     return vprio_[static_cast<std::size_t>(v)];
   }
+  /// Total remote downwind edges (= max stream items per sweep).
   [[nodiscard]] std::int64_t num_remote_out() const {
     return static_cast<std::int64_t>(rout_.size());
   }
@@ -114,6 +141,7 @@ class SweepTaskData {
   [[nodiscard]] std::int32_t num_destinations() const {
     return static_cast<std::int32_t>(dst_patches_.size());
   }
+  /// Destination patch at index d (ascending patch id).
   [[nodiscard]] PatchId destination(std::int32_t d) const {
     return dst_patches_[static_cast<std::size_t>(d)];
   }
@@ -125,6 +153,7 @@ class SweepTaskData {
   }
 
   // --- Lagged (cycle-cut) structure -------------------------------------
+  /// True when this task's graph has cycle-cut (lagged) edges.
   [[nodiscard]] bool has_lagged() const { return graph_.has_lagged(); }
   /// Faces whose old-iterate value must be seeded into the workspace
   /// before any vertex computes (read side of every lagged edge this patch

@@ -1,24 +1,26 @@
 #include "sweep/sweep_program.hpp"
 
 #include "support/check.hpp"
+#include "sweep/group_pipeline.hpp"
 
 namespace jsweep::sweep {
 
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       sn::FaceFluxWorkspace& flux) {
+                       GroupId group, sn::FaceFluxWorkspace& flux) {
   if (!data.has_lagged()) return;
   JSWEEP_CHECK_MSG(store != nullptr,
                    "task graph has lagged edges but no LaggedFluxStore");
   for (const auto& s : data.lagged_seed_slots())
-    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot));
+    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot, group.value()));
 }
 
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
-                         std::int32_t v, sn::FaceFluxWorkspace& flux) {
+                         GroupId group, std::int32_t v,
+                         sn::FaceFluxWorkspace& flux) {
   data.for_lagged_writes(v, [&](const LaggedSlot& s) {
     JSWEEP_ASSERT(flux.has(s.ws_slot));
-    store->stage_by_slot(s.store_slot, flux.read(s.ws_slot));
-    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot));
+    store->stage_by_slot(s.store_slot, group.value(), flux.read(s.ws_slot));
+    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot, group.value()));
   });
 }
 
@@ -30,7 +32,8 @@ void WorkspaceLease::reset_for_run(const SweepShared& shared) {
 }
 
 sn::FaceFluxWorkspace& WorkspaceLease::ensure(const SweepShared& shared,
-                                              const SweepTaskData& data) {
+                                              const SweepTaskData& data,
+                                              GroupId group) {
   if (flux_ != nullptr) return *flux_;
   // Borrow a workspace sized for this task's face-slot count; reset is an
   // O(1) epoch bump, so reuse across sweeps and programs costs nothing.
@@ -41,7 +44,7 @@ sn::FaceFluxWorkspace& WorkspaceLease::ensure(const SweepShared& shared,
     flux_ = &owned_;
   }
   // Cycle-cut faces read the previous sweep's flux instead of waiting.
-  seed_lagged_faces(data, shared.lagged, *flux_);
+  seed_lagged_faces(data, shared.lagged, group, *flux_);
   return *flux_;
 }
 
@@ -88,11 +91,16 @@ void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
 SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
                                      const SweepShared& shared,
                                      SweepProgramOptions options)
-    : core::PatchProgram(data.patch(), TaskTag{data.angle().value()}),
+    : core::PatchProgram(data.patch(),
+                         sweep_task_tag(data.angle(), options.group,
+                                        shared.quad->num_angles())),
       data_(data),
       shared_(shared),
       options_(options) {
   JSWEEP_CHECK(options_.cluster_grain >= 1);
+  JSWEEP_CHECK(options_.group.value() >= 0);
+  JSWEEP_CHECK_MSG(options_.group.value() == 0 || shared_.pipeline != nullptr,
+                   "group > 0 programs need a GroupPipeline");
 }
 
 void SweepPatchProgram::mark_ready(std::int32_t v) {
@@ -114,6 +122,9 @@ void SweepPatchProgram::init() {
     cluster_of_.assign(static_cast<std::size_t>(data_.num_vertices()), -1);
     next_cluster_ = 0;
   }
+  gate_open_ =
+      shared_.pipeline == nullptr || options_.group == GroupId{0};
+  completion_reported_ = false;
 }
 
 void SweepPatchProgram::input(const core::Stream& s) {
@@ -122,7 +133,11 @@ void SweepPatchProgram::input(const core::Stream& s) {
   JSWEEP_CHECK_MSG(computed_ < data_.num_vertices(),
                    "stream delivered to " << key()
                                           << " after it retired all work");
-  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_);
+  if (s.data.empty()) {  // group-activation marker: sources are ready
+    gate_open_ = true;
+    return;
+  }
+  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_, lag_group());
   for_each_item(s.data, [&](const StreamItem& item) {
     flux.write(data_.slot_of_remote_in(item.face), item.value);
     const CellId cell{item.cell};
@@ -135,25 +150,38 @@ void SweepPatchProgram::input(const core::Stream& s) {
 }
 
 void SweepPatchProgram::compute() {
+  // Gated (group > 0) programs buffer inputs but compute nothing until the
+  // pipeline injects this group on this patch.
+  if (!gate_open_) return;
+
   // Optional per-patch serialization (patch-angle parallelism ablation).
   std::unique_lock<std::mutex> serialize_lock;
   if (options_.patch_serializer != nullptr)
     serialize_lock = std::unique_lock<std::mutex>(*options_.patch_serializer);
 
   const sn::Ordinate& ang = shared_.quad->angle(data_.angle().value());
-  const std::vector<double>& q = *shared_.q_per_ster;
+  // Group-aware solves resolve kernel and source per group; single-group
+  // solves use the solver-installed pair directly.
+  const sn::Discretization* disc = shared_.disc;
+  const std::vector<double>* q_ptr = shared_.q_per_ster;
+  if (shared_.pipeline != nullptr) {
+    disc = shared_.pipeline->group_disc(options_.group);
+    q_ptr = &shared_.pipeline->q_group(options_.group);
+  }
+  const std::vector<double>& q = *q_ptr;
   const auto& cells = shared_.patches->cells(data_.patch());
 
   int in_batch = 0;
   while (!ready_.empty() && in_batch < options_.cluster_grain) {
-    sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_);
+    sn::FaceFluxWorkspace& flux =
+        lease_.ensure(shared_, data_, lag_group());
     const std::int32_t v = ready_.top().v;
     ready_.pop();
     ++in_batch;
 
     const CellId cell = cells[static_cast<std::size_t>(v)];
     const sn::FaceFluxView view{&flux, &data_.cell_slots(v)};
-    const double psi = shared_.disc->sweep_cell(cell, ang, q, view);
+    const double psi = disc->sweep_cell(cell, ang, q, view);
     phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
     ++computed_;
     if (options_.record_clusters)
@@ -173,14 +201,23 @@ void SweepPatchProgram::compute() {
     // Lagged (cycle-cut) faces: stage the fresh value for the next sweep,
     // then restore the old iterate so any later reader — regardless of
     // scheduling order — sees the same value the cut promised it.
-    stage_lagged_writes(data_, shared_.lagged, v, flux);
+    stage_lagged_writes(data_, shared_.lagged, lag_group(), v, flux);
   }
   if (options_.record_clusters && in_batch > 0) ++next_cluster_;
 
   flush_out_streams(data_, shared_, key(), out_items_, pending_);
   // All vertices retired: the workspace has served its purpose — return it
   // so a not-yet-finished program can reuse the allocation.
-  lease_.release_if(computed_ == data_.num_vertices(), shared_);
+  const bool done = computed_ == data_.num_vertices();
+  lease_.release_if(done, shared_);
+  // Multigroup: tell the pipeline this (patch, angle, group) retired; the
+  // patch's last angle accumulates φ, forms group g+1's source and appends
+  // its activation streams to pending_.
+  if (done && !completion_reported_ && shared_.pipeline != nullptr) {
+    completion_reported_ = true;
+    shared_.pipeline->on_program_complete(data_.patch(), options_.group,
+                                          key(), pending_);
+  }
 }
 
 std::optional<core::Stream> SweepPatchProgram::output() {
@@ -190,6 +227,8 @@ std::optional<core::Stream> SweepPatchProgram::output() {
   return s;
 }
 
-bool SweepPatchProgram::vote_to_halt() { return ready_.empty(); }
+bool SweepPatchProgram::vote_to_halt() {
+  return !gate_open_ || ready_.empty();
+}
 
 }  // namespace jsweep::sweep

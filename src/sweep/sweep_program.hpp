@@ -31,14 +31,16 @@
 
 namespace jsweep::sweep {
 
+class GroupPipeline;
+
 /// Rank-level context shared by all sweep programs of one solver. The
 /// solver updates `q_per_ster` between source iterations; everything else
 /// is immutable during a run.
 struct SweepShared {
-  const sn::Discretization* disc = nullptr;
-  const partition::PatchSet* patches = nullptr;
-  const sn::Quadrature* quad = nullptr;
-  const std::vector<double>* q_per_ster = nullptr;
+  const sn::Discretization* disc = nullptr;       ///< per-cell sweep kernel
+  const partition::PatchSet* patches = nullptr;   ///< cell ↔ patch maps
+  const sn::Quadrature* quad = nullptr;           ///< ordinate set
+  const std::vector<double>* q_per_ster = nullptr;  ///< per-cell source
   /// Old-iterate fluxes of cycle-cut faces; null when the sweep graphs are
   /// acyclic (no cut). Programs read prev values and stage fresh ones.
   LaggedFluxStore* lagged = nullptr;
@@ -47,20 +49,32 @@ struct SweepShared {
   sn::FaceFluxPool* flux_pool = nullptr;
   /// Stream payload recycling; null falls back to plain allocation.
   core::BufferPool* stream_buffers = nullptr;
+  /// Group-pipelined multigroup coordination (group_pipeline.hpp). When
+  /// set, programs resolve their kernel and source per group through it,
+  /// report retirement, and groups > 0 start gated on activation streams.
+  /// Null = single-group: `disc` and `q_per_ster` are used directly.
+  GroupPipeline* pipeline = nullptr;
+  /// Energy group the current engine run sweeps when the task system is
+  /// single-group but the solve is multigroup (barriered mode / per-group
+  /// runs): selects each program's lagged-flux stride. Pipelined programs
+  /// use their own GroupId instead; plain single-group solves leave it 0.
+  GroupId current_group{0};
 };
 
-/// Shared lagged-face (cycle-cut) handling — ONE implementation of the
-/// schedule-independence invariant for both the fine and the coarsened
-/// program, which must stay bitwise-identical:
-///   - at init, seed every lagged read face with the previous sweep's
-///     iterate so cut dependencies never wait;
-///   - after computing vertex v, stage each lagged face it wrote for the
-///     next sweep and restore the old iterate, so any later reader sees
-///     the value the cut promised regardless of execution order.
+// Shared lagged-face (cycle-cut) handling — ONE implementation of the
+// schedule-independence invariant for both the fine and the coarsened
+// program, which must stay bitwise-identical.
+
+/// At init, seed every lagged read face with the previous sweep's iterate
+/// (for energy group `group`) so cut dependencies never wait.
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       sn::FaceFluxWorkspace& flux);
+                       GroupId group, sn::FaceFluxWorkspace& flux);
+/// After computing vertex v, stage each lagged face it wrote for the next
+/// sweep and restore the old iterate, so any later reader sees the value
+/// the cut promised regardless of execution order.
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
-                         std::int32_t v, sn::FaceFluxWorkspace& flux);
+                         GroupId group, std::int32_t v,
+                         sn::FaceFluxWorkspace& flux);
 
 /// One implementation of the workspace borrow/seed/release protocol for
 /// both the fine and the coarsened program. A program borrows its dense
@@ -72,9 +86,10 @@ class WorkspaceLease {
  public:
   /// Init-time: drop any stale borrow left by an aborted previous run.
   void reset_for_run(const SweepShared& shared);
-  /// Borrow (and seed the lagged faces of) the workspace on first use.
+  /// Borrow (and seed the lagged faces of group `group` into) the
+  /// workspace on first use.
   sn::FaceFluxWorkspace& ensure(const SweepShared& shared,
-                                const SweepTaskData& data);
+                                const SweepTaskData& data, GroupId group);
   /// Return the workspace once the program has retired all its work.
   void release_if(bool done, const SweepShared& shared);
   /// Currently leased workspace (null when none is borrowed).
@@ -85,18 +100,20 @@ class WorkspaceLease {
   sn::FaceFluxWorkspace owned_;
 };
 
-/// Shared per-destination out-buffer handling: init-time sizing to the
-/// static per-sweep maximum, and the batch-end flush into one pooled-
-/// payload stream per destination patch (ascending patch id — the
-/// deterministic emission order).
+/// Init-time sizing of the per-destination out-item buffers to their
+/// static per-sweep maximum (allocation-free batching afterwards).
 void prepare_out_buffers(const SweepTaskData& data,
                          std::vector<std::vector<StreamItem>>& out_items,
                          std::vector<core::Stream>& pending);
+/// Batch-end flush: encode each destination's buffered items into one
+/// pooled-payload stream (ascending patch id — the deterministic emission
+/// order) and queue it on `pending`.
 void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
                        const ProgramKey& src,
                        std::vector<std::vector<StreamItem>>& out_items,
                        std::vector<core::Stream>& pending);
 
+/// Per-program knobs (fixed at construction).
 struct SweepProgramOptions {
   /// Max vertices retired per compute() execution (the paper's N).
   int cluster_grain = 64;
@@ -105,21 +122,37 @@ struct SweepProgramOptions {
   /// When non-null, compute() holds this mutex — serializes all angles of
   /// one patch, the "patch is the unit of parallelism" ablation.
   std::mutex* patch_serializer = nullptr;
+  /// Energy group this program sweeps (0 for single-group solves). With a
+  /// GroupPipeline in SweepShared, groups > 0 start *gated*: face streams
+  /// are buffered but nothing computes until the pipeline's empty-payload
+  /// activation stream opens the gate (the patch's sources are ready).
+  GroupId group{0};
 };
 
+/// The data-driven Sn sweep patch-program (see \ref sweep_program.hpp):
+/// Listing 1 on one (patch, angle, group) task.
 class SweepPatchProgram final : public core::PatchProgram {
  public:
+  /// `data` and `shared` must outlive the program; `shared.quad` must be
+  /// set (the program key derives from it).
   SweepPatchProgram(const SweepTaskData& data, const SweepShared& shared,
                     SweepProgramOptions options);
 
+  /// Reset local context (counters, ready queue, φ, gate) for a new run.
   void init() override;
+  /// Consume one face-flux stream (or a group-activation marker).
   void input(const core::Stream& s) override;
+  /// Retire up to cluster_grain ready vertices; buffer boundary outputs.
   void compute() override;
+  /// Drain one pending outgoing stream (null when empty).
   std::optional<core::Stream> output() override;
+  /// True when nothing is runnable (empty ready queue or closed gate).
   bool vote_to_halt() override;
+  /// Unswept vertices (drives known-workload termination).
   [[nodiscard]] std::int64_t remaining_work() const override {
     return data_.num_vertices() - computed_;
   }
+  /// Total vertices this program retires per run.
   [[nodiscard]] std::int64_t total_work() const override {
     return data_.num_vertices();
   }
@@ -134,10 +167,12 @@ class SweepPatchProgram final : public core::PatchProgram {
   [[nodiscard]] const std::vector<std::int32_t>& recorded_clusters() const {
     return cluster_of_;
   }
+  /// Number of clusters the recorded execution produced.
   [[nodiscard]] std::int32_t recorded_num_clusters() const {
     return next_cluster_;
   }
 
+  /// The immutable task data this program sweeps.
   [[nodiscard]] const SweepTaskData& data() const { return data_; }
 
  private:
@@ -152,6 +187,12 @@ class SweepPatchProgram final : public core::PatchProgram {
   };
 
   void mark_ready(std::int32_t v);
+  /// Energy group selecting this run's lagged-flux stride: the program's
+  /// own group when pipelined, the solver-set current group otherwise.
+  [[nodiscard]] GroupId lag_group() const {
+    return shared_.pipeline != nullptr ? options_.group
+                                       : shared_.current_group;
+  }
 
   const SweepTaskData& data_;
   const SweepShared& shared_;
@@ -167,6 +208,10 @@ class SweepPatchProgram final : public core::PatchProgram {
   std::int64_t computed_ = 0;
   std::vector<std::int32_t> cluster_of_;
   std::int32_t next_cluster_ = 0;
+  /// Group gate: false until the pipeline's activation stream arrives
+  /// (always true for group 0 or single-group solves).
+  bool gate_open_ = true;
+  bool completion_reported_ = false;
 };
 
 }  // namespace jsweep::sweep

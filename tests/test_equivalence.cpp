@@ -19,6 +19,7 @@
 #include "partition/block_layout.hpp"
 #include "partition/graph_partition.hpp"
 #include "partition/patch_set.hpp"
+#include "sn/multigroup.hpp"
 #include "sn/serial_sweep.hpp"
 #include "sn/source_iteration.hpp"
 #include "sweep/solver.hpp"
@@ -325,6 +326,182 @@ TEST(Equivalence, InnerLagSweepsTightenTheOperator) {
   const int iters_inner = solve(6, &res_inner);
   EXPECT_LE(res_inner, res_plain);
   EXPECT_LE(iters_inner, iters_plain);
+}
+
+// ---------------------------------------------------------------------------
+// Multigroup (G = 4): the engine matrix must agree with the serial
+// sweep-pass reference on a full multigroup solve — data-driven pipelined,
+// data-driven group-barriered, BSP pipelined and coarsened pipelined.
+// ---------------------------------------------------------------------------
+
+template <class Mesh, class Disc>
+std::vector<std::vector<double>> run_multigroup_engine(
+    const Mesh& m, const partition::PatchSet& ps, const Disc& disc,
+    const sn::Quadrature& quad, const sn::MultigroupXs& xs, int ranks,
+    sweep::EngineKind kind, bool pipelined, bool coarsened,
+    const sn::MultigroupOptions& opts) {
+  std::vector<std::vector<double>> phi;
+  comm::Cluster::run(ranks, [&](comm::Context& ctx) {
+    sweep::SolverConfig config;
+    config.engine = kind;
+    config.num_workers = 2;
+    config.cluster_grain = 8;  // small batches → heavy partial computation
+    config.multigroup = &xs;
+    config.group_pipelining = pipelined;
+    config.use_coarsened_graph =
+        coarsened && kind == sweep::EngineKind::DataDriven;
+    const auto owner =
+        partition::assign_contiguous(ps.num_patches(), ctx.size());
+    sweep::SweepSolver solver(ctx, m, ps, owner, disc, quad, config);
+    const auto result = solver.solve_multigroup(opts);
+    EXPECT_TRUE(result.converged);
+    if (ctx.rank().value() == 0) phi = result.phi;
+  });
+  return phi;
+}
+
+template <class Mesh, class Disc, class DiscFactory>
+void expect_multigroup_engines_match(const char* scenario, const Mesh& m,
+                                     const partition::PatchSet& ps,
+                                     const Disc& disc,
+                                     const sn::Quadrature& quad,
+                                     const sn::MultigroupXs& xs,
+                                     const DiscFactory& make_group_disc) {
+  // Loose pass tolerance: the point is that every engine configuration
+  // reproduces the reference's *iterate sequence* (and therefore its
+  // final flux) to 1e-12, not deep physical convergence — and this suite
+  // also runs under ASan/UBSan in CI, where passes are expensive.
+  sn::MultigroupOptions opts;
+  opts.inner = {1e-4, 60, false};
+
+  // Serial sweep-pass reference: per-group serial sweeps behind the same
+  // pass algebra the engines implement.
+  const auto reference = sn::solve_multigroup_sweeps(
+      xs,
+      sn::sequential_sweep_pass(
+          xs,
+          [&](int g) -> sn::SweepOperator {
+            auto gd = make_group_disc(xs.group_view(g));
+            return [gd, &quad](const std::vector<double>& q) {
+              return sn::serial_sweep(*gd, quad, q);
+            };
+          }),
+      opts);
+  ASSERT_TRUE(reference.converged) << scenario;
+
+  const auto check = [&](const std::vector<std::vector<double>>& phi,
+                         const char* engine) {
+    ASSERT_EQ(phi.size(), reference.phi.size()) << scenario << "/" << engine;
+    for (std::size_t g = 0; g < phi.size(); ++g)
+      for (std::size_t c = 0; c < phi[g].size(); ++c)
+        ASSERT_NEAR(phi[g][c], reference.phi[g][c],
+                    kTol * (1.0 + reference.phi[g][c]))
+            << scenario << "/" << engine << " group " << g << " cell " << c;
+  };
+  check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                              sweep::EngineKind::DataDriven, true, false,
+                              opts),
+        "data-driven-pipelined");
+  check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                              sweep::EngineKind::DataDriven, false, false,
+                              opts),
+        "data-driven-barriered");
+  check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                              sweep::EngineKind::Bsp, true, false, opts),
+        "bsp-pipelined");
+  check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                              sweep::EngineKind::DataDriven, true, true,
+                              opts),
+        "data-driven-coarsened-pipelined");
+}
+
+TEST(Equivalence, MultigroupStructuredKobayashi) {
+  const mesh::StructuredMesh m = mesh::make_kobayashi_mesh(8);
+  const sn::MultigroupXs xs = sn::MultigroupXs::cascade(
+      sn::MaterialTable::kobayashi(), m.materials(), m.num_cells(), 4, 0.6);
+  const sn::StructuredDD disc(m, xs.group_view(0));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+  const partition::StructuredBlockLayout layout(m.dims(), {4, 4, 4});
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const partition::PatchSet ps(partition::block_partition(layout),
+                               layout.num_patches(), &cg);
+  expect_multigroup_engines_match(
+      "multigroup-kobayashi", m, ps, disc, quad, xs,
+      [&](const sn::CellXs& gxs) {
+        return std::make_shared<sn::StructuredDD>(m, gxs);
+      });
+}
+
+TEST(Equivalence, MultigroupCyclicTwistedPipelinedVsBarriered) {
+  // Cyclic mesh + multigroup: both modes must lag each group's cut faces
+  // independently (group-strided LaggedFluxStore) and commit once per
+  // pass, so their solves stay bitwise-identical. Guards the two
+  // regressions this combination has had: shared lagged slots across
+  // groups (flux divergence) and non-re-armed pipeline gates (deadlock —
+  // covered via max_lag_sweeps > 1 below, fenced by the suite timeout).
+  const mesh::TetMesh m = mesh::make_twisted_column_mesh();
+  const sn::MultigroupXs mxs = sn::MultigroupXs::cascade(
+      sn::MaterialTable::ball(), m.materials(), m.num_cells(), 2, 0.6);
+  const sn::TetStep disc(m, mxs.group_view(0));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 6);
+  const partition::PatchSet ps(part, 6, &cg);
+
+  sn::MultigroupOptions opts;
+  opts.inner = {1e-5, 60, false};
+  const auto run = [&](bool pipelined, int max_lag_sweeps) {
+    std::vector<std::vector<double>> phi;
+    comm::Cluster::run(2, [&](comm::Context& ctx) {
+      sweep::SolverConfig config;
+      config.num_workers = 2;
+      config.cluster_grain = 8;
+      config.cycle_policy = sweep::CyclePolicy::Lag;
+      config.max_lag_sweeps = max_lag_sweeps;
+      config.multigroup = &mxs;
+      config.group_pipelining = pipelined;
+      const auto owner =
+          partition::assign_contiguous(ps.num_patches(), ctx.size());
+      sweep::SweepSolver solver(ctx, m, ps, owner, disc, quad, config);
+      const auto result = solver.solve_multigroup(opts);
+      EXPECT_TRUE(result.converged);
+      EXPECT_GT(solver.stats().cyclic_angles, 0);
+      if (ctx.rank().value() == 0) phi = result.phi;
+    });
+    return phi;
+  };
+
+  const auto pipelined = run(true, 1);
+  const auto barriered = run(false, 1);
+  ASSERT_EQ(pipelined.size(), barriered.size());
+  for (std::size_t g = 0; g < pipelined.size(); ++g)
+    for (std::size_t c = 0; c < pipelined[g].size(); ++c)
+      ASSERT_EQ(pipelined[g][c], barriered[g][c])
+          << "group " << g << " cell " << c;
+
+  // Inner lag sweeps (pass repeats) must terminate and stay mode-equal.
+  const auto pipelined_lag = run(true, 3);
+  const auto barriered_lag = run(false, 3);
+  for (std::size_t g = 0; g < pipelined_lag.size(); ++g)
+    for (std::size_t c = 0; c < pipelined_lag[g].size(); ++c)
+      ASSERT_EQ(pipelined_lag[g][c], barriered_lag[g][c])
+          << "lag group " << g << " cell " << c;
+}
+
+TEST(Equivalence, MultigroupUnstructuredBall) {
+  const mesh::TetMesh m = mesh::make_ball_mesh(5, 3.0);
+  const sn::MultigroupXs xs = sn::MultigroupXs::cascade(
+      sn::MaterialTable::ball(), m.materials(), m.num_cells(), 4, 0.6);
+  const sn::TetStep disc(m, xs.group_view(0));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 5);
+  const partition::PatchSet ps(part, 5, &cg);
+  expect_multigroup_engines_match(
+      "multigroup-ball", m, ps, disc, quad, xs,
+      [&](const sn::CellXs& gxs) {
+        return std::make_shared<sn::TetStep>(m, gxs);
+      });
 }
 
 }  // namespace

@@ -440,5 +440,44 @@ TEST(CostPresets, DistinctAndOrdered) {
   EXPECT_GT(u.t_vertex_ns, s.t_vertex_ns);
 }
 
+TEST(DataDrivenSim, MultigroupExecutesAllGroupChunks) {
+  const PatchTopology topo =
+      PatchTopology::structured({32, 32, 32}, {8, 8, 8});
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  SimConfig cfg = small_config(4, 3);
+  cfg.groups = 4;
+  const SimResult r = DataDrivenSim(topo, quad, cfg).run();
+  // 64 patches × 8 angles × 4 groups × ceil(512/200)=3 chunks.
+  EXPECT_EQ(r.chunk_executions, 64 * 8 * 4 * 3);
+}
+
+TEST(DataDrivenSim, GroupPipeliningBeatsGroupBarriers) {
+  // The point of the group axis: pipelined injection hides the per-group
+  // pipeline fill/drain that a barrier forces every group to pay.
+  const PatchTopology topo =
+      PatchTopology::structured({64, 64, 64}, {8, 8, 8});
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+  SimConfig cfg = small_config(8, 3);
+  cfg.groups = 4;
+  cfg.group_pipelining = true;
+  const SimResult piped = DataDrivenSim(topo, quad, cfg).run();
+  cfg.group_pipelining = false;
+  const SimResult barriered = DataDrivenSim(topo, quad, cfg).run();
+  EXPECT_EQ(piped.chunk_executions, barriered.chunk_executions);
+  EXPECT_LT(piped.elapsed_seconds, barriered.elapsed_seconds);
+}
+
+TEST(DataDrivenSim, MultigroupBspCompletes) {
+  const PatchTopology topo =
+      PatchTopology::structured({32, 32, 32}, {8, 8, 8});
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  SimConfig cfg = small_config(4, 3);
+  cfg.groups = 3;
+  cfg.engine = SimEngine::Bsp;
+  const SimResult r = DataDrivenSim(topo, quad, cfg).run();
+  EXPECT_EQ(r.chunk_executions, 64 * 8 * 3 * 3);
+  EXPECT_GT(r.supersteps, 0);
+}
+
 }  // namespace
 }  // namespace jsweep::sim

@@ -54,6 +54,36 @@ TEST(LaggedFluxStore, SlotLifecycleAndCommit) {
   });
 }
 
+TEST(LaggedFluxStore, GroupStridedSlots) {
+  // Multigroup: every (angle, face) slot carries one value per group,
+  // staged and committed independently; the map API addresses group 0.
+  comm::Cluster::run(1, [&](comm::Context& ctx) {
+    LaggedFluxStore store;
+    store.set_num_groups(3);
+    EXPECT_EQ(store.num_groups(), 3);
+    store.add_slot(0, 100);
+    store.add_slot(1, 100);
+    EXPECT_EQ(store.num_slots(), 2);
+    const std::int32_t s0 = store.slot_index(0, 100);
+    const std::int32_t s1 = store.slot_index(1, 100);
+    for (int g = 0; g < 3; ++g) {
+      EXPECT_EQ(store.prev_by_slot(s0, g), 0.0);
+      store.stage_by_slot(s0, g, 1.0 + g);
+      store.stage_by_slot(s1, g, 10.0 + g);
+    }
+    EXPECT_DOUBLE_EQ(store.commit(ctx), 12.0);
+    for (int g = 0; g < 3; ++g) {
+      EXPECT_DOUBLE_EQ(store.prev_by_slot(s0, g), 1.0 + g);
+      EXPECT_DOUBLE_EQ(store.prev_by_slot(s1, g), 10.0 + g);
+    }
+    // Map-keyed convenience API == dense group-0 view.
+    EXPECT_DOUBLE_EQ(store.prev(0, 100), 1.0);
+    EXPECT_DOUBLE_EQ(store.prev(1, 100), 10.0);
+    // The stride is fixed once slots exist.
+    EXPECT_THROW(store.set_num_groups(2), CheckError);
+  });
+}
+
 /// Shared structured fixture: Kobayashi 8³ mesh in 2³-cell patches.
 struct StructuredCase {
   StructuredCase()
