@@ -64,15 +64,17 @@ Timed time_sweeps(const Fixture& fx, sweep::SolverConfig config,
   comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
     const auto owner =
         partition::assign_contiguous(fx.patches.num_patches(), ctx.size());
-    sweep::SweepSolver solver(ctx, fx.mesh, fx.patches, owner, fx.disc,
-                              fx.quad, config);
-    (void)solver.sweep(fx.q);  // warm-up / recording sweep
+    const auto plan =
+        sweep::SweepPlan::build(ctx, fx.mesh, fx.patches, owner, fx.disc,
+                                fx.quad, sweep::plan_config_of(config));
+    sweep::SweepSession session(ctx, plan, sweep::solve_config_of(config));
+    (void)session.sweep(fx.q);  // warm-up / recording sweep
     WallTimer timer;
-    for (int i = 0; i < sweeps; ++i) (void)solver.sweep(fx.q);
+    for (int i = 0; i < sweeps; ++i) (void)session.sweep(fx.q);
     if (ctx.rank().value() == 0) {
       result.seconds = timer.seconds() / sweeps;
       if (config.engine == sweep::EngineKind::DataDriven) {
-        result.engine = solver.stats().engine;
+        result.engine = session.stats().engine;
         result.has_engine = true;
       }
     }
@@ -176,14 +178,17 @@ int main(int argc, char** argv) {
         config.patch_angle_parallelism = patch_angle;
         const auto owner =
             partition::assign_contiguous(patches.num_patches(), 1);
-        sweep::SweepSolver solver(ctx, small, patches, owner, disc, quad,
-                                  config);
-        (void)solver.sweep(q);
+        const auto plan =
+            sweep::SweepPlan::build(ctx, small, patches, owner, disc, quad,
+                                    sweep::plan_config_of(config));
+        sweep::SweepSession session(ctx, plan,
+                                    sweep::solve_config_of(config));
+        (void)session.sweep(q);
         WallTimer timer;
-        for (int i = 0; i < 3; ++i) (void)solver.sweep(q);
+        for (int i = 0; i < 3; ++i) (void)session.sweep(q);
         if (ctx.rank().value() == 0) {
           result.seconds = timer.seconds() / 3;
-          result.engine = solver.stats().engine;
+          result.engine = session.stats().engine;
           result.has_engine = true;
         }
       });
@@ -245,14 +250,17 @@ int main(int argc, char** argv) {
         config.cycle_policy = sweep::CyclePolicy::Lag;
         const auto owner =
             partition::assign_contiguous(ps.num_patches(), ctx.size());
-        sweep::SweepSolver solver(ctx, m, ps, owner, disc, col_quad,
-                                  config);
-        (void)solver.sweep(col_q);
+        const auto plan =
+            sweep::SweepPlan::build(ctx, m, ps, owner, disc, col_quad,
+                                    sweep::plan_config_of(config));
+        sweep::SweepSession session(ctx, plan,
+                                    sweep::solve_config_of(config));
+        (void)session.sweep(col_q);
         WallTimer timer;
-        for (int i = 0; i < 3; ++i) (void)solver.sweep(col_q);
+        for (int i = 0; i < 3; ++i) (void)session.sweep(col_q);
         if (ctx.rank().value() == 0) {
           seconds = timer.seconds() / 3;
-          *stats = solver.stats();
+          *stats = session.stats();
         }
       });
       return seconds;

@@ -77,13 +77,16 @@ void real_host_scale() {
       config.cluster_grain = grain;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
-      sweep::SweepSolver solver(ctx, m, patches, owner, disc, quad, config);
-      (void)solver.sweep(q);  // warm-up (graph build amortized)
+      const auto plan =
+          sweep::SweepPlan::build(ctx, m, patches, owner, disc, quad,
+                                  sweep::plan_config_of(config));
+      sweep::SweepSession session(ctx, plan, sweep::solve_config_of(config));
+      (void)session.sweep(q);  // warm-up (graph build amortized)
       WallTimer timer;
-      (void)solver.sweep(q);
+      (void)session.sweep(q);
       if (ctx.rank().value() == 0) {
         seconds = timer.seconds();
-        executions = solver.stats().engine.executions;
+        executions = session.stats().engine.executions;
       }
     });
     table.add_row({Table::num(static_cast<std::int64_t>(grain)),

@@ -71,10 +71,12 @@ Timed solve(const Fixture& f, bool pipelined, int workers) {
     config.group_pipelining = pipelined;
     const auto owner =
         partition::assign_contiguous(f.patches.num_patches(), ctx.size());
-    sweep::SweepSolver solver(ctx, f.mesh, f.patches, owner, f.disc, f.quad,
-                              config);
+    const auto plan =
+        sweep::SweepPlan::build(ctx, f.mesh, f.patches, owner, f.disc,
+                                f.quad, sweep::plan_config_of(config));
+    sweep::SweepSession session(ctx, plan, sweep::solve_config_of(config));
     WallTimer timer;
-    const auto result = solver.solve_multigroup({{1e-5, 100, false}});
+    const auto result = session.solve_multigroup({{1e-5, 100, false}});
     if (ctx.rank().value() == 0) {
       t.seconds = timer.seconds();
       t.passes = result.pass_iterations;

@@ -1,0 +1,197 @@
+// Service throughput: what the SweepPlan/SweepSession split and the
+// batched SweepService buy on a many-solve stream (the multi-source /
+// multi-RHS workload: same mesh and materials, many driving terms).
+//
+// Three modes over an identical request stream on the structured 16³
+// Kobayashi problem, fixed sweep count per request so every mode does the
+// same transport work:
+//
+//   rebuild   — the pre-plan lifecycle: build the full task system anew
+//               for every request (what SweepSolver-per-solve costs);
+//   sessions  — build ONE immutable plan, run a fresh SweepSession per
+//               request (plan reuse, serial requests);
+//   service   — the same plan behind a SweepService fusing max_batch
+//               requests into shared engine runs (plan reuse + batching).
+//
+//   build/bench/bench_service_throughput [--json [<path>]]
+//
+// CI gates plan reuse at >= 2x rebuild-per-solve throughput.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "comm/cluster.hpp"
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/source_iteration.hpp"
+#include "support/timer.hpp"
+#include "sweep/service.hpp"
+
+namespace {
+
+using namespace jsweep;
+
+constexpr int kRequests = 8;
+constexpr int kIterationsPerRequest = 2;  // fixed work: tolerance 0 below
+constexpr int kWorkers = 4;
+
+struct Fixture {
+  mesh::StructuredMesh m;
+  partition::StructuredBlockLayout layout;
+  partition::CsrGraph cg;
+  partition::PatchSet patches;
+  sn::CellXs xs;
+  sn::StructuredDD disc;
+  sn::Quadrature quad;
+  std::vector<sn::CellXs> request_xs;  // per-request external sources
+
+  Fixture()
+      : m(mesh::make_kobayashi_mesh(16)),
+        layout(m.dims(), {4, 4, 4}),
+        cg(partition::cell_graph(m)),
+        patches(partition::block_partition(layout), layout.num_patches(),
+                &cg),
+        xs(expand(sn::MaterialTable::kobayashi(), m.materials(),
+                  m.num_cells())),
+        disc(m, xs),
+        quad(sn::Quadrature::level_symmetric(4)) {
+    for (int k = 0; k < kRequests; ++k) {
+      request_xs.push_back(xs);
+      for (auto& s : request_xs.back().source)
+        s *= 1.0 + 0.125 * static_cast<double>(k);
+    }
+  }
+};
+
+// Tolerance 0 never converges, so every request runs exactly
+// kIterationsPerRequest sweeps — all three modes do identical work.
+const sn::SourceIterationOptions kOptions{0.0, kIterationsPerRequest, false};
+
+/// The pre-plan lifecycle: full task-system build per request.
+double run_rebuild(const Fixture& fx) {
+  WallTimer timer;
+  comm::Cluster::run(1, [&](comm::Context& ctx) {
+    const auto owner =
+        partition::assign_contiguous(fx.patches.num_patches(), 1);
+    for (int k = 0; k < kRequests; ++k) {
+      const auto plan = sweep::SweepPlan::build(ctx, fx.m, fx.patches,
+                                                owner, fx.disc, fx.quad);
+      sweep::SolveConfig sc;
+      sc.num_workers = kWorkers;
+      sweep::SweepSession session(ctx, plan, sc);
+      (void)sn::source_iteration(
+          fx.request_xs[static_cast<std::size_t>(k)], session.as_operator(),
+          kOptions);
+    }
+  });
+  return timer.seconds();
+}
+
+/// Plan reuse: one build, a lightweight session per request.
+double run_sessions(const Fixture& fx) {
+  WallTimer timer;
+  comm::Cluster::run(1, [&](comm::Context& ctx) {
+    const auto owner =
+        partition::assign_contiguous(fx.patches.num_patches(), 1);
+    const auto plan = sweep::SweepPlan::build(ctx, fx.m, fx.patches, owner,
+                                              fx.disc, fx.quad);
+    for (int k = 0; k < kRequests; ++k) {
+      sweep::SolveConfig sc;
+      sc.num_workers = kWorkers;
+      sweep::SweepSession session(ctx, plan, sc);
+      (void)sn::source_iteration(
+          fx.request_xs[static_cast<std::size_t>(k)], session.as_operator(),
+          kOptions);
+    }
+  });
+  return timer.seconds();
+}
+
+/// Plan reuse + request batching over one shared engine.
+double run_service(const Fixture& fx, sweep::ServiceStats* stats) {
+  WallTimer timer;
+  comm::Cluster::run(1, [&](comm::Context& ctx) {
+    const auto owner =
+        partition::assign_contiguous(fx.patches.num_patches(), 1);
+    const auto plan = sweep::SweepPlan::build(ctx, fx.m, fx.patches, owner,
+                                              fx.disc, fx.quad);
+    sweep::ServiceConfig sc;
+    sc.num_workers = kWorkers;
+    sc.max_batch = 4;
+    sweep::SweepService service(ctx, sc);
+    for (int k = 0; k < kRequests; ++k) {
+      sweep::SolveRequest request;
+      request.plan = plan;
+      request.xs = &fx.request_xs[static_cast<std::size_t>(k)];
+      request.options = kOptions;
+      service.enqueue(request);
+    }
+    (void)service.drain();
+    if (stats != nullptr) *stats = service.stats();
+  });
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "service_throughput");
+  const Fixture fx;
+  const std::int64_t problem =
+      fx.m.num_cells() * fx.quad.num_angles();
+
+  bench::print_header(
+      "Service throughput", "plan reuse + request batching vs rebuild",
+      "Kobayashi 16^3, S4, 64 patches, 8 requests x 2 sweeps each, "
+      "1 rank x 4 workers");
+
+  // Warm once (thread pools, allocator arenas) so mode order doesn't bias.
+  (void)run_sessions(fx);
+
+  const double t_rebuild = run_rebuild(fx);
+  const double t_sessions = run_sessions(fx);
+  sweep::ServiceStats service_stats;
+  const double t_service = run_service(fx, &service_stats);
+
+  const auto rate = [](double seconds) {
+    return static_cast<double>(kRequests) / seconds;
+  };
+  Table table({"mode", "time(s)", "solves/s", "speedup"});
+  table.add_row({"rebuild-per-solve", Table::num(t_rebuild, 3),
+                 Table::num(rate(t_rebuild), 2), "1.00"});
+  table.add_row({"plan-reuse sessions", Table::num(t_sessions, 3),
+                 Table::num(rate(t_sessions), 2),
+                 Table::num(t_rebuild / t_sessions, 2)});
+  table.add_row({"plan-reuse service", Table::num(t_service, 3),
+                 Table::num(rate(t_service), 2),
+                 Table::num(t_rebuild / t_service, 2)});
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "service: %lld requests in %lld batch(es), %lld engine runs for %lld "
+      "sweeps\n",
+      static_cast<long long>(service_stats.requests),
+      static_cast<long long>(service_stats.batches),
+      static_cast<long long>(service_stats.engine_runs),
+      static_cast<long long>(service_stats.sweeps));
+
+  const auto record = [&](const char* name, double seconds,
+                          double speedup) {
+    bench::Sample s;
+    s.name = std::string("service_throughput/") + name;
+    s.wall_seconds = seconds;
+    s.threads = kWorkers;
+    s.problem_size = problem;
+    s.params.emplace_back("requests", kRequests);
+    s.params.emplace_back("iterations_per_request", kIterationsPerRequest);
+    s.params.emplace_back("solves_per_sec", rate(seconds));
+    s.params.emplace_back("speedup_vs_rebuild", speedup);
+    report.record(std::move(s));
+  };
+  record("rebuild_per_solve", t_rebuild, 1.0);
+  record("plan_reuse_sessions", t_sessions, t_rebuild / t_sessions);
+  record("plan_reuse_service", t_service, t_rebuild / t_service);
+  return 0;
+}

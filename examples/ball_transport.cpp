@@ -15,7 +15,7 @@
 #include "sn/source_iteration.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
-#include "sweep/solver.hpp"
+#include "sweep/session.hpp"
 
 int main(int argc, char** argv) {
   using namespace jsweep;
@@ -43,17 +43,20 @@ int main(int argc, char** argv) {
   const sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
 
   comm::Cluster::run(4, [&](comm::Context& ctx) {
-    sweep::SolverConfig config;
-    config.num_workers = 2;
-    config.cluster_grain = 64;
-    config.use_coarsened_graph = true;
     const auto owner =
         partition::assign_contiguous(patches.num_patches(), ctx.size());
-    sweep::SweepSolver solver(ctx, m, patches, owner, disc, quad, config);
+    sweep::PlanConfig plan_config;
+    plan_config.cluster_grain = 64;
+    const auto plan = sweep::SweepPlan::build(ctx, m, patches, owner, disc,
+                                              quad, plan_config);
+    sweep::SolveConfig solve_config;
+    solve_config.num_workers = 2;
+    solve_config.use_coarsened_graph = true;
+    sweep::SweepSession session(ctx, plan, solve_config);
 
     WallTimer t_solve;
     const auto result =
-        sn::source_iteration(xs, solver.as_operator(), {1e-6, 200, false});
+        sn::source_iteration(xs, session.as_operator(), {1e-6, 200, false});
     if (ctx.rank().value() == 0) {
       std::printf("solve: %d iterations in %.2fs (converged: %s)\n",
                   result.iterations, t_solve.seconds(),

@@ -27,7 +27,7 @@
 #include "sn/source_iteration.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
-#include "sweep/solver.hpp"
+#include "sweep/session.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/critical_path.hpp"
 #include "trace/trace.hpp"
@@ -184,7 +184,7 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
                  "ignored for the serial sweep\n");
 
   sn::MultigroupResult result;
-  sweep::SolverStats solver_stats;
+  sweep::SolveStats solver_stats;
   WallTimer timer;
   if (opt.engine == "serial") {
     result = sn::solve_multigroup_sweeps(
@@ -200,28 +200,32 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
         mg);
   } else {
     comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
-      sweep::SolverConfig config;
-      config.engine = opt.engine == "bsp" ? sweep::EngineKind::Bsp
-                                          : sweep::EngineKind::DataDriven;
-      config.num_workers = opt.workers;
-      config.cluster_grain = opt.grain;
-      config.patch_priority = graph::priority_from_string(opt.priority);
-      config.vertex_priority = config.patch_priority;
-      config.use_coarsened_graph =
-          opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
-      config.cycle_policy = sweep::cycle_policy_from_string(opt.cycle_policy);
-      config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
-      config.multigroup = &mxs;
-      config.group_pipelining = !opt.group_barrier;
-      config.trace.recorder = recorder ? &*recorder : nullptr;
+      sweep::PlanConfig plan_config;
+      plan_config.cluster_grain = opt.grain;
+      plan_config.patch_priority = graph::priority_from_string(opt.priority);
+      plan_config.vertex_priority = plan_config.patch_priority;
+      plan_config.cycle_policy =
+          sweep::cycle_policy_from_string(opt.cycle_policy);
+      plan_config.multigroup = &mxs;
+      plan_config.group_pipelining = !opt.group_barrier;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
-      sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
-                                config);
-      const auto r = solver.solve_multigroup(mg);
+      const auto plan = sweep::SweepPlan::build(ctx, mesh, patches, owner,
+                                                disc, quad, plan_config);
+      sweep::SolveConfig solve_config;
+      solve_config.engine = opt.engine == "bsp"
+                                ? sweep::EngineKind::Bsp
+                                : sweep::EngineKind::DataDriven;
+      solve_config.num_workers = opt.workers;
+      solve_config.use_coarsened_graph =
+          opt.coarsened && solve_config.engine == sweep::EngineKind::DataDriven;
+      solve_config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
+      solve_config.trace.recorder = recorder ? &*recorder : nullptr;
+      sweep::SweepSession session(ctx, plan, solve_config);
+      const auto r = session.solve_multigroup(mg);
       if (ctx.rank().value() == 0) {
         result = r;
-        solver_stats = solver.stats();
+        solver_stats = session.stats();
       }
     });
   }
@@ -307,7 +311,7 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
       sweep::cycle_policy_from_string(opt.cycle_policy);
 
   sn::SourceIterationResult result;
-  sweep::SolverStats solver_stats;
+  sweep::SolveStats solver_stats;
   WallTimer timer;
   if (opt.engine == "serial") {
     if (opt.lag_sweeps > 1)
@@ -341,26 +345,29 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
     }
   } else {
     comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
-      sweep::SolverConfig config;
-      config.engine = opt.engine == "bsp" ? sweep::EngineKind::Bsp
-                                          : sweep::EngineKind::DataDriven;
-      config.num_workers = opt.workers;
-      config.cluster_grain = opt.grain;
-      config.patch_priority = graph::priority_from_string(opt.priority);
-      config.vertex_priority = config.patch_priority;
-      config.use_coarsened_graph =
-          opt.coarsened && config.engine == sweep::EngineKind::DataDriven;
-      config.cycle_policy = cycle_policy;
-      config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
-      config.trace.recorder = recorder ? &*recorder : nullptr;
+      sweep::PlanConfig plan_config;
+      plan_config.cluster_grain = opt.grain;
+      plan_config.patch_priority = graph::priority_from_string(opt.priority);
+      plan_config.vertex_priority = plan_config.patch_priority;
+      plan_config.cycle_policy = cycle_policy;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
-      sweep::SweepSolver solver(ctx, mesh, patches, owner, disc, quad,
-                                config);
-      const auto r = sn::source_iteration(xs, solver.as_operator(), si);
+      const auto plan = sweep::SweepPlan::build(ctx, mesh, patches, owner,
+                                                disc, quad, plan_config);
+      sweep::SolveConfig solve_config;
+      solve_config.engine = opt.engine == "bsp"
+                                ? sweep::EngineKind::Bsp
+                                : sweep::EngineKind::DataDriven;
+      solve_config.num_workers = opt.workers;
+      solve_config.use_coarsened_graph =
+          opt.coarsened && solve_config.engine == sweep::EngineKind::DataDriven;
+      solve_config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
+      solve_config.trace.recorder = recorder ? &*recorder : nullptr;
+      sweep::SweepSession session(ctx, plan, solve_config);
+      const auto r = sn::source_iteration(xs, session.as_operator(), si);
       if (ctx.rank().value() == 0) {
         result = r;
-        solver_stats = solver.stats();
+        solver_stats = session.stats();
       }
     });
   }

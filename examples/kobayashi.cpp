@@ -17,7 +17,7 @@
 #include "sn/source_iteration.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
-#include "sweep/solver.hpp"
+#include "sweep/session.hpp"
 
 int main(int argc, char** argv) {
   using namespace jsweep;
@@ -58,15 +58,19 @@ int main(int argc, char** argv) {
     sn::SourceIterationResult result;
     WallTimer t_engine;
     comm::Cluster::run(4, [&](comm::Context& ctx) {
-      sweep::SolverConfig config;
-      config.engine = engine;
-      config.num_workers = 2;
-      config.cluster_grain = 256;
-      config.use_coarsened_graph = engine == sweep::EngineKind::DataDriven;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
-      sweep::SweepSolver solver(ctx, m, patches, owner, disc, quad, config);
-      const auto r = sn::source_iteration(xs, solver.as_operator(), opts);
+      sweep::PlanConfig plan_config;
+      plan_config.cluster_grain = 256;
+      const auto plan = sweep::SweepPlan::build(ctx, m, patches, owner, disc,
+                                                quad, plan_config);
+      sweep::SolveConfig solve_config;
+      solve_config.engine = engine;
+      solve_config.num_workers = 2;
+      solve_config.use_coarsened_graph =
+          engine == sweep::EngineKind::DataDriven;
+      sweep::SweepSession session(ctx, plan, solve_config);
+      const auto r = sn::source_iteration(xs, session.as_operator(), opts);
       if (ctx.rank().value() == 0) result = r;
     });
     double max_diff = 0.0;

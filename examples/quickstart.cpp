@@ -4,7 +4,7 @@
 //   build/examples/quickstart
 //
 // Walks through the full pipeline: mesh → patches → discretization →
-// parallel sweep solver → source iteration.
+// sweep plan (built once) → session → source iteration.
 
 #include <cstdio>
 
@@ -14,7 +14,7 @@
 #include "partition/block_layout.hpp"
 #include "partition/patch_set.hpp"
 #include "sn/source_iteration.hpp"
-#include "sweep/solver.hpp"
+#include "sweep/session.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -41,15 +41,22 @@ int main() {
               quad.num_angles());
 
   comm::Cluster::run(4, [&](comm::Context& ctx) {
-    sweep::SolverConfig config;
-    config.num_workers = 2;
-    config.cluster_grain = 32;
-    config.use_coarsened_graph = true;  // iterations 2+ replay on CG
     const auto owner =
         partition::assign_contiguous(patches.num_patches(), ctx.size());
 
-    sweep::SweepSolver solver(ctx, m, patches, owner, disc, quad, config);
-    const auto result = sn::source_iteration(xs, solver.as_operator(),
+    // Build the immutable plan once (task graphs, face slots, priorities),
+    // then solve against it with a lightweight session. Reuse the plan for
+    // any number of sessions — rebuild only when the mesh changes.
+    sweep::PlanConfig plan_config;
+    plan_config.cluster_grain = 32;
+    const auto plan = sweep::SweepPlan::build(ctx, m, patches, owner, disc,
+                                              quad, plan_config);
+
+    sweep::SolveConfig solve_config;
+    solve_config.num_workers = 2;
+    solve_config.use_coarsened_graph = true;  // iterations 2+ replay on CG
+    sweep::SweepSession session(ctx, plan, solve_config);
+    const auto result = sn::source_iteration(xs, session.as_operator(),
                                              {1e-6, 100, false});
 
     if (ctx.rank().value() == 0) {
@@ -64,7 +71,7 @@ int main() {
       }
       std::printf("scalar flux: mean %.4e, peak %.4e\n",
                   total / static_cast<double>(result.phi.size()), peak);
-      const auto& st = solver.stats().engine;
+      const auto& st = session.stats().engine;
       std::printf(
           "last sweep: %lld program executions, %lld local + %lld remote "
           "streams, %lld wire messages\n",

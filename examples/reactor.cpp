@@ -21,7 +21,7 @@
 #include "sn/multigroup.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
-#include "sweep/solver.hpp"
+#include "sweep/session.hpp"
 
 int main(int argc, char** argv) {
   using namespace jsweep;
@@ -47,21 +47,24 @@ int main(int argc, char** argv) {
       sn::MaterialTable::reactor(), m.materials(), m.num_cells(), kGroups);
 
   comm::Cluster::run(4, [&](comm::Context& ctx) {
-    // One solver for the whole multigroup system: the task graphs are
+    // One plan for the whole multigroup system: the task graphs are
     // group-independent and shared; only the kernels differ per group.
     const sn::TetStep disc(m, mxs.group_view(0));
-    sweep::SolverConfig config;
-    config.num_workers = 2;
-    config.cluster_grain = 64;
-    config.multigroup = &mxs;
-    config.group_pipelining = true;
+    sweep::PlanConfig plan_config;
+    plan_config.cluster_grain = 64;
+    plan_config.multigroup = &mxs;
+    plan_config.group_pipelining = true;
     const auto owner =
         partition::assign_contiguous(patches.num_patches(), ctx.size());
-    sweep::SweepSolver solver(ctx, m, patches, owner, disc, quad, config);
+    const auto plan = sweep::SweepPlan::build(ctx, m, patches, owner, disc,
+                                              quad, plan_config);
+    sweep::SolveConfig solve_config;
+    solve_config.num_workers = 2;
+    sweep::SweepSession session(ctx, plan, solve_config);
 
     WallTimer timer;
     const sn::MultigroupResult result =
-        solver.solve_multigroup({{1e-5, 200, false}});
+        session.solve_multigroup({{1e-5, 200, false}});
     const double seconds = timer.seconds();
 
     if (ctx.rank().value() == 0) {

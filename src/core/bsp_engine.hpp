@@ -29,6 +29,7 @@ class Track;
 
 namespace jsweep::core {
 
+/// Construction-time knobs of the BSP engine.
 struct BspConfig {
   /// Threads used for the compute phase (the calling thread also works, so
   /// effective parallelism is num_threads + 1).
@@ -38,27 +39,35 @@ struct BspConfig {
   trace::Recorder* recorder = nullptr;
 };
 
+/// Counters of the last BspEngine::run().
 struct BspStats {
-  double elapsed_seconds = 0.0;
-  std::int64_t supersteps = 0;
-  std::int64_t executions = 0;
-  std::int64_t streams_local = 0;
-  std::int64_t streams_remote = 0;
-  std::int64_t stream_bytes = 0;
+  double elapsed_seconds = 0.0;      ///< wall time of the run
+  std::int64_t supersteps = 0;       ///< barrier-separated supersteps
+  std::int64_t executions = 0;       ///< program compute() executions
+  std::int64_t streams_local = 0;    ///< streams delivered on-rank
+  std::int64_t streams_remote = 0;   ///< streams shipped across ranks
+  std::int64_t stream_bytes = 0;     ///< payload bytes moved
 };
 
+/// The superstep baseline engine (see \ref bsp_engine.hpp). Same
+/// registration surface as core::Engine, barriered execution model.
 class BspEngine {
  public:
+  /// `ctx` must outlive the engine; `config` is fixed for its lifetime.
   BspEngine(comm::Context& ctx, BspConfig config);
 
+  /// Register a program (pre-run). `initially_active` = false parks it
+  /// until its first incoming stream (e.g. pipelined multigroup gates).
   void add_program(std::unique_ptr<PatchProgram> program,
                    bool initially_active = true);
+  /// Install the patch → owner-rank route table (pre-run, all ranks).
   void set_routes(std::vector<RankId> patch_owner);
 
   /// Run supersteps to global termination (remaining work reaches zero on
   /// every rank). Collective.
   void run();
 
+  /// Counters of the last run().
   [[nodiscard]] const BspStats& stats() const { return stats_; }
 
   /// Stream payload recycling (see core::Engine::buffer_pool).

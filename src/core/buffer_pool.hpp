@@ -18,6 +18,8 @@
 
 namespace jsweep::core {
 
+/// Thread-safe recycling pool of payload buffers (see
+/// \ref buffer_pool.hpp). One instance per engine.
 class BufferPool {
  public:
   /// An empty buffer, recycled (with its old capacity) when one is free.
@@ -42,10 +44,12 @@ class BufferPool {
     free_.back().clear();
   }
 
+  /// Total acquire() calls (observability for tests/benches).
   [[nodiscard]] std::int64_t acquires() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return acquires_;
   }
+  /// Acquires served from the free list instead of a fresh buffer.
   [[nodiscard]] std::int64_t reuses() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return reuses_;

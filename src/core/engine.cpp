@@ -22,6 +22,9 @@ struct Engine::ProgramState {
   std::unique_ptr<PatchProgram> program;
   double priority = 0.0;
   bool initially_active = true;
+  /// Disabled programs sit out whole runs: no workload contribution, no
+  /// startup queueing, and any stream delivered to one is an error.
+  bool enabled = true;
   bool initialized = false;
   /// Idle = not queued or running (the paper's "inactive"); Active covers
   /// both queued and running — a program has at most one outstanding
@@ -86,6 +89,14 @@ void Engine::add_program(std::unique_ptr<PatchProgram> program,
 
 void Engine::set_routes(std::vector<RankId> patch_owner) {
   patch_owner_ = std::move(patch_owner);
+}
+
+void Engine::set_program_enabled(const ProgramKey& key, bool enabled) {
+  const auto it = programs_.find(key);
+  JSWEEP_CHECK_MSG(it != programs_.end(),
+                   "set_program_enabled: no program " << key << " on rank "
+                                                      << ctx_.rank());
+  it->second->enabled = enabled;
 }
 
 void Engine::worker_loop(Worker& w) {
@@ -196,6 +207,9 @@ void Engine::deliver_local(Stream stream) {
                                        << " but no such program on rank "
                                        << ctx_.rank());
   ProgramState& ps = *it->second;
+  JSWEEP_CHECK_MSG(ps.enabled, "stream from " << stream.src << " targets "
+                                              << stream.dst
+                                              << ", which is disabled");
   if (trace_master_ != nullptr) {
     auto e = trace::make_instant(trace::EventKind::StreamRecv,
                                  config_.recorder->now_ns());
@@ -314,7 +328,7 @@ void Engine::run() {
     ps->initialized = false;
     ps->state = ProgramState::St::Idle;
     ps->inbox.clear();
-    local_remaining_ += ps->program->total_work();
+    if (ps->enabled) local_remaining_ += ps->program->total_work();
   }
 
   // Launch workers.
@@ -329,7 +343,7 @@ void Engine::run() {
   {
     std::vector<ProgramState*> initial;
     for (auto& [key, ps] : programs_)
-      if (ps->initially_active) initial.push_back(ps.get());
+      if (ps->enabled && ps->initially_active) initial.push_back(ps.get());
     std::sort(initial.begin(), initial.end(),
               [](const ProgramState* a, const ProgramState* b) {
                 if (a->priority != b->priority)

@@ -34,6 +34,7 @@ class Track;
 
 namespace jsweep::core {
 
+/// How a run decides that all ranks are globally done.
 enum class TerminationMode {
   /// Workload known in advance (Sn sweeps): one collective when every
   /// rank's remaining-work counter hits zero.
@@ -42,8 +43,10 @@ enum class TerminationMode {
   Safra,
 };
 
+/// Construction-time knobs of one Engine instance.
 struct EngineConfig {
-  int num_workers = 2;
+  int num_workers = 2;  ///< worker threads executing patch-programs
+  /// Global-termination detection scheme (see TerminationMode).
   TerminationMode termination = TerminationMode::KnownWorkload;
   /// When non-null, the engine records execution/stream/route/idle events
   /// into this recorder (trace/trace.hpp). Null (the default) disables
@@ -51,8 +54,9 @@ struct EngineConfig {
   trace::Recorder* recorder = nullptr;
 };
 
+/// Counters and timings of the most recent Engine::run().
 struct EngineStats {
-  double elapsed_seconds = 0.0;
+  double elapsed_seconds = 0.0;      ///< wall time of the run
   std::int64_t executions = 0;       ///< patch-program executions
   std::int64_t streams_local = 0;    ///< streams delivered within the rank
   std::int64_t streams_remote = 0;   ///< streams sent across ranks
@@ -63,13 +67,16 @@ struct EngineStats {
   double worker_idle_seconds = 0.0;  ///< summed across workers
 };
 
+/// The per-rank data-driven runtime (see \ref engine.hpp): routes streams,
+/// schedules patch-programs onto worker threads and detects termination.
 class Engine {
  public:
+  /// `ctx` must outlive the engine; `config` is fixed for its lifetime.
   Engine(comm::Context& ctx, EngineConfig config);
-  ~Engine();
+  ~Engine();  ///< joins nothing; workers stop at the end of each run()
 
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  Engine(const Engine&) = delete;             ///< non-copyable
+  Engine& operator=(const Engine&) = delete;  ///< non-copyable
 
   /// Register a patch-program owned by this rank. `priority` orders
   /// scheduling (higher first). Initially-active programs are queued at
@@ -80,10 +87,21 @@ class Engine {
   /// Route table: owner rank of every patch (same on all ranks).
   void set_routes(std::vector<RankId> patch_owner);
 
+  /// Enable or disable a registered program for subsequent run() calls.
+  /// Disabled programs contribute nothing to the known-workload commitment
+  /// and are never queued; delivering a stream to one is an error (the
+  /// route tables and tag namespaces must keep disabled subsets closed).
+  /// All programs start enabled. The sweep service uses this to run only
+  /// the request lanes of the current batch over one shared task system.
+  void set_program_enabled(const ProgramKey& key, bool enabled);
+
   /// Run to global termination. Collective: every rank must call run()
-  /// once per logical iteration.
+  /// once per logical iteration. Re-entrant across calls: every enabled
+  /// program is reset and re-initialized, so one engine serves any number
+  /// of sweeps (and interleaved request batches) back to back.
   void run();
 
+  /// Counters and timings of the most recent run().
   [[nodiscard]] const EngineStats& stats() const { return stats_; }
 
   /// Number of registered local programs.

@@ -16,14 +16,19 @@
 
 namespace jsweep::core {
 
+/// One data-driven program on a (patch, task) pair (see
+/// \ref patch_program.hpp): the engine drives it through
+/// init → {input* → compute → output*}* → vote_to_halt.
 class PatchProgram {
  public:
+  /// Bind the program to its engine address (patch, task tag).
   PatchProgram(PatchId patch, TaskTag task) : key_{patch, task} {}
-  virtual ~PatchProgram() = default;
+  virtual ~PatchProgram() = default;  ///< virtual: engines own programs
 
-  PatchProgram(const PatchProgram&) = delete;
-  PatchProgram& operator=(const PatchProgram&) = delete;
+  PatchProgram(const PatchProgram&) = delete;             ///< non-copyable
+  PatchProgram& operator=(const PatchProgram&) = delete;  ///< non-copyable
 
+  /// The engine address this program is registered under.
   [[nodiscard]] const ProgramKey& key() const { return key_; }
 
   /// Initialize local context. Called exactly once, before the first

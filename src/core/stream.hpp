@@ -14,11 +14,13 @@
 
 namespace jsweep::core {
 
+/// One routed message between patch-programs (see \ref stream.hpp).
 struct Stream {
-  ProgramKey src;
-  ProgramKey dst;
-  comm::Bytes data;
+  ProgramKey src;    ///< producing (patch, task)
+  ProgramKey dst;    ///< consuming (patch, task)
+  comm::Bytes data;  ///< opaque user payload (stream codec bytes)
 
+  /// Payload size in bytes (wire accounting).
   [[nodiscard]] std::size_t byte_size() const { return data.size(); }
 };
 

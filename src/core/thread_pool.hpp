@@ -14,15 +14,17 @@
 
 namespace jsweep::core {
 
+/// Minimal fork-join worker pool (see \ref thread_pool.hpp).
 class ThreadPool {
  public:
   /// `threads` workers; 0 means run everything inline on the caller.
   explicit ThreadPool(int threads);
-  ~ThreadPool();
+  ~ThreadPool();  ///< joins all workers
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  ThreadPool(const ThreadPool&) = delete;             ///< non-copyable
+  ThreadPool& operator=(const ThreadPool&) = delete;  ///< non-copyable
 
+  /// Worker thread count (0 = inline execution).
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
   /// Run fn(i) for i in [0, n), striped across the pool; blocks until all

@@ -1,6 +1,28 @@
 #include "sn/xs.hpp"
 
+#include <cmath>
+
 namespace jsweep::sn {
+
+void CellXs::validate() const {
+  JSWEEP_CHECK_MSG(sigma_s.size() == sigma_t.size() &&
+                       source.size() == sigma_t.size(),
+                   "CellXs arrays disagree: sigma_t covers "
+                       << sigma_t.size() << " cells, sigma_s "
+                       << sigma_s.size() << ", source " << source.size()
+                       << " — all three must be sized to the mesh");
+  for (std::size_t c = 0; c < sigma_t.size(); ++c) {
+    JSWEEP_CHECK_MSG(std::isfinite(sigma_t[c]) && sigma_t[c] >= 0.0,
+                     "CellXs::sigma_t[" << c << "] = " << sigma_t[c]
+                                        << " must be finite and >= 0");
+    JSWEEP_CHECK_MSG(std::isfinite(sigma_s[c]) && sigma_s[c] >= 0.0,
+                     "CellXs::sigma_s[" << c << "] = " << sigma_s[c]
+                                        << " must be finite and >= 0");
+    JSWEEP_CHECK_MSG(std::isfinite(source[c]),
+                     "CellXs::source[" << c << "] = " << source[c]
+                                       << " must be finite");
+  }
+}
 
 MaterialTable MaterialTable::kobayashi() {
   // Indexed by mesh::Material: kMatSource=0, kMatVoid=1, kMatShield=2.

@@ -60,6 +60,13 @@ struct CellXs {
   std::vector<double> sigma_t;  ///< total cross section per cell
   std::vector<double> sigma_s;  ///< isotropic scattering per cell
   std::vector<double> source;   ///< external volumetric source per cell
+
+  /// Structural sanity check, throwing CheckError with an actionable
+  /// message on the first violation: the three arrays must have identical
+  /// length and every entry must be finite with σ_t ≥ 0 and σ_s ≥ 0.
+  /// SweepPlan::build and the sweep service run this up front so malformed
+  /// tables fail at request admission instead of mid-solve.
+  void validate() const;
 };
 
 /// Expand per-cell arrays from a material map (empty map = material 0).

@@ -9,12 +9,15 @@ namespace jsweep::sweep {
 
 GroupPipeline::GroupPipeline(
     const sn::MultigroupXs& xs, const partition::PatchSet& ps,
-    int num_angles, std::vector<const sn::Discretization*> group_discs)
+    int num_angles, std::vector<const sn::Discretization*> group_discs,
+    int lane_tag_offset)
     : xs_(xs),
       ps_(ps),
       num_angles_(num_angles),
-      discs_(std::move(group_discs)) {
+      discs_(std::move(group_discs)),
+      lane_tag_offset_(lane_tag_offset) {
   JSWEEP_CHECK(num_angles_ >= 1);
+  JSWEEP_CHECK(lane_tag_offset_ >= 0);
   JSWEEP_CHECK_MSG(static_cast<int>(discs_.size()) == xs_.groups(),
                    "need one discretization per group");
   JSWEEP_CHECK_MSG(xs_.cells() == ps_.num_cells(),
@@ -127,8 +130,10 @@ void GroupPipeline::on_program_complete(PatchId p, GroupId g,
   for (int a = 0; a < num_angles_; ++a) {
     core::Stream s;
     s.src = src;
-    s.dst = ProgramKey{p, sweep_task_tag(AngleId{a}, GroupId{gv + 1},
-                                         num_angles_)};
+    s.dst = ProgramKey{
+        p, TaskTag{sweep_task_tag(AngleId{a}, GroupId{gv + 1}, num_angles_)
+                       .value() +
+                   lane_tag_offset_}};
     pending.push_back(std::move(s));
   }
 }

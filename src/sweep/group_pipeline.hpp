@@ -58,9 +58,13 @@ class GroupPipeline {
  public:
   /// `xs`, `ps` and the discretizations must outlive the pipeline.
   /// `group_discs[g]` is the kernel for group g (σ_t differs per group).
+  /// `lane_tag_offset` shifts the activation streams' task tags into a
+  /// session's request-lane namespace (lane_task_tag in sweep_data.hpp);
+  /// 0 (the default) is the plain solver namespace.
   GroupPipeline(const sn::MultigroupXs& xs, const partition::PatchSet& ps,
                 int num_angles,
-                std::vector<const sn::Discretization*> group_discs);
+                std::vector<const sn::Discretization*> group_discs,
+                int lane_tag_offset = 0);
 
   /// Energy groups coordinated by this pipeline.
   [[nodiscard]] int num_groups() const { return xs_.groups(); }
@@ -117,6 +121,7 @@ class GroupPipeline {
   const partition::PatchSet& ps_;
   int num_angles_;
   std::vector<const sn::Discretization*> discs_;
+  int lane_tag_offset_ = 0;  ///< request-lane shift of activation tags
 
   std::vector<PatchId> local_patches_;
   std::vector<std::int32_t> local_of_patch_;  ///< patch id → index or -1

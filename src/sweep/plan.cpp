@@ -1,0 +1,229 @@
+#include "sweep/plan.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::sweep {
+
+std::string to_string(CyclePolicy p) {
+  switch (p) {
+    case CyclePolicy::Assume: return "assume";
+    case CyclePolicy::Error: return "error";
+    case CyclePolicy::Lag: return "lag";
+  }
+  return "?";
+}
+
+CyclePolicy cycle_policy_from_string(const std::string& name) {
+  if (name == "assume") return CyclePolicy::Assume;
+  if (name == "error") return CyclePolicy::Error;
+  if (name == "lag") return CyclePolicy::Lag;
+  JSWEEP_CHECK_MSG(false, "unknown cycle policy '" << name
+                                                   << "' (assume|error|lag)");
+  return CyclePolicy::Error;
+}
+
+SweepPlan::~SweepPlan() = default;
+
+namespace {
+
+/// Up-front invariant validation: every mismatch that used to surface as a
+/// mid-solve assertion fails here instead, with enough context to fix it.
+void validate_plan_inputs(comm::Context& ctx, std::int64_t mesh_cells,
+                          const partition::PatchSet& ps,
+                          const std::vector<RankId>& owner,
+                          const sn::Discretization& disc,
+                          const sn::Quadrature& quad,
+                          const PlanConfig& config) {
+  JSWEEP_CHECK_MSG(quad.num_angles() >= 1,
+                   "plan needs a non-empty quadrature (got 0 ordinates) — "
+                   "build one with sn::Quadrature::level_symmetric-style "
+                   "factories before SweepPlan::build");
+  JSWEEP_CHECK_MSG(ps.num_cells() == mesh_cells,
+                   "patch set partitions " << ps.num_cells()
+                                           << " cells but the mesh has "
+                                           << mesh_cells
+                                           << " — partition the same mesh "
+                                              "the plan is built over");
+  JSWEEP_CHECK_MSG(disc.num_cells() == ps.num_cells(),
+                   "discretization covers "
+                       << disc.num_cells() << " cells, the partition "
+                       << ps.num_cells()
+                       << " — build the sweep kernel over the same mesh");
+  JSWEEP_CHECK_MSG(static_cast<int>(owner.size()) == ps.num_patches(),
+                   "patch owner table has " << owner.size() << " entries for "
+                                            << ps.num_patches()
+                                            << " patches — one owner rank "
+                                               "per patch, identical on "
+                                               "every rank");
+  for (std::size_t p = 0; p < owner.size(); ++p)
+    JSWEEP_CHECK_MSG(
+        owner[p].value() >= 0 && owner[p].value() < ctx.size(),
+        "patch " << p << " is owned by rank " << owner[p] << " but the "
+                 << "cluster has ranks 0.." << ctx.size() - 1);
+  JSWEEP_CHECK_MSG(config.cluster_grain >= 1,
+                   "PlanConfig::cluster_grain = "
+                       << config.cluster_grain
+                       << " — compute() must retire at least one vertex "
+                          "per batch");
+  disc.xs().validate();
+  if (config.multigroup != nullptr) {
+    const auto& mxs = *config.multigroup;
+    mxs.validate();
+    JSWEEP_CHECK_MSG(mxs.cells() == ps.num_cells(),
+                     "multigroup table covers "
+                         << mxs.cells() << " cells, mesh has "
+                         << ps.num_cells());
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const SweepPlan> SweepPlan::build(
+    comm::Context& ctx, const mesh::StructuredMesh& m,
+    const partition::PatchSet& ps, std::vector<RankId> patch_owner,
+    const sn::StructuredDD& disc, const sn::Quadrature& quad,
+    PlanConfig config) {
+  return build_impl(
+      ctx, m.num_cells(), ps, std::move(patch_owner), disc, quad, config,
+      [&](const sn::CellXs& xs) {
+        return std::make_unique<sn::StructuredDD>(m, xs,
+                                                  disc.negative_flux_fixup());
+      },
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
+          const graph::CycleCut* cut) {
+        return graph::build_patch_task_graph(m, ps, p, omega, a, cut);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::build_patch_digraph(m, ps, omega);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::compute_cycle_cut(m, omega);
+      });
+}
+
+std::shared_ptr<const SweepPlan> SweepPlan::build(
+    comm::Context& ctx, const mesh::TetMesh& m, const partition::PatchSet& ps,
+    std::vector<RankId> patch_owner, const sn::TetStep& disc,
+    const sn::Quadrature& quad, PlanConfig config) {
+  return build_impl(
+      ctx, m.num_cells(), ps, std::move(patch_owner), disc, quad, config,
+      [&](const sn::CellXs& xs) { return std::make_unique<sn::TetStep>(m, xs); },
+      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
+          const graph::CycleCut* cut) {
+        return graph::build_patch_task_graph(m, ps, p, omega, a, cut);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::build_patch_digraph(m, ps, omega);
+      },
+      [&](const mesh::Vec3& omega) {
+        return graph::compute_cycle_cut(m, omega);
+      });
+}
+
+std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
+    comm::Context& ctx, std::int64_t mesh_cells, const partition::PatchSet& ps,
+    std::vector<RankId> patch_owner, const sn::Discretization& disc,
+    const sn::Quadrature& quad, PlanConfig config,
+    const std::function<std::unique_ptr<sn::Discretization>(
+        const sn::CellXs&)>& disc_builder,
+    const std::function<graph::PatchTaskGraph(
+        PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
+        task_builder,
+    const std::function<graph::Digraph(const mesh::Vec3&)>&
+        patch_digraph_builder,
+    const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder) {
+  validate_plan_inputs(ctx, mesh_cells, ps, patch_owner, disc, quad, config);
+  WallTimer timer;
+
+  // shared_ptr<const SweepPlan> with a private ctor: build mutable, return
+  // const.
+  std::shared_ptr<SweepPlan> plan(new SweepPlan());
+  plan->config_ = config;
+  plan->ps_ = &ps;
+  plan->quad_ = &quad;
+  plan->disc_ = &disc;
+  plan->owner_ = std::move(patch_owner);
+  plan->built_rank_ = ctx.rank();
+  plan->built_size_ = ctx.size();
+
+  for (int p = 0; p < ps.num_patches(); ++p)
+    if (plan->owner_[static_cast<std::size_t>(p)] == ctx.rank())
+      plan->local_patches_.push_back(PatchId{p});
+
+  // Multigroup: one kernel per group (σ_t varies by group, the mesh does
+  // not); pipelined plans build one program set per group.
+  if (config.multigroup != nullptr) {
+    const auto& mxs = *config.multigroup;
+    for (int g = 0; g < mxs.groups(); ++g)
+      plan->group_discs_.push_back(disc_builder(mxs.group_view(g)));
+    if (config.group_pipelining) plan->groups_built_ = mxs.groups();
+  }
+
+  // Each lagged (cycle-cut) face carries one old-iterate value per energy
+  // group — in BOTH multigroup modes (barriered engine runs select their
+  // stride via SweepShared::current_group).
+  plan->lagged_template_.set_num_groups(
+      config.multigroup != nullptr ? config.multigroup->groups() : 1);
+
+  // Outer loop over angles so all programs of one angle share its
+  // patch-priority vector; programs are stored angle-major, a fixed order
+  // reused by the deterministic φ collection.
+  for (int a = 0; a < quad.num_angles(); ++a) {
+    const mesh::Vec3 omega = quad.angle(a).dir;
+    // Cycle handling: detect (unless told to assume acyclicity), and either
+    // refuse with diagnostics or cut + lag the feedback faces. The cut is a
+    // deterministic function of the mesh and direction, so every rank
+    // computes the identical set and registers identical store slots.
+    graph::CycleCut cut;
+    if (config.cycle_policy != CyclePolicy::Assume) cut = cut_builder(omega);
+    if (!cut.empty()) {
+      JSWEEP_CHECK_MSG(
+          config.cycle_policy == CyclePolicy::Lag,
+          "sweep direction "
+              << a << " (" << omega << ") has cyclic dependencies: "
+              << cut.stats.cyclic_components << " SCC(s), largest "
+              << cut.stats.largest_component << " cells, "
+              << cut.stats.edges_cut
+              << " feedback edge(s); set PlanConfig::cycle_policy = "
+                 "CyclePolicy::Lag to cut and lag them");
+      plan->cycle_stats_.merge(cut.stats);
+      ++plan->cyclic_angles_;
+      std::vector<std::int64_t> faces(cut.lagged_faces.begin(),
+                                      cut.lagged_faces.end());
+      std::sort(faces.begin(), faces.end());
+      for (const auto face : faces) plan->lagged_template_.add_slot(a, face);
+    }
+    const graph::Digraph patch_graph = patch_digraph_builder(omega);
+    const std::vector<double> pprio =
+        graph::patch_priorities(config.patch_priority, patch_graph);
+    // The structural task data is group-independent (same DAG, same face
+    // slots): built once per (patch, angle), shared by all group programs.
+    for (const auto p : plan->local_patches_) {
+      plan->task_data_.push_back(std::make_unique<SweepTaskData>(
+          task_builder(p, omega, AngleId{a}, cut.empty() ? nullptr : &cut),
+          config.vertex_priority, disc, ps, quad.angle(a),
+          plan->lagged_template_.empty() ? nullptr
+                                         : &plan->lagged_template_));
+      const std::size_t data_index = plan->task_data_.size() - 1;
+      for (int g = 0; g < plan->groups_built_; ++g) {
+        // Task priority: earlier groups strictly dominate (they unblock
+        // downstream groups' sources), then earlier (lower-id) angles so
+        // same-angle programs chain through the mesh back-to-back
+        // (Sec. V-D). For G = 1 this is exactly the classic -angle prior.
+        const double task_prior =
+            -static_cast<double>(g * quad.num_angles() + a);
+        plan->programs_.push_back(PlanProgram{
+            data_index, GroupId{g},
+            graph::combined_priority(
+                task_prior, pprio[static_cast<std::size_t>(p.value())])});
+      }
+    }
+  }
+  plan->build_seconds_ = timer.seconds();
+  return plan;
+}
+
+}  // namespace jsweep::sweep

@@ -1,0 +1,191 @@
+#include "sweep/service.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace jsweep::sweep {
+
+SweepService::SweepService(comm::Context& ctx, ServiceConfig config)
+    : ctx_(ctx), config_(config) {
+  JSWEEP_CHECK_MSG(config_.num_workers >= 1,
+                   "ServiceConfig::num_workers must be >= 1");
+  JSWEEP_CHECK_MSG(config_.max_batch >= 1,
+                   "ServiceConfig::max_batch must be >= 1");
+}
+
+SweepService::~SweepService() = default;
+
+void SweepService::enqueue(SolveRequest request) {
+  JSWEEP_CHECK_MSG(request.plan != nullptr, "solve request needs a plan");
+  JSWEEP_CHECK_MSG(
+      request.plan->config().multigroup == nullptr,
+      "the service batches single-group solves; run multigroup plans "
+      "through a standalone SweepSession::solve_multigroup()");
+  JSWEEP_CHECK_MSG(request.xs != nullptr,
+                   "solve request needs per-cell cross sections "
+                   "(SolveRequest::xs)");
+  request.xs->validate();
+  JSWEEP_CHECK_MSG(
+      static_cast<std::int64_t>(request.xs->sigma_t.size()) ==
+          request.plan->patches().num_cells(),
+      "request XS covers " << request.xs->sigma_t.size()
+                           << " cells but the plan sweeps "
+                           << request.plan->patches().num_cells());
+  ++stats_.requests;
+  queue_.push_back(std::move(request));
+}
+
+SweepService::PlanRig& SweepService::rig_for(
+    const std::shared_ptr<const SweepPlan>& plan) {
+  for (auto& rig : rigs_)
+    if (rig->plan.get() == plan.get()) return *rig;
+
+  auto rig = std::make_unique<PlanRig>();
+  rig->plan = plan;
+  core::EngineConfig ec;
+  ec.num_workers = config_.num_workers;
+  ec.termination = core::TerminationMode::KnownWorkload;
+  rig->engine = std::make_unique<core::Engine>(ctx_, ec);
+  for (int lane = 0; lane < config_.max_batch; ++lane) {
+    SolveConfig sc;
+    sc.engine = EngineKind::DataDriven;
+    sc.num_workers = config_.num_workers;
+    sc.max_lag_sweeps = config_.max_lag_sweeps;
+    sc.lag_tolerance = config_.lag_tolerance;
+    rig->lanes.push_back(std::make_unique<SweepSession>(
+        ctx_, plan, sc, *rig->engine, lane));
+  }
+  rigs_.push_back(std::move(rig));
+  return *rigs_.back();
+}
+
+void SweepService::set_lane_enabled(PlanRig& rig, std::size_t lane,
+                                    bool enabled) {
+  for (const ProgramKey& key : rig.lanes[lane]->program_keys())
+    rig.engine->set_program_enabled(key, enabled);
+}
+
+void SweepService::solve_batch(PlanRig& rig,
+                               const std::vector<std::size_t>& indices,
+                               std::vector<SolveResponse>& out) {
+  const auto K = indices.size();
+  const auto n =
+      static_cast<std::size_t>(rig.plan->patches().num_cells());
+
+  // Per-lane outer-iteration state, mirroring sn::source_iteration.
+  struct LaneState {
+    sn::SourceIterationResult result;
+    bool active = true;
+  };
+  std::vector<LaneState> lanes(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    lanes[k].result.phi.assign(n, 0.0);
+    rig.lanes[k]->set_kernel(queue_[indices[k]].disc);
+    set_lane_enabled(rig, k, true);
+  }
+  for (std::size_t k = K; k < rig.lanes.size(); ++k)
+    set_lane_enabled(rig, k, false);
+
+  std::size_t active_count = K;
+  while (active_count > 0) {
+    // Stage every active lane's emission density for this sweep.
+    for (std::size_t k = 0; k < K; ++k) {
+      if (!lanes[k].active) continue;
+      rig.lanes[k]->begin_sweep(
+          sn::emission_density(*queue_[indices[k]].xs, lanes[k].result.phi));
+    }
+
+    // One engine run sweeps all active lanes; on cut meshes repeat per the
+    // lag loop (commit after EVERY run, batch-wide residual).
+    int lag_sweeps = 0;
+    for (;;) {
+      rig.engine->run();
+      ++stats_.engine_runs;
+      ++lag_sweeps;
+      if (!rig.plan->has_cycles()) break;
+      double residual = 0.0;
+      for (std::size_t k = 0; k < K; ++k)  // lane order: collectives align
+        if (lanes[k].active)
+          residual = std::max(residual, rig.lanes[k]->commit_lagged());
+      if (lag_sweeps >= std::max(1, config_.max_lag_sweeps)) break;
+      if (residual <= config_.lag_tolerance) break;
+    }
+
+    // Collect each active lane's flux (lane order — the allreduces must
+    // line up on every rank) and step its source iteration.
+    for (std::size_t k = 0; k < K; ++k) {
+      LaneState& lane = lanes[k];
+      if (!lane.active) continue;
+      std::vector<double> phi_new = rig.lanes[k]->finish_sweep();
+      ++stats_.sweeps;
+      lane.result.error = sn::relative_linf(phi_new, lane.result.phi);
+      lane.result.phi = std::move(phi_new);
+      ++lane.result.iterations;
+      const auto& options = queue_[indices[k]].options;
+      if (lane.result.error < options.tolerance) lane.result.converged = true;
+      if (lane.result.converged ||
+          lane.result.iterations >= options.max_iterations) {
+        lane.active = false;
+        --active_count;
+        set_lane_enabled(rig, k, false);  // retired: sit out further runs
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < K; ++k) {
+    out[indices[k]].result = std::move(lanes[k].result);
+    out[indices[k]].lanes_in_batch = static_cast<int>(K);
+  }
+  ++stats_.batches;
+}
+
+std::vector<SolveResponse> SweepService::drain() {
+  WallTimer timer;
+  std::vector<SolveResponse> out(queue_.size());
+
+  // Group queued requests by plan (first-appearance order, stable within a
+  // plan) and fuse each plan's requests into batches of <= max_batch.
+  std::vector<const SweepPlan*> plan_order;
+  std::vector<std::vector<std::size_t>> by_plan;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const SweepPlan* plan = queue_[i].plan.get();
+    std::size_t slot = 0;
+    for (; slot < plan_order.size(); ++slot)
+      if (plan_order[slot] == plan) break;
+    if (slot == plan_order.size()) {
+      plan_order.push_back(plan);
+      by_plan.emplace_back();
+    }
+    by_plan[slot].push_back(i);
+  }
+
+  for (std::size_t slot = 0; slot < plan_order.size(); ++slot) {
+    const auto& indices = by_plan[slot];
+    PlanRig& rig = rig_for(queue_[indices.front()].plan);
+    for (std::size_t at = 0; at < indices.size();
+         at += static_cast<std::size_t>(config_.max_batch)) {
+      const std::vector<std::size_t> chunk(
+          indices.begin() + static_cast<std::ptrdiff_t>(at),
+          indices.begin() +
+              static_cast<std::ptrdiff_t>(std::min(
+                  at + static_cast<std::size_t>(config_.max_batch),
+                  indices.size())));
+      solve_batch(rig, chunk, out);
+    }
+  }
+
+  queue_.clear();
+  stats_.solve_seconds += timer.seconds();
+  return out;
+}
+
+SolveResponse SweepService::solve(SolveRequest request) {
+  enqueue(std::move(request));
+  std::vector<SolveResponse> responses = drain();
+  JSWEEP_CHECK(responses.size() == 1);
+  return std::move(responses.front());
+}
+
+}  // namespace jsweep::sweep

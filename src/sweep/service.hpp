@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file service.hpp
+/// Sweep-as-a-service: one engine serving many solve requests.
+///
+/// A **SweepService** accepts solve requests (a shared SweepPlan + the
+/// per-request cross sections / source and convergence options), batches
+/// requests that share a plan, and runs each batch's source iterations in
+/// lockstep over ONE data-driven engine: every request lane registers its
+/// programs under its own TaskTag namespace (lane_task_tag), so one engine
+/// run sweeps all active lanes concurrently. RHS batching amortizes the
+/// task-graph traversal across requests exactly like group pipelining
+/// amortizes it across energy groups — the per-vertex scheduling machinery
+/// runs once per run, not once per request — while the plan amortizes the
+/// build across the whole request stream.
+///
+/// Determinism: each lane keeps its own φ accumulation order (fixed
+/// program order per lane) and its own collectives (issued in lane order),
+/// so a batched solve is bitwise identical to the same request solved
+/// standalone (with the default max_lag_sweeps = 1 on cut meshes; deeper
+/// lag loops share their repeat count across the batch). Lanes that
+/// converge early are disabled (core::Engine::set_program_enabled) and
+/// stop contributing work to subsequent runs.
+///
+/// All calls are collective: every rank must enqueue the identical request
+/// sequence and call drain() together.
+
+#include <memory>
+#include <vector>
+
+#include "sweep/session.hpp"
+
+namespace jsweep::sweep {
+
+/// Construction-time knobs of the service.
+struct ServiceConfig {
+  int num_workers = 2;  ///< worker threads of each per-plan engine
+  /// Max same-plan requests fused into one engine-run batch (= request
+  /// lanes per plan engine).
+  int max_batch = 4;
+  /// Lag-loop depth per sweep on cut (cyclic) meshes; 1 (the default)
+  /// keeps batched solves bitwise identical to standalone sessions.
+  int max_lag_sweeps = 1;
+  double lag_tolerance = 0.0;  ///< stop the lag loop below this residual
+};
+
+/// One solve request: a shared plan plus everything this request varies.
+struct SolveRequest {
+  /// The immutable plan to solve against (single-group; multigroup plans
+  /// solve through a standalone SweepSession).
+  std::shared_ptr<const SweepPlan> plan;
+  /// Per-cell cross sections and external source driving the outer source
+  /// iteration (must cover the plan's cells and outlive drain()).
+  const sn::CellXs* xs = nullptr;
+  /// Outer-iteration convergence control.
+  sn::SourceIterationOptions options{};
+  /// Optional per-request sweep kernel (request-specific σ_t over the
+  /// plan's mesh; must outlive drain()). Null = the plan's kernel.
+  const sn::Discretization* disc = nullptr;
+};
+
+/// Outcome of one serviced request.
+struct SolveResponse {
+  sn::SourceIterationResult result;  ///< converged flux + iteration info
+  int lanes_in_batch = 1;  ///< requests fused into this request's batch
+};
+
+/// Counters accumulated across the service's lifetime.
+struct ServiceStats {
+  std::int64_t requests = 0;     ///< requests admitted via enqueue()
+  std::int64_t batches = 0;      ///< same-plan batches executed
+  std::int64_t engine_runs = 0;  ///< engine runs across all batches
+  std::int64_t sweeps = 0;       ///< per-lane transport sweeps executed
+  double solve_seconds = 0.0;    ///< wall time spent inside drain()
+};
+
+/// The multi-request sweep service (see \ref service.hpp). One instance
+/// per rank; engines and request lanes are cached per plan, so a request
+/// stream over a fixed plan pays the session/program build once.
+class SweepService {
+ public:
+  /// `ctx` must match every enqueued plan's build rank/size and outlive
+  /// the service.
+  SweepService(comm::Context& ctx, ServiceConfig config = {});
+  ~SweepService();  ///< drops cached engines and lanes
+
+  SweepService(const SweepService&) = delete;             ///< non-copyable
+  SweepService& operator=(const SweepService&) = delete;  ///< non-copyable
+
+  /// Admit a request (validated up front: plan shape, CellXs sizes and
+  /// values — malformed requests throw here, not mid-solve). Collective:
+  /// every rank must enqueue the identical sequence.
+  void enqueue(SolveRequest request);
+
+  /// Solve everything enqueued and return the responses in enqueue order.
+  /// Requests sharing a plan are fused into batches of up to
+  /// ServiceConfig::max_batch lanes. Collective.
+  std::vector<SolveResponse> drain();
+
+  /// Convenience: enqueue one request and drain immediately. Collective.
+  SolveResponse solve(SolveRequest request);
+
+  /// Counters accumulated so far.
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+
+ private:
+  /// Cached per-plan execution rig: one engine + max_batch request lanes.
+  struct PlanRig {
+    std::shared_ptr<const SweepPlan> plan;      ///< keeps the plan alive
+    std::unique_ptr<core::Engine> engine;       ///< shared by all lanes
+    std::vector<std::unique_ptr<SweepSession>> lanes;  ///< tag-offset lanes
+  };
+
+  PlanRig& rig_for(const std::shared_ptr<const SweepPlan>& plan);
+  void set_lane_enabled(PlanRig& rig, std::size_t lane, bool enabled);
+  /// Run the lockstep source iterations of one same-plan batch;
+  /// `indices` point into `queue_`, responses land in `out`.
+  void solve_batch(PlanRig& rig, const std::vector<std::size_t>& indices,
+                   std::vector<SolveResponse>& out);
+
+  comm::Context& ctx_;
+  ServiceConfig config_;
+  std::vector<SolveRequest> queue_;
+  std::vector<std::unique_ptr<PlanRig>> rigs_;
+  ServiceStats stats_;
+};
+
+}  // namespace jsweep::sweep

@@ -1,29 +1,28 @@
 #include "sweep/solver.hpp"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "support/check.hpp"
-#include "support/timer.hpp"
-
 namespace jsweep::sweep {
 
-std::string to_string(CyclePolicy p) {
-  switch (p) {
-    case CyclePolicy::Assume: return "assume";
-    case CyclePolicy::Error: return "error";
-    case CyclePolicy::Lag: return "lag";
-  }
-  return "?";
+PlanConfig plan_config_of(const SolverConfig& config) {
+  PlanConfig pc;
+  pc.cluster_grain = config.cluster_grain;
+  pc.patch_priority = config.patch_priority;
+  pc.vertex_priority = config.vertex_priority;
+  pc.patch_angle_parallelism = config.patch_angle_parallelism;
+  pc.cycle_policy = config.cycle_policy;
+  pc.multigroup = config.multigroup;
+  pc.group_pipelining = config.group_pipelining;
+  return pc;
 }
 
-CyclePolicy cycle_policy_from_string(const std::string& name) {
-  if (name == "assume") return CyclePolicy::Assume;
-  if (name == "error") return CyclePolicy::Error;
-  if (name == "lag") return CyclePolicy::Lag;
-  JSWEEP_CHECK_MSG(false, "unknown cycle policy '" << name
-                                                   << "' (assume|error|lag)");
-  return CyclePolicy::Error;
+SolveConfig solve_config_of(const SolverConfig& config) {
+  SolveConfig sc;
+  sc.engine = config.engine;
+  sc.num_workers = config.num_workers;
+  sc.use_coarsened_graph = config.use_coarsened_graph;
+  sc.max_lag_sweeps = config.max_lag_sweeps;
+  sc.lag_tolerance = config.lag_tolerance;
+  sc.trace = config.trace;
+  return sc;
 }
 
 SweepSolver::SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
@@ -31,430 +30,19 @@ SweepSolver::SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
                          std::vector<RankId> patch_owner,
                          const sn::StructuredDD& disc,
                          const sn::Quadrature& quad, SolverConfig config)
-    : ctx_(ctx),
-      ps_(ps),
-      owner_(std::move(patch_owner)),
-      quad_(quad),
-      config_(config) {
-  shared_.disc = &disc;
-  shared_.patches = &ps_;
-  shared_.quad = &quad_;
-  init_multigroup([&](const sn::CellXs& xs) {
-    return std::make_unique<sn::StructuredDD>(m, xs,
-                                              disc.negative_flux_fixup());
-  });
-  build(
-      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
-          const graph::CycleCut* cut) {
-        return graph::build_patch_task_graph(m, ps_, p, omega, a, cut);
-      },
-      [&](const mesh::Vec3& omega) {
-        return graph::build_patch_digraph(m, ps_, omega);
-      },
-      [&](const mesh::Vec3& omega) {
-        return graph::compute_cycle_cut(m, omega);
-      });
-}
+    : plan_(SweepPlan::build(ctx, m, ps, std::move(patch_owner), disc, quad,
+                             plan_config_of(config))),
+      session_(ctx, plan_, solve_config_of(config)) {}
 
 SweepSolver::SweepSolver(comm::Context& ctx, const mesh::TetMesh& m,
                          const partition::PatchSet& ps,
                          std::vector<RankId> patch_owner,
                          const sn::TetStep& disc, const sn::Quadrature& quad,
                          SolverConfig config)
-    : ctx_(ctx),
-      ps_(ps),
-      owner_(std::move(patch_owner)),
-      quad_(quad),
-      config_(config) {
-  shared_.disc = &disc;
-  shared_.patches = &ps_;
-  shared_.quad = &quad_;
-  init_multigroup([&](const sn::CellXs& xs) {
-    return std::make_unique<sn::TetStep>(m, xs);
-  });
-  build(
-      [&](PatchId p, const mesh::Vec3& omega, AngleId a,
-          const graph::CycleCut* cut) {
-        return graph::build_patch_task_graph(m, ps_, p, omega, a, cut);
-      },
-      [&](const mesh::Vec3& omega) {
-        return graph::build_patch_digraph(m, ps_, omega);
-      },
-      [&](const mesh::Vec3& omega) {
-        return graph::compute_cycle_cut(m, omega);
-      });
-}
+    : plan_(SweepPlan::build(ctx, m, ps, std::move(patch_owner), disc, quad,
+                             plan_config_of(config))),
+      session_(ctx, plan_, solve_config_of(config)) {}
 
 SweepSolver::~SweepSolver() = default;
-
-void SweepSolver::init_multigroup(
-    const std::function<std::unique_ptr<sn::Discretization>(
-        const sn::CellXs&)>& disc_builder) {
-  if (config_.multigroup == nullptr) return;
-  const auto& mxs = *config_.multigroup;
-  mxs.validate();
-  JSWEEP_CHECK_MSG(mxs.cells() == ps_.num_cells(),
-                   "multigroup table covers "
-                       << mxs.cells() << " cells, mesh has "
-                       << ps_.num_cells());
-  // One kernel per group: σ_t varies by group, the mesh does not.
-  for (int g = 0; g < mxs.groups(); ++g)
-    group_discs_.push_back(disc_builder(mxs.group_view(g)));
-  if (config_.group_pipelining) {
-    groups_built_ = mxs.groups();
-    std::vector<const sn::Discretization*> discs;
-    for (const auto& d : group_discs_) discs.push_back(d.get());
-    pipeline_ = std::make_unique<GroupPipeline>(mxs, ps_, quad_.num_angles(),
-                                                std::move(discs));
-    shared_.pipeline = pipeline_.get();
-  }
-  stats_.groups = mxs.groups();
-}
-
-void SweepSolver::build(
-    const std::function<graph::PatchTaskGraph(
-        PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
-        task_builder,
-    const std::function<graph::Digraph(const mesh::Vec3&)>&
-        patch_digraph_builder,
-    const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder) {
-  JSWEEP_CHECK_MSG(static_cast<int>(owner_.size()) == ps_.num_patches(),
-                   "patch owner table size mismatch");
-  WallTimer timer;
-
-  std::vector<PatchId> local_patches;
-  for (int p = 0; p < ps_.num_patches(); ++p)
-    if (owner_[static_cast<std::size_t>(p)] == ctx_.rank())
-      local_patches.push_back(PatchId{p});
-
-  if (pipeline_ != nullptr) pipeline_->register_patches(local_patches);
-  // Each lagged (cycle-cut) face carries one old-iterate value per energy
-  // group — in BOTH multigroup modes (barriered engine runs select their
-  // stride via SweepShared::current_group).
-  lagged_store_.set_num_groups(
-      config_.multigroup != nullptr ? config_.multigroup->groups() : 1);
-
-  if (!config_.patch_angle_parallelism) {
-    patch_mutex_.resize(static_cast<std::size_t>(ps_.num_patches()));
-    for (const auto p : local_patches)
-      patch_mutex_[static_cast<std::size_t>(p.value())] =
-          std::make_unique<std::mutex>();
-  }
-
-  // Outer loop over angles so all programs of one angle share its
-  // patch-priority vector; programs are stored angle-major, a fixed order
-  // reused by the deterministic φ collection.
-  for (int a = 0; a < quad_.num_angles(); ++a) {
-    const mesh::Vec3 omega = quad_.angle(a).dir;
-    // Cycle handling: detect (unless told to assume acyclicity), and either
-    // refuse with diagnostics or cut + lag the feedback faces. The cut is a
-    // deterministic function of the mesh and direction, so every rank
-    // computes the identical set and registers identical store slots.
-    graph::CycleCut cut;
-    if (config_.cycle_policy != CyclePolicy::Assume) cut = cut_builder(omega);
-    if (!cut.empty()) {
-      JSWEEP_CHECK_MSG(
-          config_.cycle_policy == CyclePolicy::Lag,
-          "sweep direction "
-              << a << " (" << omega << ") has cyclic dependencies: "
-              << cut.stats.cyclic_components << " SCC(s), largest "
-              << cut.stats.largest_component << " cells, "
-              << cut.stats.edges_cut
-              << " feedback edge(s); set SolverConfig::cycle_policy = "
-                 "CyclePolicy::Lag to cut and lag them");
-      stats_.cycles.merge(cut.stats);
-      ++stats_.cyclic_angles;
-      std::vector<std::int64_t> faces(cut.lagged_faces.begin(),
-                                      cut.lagged_faces.end());
-      std::sort(faces.begin(), faces.end());
-      for (const auto face : faces) lagged_store_.add_slot(a, face);
-    }
-    const graph::Digraph patch_graph = patch_digraph_builder(omega);
-    const std::vector<double> pprio =
-        graph::patch_priorities(config_.patch_priority, patch_graph);
-    // The structural task data is group-independent (same DAG, same face
-    // slots): built once per (patch, angle), shared by all group programs.
-    for (const auto p : local_patches) {
-      task_data_.push_back(std::make_unique<SweepTaskData>(
-          task_builder(p, omega, AngleId{a}, cut.empty() ? nullptr : &cut),
-          config_.vertex_priority, *shared_.disc, ps_, quad_.angle(a),
-          lagged_store_.empty() ? nullptr : &lagged_store_));
-      const std::size_t data_index = task_data_.size() - 1;
-      for (int g = 0; g < groups_built_; ++g) {
-        // Task priority: earlier groups strictly dominate (they unblock
-        // downstream groups' sources), then earlier (lower-id) angles so
-        // same-angle programs chain through the mesh back-to-back
-        // (Sec. V-D). For G = 1 this is exactly the classic -angle prior.
-        const double task_prior =
-            -static_cast<double>(g * quad_.num_angles() + a);
-        slots_.push_back(ProgramSlot{
-            data_index, GroupId{g},
-            graph::combined_priority(
-                task_prior, pprio[static_cast<std::size_t>(p.value())])});
-      }
-    }
-  }
-  if (!lagged_store_.empty()) shared_.lagged = &lagged_store_;
-  shared_.flux_pool = &flux_pool_;
-
-  install_programs(config_.use_coarsened_graph);
-  stats_.build_seconds = timer.seconds();
-}
-
-void SweepSolver::install_programs(bool record_clusters) {
-  programs_.clear();
-  if (config_.engine == EngineKind::DataDriven) {
-    core::EngineConfig ec;
-    ec.num_workers = config_.num_workers;
-    ec.termination = core::TerminationMode::KnownWorkload;
-    ec.recorder = config_.trace.recorder;
-    engine_ = std::make_unique<core::Engine>(ctx_, ec);
-    shared_.stream_buffers = &engine_->buffer_pool();
-  } else {
-    core::BspConfig bc;
-    bc.num_threads = std::max(0, config_.num_workers - 1);
-    bc.recorder = config_.trace.recorder;
-    bsp_ = std::make_unique<core::BspEngine>(ctx_, bc);
-    shared_.stream_buffers = &bsp_->buffer_pool();
-  }
-
-  if (pipeline_ != nullptr) pipeline_->clear_programs();
-  for (const ProgramSlot& slot : slots_) {
-    const SweepTaskData& data = *task_data_[slot.data_index];
-    SweepProgramOptions opts;
-    opts.cluster_grain = config_.cluster_grain;
-    opts.record_clusters = record_clusters;
-    opts.group = slot.group;
-    if (!config_.patch_angle_parallelism)
-      opts.patch_serializer =
-          patch_mutex_[static_cast<std::size_t>(data.patch().value())].get();
-    auto prog = std::make_unique<SweepPatchProgram>(data, shared_, opts);
-    programs_.push_back(prog.get());
-    if (pipeline_ != nullptr)
-      pipeline_->register_program(data.patch(), data.angle(), slot.group,
-                                  &prog->phi_local());
-    // Groups > 0 wait for their activation stream (gate); everything else
-    // is runnable from the start.
-    const bool initially_active = slot.group == GroupId{0};
-    if (engine_) {
-      engine_->add_program(std::move(prog), slot.priority, initially_active);
-    } else {
-      bsp_->add_program(std::move(prog), initially_active);
-    }
-  }
-  if (engine_) {
-    engine_->set_routes(owner_);
-  } else {
-    bsp_->set_routes(owner_);
-  }
-}
-
-void SweepSolver::activate_coarsened() {
-  WallTimer timer;
-  coarse_data_.clear();
-  coarse_programs_.clear();
-  for (std::size_t i = 0; i < programs_.size(); ++i) {
-    // Each program (not each task data: group programs of one (patch,
-    // angle) record their own executions) yields one coarsened replay.
-    coarse_data_.push_back(std::make_unique<CoarsenedSweepData>(
-        *task_data_[slots_[i].data_index], programs_[i]->recorded_clusters(),
-        std::max<std::int32_t>(1, programs_[i]->recorded_num_clusters())));
-  }
-
-  // Fresh engine holding the coarsened programs; priorities carry over.
-  core::EngineConfig ec;
-  ec.num_workers = config_.num_workers;
-  ec.termination = core::TerminationMode::KnownWorkload;
-  ec.recorder = config_.trace.recorder;
-  auto coarse_engine = std::make_unique<core::Engine>(ctx_, ec);
-  if (pipeline_ != nullptr) pipeline_->clear_programs();
-  for (std::size_t i = 0; i < coarse_data_.size(); ++i) {
-    auto prog = std::make_unique<CoarsenedSweepProgram>(
-        *coarse_data_[i], shared_, slots_[i].group);
-    coarse_programs_.push_back(prog.get());
-    if (pipeline_ != nullptr)
-      pipeline_->register_program(coarse_data_[i]->fine().patch(),
-                                  coarse_data_[i]->fine().angle(),
-                                  slots_[i].group, &prog->phi_local());
-    coarse_engine->add_program(std::move(prog), slots_[i].priority,
-                               /*initially_active=*/slots_[i].group ==
-                                   GroupId{0});
-  }
-  coarse_engine->set_routes(owner_);
-  engine_ = std::move(coarse_engine);
-  shared_.stream_buffers = &engine_->buffer_pool();
-  programs_.clear();  // fine programs are gone with the old engine
-  coarsened_active_ = true;
-  stats_.coarsen_seconds += timer.seconds();
-}
-
-void SweepSolver::collect_phi(std::vector<double>& phi_global) const {
-  // Fixed program order + rank-ordered allreduce → bitwise deterministic
-  // results regardless of worker count or scheduling.
-  const auto accumulate = [&](const auto& progs) {
-    for (const auto* prog : progs) {
-      const auto& cells = ps_.cells(prog->key().patch);
-      const auto& phi = prog->phi_local();
-      for (std::size_t v = 0; v < phi.size(); ++v)
-        phi_global[static_cast<std::size_t>(cells[v].value())] += phi[v];
-    }
-  };
-  if (coarsened_active_) {
-    accumulate(coarse_programs_);
-  } else {
-    accumulate(programs_);
-  }
-}
-
-void SweepSolver::run_engine_once() {
-  if (engine_) {
-    engine_->run();
-    stats_.engine = engine_->stats();
-  } else {
-    bsp_->run();
-    stats_.bsp = bsp_->stats();
-  }
-}
-
-void SweepSolver::run_engines_once() {
-  // On a cut (cyclic) mesh, optionally iterate the engine run until the
-  // lagged faces stop changing, so one sweep() approximates the true
-  // (cycle-resolved) transport application. Every run must commit — even
-  // the last — so the next sweep() starts from the freshest iterates.
-  stats_.last_lag_sweeps = 0;
-  for (;;) {
-    run_engine_once();
-    ++stats_.last_lag_sweeps;
-    if (lagged_store_.empty()) break;
-    stats_.last_lag_residual = lagged_store_.commit(ctx_);
-    if (stats_.last_lag_sweeps >= std::max(1, config_.max_lag_sweeps)) break;
-    if (stats_.last_lag_residual <= config_.lag_tolerance) break;
-  }
-}
-
-std::vector<double> SweepSolver::sweep(const std::vector<double>& q_per_ster) {
-  JSWEEP_CHECK_MSG(pipeline_ == nullptr,
-                   "this solver was built group-pipelined; use "
-                   "solve_multigroup() instead of sweep()");
-  JSWEEP_CHECK(static_cast<std::int64_t>(q_per_ster.size()) ==
-               ps_.num_cells());
-  WallTimer timer;
-  q_current_ = q_per_ster;
-  shared_.q_per_ster = &q_current_;
-
-  run_engines_once();
-
-  std::vector<double> phi(static_cast<std::size_t>(ps_.num_cells()), 0.0);
-  collect_phi(phi);
-  ctx_.allreduce_sum(phi);
-
-  // After the first recorded sweep, switch to the coarsened graph.
-  if (config_.use_coarsened_graph && !coarsened_active_ && engine_)
-    activate_coarsened();
-
-  ++stats_.sweeps;
-  stats_.last_sweep_seconds = timer.seconds();
-  return phi;
-}
-
-std::vector<double> SweepSolver::sweep_group(
-    GroupId g, const std::vector<double>& q_per_ster) {
-  JSWEEP_CHECK_MSG(config_.multigroup != nullptr,
-                   "sweep_group() needs SolverConfig::multigroup");
-  JSWEEP_CHECK_MSG(pipeline_ == nullptr,
-                   "group-pipelined solvers sweep all groups per engine "
-                   "run; use solve_multigroup()");
-  JSWEEP_CHECK_MSG(
-      lagged_store_.empty() || config_.multigroup->groups() == 1,
-      "standalone per-group sweeps on a cut (cyclic) mesh would commit "
-      "lagged fluxes per group; use solve_multigroup()");
-  JSWEEP_CHECK(g.value() >= 0 &&
-               g.value() < static_cast<int>(group_discs_.size()));
-  // Swap in group g's kernel; the task system (graphs, slots, programs) is
-  // group-independent and shared by every group.
-  const sn::Discretization* base = shared_.disc;
-  shared_.disc = group_discs_[static_cast<std::size_t>(g.value())].get();
-  shared_.current_group = g;
-  std::vector<double> phi = sweep(q_per_ster);
-  shared_.current_group = GroupId{0};
-  shared_.disc = base;
-  return phi;
-}
-
-void SweepSolver::multigroup_pass(
-    const std::vector<std::vector<double>>& q_base,
-    std::vector<std::vector<double>>& phi) {
-  WallTimer timer;
-  const sn::MultigroupXs& xs = *config_.multigroup;
-  const int G = xs.groups();
-  const std::int64_t n = ps_.num_cells();
-
-  // Cyclic meshes: the lag loop repeats the WHOLE pass, committing the
-  // lagged store once per pass over all groups — identical protocol in
-  // pipelined and barriered mode (and the reason standalone sweep_group()
-  // refuses cut multigroup meshes). Pipelined gates re-arm per repeat via
-  // begin_pass.
-  stats_.last_lag_sweeps = 0;
-  for (;;) {
-    if (pipeline_ != nullptr) {
-      pipeline_->begin_pass(q_base);
-      run_engine_once();
-    } else {
-      // Group-barriered baseline: one engine run (global barrier) per
-      // group, ascending, with the same fresh in-scatter accumulation the
-      // serial reference and the pipeline use (inscatter_term).
-      const sn::Discretization* base_disc = shared_.disc;
-      for (int g = 0; g < G; ++g) {
-        q_current_ = q_base[static_cast<std::size_t>(g)];
-        for (int from = 0; from < g; ++from) {
-          const auto& pf = phi[static_cast<std::size_t>(from)];
-          for (std::int64_t c = 0; c < n; ++c)
-            q_current_[static_cast<std::size_t>(c)] += sn::inscatter_term(
-                xs, from, g, c, pf[static_cast<std::size_t>(c)]);
-        }
-        shared_.q_per_ster = &q_current_;
-        shared_.disc = group_discs_[static_cast<std::size_t>(g)].get();
-        shared_.current_group = GroupId{g};
-        run_engine_once();
-        auto& phi_g = phi[static_cast<std::size_t>(g)];
-        phi_g.assign(static_cast<std::size_t>(n), 0.0);
-        collect_phi(phi_g);
-        ctx_.allreduce_sum(phi_g);
-      }
-      shared_.current_group = GroupId{0};
-      shared_.disc = base_disc;
-    }
-    ++stats_.last_lag_sweeps;
-    if (lagged_store_.empty()) break;
-    stats_.last_lag_residual = lagged_store_.commit(ctx_);
-    if (stats_.last_lag_sweeps >= std::max(1, config_.max_lag_sweeps)) break;
-    if (stats_.last_lag_residual <= config_.lag_tolerance) break;
-  }
-  if (pipeline_ != nullptr) {
-    for (int g = 0; g < G; ++g) {
-      phi[static_cast<std::size_t>(g)] = pipeline_->phi_group(GroupId{g});
-      ctx_.allreduce_sum(phi[static_cast<std::size_t>(g)]);
-    }
-  }
-  // After the first recorded pass, replay on the coarsened graph.
-  if (config_.use_coarsened_graph && !coarsened_active_ && engine_)
-    activate_coarsened();
-  ++stats_.multigroup_passes;
-  stats_.sweeps += G;
-  stats_.last_sweep_seconds = timer.seconds();
-}
-
-sn::MultigroupResult SweepSolver::solve_multigroup(
-    const sn::MultigroupOptions& options) {
-  JSWEEP_CHECK_MSG(config_.multigroup != nullptr,
-                   "solve_multigroup() needs SolverConfig::multigroup");
-  return sn::solve_multigroup_sweeps(
-      *config_.multigroup,
-      [this](const std::vector<std::vector<double>>& q_base,
-             std::vector<std::vector<double>>& phi) {
-        multigroup_pass(q_base, phi);
-      },
-      options);
-}
 
 }  // namespace jsweep::sweep

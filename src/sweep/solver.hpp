@@ -1,80 +1,52 @@
 #pragma once
 
 /// \file solver.hpp
-/// The parallel sweep solver: builds the per-(patch, angle, group) task
-/// data on every rank, wires the sweep patch-programs into the chosen
-/// engine (data-driven or BSP baseline), and exposes
-///   - sweep(): one collective single-group transport sweep, the
-///     SweepOperator source iteration plugs in, and
-///   - solve_multigroup(): a full multigroup solve in which the engines
-///     run all G groups' sweeps as ONE task system per pass — group g+1's
-///     programs are injected per patch the moment group g's scattering
-///     source is ready there (group pipelining; see group_pipeline.hpp),
-///     or barrier-separated per group when `group_pipelining` is off (the
-///     ablation baseline; also usable per group via sweep_group()).
+/// Compatibility facade over the two-phase plan/session API.
 ///
-/// Optimizations from Sec. V, all configurable:
-///   - patch-angle parallelism: one program per (patch, angle); the
-///     ablation serializes each patch's programs with a shared mutex;
-///   - vertex clustering: compute() batch size (`cluster_grain`);
-///   - two-level priority: `patch_priority` orders programs on a rank,
-///     `vertex_priority` orders ready vertices within a program;
-///   - coarsened graph: record the first sweep's clusters, replay later
-///     sweeps on the cluster-level graph.
+/// > **Deprecation note (doc-flagged, not attributed):** SweepSolver is the
+/// > pre-plan API kept for existing callers and the legacy-path tests. It
+/// > rebuilds the full task system on every construction. New code should
+/// > build a SweepPlan once (plan.hpp) and run SweepSessions against it
+/// > (session.hpp) — and use SweepService (service.hpp) to multiplex many
+/// > solve requests over one engine. The facade is a strict composition:
+/// >
+/// >     SweepSolver(ctx, m, ps, owner, disc, quad, cfg)
+/// >       == SweepSession(ctx,
+/// >            SweepPlan::build(ctx, m, ps, owner, disc, quad,
+/// >                             plan_config_of(cfg)),
+/// >            solve_config_of(cfg))
+/// >
+/// > so every solve through it is bitwise identical to the new API.
+///
+/// SolverConfig keeps its historical field set; plan_config_of() /
+/// solve_config_of() give the documented mapping onto the new split:
+///
+/// | old SolverConfig field      | new home                          |
+/// |-----------------------------|-----------------------------------|
+/// | cluster_grain               | PlanConfig::cluster_grain         |
+/// | patch_priority              | PlanConfig::patch_priority        |
+/// | vertex_priority             | PlanConfig::vertex_priority       |
+/// | patch_angle_parallelism     | PlanConfig::patch_angle_parallelism |
+/// | cycle_policy                | PlanConfig::cycle_policy          |
+/// | multigroup                  | PlanConfig::multigroup            |
+/// | group_pipelining            | PlanConfig::group_pipelining      |
+/// | engine                      | SolveConfig::engine               |
+/// | num_workers                 | SolveConfig::num_workers          |
+/// | use_coarsened_graph         | SolveConfig::use_coarsened_graph  |
+/// | max_lag_sweeps              | SolveConfig::max_lag_sweeps       |
+/// | lag_tolerance               | SolveConfig::lag_tolerance        |
+/// | trace                       | SolveConfig::trace                |
 
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "comm/cluster.hpp"
-#include "core/bsp_engine.hpp"
-#include "core/engine.hpp"
-#include "sn/multigroup.hpp"
-#include "sn/source_iteration.hpp"
-#include "sweep/coarsened_program.hpp"
-#include "sweep/group_pipeline.hpp"
-#include "sweep/sweep_program.hpp"
-
-namespace jsweep::trace {
-class Recorder;
-}  // namespace jsweep::trace
+#include "sweep/session.hpp"
 
 namespace jsweep::sweep {
 
-/// Which runtime executes the sweep programs.
-enum class EngineKind {
-  DataDriven,  ///< core::Engine — the paper's asynchronous runtime
-  Bsp,         ///< core::BspEngine — the superstep baseline
-};
-
-/// What to do when a sweep direction's dependence graph has cycles
-/// (non-convex / twisted / perturbed unstructured meshes).
-enum class CyclePolicy {
-  /// Trust the mesh: skip detection entirely (the pre-cycle-aware
-  /// behavior — a genuinely cyclic mesh then hangs the engines).
-  Assume,
-  /// Detect at build time and throw with SCC diagnostics instead of
-  /// deadlocking at run time. The default.
-  Error,
-  /// Detect, cut a minimal feedback-edge set per direction and run the
-  /// acyclic remainder; cut faces read the previous sweep's flux (lagged /
-  /// old-iterate inputs) and converge over (source) iterations.
-  Lag,
-};
-
-/// Human-readable name of a cycle policy ("assume" | "error" | "lag").
-[[nodiscard]] std::string to_string(CyclePolicy p);
-/// Inverse of to_string(CyclePolicy); throws CheckError on unknown names.
-[[nodiscard]] CyclePolicy cycle_policy_from_string(const std::string& name);
-
-/// Runtime-tracing knob: when `recorder` is non-null every engine run of
-/// the solver (fine and coarsened) records events into it, ready for
-/// trace::write_chrome_trace / trace::analyze. Null (default) = off.
-struct TraceConfig {
-  trace::Recorder* recorder = nullptr;  ///< null disables tracing
-};
-
-/// All knobs of one solver instance, fixed at construction.
+/// All knobs of one solver instance, fixed at construction — the union of
+/// PlanConfig and SolveConfig under the historical field names (see the
+/// mapping table in \ref solver.hpp).
 struct SolverConfig {
   EngineKind engine = EngineKind::DataDriven;  ///< runtime selection
   int num_workers = 2;    ///< worker threads per rank
@@ -94,7 +66,7 @@ struct SolverConfig {
   /// their residual drops below `lag_tolerance`. 1 = plain lagging (the
   /// outer source iteration absorbs the lag error).
   int max_lag_sweeps = 1;
-  double lag_tolerance = 0.0;
+  double lag_tolerance = 0.0;  ///< stop the lag loop below this residual
   /// Multigroup solve: group-wise cross sections (must outlive the
   /// solver). Non-null switches the solver to the group-aware task system;
   /// use solve_multigroup() (or sweep_group() when `group_pipelining` is
@@ -110,38 +82,30 @@ struct SolverConfig {
   TraceConfig trace;
 };
 
-/// Counters and timings accumulated across a solver's lifetime.
-struct SolverStats {
-  int sweeps = 0;  ///< transport sweeps executed (all groups counted)
-  /// Energy groups the task system was built for (1 unless pipelined
-  /// multigroup).
-  int groups = 1;
-  /// Multigroup sweep passes executed by solve_multigroup().
-  int multigroup_passes = 0;
-  double build_seconds = 0.0;       ///< task-graph + program build time
-  double coarsen_seconds = 0.0;     ///< coarsened-graph construction time
-  double last_sweep_seconds = 0.0;  ///< wall time of the last sweep/pass
-  core::EngineStats engine;  ///< last data-driven run
-  core::BspStats bsp;        ///< last BSP run
-  // Cycle-breaking diagnostics (all zero on acyclic meshes).
-  graph::CycleStats cycles;     ///< accumulated over all angles at build
-  int cyclic_angles = 0;        ///< directions that needed a cut
-  int last_lag_sweeps = 0;      ///< engine runs of the last sweep() call
-  double last_lag_residual = 0.0;  ///< max lagged-face change, last commit
-};
+/// Historical name of the session stats (the facade returns the session's
+/// counters unchanged).
+using SolverStats = SolveStats;
 
-/// The parallel sweep solver (see \ref solver.hpp). One instance per rank;
-/// all entry points are collective across the cluster.
+/// The plan-phase half of a SolverConfig (the documented old→new mapping).
+[[nodiscard]] PlanConfig plan_config_of(const SolverConfig& config);
+/// The execution-phase half of a SolverConfig.
+[[nodiscard]] SolveConfig solve_config_of(const SolverConfig& config);
+
+/// The legacy one-shot sweep solver (see the deprecation note in
+/// \ref solver.hpp): builds a private SweepPlan and runs a single
+/// SweepSession over it. One instance per rank; all entry points are
+/// collective across the cluster.
 class SweepSolver {
  public:
   /// Structured-mesh solver. `patch_owner[p]` must be identical on all
-  /// ranks; `disc` and `quad` must outlive the solver.
+  /// ranks; `disc` and `quad` must outlive the solver. *Legacy*: new code
+  /// should call SweepPlan::build + SweepSession to reuse the plan.
   SweepSolver(comm::Context& ctx, const mesh::StructuredMesh& m,
               const partition::PatchSet& ps, std::vector<RankId> patch_owner,
               const sn::StructuredDD& disc, const sn::Quadrature& quad,
               SolverConfig config);
 
-  /// Unstructured-mesh solver.
+  /// Unstructured-mesh solver. *Legacy*: see the structured overload.
   SweepSolver(comm::Context& ctx, const mesh::TetMesh& m,
               const partition::PatchSet& ps, std::vector<RankId> patch_owner,
               const sn::TetStep& disc, const sn::Quadrature& quad,
@@ -156,104 +120,47 @@ class SweepSolver {
   /// flux (identical on every rank). Collective. Single-group solvers
   /// only — a pipelined multigroup build must go through
   /// solve_multigroup().
-  std::vector<double> sweep(const std::vector<double>& q_per_ster);
+  std::vector<double> sweep(const std::vector<double>& q_per_ster) {
+    return session_.sweep(q_per_ster);
+  }
 
-  /// One standalone transport sweep of energy group g: swaps in group g's
-  /// kernel and runs the shared single-group task system (requires
-  /// SolverConfig::multigroup, group_pipelining off). Collective. On
-  /// cyclic meshes with G > 1 this refuses — per-call lag commits would
-  /// cross-contaminate the groups' old iterates; use solve_multigroup(),
-  /// whose passes commit once per pass over all groups.
+  /// One standalone transport sweep of energy group g (see
+  /// SweepSession::sweep_group for the preconditions). Collective.
   std::vector<double> sweep_group(GroupId g,
-                                  const std::vector<double>& q_per_ster);
+                                  const std::vector<double>& q_per_ster) {
+    return session_.sweep_group(g, q_per_ster);
+  }
 
-  /// Full multigroup solve over SolverConfig::multigroup with the
-  /// sweep-pass outer scheme (sn::solve_multigroup_sweeps): pipelined
-  /// passes when `group_pipelining` is on, per-group barriered engine runs
-  /// otherwise. Collective; identical result on every rank.
+  /// Full multigroup solve over SolverConfig::multigroup (see
+  /// SweepSession::solve_multigroup). Collective.
   sn::MultigroupResult solve_multigroup(
-      const sn::MultigroupOptions& options = {});
+      const sn::MultigroupOptions& options = {}) {
+    return session_.solve_multigroup(options);
+  }
 
   /// Adapter for sn::source_iteration.
   [[nodiscard]] sn::SweepOperator as_operator() {
-    return [this](const std::vector<double>& q) { return sweep(q); };
+    return session_.as_operator();
   }
 
   /// Counters and timings accumulated so far.
-  [[nodiscard]] const SolverStats& stats() const { return stats_; }
+  [[nodiscard]] const SolverStats& stats() const { return session_.stats(); }
 
   /// Observability for tests/benches: the shared face-flux workspace pool
   /// (created/acquire/reuse counters prove steady-state recycling).
   [[nodiscard]] const sn::FaceFluxPool& flux_pool() const {
-    return flux_pool_;
+    return session_.flux_pool();
+  }
+
+  /// The plan built behind the facade (escape hatch for incremental
+  /// migrations: share it with new-API sessions instead of rebuilding).
+  [[nodiscard]] std::shared_ptr<const SweepPlan> plan() const {
+    return plan_;
   }
 
  private:
-  /// One engine-registered program: shared structural task data (one per
-  /// (patch, angle), group-independent) plus this program's group and
-  /// scheduling priority.
-  struct ProgramSlot {
-    std::size_t data_index = 0;
-    GroupId group{0};
-    double priority = 0.0;
-  };
-
-  void init_multigroup(
-      const std::function<std::unique_ptr<sn::Discretization>(
-          const sn::CellXs&)>& disc_builder);
-  void build(
-      const std::function<graph::PatchTaskGraph(
-          PatchId, const mesh::Vec3&, AngleId, const graph::CycleCut*)>&
-          task_builder,
-      const std::function<graph::Digraph(const mesh::Vec3&)>&
-          patch_digraph_builder,
-      const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder);
-  void install_programs(bool record_clusters);
-  void activate_coarsened();
-  void collect_phi(std::vector<double>& phi_global) const;
-  /// Exactly one engine (or BSP) run; updates the engine stats.
-  void run_engine_once();
-  /// Engine run(s) including the cyclic-mesh lag loop (commit after every
-  /// run) — the single-group sweep() core.
-  void run_engines_once();
-  /// One multigroup sweep pass (sn::MultigroupSweepPass shape), pipelined
-  /// or barriered per the config. On cut meshes the lagged store commits
-  /// once per pass (after ALL groups), and `max_lag_sweeps` repeats the
-  /// whole pass — both modes therefore see identical old iterates.
-  void multigroup_pass(const std::vector<std::vector<double>>& q_base,
-                       std::vector<std::vector<double>>& phi);
-
-  comm::Context& ctx_;
-  const partition::PatchSet& ps_;
-  std::vector<RankId> owner_;
-  const sn::Quadrature& quad_;
-  SolverConfig config_;
-
-  SweepShared shared_;
-  LaggedFluxStore lagged_store_;
-  /// Face-flux workspaces recycled across programs and sweeps (dense hot
-  /// path; see sn/face_flux.hpp).
-  sn::FaceFluxPool flux_pool_;
-  std::vector<double> q_current_;
-
-  /// Multigroup state: per-group kernels (σ_t varies by group) and, when
-  /// pipelining, the rank-local gate/source coordinator.
-  std::vector<std::unique_ptr<sn::Discretization>> group_discs_;
-  std::unique_ptr<GroupPipeline> pipeline_;
-  int groups_built_ = 1;  ///< program sets per (patch, angle)
-
-  std::vector<std::unique_ptr<SweepTaskData>> task_data_;
-  std::vector<ProgramSlot> slots_;  ///< parallel to programs_
-  std::vector<std::unique_ptr<std::mutex>> patch_mutex_;  ///< ablation
-
-  std::unique_ptr<core::Engine> engine_;
-  std::unique_ptr<core::BspEngine> bsp_;
-  std::vector<SweepPatchProgram*> programs_;  ///< engine-owned, fixed order
-  std::vector<std::unique_ptr<CoarsenedSweepData>> coarse_data_;
-  std::vector<CoarsenedSweepProgram*> coarse_programs_;
-  bool coarsened_active_ = false;
-
-  SolverStats stats_;
+  std::shared_ptr<const SweepPlan> plan_;
+  SweepSession session_;
 };
 
 }  // namespace jsweep::sweep

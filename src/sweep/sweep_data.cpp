@@ -1,11 +1,21 @@
 #include "sweep/sweep_data.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "support/check.hpp"
 
 namespace jsweep::sweep {
+
+namespace {
+/// See SweepTaskData::total_created(): instances ever built, process-wide.
+std::atomic<std::int64_t> g_task_data_created{0};
+}  // namespace
+
+std::int64_t SweepTaskData::total_created() {
+  return g_task_data_created.load(std::memory_order_relaxed);
+}
 
 SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
                              graph::PriorityStrategy vertex_strategy)
@@ -28,6 +38,7 @@ SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
                              const sn::Ordinate* ordinate,
                              const LaggedFluxStore* lagged)
     : graph_(std::move(g)) {
+  g_task_data_created.fetch_add(1, std::memory_order_relaxed);
   const auto n = static_cast<std::size_t>(graph_.num_vertices);
   const bool dense = disc != nullptr;
   JSWEEP_CHECK_MSG(!graph_.has_lagged() || (lagged != nullptr && dense),

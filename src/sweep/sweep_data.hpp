@@ -41,6 +41,21 @@ namespace jsweep::sweep {
   return GroupId{t.value() / num_angles};
 }
 
+/// Request-lane tag namespace for the sweep service: lane l of a plan with
+/// G built groups and A angles owns tags [l·G·A, (l+1)·G·A), i.e. one full
+/// (angle, group) tag block per concurrently batched solve request. Face
+/// streams copy the source program's tag, so every stream a lane emits
+/// stays inside that lane's namespace without any per-item routing work —
+/// lane 0 is the plain (offset-free) solver namespace.
+[[nodiscard]] inline TaskTag lane_task_tag(TaskTag base, int lane,
+                                           int tags_per_lane) {
+  return TaskTag{lane * tags_per_lane + base.value()};
+}
+/// Inverse of lane_task_tag: which request lane a tag belongs to.
+[[nodiscard]] inline int lane_of_task(TaskTag t, int tags_per_lane) {
+  return t.value() / tags_per_lane;
+}
+
 /// A local downwind edge of one vertex.
 struct OutLocal {
   std::int32_t w;       ///< downwind local vertex
@@ -170,6 +185,12 @@ class SweepTaskData {
          e < lag_off_[static_cast<std::size_t>(v) + 1]; ++e)
       fn(lag_slots_[static_cast<std::size_t>(e)]);
   }
+
+  /// Process-wide count of SweepTaskData instances ever constructed. Task
+  /// graphs and the dense face-slot interning are built only here, so this
+  /// counter staying flat across solves proves a shared SweepPlan is being
+  /// reused rather than rebuilt (plan-reuse allocation-gate tests).
+  [[nodiscard]] static std::int64_t total_created();
 
  private:
   SweepTaskData(graph::PatchTaskGraph g,

@@ -91,14 +91,18 @@ void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
 SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
                                      const SweepShared& shared,
                                      SweepProgramOptions options)
-    : core::PatchProgram(data.patch(),
-                         sweep_task_tag(data.angle(), options.group,
-                                        shared.quad->num_angles())),
+    : core::PatchProgram(
+          data.patch(),
+          TaskTag{sweep_task_tag(data.angle(), options.group,
+                                 shared.quad->num_angles())
+                      .value() +
+                  options.lane_tag_offset}),
       data_(data),
       shared_(shared),
       options_(options) {
   JSWEEP_CHECK(options_.cluster_grain >= 1);
   JSWEEP_CHECK(options_.group.value() >= 0);
+  JSWEEP_CHECK(options_.lane_tag_offset >= 0);
   JSWEEP_CHECK_MSG(options_.group.value() == 0 || shared_.pipeline != nullptr,
                    "group > 0 programs need a GroupPipeline");
 }

@@ -127,6 +127,10 @@ struct SweepProgramOptions {
   /// are buffered but nothing computes until the pipeline's empty-payload
   /// activation stream opens the gate (the patch's sources are ready).
   GroupId group{0};
+  /// Request-lane tag offset (see lane_task_tag in sweep_data.hpp): added
+  /// to the (angle, group) task tag so several sessions' programs coexist
+  /// in one engine without key collisions. 0 = the plain solver namespace.
+  int lane_tag_offset = 0;
 };
 
 /// The data-driven Sn sweep patch-program (see \ref sweep_program.hpp):
