@@ -12,14 +12,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "comm/cluster.hpp"
 #include "core/stream.hpp"
 #include "graph/priority.hpp"
 #include "graph/sweep_dag.hpp"
 #include "mesh/generators.hpp"
+#include "metrics/metrics.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
 #include "partition/graph_partition.hpp"
@@ -31,6 +35,7 @@
 #include "sn/quadrature.hpp"
 #include "support/alloc_counter.hpp"
 #include "support/timer.hpp"
+#include "sweep/session.hpp"
 #include "sweep/stream_codec.hpp"
 
 namespace {
@@ -207,6 +212,98 @@ void run_grind_suite() {
   grind_tet();
 }
 
+// --- Metrics-overhead suite ------------------------------------------------
+//
+// The acceptance bar for the live-metrics subsystem: a full threaded solve
+// with a live metrics::Registry installed must stay within 2% of the
+// identical solve with metrics off (the null-registry fast path). Measured
+// whole-solve on the structured 32^3 quickstart problem so every
+// instrumented layer (engine counters, session histograms, gauges) is on
+// the measured path.
+
+void run_metrics_overhead_suite() {
+  bench::print_header(
+      "metrics-overhead", "live metrics registry vs null-registry fast path",
+      "structured 32^3, S2, 1 rank x 2 workers; cell-angle solves/sec over "
+      "8 sweeps, median of 9 alternating off/on pairs "
+      "(acceptance: on/off >= 0.98)");
+  const int n = 32;
+  const mesh::StructuredMesh m({n, n, n}, {1, 1, 1});
+  sn::CellXs xs;
+  const auto cells = static_cast<std::size_t>(m.num_cells());
+  xs.sigma_t.assign(cells, 0.5);
+  xs.sigma_s.assign(cells, 0.2);
+  xs.source.assign(cells, 1.0);
+  const sn::StructuredDD disc(m, std::move(xs));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::StructuredBlockLayout layout(m.dims(), {8, 8, 8});
+  const partition::PatchSet patches(partition::block_partition(layout),
+                                    layout.num_patches());
+  const std::vector<double> q(cells, 0.25);
+  constexpr int kSweeps = 8;
+  const std::int64_t work = m.num_cells() * quad.num_angles();
+
+  const auto rate_once = [&](metrics::Registry* registry) {
+    double seconds = 0.0;
+    comm::Cluster::run(1, [&](comm::Context& ctx) {
+      const auto owner =
+          partition::assign_contiguous(patches.num_patches(), 1);
+      const auto plan =
+          sweep::SweepPlan::build(ctx, m, patches, owner, disc, quad);
+      sweep::SolveConfig sc;
+      sc.num_workers = 2;
+      sc.metrics.registry = registry;
+      sweep::SweepSession session(ctx, plan, sc);
+      (void)session.sweep(q);  // warm-up: pools, worker spin-up
+      WallTimer timer;
+      for (int i = 0; i < kSweeps; ++i) (void)session.sweep(q);
+      seconds = timer.seconds();
+    });
+    return kSweeps * static_cast<double>(work) / seconds;
+  };
+
+  // Run off/on as back-to-back pairs with alternating within-pair order,
+  // and take the median of the per-pair ratios: slow host drift hits both
+  // halves of a pair alike, alternation cancels position bias, and the
+  // median discards the odd rep that lost its timeslice. The reported
+  // absolute rates are still the best seen per mode.
+  metrics::Registry registry;
+  double off = 0.0;
+  double on = 0.0;
+  std::vector<double> pair_ratios;
+  for (int rep = 0; rep < 9; ++rep) {
+    double off_rep;
+    double on_rep;
+    if (rep % 2 == 0) {
+      off_rep = rate_once(nullptr);
+      on_rep = rate_once(&registry);
+    } else {
+      on_rep = rate_once(&registry);
+      off_rep = rate_once(nullptr);
+    }
+    off = std::max(off, off_rep);
+    on = std::max(on, on_rep);
+    pair_ratios.push_back(on_rep / off_rep);
+  }
+  std::sort(pair_ratios.begin(), pair_ratios.end());
+  const double ratio = pair_ratios[pair_ratios.size() / 2];
+  std::printf(
+      "  metrics off %12.3g cell-angles/s   on %12.3g   on/off %.3f%s\n",
+      off, on, ratio,
+      ratio < 0.98 ? "  ** below the 0.98 acceptance bar **" : "");
+
+  bench::Sample s;
+  s.name = "metrics_overhead/structured_32";
+  s.wall_seconds = kSweeps * static_cast<double>(work) / on;
+  s.threads = 2;
+  s.problem_size = work;
+  s.params.emplace_back("cells_per_sec_off", off);
+  s.params.emplace_back("cells_per_sec_on", on);
+  s.params.emplace_back("on_off_ratio", ratio);
+  bench::append_metrics(s, registry);
+  bench::record(std::move(s));
+}
+
 // --- Google-Benchmark suite ------------------------------------------------
 
 void BM_DDKernel(benchmark::State& state) {
@@ -381,6 +478,7 @@ BENCHMARK(BM_SfcCodes)->Arg(0)->Arg(1);
 int main(int argc, char** argv) {
   jsweep::bench::JsonReport report(argc, argv, "bench_micro");
   run_grind_suite();
+  run_metrics_overhead_suite();
   // The Google-Benchmark suite only runs when explicitly requested, so
   // `bench_micro --json` stays a fast grind-rate probe for CI.
   bool want_gbench = false;

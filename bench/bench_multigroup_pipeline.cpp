@@ -17,8 +17,11 @@
 
 #include "bench_common.hpp"
 
+#include <algorithm>
+
 #include "comm/cluster.hpp"
 #include "mesh/generators.hpp"
+#include "metrics/metrics.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
 #include "partition/patch_set.hpp"
@@ -60,15 +63,51 @@ struct Timed {
   double seconds = 0.0;
   int passes = 0;
   std::vector<std::vector<double>> phi;
+  // Live pipeline metrics (pipelined runs only): last-pass fill time (max
+  // over ranks) and the cross-rank activation-latency histogram summary.
+  double fill_seconds = 0.0;
+  std::int64_t activations = 0;
+  double activation_mean_seconds = 0.0;
+  double activation_max_seconds = 0.0;
 };
+
+/// Fold the registry's pipeline families into `t` (max fill over ranks,
+/// activation histogram totals across ranks).
+void extract_pipeline_metrics(const metrics::Registry& registry, Timed& t) {
+  double latency_sum = 0.0;
+  for (const auto& fam : registry.snapshot()) {
+    if (fam.name == "jsweep_pipeline_fill_seconds") {
+      for (const auto& s : fam.series)
+        t.fill_seconds = std::max(t.fill_seconds, s.gauge_value);
+    } else if (fam.name == "jsweep_pipeline_activation_latency_seconds") {
+      for (const auto& s : fam.series) {
+        t.activations += s.histogram.count;
+        latency_sum += s.histogram.sum;
+        t.activation_max_seconds =
+            std::max(t.activation_max_seconds, s.histogram.max);
+      }
+    }
+  }
+  if (t.activations > 0)
+    t.activation_mean_seconds =
+        latency_sum / static_cast<double>(t.activations);
+}
 
 Timed solve(const Fixture& f, bool pipelined, int workers) {
   Timed t;
+  // One registry per solve: every rank of the in-process cluster publishes
+  // into it (rank-labelled series), and the pipelined sample attaches the
+  // fill/activation-latency numbers it collects.
+  metrics::Registry registry;
   comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
     sweep::SolverConfig config;
     config.num_workers = workers;
     config.multigroup = &f.mxs;
     config.group_pipelining = pipelined;
+    // Both modes carry the registry so its (<= 2%) cost cancels out of the
+    // pipelined-vs-barriered speedup; only pipelined runs publish the
+    // pipeline fill/activation families.
+    config.metrics.registry = &registry;
     const auto owner =
         partition::assign_contiguous(f.patches.num_patches(), ctx.size());
     const auto plan =
@@ -83,6 +122,7 @@ Timed solve(const Fixture& f, bool pipelined, int workers) {
       t.phi = result.phi;
     }
   });
+  if (pipelined) extract_pipeline_metrics(registry, t);
   return t;
 }
 
@@ -122,6 +162,13 @@ int main(int argc, char** argv) {
                      Table::num(barriered.seconds, 3),
                      Table::num(pipelined.seconds, 3),
                      Table::num(barriered.seconds / pipelined.seconds, 2)});
+      std::printf(
+          "  n=%d workers=%d pipelined: last-pass fill %.3gs, %lld "
+          "activations, latency mean %.3gs max %.3gs\n",
+          n, workers, pipelined.fill_seconds,
+          static_cast<long long>(pipelined.activations),
+          pipelined.activation_mean_seconds,
+          pipelined.activation_max_seconds);
       for (const bool piped : {false, true}) {
         const Timed& t = piped ? pipelined : barriered;
         bench::Sample s;
@@ -134,6 +181,18 @@ int main(int argc, char** argv) {
         s.params = {{"groups", kGroups},
                     {"pipelined", piped ? 1.0 : 0.0},
                     {"passes", static_cast<double>(t.passes)}};
+        if (piped) {
+          // Live pipeline metrics: how long the last pass took to open all
+          // groups (fill) and the per-activation gate-open -> program-emit
+          // latency distribution across the whole solve.
+          s.params.emplace_back("pipeline_fill_s", t.fill_seconds);
+          s.params.emplace_back("activations",
+                                static_cast<double>(t.activations));
+          s.params.emplace_back("activation_latency_mean_s",
+                                t.activation_mean_seconds);
+          s.params.emplace_back("activation_latency_max_s",
+                                t.activation_max_seconds);
+        }
         bench::record(std::move(s));
       }
     }

@@ -13,16 +13,33 @@
 //   service   — the same plan behind a SweepService fusing max_batch
 //               requests into shared engine runs (plan reuse + batching).
 //
+// A fourth mode re-runs the service with a live metrics::Registry
+// installed (ServiceConfig::metrics): the service/session/engine layers
+// publish their counters while solving, and the on-vs-off throughput ratio
+// is the regression gate for metrics cost (CI requires >= 0.98, measured
+// as the median over alternating back-to-back off/on pairs so host drift
+// cancels out of the ratio).
+//
 //   build/bench/bench_service_throughput [--json [<path>]]
+//                                        [--metrics=<path>]
+//
+// --metrics writes the registry snapshot after the metrics-on runs:
+// Prometheus text, or the jsweep-metrics-v1 JSON document when the path
+// ends in .json (what CI validates and archives).
 //
 // CI gates plan reuse at >= 2x rebuild-per-solve throughput.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "comm/cluster.hpp"
 #include "mesh/generators.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
 #include "partition/patch_set.hpp"
@@ -110,8 +127,11 @@ double run_sessions(const Fixture& fx) {
   return timer.seconds();
 }
 
-/// Plan reuse + request batching over one shared engine.
-double run_service(const Fixture& fx, sweep::ServiceStats* stats) {
+/// Plan reuse + request batching over one shared engine. `registry`, when
+/// non-null, turns on live metrics for the whole stack (the metrics-on
+/// mode of the overhead gate).
+double run_service(const Fixture& fx, sweep::ServiceStats* stats,
+                   metrics::Registry* registry = nullptr) {
   WallTimer timer;
   comm::Cluster::run(1, [&](comm::Context& ctx) {
     const auto owner =
@@ -121,6 +141,7 @@ double run_service(const Fixture& fx, sweep::ServiceStats* stats) {
     sweep::ServiceConfig sc;
     sc.num_workers = kWorkers;
     sc.max_batch = 4;
+    sc.metrics = registry;
     sweep::SweepService service(ctx, sc);
     for (int k = 0; k < kRequests; ++k) {
       sweep::SolveRequest request;
@@ -139,6 +160,10 @@ double run_service(const Fixture& fx, sweep::ServiceStats* stats) {
 
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "service_throughput");
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0)
+      metrics_path = std::string(argv[i] + 10);
   const Fixture fx;
   const std::int64_t problem =
       fx.m.num_cells() * fx.quad.num_angles();
@@ -153,8 +178,35 @@ int main(int argc, char** argv) {
 
   const double t_rebuild = run_rebuild(fx);
   const double t_sessions = run_sessions(fx);
+
+  // Service mode twice — metrics off and on — as interleaved back-to-back
+  // pairs whose within-pair order alternates. The <= 2% overhead gate uses
+  // the median of the per-pair off/on ratios: slow scheduler drift hits
+  // both halves of a pair alike, alternating the order cancels any
+  // position-in-pair bias, and the median discards the odd rep that lost
+  // its timeslice — none of which best-of-N over two independent series
+  // gives you.
+  metrics::Registry registry;
   sweep::ServiceStats service_stats;
-  const double t_service = run_service(fx, &service_stats);
+  double t_service = 0.0;
+  double t_service_metrics = 0.0;
+  std::vector<double> pair_ratios;
+  for (int rep = 0; rep < 9; ++rep) {
+    double off;
+    double on;
+    if (rep % 2 == 0) {
+      off = run_service(fx, rep == 0 ? &service_stats : nullptr);
+      on = run_service(fx, nullptr, &registry);
+    } else {
+      on = run_service(fx, nullptr, &registry);
+      off = run_service(fx, nullptr);
+    }
+    t_service = rep == 0 ? off : std::min(t_service, off);
+    t_service_metrics = rep == 0 ? on : std::min(t_service_metrics, on);
+    pair_ratios.push_back(off / on);
+  }
+  std::sort(pair_ratios.begin(), pair_ratios.end());
+  const double metrics_ratio = pair_ratios[pair_ratios.size() / 2];
 
   const auto rate = [](double seconds) {
     return static_cast<double>(kRequests) / seconds;
@@ -168,7 +220,12 @@ int main(int argc, char** argv) {
   table.add_row({"plan-reuse service", Table::num(t_service, 3),
                  Table::num(rate(t_service), 2),
                  Table::num(t_rebuild / t_service, 2)});
+  table.add_row({"service + live metrics", Table::num(t_service_metrics, 3),
+                 Table::num(rate(t_service_metrics), 2),
+                 Table::num(t_rebuild / t_service_metrics, 2)});
   std::printf("%s", table.str().c_str());
+  std::printf("metrics-on/off throughput ratio: %.3f (gate: >= 0.98)\n",
+              metrics_ratio);
   std::printf(
       "service: %lld requests in %lld batch(es), %lld engine runs for %lld "
       "sweeps\n",
@@ -193,5 +250,28 @@ int main(int argc, char** argv) {
   record("rebuild_per_solve", t_rebuild, 1.0);
   record("plan_reuse_sessions", t_sessions, t_rebuild / t_sessions);
   record("plan_reuse_service", t_service, t_rebuild / t_service);
+
+  // The metrics-on sample carries the gate ratio plus the full registry
+  // snapshot (bench::append_metrics), so BENCH_service_throughput.json
+  // alone is enough to audit what the run did.
+  {
+    bench::Sample s;
+    s.name = "service_throughput/plan_reuse_service_metrics";
+    s.wall_seconds = t_service_metrics;
+    s.threads = kWorkers;
+    s.problem_size = problem;
+    s.params.emplace_back("requests", kRequests);
+    s.params.emplace_back("iterations_per_request", kIterationsPerRequest);
+    s.params.emplace_back("solves_per_sec", rate(t_service_metrics));
+    s.params.emplace_back("speedup_vs_rebuild", t_rebuild / t_service_metrics);
+    s.params.emplace_back("throughput_vs_metrics_off", metrics_ratio);
+    bench::append_metrics(s, registry);
+    report.record(std::move(s));
+  }
+
+  if (!metrics_path.empty()) {
+    metrics::write_snapshot(registry, metrics_path);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -18,6 +18,9 @@
 
 #include "comm/cluster.hpp"
 #include "mesh/generators.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/trace_bridge.hpp"
 #include "mesh/vtk_output.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
@@ -56,6 +59,7 @@ struct Options {
   int max_iterations = 200;
   std::string vtk;
   std::string trace;
+  std::string metrics;
   bool profile = false;
 };
 
@@ -91,6 +95,9 @@ void usage() {
   --vtk=PATH                      write flux + material as legacy VTK
   --trace=PATH                    record the runs and write a Chrome trace
                                   (open in chrome://tracing or Perfetto)
+  --metrics=PATH                  publish live engine/session metrics and
+                                  write a snapshot: Prometheus text, or
+                                  JSON when PATH ends in .json
   --profile                       print critical-path + busy/idle breakdown
   --help                          this text
 )");
@@ -144,6 +151,8 @@ std::optional<Options> parse(int argc, char** argv) {
       opt.vtk = *v;
     } else if (auto v = value("--trace")) {
       opt.trace = *v;
+    } else if (auto v = value("--metrics")) {
+      opt.metrics = *v;
     } else if (arg == "--profile") {
       opt.profile = true;
     } else {
@@ -182,6 +191,11 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
     std::fprintf(stderr,
                  "note: --trace/--profile need --engine=jsweep or bsp; "
                  "ignored for the serial sweep\n");
+  std::optional<metrics::Registry> registry;
+  if (!opt.metrics.empty() && opt.engine != "serial") registry.emplace();
+  if (!opt.metrics.empty() && opt.engine == "serial")
+    std::fprintf(stderr, "note: --metrics needs --engine=jsweep or bsp; "
+                         "ignored for the serial sweep\n");
 
   sn::MultigroupResult result;
   sweep::SolveStats solver_stats;
@@ -221,6 +235,7 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
           opt.coarsened && solve_config.engine == sweep::EngineKind::DataDriven;
       solve_config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
       solve_config.trace.recorder = recorder ? &*recorder : nullptr;
+      solve_config.metrics.registry = registry ? &*registry : nullptr;
       sweep::SweepSession session(ctx, plan, solve_config);
       const auto r = session.solve_multigroup(mg);
       if (ctx.rank().value() == 0) {
@@ -257,6 +272,13 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
       const trace::ProfileReport prof = trace::analyze(*recorder);
       std::printf("\n%s\n", trace::render_profile(prof).c_str());
     }
+  }
+  if (registry) {
+    // The trace bridge folds the post-mortem per-rank breakdown into the
+    // same registry, so one snapshot carries both views.
+    if (recorder) metrics::fold_profile(trace::analyze(*recorder), *registry);
+    metrics::write_snapshot(*registry, opt.metrics);
+    std::printf("wrote %s\n", opt.metrics.c_str());
   }
 
   std::printf("%s: %d outer(s), %d pass(es), %lld sweeps, %.3fs (error "
@@ -306,6 +328,11 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
     std::fprintf(stderr,
                  "note: --trace/--profile need --engine=jsweep or bsp; "
                  "ignored for the serial sweep\n");
+  std::optional<metrics::Registry> registry;
+  if (!opt.metrics.empty() && opt.engine != "serial") registry.emplace();
+  if (!opt.metrics.empty() && opt.engine == "serial")
+    std::fprintf(stderr, "note: --metrics needs --engine=jsweep or bsp; "
+                         "ignored for the serial sweep\n");
 
   const sweep::CyclePolicy cycle_policy =
       sweep::cycle_policy_from_string(opt.cycle_policy);
@@ -363,6 +390,7 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
           opt.coarsened && solve_config.engine == sweep::EngineKind::DataDriven;
       solve_config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
       solve_config.trace.recorder = recorder ? &*recorder : nullptr;
+      solve_config.metrics.registry = registry ? &*registry : nullptr;
       sweep::SweepSession session(ctx, plan, solve_config);
       const auto r = sn::source_iteration(xs, session.as_operator(), si);
       if (ctx.rank().value() == 0) {
@@ -400,6 +428,13 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
       const trace::ProfileReport prof = trace::analyze(*recorder);
       std::printf("\n%s\n", trace::render_profile(prof).c_str());
     }
+  }
+  if (registry) {
+    // The trace bridge folds the post-mortem per-rank breakdown into the
+    // same registry, so one snapshot carries both views.
+    if (recorder) metrics::fold_profile(trace::analyze(*recorder), *registry);
+    metrics::write_snapshot(*registry, opt.metrics);
+    std::printf("wrote %s\n", opt.metrics.c_str());
   }
 
   double peak = 0.0;

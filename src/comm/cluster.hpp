@@ -29,10 +29,10 @@ class Cluster;
 /// Per-rank traffic counters, used for termination detection (basic message
 /// balance) and for benchmark reporting (bytes on the wire).
 struct TrafficStats {
-  std::int64_t basic_sent = 0;
-  std::int64_t basic_received = 0;
-  std::int64_t control_sent = 0;
-  std::int64_t bytes_sent = 0;
+  std::int64_t basic_sent = 0;      ///< application messages sent
+  std::int64_t basic_received = 0;  ///< application messages received
+  std::int64_t control_sent = 0;    ///< runtime control messages sent
+  std::int64_t bytes_sent = 0;      ///< payload bytes sent (all tags)
 };
 
 /// A rank's handle onto the cluster. Created by Cluster; one per rank
@@ -41,7 +41,9 @@ struct TrafficStats {
 /// master thread.
 class Context {
  public:
+  /// This rank's id.
   [[nodiscard]] RankId rank() const { return rank_; }
+  /// Number of ranks in the cluster.
   [[nodiscard]] int size() const;
 
   /// Asynchronous point-to-point send (thread-safe).
@@ -57,6 +59,7 @@ class Context {
   /// whether the mailbox is non-empty.
   bool wait_message(std::chrono::nanoseconds timeout);
 
+  /// Number of messages waiting in this rank's mailbox.
   [[nodiscard]] std::size_t pending_messages() const;
 
   /// Collective: all ranks must call; returns when every rank has arrived.
@@ -64,9 +67,13 @@ class Context {
 
   /// Collective reductions (all ranks must call with their contribution).
   double allreduce_sum(double x);
+  /// \copydoc allreduce_sum(double)
   std::int64_t allreduce_sum(std::int64_t x);
+  /// \copydoc allreduce_sum(double)
   double allreduce_max(double x);
+  /// \copydoc allreduce_sum(double)
   double allreduce_min(double x);
+  /// \copydoc allreduce_sum(double)
   std::int64_t allreduce_max(std::int64_t x);
 
   /// Element-wise vector sum-reduction; `v` is replaced by the global sum.
@@ -74,6 +81,7 @@ class Context {
   /// folded in rank order.
   void allreduce_sum(std::vector<double>& v);
 
+  /// This rank's traffic counters so far.
   [[nodiscard]] const TrafficStats& traffic() const { return stats_; }
 
  private:
@@ -91,12 +99,13 @@ class Context {
 /// Owns the mailboxes and collective state for one in-process "job".
 class Cluster {
  public:
-  explicit Cluster(int nranks);
-  ~Cluster();
+  explicit Cluster(int nranks);  ///< create mailboxes/contexts for `nranks`
+  ~Cluster();                    ///< requires all rank threads joined
 
-  Cluster(const Cluster&) = delete;
-  Cluster& operator=(const Cluster&) = delete;
+  Cluster(const Cluster&) = delete;             ///< non-copyable
+  Cluster& operator=(const Cluster&) = delete;  ///< non-copyable
 
+  /// Number of ranks.
   [[nodiscard]] int size() const { return static_cast<int>(mailboxes_.size()); }
 
   /// Launch one thread per rank running `fn`, join them all, and rethrow

@@ -19,6 +19,7 @@ namespace jsweep::comm {
 /// consumption order matters to the caller.
 class Mailbox {
  public:
+  /// Enqueue a message (any thread) and wake one waiting consumer.
   void push(Message msg) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -52,11 +53,13 @@ class Mailbox {
     return cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); });
   }
 
+  /// Number of queued messages.
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
   }
 
+  /// Whether the queue is empty.
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:

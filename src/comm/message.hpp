@@ -25,11 +25,13 @@ enum Tag : int {
   kTagReduce = kControlTagBase + 3,     ///< non-blocking reduction traffic
 };
 
+/// One point-to-point message as delivered to a mailbox.
 struct Message {
-  RankId src;
-  int tag = 0;
-  Bytes payload;
+  RankId src;     ///< sending rank
+  int tag = 0;    ///< message tag (see Tag)
+  Bytes payload;  ///< serialized payload
 
+  /// Whether the tag marks runtime-internal control traffic.
   [[nodiscard]] bool is_control() const { return tag >= kControlTagBase; }
 };
 

@@ -19,16 +19,19 @@
 
 namespace jsweep::comm {
 
+/// A serialized message payload.
 using Bytes = std::vector<std::byte>;
 
 /// Appends trivially-copyable values to a byte buffer.
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  ByteWriter() = default;  ///< empty buffer
+  /// Empty buffer with `reserve_bytes` of capacity pre-reserved.
   explicit ByteWriter(std::size_t reserve_bytes) {
     buf_.reserve(reserve_bytes);
   }
 
+  /// Append the raw bytes of one trivially copyable value.
   template <class T>
   void write(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>,
@@ -38,6 +41,7 @@ class ByteWriter {
     std::memcpy(buf_.data() + old, &v, sizeof(T));
   }
 
+  /// Append a length-prefixed vector of trivially copyable elements.
   template <class T>
   void write_vector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -47,6 +51,7 @@ class ByteWriter {
     if (!v.empty()) std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
   }
 
+  /// Append a length-prefixed string.
   void write_string(const std::string& s) {
     write(static_cast<std::uint64_t>(s.size()));
     const auto old = buf_.size();
@@ -54,8 +59,11 @@ class ByteWriter {
     if (!s.empty()) std::memcpy(buf_.data() + old, s.data(), s.size());
   }
 
+  /// Bytes written so far.
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Move the buffer out (the writer is left empty).
   [[nodiscard]] Bytes take() { return std::move(buf_); }
+  /// The buffer written so far, without giving it up.
   [[nodiscard]] const Bytes& bytes() const { return buf_; }
 
  private:
@@ -65,8 +73,10 @@ class ByteWriter {
 /// Reads trivially-copyable values back out of a byte buffer.
 class ByteReader {
  public:
+  /// Read from `buf`, which must outlive the reader.
   explicit ByteReader(const Bytes& buf) : buf_(buf) {}
 
+  /// Read one trivially copyable value (bounds-checked; overruns throw).
   template <class T>
   T read() {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -78,6 +88,7 @@ class ByteReader {
     return v;
   }
 
+  /// Read a length-prefixed vector written by write_vector().
   template <class T>
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -89,6 +100,7 @@ class ByteReader {
     return v;
   }
 
+  /// Read a length-prefixed string written by write_string().
   std::string read_string() {
     const auto n = read<std::uint64_t>();
     JSWEEP_CHECK(pos_ + n <= buf_.size());
@@ -97,7 +109,9 @@ class ByteReader {
     return s;
   }
 
+  /// Whether every byte of the buffer has been consumed.
   [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }
+  /// Current read offset in bytes.
   [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:

@@ -35,6 +35,7 @@ namespace jsweep::comm {
 ///     calling on_terminate() themselves.
 class SafraDetector {
  public:
+  /// Detector for one rank; `ctx` must outlive it.
   explicit SafraDetector(Context& ctx);
 
   /// Record one application-level send/receive (message counting).
@@ -57,6 +58,7 @@ class SafraDetector {
   /// Notify that this rank became active again (new local work appeared).
   void on_active() { black_ = true; }
 
+  /// Whether global termination has been detected / broadcast.
   [[nodiscard]] bool terminated() const { return terminated_; }
 
   /// Number of full probe rounds initiated (diagnostic).
@@ -93,10 +95,14 @@ class WorkloadTracker {
   explicit WorkloadTracker(std::int64_t local_total)
       : remaining_(local_total) {}
 
+  /// Add work discovered after construction (e.g. injected programs).
   void commit(std::int64_t additional) { remaining_ += additional; }
+  /// Record `units` of work finished on this rank.
   void retire(std::int64_t units = 1) { remaining_ -= units; }
 
+  /// Work units this rank has yet to retire.
   [[nodiscard]] std::int64_t remaining() const { return remaining_; }
+  /// Whether this rank's committed workload is fully retired.
   [[nodiscard]] bool locally_done() const { return remaining_ <= 0; }
 
  private:

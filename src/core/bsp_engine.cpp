@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/stream.hpp"
+#include "metrics/metrics.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 #include "trace/trace.hpp"
@@ -49,6 +50,24 @@ void record_exec_lanes(trace::Recorder& rec, std::int32_t rank,
 BspEngine::BspEngine(comm::Context& ctx, BspConfig config)
     : ctx_(ctx), config_(config) {
   JSWEEP_CHECK(config_.num_threads >= 0);
+  if (metrics::Registry* reg = config_.metrics; reg != nullptr) {
+    const std::string rank = std::to_string(ctx_.rank().value());
+    metric_supersteps_ =
+        &reg->counter("jsweep_bsp_supersteps_total",
+                      "barrier-separated supersteps", {{"rank", rank}});
+    metric_executions_ =
+        &reg->counter("jsweep_bsp_executions_total",
+                      "program compute() executions", {{"rank", rank}});
+    metric_streams_local_ = &reg->counter(
+        "jsweep_bsp_streams_total", "streams exchanged, by delivery path",
+        {{"rank", rank}, {"path", "local"}});
+    metric_streams_remote_ = &reg->counter(
+        "jsweep_bsp_streams_total", "streams exchanged, by delivery path",
+        {{"rank", rank}, {"path", "remote"}});
+    metric_stream_bytes_ = &reg->counter(
+        "jsweep_bsp_stream_bytes_total",
+        "payload bytes of streams shipped across ranks", {{"rank", rank}});
+  }
 }
 
 void BspEngine::add_program(std::unique_ptr<PatchProgram> program,
@@ -112,6 +131,7 @@ void BspEngine::run() {
 
   while (global_remaining > 0) {
     ++stats_.supersteps;
+    if (metric_supersteps_ != nullptr) metric_supersteps_->inc();
     const std::int64_t step_t0 = rec != nullptr ? rec->now_ns() : 0;
 
     // --- Compute phase: every active program executes once, in parallel.
@@ -150,6 +170,8 @@ void BspEngine::run() {
         });
     local_remaining -= retired.load();
     stats_.executions += executions.load();
+    if (metric_executions_ != nullptr)
+      metric_executions_->inc(executions.load());
     if (rec != nullptr && !exec_spans.empty())
       record_exec_lanes(*rec, ctx_.rank().value(), exec_spans, exec_lanes);
 
@@ -171,10 +193,16 @@ void BspEngine::run() {
         }
         if (dest == ctx_.rank()) {
           ++stats_.streams_local;
+          if (metric_streams_local_ != nullptr) metric_streams_local_->inc();
           local_pending.push_back(std::move(s));
         } else {
           ++stats_.streams_remote;
           stats_.stream_bytes += static_cast<std::int64_t>(s.data.size());
+          if (metric_streams_remote_ != nullptr) {
+            metric_streams_remote_->inc();
+            metric_stream_bytes_->inc(
+                static_cast<std::int64_t>(s.data.size()));
+          }
           staging[static_cast<std::size_t>(dest.value())].push_back(
               std::move(s));
         }

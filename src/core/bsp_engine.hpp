@@ -27,6 +27,11 @@ class Recorder;
 class Track;
 }  // namespace jsweep::trace
 
+namespace jsweep::metrics {
+class Counter;
+class Registry;
+}  // namespace jsweep::metrics
+
 namespace jsweep::core {
 
 /// Construction-time knobs of the BSP engine.
@@ -37,6 +42,10 @@ struct BspConfig {
   /// When non-null, supersteps/executions/streams are recorded into this
   /// recorder (trace/trace.hpp); null disables tracing.
   trace::Recorder* recorder = nullptr;
+  /// When non-null, the engine publishes live `jsweep_bsp_*` counters
+  /// (supersteps, executions, stream traffic) into this registry, labelled
+  /// by rank; null (the default) disables metrics (one pointer check).
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Counters of the last BspEngine::run().
@@ -91,6 +100,14 @@ class BspEngine {
   BspStats stats_;
   BufferPool buffer_pool_;
   trace::Track* trace_master_ = nullptr;  ///< this rank's master track
+
+  // Live instruments, created once at construction when config_.metrics is
+  // set (all null otherwise).
+  metrics::Counter* metric_supersteps_ = nullptr;
+  metrics::Counter* metric_executions_ = nullptr;
+  metrics::Counter* metric_streams_local_ = nullptr;
+  metrics::Counter* metric_streams_remote_ = nullptr;
+  metrics::Counter* metric_stream_bytes_ = nullptr;
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<ProgramKey, Slot*> by_key_;
   std::vector<RankId> patch_owner_;

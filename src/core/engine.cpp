@@ -5,6 +5,7 @@
 #include <queue>
 #include <thread>
 
+#include "metrics/metrics.hpp"
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "trace/trace.hpp"
@@ -71,6 +72,46 @@ Engine::Engine(comm::Context& ctx, EngineConfig config)
   JSWEEP_CHECK_MSG(config_.num_workers >= 1,
                    "engine needs at least one worker thread");
   remote_staging_.resize(static_cast<std::size_t>(ctx_.size()));
+  if (metrics::Registry* reg = config_.metrics; reg != nullptr) {
+    const metrics::Labels rank{{"rank", std::to_string(ctx_.rank().value())}};
+    metric_executions_ = &reg->counter("jsweep_engine_executions_total",
+                                       "patch-program executions", rank);
+    metric_streams_local_ =
+        &reg->counter("jsweep_engine_streams_total",
+                      "streams routed, by delivery path",
+                      {{"rank", std::to_string(ctx_.rank().value())},
+                       {"path", "local"}});
+    metric_streams_remote_ =
+        &reg->counter("jsweep_engine_streams_total",
+                      "streams routed, by delivery path",
+                      {{"rank", std::to_string(ctx_.rank().value())},
+                       {"path", "remote"}});
+    metric_stream_bytes_ = &reg->counter(
+        "jsweep_engine_stream_bytes_total",
+        "payload bytes of streams shipped across ranks", rank);
+    metric_messages_ = &reg->counter("jsweep_engine_messages_total",
+                                     "wire messages (batched streams)", rank);
+    metric_runs_ =
+        &reg->counter("jsweep_engine_runs_total", "engine run() calls", rank);
+    metric_queue_depth_ =
+        &reg->gauge("jsweep_engine_queue_depth",
+                    "patch-programs queued or running on workers", rank);
+    metric_worker_busy_ = &reg->gauge(
+        "jsweep_engine_worker_busy_seconds",
+        "cumulative worker busy seconds (execution + bookkeeping)", rank);
+    metric_worker_idle_ =
+        &reg->gauge("jsweep_engine_worker_idle_seconds",
+                    "cumulative worker seconds blocked with no work", rank);
+    metric_master_idle_ =
+        &reg->gauge("jsweep_engine_master_idle_seconds",
+                    "cumulative master seconds blocked waiting for messages",
+                    rank);
+    metric_pool_hit_ratio_ =
+        &reg->gauge("jsweep_engine_buffer_pool_hit_ratio",
+                    "fraction of stream-buffer acquires served from the "
+                    "free list (lifetime)",
+                    rank);
+  }
 }
 
 Engine::~Engine() = default;
@@ -112,11 +153,15 @@ void Engine::worker_loop(Worker& w) {
     ProgramState* ps = nullptr;
     {
       std::unique_lock<std::mutex> lock(w.mutex);
-      w.busy_seconds += timer.seconds();
+      const double busy_delta = timer.seconds();
+      w.busy_seconds += busy_delta;
+      if (metric_worker_busy_ != nullptr) metric_worker_busy_->add(busy_delta);
       timer.reset();
       const std::int64_t idle_t0 = tr != nullptr ? rec->now_ns() : 0;
       w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
-      w.idle_seconds += timer.seconds();
+      const double idle_delta = timer.seconds();
+      w.idle_seconds += idle_delta;
+      if (metric_worker_idle_ != nullptr) metric_worker_idle_->add(idle_delta);
       timer.reset();
       if (tr != nullptr) {
         const std::int64_t idle_t1 = rec->now_ns();
@@ -131,6 +176,7 @@ void Engine::worker_loop(Worker& w) {
       ps = w.queue.top().ps;
       w.queue.pop();
     }
+    if (metric_queue_depth_ != nullptr) metric_queue_depth_->add(-1.0);
     const std::int64_t exec_t0 = tr != nullptr ? rec->now_ns() : 0;
     try {
       Completion c = execute(*ps);
@@ -193,6 +239,7 @@ void Engine::enqueue(ProgramState& ps) {
       lightest = w.get();
   }
   lightest->load.fetch_add(1, std::memory_order_relaxed);
+  if (metric_queue_depth_ != nullptr) metric_queue_depth_->add(1.0);
   {
     const std::lock_guard<std::mutex> lock(lightest->mutex);
     lightest->queue.push(Worker::Entry{ps.priority, enqueue_seq_++, &ps});
@@ -248,10 +295,15 @@ void Engine::route_outputs(std::vector<Stream>&& outputs) {
     }
     if (dest == ctx_.rank()) {
       ++stats_.streams_local;
+      if (metric_streams_local_ != nullptr) metric_streams_local_->inc();
       deliver_local(std::move(s));
     } else {
       ++stats_.streams_remote;
       stats_.stream_bytes += static_cast<std::int64_t>(s.data.size());
+      if (metric_streams_remote_ != nullptr) {
+        metric_streams_remote_->inc();
+        metric_stream_bytes_->inc(static_cast<std::int64_t>(s.data.size()));
+      }
       remote_staging_[static_cast<std::size_t>(dest.value())].push_back(
           std::move(s));
     }
@@ -274,6 +326,7 @@ void Engine::flush_remote() {
       trace_master_->record(e);
     }
     ++stats_.messages_sent;
+    if (metric_messages_ != nullptr) metric_messages_->inc();
     // The streams' payloads were copied onto the wire; recycle them.
     for (auto& s : staged) buffer_pool_.release(std::move(s.data));
     staged.clear();
@@ -312,6 +365,7 @@ bool Engine::locally_idle() const {
 void Engine::run() {
   JSWEEP_CHECK_MSG(!patch_owner_.empty(), "set_routes() before run()");
   stats_ = EngineStats{};
+  if (metric_runs_ != nullptr) metric_runs_->inc();
   WallTimer total_timer;
   IntervalAccumulator route_time;
   trace_master_ = config_.recorder != nullptr
@@ -389,6 +443,13 @@ void Engine::run() {
 
   stats_.master_route_seconds = route_time.seconds();
   stats_.elapsed_seconds = total_timer.seconds();
+  if (metric_pool_hit_ratio_ != nullptr) {
+    const auto acquires = buffer_pool_.acquires();
+    metric_pool_hit_ratio_->set(
+        acquires > 0 ? static_cast<double>(buffer_pool_.reuses()) /
+                           static_cast<double>(acquires)
+                     : 0.0);
+  }
   JSWEEP_CHECK_MSG(local_remaining_ == 0 || det != nullptr,
                    "engine terminated with " << local_remaining_
                                              << " work units outstanding");
@@ -434,6 +495,8 @@ void Engine::master_loop(comm::SafraDetector* det,
       }
       completions_pending_.fetch_sub(
           static_cast<std::int64_t>(batch.size()), std::memory_order_release);
+      if (metric_executions_ != nullptr)
+        metric_executions_->inc(static_cast<std::int64_t>(batch.size()));
       route_time.start();
       const std::int64_t route_t0 = mt != nullptr ? rec->now_ns() : 0;
       for (auto& c : batch) {
@@ -504,7 +567,14 @@ void Engine::master_loop(comm::SafraDetector* det,
 
     if (!progress) {
       if (mt != nullptr && idle_t0 < 0) idle_t0 = rec->now_ns();
+      // Master idle is accounted per blocked wait (always on, unlike the
+      // coalesced trace spans): the polling overhead between waits is
+      // negligible next to the 50 µs wait quantum.
+      WallTimer wait_timer;
       ctx_.wait_message(std::chrono::microseconds(50));
+      const double waited = wait_timer.seconds();
+      stats_.master_idle_seconds += waited;
+      if (metric_master_idle_ != nullptr) metric_master_idle_->add(waited);
     }
   }
   if (mt != nullptr && idle_t0 >= 0)

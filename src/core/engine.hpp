@@ -32,6 +32,12 @@ class Recorder;
 class Track;
 }  // namespace jsweep::trace
 
+namespace jsweep::metrics {
+class Counter;
+class Gauge;
+class Registry;
+}  // namespace jsweep::metrics
+
 namespace jsweep::core {
 
 /// How a run decides that all ranks are globally done.
@@ -52,6 +58,12 @@ struct EngineConfig {
   /// into this recorder (trace/trace.hpp). Null (the default) disables
   /// tracing: the hot path then pays one pointer check per would-be event.
   trace::Recorder* recorder = nullptr;
+  /// When non-null, the engine publishes live `jsweep_engine_*` counters
+  /// and gauges (executions, stream traffic, queue depth, busy/idle
+  /// seconds, pool hit rate) into this registry, labelled by rank
+  /// (metrics/metrics.hpp). Null (the default) disables metrics at one
+  /// pointer check per update site, mirroring the recorder.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Counters and timings of the most recent Engine::run().
@@ -63,6 +75,7 @@ struct EngineStats {
   std::int64_t stream_bytes = 0;     ///< payload bytes of remote streams
   std::int64_t messages_sent = 0;    ///< wire messages (batched streams)
   double master_route_seconds = 0.0; ///< master time spent routing/packing
+  double master_idle_seconds = 0.0;  ///< master time blocked waiting
   double worker_busy_seconds = 0.0;  ///< summed across workers
   double worker_idle_seconds = 0.0;  ///< summed across workers
 };
@@ -133,6 +146,20 @@ class Engine {
   EngineStats stats_;
   BufferPool buffer_pool_;
   trace::Track* trace_master_ = nullptr;  ///< this rank's master track
+
+  // Live instruments, created once at construction when config_.metrics is
+  // set (all null otherwise — the hot path checks one pointer).
+  metrics::Counter* metric_executions_ = nullptr;
+  metrics::Counter* metric_streams_local_ = nullptr;
+  metrics::Counter* metric_streams_remote_ = nullptr;
+  metrics::Counter* metric_stream_bytes_ = nullptr;
+  metrics::Counter* metric_messages_ = nullptr;
+  metrics::Counter* metric_runs_ = nullptr;
+  metrics::Gauge* metric_queue_depth_ = nullptr;
+  metrics::Gauge* metric_worker_busy_ = nullptr;
+  metrics::Gauge* metric_worker_idle_ = nullptr;
+  metrics::Gauge* metric_master_idle_ = nullptr;
+  metrics::Gauge* metric_pool_hit_ratio_ = nullptr;
 
   std::unordered_map<ProgramKey, std::unique_ptr<ProgramState>> programs_;
   std::vector<RankId> patch_owner_;

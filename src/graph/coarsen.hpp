@@ -19,14 +19,16 @@
 
 namespace jsweep::graph {
 
+/// The property graph CG = (CV, CE, P(CV), P(CE)) produced by coarsen().
 struct CoarsenedGraph {
-  std::int32_t num_clusters = 0;
+  std::int32_t num_clusters = 0;  ///< |CV|
   Digraph coarse;  ///< cluster-level DAG (deduplicated edges)
   /// P(CV): fine vertices per cluster, in execution order.
   std::vector<std::vector<std::int32_t>> members;
+  /// CE as (source, target) cluster pairs, in `coarse`'s edge order.
+  std::vector<std::pair<std::int32_t, std::int32_t>> coarse_edges;
   /// P(CE): fine (u, v) edges aggregated by each coarse edge, indexed the
   /// same way as `coarse_edges`.
-  std::vector<std::pair<std::int32_t, std::int32_t>> coarse_edges;
   std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> edge_members;
 };
 

@@ -14,18 +14,21 @@ namespace jsweep::graph {
 /// Immutable CSR directed graph over vertices [0, n).
 class Digraph {
  public:
-  Digraph() = default;
+  Digraph() = default;  ///< empty graph (no vertices, no edges)
 
   /// Build from an edge list. Parallel edges are kept (callers that care
   /// deduplicate first); vertex count must cover all endpoints.
   Digraph(std::int32_t num_vertices,
           const std::vector<std::pair<std::int32_t, std::int32_t>>& edges);
 
+  /// Number of vertices.
   [[nodiscard]] std::int32_t num_vertices() const { return n_; }
+  /// Number of directed edges (parallel edges counted individually).
   [[nodiscard]] std::int64_t num_edges() const {
     return static_cast<std::int64_t>(targets_.size());
   }
 
+  /// Number of outgoing edges of vertex v.
   [[nodiscard]] std::int64_t out_degree(std::int32_t v) const {
     return offsets_[static_cast<std::size_t>(v) + 1] -
            offsets_[static_cast<std::size_t>(v)];
@@ -39,6 +42,7 @@ class Digraph {
         offsets_[static_cast<std::size_t>(v)] + i)];
   }
 
+  /// Invoke `fn(target)` for every out-neighbor of v, in CSR order.
   template <class Fn>
   void for_out(std::int32_t v, Fn&& fn) const {
     for (auto e = offsets_[static_cast<std::size_t>(v)];
@@ -56,6 +60,7 @@ class Digraph {
   [[nodiscard]] std::optional<std::vector<std::int32_t>> topological_order()
       const;
 
+  /// Whether the graph has no directed cycle.
   [[nodiscard]] bool is_acyclic() const {
     return topological_order().has_value();
   }

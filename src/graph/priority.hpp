@@ -25,9 +25,17 @@
 
 namespace jsweep::graph {
 
-enum class PriorityStrategy { None, BFS, LDCP, SLBD };
+/// Priority strategy selector (see the file comment for semantics).
+enum class PriorityStrategy {
+  None,  ///< no ordering hint (FIFO)
+  BFS,   ///< breadth-first levels, upwind first
+  LDCP,  ///< longest distance on critical path
+  SLBD,  ///< shortest local boundary distance (the paper's default)
+};
 
+/// Lower-case name of a strategy ("none", "bfs", "ldcp", "slbd").
 [[nodiscard]] std::string to_string(PriorityStrategy s);
+/// Parse a strategy name (inverse of to_string; unknown names throw).
 [[nodiscard]] PriorityStrategy priority_from_string(const std::string& name);
 
 /// BFS level of every vertex (sources = level 0), following edges forward.
@@ -59,11 +67,12 @@ std::vector<double> vertex_priorities(PriorityStrategy strategy,
 std::vector<double> patch_priorities(PriorityStrategy strategy,
                                      const Digraph& patch_graph);
 
-/// The paper's combined (patch, angle) priority:
-///   prior(p, a) = prior(a) * C + prior(p)
-/// with C large enough that angle priority always dominates.
+/// The C of the paper's combined (patch, angle) priority
+///   prior(p, a) = prior(a) * C + prior(p),
+/// large enough that angle priority always dominates.
 inline constexpr double kAngleFactor = 1e8;
 
+/// The combined (patch, angle) priority (see kAngleFactor).
 [[nodiscard]] inline double combined_priority(double angle_prior,
                                               double patch_prior) {
   return angle_prior * kAngleFactor + patch_prior;

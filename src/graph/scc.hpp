@@ -23,13 +23,15 @@
 
 namespace jsweep::graph {
 
+/// Output of strongly_connected_components().
 struct SccResult {
-  std::int32_t num_components = 0;
+  std::int32_t num_components = 0;  ///< number of SCCs found
   /// Component id per vertex. Ids are assigned in *reverse* topological
   /// order of the condensation (Tarjan completion order): if the
   /// condensation has an edge C1 → C2 then C1's id is greater than C2's.
   std::vector<std::int32_t> component_of;
 
+  /// Vertex count of every component, indexed by component id.
   [[nodiscard]] std::vector<std::int32_t> component_sizes() const;
 };
 
@@ -46,7 +48,9 @@ struct CycleStats {
   std::int32_t largest_component = 0;  ///< vertices in the largest such SCC
   std::int64_t edges_cut = 0;          ///< feedback edges selected
 
+  /// Whether any feedback edge was cut.
   [[nodiscard]] bool any() const { return edges_cut > 0; }
+  /// Accumulate another direction's diagnostics into this one.
   void merge(const CycleStats& o) {
     cyclic_components += o.cyclic_components;
     largest_component = std::max(largest_component, o.largest_component);
@@ -54,12 +58,13 @@ struct CycleStats {
   }
 };
 
+/// Output of break_cycles().
 struct CycleBreak {
   /// cut[e] = 1 iff edges[e] is a selected feedback edge. Removing all
   /// selected edges leaves an acyclic graph.
   std::vector<char> cut;
-  SccResult scc;
-  CycleStats stats;
+  SccResult scc;     ///< the SCC decomposition the cut was checked against
+  CycleStats stats;  ///< cut-edge / component diagnostics
 };
 
 /// Deterministic feedback-edge selection: a global iterative DFS (roots in

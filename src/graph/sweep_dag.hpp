@@ -23,27 +23,27 @@ namespace jsweep::graph {
 /// Dependency edge inside a patch: local vertex u feeds local vertex v
 /// through mesh face `face`.
 struct LocalEdge {
-  std::int32_t u;
-  std::int32_t v;
-  std::int64_t face;
+  std::int32_t u;     ///< upwind local vertex
+  std::int32_t v;     ///< downwind local vertex
+  std::int64_t face;  ///< mesh face carrying the flux
 };
 
 /// Dependency entering the patch: remote cell `src_cell` (owned by
 /// `src_patch`) feeds local vertex v through `face`.
 struct RemoteInEdge {
-  PatchId src_patch;
-  std::int64_t src_cell;
-  std::int64_t face;
-  std::int32_t v;
+  PatchId src_patch;      ///< patch owning the upwind cell
+  std::int64_t src_cell;  ///< global id of the upwind cell
+  std::int64_t face;      ///< mesh face carrying the flux
+  std::int32_t v;         ///< downwind local vertex
 };
 
 /// Dependency leaving the patch: local vertex u feeds remote cell
 /// `dst_cell` (owned by `dst_patch`) through `face`.
 struct RemoteOutEdge {
-  std::int32_t u;
-  std::int64_t face;
-  PatchId dst_patch;
-  std::int64_t dst_cell;
+  std::int32_t u;         ///< upwind local vertex
+  std::int64_t face;      ///< mesh face carrying the flux
+  PatchId dst_patch;      ///< patch owning the downwind cell
+  std::int64_t dst_cell;  ///< global id of the downwind cell
 };
 
 /// Face id encoding for structured meshes, where faces have no global
@@ -54,9 +54,11 @@ struct RemoteOutEdge {
                                                      mesh::FaceDir out_dir) {
   return upwind.value() * 6 + static_cast<int>(out_dir);
 }
+/// The upwind cell encoded in a structured face id.
 [[nodiscard]] inline CellId structured_face_cell(std::int64_t face) {
   return CellId{face / 6};
 }
+/// The outgoing face direction encoded in a structured face id.
 [[nodiscard]] inline mesh::FaceDir structured_face_dir(std::int64_t face) {
   return static_cast<mesh::FaceDir>(face % 6);
 }
@@ -71,21 +73,23 @@ struct RemoteOutEdge {
 /// the next sweep, which makes the remaining graph acyclic while keeping
 /// results independent of execution order.
 struct PatchTaskGraph {
-  PatchId patch;
-  AngleId angle;
+  PatchId patch;                  ///< the patch this graph describes
+  AngleId angle;                  ///< the sweep direction's angle id
   std::int32_t num_vertices = 0;  ///< = patch's local cell count
   Digraph local;                  ///< intra-patch dependencies
-  std::vector<LocalEdge> local_edges;
-  std::vector<RemoteInEdge> remote_in;
-  std::vector<RemoteOutEdge> remote_out;
+  std::vector<LocalEdge> local_edges;    ///< intra-patch edges with faces
+  std::vector<RemoteInEdge> remote_in;   ///< dependencies entering the patch
+  std::vector<RemoteOutEdge> remote_out; ///< dependencies leaving the patch
   /// Initial dependency count per local vertex (local + remote upwind).
   std::vector<std::int32_t> initial_counts;
   /// Cut (lagged) edges, excluded from the dependency structure above.
   std::vector<LocalEdge> lagged_local;
-  std::vector<RemoteInEdge> lagged_in;
-  std::vector<RemoteOutEdge> lagged_out;
+  std::vector<RemoteInEdge> lagged_in;   ///< lagged edges entering the patch
+  std::vector<RemoteOutEdge> lagged_out; ///< lagged edges leaving the patch
 
+  /// Work units this task retires (one per local cell).
   [[nodiscard]] std::int64_t total_work() const { return num_vertices; }
+  /// Whether any edge of this task was cut (lagged).
   [[nodiscard]] bool has_lagged() const {
     return !lagged_local.empty() || !lagged_in.empty() ||
            !lagged_out.empty();
@@ -97,10 +101,12 @@ struct PatchTaskGraph {
 /// flux one way only). Computed identically on every rank from the global
 /// cell digraph, so all ranks agree on what is lagged.
 struct CycleCut {
-  std::unordered_set<std::int64_t> lagged_faces;
-  CycleStats stats;
+  std::unordered_set<std::int64_t> lagged_faces;  ///< faces with lagged flux
+  CycleStats stats;                               ///< SCC / cut diagnostics
 
+  /// Whether the direction needed no cutting.
   [[nodiscard]] bool empty() const { return lagged_faces.empty(); }
+  /// Whether `face` is a cut (lagged) face.
   [[nodiscard]] bool contains(std::int64_t face) const {
     return lagged_faces.count(face) != 0;
   }
@@ -112,6 +118,7 @@ struct CycleCut {
 /// overload is a free no-op: an orthogonal grid's sweep graph is acyclic
 /// for every direction.
 CycleCut compute_cycle_cut(const mesh::TetMesh& m, const mesh::Vec3& omega);
+/// \copydoc compute_cycle_cut(const mesh::TetMesh&, const mesh::Vec3&)
 CycleCut compute_cycle_cut(const mesh::StructuredMesh& m,
                            const mesh::Vec3& omega);
 
@@ -145,6 +152,8 @@ Digraph build_patch_level_digraph(const std::vector<PatchTaskGraph>& graphs,
 Digraph build_patch_digraph(const mesh::StructuredMesh& m,
                             const partition::PatchSet& ps,
                             const mesh::Vec3& omega);
+/// Tet-mesh overload of \ref build_patch_digraph: same contract, face
+/// orientation taken from the tet face normals.
 Digraph build_patch_digraph(const mesh::TetMesh& m,
                             const partition::PatchSet& ps,
                             const mesh::Vec3& omega);
@@ -156,6 +165,8 @@ Digraph build_patch_digraph(const mesh::TetMesh& m,
 Digraph build_global_cell_digraph(const mesh::StructuredMesh& m,
                                   const mesh::Vec3& omega,
                                   const CycleCut* cut = nullptr);
+/// Tet-mesh overload of \ref build_global_cell_digraph: same contract,
+/// with edges induced by the tet face normals.
 Digraph build_global_cell_digraph(const mesh::TetMesh& m,
                                   const mesh::Vec3& omega,
                                   const CycleCut* cut = nullptr);

@@ -1,0 +1,175 @@
+#include "metrics/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "support/check.hpp"
+
+namespace jsweep::metrics {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering, matching the BENCH_*.json
+/// convention (%.9g).
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// JSON has no inf/nan literals; map non-finite values to null.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  return num(v);
+}
+
+/// Escape a string for a Prometheus label value or a JSON string.
+std::string escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// `{k="v",...}` (empty string for no labels); `extra` appends one more
+/// pair (the histogram `le`).
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    out += out.empty() ? "{" : ",";
+    out += key + "=\"" + escape(value) + "\"";
+  }
+  if (!extra_key.empty()) {
+    out += out.empty() ? "{" : ",";
+    out += extra_key + "=\"" + escape(extra_value) + "\"";
+  }
+  if (!out.empty()) out += "}";
+  return out;
+}
+
+/// `{"k": "v", ...}` for the JSON series' label object. Built with plain
+/// appends (no operator+ chains) to sidestep gcc 12's -Wrestrict false
+/// positive on `const char* + std::string&&`.
+std::string json_labels(const Labels& labels) {
+  std::string out;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += escape(labels[i].first);
+    out += "\": \"";
+    out += escape(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  for (const FamilySnapshot& fam : registry.snapshot()) {
+    out += "# HELP " + fam.name + " " + escape(fam.help) + "\n";
+    out += "# TYPE " + fam.name + " " + to_string(fam.kind) + "\n";
+    for (const SeriesSnapshot& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::kCounter:
+          out += fam.name + prom_labels(s.labels) + " " +
+                 std::to_string(s.counter_value) + "\n";
+          break;
+        case Kind::kGauge:
+          out += fam.name + prom_labels(s.labels) + " " + num(s.gauge_value) +
+                 "\n";
+          break;
+        case Kind::kHistogram: {
+          std::int64_t cumulative = 0;
+          for (std::size_t b = 0; b < s.histogram.counts.size(); ++b) {
+            cumulative += s.histogram.counts[b];
+            const std::string le = b < s.histogram.bounds.size()
+                                       ? num(s.histogram.bounds[b])
+                                       : "+Inf";
+            out += fam.name + "_bucket" + prom_labels(s.labels, "le", le) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += fam.name + "_sum" + prom_labels(s.labels) + " " +
+                 num(s.histogram.sum) + "\n";
+          out += fam.name + "_count" + prom_labels(s.labels) + " " +
+                 std::to_string(s.histogram.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\n  \"schema\": \"jsweep-metrics-v1\",\n"
+                    "  \"metrics\": [";
+  const std::vector<FamilySnapshot> families = registry.snapshot();
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const FamilySnapshot& fam = families[f];
+    out += std::string(f == 0 ? "" : ",") + "\n    {\"name\": \"" +
+           escape(fam.name) + "\", \"kind\": \"" + to_string(fam.kind) +
+           "\", \"help\": \"" + escape(fam.help) + "\", \"series\": [";
+    for (std::size_t i = 0; i < fam.series.size(); ++i) {
+      const SeriesSnapshot& s = fam.series[i];
+      out += std::string(i == 0 ? "" : ",") + "\n      {\"labels\": " +
+             json_labels(s.labels) + ", ";
+      switch (fam.kind) {
+        case Kind::kCounter:
+          out += "\"value\": " + std::to_string(s.counter_value);
+          break;
+        case Kind::kGauge:
+          out += "\"value\": " + json_num(s.gauge_value);
+          break;
+        case Kind::kHistogram: {
+          out += "\"count\": " + std::to_string(s.histogram.count) +
+                 ", \"sum\": " + json_num(s.histogram.sum) +
+                 ", \"max\": " + json_num(s.histogram.max) +
+                 ", \"buckets\": [";
+          std::int64_t cumulative = 0;
+          for (std::size_t b = 0; b < s.histogram.counts.size(); ++b) {
+            cumulative += s.histogram.counts[b];
+            const std::string le = b < s.histogram.bounds.size()
+                                       ? json_num(s.histogram.bounds[b])
+                                       : "null";
+            out += std::string(b == 0 ? "" : ", ") + "{\"le\": " + le +
+                   ", \"count\": " + std::to_string(cumulative) + "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += fam.series.empty() ? "]}" : "\n    ]}";
+  }
+  out += families.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void write_snapshot(const Registry& registry, const std::string& path) {
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string body = json ? to_json(registry) : to_prometheus(registry);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  JSWEEP_CHECK_MSG(f != nullptr, "cannot write metrics snapshot " << path);
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  JSWEEP_CHECK_MSG(written == body.size(),
+                   "short write of metrics snapshot " << path);
+}
+
+}  // namespace jsweep::metrics

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file export.hpp
+/// Exposition of a metrics::Registry snapshot in the two formats the
+/// project's tooling consumes: Prometheus text (for a scrape endpoint or a
+/// node-exporter textfile collector) and a JSON snapshot following the
+/// BENCH_*.json conventions (%.9g numbers, non-finite mapped to null) so
+/// the same python that gates bench artifacts can gate metrics in CI.
+
+#include <string>
+
+namespace jsweep::metrics {
+
+class Registry;
+
+/// The registry in Prometheus text exposition format: # HELP / # TYPE
+/// headers per family, one line per series, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+/// The registry as a JSON document:
+/// `{"schema": "jsweep-metrics-v1", "metrics": [{name, kind, help,
+/// series: [{labels, ...values}]}]}`. Counter series carry `value`; gauge
+/// series `value`; histogram series `count`, `sum`, `max` and a `buckets`
+/// array of `{le, count}` (cumulative, `le: null` = +Inf).
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+/// Write a snapshot to `path`: JSON when the path ends in ".json",
+/// Prometheus text otherwise. Throws CheckError when the file cannot be
+/// written.
+void write_snapshot(const Registry& registry, const std::string& path);
+
+}  // namespace jsweep::metrics

@@ -1,0 +1,201 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace jsweep::metrics {
+
+namespace {
+
+/// Metric and label names follow the Prometheus grammar so exposition
+/// never needs escaping: [a-zA-Z_][a-zA-Z0-9_]*.
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || c == '_' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+/// Canonical label order: sorted by key (identity is order-insensitive).
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    JSWEEP_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                     "histogram bounds must be strictly increasing");
+  for (auto& s : shards_)
+    s.counts = std::vector<std::atomic<std::int64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v, int shard) {
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[static_cast<std::size_t>(shard) & (kShards - 1)];
+  s.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(s.sum, v);
+  detail::atomic_max(max_, v);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1, 0);
+  for (const auto& s : shards_)
+    for (std::size_t b = 0; b < out.size(); ++b)
+      out[b] += s.counts[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::int64_t Histogram::count() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_)
+    for (const auto& c : s.counts) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_)
+    total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+Registry::Registry() : epoch_(WallTimer::clock::now()) {}
+
+Registry::Family& Registry::family(const std::string& name,
+                                   const std::string& help, Kind kind) {
+  JSWEEP_CHECK_MSG(valid_name(name), "bad metric name \"" << name << '"');
+  for (auto& fam : families_) {
+    if (fam->name != name) continue;
+    JSWEEP_CHECK_MSG(fam->kind == kind,
+                     "metric " << name << " is a " << to_string(fam->kind)
+                               << ", requested as " << to_string(kind));
+    return *fam;
+  }
+  auto fam = std::make_unique<Family>();
+  fam->name = name;
+  fam->help = help;
+  fam->kind = kind;
+  families_.push_back(std::move(fam));
+  return *families_.back();
+}
+
+Registry::Series& Registry::series(Family& fam, Labels&& labels) {
+  for (const auto& [key, value] : labels)
+    JSWEEP_CHECK_MSG(valid_name(key),
+                     "bad label name \"" << key << "\" on " << fam.name);
+  Labels canon = canonical(std::move(labels));
+  for (auto& s : fam.series)
+    if (s->labels == canon) return *s;
+  auto s = std::make_unique<Series>();
+  s->labels = std::move(canon);
+  fam.series.push_back(std::move(s));
+  return *fam.series.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::kCounter), std::move(labels));
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Series& s = series(family(name, help, Kind::kGauge), std::move(labels));
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family(name, help, Kind::kHistogram);
+  if (fam.series.empty()) {
+    fam.bounds = bounds;
+  } else {
+    JSWEEP_CHECK_MSG(fam.bounds == bounds,
+                     "histogram " << name
+                                  << " re-registered with different bounds");
+  }
+  Series& s = series(fam, std::move(labels));
+  if (s.histogram == nullptr)
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *s.histogram;
+}
+
+std::vector<double> Registry::exponential_buckets(double start, double factor,
+                                                  int count) {
+  JSWEEP_CHECK_MSG(start > 0.0 && factor > 1.0 && count >= 1,
+                   "exponential_buckets(start > 0, factor > 1, count >= 1)");
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<FamilySnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& fam : families_) {
+    FamilySnapshot fs;
+    fs.name = fam->name;
+    fs.help = fam->help;
+    fs.kind = fam->kind;
+    for (const auto& s : fam->series) {
+      SeriesSnapshot ss;
+      ss.labels = s->labels;
+      switch (fam->kind) {
+        case Kind::kCounter:
+          ss.counter_value = s->counter->value();
+          break;
+        case Kind::kGauge:
+          ss.gauge_value = s->gauge->value();
+          break;
+        case Kind::kHistogram:
+          ss.histogram.bounds = s->histogram->bounds();
+          ss.histogram.counts = s->histogram->bucket_counts();
+          ss.histogram.count = 0;
+          for (const auto c : ss.histogram.counts) ss.histogram.count += c;
+          ss.histogram.sum = s->histogram->sum();
+          ss.histogram.max = s->histogram->max();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+}  // namespace jsweep::metrics

@@ -1,0 +1,260 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Live metrics: named counters, gauges and fixed-bucket histograms behind
+/// a thread-safe Registry.
+///
+/// Where `jsweep::trace` answers "why was that run slow" after the fact,
+/// this registry answers "what is the service doing right now": engines,
+/// the group pipeline, sessions and the sweep service publish always-on
+/// counters (tasks executed, streams routed), gauges (queue depth, busy/
+/// idle seconds, lane occupancy) and histograms (sweep wall time,
+/// activation latency, request latency) that a monitoring scrape can read
+/// mid-flight. Exposition lives in export.hpp (Prometheus text + JSON
+/// snapshot); trace_bridge.hpp folds post-mortem trace breakdowns into the
+/// same registry so the two layers cross-check.
+///
+/// Cost model, mirroring the trace recorder's null-pointer pattern: every
+/// instrumented component holds a `Registry*` that is null when metrics
+/// are off, so the hot path pays one pointer check. With a registry
+/// installed, Counter::inc and Histogram::observe are a relaxed atomic add
+/// into a per-shard cache line (pass the worker id as the shard to avoid
+/// false sharing) and never allocate; Gauge updates are one CAS loop.
+/// Instrument creation (Registry::counter etc.) takes a mutex and may
+/// allocate — do it once at setup and cache the returned pointer, which
+/// stays valid for the registry's lifetime.
+///
+/// Threading contract: creation calls are fully thread-safe; the same
+/// (name, labels) pair always yields the same instrument. Updates from any
+/// number of threads are safe. Reads (value()/snapshot()) are safe
+/// concurrently with updates and observe each shard atomically (a snapshot
+/// taken mid-update may split a logically simultaneous counter/histogram
+/// pair — totals are exact once writers quiesce).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace jsweep::metrics {
+
+/// Label set of one time series: (key, value) pairs, e.g.
+/// {{"rank", "0"}, {"group", "2"}}. Order-insensitive for identity (the
+/// registry canonicalizes by sorting on key).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Instrument kinds a registry can hold (one kind per metric name).
+enum class Kind : std::uint8_t {
+  kCounter,    ///< monotonically increasing integer
+  kGauge,      ///< arbitrary double, set or adjusted
+  kHistogram,  ///< fixed upper-bound buckets + sum + count + max
+};
+
+/// Exposition name of a kind ("counter" / "gauge" / "histogram").
+[[nodiscard]] const char* to_string(Kind kind);
+
+/// Number of cache-line-separated shards per counter/histogram; updates
+/// from up to this many concurrent writers never contend on a line.
+inline constexpr int kShards = 8;
+
+namespace detail {
+
+/// Lock-free add on an atomic double (fetch_add on doubles is C++20; this
+/// CAS loop keeps the module at the repo's language level).
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Lock-free max on an atomic double.
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic integer counter, sharded so concurrent writers touch
+/// different cache lines. Create via Registry::counter.
+class Counter {
+ public:
+  /// Add `n` (>= 0) on shard `shard` (any int; typically the worker id).
+  /// Relaxed atomic add — wait-free, allocation-free.
+  void inc(std::int64_t n = 1, int shard = 0) {
+    shards_[static_cast<std::size_t>(shard) & (kShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Current total across all shards.
+  [[nodiscard]] std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Double-valued gauge (queue depth, busy seconds, occupancy). Create via
+/// Registry::gauge.
+class Gauge {
+ public:
+  /// Overwrite the value (last writer wins).
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Adjust by `d` (CAS loop; safe from any number of threads).
+  void add(double d) { detail::atomic_add(v_, d); }
+  /// Current value.
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an observation v
+/// lands in the first bucket whose upper bound satisfies v <= bound, or in
+/// the implicit +Inf overflow bucket. Bucket counts and the running sum
+/// are sharded like Counter; the max is a single CAS-updated cell. Create
+/// via Registry::histogram.
+class Histogram {
+ public:
+  /// `bounds` are the finite upper bounds, strictly increasing (may be
+  /// empty: everything lands in +Inf). Fixed for the histogram's lifetime.
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Record one observation on shard `shard`. Allocation-free: a relaxed
+  /// bucket increment plus two CAS updates (sum, max).
+  void observe(double v, int shard = 0);
+
+  /// The finite upper bounds (the +Inf bucket is implicit).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (NOT cumulative), one per bound plus the final
+  /// +Inf overflow entry.
+  [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+  /// Total observations.
+  [[nodiscard]] std::int64_t count() const;
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const;
+  /// Largest observation so far (0 before the first observation).
+  [[nodiscard]] double max() const;
+
+ private:
+  struct alignas(64) Shard {
+    /// One atomic per bucket (bounds + overflow), preallocated.
+    std::vector<std::atomic<std::int64_t>> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Shard, kShards> shards_;
+  std::atomic<double> max_{0.0};
+};
+
+/// Full state of one histogram series at snapshot time.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< finite upper bounds
+  std::vector<std::int64_t> counts;   ///< per bucket (+Inf last), raw
+  std::int64_t count = 0;             ///< total observations
+  double sum = 0.0;                   ///< sum of observations
+  double max = 0.0;                   ///< largest observation
+};
+
+/// One (labels → value) time series of a family at snapshot time. Which
+/// value field is meaningful follows the family's Kind.
+struct SeriesSnapshot {
+  Labels labels;                    ///< canonical (key-sorted) label set
+  std::int64_t counter_value = 0;   ///< Kind::kCounter
+  double gauge_value = 0.0;         ///< Kind::kGauge
+  HistogramSnapshot histogram;      ///< Kind::kHistogram
+};
+
+/// All series of one metric name at snapshot time.
+struct FamilySnapshot {
+  std::string name;                    ///< metric name
+  std::string help;                    ///< one-line description
+  Kind kind = Kind::kCounter;          ///< instrument kind
+  std::vector<SeriesSnapshot> series;  ///< creation order
+};
+
+/// The instrument registry (see \ref metrics.hpp). One per monitored
+/// scope — typically one shared by every rank of an in-process cluster,
+/// with a `rank` label telling the series apart; its steady-clock epoch
+/// makes now_seconds() comparable across ranks.
+class Registry {
+ public:
+  /// Fixes the registry's steady-clock epoch.
+  Registry();
+
+  Registry(const Registry&) = delete;             ///< non-copyable
+  Registry& operator=(const Registry&) = delete;  ///< non-copyable
+
+  /// The counter `name` with `labels`, created on first use. Repeat calls
+  /// with the same (name, labels) return the same instrument; a name
+  /// already registered with a different kind throws. The returned
+  /// reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  /// The gauge `name` with `labels` (same contract as counter()).
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  /// The histogram `name` with `labels` and finite upper `bounds` (same
+  /// contract as counter(); all series of one name share one bound set —
+  /// differing bounds on a repeat call throw).
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  /// Seconds since the registry's construction (steady clock; comparable
+  /// across every thread and in-process rank sharing this registry).
+  [[nodiscard]] double now_seconds() const {
+    return std::chrono::duration<double>(WallTimer::clock::now() - epoch_)
+        .count();
+  }
+
+  /// `count` bounds start, start*factor, start*factor^2, ... (the usual
+  /// latency-histogram ladder). Requires start > 0, factor > 1, count >= 1.
+  [[nodiscard]] static std::vector<double> exponential_buckets(double start,
+                                                               double factor,
+                                                               int count);
+
+  /// Point-in-time copy of every family and series, in creation order.
+  /// Safe concurrently with updates (see the threading contract above).
+  [[nodiscard]] std::vector<FamilySnapshot> snapshot() const;
+
+ private:
+  struct Series {
+    Labels labels;  ///< canonical (key-sorted)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind = Kind::kCounter;
+    std::vector<double> bounds;  ///< histogram families only
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& family(const std::string& name, const std::string& help, Kind kind);
+  Series& series(Family& fam, Labels&& labels);
+
+  WallTimer::clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;  ///< creation order
+};
+
+}  // namespace jsweep::metrics

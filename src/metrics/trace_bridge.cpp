@@ -1,0 +1,44 @@
+#include "metrics/trace_bridge.hpp"
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "trace/critical_path.hpp"
+
+namespace jsweep::metrics {
+
+void fold_profile(const trace::ProfileReport& report, Registry& registry) {
+  for (const trace::RankBreakdown& rb : report.ranks) {
+    const Labels labels = {{"rank", std::to_string(rb.rank)}};
+    registry
+        .gauge("jsweep_trace_busy_seconds",
+               "worker execution seconds reconstructed from the trace",
+               labels)
+        .set(rb.busy_seconds);
+    registry
+        .gauge("jsweep_trace_idle_seconds",
+               "worker + master idle seconds reconstructed from the trace",
+               labels)
+        .set(rb.idle_seconds);
+    registry
+        .gauge("jsweep_trace_route_seconds",
+               "master routing seconds reconstructed from the trace", labels)
+        .set(rb.route_seconds);
+    registry
+        .gauge("jsweep_trace_pack_seconds",
+               "master pack/unpack seconds reconstructed from the trace",
+               labels)
+        .set(rb.pack_seconds);
+    registry
+        .gauge("jsweep_trace_collective_seconds",
+               "collective seconds reconstructed from the trace", labels)
+        .set(rb.collective_seconds);
+    registry
+        .gauge("jsweep_trace_executions",
+               "patch-program executions reconstructed from the trace",
+               labels)
+        .set(static_cast<double>(rb.executions));
+  }
+}
+
+}  // namespace jsweep::metrics

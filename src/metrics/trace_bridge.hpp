@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file trace_bridge.hpp
+/// Trace → metrics bridge: fold a post-mortem trace::ProfileReport's
+/// per-rank breakdowns into a registry as `jsweep_trace_*` gauges, so the
+/// two observability layers publish the same quantities side by side and
+/// can cross-check each other (the live `jsweep_engine_*` busy/idle gauges
+/// against the reconstructed trace spans — see test_metrics.cpp).
+
+namespace jsweep::trace {
+struct ProfileReport;
+}  // namespace jsweep::trace
+
+namespace jsweep::metrics {
+
+class Registry;
+
+/// Publish `report`'s per-rank breakdowns into `registry`: for each rank,
+/// gauges `jsweep_trace_busy_seconds`, `jsweep_trace_idle_seconds`,
+/// `jsweep_trace_route_seconds`, `jsweep_trace_pack_seconds`,
+/// `jsweep_trace_collective_seconds` and `jsweep_trace_executions`, each
+/// labelled {rank="<r>"}. Values are set (not added): re-folding a newer
+/// report overwrites the previous one.
+void fold_profile(const trace::ProfileReport& report, Registry& registry);
+
+}  // namespace jsweep::metrics

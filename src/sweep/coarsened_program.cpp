@@ -140,6 +140,8 @@ void CoarsenedSweepProgram::input(const core::Stream& s) {
                                           << " after it retired all work");
   if (s.data.empty()) {  // group-activation marker: sources are ready
     gate_open_ = true;
+    if (shared_.pipeline != nullptr)
+      shared_.pipeline->note_gate_opened(data_.fine().patch(), group_);
     return;
   }
   sn::FaceFluxWorkspace& flux =

@@ -1,7 +1,11 @@
 #include "sweep/group_pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
 
+#include "metrics/metrics.hpp"
 #include "support/check.hpp"
 #include "sweep/sweep_data.hpp"
 
@@ -82,6 +86,17 @@ void GroupPipeline::begin_pass(
       local_patches_.size() * static_cast<std::size_t>(xs_.groups());
   for (std::size_t i = 0; i < slots; ++i)
     remaining_[i].store(num_angles_, std::memory_order_relaxed);
+
+  if (metrics_ != nullptr) {
+    metric_passes_->inc();
+    pass_start_seconds_ = metrics_->now_seconds();
+    emit_seconds_.assign(slots, 0.0);
+    if (first_open_ == nullptr)
+      first_open_ = std::make_unique<std::atomic<double>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+      first_open_[i].store(std::numeric_limits<double>::infinity(),
+                           std::memory_order_relaxed);
+  }
 }
 
 void GroupPipeline::on_program_complete(PatchId p, GroupId g,
@@ -136,6 +151,74 @@ void GroupPipeline::on_program_complete(PatchId p, GroupId g,
                    lane_tag_offset_}};
     pending.push_back(std::move(s));
   }
+  if (metrics_ != nullptr) {
+    // slot indexes (p, gv); its successor (p, gv + 1) is the gated target.
+    emit_seconds_[slot + 1] = metrics_->now_seconds();
+    metric_activations_->inc(num_angles_);
+  }
+}
+
+void GroupPipeline::set_metrics(metrics::Registry* registry, int rank) {
+  metrics_ = registry;
+  if (registry == nullptr) return;
+  const metrics::Labels by_rank{{"rank", std::to_string(rank)}};
+  metric_passes_ = &registry->counter("jsweep_pipeline_passes_total",
+                                      "multigroup sweep passes", by_rank);
+  metric_activations_ =
+      &registry->counter("jsweep_pipeline_activations_total",
+                         "activation streams emitted to gated groups",
+                         by_rank);
+  metric_activation_latency_ = &registry->histogram(
+      "jsweep_pipeline_activation_latency_seconds",
+      "latency from activation emit to the patch-group gate opening",
+      metrics::Registry::exponential_buckets(1e-6, 4.0, 12), by_rank);
+  metric_fill_ = &registry->gauge(
+      "jsweep_pipeline_fill_seconds",
+      "pass time until every group's first gate opened", by_rank);
+  metric_group_open_.clear();
+  for (int g = 1; g < xs_.groups(); ++g) {
+    metrics::Labels labels = by_rank;
+    labels.emplace_back("group", std::to_string(g));
+    metric_group_open_.push_back(&registry->gauge(
+        "jsweep_pipeline_group_first_open_seconds",
+        "pass time at which the group's first gate opened", labels));
+  }
+}
+
+void GroupPipeline::note_gate_opened(PatchId p, GroupId g) {
+  if (metrics_ == nullptr) return;
+  const std::size_t slot =
+      local_index(p) * static_cast<std::size_t>(xs_.groups()) +
+      static_cast<std::size_t>(g.value());
+  const double now = metrics_->now_seconds();
+  double cur = first_open_[slot].load(std::memory_order_relaxed);
+  while (now < cur && !first_open_[slot].compare_exchange_weak(
+                          cur, now, std::memory_order_relaxed)) {
+  }
+}
+
+void GroupPipeline::finish_pass_metrics() {
+  if (metrics_ == nullptr || first_open_ == nullptr) return;
+  const int G = xs_.groups();
+  double fill = 0.0;
+  for (int g = 1; g < G; ++g) {
+    double group_first = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < local_patches_.size(); ++i) {
+      const std::size_t slot =
+          i * static_cast<std::size_t>(G) + static_cast<std::size_t>(g);
+      const double open = first_open_[slot].load(std::memory_order_relaxed);
+      const double emit = emit_seconds_[slot];
+      if (std::isfinite(open) && emit > 0.0 && open >= emit)
+        metric_activation_latency_->observe(open - emit);
+      group_first = std::min(group_first, open);
+    }
+    if (std::isfinite(group_first)) {
+      const double rel = group_first - pass_start_seconds_;
+      metric_group_open_[static_cast<std::size_t>(g - 1)]->set(rel);
+      fill = std::max(fill, rel);
+    }
+  }
+  metric_fill_->set(fill);
 }
 
 }  // namespace jsweep::sweep

@@ -50,6 +50,13 @@
 #include "sn/multigroup.hpp"
 #include "support/ids.hpp"
 
+namespace jsweep::metrics {
+class Counter;
+class Gauge;
+class Histogram;
+class Registry;
+}  // namespace jsweep::metrics
+
 namespace jsweep::sweep {
 
 /// Rank-local multigroup gate/source coordinator (see
@@ -107,6 +114,25 @@ class GroupPipeline {
     return phi_groups_[static_cast<std::size_t>(g.value())];
   }
 
+  /// Observability (optional): publish live `jsweep_pipeline_*` metrics —
+  /// pass counts, activation-stream counts, the emit→gate-open latency
+  /// histogram and per-group first-open / pipeline-fill times — into
+  /// `registry`, labelled by `rank`. Call once before the first
+  /// begin_pass(); null (the default) disables and every hook below
+  /// degrades to one pointer check.
+  void set_metrics(metrics::Registry* registry, int rank);
+
+  /// Called by a gated program (worker context) when its activation stream
+  /// arrives: records the earliest gate-open time of (p, g). num_angles
+  /// sibling programs report concurrently; a CAS-min keeps the first.
+  /// No-op without set_metrics().
+  void note_gate_opened(PatchId p, GroupId g);
+
+  /// End of one pass (call after the engine run): folds the recorded
+  /// emit/open timestamps into the activation-latency histogram and the
+  /// per-group first-open and fill gauges. No-op without set_metrics().
+  void finish_pass_metrics();
+
  private:
   [[nodiscard]] std::size_t local_index(PatchId p) const;
   [[nodiscard]] std::size_t phi_slot(std::size_t patch_idx, int g,
@@ -132,6 +158,21 @@ class GroupPipeline {
 
   std::vector<std::vector<double>> q_groups_;    ///< per group, global size
   std::vector<std::vector<double>> phi_groups_;  ///< per group, global size
+
+  // Live metrics (all null/empty without set_metrics()).
+  metrics::Registry* metrics_ = nullptr;
+  metrics::Counter* metric_passes_ = nullptr;
+  metrics::Counter* metric_activations_ = nullptr;
+  metrics::Histogram* metric_activation_latency_ = nullptr;
+  metrics::Gauge* metric_fill_ = nullptr;
+  std::vector<metrics::Gauge*> metric_group_open_;  ///< one per group >= 1
+  double pass_start_seconds_ = 0.0;
+  /// emit_seconds_[patch_idx * G + g]: when (p, g)'s activation streams
+  /// were emitted. Single writer: the completer of (p, g-1) runs alone.
+  std::vector<double> emit_seconds_;
+  /// first_open_[patch_idx * G + g]: earliest gate-open among (p, g)'s
+  /// angle programs (CAS-min; the siblings open concurrently on workers).
+  std::unique_ptr<std::atomic<double>[]> first_open_;
 };
 
 }  // namespace jsweep::sweep

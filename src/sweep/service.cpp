@@ -1,7 +1,9 @@
 #include "sweep/service.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "metrics/metrics.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -13,6 +15,30 @@ SweepService::SweepService(comm::Context& ctx, ServiceConfig config)
                    "ServiceConfig::num_workers must be >= 1");
   JSWEEP_CHECK_MSG(config_.max_batch >= 1,
                    "ServiceConfig::max_batch must be >= 1");
+  if (metrics::Registry* reg = config_.metrics; reg != nullptr) {
+    const metrics::Labels by_rank{{"rank",
+                                   std::to_string(ctx_.rank().value())}};
+    metric_requests_ = &reg->counter("jsweep_service_requests_total",
+                                     "solve requests admitted", by_rank);
+    metric_batches_ = &reg->counter("jsweep_service_batches_total",
+                                    "same-plan batches executed", by_rank);
+    metric_engine_runs_ =
+        &reg->counter("jsweep_service_engine_runs_total",
+                      "host-engine runs across all batches", by_rank);
+    metric_retired_lanes_ = &reg->counter(
+        "jsweep_service_retired_lanes_total",
+        "request lanes retired (converged or iteration-capped)", by_rank);
+    metric_request_latency_ = &reg->histogram(
+        "jsweep_service_request_latency_seconds",
+        "batch-start to lane-retired latency per request",
+        metrics::Registry::exponential_buckets(1e-3, 4.0, 10), by_rank);
+    metric_batch_size_ = &reg->histogram(
+        "jsweep_service_batch_size", "request lanes fused per batch",
+        metrics::Registry::exponential_buckets(1.0, 2.0, 6), by_rank);
+    metric_lane_occupancy_ =
+        &reg->gauge("jsweep_service_lane_occupancy",
+                    "request lanes active in the current batch", by_rank);
+  }
 }
 
 SweepService::~SweepService() = default;
@@ -34,6 +60,7 @@ void SweepService::enqueue(SolveRequest request) {
                            << " cells but the plan sweeps "
                            << request.plan->patches().num_cells());
   ++stats_.requests;
+  if (metric_requests_ != nullptr) metric_requests_->inc();
   queue_.push_back(std::move(request));
 }
 
@@ -47,6 +74,7 @@ SweepService::PlanRig& SweepService::rig_for(
   core::EngineConfig ec;
   ec.num_workers = config_.num_workers;
   ec.termination = core::TerminationMode::KnownWorkload;
+  ec.metrics = config_.metrics;
   rig->engine = std::make_unique<core::Engine>(ctx_, ec);
   for (int lane = 0; lane < config_.max_batch; ++lane) {
     SolveConfig sc;
@@ -54,6 +82,7 @@ SweepService::PlanRig& SweepService::rig_for(
     sc.num_workers = config_.num_workers;
     sc.max_lag_sweeps = config_.max_lag_sweeps;
     sc.lag_tolerance = config_.lag_tolerance;
+    sc.metrics.registry = config_.metrics;
     rig->lanes.push_back(std::make_unique<SweepSession>(
         ctx_, plan, sc, *rig->engine, lane));
   }
@@ -88,6 +117,13 @@ void SweepService::solve_batch(PlanRig& rig,
   for (std::size_t k = K; k < rig.lanes.size(); ++k)
     set_lane_enabled(rig, k, false);
 
+  const double batch_start =
+      config_.metrics != nullptr ? config_.metrics->now_seconds() : 0.0;
+  if (metric_batch_size_ != nullptr) {
+    metric_batch_size_->observe(static_cast<double>(K));
+    metric_lane_occupancy_->set(static_cast<double>(K));
+  }
+
   std::size_t active_count = K;
   while (active_count > 0) {
     // Stage every active lane's emission density for this sweep.
@@ -103,6 +139,7 @@ void SweepService::solve_batch(PlanRig& rig,
     for (;;) {
       rig.engine->run();
       ++stats_.engine_runs;
+      if (metric_engine_runs_ != nullptr) metric_engine_runs_->inc();
       ++lag_sweeps;
       if (!rig.plan->has_cycles()) break;
       double residual = 0.0;
@@ -130,6 +167,12 @@ void SweepService::solve_batch(PlanRig& rig,
         lane.active = false;
         --active_count;
         set_lane_enabled(rig, k, false);  // retired: sit out further runs
+        if (metric_retired_lanes_ != nullptr) {
+          metric_retired_lanes_->inc();
+          metric_lane_occupancy_->add(-1.0);
+          metric_request_latency_->observe(config_.metrics->now_seconds() -
+                                           batch_start);
+        }
       }
     }
   }
@@ -139,6 +182,7 @@ void SweepService::solve_batch(PlanRig& rig,
     out[indices[k]].lanes_in_batch = static_cast<int>(K);
   }
   ++stats_.batches;
+  if (metric_batches_ != nullptr) metric_batches_->inc();
 }
 
 std::vector<SolveResponse> SweepService::drain() {

@@ -42,6 +42,11 @@ struct ServiceConfig {
   /// keeps batched solves bitwise identical to standalone sessions.
   int max_lag_sweeps = 1;
   double lag_tolerance = 0.0;  ///< stop the lag loop below this residual
+  /// When non-null, the service, its engines and its lane sessions publish
+  /// live metrics into this registry: request-latency and batch-size
+  /// histograms, lane occupancy, retired-lane counts, plus everything the
+  /// engines and sessions emit (metrics/metrics.hpp). Null (default) = off.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// One solve request: a shared plan plus everything this request varies.
@@ -123,6 +128,16 @@ class SweepService {
   std::vector<SolveRequest> queue_;
   std::vector<std::unique_ptr<PlanRig>> rigs_;
   ServiceStats stats_;
+
+  // Live instruments, created once at construction when config_.metrics is
+  // set (all null otherwise).
+  metrics::Counter* metric_requests_ = nullptr;
+  metrics::Counter* metric_batches_ = nullptr;
+  metrics::Counter* metric_engine_runs_ = nullptr;
+  metrics::Counter* metric_retired_lanes_ = nullptr;
+  metrics::Histogram* metric_request_latency_ = nullptr;
+  metrics::Histogram* metric_batch_size_ = nullptr;
+  metrics::Gauge* metric_lane_occupancy_ = nullptr;
 };
 
 }  // namespace jsweep::sweep

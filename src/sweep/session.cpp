@@ -1,7 +1,9 @@
 #include "sweep/session.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "metrics/metrics.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -62,7 +64,27 @@ SweepSession::SweepSession(comm::Context& ctx,
         *pc.multigroup, plan_->patches(), plan_->num_angles(),
         std::move(discs), lane_ * plan_->tags_per_request());
     pipeline_->register_patches(plan_->local_patches());
+    pipeline_->set_metrics(config_.metrics.registry, ctx_.rank().value());
     shared_.pipeline = pipeline_.get();
+  }
+
+  if (metrics::Registry* reg = config_.metrics.registry; reg != nullptr) {
+    const metrics::Labels labels{{"rank", std::to_string(ctx_.rank().value())},
+                                 {"lane", std::to_string(lane_)}};
+    metric_sweeps_ = &reg->counter("jsweep_session_sweeps_total",
+                                   "transport sweeps executed", labels);
+    metric_sweep_seconds_ = &reg->histogram(
+        "jsweep_session_sweep_seconds", "wall time per sweep or pass",
+        metrics::Registry::exponential_buckets(1e-4, 4.0, 10), labels);
+    metric_lag_residual_ = &reg->gauge(
+        "jsweep_session_lag_residual",
+        "max lagged-face change at the last commit", labels);
+    metric_lag_sweeps_ = &reg->gauge(
+        "jsweep_session_lag_sweeps",
+        "engine runs of the last sweep (cycle-lag convergence)", labels);
+    metric_idle_fraction_ = &reg->gauge(
+        "jsweep_session_idle_fraction",
+        "worker idle share of the last engine run", labels);
   }
 
   if (!pc.patch_angle_parallelism) {
@@ -93,6 +115,7 @@ void SweepSession::install_programs(bool record_clusters) {
       ec.num_workers = config_.num_workers;
       ec.termination = core::TerminationMode::KnownWorkload;
       ec.recorder = config_.trace.recorder;
+      ec.metrics = config_.metrics.registry;
       engine_ = std::make_unique<core::Engine>(ctx_, ec);
       target = engine_.get();
       shared_.stream_buffers = &engine_->buffer_pool();
@@ -100,6 +123,7 @@ void SweepSession::install_programs(bool record_clusters) {
       core::BspConfig bc;
       bc.num_threads = std::max(0, config_.num_workers - 1);
       bc.recorder = config_.trace.recorder;
+      bc.metrics = config_.metrics.registry;
       bsp_ = std::make_unique<core::BspEngine>(ctx_, bc);
       shared_.stream_buffers = &bsp_->buffer_pool();
     }
@@ -162,6 +186,7 @@ void SweepSession::activate_coarsened() {
   ec.num_workers = config_.num_workers;
   ec.termination = core::TerminationMode::KnownWorkload;
   ec.recorder = config_.trace.recorder;
+  ec.metrics = config_.metrics.registry;
   auto coarse_engine = std::make_unique<core::Engine>(ctx_, ec);
   if (pipeline_ != nullptr) pipeline_->clear_programs();
   for (std::size_t i = 0; i < coarse_data_.size(); ++i) {
@@ -206,10 +231,17 @@ void SweepSession::run_engine_once() {
   if (engine_) {
     engine_->run();
     stats_.engine = engine_->stats();
+    const double busy = stats_.engine.worker_busy_seconds;
+    const double idle = stats_.engine.worker_idle_seconds;
+    stats_.last_idle_fraction =
+        busy + idle > 0.0 ? idle / (busy + idle) : 0.0;
   } else {
     bsp_->run();
     stats_.bsp = bsp_->stats();
+    stats_.last_idle_fraction = 0.0;  // BSP stats carry no busy/idle split
   }
+  if (metric_idle_fraction_ != nullptr)
+    metric_idle_fraction_->set(stats_.last_idle_fraction);
 }
 
 void SweepSession::run_engines_once() {
@@ -255,6 +287,12 @@ std::vector<double> SweepSession::sweep(
 
   ++stats_.sweeps;
   stats_.last_sweep_seconds = timer.seconds();
+  if (metric_sweeps_ != nullptr) {
+    metric_sweeps_->inc();
+    metric_sweep_seconds_->observe(stats_.last_sweep_seconds);
+    metric_lag_sweeps_->set(stats_.last_lag_sweeps);
+    metric_lag_residual_->set(stats_.last_lag_residual);
+  }
   return phi;
 }
 
@@ -289,6 +327,8 @@ void SweepSession::begin_sweep(const std::vector<double>& q_per_ster) {
 double SweepSession::commit_lagged() {
   if (lagged_store_.empty()) return 0.0;
   stats_.last_lag_residual = lagged_store_.commit(ctx_);
+  if (metric_lag_residual_ != nullptr)
+    metric_lag_residual_->set(stats_.last_lag_residual);
   return stats_.last_lag_residual;
 }
 
@@ -299,6 +339,7 @@ std::vector<double> SweepSession::finish_sweep() {
   ctx_.allreduce_sum(phi);
   if (host_ != nullptr) stats_.engine = host_->stats();
   ++stats_.sweeps;
+  if (metric_sweeps_ != nullptr) metric_sweeps_->inc();
   return phi;
 }
 
@@ -344,6 +385,7 @@ void SweepSession::multigroup_pass(
     if (pipeline_ != nullptr) {
       pipeline_->begin_pass(q_base);
       run_engine_once();
+      pipeline_->finish_pass_metrics();
     } else {
       // Group-barriered baseline: one engine run (global barrier) per
       // group, ascending, with the same fresh in-scatter accumulation the
@@ -387,6 +429,12 @@ void SweepSession::multigroup_pass(
   ++stats_.multigroup_passes;
   stats_.sweeps += G;
   stats_.last_sweep_seconds = timer.seconds();
+  if (metric_sweeps_ != nullptr) {
+    metric_sweeps_->inc(G);
+    metric_sweep_seconds_->observe(stats_.last_sweep_seconds);
+    metric_lag_sweeps_->set(stats_.last_lag_sweeps);
+    metric_lag_residual_->set(stats_.last_lag_residual);
+  }
 }
 
 sn::MultigroupResult SweepSession::solve_multigroup(

@@ -55,6 +55,14 @@ struct TraceConfig {
   trace::Recorder* recorder = nullptr;  ///< null disables tracing
 };
 
+/// Live-metrics knob: when `registry` is non-null the session, its engines
+/// and its group pipeline publish live counters/gauges/histograms into it
+/// (metrics/metrics.hpp; exposition via metrics/export.hpp). Null
+/// (default) = off — every update site degrades to one pointer check.
+struct MetricsConfig {
+  metrics::Registry* registry = nullptr;  ///< null disables metrics
+};
+
 /// The execution-time knobs of one session — everything a solve request
 /// may vary without touching the plan. Structure-determining knobs live in
 /// PlanConfig (plan.hpp).
@@ -71,6 +79,8 @@ struct SolveConfig {
   double lag_tolerance = 0.0;  ///< stop the lag loop below this residual
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
+  /// Live metrics (off unless a registry is supplied).
+  MetricsConfig metrics;
 };
 
 /// Counters and timings accumulated across a session's lifetime. Cycle
@@ -92,6 +102,9 @@ struct SolveStats {
   int cyclic_angles = 0;     ///< directions that needed a cut
   int last_lag_sweeps = 0;   ///< engine runs of the last sweep() call
   double last_lag_residual = 0.0;  ///< max lagged-face change, last commit
+  /// Worker idle share, idle / (busy + idle), of the last data-driven
+  /// engine run (0 on BSP runs, whose stats carry no busy/idle split).
+  double last_idle_fraction = 0.0;
 };
 
 /// A solve session over a shared immutable plan (see \ref session.hpp).
@@ -231,6 +244,14 @@ class SweepSession {
   std::vector<std::unique_ptr<CoarsenedSweepData>> coarse_data_;
   std::vector<CoarsenedSweepProgram*> coarse_programs_;
   bool coarsened_active_ = false;
+
+  // Live instruments, created once at construction when
+  // config_.metrics.registry is set (all null otherwise).
+  metrics::Counter* metric_sweeps_ = nullptr;
+  metrics::Histogram* metric_sweep_seconds_ = nullptr;
+  metrics::Gauge* metric_lag_residual_ = nullptr;
+  metrics::Gauge* metric_lag_sweeps_ = nullptr;
+  metrics::Gauge* metric_idle_fraction_ = nullptr;
 
   SolveStats stats_;
 };

@@ -22,6 +22,7 @@ SolveConfig solve_config_of(const SolverConfig& config) {
   sc.max_lag_sweeps = config.max_lag_sweeps;
   sc.lag_tolerance = config.lag_tolerance;
   sc.trace = config.trace;
+  sc.metrics = config.metrics;
   return sc;
 }
 

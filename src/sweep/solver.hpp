@@ -36,6 +36,7 @@
 /// | max_lag_sweeps              | SolveConfig::max_lag_sweeps       |
 /// | lag_tolerance               | SolveConfig::lag_tolerance        |
 /// | trace                       | SolveConfig::trace                |
+/// | metrics                     | SolveConfig::metrics              |
 
 #include <memory>
 #include <vector>
@@ -80,6 +81,8 @@ struct SolverConfig {
   bool group_pipelining = true;
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
+  /// Live metrics (off unless a registry is supplied).
+  MetricsConfig metrics;
 };
 
 /// Historical name of the session stats (the facade returns the session's

@@ -139,6 +139,8 @@ void SweepPatchProgram::input(const core::Stream& s) {
                                           << " after it retired all work");
   if (s.data.empty()) {  // group-activation marker: sources are ready
     gate_open_ = true;
+    if (shared_.pipeline != nullptr)
+      shared_.pipeline->note_gate_opened(data_.patch(), options_.group);
     return;
   }
   sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_, lag_group());
