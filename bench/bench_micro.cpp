@@ -13,8 +13,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -210,6 +213,174 @@ void run_grind_suite() {
   grind_structured(32);
   grind_kobayashi(32);
   grind_tet();
+}
+
+// --- Group-set grind suite -------------------------------------------------
+//
+// G = 8 groups swept through sweep_cell_set at W ∈ {1, 2, 4, 8} vs G
+// scalar per-group sweeps. Per-group ψ sums must match the scalar path
+// bitwise at every width (the batched kernels never reassociate within a
+// lane), the batched passes must be allocation-free, and CI gates the
+// w4 rate at >= 1.5x the w1 batched rate on this problem.
+
+void run_group_set_grind_suite() {
+  bench::print_header(
+      "grind-set", "group-set batched sweep kernels vs scalar per-group",
+      "structured 32^3, G=8, one ordinate; cell-groups/sec per set width; "
+      "per-group lane sums must match the scalar sweeps bitwise");
+  const int n = 32;
+  constexpr int kGroups = 8;
+  const mesh::StructuredMesh m({n, n, n}, {1, 1, 1});
+  const auto cells = static_cast<std::size_t>(m.num_cells());
+  const sn::Ordinate ang{mesh::normalized({0.5, 0.6, 0.62}), 1, 0};
+  const std::int64_t work = m.num_cells() * kGroups;
+
+  // Distinct per-group data so a lane/group mixup cannot cancel out.
+  const auto sigma_of = [](std::size_t c, int g) {
+    return 0.3 + 0.15 * g + 0.01 * static_cast<double>(c % 5);
+  };
+  const auto q_of = [](std::size_t c, int g) {
+    return 0.25 + 0.05 * g + 0.005 * static_cast<double>(c % 3);
+  };
+
+  // Geometry carrier for the batched kernel (its xs is group 0's; σ_t for
+  // every lane comes from the strided array below).
+  sn::CellXs carrier_xs;
+  carrier_xs.sigma_t.resize(cells);
+  carrier_xs.sigma_s.assign(cells, 0.0);
+  carrier_xs.source.assign(cells, 0.0);
+  for (std::size_t c = 0; c < cells; ++c)
+    carrier_xs.sigma_t[c] = sigma_of(c, 0);
+  const sn::StructuredDD disc(m, std::move(carrier_xs));
+  const std::vector<sn::CellFaceSlots> slots =
+      sn::build_identity_slots(disc, ang);
+
+  // Scalar reference: G independent per-group dense sweeps. Its per-group
+  // ψ sums anchor the bitwise gate at every width.
+  std::vector<std::unique_ptr<sn::StructuredDD>> group_disc;
+  std::vector<std::vector<double>> group_q;
+  for (int g = 0; g < kGroups; ++g) {
+    sn::CellXs xs;
+    xs.sigma_t.resize(cells);
+    xs.sigma_s.assign(cells, 0.0);
+    xs.source.assign(cells, 0.0);
+    std::vector<double> q(cells);
+    for (std::size_t c = 0; c < cells; ++c) {
+      xs.sigma_t[c] = sigma_of(c, g);
+      q[c] = q_of(c, g);
+    }
+    group_disc.push_back(std::make_unique<sn::StructuredDD>(m, std::move(xs)));
+    group_q.push_back(std::move(q));
+  }
+  sn::FaceFluxWorkspace ws_scalar;
+  ws_scalar.prepare(m.num_cells() * 6);
+  std::array<double, kGroups> scalar_sums{};
+  const auto scalar_pass = [&] {
+    double total = 0.0;
+    for (int g = 0; g < kGroups; ++g) {
+      ws_scalar.reset();
+      double sum = 0.0;
+      for (std::int64_t c = 0; c < m.num_cells(); ++c)
+        sum += group_disc[static_cast<std::size_t>(g)]->sweep_cell(
+            CellId{c}, ang, group_q[static_cast<std::size_t>(g)],
+            sn::FaceFluxView{&ws_scalar,
+                             &slots[static_cast<std::size_t>(c)]});
+      scalar_sums[static_cast<std::size_t>(g)] = sum;
+      total += sum;
+    }
+    return total;
+  };
+  const GrindResult scalar = measure_grind(work, scalar_pass);
+  std::printf("  %-18s %12.3g cell-groups/s (per-group scalar)\n",
+              "scalar", scalar.cells_per_sec);
+  bench::record({"grind_set/structured_32/scalar",
+                 static_cast<double>(work) / scalar.cells_per_sec, 1, work,
+                 {{"cell_groups_per_sec", scalar.cells_per_sec}}});
+
+  double w1_rate = 0.0;
+  for (const int width : {1, 2, 4, 8}) {
+    // Repack q / σ_t set-strided ([c * W + lane]) per group set.
+    const int num_sets = kGroups / width;
+    std::vector<std::vector<double>> q_set(
+        static_cast<std::size_t>(num_sets));
+    std::vector<std::vector<double>> sigma_set(
+        static_cast<std::size_t>(num_sets));
+    for (int s = 0; s < num_sets; ++s) {
+      auto& qs = q_set[static_cast<std::size_t>(s)];
+      auto& ss = sigma_set[static_cast<std::size_t>(s)];
+      qs.resize(cells * static_cast<std::size_t>(width));
+      ss.resize(cells * static_cast<std::size_t>(width));
+      for (std::size_t c = 0; c < cells; ++c) {
+        for (int l = 0; l < width; ++l) {
+          qs[c * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(l)] = q_of(c, s * width + l);
+          ss[c * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(l)] = sigma_of(c, s * width + l);
+        }
+      }
+    }
+    sn::FaceFluxWorkspace ws;
+    ws.prepare(m.num_cells() * 6 * width);
+    std::array<double, kGroups> batched_sums{};
+    const auto batched_pass = [&] {
+      std::array<double, kGroups> lane_sum{};
+      double psi[sn::kMaxGroupSetWidth];
+      for (int s = 0; s < num_sets; ++s) {
+        ws.reset();
+        const double* qs = q_set[static_cast<std::size_t>(s)].data();
+        const double* ss = sigma_set[static_cast<std::size_t>(s)].data();
+        for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+          disc.sweep_cell_set(
+              CellId{c}, ang, width, qs, ss,
+              sn::FaceFluxSetView{&ws, &slots[static_cast<std::size_t>(c)],
+                                  width},
+              psi);
+          for (int l = 0; l < width; ++l)
+            lane_sum[static_cast<std::size_t>(s * width + l)] += psi[l];
+        }
+      }
+      batched_sums = lane_sum;
+      double total = 0.0;
+      for (int g = 0; g < kGroups; ++g)
+        total += lane_sum[static_cast<std::size_t>(g)];
+      return total;
+    };
+    const GrindResult r = measure_grind(work, batched_pass);
+    if (width == 1) w1_rate = r.cells_per_sec;
+    const double speedup = r.cells_per_sec / w1_rate;
+    char name[32];
+    std::snprintf(name, sizeof(name), "w%d", width);
+    std::printf("  %-18s %12.3g cell-groups/s  %5.2fx vs w1  "
+                "allocs/pass: %lld\n",
+                name, r.cells_per_sec, speedup,
+                static_cast<long long>(r.allocs_per_pass));
+    for (int g = 0; g < kGroups; ++g) {
+      if (batched_sums[static_cast<std::size_t>(g)] !=
+          scalar_sums[static_cast<std::size_t>(g)]) {
+        std::fprintf(stderr,
+                     "FATAL: w%d group %d diverges from the scalar sweep "
+                     "(%.17g vs %.17g)\n",
+                     width, g, batched_sums[static_cast<std::size_t>(g)],
+                     scalar_sums[static_cast<std::size_t>(g)]);
+        std::exit(1);
+      }
+    }
+    if (r.allocs_per_pass != 0) {
+      std::fprintf(stderr,
+                   "FATAL: w%d batched pass allocated %lld times (steady "
+                   "state must be allocation-free)\n",
+                   width, static_cast<long long>(r.allocs_per_pass));
+      std::exit(1);
+    }
+    bench::record({std::string("grind_set/structured_32/") + name,
+                   static_cast<double>(work) / r.cells_per_sec, 1, work,
+                   {{"cell_groups_per_sec", r.cells_per_sec},
+                    {"speedup_vs_w1", speedup},
+                    {"speedup_vs_scalar",
+                     r.cells_per_sec / scalar.cells_per_sec},
+                    {"allocs_per_pass",
+                     static_cast<double>(r.allocs_per_pass)}}});
+  }
 }
 
 // --- Metrics-overhead suite ------------------------------------------------
@@ -478,6 +649,7 @@ BENCHMARK(BM_SfcCodes)->Arg(0)->Arg(1);
 int main(int argc, char** argv) {
   jsweep::bench::JsonReport report(argc, argv, "bench_micro");
   run_grind_suite();
+  run_group_set_grind_suite();
   run_metrics_overhead_suite();
   // The Google-Benchmark suite only runs when explicitly requested, so
   // `bench_micro --json` stays a fast grind-rate probe for CI.

@@ -9,6 +9,8 @@
 */
 // Run with --help for the full flag list.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +47,7 @@ struct Options {
   int n = 16;
   int sn = 4;
   int groups = 1;
+  int group_set = 1;
   bool group_barrier = false;
   std::string engine = "jsweep";   // jsweep | bsp | serial
   int ranks = 4;
@@ -75,6 +78,10 @@ void usage() {
   --groups=G                      energy groups (default 1); G > 1 solves a
                                   downscatter-cascade multigroup problem with
                                   group-pipelined sweeps (see --group-barrier)
+  --group-set=W                   group-set width (default 1): sweep W
+                                  consecutive groups per program in SIMD
+                                  lanes, within-set downscatter lagged one
+                                  pass; needs --groups=G > 1
   --group-barrier                 disable group pipelining: one engine run
                                   (and a global barrier) per group per pass —
                                   the ablation baseline
@@ -103,8 +110,41 @@ void usage() {
 )");
 }
 
+/// Strict integer flag parsing: the whole value must be a base-10 integer
+/// in int range. `--groups=abc` or `--groups=` refuse with a usage hint
+/// instead of silently becoming 0 (the old atoi behavior).
+bool parse_int_flag(const char* flag, const std::string& text, int& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE ||
+      v < INT_MIN || v > INT_MAX) {
+    std::fprintf(stderr, "%s needs an integer, got '%s' (try --help)\n", flag,
+                 text.c_str());
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+/// Strict floating-point flag parsing, same contract as parse_int_flag().
+bool parse_double_flag(const char* flag, const std::string& text,
+                       double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    std::fprintf(stderr, "%s needs a number, got '%s' (try --help)\n", flag,
+                 text.c_str());
+    return false;
+  }
+  out = v;
+  return true;
+}
+
 std::optional<Options> parse(int argc, char** argv) {
   Options opt;
+  bool ok = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&](const char* name) -> std::optional<std::string> {
@@ -112,41 +152,42 @@ std::optional<Options> parse(int argc, char** argv) {
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
       return std::nullopt;
     };
+    const auto int_flag = [&](const char* name, int& out) {
+      const auto v = value(name);
+      if (v) ok = ok && parse_int_flag(name, *v, out);
+      return v.has_value();
+    };
+    const auto double_flag = [&](const char* name, double& out) {
+      const auto v = value(name);
+      if (v) ok = ok && parse_double_flag(name, *v, out);
+      return v.has_value();
+    };
     if (arg == "--help") {
       usage();
       return std::nullopt;
     } else if (auto v = value("--mesh")) {
       opt.mesh = *v;
-    } else if (auto v = value("--n")) {
-      opt.n = std::atoi(v->c_str());
-    } else if (auto v = value("--sn")) {
-      opt.sn = std::atoi(v->c_str());
-    } else if (auto v = value("--groups")) {
-      opt.groups = std::atoi(v->c_str());
+    } else if (int_flag("--n", opt.n)) {
+    } else if (int_flag("--sn", opt.sn)) {
+    } else if (int_flag("--groups", opt.groups)) {
+    } else if (int_flag("--group-set", opt.group_set)) {
     } else if (arg == "--group-barrier") {
       opt.group_barrier = true;
     } else if (auto v = value("--engine")) {
       opt.engine = *v;
-    } else if (auto v = value("--ranks")) {
-      opt.ranks = std::atoi(v->c_str());
-    } else if (auto v = value("--workers")) {
-      opt.workers = std::atoi(v->c_str());
-    } else if (auto v = value("--grain")) {
-      opt.grain = std::atoi(v->c_str());
-    } else if (auto v = value("--patch-cells")) {
-      opt.patch_cells = std::atoi(v->c_str());
+    } else if (int_flag("--ranks", opt.ranks)) {
+    } else if (int_flag("--workers", opt.workers)) {
+    } else if (int_flag("--grain", opt.grain)) {
+    } else if (int_flag("--patch-cells", opt.patch_cells)) {
     } else if (auto v = value("--priority")) {
       opt.priority = *v;
     } else if (arg == "--coarsened") {
       opt.coarsened = true;
     } else if (auto v = value("--cycle-policy")) {
       opt.cycle_policy = *v;
-    } else if (auto v = value("--lag-sweeps")) {
-      opt.lag_sweeps = std::atoi(v->c_str());
-    } else if (auto v = value("--tolerance")) {
-      opt.tolerance = std::atof(v->c_str());
-    } else if (auto v = value("--max-iterations")) {
-      opt.max_iterations = std::atoi(v->c_str());
+    } else if (int_flag("--lag-sweeps", opt.lag_sweeps)) {
+    } else if (double_flag("--tolerance", opt.tolerance)) {
+    } else if (int_flag("--max-iterations", opt.max_iterations)) {
     } else if (auto v = value("--vtk")) {
       opt.vtk = *v;
     } else if (auto v = value("--trace")) {
@@ -159,6 +200,24 @@ std::optional<Options> parse(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag '%s' (try --help)\n", arg.c_str());
       return std::nullopt;
     }
+    if (!ok) return std::nullopt;
+  }
+  if (opt.groups < 1) {
+    std::fprintf(stderr, "--groups must be >= 1, got %d (try --help)\n",
+                 opt.groups);
+    return std::nullopt;
+  }
+  if (opt.group_set < 1 || opt.group_set > sn::kMaxGroupSetWidth) {
+    std::fprintf(stderr, "--group-set must be in [1, %d], got %d (try "
+                         "--help)\n",
+                 sn::kMaxGroupSetWidth, opt.group_set);
+    return std::nullopt;
+  }
+  if (opt.group_set > 1 && opt.groups <= 1) {
+    std::fprintf(stderr, "--group-set=%d needs a multigroup solve "
+                         "(--groups=G > 1)\n",
+                 opt.group_set);
+    return std::nullopt;
   }
   return opt;
 }
@@ -176,10 +235,13 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
       table, mesh.materials(), mesh.num_cells(), opt.groups);
   sn::MultigroupOptions mg;
   mg.inner = {opt.tolerance, opt.max_iterations, false};
+  mg.group_set_width = opt.group_set;
   std::printf(
-      "%lld cells, %d patches, S%d (%d angles), %d groups, engine=%s%s\n",
+      "%lld cells, %d patches, S%d (%d angles), %d groups (set width %d), "
+      "engine=%s%s\n",
       static_cast<long long>(mesh.num_cells()), patches.num_patches(),
-      opt.sn, quad.num_angles(), opt.groups, opt.engine.c_str(),
+      opt.sn, quad.num_angles(), opt.groups, opt.group_set,
+      opt.engine.c_str(),
       opt.engine == "serial" ? ""
       : opt.group_barrier    ? " (group-barriered)"
                              : " (group-pipelined)");
@@ -210,7 +272,8 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
               return [gd, &quad](const std::vector<double>& q) {
                 return sn::serial_sweep(*gd, quad, q);
               };
-            }),
+            },
+            opt.group_set),
         mg);
   } else {
     comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
@@ -222,6 +285,7 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
           sweep::cycle_policy_from_string(opt.cycle_policy);
       plan_config.multigroup = &mxs;
       plan_config.group_pipelining = !opt.group_barrier;
+      plan_config.group_set_width = opt.group_set;
       const auto owner =
           partition::assign_contiguous(patches.num_patches(), ctx.size());
       const auto plan = sweep::SweepPlan::build(ctx, mesh, patches, owner,

@@ -1,5 +1,6 @@
 #include "metrics/export.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -160,10 +161,34 @@ std::string to_json(const Registry& registry) {
   return out;
 }
 
+namespace {
+
+/// Lower-cased extension of `path` (text after the last '.', '.' included),
+/// or "" when the final path component has no dot.
+std::string lower_extension(const std::string& path) {
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t sep = path.find_last_of('/');
+  if (dot == std::string::npos || (sep != std::string::npos && dot < sep)) {
+    return {};
+  }
+  std::string ext = path.substr(dot);
+  for (char& c : ext) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return ext;
+}
+
+}  // namespace
+
 void write_snapshot(const Registry& registry, const std::string& path) {
-  const bool json = path.size() >= 5 &&
-                    path.compare(path.size() - 5, 5, ".json") == 0;
-  const std::string body = json ? to_json(registry) : to_prometheus(registry);
+  const std::string ext = lower_extension(path);
+  JSWEEP_CHECK_MSG(ext == ".json" || ext == ".prom",
+                   "metrics snapshot path "
+                       << path << " has unknown extension \""
+                       << (ext.empty() ? "<none>" : ext)
+                       << "\"; use .json (JSON) or .prom (Prometheus text)");
+  const std::string body =
+      ext == ".json" ? to_json(registry) : to_prometheus(registry);
   std::FILE* f = std::fopen(path.c_str(), "w");
   JSWEEP_CHECK_MSG(f != nullptr, "cannot write metrics snapshot " << path);
   const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);

@@ -26,8 +26,9 @@ class Registry;
 [[nodiscard]] std::string to_json(const Registry& registry);
 
 /// Write a snapshot to `path`: JSON when the path ends in ".json",
-/// Prometheus text otherwise. Throws CheckError when the file cannot be
-/// written.
+/// Prometheus text when it ends in ".prom" (both case-insensitive).
+/// Throws CheckError for any other extension (or none) and when the file
+/// cannot be written.
 void write_snapshot(const Registry& registry, const std::string& path);
 
 }  // namespace jsweep::metrics

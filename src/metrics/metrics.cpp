@@ -1,6 +1,7 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
 
@@ -151,8 +152,11 @@ Histogram& Registry::histogram(const std::string& name,
 
 std::vector<double> Registry::exponential_buckets(double start, double factor,
                                                   int count) {
-  JSWEEP_CHECK_MSG(start > 0.0 && factor > 1.0 && count >= 1,
-                   "exponential_buckets(start > 0, factor > 1, count >= 1)");
+  JSWEEP_CHECK_MSG(std::isfinite(start) && std::isfinite(factor) &&
+                       start > 0.0 && factor > 1.0 && count >= 1,
+                   "exponential_buckets(finite start > 0, finite factor > 1, "
+                   "count >= 1); got start="
+                       << start << " factor=" << factor << " count=" << count);
   std::vector<double> bounds;
   bounds.reserve(static_cast<std::size_t>(count));
   double bound = start;

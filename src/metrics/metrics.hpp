@@ -225,7 +225,8 @@ class Registry {
   }
 
   /// `count` bounds start, start*factor, start*factor^2, ... (the usual
-  /// latency-histogram ladder). Requires start > 0, factor > 1, count >= 1.
+  /// latency-histogram ladder). Requires finite start > 0, finite
+  /// factor > 1, count >= 1; anything else throws CheckError.
   [[nodiscard]] static std::vector<double> exponential_buckets(double start,
                                                                double factor,
                                                                int count);

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#ifdef __AVX2__
+#include <immintrin.h>
+#endif
+
 #include "support/check.hpp"
 
 namespace jsweep::sn {
@@ -102,6 +106,103 @@ double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
   return psi_c;
 }
 
+// The set kernel runs the scalar op sequence in every lane: per axis the
+// same alpha (geometry is lane-independent), the same add order into
+// numerator/denominator, one divide, the same extrapolation + fixup. The
+// lanes only share loop control, never operands, so no reassociation can
+// occur and lane l is bitwise the scalar sweep of group g0+l wherever the
+// target does not contract a*b+c into an FMA.
+
+void StructuredDD::sweep_cell_set(CellId c, const Ordinate& ang, int width,
+                                  const double* q_per_ster,
+                                  const double* sigma_t,
+                                  const FaceFluxSetView& flux,
+                                  double* psi_out) const {
+  JSWEEP_ASSERT(width >= 1 && width <= kMaxGroupSetWidth);
+  const mesh::Vec3 sp = mesh_.spacing();
+  const mesh::Vec3 omega = ang.dir;
+
+  const std::array<double, 3> absmu{std::abs(omega.x), std::abs(omega.y),
+                                    std::abs(omega.z)};
+  const std::array<double, 3> cell_width{sp.x, sp.y, sp.z};
+  std::array<double, 3> alpha{};
+  for (int axis = 0; axis < 3; ++axis)
+    alpha[static_cast<std::size_t>(axis)] =
+        2.0 * absmu[static_cast<std::size_t>(axis)] /
+        cell_width[static_cast<std::size_t>(axis)];
+
+  const std::size_t base =
+      static_cast<std::size_t>(c.value()) * static_cast<std::size_t>(width);
+
+  // Gather lanes (epoch-checked workspace reads stay scalar)...
+  alignas(64) double psi_in[3][kMaxGroupSetWidth];
+  for (int axis = 0; axis < 3; ++axis)
+    for (int l = 0; l < width; ++l)
+      psi_in[axis][l] = flux.read_in(axis, l);  // vacuum slot reads 0
+
+#ifdef __AVX2__
+  if (width == 4) {
+    __m256d num = _mm256_loadu_pd(q_per_ster + base);
+    __m256d den = _mm256_loadu_pd(sigma_t + base);
+    __m256d in[3];
+    for (int axis = 0; axis < 3; ++axis) {
+      in[axis] = _mm256_load_pd(psi_in[axis]);
+      const __m256d a = _mm256_set1_pd(alpha[static_cast<std::size_t>(axis)]);
+      // Explicit mul+add intrinsics — never contracted into an FMA, so
+      // lanes match the scalar kernel bitwise.
+      num = _mm256_add_pd(num, _mm256_mul_pd(a, in[axis]));
+      den = _mm256_add_pd(den, a);
+    }
+    const __m256d psi = _mm256_div_pd(num, den);
+    _mm256_storeu_pd(psi_out, psi);
+    const __m256d two = _mm256_set1_pd(2.0);
+    const __m256d zero = _mm256_setzero_pd();
+    for (int axis = 0; axis < 3; ++axis) {
+      __m256d out =
+          _mm256_sub_pd(_mm256_mul_pd(two, psi), in[axis]);
+      if (fixup_) {
+        // Zero exactly the lanes with out < 0. (max_pd would also flush
+        // -0.0 to +0.0, diverging from the scalar `if (out < 0)` fixup.)
+        const __m256d neg = _mm256_cmp_pd(out, zero, _CMP_LT_OQ);
+        out = _mm256_andnot_pd(neg, out);
+      }
+      alignas(32) double lanes[4];
+      _mm256_store_pd(lanes, out);
+      for (int l = 0; l < 4; ++l) flux.write_out(axis, l, lanes[l]);
+    }
+    return;
+  }
+#endif
+
+  alignas(64) double numerator[kMaxGroupSetWidth];
+  alignas(64) double denominator[kMaxGroupSetWidth];
+#pragma omp simd
+  for (int l = 0; l < width; ++l) {
+    double num = q_per_ster[base + static_cast<std::size_t>(l)];
+    double den = sigma_t[base + static_cast<std::size_t>(l)];
+    for (int axis = 0; axis < 3; ++axis) {
+      num += alpha[static_cast<std::size_t>(axis)] * psi_in[axis][l];
+      den += alpha[static_cast<std::size_t>(axis)];
+    }
+    numerator[l] = num;
+    denominator[l] = den;
+  }
+#pragma omp simd
+  for (int l = 0; l < width; ++l)
+    psi_out[l] = numerator[l] / denominator[l];
+
+  for (int axis = 0; axis < 3; ++axis) {
+    alignas(64) double out[kMaxGroupSetWidth];
+#pragma omp simd
+    for (int l = 0; l < width; ++l) {
+      double v = 2.0 * psi_out[l] - psi_in[axis][l];
+      if (fixup_ && v < 0.0) v = 0.0;
+      out[l] = v;
+    }
+    for (int l = 0; l < width; ++l) flux.write_out(axis, l, out[l]);
+  }
+}
+
 void StructuredDD::face_ids(CellId c, const Ordinate& ang,
                             CellFaceIds& ids) const {
   const mesh::Vec3 omega = ang.dir;
@@ -191,6 +292,57 @@ double TetStep::sweep_cell(CellId c, const Ordinate& ang,
     if (dot(area, omega) > 0.0) flux[f] = psi_c;
   }
   return psi_c;
+}
+
+void TetStep::sweep_cell_set(CellId c, const Ordinate& ang, int width,
+                             const double* q_per_ster, const double* sigma_t,
+                             const FaceFluxSetView& flux,
+                             double* psi_out) const {
+  JSWEEP_ASSERT(width >= 1 && width <= kMaxGroupSetWidth);
+  const double volume = mesh_.cell_volume(c);
+  const mesh::Vec3 omega = ang.dir;
+
+  const std::size_t base =
+      static_cast<std::size_t>(c.value()) * static_cast<std::size_t>(width);
+
+  // Face geometry is lane-independent; gather inflow lanes scalar.
+  const auto& faces = mesh_.cell_faces(c);
+  std::array<double, 4> adot{};
+  alignas(64) double psi_in[4][kMaxGroupSetWidth];
+  for (int k = 0; k < 4; ++k) {
+    const mesh::Vec3 area =
+        mesh_.outward_area(faces[static_cast<std::size_t>(k)], c);
+    const double a = dot(area, omega);
+    adot[static_cast<std::size_t>(k)] = a;
+    if (a < 0.0)
+      for (int l = 0; l < width; ++l) psi_in[k][l] = flux.read_in(k, l);
+  }
+
+  alignas(64) double numerator[kMaxGroupSetWidth];
+  alignas(64) double denominator[kMaxGroupSetWidth];
+#pragma omp simd
+  for (int l = 0; l < width; ++l) {
+    numerator[l] = q_per_ster[base + static_cast<std::size_t>(l)] * volume;
+    denominator[l] = sigma_t[base + static_cast<std::size_t>(l)] * volume;
+  }
+  // Same k order and the same conditional adds as the scalar kernel.
+  for (int k = 0; k < 4; ++k) {
+    const double a = adot[static_cast<std::size_t>(k)];
+    if (a > 0.0) {
+#pragma omp simd
+      for (int l = 0; l < width; ++l) denominator[l] += a;
+    } else if (a < 0.0) {
+#pragma omp simd
+      for (int l = 0; l < width; ++l) numerator[l] += (-a) * psi_in[k][l];
+    }
+  }
+#pragma omp simd
+  for (int l = 0; l < width; ++l)
+    psi_out[l] = numerator[l] / denominator[l];
+
+  for (int k = 0; k < 4; ++k)
+    if (adot[static_cast<std::size_t>(k)] > 0.0)
+      for (int l = 0; l < width; ++l) flux.write_out(k, l, psi_out[l]);
 }
 
 void TetStep::face_ids(CellId c, const Ordinate& ang,

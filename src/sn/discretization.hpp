@@ -55,6 +55,22 @@ class Discretization {
                             const std::vector<double>& q_per_ster,
                             FaceFluxMap& flux) const = 0;
 
+  /// Group-set hot path: sweep cell `c` for `width` groups at once
+  /// (1 <= width <= kMaxGroupSetWidth). `q_per_ster` and `sigma_t` are
+  /// set-strided (`[c * width + lane]` — σ_t comes from the caller, not
+  /// this kernel's xs(), so one geometry carrier serves every group of the
+  /// set); face fluxes go through `flux` (slots strided lane-adjacent).
+  /// Writes the per-lane cell fluxes to `psi_out[0..width)`. Each lane
+  /// performs exactly the scalar sweep_cell operation sequence — the inner
+  /// loops vectorize *across* lanes (`#pragma omp simd`; AVX2 where
+  /// compiled in) without reassociating within a lane, so lane results are
+  /// bitwise equal to per-group scalar sweeps on targets without
+  /// contracted FMA and within 1 ULP otherwise.
+  virtual void sweep_cell_set(CellId c, const Ordinate& ang, int width,
+                              const double* q_per_ster, const double* sigma_t,
+                              const FaceFluxSetView& flux,
+                              double* psi_out) const = 0;
+
   /// Enumerate the global faces sweep_cell touches for (c, ang), in the
   /// entry order the dense kernel consumes slots. Build-time only.
   virtual void face_ids(CellId c, const Ordinate& ang,
@@ -82,6 +98,10 @@ class StructuredDD final : public Discretization {
   double sweep_cell(CellId c, const Ordinate& ang,
                     const std::vector<double>& q_per_ster,
                     FaceFluxMap& flux) const override;
+  void sweep_cell_set(CellId c, const Ordinate& ang, int width,
+                      const double* q_per_ster, const double* sigma_t,
+                      const FaceFluxSetView& flux,
+                      double* psi_out) const override;
   void face_ids(CellId c, const Ordinate& ang,
                 CellFaceIds& ids) const override;
 
@@ -116,6 +136,10 @@ class TetStep final : public Discretization {
   double sweep_cell(CellId c, const Ordinate& ang,
                     const std::vector<double>& q_per_ster,
                     FaceFluxMap& flux) const override;
+  void sweep_cell_set(CellId c, const Ordinate& ang, int width,
+                      const double* q_per_ster, const double* sigma_t,
+                      const FaceFluxSetView& flux,
+                      double* psi_out) const override;
   void face_ids(CellId c, const Ordinate& ang,
                 CellFaceIds& ids) const override;
 

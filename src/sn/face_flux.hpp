@@ -182,6 +182,33 @@ struct FaceFluxView {
   }
 };
 
+/// Widest group set a batched kernel supports (kernel lane arrays are
+/// fixed-size so `#pragma omp simd` loops have compile-time trip bounds).
+inline constexpr int kMaxGroupSetWidth = 8;
+
+/// The group-set counterpart of FaceFluxView: slot `s` of the scalar
+/// layout becomes `width` consecutive lanes at workspace index
+/// `s * width + lane`, one lane per group of the set. Keeping the lanes of
+/// one face adjacent makes the inner kernel loop unit-stride across the
+/// set. Missing `in` slots read 0 in every lane (vacuum boundary).
+struct FaceFluxSetView {
+  FaceFluxWorkspace* ws = nullptr;       ///< backing workspace
+  const CellFaceSlots* slots = nullptr;  ///< this cell's resolved slots
+  int width = 1;                         ///< lanes per slot (set width)
+
+  /// Incoming flux of entry k, lane `lane` (0 for vacuum entries).
+  [[nodiscard]] double read_in(int k, int lane) const {
+    const std::int32_t s = slots->in[static_cast<std::size_t>(k)];
+    return s >= 0 ? ws->read(s * width + lane) : 0.0;
+  }
+  /// Store the outgoing flux of entry k, lane `lane` (must have a slot).
+  void write_out(int k, int lane, double value) const {
+    const std::int32_t s = slots->out[static_cast<std::size_t>(k)];
+    JSWEEP_ASSERT(s >= 0);
+    ws->write(s * width + lane, value);
+  }
+};
+
 /// Thread-safe recycling pool of workspaces, shared by every program of a
 /// solver (workers borrow lazily, return at retirement). Keyed by slot
 /// count: the free list stays sorted by capacity, so acquire() finds the

@@ -58,8 +58,11 @@ void MultigroupXs::validate() const {
                                 << " at cell " << c);
         out_scatter += ss;
       }
+      // Pure scattering (Σ σ_s == σ_t) is a legal physical limit; the
+      // summation above can land a hair over σ_t in floating point, so the
+      // supercritical check carries both relative and absolute slack.
       JSWEEP_CHECK_MSG(
-          out_scatter <= st * (1.0 + 1e-12),
+          out_scatter <= st + 1e-12 * std::max(1.0, st),
           "group " << g << " scatters Σ_to σ_s = " << out_scatter
                    << " > σ_t = " << st << " at cell " << c
                    << " (scattering ratio above one diverges)");
@@ -166,20 +169,31 @@ MultigroupResult solve_multigroup(const MultigroupXs& xs,
 
 MultigroupSweepPass sequential_sweep_pass(const MultigroupXs& xs,
                                           const GroupSweepFactory& sweeps) {
+  return sequential_sweep_pass(xs, sweeps, 1);
+}
+
+MultigroupSweepPass sequential_sweep_pass(const MultigroupXs& xs,
+                                          const GroupSweepFactory& sweeps,
+                                          int group_set_width) {
+  JSWEEP_CHECK(group_set_width >= 1);
   auto group_sweep = std::make_shared<std::vector<SweepOperator>>();
   group_sweep->reserve(static_cast<std::size_t>(xs.groups()));
   for (int g = 0; g < xs.groups(); ++g) group_sweep->push_back(sweeps(g));
-  return [&xs, group_sweep](const std::vector<std::vector<double>>& q_base,
-                            std::vector<std::vector<double>>& phi) {
+  return [&xs, group_sweep, group_set_width](
+             const std::vector<std::vector<double>>& q_base,
+             std::vector<std::vector<double>>& phi) {
     const int G = xs.groups();
     const std::int64_t n = xs.cells();
     std::vector<double> q;
     for (int g = 0; g < G; ++g) {
       q = q_base[static_cast<std::size_t>(g)];
-      // Fresh Gauss-Seidel downscatter: groups below g were already swept
-      // this pass. `from` ascends — the accumulation order every pass
-      // implementation must share (see inscatter_term).
-      for (int from = 0; from < g; ++from) {
+      // Fresh Gauss-Seidel downscatter from groups of *earlier sets* —
+      // they were already swept this pass. Within-set downscatter is
+      // lagged and already inside q_base. `from` ascends — the
+      // accumulation order every pass implementation must share (see
+      // inscatter_term). At width 1 the bound is g, the classic scheme.
+      const int fresh_bound = group_set_base(g, group_set_width);
+      for (int from = 0; from < fresh_bound; ++from) {
         const auto& phi_from = phi[static_cast<std::size_t>(from)];
         for (std::int64_t c = 0; c < n; ++c)
           q[static_cast<std::size_t>(c)] += inscatter_term(
@@ -197,6 +211,8 @@ MultigroupResult solve_multigroup_sweeps(const MultigroupXs& xs,
   xs.validate();
   const int G = xs.groups();
   const std::int64_t n = xs.cells();
+  const int W = options.group_set_width;
+  JSWEEP_CHECK_MSG(W >= 1, "group_set_width must be >= 1, got " << W);
 
   MultigroupResult result;
   result.phi.assign(static_cast<std::size_t>(G),
@@ -225,6 +241,17 @@ MultigroupResult solve_multigroup_sweeps(const MultigroupXs& xs,
         auto& q = q_base[static_cast<std::size_t>(g)];
         q = emission_density(views[static_cast<std::size_t>(g)],
                              result.phi[static_cast<std::size_t>(g)]);
+        // Within-set downscatter, lagged one pass (previous pass's φ):
+        // the set's groups sweep together, so they cannot see each
+        // other's fresh flux. Empty at W == 1 — the classic scheme is
+        // untouched bitwise. `from` ascends, matching inscatter_term's
+        // accumulation-order contract.
+        for (int from = group_set_base(g, W); from < g; ++from) {
+          const auto& pf = result.phi[static_cast<std::size_t>(from)];
+          for (std::int64_t c = 0; c < n; ++c)
+            q[static_cast<std::size_t>(c)] += inscatter_term(
+                xs, from, g, c, pf[static_cast<std::size_t>(c)]);
+        }
         if (upscatter) {
           for (int from = g + 1; from < G; ++from) {
             const auto& pf = phi_frozen[static_cast<std::size_t>(from)];

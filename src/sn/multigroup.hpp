@@ -125,7 +125,20 @@ struct MultigroupOptions {
   SourceIterationOptions inner;      ///< within-group / pass-loop control
   int max_outer_iterations = 20;     ///< Gauss-Seidel passes over groups
   double outer_tolerance = 1e-5;     ///< relative L∞ over all groups
+  /// Group-set width W of the sweep-pass scheme: groups are batched into
+  /// contiguous sets [s*W, min((s+1)*W, G)) that sweep together.
+  /// Downscatter from *earlier sets* stays Gauss-Seidel fresh within a
+  /// pass; downscatter *within a set* is lagged one pass (Jacobi) so the
+  /// set's groups are independent and can run in SIMD lanes. W == 1 is the
+  /// classic per-group scheme, bitwise unchanged. Both fixed points agree;
+  /// the pass loop absorbs the within-set lag.
+  int group_set_width = 1;
 };
+
+/// First group of the set containing group g at set width `width`.
+[[nodiscard]] constexpr int group_set_base(int g, int width) {
+  return (g / width) * width;
+}
 
 /// Result of a multigroup solve (either outer scheme).
 struct MultigroupResult {
@@ -166,13 +179,16 @@ inline constexpr double kInvFourPi = 1.0 / (4.0 * std::numbers::pi);
 }
 
 /// One multigroup sweep pass. On entry `q_base[g]` holds the per-steradian
-/// source of group g *without* the fresh downscatter part: external source,
-/// within-group scattering of the previous pass's φ, and (when upscatter
-/// exists) the frozen upscatter in-scatter of the enclosing outer. The
-/// pass must, for g ascending, form q_g = q_base[g] + Σ_{g'<g}
-/// inscatter_term(g'→g, φ_new[g']) and overwrite `phi[g]` with one
-/// transport sweep of group g against q_g. The incoming contents of `phi`
-/// must not be read (all lagged terms are already inside q_base).
+/// source of group g *without* the fresh downscatter part from earlier
+/// sets: external source, within-group scattering of the previous pass's
+/// φ, the previous pass's *within-set* downscatter (groups in
+/// [set_base(g), g) at the scheme's set width — empty at W == 1), and
+/// (when upscatter exists) the frozen upscatter in-scatter of the
+/// enclosing outer. The pass must, for g ascending, form
+/// q_g = q_base[g] + Σ_{g' < set_base(g)} inscatter_term(g'→g, φ_new[g'])
+/// and overwrite `phi[g]` with one transport sweep of group g against q_g.
+/// The incoming contents of `phi` must not be read (all lagged terms are
+/// already inside q_base).
 using MultigroupSweepPass =
     std::function<void(const std::vector<std::vector<double>>& q_base,
                        std::vector<std::vector<double>>& phi)>;
@@ -186,13 +202,23 @@ using MultigroupSweepPass =
 [[nodiscard]] MultigroupSweepPass sequential_sweep_pass(
     const MultigroupXs& xs, const GroupSweepFactory& sweeps);
 
+/// Width-aware variant: the fresh in-scatter bound drops from g to
+/// set_base(g), matching a solve whose options carry the same
+/// `group_set_width`. The 2-argument overload is this at width 1.
+[[nodiscard]] MultigroupSweepPass sequential_sweep_pass(
+    const MultigroupXs& xs, const GroupSweepFactory& sweeps,
+    int group_set_width);
+
 /// Solve the multigroup system by iterating sweep passes: each inner
 /// iteration runs `pass` once (one sweep per group) and converges the
 /// joint downscatter + within-group system; with upscatter an outer
 /// Gauss-Seidel refreshes the frozen upscatter sources between inner
 /// sequences. Pure downscatter finishes in outer_iterations == 1. For
 /// G == 1 the iterates are bitwise-identical to source_iteration() with
-/// the same inner options.
+/// the same inner options. With options.group_set_width == W > 1 the
+/// q_base built here additionally carries the lagged within-set
+/// downscatter, and `pass` must use the set-relative fresh bound (see
+/// MultigroupSweepPass).
 MultigroupResult solve_multigroup_sweeps(const MultigroupXs& xs,
                                          const MultigroupSweepPass& pass,
                                          const MultigroupOptions& options = {});

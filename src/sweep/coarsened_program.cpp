@@ -118,6 +118,11 @@ CoarsenedSweepProgram::CoarsenedSweepProgram(const CoarsenedSweepData& data,
       fine_vertices_(data.fine().num_vertices()) {
   JSWEEP_CHECK_MSG(group_.value() == 0 || shared_.pipeline != nullptr,
                    "group > 0 programs need a GroupPipeline");
+  if (shared_.pipeline != nullptr) {
+    JSWEEP_CHECK(group_.value() < shared_.pipeline->num_sets());
+    set_width_ = shared_.pipeline->set_width_of(group_);
+    group_base_ = shared_.pipeline->set_base(group_);
+  }
 }
 
 void CoarsenedSweepProgram::init() {
@@ -126,8 +131,14 @@ void CoarsenedSweepProgram::init() {
   for (std::int32_t c = 0; c < data_.num_clusters(); ++c)
     if (counts_[static_cast<std::size_t>(c)] == 0) ready_.push(c);
   lease_.reset_for_run(shared_);
-  prepare_out_buffers(data_.fine(), out_items_, pending_);
-  phi_.assign(static_cast<std::size_t>(fine_vertices_), 0.0);
+  if (set_width_ > 1)
+    prepare_set_out_buffers(data_.fine(), set_width_, out_records_,
+                            out_lanes_, pending_);
+  else
+    prepare_out_buffers(data_.fine(), out_items_, pending_);
+  phi_.assign(static_cast<std::size_t>(fine_vertices_) *
+                  static_cast<std::size_t>(set_width_),
+              0.0);
   computed_ = 0;
   gate_open_ = shared_.pipeline == nullptr || group_ == GroupId{0};
   completion_reported_ = false;
@@ -145,23 +156,36 @@ void CoarsenedSweepProgram::input(const core::Stream& s) {
     return;
   }
   sn::FaceFluxWorkspace& flux =
-      lease_.ensure(shared_, data_.fine(), lag_group());
-  for_each_item(s.data, [&](const StreamItem& item) {
-    flux.write(data_.fine().slot_of_remote_in(item.face), item.value);
-    const std::int32_t v =
-        shared_.patches->local_index(CellId{item.cell});
+      lease_.ensure(shared_, data_.fine(), lag_group(), set_width_);
+  const auto deliver = [&](std::int64_t dst_cell) {
+    const std::int32_t v = shared_.patches->local_index(CellId{dst_cell});
     const auto c = data_.cluster_of()[static_cast<std::size_t>(v)];
     auto& count = counts_[static_cast<std::size_t>(c)];
     JSWEEP_CHECK_MSG(count > 0, "coarse dependency underflow at cluster "
                                     << c);
     if (--count == 0) ready_.push(c);
-  });
+  };
+  if (set_width_ > 1) {
+    for_each_set_item(
+        s.data, set_width_,
+        [&](std::int64_t cell, std::int64_t face, const double* lanes) {
+          const std::int32_t slot = data_.fine().slot_of_remote_in(face);
+          for (int l = 0; l < set_width_; ++l)
+            flux.write(slot * set_width_ + l, lanes[l]);
+          deliver(cell);
+        });
+  } else {
+    for_each_item(s.data, [&](const StreamItem& item) {
+      flux.write(data_.fine().slot_of_remote_in(item.face), item.value);
+      deliver(item.cell);
+    });
+  }
 }
 
 void CoarsenedSweepProgram::compute() {
   if (!gate_open_ || ready_.empty()) return;
   sn::FaceFluxWorkspace& flux =
-      lease_.ensure(shared_, data_.fine(), lag_group());
+      lease_.ensure(shared_, data_.fine(), lag_group(), set_width_);
   const std::int32_t c = ready_.top();
   ready_.pop();
 
@@ -169,9 +193,11 @@ void CoarsenedSweepProgram::compute() {
       shared_.quad->angle(data_.fine().angle().value());
   const sn::Discretization* disc = shared_.disc;
   const std::vector<double>* q_ptr = shared_.q_per_ster;
+  const double* sigma_t_lanes = nullptr;
   if (shared_.pipeline != nullptr) {
-    disc = shared_.pipeline->group_disc(group_);
-    q_ptr = &shared_.pipeline->q_group(group_);
+    disc = shared_.pipeline->group_disc(GroupId{group_base_});
+    q_ptr = &shared_.pipeline->q_set(group_);
+    sigma_t_lanes = shared_.pipeline->sigma_t_set(group_).data();
   }
   const std::vector<double>& q = *q_ptr;
   const auto& cells = shared_.patches->cells(key().patch);
@@ -179,21 +205,47 @@ void CoarsenedSweepProgram::compute() {
 
   for (const auto v : data_.members(c)) {
     const CellId cell = cells[static_cast<std::size_t>(v)];
-    const sn::FaceFluxView view{&flux, &fine.cell_slots(v)};
-    const double psi = disc->sweep_cell(cell, ang, q, view);
-    phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    if (set_width_ > 1) {
+      const sn::FaceFluxSetView view{&flux, &fine.cell_slots(v), set_width_};
+      double psi[sn::kMaxGroupSetWidth];
+      disc->sweep_cell_set(cell, ang, set_width_, q.data(), sigma_t_lanes,
+                           view, psi);
+      for (int l = 0; l < set_width_; ++l)
+        phi_[static_cast<std::size_t>(v) *
+                 static_cast<std::size_t>(set_width_) +
+             static_cast<std::size_t>(l)] = ang.weight * psi[l];
+    } else {
+      const sn::FaceFluxView view{&flux, &fine.cell_slots(v)};
+      const double psi = disc->sweep_cell(cell, ang, q, view);
+      phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    }
     ++computed_;
-    fine.for_out_remote(v, [&](const RemoteOut& e) {
-      out_items_[static_cast<std::size_t>(e.dst)].push_back(
-          StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
-    });
-    stage_lagged_writes(fine, shared_.lagged, lag_group(), v, flux);
+    if (set_width_ > 1) {
+      fine.for_out_remote(v, [&](const RemoteOut& e) {
+        out_records_[static_cast<std::size_t>(e.dst)].push_back(
+            SetStreamRecord{e.dst_cell, e.face});
+        auto& lanes = out_lanes_[static_cast<std::size_t>(e.dst)];
+        for (int l = 0; l < set_width_; ++l)
+          lanes.push_back(flux.read(e.slot * set_width_ + l));
+      });
+    } else {
+      fine.for_out_remote(v, [&](const RemoteOut& e) {
+        out_items_[static_cast<std::size_t>(e.dst)].push_back(
+            StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
+      });
+    }
+    stage_lagged_writes(fine, shared_.lagged, lag_group(), v, flux,
+                        set_width_);
   }
   data_.for_succ(c, [&](std::int32_t succ) {
     if (--counts_[static_cast<std::size_t>(succ)] == 0) ready_.push(succ);
   });
 
-  flush_out_streams(fine, shared_, key(), out_items_, pending_);
+  if (set_width_ > 1)
+    flush_set_out_streams(fine, shared_, set_width_, key(), out_records_,
+                          out_lanes_, pending_);
+  else
+    flush_out_streams(fine, shared_, key(), out_items_, pending_);
   const bool done = computed_ == fine_vertices_;
   lease_.release_if(done, shared_);
   if (done && !completion_reported_ && shared_.pipeline != nullptr) {

@@ -95,18 +95,26 @@ class CoarsenedSweepProgram final : public core::PatchProgram {
   }
 
   /// Per-local-vertex w_a·ψ contribution, valid after a run completes.
+  /// Group-set programs (set width W > 1) store W lanes per vertex,
+  /// `[v * W + lane]`, one per group of the set.
   [[nodiscard]] const std::vector<double>& phi_local() const { return phi_; }
 
  private:
-  /// See SweepPatchProgram::lag_group(): lagged-flux stride selection.
+  /// See SweepPatchProgram::lag_group(): lagged-flux stride selection
+  /// (base energy group of this program's set when pipelined).
   [[nodiscard]] GroupId lag_group() const {
-    return shared_.pipeline != nullptr ? group_ : shared_.current_group;
+    return shared_.pipeline != nullptr ? GroupId{group_base_}
+                                       : shared_.current_group;
   }
 
   const CoarsenedSweepData& data_;
   const SweepShared& shared_;
-  GroupId group_;
+  GroupId group_;  ///< group *set* id when pipelined (see SweepProgramOptions)
   std::int64_t fine_vertices_;
+  /// Lanes this program sweeps at once (pipeline set width; 1 otherwise).
+  int set_width_ = 1;
+  /// First energy group of this program's set (0 without a pipeline).
+  int group_base_ = 0;
 
   std::vector<std::int32_t> counts_;  ///< per cluster
   /// Ready clusters in creation order (min-heap on cluster id — creation
@@ -116,6 +124,9 @@ class CoarsenedSweepProgram final : public core::PatchProgram {
       ready_;
   WorkspaceLease lease_;
   std::vector<std::vector<StreamItem>> out_items_;  ///< by destination slot
+  /// Group-set out buffers (set_width_ > 1), mirroring SweepPatchProgram.
+  std::vector<std::vector<SetStreamRecord>> out_records_;
+  std::vector<std::vector<double>> out_lanes_;
   std::vector<core::Stream> pending_;
   std::vector<double> phi_;
   std::int64_t computed_ = 0;

@@ -69,6 +69,17 @@ void validate_plan_inputs(comm::Context& ctx, std::int64_t mesh_cells,
                        << " — compute() must retire at least one vertex "
                           "per batch");
   disc.xs().validate();
+  JSWEEP_CHECK_MSG(
+      config.group_set_width >= 1 &&
+          config.group_set_width <= sn::kMaxGroupSetWidth,
+      "PlanConfig::group_set_width = " << config.group_set_width
+                                       << " — must be in [1, "
+                                       << sn::kMaxGroupSetWidth << "]");
+  JSWEEP_CHECK_MSG(config.group_set_width == 1 || config.multigroup != nullptr,
+                   "PlanConfig::group_set_width = "
+                       << config.group_set_width
+                       << " needs a multigroup plan (set PlanConfig::"
+                          "multigroup)");
   if (config.multigroup != nullptr) {
     const auto& mxs = *config.multigroup;
     mxs.validate();
@@ -154,12 +165,15 @@ std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
       plan->local_patches_.push_back(PatchId{p});
 
   // Multigroup: one kernel per group (σ_t varies by group, the mesh does
-  // not); pipelined plans build one program set per group.
+  // not); pipelined plans build one program set per group *set* — the
+  // program count and activation traffic drop by the set width.
   if (config.multigroup != nullptr) {
     const auto& mxs = *config.multigroup;
     for (int g = 0; g < mxs.groups(); ++g)
       plan->group_discs_.push_back(disc_builder(mxs.group_view(g)));
-    if (config.group_pipelining) plan->groups_built_ = mxs.groups();
+    if (config.group_pipelining)
+      plan->groups_built_ = (mxs.groups() + config.group_set_width - 1) /
+                            config.group_set_width;
   }
 
   // Each lagged (cycle-cut) face carries one old-iterate value per energy

@@ -74,14 +74,25 @@ struct PlanConfig {
   /// between groups — the pipelining-ablation baseline. Both modes compute
   /// bitwise-identical fluxes.
   bool group_pipelining = true;
+  /// Group-set width W (Adams-style groupset aggregation): pipelined
+  /// multigroup plans build one program per (patch, angle, SET) where set
+  /// s covers groups [s*W, min((s+1)*W, G)), cutting program count and
+  /// activation traffic by W and batching the kernel inner loop across the
+  /// set's groups (SIMD lanes). The scheme's in-scatter bound follows W in
+  /// every mode (see sn::MultigroupOptions::group_set_width); W == 1 is
+  /// the classic per-group system, bitwise unchanged. Requires multigroup;
+  /// 1 <= W <= sn::kMaxGroupSetWidth.
+  int group_set_width = 1;
 };
 
 /// One engine-registrable program of the plan: index of its (shared,
-/// group-independent) SweepTaskData, its energy group, and its static
+/// group-independent) SweepTaskData, its group set, and its static
 /// scheduling priority.
 struct PlanProgram {
   std::size_t data_index = 0;  ///< into SweepPlan task data
-  GroupId group{0};            ///< energy group this program sweeps
+  /// Group *set* this program sweeps for group-pipelined plans (set s =
+  /// groups [s*W, min((s+1)*W, G))); always GroupId{0} otherwise.
+  GroupId group{0};
   double priority = 0.0;       ///< combined (task, patch) priority
 };
 
@@ -129,9 +140,19 @@ class SweepPlan {
   [[nodiscard]] int num_groups() const {
     return config_.multigroup != nullptr ? config_.multigroup->groups() : 1;
   }
-  /// Program sets per (patch, angle): num_groups() when the plan is
+  /// Program sets per (patch, angle): num_group_sets() when the plan is
   /// group-pipelined, 1 otherwise (single-group task system).
   [[nodiscard]] int groups_built() const { return groups_built_; }
+  /// Group-set width W the plan was built with (1 unless configured).
+  [[nodiscard]] int group_set_width() const {
+    return config_.group_set_width;
+  }
+  /// Group sets of the solve: ceil(num_groups() / W). The final set is
+  /// ragged when W does not divide G.
+  [[nodiscard]] int num_group_sets() const {
+    return (num_groups() + config_.group_set_width - 1) /
+           config_.group_set_width;
+  }
   /// Group g's kernel (σ_t varies by group); empty for single-group plans.
   [[nodiscard]] const sn::Discretization* group_disc(int g) const {
     return group_discs_[static_cast<std::size_t>(g)].get();

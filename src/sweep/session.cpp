@@ -62,7 +62,8 @@ SweepSession::SweepSession(comm::Context& ctx,
       discs.push_back(plan_->group_disc(g));
     pipeline_ = std::make_unique<GroupPipeline>(
         *pc.multigroup, plan_->patches(), plan_->num_angles(),
-        std::move(discs), lane_ * plan_->tags_per_request());
+        std::move(discs), pc.group_set_width,
+        lane_ * plan_->tags_per_request());
     pipeline_->register_patches(plan_->local_patches());
     pipeline_->set_metrics(config_.metrics.registry, ctx_.rank().value());
     shared_.pipeline = pipeline_.get();
@@ -389,11 +390,16 @@ void SweepSession::multigroup_pass(
     } else {
       // Group-barriered baseline: one engine run (global barrier) per
       // group, ascending, with the same fresh in-scatter accumulation the
-      // serial reference and the pipeline use (inscatter_term).
+      // serial reference and the pipeline use (inscatter_term). At group
+      // set width W > 1 the fresh bound drops to the set base — within-set
+      // downscatter is already in q_base, lagged one pass by the solve —
+      // so barriered and pipelined passes stay bitwise comparable.
+      const int W = plan_->config().group_set_width;
       const sn::Discretization* base_disc = shared_.disc;
       for (int g = 0; g < G; ++g) {
         q_current_ = q_base[static_cast<std::size_t>(g)];
-        for (int from = 0; from < g; ++from) {
+        const int fresh_bound = sn::group_set_base(g, W);
+        for (int from = 0; from < fresh_bound; ++from) {
           const auto& pf = phi[static_cast<std::size_t>(from)];
           for (std::int64_t c = 0; c < n; ++c)
             q_current_[static_cast<std::size_t>(c)] += sn::inscatter_term(
@@ -445,13 +451,25 @@ sn::MultigroupResult SweepSession::solve_multigroup(
   JSWEEP_CHECK_MSG(plan_->config().multigroup != nullptr,
                    "solve_multigroup() needs a multigroup plan "
                    "(PlanConfig::multigroup)");
+  // The block scheme must match the plan's program structure: the solve's
+  // group-set width is the plan's (callers leave the option at its default;
+  // anything else would desynchronize the fresh/lagged in-scatter split).
+  JSWEEP_CHECK_MSG(
+      options.group_set_width == 1 ||
+          options.group_set_width == plan_->config().group_set_width,
+      "MultigroupOptions::group_set_width = "
+          << options.group_set_width << " but the plan was built with "
+          << plan_->config().group_set_width
+          << " — the session derives the width from its plan");
+  sn::MultigroupOptions opts = options;
+  opts.group_set_width = plan_->config().group_set_width;
   return sn::solve_multigroup_sweeps(
       *plan_->config().multigroup,
       [this](const std::vector<std::vector<double>>& q_base,
              std::vector<std::vector<double>>& phi) {
         multigroup_pass(q_base, phi);
       },
-      options);
+      opts);
 }
 
 }  // namespace jsweep::sweep

@@ -11,6 +11,7 @@ PlanConfig plan_config_of(const SolverConfig& config) {
   pc.cycle_policy = config.cycle_policy;
   pc.multigroup = config.multigroup;
   pc.group_pipelining = config.group_pipelining;
+  pc.group_set_width = config.group_set_width;
   return pc;
 }
 

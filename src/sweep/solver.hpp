@@ -30,6 +30,7 @@
 /// | cycle_policy                | PlanConfig::cycle_policy          |
 /// | multigroup                  | PlanConfig::multigroup            |
 /// | group_pipelining            | PlanConfig::group_pipelining      |
+/// | group_set_width             | PlanConfig::group_set_width       |
 /// | engine                      | SolveConfig::engine               |
 /// | num_workers                 | SolveConfig::num_workers          |
 /// | use_coarsened_graph         | SolveConfig::use_coarsened_graph  |
@@ -79,6 +80,10 @@ struct SolverConfig {
   /// between groups — the pipelining-ablation baseline. Both modes compute
   /// bitwise-identical fluxes.
   bool group_pipelining = true;
+  /// Group-set width W (PlanConfig::group_set_width): pipelined programs
+  /// sweep W consecutive groups at once (SIMD lanes), within-set
+  /// downscatter lagged one pass. 1 = the classic per-group scheme.
+  int group_set_width = 1;
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
   /// Live metrics (off unless a registry is supplied).

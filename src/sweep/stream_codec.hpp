@@ -99,4 +99,94 @@ inline std::vector<StreamItem> decode_items(const comm::Bytes& bytes) {
   return items;
 }
 
+// ---------------------------------------------------------------------------
+// Group-set payloads
+// ---------------------------------------------------------------------------
+//
+// A group-set program (set width W > 1) delivers W lane fluxes per face in
+// one record, so downstream dependency counting still decrements once per
+// face delivery:
+//
+// ```text
+//   offset 0                  : uint64  count     (number of records)
+//   offset 8 + (16+8W)*i      : int64   cell
+//   offset 8 + (16+8W)*i + 8  : int64   face
+//   offset 8 + (16+8W)*i + 16 : double  lanes[W]  (flux per group of set)
+// ```
+//
+// The record width W is carried by the program tag's set, not the payload;
+// encoder and decoder must agree on it. W == 1 programs keep the StreamItem
+// codec above byte-for-byte.
+
+/// One staged group-set record before encoding: the lane values live in a
+/// caller-managed flat array alongside.
+struct SetStreamRecord {
+  std::int64_t cell;  ///< destination cell (global id)
+  std::int64_t face;  ///< mesh face id carrying the flux
+};
+
+static_assert(std::is_trivially_copyable_v<SetStreamRecord>);
+
+/// Encoded byte size of one group-set record at lane width `width`.
+[[nodiscard]] inline std::size_t set_record_size(int width) {
+  return sizeof(SetStreamRecord) +
+         static_cast<std::size_t>(width) * sizeof(double);
+}
+
+/// Serialize `records` (with `lanes[i * width + l]` holding record i's lane
+/// values) into `out` (cleared first; capacity reused).
+inline void encode_set_items_into(const std::vector<SetStreamRecord>& records,
+                                  const std::vector<double>& lanes, int width,
+                                  comm::Bytes& out) {
+  JSWEEP_ASSERT(lanes.size() ==
+                records.size() * static_cast<std::size_t>(width));
+  const auto count = static_cast<std::uint64_t>(records.size());
+  const std::size_t rec = set_record_size(width);
+  out.clear();
+  out.resize(sizeof(count) + records.size() * rec);
+  std::memcpy(out.data(), &count, sizeof(count));
+  std::byte* p = out.data() + sizeof(count);
+  for (std::size_t i = 0; i < records.size(); ++i, p += rec) {
+    std::memcpy(p, &records[i], sizeof(SetStreamRecord));
+    std::memcpy(p + sizeof(SetStreamRecord),
+                lanes.data() + i * static_cast<std::size_t>(width),
+                static_cast<std::size_t>(width) * sizeof(double));
+  }
+}
+
+/// Number of records in an encoded group-set payload of lane width `width`
+/// (validates the framing).
+inline std::size_t set_item_count(const comm::Bytes& bytes, int width) {
+  JSWEEP_CHECK_MSG(bytes.size() >= sizeof(std::uint64_t),
+                   "set stream payload truncated: " << bytes.size()
+                                                    << " bytes");
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), sizeof(count));
+  JSWEEP_CHECK_MSG(
+      bytes.size() == sizeof(count) + count * set_record_size(width),
+      "set stream payload size mismatch: " << bytes.size() << " bytes for "
+                                           << count << " records at width "
+                                           << width);
+  return static_cast<std::size_t>(count);
+}
+
+/// Visit each record of an encoded group-set payload in place:
+/// `fn(cell, face, lanes)` with `lanes` pointing at `width` doubles (valid
+/// only during the call; copied to a local to guarantee alignment).
+template <class Fn>
+inline void for_each_set_item(const comm::Bytes& bytes, int width, Fn&& fn) {
+  const std::size_t count = set_item_count(bytes, width);
+  const std::size_t rec = set_record_size(width);
+  const std::byte* p = bytes.data() + sizeof(std::uint64_t);
+  double lanes[8];  // kMaxGroupSetWidth, without the sn dependency
+  JSWEEP_ASSERT(width >= 1 && width <= 8);
+  for (std::size_t i = 0; i < count; ++i, p += rec) {
+    SetStreamRecord r;  // memcpy: payload bytes are not aligned
+    std::memcpy(&r, p, sizeof(r));
+    std::memcpy(lanes, p + sizeof(r),
+                static_cast<std::size_t>(width) * sizeof(double));
+    fn(r.cell, r.face, static_cast<const double*>(lanes));
+  }
+}
+
 }  // namespace jsweep::sweep

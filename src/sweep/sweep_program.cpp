@@ -6,21 +6,27 @@
 namespace jsweep::sweep {
 
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       GroupId group, sn::FaceFluxWorkspace& flux) {
+                       GroupId group, sn::FaceFluxWorkspace& flux,
+                       int width) {
   if (!data.has_lagged()) return;
   JSWEEP_CHECK_MSG(store != nullptr,
                    "task graph has lagged edges but no LaggedFluxStore");
   for (const auto& s : data.lagged_seed_slots())
-    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot, group.value()));
+    for (int l = 0; l < width; ++l)
+      flux.write(s.ws_slot * width + l,
+                 store->prev_by_slot(s.store_slot, group.value() + l));
 }
 
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
                          GroupId group, std::int32_t v,
-                         sn::FaceFluxWorkspace& flux) {
+                         sn::FaceFluxWorkspace& flux, int width) {
   data.for_lagged_writes(v, [&](const LaggedSlot& s) {
-    JSWEEP_ASSERT(flux.has(s.ws_slot));
-    store->stage_by_slot(s.store_slot, group.value(), flux.read(s.ws_slot));
-    flux.write(s.ws_slot, store->prev_by_slot(s.store_slot, group.value()));
+    for (int l = 0; l < width; ++l) {
+      const std::int32_t ws = s.ws_slot * width + l;
+      JSWEEP_ASSERT(flux.has(ws));
+      store->stage_by_slot(s.store_slot, group.value() + l, flux.read(ws));
+      flux.write(ws, store->prev_by_slot(s.store_slot, group.value() + l));
+    }
   });
 }
 
@@ -33,18 +39,20 @@ void WorkspaceLease::reset_for_run(const SweepShared& shared) {
 
 sn::FaceFluxWorkspace& WorkspaceLease::ensure(const SweepShared& shared,
                                               const SweepTaskData& data,
-                                              GroupId group) {
+                                              GroupId group, int width) {
   if (flux_ != nullptr) return *flux_;
-  // Borrow a workspace sized for this task's face-slot count; reset is an
-  // O(1) epoch bump, so reuse across sweeps and programs costs nothing.
+  // Borrow a workspace sized for this task's face-slot count (times the
+  // set width — the lanes of one face sit adjacent); reset is an O(1)
+  // epoch bump, so reuse across sweeps and programs costs nothing.
+  const std::int64_t slots = data.num_flux_slots() * width;
   if (shared.flux_pool != nullptr) {
-    flux_ = shared.flux_pool->acquire(data.num_flux_slots());
+    flux_ = shared.flux_pool->acquire(slots);
   } else {
-    owned_.prepare(data.num_flux_slots());
+    owned_.prepare(slots);
     flux_ = &owned_;
   }
   // Cycle-cut faces read the previous sweep's flux instead of waiting.
-  seed_lagged_faces(data, shared.lagged, group, *flux_);
+  seed_lagged_faces(data, shared.lagged, group, *flux_, width);
   return *flux_;
 }
 
@@ -88,6 +96,50 @@ void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
   }
 }
 
+void prepare_set_out_buffers(
+    const SweepTaskData& data, int width,
+    std::vector<std::vector<SetStreamRecord>>& out_records,
+    std::vector<std::vector<double>>& out_lanes,
+    std::vector<core::Stream>& pending) {
+  out_records.resize(static_cast<std::size_t>(data.num_destinations()));
+  out_lanes.resize(static_cast<std::size_t>(data.num_destinations()));
+  for (std::int32_t d = 0; d < data.num_destinations(); ++d) {
+    auto& records = out_records[static_cast<std::size_t>(d)];
+    auto& lanes = out_lanes[static_cast<std::size_t>(d)];
+    records.clear();
+    records.reserve(static_cast<std::size_t>(data.destination_capacity(d)));
+    lanes.clear();
+    lanes.reserve(static_cast<std::size_t>(data.destination_capacity(d)) *
+                  static_cast<std::size_t>(width));
+  }
+  pending.clear();
+  pending.reserve(static_cast<std::size_t>(data.num_destinations()));
+}
+
+void flush_set_out_streams(
+    const SweepTaskData& data, const SweepShared& shared, int width,
+    const ProgramKey& src,
+    std::vector<std::vector<SetStreamRecord>>& out_records,
+    std::vector<std::vector<double>>& out_lanes,
+    std::vector<core::Stream>& pending) {
+  // Same ascending-destination emission order as the scalar flush.
+  for (std::int32_t d = 0; d < data.num_destinations(); ++d) {
+    auto& records = out_records[static_cast<std::size_t>(d)];
+    if (records.empty()) continue;
+    auto& lanes = out_lanes[static_cast<std::size_t>(d)];
+    core::Stream s;
+    s.src = src;
+    s.dst = ProgramKey{data.destination(d), src.task};
+    s.data = shared.stream_buffers != nullptr
+                 ? shared.stream_buffers->acquire()
+                 : comm::Bytes{};
+    encode_set_items_into(records, lanes, width, s.data);
+    records.clear();
+    lanes.clear();
+    pending.push_back(std::move(s));
+  }
+}
+
 SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
                                      const SweepShared& shared,
                                      SweepProgramOptions options)
@@ -105,6 +157,11 @@ SweepPatchProgram::SweepPatchProgram(const SweepTaskData& data,
   JSWEEP_CHECK(options_.lane_tag_offset >= 0);
   JSWEEP_CHECK_MSG(options_.group.value() == 0 || shared_.pipeline != nullptr,
                    "group > 0 programs need a GroupPipeline");
+  if (shared_.pipeline != nullptr) {
+    JSWEEP_CHECK(options_.group.value() < shared_.pipeline->num_sets());
+    set_width_ = shared_.pipeline->set_width_of(options_.group);
+    group_base_ = shared_.pipeline->set_base(options_.group);
+  }
 }
 
 void SweepPatchProgram::mark_ready(std::int32_t v) {
@@ -119,8 +176,14 @@ void SweepPatchProgram::init() {
   // The workspace itself is borrowed lazily (WorkspaceLease::ensure) on
   // the first input or compute that touches flux.
   lease_.reset_for_run(shared_);
-  prepare_out_buffers(data_, out_items_, pending_);
-  phi_.assign(static_cast<std::size_t>(data_.num_vertices()), 0.0);
+  if (set_width_ > 1)
+    prepare_set_out_buffers(data_, set_width_, out_records_, out_lanes_,
+                            pending_);
+  else
+    prepare_out_buffers(data_, out_items_, pending_);
+  phi_.assign(static_cast<std::size_t>(data_.num_vertices()) *
+                  static_cast<std::size_t>(set_width_),
+              0.0);
   computed_ = 0;
   if (options_.record_clusters) {
     cluster_of_.assign(static_cast<std::size_t>(data_.num_vertices()), -1);
@@ -143,16 +206,33 @@ void SweepPatchProgram::input(const core::Stream& s) {
       shared_.pipeline->note_gate_opened(data_.patch(), options_.group);
     return;
   }
-  sn::FaceFluxWorkspace& flux = lease_.ensure(shared_, data_, lag_group());
-  for_each_item(s.data, [&](const StreamItem& item) {
-    flux.write(data_.slot_of_remote_in(item.face), item.value);
-    const CellId cell{item.cell};
+  sn::FaceFluxWorkspace& flux =
+      lease_.ensure(shared_, data_, lag_group(), set_width_);
+  const auto deliver = [&](std::int64_t dst_cell) {
+    const CellId cell{dst_cell};
     JSWEEP_ASSERT(shared_.patches->patch_of(cell) == data_.patch());
     const std::int32_t v = shared_.patches->local_index(cell);
     auto& count = counts_[static_cast<std::size_t>(v)];
     JSWEEP_CHECK_MSG(count > 0, "dependency underflow at vertex " << v);
     if (--count == 0) mark_ready(v);
-  });
+  };
+  if (set_width_ > 1) {
+    // One record carries the whole set's lane fluxes for a face — one
+    // dependency decrement per face delivery, exactly like the scalar path.
+    for_each_set_item(
+        s.data, set_width_,
+        [&](std::int64_t cell, std::int64_t face, const double* lanes) {
+          const std::int32_t slot = data_.slot_of_remote_in(face);
+          for (int l = 0; l < set_width_; ++l)
+            flux.write(slot * set_width_ + l, lanes[l]);
+          deliver(cell);
+        });
+  } else {
+    for_each_item(s.data, [&](const StreamItem& item) {
+      flux.write(data_.slot_of_remote_in(item.face), item.value);
+      deliver(item.cell);
+    });
+  }
 }
 
 void SweepPatchProgram::compute() {
@@ -166,13 +246,17 @@ void SweepPatchProgram::compute() {
     serialize_lock = std::unique_lock<std::mutex>(*options_.patch_serializer);
 
   const sn::Ordinate& ang = shared_.quad->angle(data_.angle().value());
-  // Group-aware solves resolve kernel and source per group; single-group
+  // Group-aware solves resolve kernel and source per set; single-group
   // solves use the solver-installed pair directly.
   const sn::Discretization* disc = shared_.disc;
   const std::vector<double>* q_ptr = shared_.q_per_ster;
+  const double* sigma_t_lanes = nullptr;
   if (shared_.pipeline != nullptr) {
-    disc = shared_.pipeline->group_disc(options_.group);
-    q_ptr = &shared_.pipeline->q_group(options_.group);
+    // The base group's kernel carries the geometry; the batched kernel
+    // takes the set's strided σ_t explicitly.
+    disc = shared_.pipeline->group_disc(GroupId{group_base_});
+    q_ptr = &shared_.pipeline->q_set(options_.group);
+    sigma_t_lanes = shared_.pipeline->sigma_t_set(options_.group).data();
   }
   const std::vector<double>& q = *q_ptr;
   const auto& cells = shared_.patches->cells(data_.patch());
@@ -180,15 +264,27 @@ void SweepPatchProgram::compute() {
   int in_batch = 0;
   while (!ready_.empty() && in_batch < options_.cluster_grain) {
     sn::FaceFluxWorkspace& flux =
-        lease_.ensure(shared_, data_, lag_group());
+        lease_.ensure(shared_, data_, lag_group(), set_width_);
     const std::int32_t v = ready_.top().v;
     ready_.pop();
     ++in_batch;
 
     const CellId cell = cells[static_cast<std::size_t>(v)];
-    const sn::FaceFluxView view{&flux, &data_.cell_slots(v)};
-    const double psi = disc->sweep_cell(cell, ang, q, view);
-    phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    if (set_width_ > 1) {
+      const sn::FaceFluxSetView view{&flux, &data_.cell_slots(v),
+                                     set_width_};
+      double psi[sn::kMaxGroupSetWidth];
+      disc->sweep_cell_set(cell, ang, set_width_, q.data(), sigma_t_lanes,
+                           view, psi);
+      for (int l = 0; l < set_width_; ++l)
+        phi_[static_cast<std::size_t>(v) *
+                 static_cast<std::size_t>(set_width_) +
+             static_cast<std::size_t>(l)] = ang.weight * psi[l];
+    } else {
+      const sn::FaceFluxView view{&flux, &data_.cell_slots(v)};
+      const double psi = disc->sweep_cell(cell, ang, q, view);
+      phi_[static_cast<std::size_t>(v)] = ang.weight * psi;
+    }
     ++computed_;
     if (options_.record_clusters)
       cluster_of_[static_cast<std::size_t>(v)] = next_cluster_;
@@ -199,19 +295,37 @@ void SweepPatchProgram::compute() {
     data_.for_out_local(v, [&](const OutLocal& e) {
       if (--counts_[static_cast<std::size_t>(e.w)] == 0) mark_ready(e.w);
     });
-    data_.for_out_remote(v, [&](const RemoteOut& e) {
-      JSWEEP_ASSERT(flux.has(e.slot));
-      out_items_[static_cast<std::size_t>(e.dst)].push_back(
-          StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
-    });
+    if (set_width_ > 1) {
+      data_.for_out_remote(v, [&](const RemoteOut& e) {
+        out_records_[static_cast<std::size_t>(e.dst)].push_back(
+            SetStreamRecord{e.dst_cell, e.face});
+        auto& lanes = out_lanes_[static_cast<std::size_t>(e.dst)];
+        for (int l = 0; l < set_width_; ++l) {
+          const std::int32_t ws = e.slot * set_width_ + l;
+          JSWEEP_ASSERT(flux.has(ws));
+          lanes.push_back(flux.read(ws));
+        }
+      });
+    } else {
+      data_.for_out_remote(v, [&](const RemoteOut& e) {
+        JSWEEP_ASSERT(flux.has(e.slot));
+        out_items_[static_cast<std::size_t>(e.dst)].push_back(
+            StreamItem{e.dst_cell, e.face, flux.read(e.slot)});
+      });
+    }
     // Lagged (cycle-cut) faces: stage the fresh value for the next sweep,
     // then restore the old iterate so any later reader — regardless of
     // scheduling order — sees the same value the cut promised it.
-    stage_lagged_writes(data_, shared_.lagged, lag_group(), v, flux);
+    stage_lagged_writes(data_, shared_.lagged, lag_group(), v, flux,
+                        set_width_);
   }
   if (options_.record_clusters && in_batch > 0) ++next_cluster_;
 
-  flush_out_streams(data_, shared_, key(), out_items_, pending_);
+  if (set_width_ > 1)
+    flush_set_out_streams(data_, shared_, set_width_, key(), out_records_,
+                          out_lanes_, pending_);
+  else
+    flush_out_streams(data_, shared_, key(), out_items_, pending_);
   // All vertices retired: the workspace has served its purpose — return it
   // so a not-yet-finished program can reuse the allocation.
   const bool done = computed_ == data_.num_vertices();

@@ -66,15 +66,20 @@ struct SweepShared {
 // program, which must stay bitwise-identical.
 
 /// At init, seed every lagged read face with the previous sweep's iterate
-/// (for energy group `group`) so cut dependencies never wait.
+/// so cut dependencies never wait. `group` is the base energy group and
+/// `width` the group-set width: lane l seeds workspace index
+/// `ws_slot * width + l` from group `group + l`'s store stride (width 1 is
+/// the classic scalar layout, bit-for-bit).
 void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
-                       GroupId group, sn::FaceFluxWorkspace& flux);
+                       GroupId group, sn::FaceFluxWorkspace& flux,
+                       int width = 1);
 /// After computing vertex v, stage each lagged face it wrote for the next
 /// sweep and restore the old iterate, so any later reader sees the value
-/// the cut promised regardless of execution order.
+/// the cut promised regardless of execution order. Same (group, width)
+/// striding contract as seed_lagged_faces().
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,
                          GroupId group, std::int32_t v,
-                         sn::FaceFluxWorkspace& flux);
+                         sn::FaceFluxWorkspace& flux, int width = 1);
 
 /// One implementation of the workspace borrow/seed/release protocol for
 /// both the fine and the coarsened program. A program borrows its dense
@@ -86,10 +91,12 @@ class WorkspaceLease {
  public:
   /// Init-time: drop any stale borrow left by an aborted previous run.
   void reset_for_run(const SweepShared& shared);
-  /// Borrow (and seed the lagged faces of group `group` into) the
-  /// workspace on first use.
+  /// Borrow (and seed the lagged faces of base group `group` into) the
+  /// workspace on first use. Group-set programs pass their set width:
+  /// the workspace holds `num_flux_slots() * width` lanes.
   sn::FaceFluxWorkspace& ensure(const SweepShared& shared,
-                                const SweepTaskData& data, GroupId group);
+                                const SweepTaskData& data, GroupId group,
+                                int width = 1);
   /// Return the workspace once the program has retired all its work.
   void release_if(bool done, const SweepShared& shared);
   /// Currently leased workspace (null when none is borrowed).
@@ -113,6 +120,23 @@ void flush_out_streams(const SweepTaskData& data, const SweepShared& shared,
                        std::vector<std::vector<StreamItem>>& out_items,
                        std::vector<core::Stream>& pending);
 
+/// Group-set counterparts of prepare_out_buffers()/flush_out_streams():
+/// each remote face delivery becomes one SetStreamRecord plus `width` lane
+/// values (lanes flat in `out_lanes[d]`, record i owning
+/// `[i*width, (i+1)*width)`), encoded with the set codec so the receiver
+/// decrements its dependency counter once per record.
+void prepare_set_out_buffers(
+    const SweepTaskData& data, int width,
+    std::vector<std::vector<SetStreamRecord>>& out_records,
+    std::vector<std::vector<double>>& out_lanes,
+    std::vector<core::Stream>& pending);
+void flush_set_out_streams(
+    const SweepTaskData& data, const SweepShared& shared, int width,
+    const ProgramKey& src,
+    std::vector<std::vector<SetStreamRecord>>& out_records,
+    std::vector<std::vector<double>>& out_lanes,
+    std::vector<core::Stream>& pending);
+
 /// Per-program knobs (fixed at construction).
 struct SweepProgramOptions {
   /// Max vertices retired per compute() execution (the paper's N).
@@ -122,8 +146,9 @@ struct SweepProgramOptions {
   /// When non-null, compute() holds this mutex — serializes all angles of
   /// one patch, the "patch is the unit of parallelism" ablation.
   std::mutex* patch_serializer = nullptr;
-  /// Energy group this program sweeps (0 for single-group solves). With a
-  /// GroupPipeline in SweepShared, groups > 0 start *gated*: face streams
+  /// Group *set* this program sweeps (0 for single-group solves; the
+  /// plain energy group when the pipeline's set width is 1). With a
+  /// GroupPipeline in SweepShared, sets > 0 start *gated*: face streams
   /// are buffered but nothing computes until the pipeline's empty-payload
   /// activation stream opens the gate (the patch's sources are ready).
   GroupId group{0};
@@ -162,7 +187,8 @@ class SweepPatchProgram final : public core::PatchProgram {
   }
 
   /// Per-local-vertex contribution w_a * ψ to the scalar flux, valid after
-  /// a run completes.
+  /// a run completes. Group-set programs (set width W > 1) store W lanes
+  /// per vertex, `[v * W + lane]`, one per group of the set.
   [[nodiscard]] const std::vector<double>& phi_local() const { return phi_; }
 
   /// Cluster id per vertex from the recorded execution (record_clusters
@@ -191,22 +217,33 @@ class SweepPatchProgram final : public core::PatchProgram {
   };
 
   void mark_ready(std::int32_t v);
-  /// Energy group selecting this run's lagged-flux stride: the program's
-  /// own group when pipelined, the solver-set current group otherwise.
+  /// Base energy group selecting this run's lagged-flux stride: the
+  /// program's set base when pipelined (== its group at set width 1), the
+  /// solver-set current group otherwise.
   [[nodiscard]] GroupId lag_group() const {
-    return shared_.pipeline != nullptr ? options_.group
+    return shared_.pipeline != nullptr ? GroupId{group_base_}
                                        : shared_.current_group;
   }
 
   const SweepTaskData& data_;
   const SweepShared& shared_;
   SweepProgramOptions options_;
+  /// Lanes this program sweeps at once (resolved from the pipeline's set
+  /// width at construction; 1 without a pipeline). Width 1 takes the
+  /// scalar kernel/codec path unchanged.
+  int set_width_ = 1;
+  /// First energy group of this program's set (0 without a pipeline).
+  int group_base_ = 0;
 
   // --- Local context (Listing 1, part 1), reset by init() ---------------
   std::vector<std::int32_t> counts_;
   std::priority_queue<ReadyEntry> ready_;
   WorkspaceLease lease_;
   std::vector<std::vector<StreamItem>> out_items_;  ///< by destination slot
+  /// Group-set out buffers (set_width_ > 1): one record + set_width_
+  /// lane values per remote face delivery, by destination slot.
+  std::vector<std::vector<SetStreamRecord>> out_records_;
+  std::vector<std::vector<double>> out_lanes_;
   std::vector<core::Stream> pending_;
   std::vector<double> phi_;
   std::int64_t computed_ = 0;

@@ -339,7 +339,7 @@ std::vector<std::vector<double>> run_multigroup_engine(
     const Mesh& m, const partition::PatchSet& ps, const Disc& disc,
     const sn::Quadrature& quad, const sn::MultigroupXs& xs, int ranks,
     sweep::EngineKind kind, bool pipelined, bool coarsened,
-    const sn::MultigroupOptions& opts) {
+    const sn::MultigroupOptions& opts, int set_width = 1) {
   std::vector<std::vector<double>> phi;
   comm::Cluster::run(ranks, [&](comm::Context& ctx) {
     sweep::SolverConfig config;
@@ -348,6 +348,7 @@ std::vector<std::vector<double>> run_multigroup_engine(
     config.cluster_grain = 8;  // small batches → heavy partial computation
     config.multigroup = &xs;
     config.group_pipelining = pipelined;
+    config.group_set_width = set_width;
     config.use_coarsened_graph =
         coarsened && kind == sweep::EngineKind::DataDriven;
     const auto owner =
@@ -486,6 +487,123 @@ TEST(Equivalence, MultigroupCyclicTwistedPipelinedVsBarriered) {
     for (std::size_t c = 0; c < pipelined_lag[g].size(); ++c)
       ASSERT_EQ(pipelined_lag[g][c], barriered_lag[g][c])
           << "lag group " << g << " cell " << c;
+}
+
+// ---------------------------------------------------------------------------
+// Group sets (G = 7): batched engines at W ∈ {1, 2, 4} — W = 4 leaves a
+// ragged final set {4, 5, 6}, W = 2 a single-lane set {6} — must reproduce
+// the width-aware serial sweep-pass reference to 1e-12 across the matrix:
+// data-driven pipelined, group-barriered, BSP pipelined, coarsened.
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, MultigroupGroupSetWidths) {
+  const mesh::StructuredMesh m = mesh::make_kobayashi_mesh(8);
+  const sn::MultigroupXs xs = sn::MultigroupXs::cascade(
+      sn::MaterialTable::kobayashi(), m.materials(), m.num_cells(), 7, 0.6);
+  const sn::StructuredDD disc(m, xs.group_view(0));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::StructuredBlockLayout layout(m.dims(), {4, 4, 4});
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const partition::PatchSet ps(partition::block_partition(layout),
+                               layout.num_patches(), &cg);
+
+  for (const int width : {1, 2, 4}) {
+    SCOPED_TRACE(testing::Message() << "set width " << width);
+    sn::MultigroupOptions opts;
+    opts.inner = {1e-4, 60, false};
+    opts.group_set_width = width;
+
+    // Width-aware serial reference: per-group scalar sweeps behind the
+    // same block pass algebra (fresh downscatter only from groups below
+    // the set base, within-set coupling lagged one pass).
+    const auto reference = sn::solve_multigroup_sweeps(
+        xs,
+        sn::sequential_sweep_pass(
+            xs,
+            [&](int g) -> sn::SweepOperator {
+              auto gd = std::make_shared<sn::StructuredDD>(m, xs.group_view(g));
+              return [gd, &quad](const std::vector<double>& q) {
+                return sn::serial_sweep(*gd, quad, q);
+              };
+            },
+            width),
+        opts);
+    ASSERT_TRUE(reference.converged);
+
+    const auto check = [&](const std::vector<std::vector<double>>& phi,
+                           const char* engine) {
+      ASSERT_EQ(phi.size(), reference.phi.size()) << engine;
+      for (std::size_t g = 0; g < phi.size(); ++g)
+        for (std::size_t c = 0; c < phi[g].size(); ++c)
+          ASSERT_NEAR(phi[g][c], reference.phi[g][c],
+                      kTol * (1.0 + reference.phi[g][c]))
+              << engine << " group " << g << " cell " << c;
+    };
+    check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                                sweep::EngineKind::DataDriven, true, false,
+                                opts, width),
+          "data-driven-pipelined");
+    check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                                sweep::EngineKind::DataDriven, false, false,
+                                opts, width),
+          "data-driven-barriered");
+    check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                                sweep::EngineKind::Bsp, true, false, opts,
+                                width),
+          "bsp-pipelined");
+    check(run_multigroup_engine(m, ps, disc, quad, xs, 2,
+                                sweep::EngineKind::DataDriven, true, true,
+                                opts, width),
+          "data-driven-coarsened-pipelined");
+  }
+}
+
+TEST(Equivalence, MultigroupCyclicGroupSetPipelinedVsBarriered) {
+  // Cyclic mesh + ragged group set: batched per-set gating must lag each
+  // group's cut faces independently (lane l maps to group base + l in the
+  // LaggedFluxStore) — pipelined and barriered solves stay equal to the
+  // suite tolerance through the evolving lag state.
+  const mesh::TetMesh m = mesh::make_twisted_column_mesh();
+  const sn::MultigroupXs mxs = sn::MultigroupXs::cascade(
+      sn::MaterialTable::ball(), m.materials(), m.num_cells(), 7, 0.6);
+  const sn::TetStep disc(m, mxs.group_view(0));
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 6);
+  const partition::PatchSet ps(part, 6, &cg);
+
+  sn::MultigroupOptions opts;
+  opts.inner = {1e-5, 60, false};
+  opts.group_set_width = 4;  // sets {0..3} and the ragged {4, 5, 6}
+  const auto run = [&](bool pipelined) {
+    std::vector<std::vector<double>> phi;
+    comm::Cluster::run(2, [&](comm::Context& ctx) {
+      sweep::SolverConfig config;
+      config.num_workers = 2;
+      config.cluster_grain = 8;
+      config.cycle_policy = sweep::CyclePolicy::Lag;
+      config.multigroup = &mxs;
+      config.group_pipelining = pipelined;
+      config.group_set_width = 4;
+      const auto owner =
+          partition::assign_contiguous(ps.num_patches(), ctx.size());
+      sweep::SweepSolver solver(ctx, m, ps, owner, disc, quad, config);
+      const auto result = solver.solve_multigroup(opts);
+      EXPECT_TRUE(result.converged);
+      EXPECT_GT(solver.stats().cyclic_angles, 0);
+      if (ctx.rank().value() == 0) phi = result.phi;
+    });
+    return phi;
+  };
+
+  const auto pipelined = run(true);
+  const auto barriered = run(false);
+  ASSERT_EQ(pipelined.size(), barriered.size());
+  for (std::size_t g = 0; g < pipelined.size(); ++g)
+    for (std::size_t c = 0; c < pipelined[g].size(); ++c)
+      ASSERT_NEAR(pipelined[g][c], barriered[g][c],
+                  kTol * (1.0 + std::abs(barriered[g][c])))
+          << "group " << g << " cell " << c;
 }
 
 TEST(Equivalence, MultigroupUnstructuredBall) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -182,6 +183,24 @@ TEST(Registry, ExponentialBuckets) {
   EXPECT_THROW(Registry::exponential_buckets(1.0, 2.0, 0), CheckError);
 }
 
+TEST(Registry, ExponentialBucketsRejectDegenerateArguments) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // Negative start/factor and sub-one factors would produce non-monotone
+  // bounds; non-finite values would poison every bucket downstream.
+  EXPECT_THROW(Registry::exponential_buckets(-1.0, 2.0, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(1.0, 0.5, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(1.0, -2.0, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(kInf, 2.0, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(kNan, 2.0, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(1.0, kInf, 3), CheckError);
+  EXPECT_THROW(Registry::exponential_buckets(1.0, kNan, 3), CheckError);
+  // The smallest valid request still works.
+  const std::vector<double> one = Registry::exponential_buckets(2.0, 3.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 2.0);
+}
+
 // --- Exposition goldens -------------------------------------------------
 
 /// One fixed registry shared by both golden checks.
@@ -257,6 +276,19 @@ TEST(Exposition, WriteSnapshotPicksFormatByExtension) {
   EXPECT_EQ(slurp(dir + "/metrics.json"), to_json(reg));
   EXPECT_EQ(slurp(dir + "/metrics.prom"), to_prometheus(reg));
   EXPECT_THROW(write_snapshot(reg, "/nonexistent-dir/x.json"), CheckError);
+
+  // Extension matching is case-insensitive (a `.JSON` dump from a shell
+  // script must not silently come out in the other format).
+  write_snapshot(reg, dir + "/upper.JSON");
+  write_snapshot(reg, dir + "/mixed.Prom");
+  EXPECT_EQ(slurp(dir + "/upper.JSON"), to_json(reg));
+  EXPECT_EQ(slurp(dir + "/mixed.Prom"), to_prometheus(reg));
+
+  // Unknown or missing extensions refuse loudly instead of guessing.
+  EXPECT_THROW(write_snapshot(reg, dir + "/metrics.txt"), CheckError);
+  EXPECT_THROW(write_snapshot(reg, dir + "/metrics"), CheckError);
+  // A dot in a parent directory is not an extension of the file.
+  EXPECT_THROW(write_snapshot(reg, dir + "/v1.2/metrics"), CheckError);
 }
 
 // --- Hot-path allocation gate -------------------------------------------
@@ -434,7 +466,8 @@ TEST(PipelineMetrics, ActivationLatencyAndFillPublished) {
 
   const auto snap = registry.snapshot();
   for (int rank = 0; rank < 2; ++rank) {
-    const Labels labels{{"rank", std::to_string(rank)}};
+    // Pipeline families carry the group-set width (1 here: per-group).
+    const Labels labels{{"rank", std::to_string(rank)}, {"set_width", "1"}};
     const std::int64_t passes =
         counter_value(snap, "jsweep_pipeline_passes_total", labels);
     EXPECT_GE(passes, 1);
@@ -453,7 +486,9 @@ TEST(PipelineMetrics, ActivationLatencyAndFillPublished) {
     for (int g = 1; g < kGroups; ++g) {
       const SeriesSnapshot* open = find_series(
           snap, "jsweep_pipeline_group_first_open_seconds",
-          {{"rank", std::to_string(rank)}, {"group", std::to_string(g)}});
+          {{"rank", std::to_string(rank)},
+           {"set_width", "1"},
+           {"group", std::to_string(g)}});
       ASSERT_NE(open, nullptr) << "group " << g;
       EXPECT_GE(open->gauge_value, 0.0);
     }

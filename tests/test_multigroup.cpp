@@ -241,6 +241,37 @@ TEST(MultigroupXs, ValidationRejectsSupercriticalScatteringRow) {
   EXPECT_THROW(xs.validate(), CheckError);
 }
 
+TEST(MultigroupXs, ValidationAcceptsPureScatteringRow) {
+  // Boundary case: Σ_to σ_s[g→to] == σ_t[g] exactly (pure scattering, no
+  // absorption) is physical and must validate — including when the row sum
+  // accumulates rounding, e.g. 10 × 0.1 vs 1.0. The check allows a small
+  // relative slack above σ_t rather than demanding <=.
+  MultigroupXs exact(2, 2);
+  for (std::int64_t c = 0; c < 2; ++c) {
+    exact.sigma_t(0, c) = 1.0;
+    exact.sigma_t(1, c) = 1.0;
+    exact.sigma_s(0, 0, c) = 0.25;
+    exact.sigma_s(0, 1, c) = 0.75;  // row sum == σ_t exactly
+    exact.sigma_s(1, 1, c) = 1.0;   // pure within-group scattering
+  }
+  EXPECT_NO_THROW(exact.validate());
+
+  // 10 × 0.1 = 1.0000000000000002 > 1.0 in binary64: rounding alone must
+  // not reject a physically critical (not supercritical) medium.
+  MultigroupXs rounded(10, 1);
+  for (int g = 0; g < 10; ++g) {
+    rounded.sigma_t(g, 0) = 1.0;
+    for (int to = 0; to < 10; ++to) rounded.sigma_s(g, to, 0) = 0.1;
+  }
+  EXPECT_NO_THROW(rounded.validate());
+
+  // A genuinely supercritical row still fails past the tolerance.
+  MultigroupXs bad(1, 1);
+  bad.sigma_t(0, 0) = 1.0;
+  bad.sigma_s(0, 0, 0) = 1.0 + 1e-9;
+  EXPECT_THROW(bad.validate(), CheckError);
+}
+
 TEST(MultigroupXs, UpscatterMatrixRoundTrips) {
   // σ_s[from→to] storage is asymmetric: every (from, to, cell) entry must
   // round-trip independently, upscatter included.

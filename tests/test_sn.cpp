@@ -4,10 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <numbers>
+#include <vector>
 
 #include "mesh/generators.hpp"
 #include "sn/discretization.hpp"
+#include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 #include "sn/serial_sweep.hpp"
 #include "sn/source_iteration.hpp"
@@ -247,6 +253,180 @@ TEST(TetStep, InfiniteMediumLimit) {
   }
   EXPECT_NEAR(phi[static_cast<std::size_t>(center)], 1.0 / 3.0, 0.05 / 3.0);
 }
+
+// --------------------------------------------------------------------------
+// Group-set batched kernels (sweep_cell_set vs per-group scalar sweeps)
+// --------------------------------------------------------------------------
+
+// Map a double to a monotonic integer so ULP distance is a subtraction.
+std::int64_t ordered_bits(double x) {
+  std::int64_t i = 0;
+  std::memcpy(&i, &x, sizeof(x));
+  return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+}
+
+std::int64_t ulp_distance(double a, double b) {
+  const std::int64_t d = ordered_bits(a) - ordered_bits(b);
+  return d < 0 ? -d : d;
+}
+
+// Lane data generators: every lane gets a distinct σ_t / q profile so a
+// lane-index mixup cannot cancel out. Lane σ_t spans near-void to optically
+// thick so the batched negative-flux fixup path is exercised too.
+double lane_sigma(std::int64_t c, int lane) {
+  return 0.02 + 0.9 * lane + 0.13 * static_cast<double>((c + lane) % 5);
+}
+
+double lane_q(std::int64_t c, int lane) {
+  // Zero source on a stripe of cells: fixup needs ψ_out < 0 candidates.
+  if ((c + lane) % 7 == 0) return 0.0;
+  return 0.25 + 0.1 * lane + 0.01 * static_cast<double>(c % 3);
+}
+
+// Sweeps `order` through `width` per-lane scalar kernels and once through
+// the geometry carrier's batched kernel; gates ψ and every outgoing face
+// flux to ≤ 1 ULP per lane. On this repo's baseline build (no contracted
+// FMA) the kernels document bitwise equality, which ≤ 1 ULP subsumes.
+template <typename Disc, typename MakeDisc>
+void expect_set_kernel_matches_scalar(const Disc& carrier,
+                                      const MakeDisc& make_lane_disc,
+                                      const std::vector<std::int64_t>& order,
+                                      const Ordinate& ang, int width,
+                                      std::int64_t num_face_slots) {
+  const std::int64_t n = carrier.num_cells();
+  const std::vector<CellFaceSlots> slots = build_identity_slots(carrier, ang);
+
+  // Per-lane scalar reference sweeps.
+  std::vector<std::vector<double>> psi_ref(static_cast<std::size_t>(width));
+  std::vector<FaceFluxWorkspace> ws_ref(static_cast<std::size_t>(width));
+  for (int l = 0; l < width; ++l) {
+    CellXs xs;
+    std::vector<double> q(static_cast<std::size_t>(n));
+    xs.sigma_t.resize(static_cast<std::size_t>(n));
+    xs.sigma_s.assign(static_cast<std::size_t>(n), 0.0);
+    xs.source.assign(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t c = 0; c < n; ++c) {
+      xs.sigma_t[static_cast<std::size_t>(c)] = lane_sigma(c, l);
+      q[static_cast<std::size_t>(c)] = lane_q(c, l);
+    }
+    const auto disc = make_lane_disc(std::move(xs));
+    auto& ws = ws_ref[static_cast<std::size_t>(l)];
+    ws.prepare(num_face_slots);
+    auto& psi = psi_ref[static_cast<std::size_t>(l)];
+    psi.resize(static_cast<std::size_t>(n));
+    for (const auto c : order) {
+      const FaceFluxView view{&ws, &slots[static_cast<std::size_t>(c)]};
+      psi[static_cast<std::size_t>(c)] =
+          disc->sweep_cell(CellId{c}, ang, q, view);
+    }
+  }
+
+  // One batched sweep over the same cells: set-strided q / σ_t, lane-
+  // adjacent face slots, σ_t supplied by the caller (the carrier's own xs
+  // is deliberately lane 0's so a fallback to xs() would show up).
+  std::vector<double> q_set(static_cast<std::size_t>(n * width));
+  std::vector<double> sigma_set(static_cast<std::size_t>(n * width));
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (int l = 0; l < width; ++l) {
+      q_set[static_cast<std::size_t>(c * width + l)] = lane_q(c, l);
+      sigma_set[static_cast<std::size_t>(c * width + l)] = lane_sigma(c, l);
+    }
+  }
+  FaceFluxWorkspace ws_set;
+  ws_set.prepare(num_face_slots * width);
+  std::vector<double> psi_set(static_cast<std::size_t>(n * width));
+  double psi_lanes[kMaxGroupSetWidth] = {};
+  for (const auto c : order) {
+    const FaceFluxSetView view{&ws_set, &slots[static_cast<std::size_t>(c)],
+                               width};
+    carrier.sweep_cell_set(CellId{c}, ang, width, q_set.data(),
+                           sigma_set.data(), view, psi_lanes);
+    for (int l = 0; l < width; ++l)
+      psi_set[static_cast<std::size_t>(c * width + l)] = psi_lanes[l];
+  }
+
+  // Gate: ψ and outgoing face fluxes within 1 ULP of the scalar lanes.
+  for (std::int64_t c = 0; c < n; ++c) {
+    for (int l = 0; l < width; ++l) {
+      const double ref = psi_ref[static_cast<std::size_t>(l)]
+                                [static_cast<std::size_t>(c)];
+      const double got = psi_set[static_cast<std::size_t>(c * width + l)];
+      ASSERT_LE(ulp_distance(ref, got), 1)
+          << "psi mismatch at cell " << c << " lane " << l << " width "
+          << width << ": scalar " << ref << " vs set " << got;
+    }
+    const CellFaceSlots& s = slots[static_cast<std::size_t>(c)];
+    for (int k = 0; k < 4; ++k) {
+      const std::int32_t slot = s.out[static_cast<std::size_t>(k)];
+      if (slot < 0) continue;
+      for (int l = 0; l < width; ++l) {
+        if (!ws_ref[static_cast<std::size_t>(l)].has(slot)) continue;
+        const double ref = ws_ref[static_cast<std::size_t>(l)].read(slot);
+        const double got = ws_set.read(slot * width + l);
+        ASSERT_LE(ulp_distance(ref, got), 1)
+            << "face flux mismatch at cell " << c << " entry " << k
+            << " lane " << l << " width " << width;
+      }
+    }
+  }
+}
+
+class StructuredSetKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(StructuredSetKernel, MatchesScalarLanesWithinOneUlp) {
+  const int width = GetParam();
+  // 10 cm cells + σ_t up to ~4.5 keep several cells optically thick, so
+  // the vectorized fixup branch runs alongside the regular recurrence.
+  const mesh::StructuredMesh m = mesh::make_cube_mesh(6, 60.0);
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  CellXs carrier_xs;
+  carrier_xs.sigma_t.resize(n);
+  carrier_xs.sigma_s.assign(n, 0.0);
+  carrier_xs.source.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c)
+    carrier_xs.sigma_t[c] = lane_sigma(static_cast<std::int64_t>(c), 0);
+  const StructuredDD carrier(m, carrier_xs);
+  const Ordinate ang{mesh::normalized({0.5, 0.6, 0.62}), 1.0, 0};
+  // Ascending cell index is a topological order for an all-positive
+  // direction on the structured mesh.
+  std::vector<std::int64_t> order(n);
+  for (std::size_t c = 0; c < n; ++c)
+    order[c] = static_cast<std::int64_t>(c);
+  expect_set_kernel_matches_scalar(
+      carrier,
+      [&](CellXs xs) { return std::make_unique<StructuredDD>(m, xs); },
+      order, ang, width, m.num_cells() * 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, StructuredSetKernel,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+class TetSetKernel : public ::testing::TestWithParam<int> {};
+
+TEST_P(TetSetKernel, MatchesScalarLanesWithinOneUlp) {
+  const int width = GetParam();
+  const mesh::TetMesh m = mesh::make_ball_mesh(6, 3.0);
+  CellXs carrier_xs;
+  const auto n = static_cast<std::size_t>(m.num_cells());
+  carrier_xs.sigma_t.resize(n);
+  carrier_xs.sigma_s.assign(n, 0.0);
+  carrier_xs.source.assign(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c)
+    carrier_xs.sigma_t[c] = lane_sigma(static_cast<std::int64_t>(c), 0);
+  const TetStep carrier(m, carrier_xs);
+  const Ordinate ang{normalized(mesh::Vec3{0.3, -0.5, 0.81}), 1.0, 0};
+  const graph::Digraph g = graph::build_global_cell_digraph(m, ang.dir);
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::int64_t> cells(order->begin(), order->end());
+  expect_set_kernel_matches_scalar(
+      carrier,
+      [&](CellXs xs) { return std::make_unique<TetStep>(m, std::move(xs)); },
+      cells, ang, width, m.num_faces());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TetSetKernel,
+                         ::testing::Values(1, 2, 3, 4, 8));
 
 // --------------------------------------------------------------------------
 // Source iteration
