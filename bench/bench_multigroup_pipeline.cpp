@@ -69,11 +69,30 @@ struct Timed {
   std::int64_t activations = 0;
   double activation_mean_seconds = 0.0;
   double activation_max_seconds = 0.0;
+  // Scheduler health, folded over all ranks' engine series: worker
+  // busy/idle seconds and the steal-scan hit/miss counters.
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  std::int64_t steal_hits = 0;
+  std::int64_t steal_misses = 0;
+
+  [[nodiscard]] double idle_fraction() const {
+    const double total = busy_seconds + idle_seconds;
+    return total > 0.0 ? idle_seconds / total : 0.0;
+  }
+  [[nodiscard]] double steal_hit_rate() const {
+    const auto attempts = steal_hits + steal_misses;
+    return attempts > 0
+               ? static_cast<double>(steal_hits) /
+                     static_cast<double>(attempts)
+               : 0.0;
+  }
 };
 
 /// Fold the registry's pipeline families into `t` (max fill over ranks,
-/// activation histogram totals across ranks).
-void extract_pipeline_metrics(const metrics::Registry& registry, Timed& t) {
+/// activation histogram totals across ranks) plus the engine's scheduler
+/// series (busy/idle seconds summed over ranks, steal hit/miss totals).
+void extract_registry_metrics(const metrics::Registry& registry, Timed& t) {
   double latency_sum = 0.0;
   for (const auto& fam : registry.snapshot()) {
     if (fam.name == "jsweep_pipeline_fill_seconds") {
@@ -86,11 +105,29 @@ void extract_pipeline_metrics(const metrics::Registry& registry, Timed& t) {
         t.activation_max_seconds =
             std::max(t.activation_max_seconds, s.histogram.max);
       }
+    } else if (fam.name == "jsweep_engine_worker_busy_seconds") {
+      for (const auto& s : fam.series) t.busy_seconds += s.gauge_value;
+    } else if (fam.name == "jsweep_engine_worker_idle_seconds") {
+      for (const auto& s : fam.series) t.idle_seconds += s.gauge_value;
+    } else if (fam.name == "jsweep_engine_steals_total") {
+      for (const auto& s : fam.series) {
+        const bool hit =
+            std::find(s.labels.begin(), s.labels.end(),
+                      std::make_pair(std::string("result"),
+                                     std::string("hit"))) != s.labels.end();
+        (hit ? t.steal_hits : t.steal_misses) += s.counter_value;
+      }
     }
   }
   if (t.activations > 0)
     t.activation_mean_seconds =
         latency_sum / static_cast<double>(t.activations);
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
 Timed solve(const Fixture& f, bool pipelined, int workers) {
@@ -114,15 +151,18 @@ Timed solve(const Fixture& f, bool pipelined, int workers) {
         sweep::SweepPlan::build(ctx, f.mesh, f.patches, owner, f.disc,
                                 f.quad, sweep::plan_config_of(config));
     sweep::SweepSession session(ctx, plan, sweep::solve_config_of(config));
+    sn::MultigroupOptions mg;
+    mg.inner.tolerance = 1e-5;
+    mg.inner.max_iterations = 100;
     WallTimer timer;
-    const auto result = session.solve_multigroup({{1e-5, 100, false}});
+    const auto result = session.solve_multigroup(mg);
     if (ctx.rank().value() == 0) {
       t.seconds = timer.seconds();
       t.passes = result.pass_iterations;
       t.phi = result.phi;
     }
   });
-  if (pipelined) extract_pipeline_metrics(registry, t);
+  extract_registry_metrics(registry, t);
   return t;
 }
 
@@ -141,50 +181,77 @@ int main(int argc, char** argv) {
       "the simulator rows below show the shape at paper-scale core counts.\n"
       "Either way the two modes must agree bitwise (hard gate).\n\n");
 
-  Table table({"n", "workers", "barriered(s)", "pipelined(s)", "speedup"});
+  Table table({"n", "workers", "barriered(s)", "pipelined(s)",
+               "speedup(med)", "idle frac", "steal hit%"});
   for (const int n : {16, 24}) {
     const Fixture f(n);
     for (const int workers : {2, 4}) {
-      const Timed barriered = solve(f, false, workers);
-      const Timed pipelined = solve(f, true, workers);
-      // Identical physics regardless of scheduling: hard equivalence gate.
-      for (std::size_t g = 0; g < pipelined.phi.size(); ++g)
-        for (std::size_t c = 0; c < pipelined.phi[g].size(); ++c)
-          if (pipelined.phi[g][c] != barriered.phi[g][c]) {
-            std::fprintf(stderr,
-                         "FAIL: pipelined/barriered flux mismatch at group "
-                         "%zu cell %zu\n",
-                         g, c);
-            return 1;
-          }
+      // Alternating barriered/pipelined pairs: interleaving cancels slow
+      // host drift (thermal, noisy neighbours) out of the ratio, and the
+      // median of the per-pair speedups is what the CI gate consumes.
+      const int pairs = workers == 4 ? 5 : 1;
+      std::vector<double> barriered_s;
+      std::vector<double> pipelined_s;
+      std::vector<double> speedups;
+      Timed barriered;
+      Timed pipelined;
+      for (int rep = 0; rep < pairs; ++rep) {
+        barriered = solve(f, false, workers);
+        pipelined = solve(f, true, workers);
+        // Identical physics regardless of scheduling: hard gate per pair.
+        for (std::size_t g = 0; g < pipelined.phi.size(); ++g)
+          for (std::size_t c = 0; c < pipelined.phi[g].size(); ++c)
+            if (pipelined.phi[g][c] != barriered.phi[g][c]) {
+              std::fprintf(stderr,
+                           "FAIL: pipelined/barriered flux mismatch at "
+                           "group %zu cell %zu\n",
+                           g, c);
+              return 1;
+            }
+        barriered_s.push_back(barriered.seconds);
+        pipelined_s.push_back(pipelined.seconds);
+        speedups.push_back(barriered.seconds / pipelined.seconds);
+      }
+      const double speedup_median = median(speedups);
       table.add_row({Table::num(static_cast<std::int64_t>(n)),
                      Table::num(static_cast<std::int64_t>(workers)),
-                     Table::num(barriered.seconds, 3),
-                     Table::num(pipelined.seconds, 3),
-                     Table::num(barriered.seconds / pipelined.seconds, 2)});
+                     Table::num(median(barriered_s), 3),
+                     Table::num(median(pipelined_s), 3),
+                     Table::num(speedup_median, 2),
+                     Table::num(pipelined.idle_fraction(), 3),
+                     Table::num(100.0 * pipelined.steal_hit_rate(), 1)});
       std::printf(
           "  n=%d workers=%d pipelined: last-pass fill %.3gs, %lld "
-          "activations, latency mean %.3gs max %.3gs\n",
+          "activations, latency mean %.3gs max %.3gs, steals %lld/%lld\n",
           n, workers, pipelined.fill_seconds,
           static_cast<long long>(pipelined.activations),
           pipelined.activation_mean_seconds,
-          pipelined.activation_max_seconds);
+          pipelined.activation_max_seconds,
+          static_cast<long long>(pipelined.steal_hits),
+          static_cast<long long>(pipelined.steal_hits +
+                                 pipelined.steal_misses));
       for (const bool piped : {false, true}) {
         const Timed& t = piped ? pipelined : barriered;
         bench::Sample s;
         s.name = std::string("real/n_") + std::to_string(n) + "/workers_" +
                  std::to_string(workers) +
                  (piped ? "/pipelined" : "/barriered");
-        s.wall_seconds = t.seconds;
+        s.wall_seconds = median(piped ? pipelined_s : barriered_s);
         s.threads = kRanks * workers;
         s.problem_size = f.mesh.num_cells() * f.quad.num_angles() * kGroups;
         s.params = {{"groups", kGroups},
                     {"pipelined", piped ? 1.0 : 0.0},
-                    {"passes", static_cast<double>(t.passes)}};
+                    {"passes", static_cast<double>(t.passes)},
+                    {"pairs", static_cast<double>(pairs)},
+                    {"idle_fraction", t.idle_fraction()},
+                    {"steals", static_cast<double>(t.steal_hits)},
+                    {"steal_hit_rate", t.steal_hit_rate()}};
         if (piped) {
           // Live pipeline metrics: how long the last pass took to open all
           // groups (fill) and the per-activation gate-open -> program-emit
-          // latency distribution across the whole solve.
+          // latency distribution across the whole solve; plus the median
+          // barriered/pipelined ratio the CI perf gate checks.
+          s.params.emplace_back("speedup_median", speedup_median);
           s.params.emplace_back("pipeline_fill_s", t.fill_seconds);
           s.params.emplace_back("activations",
                                 static_cast<double>(t.activations));

@@ -8,10 +8,10 @@ namespace jsweep::comm {
 
 int Context::size() const { return cluster_.size(); }
 
-void Context::send(RankId dest, int tag, Bytes payload) {
+void Context::send(RankId dest, int tag, Bytes payload, double priority) {
   JSWEEP_CHECK_MSG(dest.valid() && dest.value() < cluster_.size(),
                    "send to invalid rank " << dest);
-  Message msg{rank_, tag, std::move(payload)};
+  Message msg{rank_, tag, std::move(payload), priority};
   if (msg.is_control()) {
     ++stats_.control_sent;
   } else {

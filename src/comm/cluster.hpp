@@ -8,7 +8,8 @@
 /// collectives the runtime needs (barrier, allreduce). Message payloads are
 /// serialized byte buffers, so moving this layer onto real MPI is a
 /// transport swap, not a redesign — the engine above sees identical
-/// semantics: reliable, per-sender-FIFO, asynchronous delivery.
+/// semantics: reliable, asynchronous delivery, priority-ordered at the
+/// receiver (per-sender-FIFO among equal priorities; see comm/mailbox.hpp).
 
 #include <atomic>
 #include <barrier>
@@ -46,8 +47,10 @@ class Context {
   /// Number of ranks in the cluster.
   [[nodiscard]] int size() const;
 
-  /// Asynchronous point-to-point send (thread-safe).
-  void send(RankId dest, int tag, Bytes payload);
+  /// Asynchronous point-to-point send (thread-safe). `priority` orders
+  /// delivery at the destination mailbox: higher drains first, ties keep
+  /// arrival order (see Message::priority).
+  void send(RankId dest, int tag, Bytes payload, double priority = 0.0);
 
   /// Non-blocking receive of the next message in arrival order.
   std::optional<Message> try_recv();

@@ -4,68 +4,98 @@
 /// Per-rank inbound message queue: multiple producers (any rank's sender),
 /// single consumer (the owning rank's master thread).
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "comm/message.hpp"
 
 namespace jsweep::comm {
 
 /// Unbounded MPSC queue with blocking and timed waits. All operations are
-/// thread-safe; `pop`-side calls must come from a single consumer if FIFO
-/// consumption order matters to the caller.
+/// thread-safe; `pop`-side calls must come from a single consumer.
+///
+/// Delivery is priority-ordered, not FIFO: control messages (termination
+/// tokens, shutdown) outrank everything, then higher Message::priority
+/// first, and arrival order breaks ties — so equal-priority traffic keeps
+/// the classic per-sender-FIFO behavior, while deep-critical-path stream
+/// batches jump the queue at the receiving master.
 class Mailbox {
  public:
   /// Enqueue a message (any thread) and wake one waiting consumer.
   void push(Message msg) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(msg));
+      heap_.push_back(Item{std::move(msg), arrival_seq_++});
+      std::push_heap(heap_.begin(), heap_.end(), ItemLess{});
     }
     cv_.notify_one();
   }
 
-  /// Non-blocking pop.
+  /// Non-blocking pop of the best-priority message.
   std::optional<Message> try_pop() {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    Message m = std::move(queue_.front());
-    queue_.pop_front();
-    return m;
+    if (heap_.empty()) return std::nullopt;
+    return pop_locked();
   }
 
-  /// Blocking pop.
+  /// Blocking pop of the best-priority message.
   Message pop() {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
-    Message m = std::move(queue_.front());
-    queue_.pop_front();
-    return m;
+    cv_.wait(lock, [&] { return !heap_.empty(); });
+    return pop_locked();
   }
 
   /// Wait until a message is available or the timeout elapses.
   /// Returns true if the mailbox is non-empty on return.
   bool wait_nonempty(std::chrono::nanoseconds timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
-    return cv_.wait_for(lock, timeout, [&] { return !queue_.empty(); });
+    return cv_.wait_for(lock, timeout, [&] { return !heap_.empty(); });
   }
 
   /// Number of queued messages.
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return heap_.size();
   }
 
   /// Whether the queue is empty.
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
+  struct Item {
+    Message msg;
+    std::uint64_t seq;  ///< arrival order, the stable tie-break
+  };
+
+  /// Max-heap order: control first, then priority descending, then
+  /// arrival sequence ascending.
+  struct ItemLess {
+    bool operator()(const Item& a, const Item& b) const {
+      const bool ac = a.msg.is_control();
+      const bool bc = b.msg.is_control();
+      if (ac != bc) return bc;
+      if (a.msg.priority != b.msg.priority)
+        return a.msg.priority < b.msg.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  Message pop_locked() {
+    std::pop_heap(heap_.begin(), heap_.end(), ItemLess{});
+    Message m = std::move(heap_.back().msg);
+    heap_.pop_back();
+    return m;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::vector<Item> heap_;
+  std::uint64_t arrival_seq_ = 0;
 };
 
 }  // namespace jsweep::comm

@@ -30,6 +30,11 @@ struct Message {
   RankId src;     ///< sending rank
   int tag = 0;    ///< message tag (see Tag)
   Bytes payload;  ///< serialized payload
+  /// Scheduling priority: receiving mailboxes drain higher-priority
+  /// messages first (control traffic outranks any priority; ties keep
+  /// arrival order). The engine sets this to the highest stream priority
+  /// batched into the payload; 0 (the default) is neutral.
+  double priority = 0.0;
 
   /// Whether the tag marks runtime-internal control traffic.
   [[nodiscard]] bool is_control() const { return tag >= kControlTagBase; }

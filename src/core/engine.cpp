@@ -1,7 +1,9 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <queue>
 #include <thread>
 
@@ -16,6 +18,28 @@ namespace {
 
 /// Idle waits shorter than this are not worth a trace event.
 constexpr std::int64_t kMinTracedIdleNs = 1000;
+
+/// Timed-block quantum for stealing workers: long enough to keep the cv
+/// cheap, short enough that a worker re-scans for stealable work soon even
+/// if it missed a notify aimed at another worker.
+constexpr auto kStealBlockQuantum = std::chrono::microseconds(100);
+
+/// splitmix64 finalizer: a cheap, well-mixed hash for the seeded
+/// scheduling tie-breaks (enqueue-target rotation, steal-victim order).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Environment override for an integer-valued engine knob; returns
+/// `fallback` when the variable is unset or empty.
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
 
 }  // namespace
 
@@ -61,16 +85,27 @@ struct Engine::Worker {
   std::condition_variable cv;
   std::priority_queue<Entry> queue;
   std::atomic<std::int64_t> load{0};
-  bool stop = false;
+  std::atomic<bool> stop{false};
   std::thread thread;
   double busy_seconds = 0.0;
   double idle_seconds = 0.0;
+  /// Seeded victim-rotation state (advanced per steal scan): every run
+  /// with the same scheduler seed visits victims in the same order.
+  std::uint64_t rng = 0;
+  std::int64_t steal_attempts = 0;
+  std::int64_t steals = 0;
 };
 
 Engine::Engine(comm::Context& ctx, EngineConfig config)
     : ctx_(ctx), config_(config) {
   JSWEEP_CHECK_MSG(config_.num_workers >= 1,
                    "engine needs at least one worker thread");
+  // Runtime knobs get the final say, so CI and operators can force a
+  // scheduling mode without touching call sites.
+  config_.work_stealing =
+      env_int("JSWEEP_WORK_STEALING", config_.work_stealing ? 1 : 0) != 0;
+  config_.steal_spin_rounds = std::max(
+      0, env_int("JSWEEP_STEAL_SPIN", config_.steal_spin_rounds));
   remote_staging_.resize(static_cast<std::size_t>(ctx_.size()));
   if (metrics::Registry* reg = config_.metrics; reg != nullptr) {
     const metrics::Labels rank{{"rank", std::to_string(ctx_.rank().value())}};
@@ -111,6 +146,24 @@ Engine::Engine(comm::Context& ctx, EngineConfig config)
                     "fraction of stream-buffer acquires served from the "
                     "free list (lifetime)",
                     rank);
+    metric_steal_hits_ =
+        &reg->counter("jsweep_engine_steals_total",
+                      "idle-worker steal scans, by result",
+                      {{"rank", std::to_string(ctx_.rank().value())},
+                       {"result", "hit"}});
+    metric_steal_misses_ =
+        &reg->counter("jsweep_engine_steals_total",
+                      "idle-worker steal scans, by result",
+                      {{"rank", std::to_string(ctx_.rank().value())},
+                       {"result", "miss"}});
+    metric_steal_latency_ = &reg->histogram(
+        "jsweep_engine_steal_latency_seconds",
+        "latency of one steal scan (peek every queue, take the best)",
+        metrics::Registry::exponential_buckets(1e-7, 4.0, 10), rank);
+    metric_idle_fraction_ =
+        &reg->gauge("jsweep_engine_idle_fraction",
+                    "worker idle seconds / (elapsed x workers), last run",
+                    rank);
   }
 }
 
@@ -140,25 +193,127 @@ void Engine::set_program_enabled(const ProgramKey& key, bool enabled) {
   it->second->enabled = enabled;
 }
 
+Engine::ProgramState* Engine::take_local(Worker& w) {
+  ProgramState* ps = w.queue.top().ps;
+  w.queue.pop();
+  queued_total_.fetch_sub(1, std::memory_order_acq_rel);
+  return ps;
+}
+
+Engine::ProgramState* Engine::try_steal(Worker& w) {
+  ++w.steal_attempts;
+  WallTimer scan_timer;
+  const std::size_t n = workers_.size();
+  // Seeded victim rotation: advance the worker's private LCG and start
+  // the scan at a pseudo-random (but run-reproducible) offset, so thieves
+  // spread over victims without contending on one queue.
+  w.rng = w.rng * 6364136223846793005ULL + 1442695040888963407ULL;
+  const std::size_t start = static_cast<std::size_t>((w.rng >> 33) % n);
+  // Pass 1: peek every queue a try_lock can reach (own queue included —
+  // it may have been fed during the spin) and remember the globally best
+  // entry: highest priority, earliest sequence among equals.
+  std::size_t best = n;
+  double best_priority = 0.0;
+  std::uint64_t best_seq = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t v = (start + i) % n;
+    Worker& victim = *workers_[v];
+    if (!victim.mutex.try_lock()) continue;
+    if (!victim.queue.empty()) {
+      const Worker::Entry& top = victim.queue.top();
+      if (best == n || top.priority > best_priority ||
+          (top.priority == best_priority && top.seq < best_seq)) {
+        best = v;
+        best_priority = top.priority;
+        best_seq = top.seq;
+      }
+    }
+    victim.mutex.unlock();
+  }
+  // Pass 2: re-lock the winner and take its (possibly changed) top. The
+  // victim may have drained in between; that is a miss, not an error.
+  ProgramState* ps = nullptr;
+  bool stolen = false;
+  if (best < n) {
+    Worker& victim = *workers_[best];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      ps = take_local(victim);
+      if (&victim != &w) {
+        // The entry's load unit moves with it; the thief's own
+        // end-of-execution decrement then balances the books.
+        victim.load.fetch_sub(1, std::memory_order_relaxed);
+        w.load.fetch_add(1, std::memory_order_relaxed);
+        ++w.steals;
+        stolen = true;
+      }
+    }
+  }
+  if (metric_steal_latency_ != nullptr)
+    metric_steal_latency_->observe(scan_timer.seconds(), w.id);
+  if (stolen) {
+    if (metric_steal_hits_ != nullptr) metric_steal_hits_->inc(1, w.id);
+  } else if (ps == nullptr) {
+    if (metric_steal_misses_ != nullptr) metric_steal_misses_->inc(1, w.id);
+  }
+  return ps;
+}
+
+Engine::ProgramState* Engine::acquire_work(Worker& w) {
+  const bool stealing = config_.work_stealing && workers_.size() > 1;
+  for (;;) {
+    if (stealing) {
+      // Bounded spin: scan for stealable work while any queue is
+      // non-empty, up to the configured round budget, then block.
+      for (int round = 0; round < config_.steal_spin_rounds; ++round) {
+        if (w.stop.load(std::memory_order_relaxed)) break;
+        if (queued_total_.load(std::memory_order_acquire) > 0) {
+          if (ProgramState* ps = try_steal(w)) return ps;
+        }
+        std::this_thread::yield();
+      }
+    }
+    std::unique_lock<std::mutex> lock(w.mutex);
+    if (!w.queue.empty()) return take_local(w);
+    if (w.stop.load(std::memory_order_relaxed)) return nullptr;
+    if (stealing) {
+      // Timed block: a notify targeted at another worker (or a missed
+      // spin window) must not strand this one while work exists, so wake
+      // periodically and re-run the steal scan.
+      w.cv.wait_for(lock, kStealBlockQuantum);
+    } else {
+      w.cv.wait(lock, [&] {
+        return w.stop.load(std::memory_order_relaxed) || !w.queue.empty();
+      });
+    }
+    if (!w.queue.empty()) return take_local(w);
+    if (w.stop.load(std::memory_order_relaxed)) return nullptr;
+  }
+}
+
 void Engine::worker_loop(Worker& w) {
   trace::Recorder* const rec = config_.recorder;
   trace::Track* const tr =
       rec != nullptr ? &rec->track(ctx_.rank().value(), w.id) : nullptr;
   // Every instant of the loop's lifetime lands in exactly one of the two
-  // buckets — idle while blocked in the condition wait, busy otherwise
-  // (execution plus queue/completion bookkeeping) — so that
+  // buckets — idle while hunting for work (steal scans, bounded spins and
+  // blocked waits all count as idle), busy otherwise (execution plus
+  // queue/completion bookkeeping) — so that
   // busy + idle ≈ elapsed × num_workers holds for EngineStats.
   WallTimer timer;
   for (;;) {
     ProgramState* ps = nullptr;
     {
-      std::unique_lock<std::mutex> lock(w.mutex);
+      const std::lock_guard<std::mutex> lock(w.mutex);
+      if (!w.queue.empty()) ps = take_local(w);
+    }
+    if (ps == nullptr) {
       const double busy_delta = timer.seconds();
       w.busy_seconds += busy_delta;
       if (metric_worker_busy_ != nullptr) metric_worker_busy_->add(busy_delta);
       timer.reset();
       const std::int64_t idle_t0 = tr != nullptr ? rec->now_ns() : 0;
-      w.cv.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      ps = acquire_work(w);
       const double idle_delta = timer.seconds();
       w.idle_seconds += idle_delta;
       if (metric_worker_idle_ != nullptr) metric_worker_idle_->add(idle_delta);
@@ -169,12 +324,7 @@ void Engine::worker_loop(Worker& w) {
           tr->record(
               trace::make_span(trace::EventKind::Idle, idle_t0, idle_t1));
       }
-      if (w.queue.empty()) {
-        if (w.stop) return;
-        continue;
-      }
-      ps = w.queue.top().ps;
-      w.queue.pop();
+      if (ps == nullptr) return;
     }
     if (metric_queue_depth_ != nullptr) metric_queue_depth_->add(-1.0);
     const std::int64_t exec_t0 = tr != nullptr ? rec->now_ns() : 0;
@@ -225,24 +375,38 @@ Engine::Completion Engine::execute(ProgramState& ps) {
   c.ps = &ps;
   c.retired = before - after;
   while (auto out = prog.output()) c.outputs.push_back(std::move(*out));
+  // Stamp the producer's LDCP priority onto every output: receiving
+  // masters (remote or local) route higher-priority streams first.
+  for (auto& s : c.outputs) s.priority = ps.priority;
   c.halted = prog.vote_to_halt();
   return c;
 }
 
 void Engine::enqueue(ProgramState& ps) {
   // Dynamic owner assignment: route the program to the lightest worker
-  // (Sec. IV-B). Deterministic tie-break on worker id.
-  Worker* lightest = workers_.front().get();
-  for (const auto& w : workers_) {
-    if (w->load.load(std::memory_order_relaxed) <
-        lightest->load.load(std::memory_order_relaxed))
-      lightest = w.get();
+  // (Sec. IV-B). Ties break on a seeded rotation of the scan start — a
+  // splitmix64 hash of (scheduler seed, enqueue sequence) — rather than
+  // first-wins, so repeated runs with the same seed make the same choices
+  // and trace comparisons line up.
+  const std::size_t n = workers_.size();
+  const std::size_t start = static_cast<std::size_t>(
+      mix64(config_.scheduler_seed ^ enqueue_seq_) % n);
+  Worker* lightest = workers_[start].get();
+  std::int64_t lightest_load = lightest->load.load(std::memory_order_relaxed);
+  for (std::size_t i = 1; i < n; ++i) {
+    Worker& cand = *workers_[(start + i) % n];
+    const std::int64_t cand_load = cand.load.load(std::memory_order_relaxed);
+    if (cand_load < lightest_load) {
+      lightest = &cand;
+      lightest_load = cand_load;
+    }
   }
   lightest->load.fetch_add(1, std::memory_order_relaxed);
   if (metric_queue_depth_ != nullptr) metric_queue_depth_->add(1.0);
   {
     const std::lock_guard<std::mutex> lock(lightest->mutex);
     lightest->queue.push(Worker::Entry{ps.priority, enqueue_seq_++, &ps});
+    queued_total_.fetch_add(1, std::memory_order_release);
   }
   lightest->cv.notify_one();
 }
@@ -316,9 +480,13 @@ void Engine::flush_remote() {
     if (staged.empty()) continue;
     const std::int64_t pack_t0 =
         trace_master_ != nullptr ? config_.recorder->now_ns() : 0;
+    // The message inherits the most urgent stream batched into it, so the
+    // whole batch drains ahead of shallower traffic at the receiver.
+    double priority = staged.front().priority;
+    for (const auto& s : staged) priority = std::max(priority, s.priority);
     comm::Bytes payload = pack_streams(staged);
     const auto payload_bytes = static_cast<std::int64_t>(payload.size());
-    ctx_.send(RankId{r}, comm::kTagStream, std::move(payload));
+    ctx_.send(RankId{r}, comm::kTagStream, std::move(payload), priority);
     if (trace_master_ != nullptr) {
       auto e = trace::make_span(trace::EventKind::Pack, pack_t0,
                                 config_.recorder->now_ns());
@@ -338,7 +506,14 @@ void Engine::process_message(const comm::Message& msg,
   switch (msg.tag) {
     case comm::kTagStream: {
       if (detector != nullptr) detector->note_basic_recv();
-      for (auto& s : unpack_streams(msg.payload)) deliver_local(std::move(s));
+      // Within the batch, deliver deepest-critical-path streams first:
+      // their target programs get queued (and stolen) ahead of the rest.
+      auto streams = unpack_streams(msg.payload);
+      std::stable_sort(streams.begin(), streams.end(),
+                       [](const Stream& a, const Stream& b) {
+                         return a.priority > b.priority;
+                       });
+      for (auto& s : streams) deliver_local(std::move(s));
       break;
     }
     case comm::kTagToken:
@@ -385,10 +560,15 @@ void Engine::run() {
     if (ps->enabled) local_remaining_ += ps->program->total_work();
   }
 
-  // Launch workers.
+  // Launch workers. Each gets a private, seed-derived rotation state so
+  // steal-victim orders are reproducible run to run.
   workers_.clear();
-  for (int i = 0; i < config_.num_workers; ++i)
+  queued_total_.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(i));
+    workers_.back()->rng =
+        mix64(config_.scheduler_seed ^ (static_cast<std::uint64_t>(i) + 1));
+  }
   for (auto& w : workers_)
     w->thread = std::thread([this, &w = *w] { worker_loop(w); });
 
@@ -421,7 +601,7 @@ void Engine::run() {
     for (auto& w : workers_) {
       {
         const std::lock_guard<std::mutex> lock(w->mutex);
-        w->stop = true;
+        w->stop.store(true, std::memory_order_relaxed);
       }
       w->cv.notify_all();
     }
@@ -429,6 +609,8 @@ void Engine::run() {
       if (w->thread.joinable()) w->thread.join();
       stats_.worker_busy_seconds += w->busy_seconds;
       stats_.worker_idle_seconds += w->idle_seconds;
+      stats_.steal_attempts += w->steal_attempts;
+      stats_.steals += w->steals;
     }
     workers_.clear();
   };
@@ -443,6 +625,8 @@ void Engine::run() {
 
   stats_.master_route_seconds = route_time.seconds();
   stats_.elapsed_seconds = total_timer.seconds();
+  if (metric_idle_fraction_ != nullptr)
+    metric_idle_fraction_->set(stats_.idle_fraction());
   if (metric_pool_hit_ratio_ != nullptr) {
     const auto acquires = buffer_pool_.acquires();
     metric_pool_hit_ratio_->set(

@@ -14,7 +14,15 @@
 /// (for Sn sweeps, combined_priority(angle, patch) from graph/priority.hpp)
 /// and each worker pops its highest-priority queued program. When a stream
 /// targets an inactive program, the master assigns the program to the
-/// lightest-loaded worker (dynamic owner assignment, Sec. IV-B).
+/// lightest-loaded worker (dynamic owner assignment, Sec. IV-B; ties break
+/// on a seeded rotation so repeated runs make the same choices).
+///
+/// Workers steal: instead of blocking the moment its own queue drains, an
+/// idle worker scans the other workers' queues in a seeded victim order,
+/// takes the highest-priority stealable entry, and only falls back to a
+/// timed block after a bounded number of empty scan rounds. Stealing moves
+/// *scheduling* only — program execution stays bitwise-identical because
+/// flux algebra never depends on which worker ran a program, or when.
 
 #include <cstdint>
 #include <memory>
@@ -35,6 +43,7 @@ class Track;
 namespace jsweep::metrics {
 class Counter;
 class Gauge;
+class Histogram;
 class Registry;
 }  // namespace jsweep::metrics
 
@@ -64,6 +73,19 @@ struct EngineConfig {
   /// (metrics/metrics.hpp). Null (the default) disables metrics at one
   /// pointer check per update site, mirroring the recorder.
   metrics::Registry* metrics = nullptr;
+  /// Work stealing between this rank's workers: an idle worker scans the
+  /// other queues (seeded victim order) for the highest-priority stealable
+  /// entry instead of blocking immediately. The environment variable
+  /// JSWEEP_WORK_STEALING=0|1, when set, overrides this at construction.
+  bool work_stealing = true;
+  /// Bounded spin: empty steal-scan rounds an idle worker burns before it
+  /// falls back to a timed block on its condition variable. Overridable
+  /// via the JSWEEP_STEAL_SPIN environment variable.
+  int steal_spin_rounds = 64;
+  /// Seed for the deterministic scheduling tie-breaks (enqueue-target
+  /// rotation and per-worker steal-victim order). Same seed, same inputs
+  /// -> same decisions, so traces line up across runs.
+  std::uint64_t scheduler_seed = 0;
 };
 
 /// Counters and timings of the most recent Engine::run().
@@ -78,6 +100,15 @@ struct EngineStats {
   double master_idle_seconds = 0.0;  ///< master time blocked waiting
   double worker_busy_seconds = 0.0;  ///< summed across workers
   double worker_idle_seconds = 0.0;  ///< summed across workers
+  std::int64_t steal_attempts = 0;   ///< idle-worker steal scans
+  std::int64_t steals = 0;           ///< scans that took another's entry
+
+  /// Fraction of total worker time spent idle (waiting, spinning or
+  /// scanning for work): worker_idle / (elapsed x workers).
+  [[nodiscard]] double idle_fraction() const {
+    const double total = worker_busy_seconds + worker_idle_seconds;
+    return total > 0.0 ? worker_idle_seconds / total : 0.0;
+  }
 };
 
 /// The per-rank data-driven runtime (see \ref engine.hpp): routes streams,
@@ -133,6 +164,9 @@ class Engine {
   void worker_loop(Worker& w);
   void master_loop(comm::SafraDetector* det, IntervalAccumulator& route_time);
   Completion execute(ProgramState& ps);
+  ProgramState* take_local(Worker& w);  ///< pop own top (w.mutex held)
+  ProgramState* acquire_work(Worker& w);
+  ProgramState* try_steal(Worker& w);
   void deliver_local(Stream stream);
   void enqueue(ProgramState& ps);
   void route_outputs(std::vector<Stream>&& outputs);
@@ -160,6 +194,10 @@ class Engine {
   metrics::Gauge* metric_worker_idle_ = nullptr;
   metrics::Gauge* metric_master_idle_ = nullptr;
   metrics::Gauge* metric_pool_hit_ratio_ = nullptr;
+  metrics::Counter* metric_steal_hits_ = nullptr;
+  metrics::Counter* metric_steal_misses_ = nullptr;
+  metrics::Histogram* metric_steal_latency_ = nullptr;
+  metrics::Gauge* metric_idle_fraction_ = nullptr;
 
   std::unordered_map<ProgramKey, std::unique_ptr<ProgramState>> programs_;
   std::vector<RankId> patch_owner_;
@@ -180,6 +218,10 @@ class Engine {
   std::int64_t local_remaining_ = 0;
   std::int64_t active_programs_ = 0;  ///< programs Queued or Running
   std::uint64_t enqueue_seq_ = 0;
+
+  /// Entries sitting in any worker queue (not yet popped). Idle workers
+  /// spin on this before blocking: > 0 means a steal scan can succeed.
+  std::atomic<std::int64_t> queued_total_{0};
 };
 
 }  // namespace jsweep::core

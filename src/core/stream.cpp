@@ -14,12 +14,14 @@ struct WireKey {
 comm::Bytes pack_streams(const std::vector<Stream>& streams) {
   std::size_t bytes = sizeof(std::uint32_t);
   for (const auto& s : streams)
-    bytes += 4 * sizeof(WireKey) / 2 + sizeof(std::uint64_t) + s.data.size();
+    bytes += 4 * sizeof(WireKey) / 2 + sizeof(double) +
+             sizeof(std::uint64_t) + s.data.size();
   comm::ByteWriter w(bytes);
   w.write(static_cast<std::uint32_t>(streams.size()));
   for (const auto& s : streams) {
     w.write(WireKey{s.src.patch.value(), s.src.task.value()});
     w.write(WireKey{s.dst.patch.value(), s.dst.task.value()});
+    w.write(s.priority);
     w.write_vector(s.data);
   }
   return w.take();
@@ -36,6 +38,7 @@ std::vector<Stream> unpack_streams(const comm::Bytes& payload) {
     const auto dst = r.read<WireKey>();
     s.src = {PatchId{src.patch}, TaskTag{src.task}};
     s.dst = {PatchId{dst.patch}, TaskTag{dst.task}};
+    s.priority = r.read<double>();
     s.data = r.read_vector<std::byte>();
     streams.push_back(std::move(s));
   }

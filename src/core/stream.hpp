@@ -19,13 +19,18 @@ struct Stream {
   ProgramKey src;    ///< producing (patch, task)
   ProgramKey dst;    ///< consuming (patch, task)
   comm::Bytes data;  ///< opaque user payload (stream codec bytes)
+  /// Scheduling priority carried on the wire: the producing program's
+  /// LDCP/condensation-depth priority, stamped by the engine. Receiving
+  /// masters drain higher-priority streams first, so deep-critical-path
+  /// activations jump the queue; 0 (the default) is neutral.
+  double priority = 0.0;
 
   /// Payload size in bytes (wire accounting).
   [[nodiscard]] std::size_t byte_size() const { return data.size(); }
 };
 
 /// Pack a batch of streams into one wire message (the pack/unpack cost of
-/// Fig. 16 lives here).
+/// Fig. 16 lives here). Priorities ride along.
 comm::Bytes pack_streams(const std::vector<Stream>& streams);
 
 /// Inverse of pack_streams.

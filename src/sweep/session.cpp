@@ -66,6 +66,7 @@ SweepSession::SweepSession(comm::Context& ctx,
         lane_ * plan_->tags_per_request());
     pipeline_->register_patches(plan_->local_patches());
     pipeline_->set_metrics(config_.metrics.registry, ctx_.rank().value());
+    if (config_.overlap_source_tail) pipeline_->enable_source_overlap();
     shared_.pipeline = pipeline_.get();
   }
 
@@ -106,6 +107,25 @@ SweepSession::SweepSession(comm::Context& ctx,
 
 SweepSession::~SweepSession() = default;
 
+void SweepSession::apply_scheduling(core::EngineConfig& ec) const {
+  // Resolution order: explicit SolveConfig > plan tuning (the auto-tuner's
+  // calibration) > the engine default. The JSWEEP_WORK_STEALING /
+  // JSWEEP_STEAL_SPIN environment overrides are applied by the engine
+  // itself and outrank all three.
+  const auto& tuning = plan_->config().tuning;
+  if (config_.work_stealing >= 0) {
+    ec.work_stealing = config_.work_stealing != 0;
+  } else if (tuning.has_value()) {
+    ec.work_stealing = tuning->work_stealing;
+  }
+  if (config_.steal_spin_rounds >= 0) {
+    ec.steal_spin_rounds = config_.steal_spin_rounds;
+  } else if (tuning.has_value()) {
+    ec.steal_spin_rounds = tuning->steal_spin_rounds;
+  }
+  ec.scheduler_seed = config_.scheduler_seed;
+}
+
 void SweepSession::install_programs(bool record_clusters) {
   programs_.clear();
   keys_.clear();
@@ -117,6 +137,7 @@ void SweepSession::install_programs(bool record_clusters) {
       ec.termination = core::TerminationMode::KnownWorkload;
       ec.recorder = config_.trace.recorder;
       ec.metrics = config_.metrics.registry;
+      apply_scheduling(ec);
       engine_ = std::make_unique<core::Engine>(ctx_, ec);
       target = engine_.get();
       shared_.stream_buffers = &engine_->buffer_pool();
@@ -188,6 +209,7 @@ void SweepSession::activate_coarsened() {
   ec.termination = core::TerminationMode::KnownWorkload;
   ec.recorder = config_.trace.recorder;
   ec.metrics = config_.metrics.registry;
+  apply_scheduling(ec);
   auto coarse_engine = std::make_unique<core::Engine>(ctx_, ec);
   if (pipeline_ != nullptr) pipeline_->clear_programs();
   for (std::size_t i = 0; i < coarse_data_.size(); ++i) {
@@ -428,6 +450,10 @@ void SweepSession::multigroup_pass(
       phi[static_cast<std::size_t>(g)] = pipeline_->phi_group(GroupId{g});
       ctx_.allreduce_sum(phi[static_cast<std::size_t>(g)]);
     }
+    // The gate completions of this pass precomputed the next pass's base
+    // sources (source-tail overlap) — arm the q_base provider for the
+    // solver's next formation step.
+    next_q_armed_ = pipeline_->source_overlap_enabled();
   }
   // After the first recorded pass, replay on the coarsened graph.
   if (config_.use_coarsened_graph && !coarsened_active_ && engine_)
@@ -463,6 +489,17 @@ sn::MultigroupResult SweepSession::solve_multigroup(
           << " — the session derives the width from its plan");
   sn::MultigroupOptions opts = options;
   opts.group_set_width = plan_->config().group_set_width;
+  // Source-tail overlap: serve precomputed q_base parts once a pipelined
+  // pass has run (the first pass of a solve always forms serially).
+  next_q_armed_ = false;
+  if (pipeline_ != nullptr && pipeline_->source_overlap_enabled() &&
+      options.q_base_provider == nullptr) {
+    opts.q_base_provider = [this](int g, std::vector<double>& q) {
+      if (!next_q_armed_) return false;
+      q = pipeline_->next_pass_q(GroupId{g});
+      return true;
+    };
+  }
   return sn::solve_multigroup_sweeps(
       *plan_->config().multigroup,
       [this](const std::vector<std::vector<double>>& q_base,

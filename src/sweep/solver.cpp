@@ -22,6 +22,10 @@ SolveConfig solve_config_of(const SolverConfig& config) {
   sc.use_coarsened_graph = config.use_coarsened_graph;
   sc.max_lag_sweeps = config.max_lag_sweeps;
   sc.lag_tolerance = config.lag_tolerance;
+  sc.work_stealing = config.work_stealing;
+  sc.steal_spin_rounds = config.steal_spin_rounds;
+  sc.scheduler_seed = config.scheduler_seed;
+  sc.overlap_source_tail = config.overlap_source_tail;
   sc.trace = config.trace;
   sc.metrics = config.metrics;
   return sc;

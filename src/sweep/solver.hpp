@@ -36,6 +36,10 @@
 /// | use_coarsened_graph         | SolveConfig::use_coarsened_graph  |
 /// | max_lag_sweeps              | SolveConfig::max_lag_sweeps       |
 /// | lag_tolerance               | SolveConfig::lag_tolerance        |
+/// | work_stealing               | SolveConfig::work_stealing        |
+/// | steal_spin_rounds           | SolveConfig::steal_spin_rounds    |
+/// | scheduler_seed              | SolveConfig::scheduler_seed       |
+/// | overlap_source_tail         | SolveConfig::overlap_source_tail  |
 /// | trace                       | SolveConfig::trace                |
 /// | metrics                     | SolveConfig::metrics              |
 
@@ -84,6 +88,16 @@ struct SolverConfig {
   /// sweep W consecutive groups at once (SIMD lanes), within-set
   /// downscatter lagged one pass. 1 = the classic per-group scheme.
   int group_set_width = 1;
+  /// Work stealing between engine workers: -1 auto (plan tuning / engine
+  /// default), 0 off, 1 on (SolveConfig::work_stealing).
+  int work_stealing = -1;
+  /// Steal-spin rounds before a worker blocks: -1 auto, >= 0 forces.
+  int steal_spin_rounds = -1;
+  /// Seed of the engine's deterministic scheduling tie-breaks.
+  std::uint64_t scheduler_seed = 0;
+  /// Precompute next-pass multigroup sources on workers while the sweep's
+  /// tail drains (SolveConfig::overlap_source_tail).
+  bool overlap_source_tail = true;
   /// Runtime tracing (off unless a recorder is supplied).
   TraceConfig trace;
   /// Live metrics (off unless a registry is supplied).
