@@ -1,0 +1,156 @@
+// k-eigenvalue outers vs plan amortization. The power iteration issues one
+// full multigroup transport solve per outer against the SAME SweepPlan —
+// the repeated-sweep workload the plan/session split exists for. This
+// bench measures what that caching buys: the same fixed number of outers
+// run (a) the production way, one SweepPlan::build amortized across all
+// outers, and (b) with the plan rebuilt from scratch before every outer
+// (what a solver without the plan/session split would do). The work per
+// outer is pinned (zero tolerances, fixed inner sweep count) so the two
+// runs execute identical transport; only the setup cost differs. CI gates
+// speedup_vs_rebuild >= 2 from BENCH_eigen.json.
+
+#include "bench_common.hpp"
+
+#include "comm/cluster.hpp"
+#include "mesh/generators.hpp"
+#include "partition/adjacency.hpp"
+#include "partition/block_layout.hpp"
+#include "partition/patch_set.hpp"
+#include "sn/boundary.hpp"
+#include "sn/fission.hpp"
+#include "sn/multigroup.hpp"
+#include "support/timer.hpp"
+#include "sweep/eigen.hpp"
+
+using namespace jsweep;
+
+namespace {
+
+constexpr int kOuters = 12;
+constexpr int kGroups = 2;
+constexpr int kRanks = 2;
+constexpr int kWorkers = 2;
+
+struct Problem {
+  mesh::StructuredMesh m = mesh::make_cube_mesh(12, 12.0);
+  sn::MultigroupXs xs_template{kGroups, m.num_cells()};
+  sn::FissionXs fission{kGroups, m.num_cells()};
+  sn::BoundarySpec bc;
+  sn::Quadrature quad = sn::Quadrature::level_symmetric(4);
+
+  Problem() {
+    fission.chi(0) = 1.0;
+    for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+      const bool core = (c % 3) != 0;
+      xs_template.sigma_t(0, c) = core ? 0.6 : 0.5;
+      xs_template.sigma_t(1, c) = core ? 1.0 : 1.2;
+      xs_template.sigma_s(0, 0, c) = 0.2;
+      xs_template.sigma_s(0, 1, c) = 0.25;
+      xs_template.sigma_s(1, 1, c) = core ? 0.6 : 0.9;
+      if (core) {
+        fission.nu_sigma_f(0, c) = 0.08;
+        fission.nu_sigma_f(1, c) = 0.5;
+      }
+    }
+    bc.side(mesh::FaceDir::XLo) = 1.0;
+    bc.side(mesh::FaceDir::YLo) = 1.0;
+    bc.side(mesh::FaceDir::ZLo) = 1.0;
+  }
+};
+
+// Fixed work: zero tolerances never converge early, so every run executes
+// exactly `outers` outer iterations of exactly 1 inner sweep per group.
+sweep::EigenOptions fixed_work(int outers) {
+  sweep::EigenOptions options;
+  options.max_outer_iterations = outers;
+  options.k_tolerance = 0.0;
+  options.fission_tolerance = 0.0;
+  options.multigroup.inner = {0.0, 1, false};
+  return options;
+}
+
+/// One timed run: `rebuild_per_outer` toggles between the production path
+/// (one plan, kOuters outers in one driver call) and the ablation (fresh
+/// plan + single-outer driver call, kOuters times).
+double run_case(const Problem& p, bool rebuild_per_outer,
+                std::int64_t* task_data_built) {
+  const partition::StructuredBlockLayout layout(p.m.dims(), {4, 4, 4});
+  const partition::CsrGraph cg = partition::cell_graph(p.m);
+  const partition::PatchSet patches(partition::block_partition(layout),
+                                    layout.num_patches(), &cg);
+  WallTimer timer;
+  std::int64_t built = 0;
+  comm::Cluster::run(kRanks, [&](comm::Context& ctx) {
+    sn::MultigroupXs xs = p.xs_template;  // per-rank writable copy
+    const sn::StructuredDD disc(p.m, xs.group_view(0), true, p.bc);
+    sweep::PlanConfig plan_config;
+    plan_config.cluster_grain = 64;
+    plan_config.multigroup = &xs;
+    const auto owner =
+        partition::assign_contiguous(patches.num_patches(), ctx.size());
+    sweep::SolveConfig solve_config;
+    solve_config.num_workers = kWorkers;
+    const std::int64_t before = sweep::SweepTaskData::total_created();
+    if (rebuild_per_outer) {
+      for (int outer = 0; outer < kOuters; ++outer) {
+        const auto plan = sweep::SweepPlan::build(ctx, p.m, patches, owner,
+                                                  disc, p.quad, plan_config);
+        (void)sweep::solve_k_eigenvalue(ctx, plan, xs, p.fission,
+                                        fixed_work(1), solve_config);
+      }
+    } else {
+      const auto plan = sweep::SweepPlan::build(ctx, p.m, patches, owner,
+                                                disc, p.quad, plan_config);
+      (void)sweep::solve_k_eigenvalue(ctx, plan, xs, p.fission,
+                                      fixed_work(kOuters), solve_config);
+    }
+    if (ctx.rank().value() == 0)
+      built = sweep::SweepTaskData::total_created() - before;
+  });
+  if (task_data_built != nullptr) *task_data_built = built;
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "eigen");
+  Problem p;
+  const std::int64_t size =
+      p.m.num_cells() * p.quad.num_angles() * kGroups;
+  bench::print_header(
+      "k-eigenvalue plan amortization",
+      "one cached SweepPlan across all power-iteration outers vs a "
+      "rebuild before every outer",
+      "cube 12^3, 3 reflecting sides, 2 groups, S4, " +
+          std::to_string(kOuters) + " fixed-work outers, " +
+          std::to_string(kRanks) + " ranks x " + std::to_string(kWorkers) +
+          " workers");
+
+  // Warm-up: fault in the binary and thread pools outside the timings.
+  (void)run_case(p, /*rebuild_per_outer=*/false, nullptr);
+
+  std::int64_t reuse_built = 0;
+  std::int64_t rebuild_built = 0;
+  const double reuse_s = run_case(p, false, &reuse_built);
+  const double rebuild_s = run_case(p, true, &rebuild_built);
+  const double speedup = rebuild_s / reuse_s;
+
+  Table table({"variant", "time(s)", "task data built", "speedup"});
+  table.add_row({"plan reused", Table::num(reuse_s, 3),
+                 Table::num(reuse_built), Table::num(1.0, 2)});
+  table.add_row({"rebuild per outer", Table::num(rebuild_s, 3),
+                 Table::num(rebuild_built), Table::num(1.0 / speedup, 2)});
+  std::printf("%s\nplan reuse speedup over rebuild-per-outer: %.2fx\n",
+              table.str().c_str(), speedup);
+
+  bench::record({"keff/plan_reuse", reuse_s, kRanks * kWorkers, size,
+                 {{"outers", double(kOuters)},
+                  {"task_data_built", double(reuse_built)},
+                  {"speedup_vs_rebuild", speedup}}});
+  bench::record({"keff/rebuild_per_outer", rebuild_s, kRanks * kWorkers,
+                 size,
+                 {{"outers", double(kOuters)},
+                  {"task_data_built", double(rebuild_built)}}});
+  return 0;
+}

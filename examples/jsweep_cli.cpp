@@ -30,11 +30,14 @@
 #include "partition/block_layout.hpp"
 #include "partition/graph_partition.hpp"
 #include "partition/patch_set.hpp"
+#include "sn/boundary.hpp"
+#include "sn/fission.hpp"
 #include "sn/serial_sweep.hpp"
 #include "sn/source_iteration.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 #include "sweep/autotune.hpp"
+#include "sweep/eigen.hpp"
 #include "sweep/session.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/critical_path.hpp"
@@ -52,6 +55,8 @@ struct Options {
   int groups = 1;
   int group_set = 1;
   bool group_barrier = false;
+  bool k_eigenvalue = false;
+  double albedo = 0.0;  // of the three low box sides; 0 = vacuum
   std::string engine = "jsweep";   // jsweep | bsp | serial
   int ranks = 4;
   int workers = 2;
@@ -93,6 +98,15 @@ void usage() {
   --group-barrier                 disable group pipelining: one engine run
                                   (and a global barrier) per group per pass —
                                   the ablation baseline
+  --k-eigenvalue                  solve the k-eigenvalue problem by power
+                                  iteration over the cached sweep plan:
+                                  fission lives in the problem's source
+                                  material (νΣ_f = 0.4 σ_t per group,
+                                  fast-born χ); prints k-eff
+  --albedo=A                      reflect the three low box sides with
+                                  coefficient A in [0, 1] (0 = vacuum, the
+                                  default; 1 = mirror); --mesh=kobayashi
+                                  only — tet boundaries are vacuum
   --engine=jsweep|bsp|serial      sweep engine (default jsweep)
   --ranks=R                       in-process ranks (default 4)
   --workers=W                     worker threads per rank (default 2)
@@ -193,6 +207,9 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (int_flag("--group-set", opt.group_set)) {
     } else if (arg == "--group-barrier") {
       opt.group_barrier = true;
+    } else if (arg == "--k-eigenvalue") {
+      opt.k_eigenvalue = true;
+    } else if (double_flag("--albedo", opt.albedo)) {
     } else if (auto v = value("--engine")) {
       opt.engine = *v;
     } else if (int_flag("--ranks", opt.ranks)) {
@@ -246,6 +263,22 @@ std::optional<Options> parse(int argc, char** argv) {
                  opt.group_set);
     return std::nullopt;
   }
+  // The negated form also rejects NaN (which fails every comparison).
+  if (!(opt.albedo >= 0.0 && opt.albedo <= 1.0)) {
+    std::fprintf(stderr, "--albedo must be in [0, 1], got %g (try --help)\n",
+                 opt.albedo);
+    return std::nullopt;
+  }
+  if (opt.albedo != 0.0 && opt.mesh != "kobayashi") {
+    std::fprintf(stderr, "--albedo needs the structured mesh "
+                         "(--mesh=kobayashi); tet boundaries are vacuum\n");
+    return std::nullopt;
+  }
+  if (opt.k_eigenvalue && opt.auto_tune) {
+    std::fprintf(stderr,
+                 "--auto-tune is not supported with --k-eigenvalue\n");
+    return std::nullopt;
+  }
   if (opt.steal < -1 || opt.steal > 1) {
     std::fprintf(stderr, "--steal must be 0 or 1, got %d (try --help)\n",
                  opt.steal);
@@ -257,6 +290,151 @@ std::optional<Options> parse(int argc, char** argv) {
     return std::nullopt;
   }
   return opt;
+}
+
+/// Per-group serial sweep operator honoring the kernel's boundary policy:
+/// the stateless sweep everywhere, upgraded to the stateful boundary-
+/// coupled sweeper when a structured side reflects (--albedo > 0) so the
+/// serial reference lags mirror-angle iterates exactly like the engines.
+template <class Mesh, class Disc>
+sn::SweepOperator make_group_sweep(const Mesh& mesh, const Disc& disc,
+                                   const sn::Quadrature& quad,
+                                   sn::CellXs gxs) {
+  if constexpr (std::is_same_v<Disc, sn::StructuredDD>) {
+    if (disc.boundary().any()) {
+      auto gd = std::make_shared<sn::StructuredDD>(
+          mesh, std::move(gxs), disc.negative_flux_fixup(), disc.boundary());
+      auto sweeper = std::make_shared<sn::StructuredSerialSweeper>(*gd, quad);
+      return [gd, sweeper](const std::vector<double>& q) {
+        return sweeper->sweep(q);
+      };
+    }
+  }
+  auto gd = std::make_shared<Disc>(mesh, std::move(gxs));
+  return [gd, &quad](const std::vector<double>& q) {
+    return sn::serial_sweep(*gd, quad, q);
+  };
+}
+
+/// k-eigenvalue solve (--k-eigenvalue): power iteration over the plan-
+/// cached multigroup solve. Fission is synthesized in the material that
+/// carries the problem's external source (νΣ_f = 0.4 σ_t per group,
+/// fast-born χ); the external sources themselves are ignored — the driver
+/// rewrites every group source each outer iteration.
+template <class Mesh, class Disc>
+int solve_k_eigen(const Options& opt, const Mesh& mesh, const Disc& disc,
+                  const sn::MaterialTable& table,
+                  const partition::PatchSet& patches) {
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(opt.sn);
+  sn::MultigroupXs xs = sn::MultigroupXs::cascade(
+      table, mesh.materials(), mesh.num_cells(), opt.groups);
+  sn::FissionXs fission(opt.groups, mesh.num_cells());
+  fission.chi(0) = 1.0;
+  for (std::int64_t c = 0; c < mesh.num_cells(); ++c) {
+    const int mat = mesh.materials().empty()
+                        ? 0
+                        : mesh.materials()[static_cast<std::size_t>(c)];
+    if (table.at(mat).source <= 0.0) continue;
+    for (int g = 0; g < opt.groups; ++g)
+      fission.nu_sigma_f(g, c) = 0.4 * xs.sigma_t(g, c);
+  }
+
+  sweep::EigenOptions options;
+  options.max_outer_iterations = opt.max_iterations;
+  options.k_tolerance = opt.tolerance;
+  options.fission_tolerance = opt.tolerance * 100.0;
+  options.multigroup.inner = {opt.tolerance, opt.max_iterations, false};
+  options.multigroup.group_set_width = opt.group_set;
+
+  std::printf("%lld cells, %d patches, S%d (%d angles), %d group(s), "
+              "k-eigenvalue power iteration, engine=%s\n",
+              static_cast<long long>(mesh.num_cells()),
+              patches.num_patches(), opt.sn, quad.num_angles(), opt.groups,
+              opt.engine.c_str());
+  if (!opt.trace.empty() || opt.profile || !opt.metrics.empty())
+    std::fprintf(stderr, "note: --trace/--profile/--metrics cover "
+                         "fixed-source solves only; ignored for "
+                         "--k-eigenvalue\n");
+
+  sweep::EigenResult result;
+  WallTimer timer;
+  if (opt.engine == "serial") {
+    result = sweep::solve_k_eigenvalue_serial(
+        xs, fission, disc,
+        [&]() {
+          return sn::sequential_sweep_pass(
+              xs,
+              [&](int g) {
+                return make_group_sweep(mesh, disc, quad, xs.group_view(g));
+              },
+              opt.group_set);
+        },
+        options);
+  } else {
+    comm::Cluster::run(opt.ranks, [&](comm::Context& ctx) {
+      sn::MultigroupXs local = xs;  // per-rank writable copy (thread ranks)
+      sweep::PlanConfig plan_config;
+      plan_config.cluster_grain = opt.grain;
+      plan_config.patch_priority = graph::priority_from_string(opt.priority);
+      plan_config.vertex_priority = plan_config.patch_priority;
+      plan_config.cycle_policy =
+          sweep::cycle_policy_from_string(opt.cycle_policy);
+      plan_config.multigroup = &local;
+      plan_config.group_pipelining = !opt.group_barrier;
+      plan_config.group_set_width = opt.group_set;
+      const auto owner =
+          partition::assign_contiguous(patches.num_patches(), ctx.size());
+      const auto plan =
+          sweep::SweepPlan::build(ctx, mesh, patches, owner, disc, quad,
+                                  plan_config);
+      sweep::SolveConfig solve_config;
+      solve_config.engine = opt.engine == "bsp"
+                                ? sweep::EngineKind::Bsp
+                                : sweep::EngineKind::DataDriven;
+      solve_config.num_workers = opt.workers;
+      solve_config.use_coarsened_graph =
+          opt.coarsened && solve_config.engine == sweep::EngineKind::DataDriven;
+      solve_config.max_lag_sweeps = std::max(1, opt.lag_sweeps);
+      solve_config.work_stealing = opt.steal;
+      solve_config.steal_spin_rounds = opt.steal_spin;
+      solve_config.scheduler_seed =
+          static_cast<std::uint64_t>(opt.sched_seed);
+      solve_config.overlap_source_tail = !opt.no_source_overlap;
+      const auto r =
+          sweep::solve_k_eigenvalue(ctx, plan, local, fission, options,
+                                    solve_config);
+      if (ctx.rank().value() == 0) result = r;
+    });
+  }
+  const double seconds = timer.seconds();
+
+  std::printf("%s: k-eff %.9f in %d outer(s), %lld sweeps, %.3fs "
+              "(dk %.2e, dS %.2e)\n",
+              result.converged ? "converged" : "NOT converged", result.k,
+              result.outer_iterations,
+              static_cast<long long>(result.stats.transport_sweeps), seconds,
+              result.k_error, result.fission_error);
+  for (int g = 0; g < opt.groups; ++g) {
+    double peak = 0.0;
+    double mean = 0.0;
+    for (const auto phi : result.phi[static_cast<std::size_t>(g)]) {
+      peak = std::max(peak, phi);
+      mean += phi;
+    }
+    mean /=
+        static_cast<double>(result.phi[static_cast<std::size_t>(g)].size());
+    std::printf("group %d flux: mean %.5e  peak %.5e\n", g, mean, peak);
+  }
+
+  if (!opt.vtk.empty()) {
+    std::vector<mesh::CellField> fields;
+    for (int g = 0; g < opt.groups; ++g)
+      fields.push_back({"flux_g" + std::to_string(g),
+                        &result.phi[static_cast<std::size_t>(g)]});
+    mesh::write_vtk_file(opt.vtk, mesh, fields);
+    std::printf("wrote %s\n", opt.vtk.c_str());
+  }
+  return result.converged ? 0 : 2;
 }
 
 /// Multigroup solve (--groups=G > 1): a downscatter cascade derived from
@@ -304,11 +482,8 @@ int solve_multigroup(const Options& opt, const Mesh& mesh, const Disc& disc,
         mxs,
         sn::sequential_sweep_pass(
             mxs,
-            [&](int g) -> sn::SweepOperator {
-              auto gd = std::make_shared<Disc>(mesh, mxs.group_view(g));
-              return [gd, &quad](const std::vector<double>& q) {
-                return sn::serial_sweep(*gd, quad, q);
-              };
+            [&](int g) {
+              return make_group_sweep(mesh, disc, quad, mxs.group_view(g));
             },
             opt.group_set),
         mg);
@@ -473,6 +648,20 @@ int solve(const Options& opt, const Mesh& mesh, const Disc& disc,
                    "note: --lag-sweeps needs --engine=jsweep or bsp; the "
                    "serial sweeper always lags one sweep\n");
     bool done = false;
+    if constexpr (std::is_same_v<Disc, sn::StructuredDD>) {
+      if (disc.boundary().any()) {
+        // Boundary-coupled reference: lags mirror-angle iterates exactly
+        // like the engines' boundary store (--albedo > 0).
+        sn::StructuredSerialSweeper sweeper(disc, quad);
+        result = sn::source_iteration(
+            xs,
+            [&](const std::vector<double>& q) { return sweeper.sweep(q); },
+            si);
+        solver_stats.last_lag_sweeps = 1;
+        solver_stats.last_lag_residual = sweeper.last_lag_residual();
+        done = true;
+      }
+    }
     if constexpr (std::is_same_v<Disc, sn::TetStep>) {
       if (cycle_policy == sweep::CyclePolicy::Lag) {
         // Cycle-aware stateful reference: cuts feedback edges and lags
@@ -632,7 +821,12 @@ int main(int argc, char** argv) {
                                         layout.num_patches(), &cg);
       const sn::MaterialTable table = sn::MaterialTable::kobayashi();
       const sn::CellXs xs = expand(table, m.materials(), m.num_cells());
-      const sn::StructuredDD disc(m, xs);
+      sn::BoundarySpec bc;
+      bc.side(mesh::FaceDir::XLo) = opt.albedo;
+      bc.side(mesh::FaceDir::YLo) = opt.albedo;
+      bc.side(mesh::FaceDir::ZLo) = opt.albedo;
+      const sn::StructuredDD disc(m, xs, /*negative_flux_fixup=*/true, bc);
+      if (opt.k_eigenvalue) return solve_k_eigen(opt, m, disc, table, patches);
       if (opt.groups > 1)
         return solve_multigroup(opt, m, disc, table, patches);
       return solve(opt, m, disc, xs, patches);
@@ -665,6 +859,7 @@ int main(int argc, char** argv) {
         reactor ? sn::MaterialTable::reactor() : sn::MaterialTable::ball();
     const sn::CellXs xs = expand(table, m.materials(), m.num_cells());
     const sn::TetStep disc(m, xs);
+    if (opt.k_eigenvalue) return solve_k_eigen(opt, m, disc, table, patches);
     if (opt.groups > 1) return solve_multigroup(opt, m, disc, table, patches);
     return solve(opt, m, disc, xs, patches);
   } catch (const std::exception& e) {

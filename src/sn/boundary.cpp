@@ -1,0 +1,44 @@
+#include "sn/boundary.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+void BoundarySpec::validate() const {
+  for (int d = 0; d < 6; ++d) {
+    const double a = albedo[static_cast<std::size_t>(d)];
+    JSWEEP_CHECK_MSG(std::isfinite(a) && a >= 0.0 && a <= 1.0,
+                     "boundary albedo[" << d << "] = " << a
+                                        << " must be in [0, 1]");
+  }
+}
+
+int mirror_ordinate(const Quadrature& quad, int angle, int axis) {
+  JSWEEP_CHECK(angle >= 0 && angle < quad.num_angles());
+  JSWEEP_CHECK(axis >= 0 && axis < 3);
+  mesh::Vec3 want = quad.angle(angle).dir;
+  if (axis == 0) want.x = -want.x;
+  if (axis == 1) want.y = -want.y;
+  if (axis == 2) want.z = -want.z;
+
+  // Deterministic nearest match: smallest index within tolerance wins.
+  // Quadrature directions are unit-ish vectors with components well away
+  // from each other, so 1e-9 separates "the mirror" from "everything
+  // else" by many orders of magnitude for every set we build.
+  constexpr double kTol = 1e-9;
+  for (int m = 0; m < quad.num_angles(); ++m) {
+    const mesh::Vec3 d = quad.angle(m).dir;
+    if (std::abs(d.x - want.x) <= kTol && std::abs(d.y - want.y) <= kTol &&
+        std::abs(d.z - want.z) <= kTol)
+      return m;
+  }
+  JSWEEP_CHECK_MSG(false, "quadrature is not closed under axis-"
+                              << axis << " reflection: angle " << angle
+                              << " has no mirror partner (reflecting "
+                                 "boundaries need a symmetric set)");
+  return -1;  // unreachable
+}
+
+}  // namespace jsweep::sn

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file boundary.hpp
+/// Boundary conditions of the structured sweep domain. The default —
+/// everywhere in the codebase — is vacuum: an incoming boundary face reads
+/// exactly 0. A BoundarySpec upgrades individual box sides to albedo
+/// (partially reflecting) or fully reflecting boundaries: the incoming
+/// angular flux of angle m at a boundary face is `albedo ×` the *previous
+/// sweep's* outgoing flux of the mirror angle m′ at the same face. The
+/// coupling is always lagged one sweep (the same prev/stage/commit
+/// protocol cycle cuts use, see sweep/lagged_flux.hpp), which keeps it
+/// schedule-independent: no sweep ordering constraint ties m to m′, so the
+/// engines stay bitwise deterministic and the outer iteration absorbs the
+/// lag error exactly as it does for cut feedback edges.
+
+#include <array>
+
+#include "mesh/geometry.hpp"
+#include "sn/quadrature.hpp"
+
+namespace jsweep::sn {
+
+/// Per-side boundary policy of a structured box domain. `albedo[d]` is the
+/// reflection coefficient of side `d` (indexed by mesh::FaceDir): 0 =
+/// vacuum (the bitwise-default everywhere), 1 = fully reflecting, values
+/// in between model partial reflectors. The albedo multiplies the mirror
+/// angle's stored outgoing flux exactly once, at seed time — never inside
+/// the sweep kernel — so a spec of all zeros leaves every existing solve
+/// bitwise unchanged.
+struct BoundarySpec {
+  /// Reflection coefficient per box side, indexed by mesh::FaceDir.
+  std::array<double, 6> albedo{};
+
+  /// All sides vacuum (the default-constructed state, spelled out).
+  [[nodiscard]] static BoundarySpec vacuum() { return BoundarySpec{}; }
+
+  /// Every side reflecting with coefficient `a` (default: mirror, 1.0).
+  [[nodiscard]] static BoundarySpec reflecting_all(double a = 1.0) {
+    BoundarySpec spec;
+    spec.albedo.fill(a);
+    return spec;
+  }
+
+  /// The albedo of side `d`.
+  [[nodiscard]] double side(mesh::FaceDir d) const {
+    return albedo[static_cast<std::size_t>(static_cast<int>(d))];
+  }
+
+  /// Mutable albedo of side `d`.
+  double& side(mesh::FaceDir d) {
+    return albedo[static_cast<std::size_t>(static_cast<int>(d))];
+  }
+
+  /// True when any side is non-vacuum.
+  [[nodiscard]] bool any() const {
+    for (const double a : albedo)
+      if (a != 0.0) return true;
+    return false;
+  }
+
+  /// Every coefficient must be finite and in [0, 1]; throws CheckError
+  /// otherwise (an albedo above one multiplies flux without bound).
+  void validate() const;
+};
+
+/// The mirror angle of `angle` across the axis (0 = x, 1 = y, 2 = z): the
+/// quadrature index whose direction equals angle's with that component
+/// negated. Level-symmetric sets are closed under per-axis sign flips
+/// bitwise; product sets are closed structurally but not bitwise, so the
+/// match is a deterministic nearest-direction search within a tight
+/// tolerance. Throws CheckError when the quadrature has no mirror partner
+/// (such a set cannot support a reflecting boundary on that axis).
+[[nodiscard]] int mirror_ordinate(const Quadrature& quad, int angle,
+                                  int axis);
+
+}  // namespace jsweep::sn

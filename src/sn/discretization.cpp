@@ -20,10 +20,14 @@ double lookup(const FaceFluxMap& flux, std::int64_t face) {
 }  // namespace
 
 StructuredDD::StructuredDD(const mesh::StructuredMesh& m, CellXs xs,
-                           bool negative_flux_fixup)
-    : mesh_(m), xs_(std::move(xs)), fixup_(negative_flux_fixup) {
+                           bool negative_flux_fixup, BoundarySpec boundary)
+    : mesh_(m),
+      xs_(std::move(xs)),
+      fixup_(negative_flux_fixup),
+      boundary_(boundary) {
   JSWEEP_CHECK(static_cast<std::int64_t>(xs_.sigma_t.size()) ==
                m.num_cells());
+  boundary_.validate();
 }
 
 // The dense and map kernels must perform the identical floating-point
@@ -83,12 +87,16 @@ double StructuredDD::sweep_cell(CellId c, const Ordinate& ang,
   for (int axis = 0; axis < 3; ++axis) {
     const double alpha = 2.0 * absmu[static_cast<std::size_t>(axis)] /
                          width[static_cast<std::size_t>(axis)];
-    const auto nb = mesh_.neighbor(c, in_dir[static_cast<std::size_t>(axis)]);
+    const auto d = in_dir[static_cast<std::size_t>(axis)];
+    const auto nb = mesh_.neighbor(c, d);
+    // Boundary faces on an albedo side read the seeded slot named from
+    // this cell (the mirror angle's outflow face); an unseeded read is 0,
+    // so with vacuum sides nothing changes bitwise.
     const double in =
-        nb ? lookup(flux, graph::structured_face_id(
-                              *nb, mesh::opposite(
-                                       in_dir[static_cast<std::size_t>(axis)])))
-           : 0.0;
+        nb ? lookup(flux, graph::structured_face_id(*nb, mesh::opposite(d)))
+        : boundary_.side(d) != 0.0
+            ? lookup(flux, graph::structured_face_id(c, d))
+            : 0.0;
     psi_in[static_cast<std::size_t>(axis)] = in;
     numerator += alpha * in;
     denominator += alpha;
@@ -215,9 +223,14 @@ void StructuredDD::face_ids(CellId c, const Ordinate& ang,
   for (int axis = 0; axis < 3; ++axis) {
     const auto d = in_dir[static_cast<std::size_t>(axis)];
     const auto nb = mesh_.neighbor(c, d);
+    // Albedo sides: the incoming boundary face is structured_face_id(c, d)
+    // — the very face the mirror angle writes as its outflow from this
+    // cell — so the plan's boundary store can couple the pair.
     ids.in[static_cast<std::size_t>(axis)] =
-        nb ? graph::structured_face_id(*nb, mesh::opposite(d))
-           : CellFaceIds::kNone;
+        nb                            ? graph::structured_face_id(
+                                            *nb, mesh::opposite(d))
+        : boundary_.side(d) != 0.0 ? graph::structured_face_id(c, d)
+                                      : CellFaceIds::kNone;
     ids.out[static_cast<std::size_t>(axis)] =
         graph::structured_face_id(c, mesh::opposite(d));
   }

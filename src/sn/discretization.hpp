@@ -29,6 +29,7 @@
 #include "graph/sweep_dag.hpp"
 #include "mesh/structured_mesh.hpp"
 #include "mesh/tet_mesh.hpp"
+#include "sn/boundary.hpp"
 #include "sn/face_flux.hpp"
 #include "sn/quadrature.hpp"
 #include "sn/xs.hpp"
@@ -89,8 +90,15 @@ class StructuredDD final : public Discretization {
  public:
   /// `negative_flux_fixup`: clamp negative extrapolated face fluxes to 0
   /// (set-to-zero fixup, no rebalance). Recommended for void regions.
+  /// `boundary`: per-side albedo policy (default: vacuum everywhere). With
+  /// a non-vacuum side, face_ids() names that side's incoming boundary
+  /// face `structured_face_id(c, side)` — exactly the face the mirror
+  /// angle writes as its outflow from the same cell — so the lagged
+  /// boundary store (sweep/plan.cpp) can seed it; the kernels' arithmetic
+  /// is untouched (the albedo scaling happens at seed time).
   StructuredDD(const mesh::StructuredMesh& m, CellXs xs,
-               bool negative_flux_fixup = true);
+               bool negative_flux_fixup = true,
+               BoundarySpec boundary = BoundarySpec{});
 
   double sweep_cell(CellId c, const Ordinate& ang,
                     const std::vector<double>& q_per_ster,
@@ -117,11 +125,15 @@ class StructuredDD final : public Discretization {
   /// The negative-flux-fixup setting (so per-group clones of this kernel
   /// can inherit it).
   [[nodiscard]] bool negative_flux_fixup() const { return fixup_; }
+  /// The per-side boundary policy (so per-group clones can inherit it and
+  /// the plan can register boundary-store slots).
+  [[nodiscard]] const BoundarySpec& boundary() const { return boundary_; }
 
  private:
   const mesh::StructuredMesh& mesh_;
   CellXs xs_;
   bool fixup_;
+  BoundarySpec boundary_;
 };
 
 /// Upwind step scheme on tetrahedra.

@@ -1,0 +1,59 @@
+#include "sn/fission.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace jsweep::sn {
+
+FissionXs::FissionXs(int groups, std::int64_t cells)
+    : groups_(groups), cells_(cells) {
+  JSWEEP_CHECK(groups >= 1);
+  JSWEEP_CHECK(cells >= 1);
+  nu_sigma_f_.assign(
+      static_cast<std::size_t>(cells) * static_cast<std::size_t>(groups),
+      0.0);
+  chi_.assign(static_cast<std::size_t>(groups), 0.0);
+}
+
+std::vector<double> FissionXs::production(
+    const std::vector<std::vector<double>>& phi) const {
+  JSWEEP_CHECK(static_cast<int>(phi.size()) == groups_);
+  std::vector<double> s(static_cast<std::size_t>(cells_), 0.0);
+  for (int g = 0; g < groups_; ++g) {
+    const auto& pg = phi[static_cast<std::size_t>(g)];
+    JSWEEP_CHECK(static_cast<std::int64_t>(pg.size()) == cells_);
+    for (std::int64_t c = 0; c < cells_; ++c)
+      s[static_cast<std::size_t>(c)] +=
+          nu_sigma_f(g, c) * pg[static_cast<std::size_t>(c)];
+  }
+  return s;
+}
+
+void FissionXs::validate() const {
+  double chi_sum = 0.0;
+  for (int g = 0; g < groups_; ++g) {
+    const double x = chi(g);
+    JSWEEP_CHECK_MSG(std::isfinite(x) && x >= 0.0,
+                     "χ[" << g << "] = " << x);
+    chi_sum += x;
+  }
+  JSWEEP_CHECK_MSG(std::abs(chi_sum - 1.0) <= 1e-12,
+                   "χ sums to " << chi_sum
+                                << " (the emission spectrum must be a "
+                                   "probability distribution)");
+  bool any_fission = false;
+  for (std::int64_t c = 0; c < cells_; ++c) {
+    for (int g = 0; g < groups_; ++g) {
+      const double f = nu_sigma_f(g, c);
+      JSWEEP_CHECK_MSG(std::isfinite(f) && f >= 0.0,
+                       "νΣ_f[" << g << "] = " << f << " at cell " << c);
+      if (f > 0.0) any_fission = true;
+    }
+  }
+  JSWEEP_CHECK_MSG(any_fission,
+                   "every νΣ_f entry is zero — a fission-free problem has "
+                   "no k-eigenvalue");
+}
+
+}  // namespace jsweep::sn

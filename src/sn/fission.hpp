@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file fission.hpp
+/// Fission production data for k-eigenvalue problems: per-cell νΣ_f per
+/// group plus a global emission spectrum χ. A power iteration
+/// (sweep/eigen.hpp) folds these into the multigroup fixed source as
+/// Q_g(c) = χ_g · S(c) / k with S(c) = Σ_g νΣ_f[g](c) φ_g(c), so the
+/// existing multigroup transport solve needs no changes — only its source
+/// is rewritten between outer iterations.
+
+#include <cstdint>
+#include <vector>
+
+namespace jsweep::sn {
+
+/// Fission cross sections over the same (group, cell) index space as
+/// MultigroupXs: νΣ_f flattened [cell * G + group], χ one entry per group.
+class FissionXs {
+ public:
+  /// Zero-initialized table for `groups` × `cells` (both ≥ 1). χ starts
+  /// all-zero and must be filled to sum to one before validate().
+  FissionXs(int groups, std::int64_t cells);
+
+  /// Energy groups G.
+  [[nodiscard]] int groups() const { return groups_; }
+  /// Mesh cells covered.
+  [[nodiscard]] std::int64_t cells() const { return cells_; }
+
+  /// ν·Σ_f of group g in cell c (mutable).
+  double& nu_sigma_f(int g, std::int64_t c) {
+    return nu_sigma_f_[index(g, c)];
+  }
+  /// ν·Σ_f of group g in cell c.
+  [[nodiscard]] double nu_sigma_f(int g, std::int64_t c) const {
+    return nu_sigma_f_[index(g, c)];
+  }
+  /// Fission emission probability into group g (mutable).
+  double& chi(int g) { return chi_[static_cast<std::size_t>(g)]; }
+  /// Fission emission probability into group g.
+  [[nodiscard]] double chi(int g) const {
+    return chi_[static_cast<std::size_t>(g)];
+  }
+
+  /// The cell-local fission production S(c) = Σ_g νΣ_f[g](c) · φ_g(c),
+  /// accumulated in ascending group order — the ONE summation order every
+  /// k-eigenvalue driver (serial and parallel) must share for bitwise
+  /// agreement. `phi[g]` must hold cells() entries for each group.
+  [[nodiscard]] std::vector<double> production(
+      const std::vector<std::vector<double>>& phi) const;
+
+  /// Reject malformed data before a solve: every νΣ_f and χ entry must be
+  /// finite and non-negative, χ must sum to one within 1e-12, and at least
+  /// one νΣ_f entry must be positive (a fission-free problem has no
+  /// eigenvalue — the power iteration would divide by a zero production).
+  /// Throws CheckError naming the offending entry on violation.
+  void validate() const;
+
+ private:
+  [[nodiscard]] std::size_t index(int g, std::int64_t c) const {
+    return static_cast<std::size_t>(c) * groups_ +
+           static_cast<std::size_t>(g);
+  }
+
+  int groups_;
+  std::int64_t cells_;
+  std::vector<double> nu_sigma_f_;
+  std::vector<double> chi_;
+};
+
+}  // namespace jsweep::sn

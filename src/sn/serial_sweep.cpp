@@ -60,6 +60,131 @@ std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
   return phi;
 }
 
+namespace {
+
+/// The side angle ω *enters* along `axis` (ω_x > 0 travels +x, entering
+/// through XLo).
+mesh::FaceDir serial_inflow_side(const mesh::Vec3& omega, int axis) {
+  const double w = axis == 0 ? omega.x : axis == 1 ? omega.y : omega.z;
+  return static_cast<mesh::FaceDir>(2 * axis + (w > 0.0 ? 0 : 1));
+}
+
+}  // namespace
+
+StructuredSerialSweeper::StructuredSerialSweeper(const StructuredDD& disc,
+                                                 const Quadrature& quad)
+    : disc_(disc), quad_(quad) {
+  const mesh::StructuredMesh& m = disc_.mesh();
+  const BoundarySpec& bc = disc_.boundary();
+  bc.validate();
+  // Identity slot layout: structured face ids (cell·6 + dir) are dense.
+  JSWEEP_CHECK(m.num_cells() * 6 < INT32_MAX);
+  flux_.prepare(m.num_cells() * 6);
+
+  std::array<std::vector<int>, 3> mirror;
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto lo = static_cast<mesh::FaceDir>(2 * axis);
+    if (bc.side(lo) == 0.0 && bc.side(mesh::opposite(lo)) == 0.0) continue;
+    mirror[static_cast<std::size_t>(axis)].resize(
+        static_cast<std::size_t>(quad_.num_angles()));
+    for (int a = 0; a < quad_.num_angles(); ++a)
+      mirror[static_cast<std::size_t>(axis)][static_cast<std::size_t>(a)] =
+          mirror_ordinate(quad_, a, axis);
+  }
+
+  angles_.resize(static_cast<std::size_t>(quad_.num_angles()));
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    AngleState& st = angles_[static_cast<std::size_t>(a)];
+    st.slots = build_identity_slots(disc_, quad_.angle(a));
+    if (!bc.any()) continue;
+    const mesh::Vec3 omega = quad_.angle(a).dir;
+    for (std::int64_t c = 0; c < m.num_cells(); ++c) {
+      for (int axis = 0; axis < 3; ++axis) {
+        const mesh::FaceDir d_in = serial_inflow_side(omega, axis);
+        const mesh::FaceDir d_out = mesh::opposite(d_in);
+        if (bc.side(d_in) != 0.0 && !m.neighbor(CellId{c}, d_in))
+          st.reads.push_back(BoundaryRead{
+              graph::structured_face_id(CellId{c}, d_in),
+              mirror[static_cast<std::size_t>(axis)]
+                    [static_cast<std::size_t>(a)],
+              bc.side(d_in)});
+        if (bc.side(d_out) != 0.0 && !m.neighbor(CellId{c}, d_out)) {
+          const std::int64_t face =
+              graph::structured_face_id(CellId{c}, d_out);
+          st.writes.push_back(face);
+          st.prev.emplace(face, 0.0);
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> StructuredSerialSweeper::sweep(
+    const std::vector<double>& q_per_ster) {
+  const mesh::StructuredMesh& m = disc_.mesh();
+  const mesh::Index3 d = m.dims();
+  std::vector<double> phi(static_cast<std::size_t>(m.num_cells()), 0.0);
+  // Staged fresh outflows, committed after ALL angles swept — the same
+  // once-per-sweep cadence as LaggedFluxStore::commit.
+  std::vector<std::vector<double>> staged(angles_.size());
+
+  for (int a = 0; a < quad_.num_angles(); ++a) {
+    AngleState& st = angles_[static_cast<std::size_t>(a)];
+    const Ordinate& ang = quad_.angle(a);
+    flux_.reset();
+    // Seed every boundary read with albedo × the mirror angle's committed
+    // outflow — the identical multiplication the parallel seed performs.
+    for (const auto& r : st.reads) {
+      const auto& mprev =
+          angles_[static_cast<std::size_t>(r.mirror_angle)].prev;
+      const auto it = mprev.find(r.face);
+      JSWEEP_CHECK_MSG(it != mprev.end(),
+                       "boundary face " << r.face
+                                        << " has no mirror-angle iterate");
+      flux_.write(static_cast<std::int32_t>(r.face),
+                  r.albedo * it->second);
+    }
+    const int i0 = ang.dir.x > 0 ? 0 : d.i - 1;
+    const int istep = ang.dir.x > 0 ? 1 : -1;
+    const int j0 = ang.dir.y > 0 ? 0 : d.j - 1;
+    const int jstep = ang.dir.y > 0 ? 1 : -1;
+    const int k0 = ang.dir.z > 0 ? 0 : d.k - 1;
+    const int kstep = ang.dir.z > 0 ? 1 : -1;
+    for (int kk = 0, k = k0; kk < d.k; ++kk, k += kstep) {
+      for (int jj = 0, j = j0; jj < d.j; ++jj, j += jstep) {
+        for (int ii = 0, i = i0; ii < d.i; ++ii, i += istep) {
+          const CellId c = m.cell_at({i, j, k});
+          const FaceFluxView view{
+              &flux_, &st.slots[static_cast<std::size_t>(c.value())]};
+          const double psi = disc_.sweep_cell(c, ang, q_per_ster, view);
+          phi[static_cast<std::size_t>(c.value())] += ang.weight * psi;
+        }
+      }
+    }
+    // Stage the fresh outflows (each boundary face is written by exactly
+    // one cell, so reading after the loop sees the kernel's value).
+    auto& fresh = staged[static_cast<std::size_t>(a)];
+    fresh.reserve(st.writes.size());
+    for (const auto face : st.writes) {
+      const auto slot = static_cast<std::int32_t>(face);
+      JSWEEP_ASSERT(flux_.has(slot));
+      fresh.push_back(flux_.read(slot));
+    }
+  }
+
+  // Commit: promote the staged outflows and report the residual.
+  residual_ = 0.0;
+  for (std::size_t a = 0; a < angles_.size(); ++a) {
+    AngleState& st = angles_[a];
+    for (std::size_t i = 0; i < st.writes.size(); ++i) {
+      double& prev = st.prev[st.writes[i]];
+      residual_ = std::max(residual_, std::abs(staged[a][i] - prev));
+      prev = staged[a][i];
+    }
+  }
+  return phi;
+}
+
 SerialSweeper::SerialSweeper(const TetStep& disc, const Quadrature& quad)
     : disc_(disc), quad_(quad) {
   const mesh::TetMesh& m = disc_.mesh();

@@ -31,6 +31,52 @@ std::vector<double> serial_sweep(const StructuredDD& disc,
 std::vector<double> serial_sweep(const TetStep& disc, const Quadrature& quad,
                                  const std::vector<double>& q_per_ster);
 
+/// Boundary-aware serial reference sweeper for structured meshes. The
+/// stateless serial_sweep() overload above covers the vacuum-only case;
+/// this class additionally carries the reflecting/albedo boundary
+/// iterates of a non-vacuum BoundarySpec from sweep to sweep: angle m's
+/// incoming value at a boundary face is `albedo ×` the *previous* sweep's
+/// outgoing flux of the mirror angle at the same face, committed once per
+/// sweep — exactly the lagged store protocol the parallel plan uses
+/// (sweep/plan.cpp), so sweep() reproduces the engines' scalar flux
+/// bit-for-bit, sweep after sweep. With an all-vacuum spec it degenerates
+/// to the stateless sweep (identical results, no state).
+class StructuredSerialSweeper {
+ public:
+  /// Precomputes dense slots, the per-axis mirror table and the boundary
+  /// read/write lists; `disc` and `quad` must outlive the sweeper.
+  StructuredSerialSweeper(const StructuredDD& disc, const Quadrature& quad);
+
+  /// One full sweep over all angles (octant-ordered loops, ascending
+  /// angle); stages every boundary outflow and commits the iterates at
+  /// the end. Returns φ = Σ_m w_m ψ_m.
+  std::vector<double> sweep(const std::vector<double>& q_per_ster);
+
+  /// Max |change| over boundary faces at the last commit (0 when vacuum).
+  [[nodiscard]] double last_lag_residual() const { return residual_; }
+
+ private:
+  /// A boundary face this angle reads: seeded before the cell loop.
+  struct BoundaryRead {
+    std::int64_t face;  ///< global face id (== workspace slot)
+    int mirror_angle;   ///< angle whose stored outflow seeds the read
+    double albedo;      ///< the side's reflection coefficient
+  };
+
+  struct AngleState {
+    std::vector<CellFaceSlots> slots;      ///< identity-resolved per cell
+    std::vector<BoundaryRead> reads;       ///< faces to seed
+    std::vector<std::int64_t> writes;      ///< outflow faces to stage
+    std::unordered_map<std::int64_t, double> prev;  ///< committed iterates
+  };
+
+  const StructuredDD& disc_;
+  const Quadrature& quad_;
+  std::vector<AngleState> angles_;
+  FaceFluxWorkspace flux_;  ///< whole-mesh workspace (reset per angle)
+  double residual_ = 0.0;
+};
+
 /// Cycle-aware serial reference sweeper for tetrahedral meshes. Stateful:
 /// it computes the same per-direction feedback-edge cut as the parallel
 /// solver (graph::compute_cycle_cut), sweeps the acyclic remainder in

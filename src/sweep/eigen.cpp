@@ -1,0 +1,145 @@
+#include "sweep/eigen.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/ids.hpp"
+#include "support/timer.hpp"
+#include "sweep/sweep_data.hpp"
+
+namespace jsweep::sweep {
+
+namespace {
+
+/// The production integral F = Σ_c S(c) · V(c), ascending cell order —
+/// the shared deterministic reduction of both drivers.
+double production_integral(const std::vector<double>& s,
+                           const sn::Discretization& disc) {
+  double f = 0.0;
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(s.size()); ++c)
+    f += s[static_cast<std::size_t>(c)] * disc.cell_volume(CellId{c});
+  return f;
+}
+
+/// The power-iteration core shared by the serial and parallel drivers:
+/// `transport_solve` runs one multigroup solve against the sources
+/// currently stored in `xs`. Every floating-point operation outside the
+/// transport solve lives here, in one fixed order — the two drivers can
+/// only diverge if their transport solves do.
+EigenResult power_iteration(
+    sn::MultigroupXs& xs, const sn::FissionXs& fission,
+    const sn::Discretization& disc, const EigenOptions& options,
+    const std::function<sn::MultigroupResult()>& transport_solve) {
+  WallTimer timer;
+  xs.validate();
+  fission.validate();
+  JSWEEP_CHECK_MSG(fission.groups() == xs.groups() &&
+                       fission.cells() == xs.cells(),
+                   "fission table covers " << fission.groups() << "×"
+                                           << fission.cells()
+                                           << " but the transport XS "
+                                           << xs.groups() << "×"
+                                           << xs.cells());
+  JSWEEP_CHECK_MSG(options.max_outer_iterations >= 1,
+                   "EigenOptions::max_outer_iterations must be >= 1");
+  const int G = xs.groups();
+  const std::int64_t n = xs.cells();
+  JSWEEP_CHECK(disc.num_cells() == n);
+
+  EigenResult result;
+  result.fission_source.assign(static_cast<std::size_t>(n), 1.0);
+  double f_old = production_integral(result.fission_source, disc);
+
+  const std::int64_t built_before = SweepTaskData::total_created();
+  for (int outer = 0; outer < options.max_outer_iterations; ++outer) {
+    // Stage this outer's fixed source Q_g(c) = χ_g · S(c) / k. The
+    // transport solve snapshots its group views per call, so the rewrite
+    // is visible to the very next solve and to nothing that is running.
+    for (std::int64_t c = 0; c < n; ++c)
+      for (int g = 0; g < G; ++g)
+        xs.source(g, c) = fission.chi(g) *
+                          result.fission_source[static_cast<std::size_t>(c)] /
+                          result.k;
+
+    sn::MultigroupResult mg = transport_solve();
+    result.stats.transport_sweeps += mg.total_sweeps;
+
+    std::vector<double> s_new = fission.production(mg.phi);
+    const double f_new = production_integral(s_new, disc);
+    JSWEEP_CHECK_MSG(f_new > 0.0,
+                     "fission production vanished at outer " << outer + 1);
+
+    const double k_new = result.k * (f_new / f_old);
+    // Scale-invariant source change: compare the new iterate rescaled to
+    // the old one's production, so a uniform amplitude drift (absorbed
+    // into k) does not mask or fake convergence.
+    const double rescale = f_old / f_new;
+    double diff = 0.0;
+    double scale = 0.0;
+    for (std::int64_t c = 0; c < n; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      diff = std::max(diff,
+                      std::abs(s_new[i] * rescale - result.fission_source[i]));
+      scale = std::max(scale, std::abs(result.fission_source[i]));
+    }
+    result.fission_error = scale > 0.0 ? diff / scale : diff;
+    result.k_error = std::abs(k_new - result.k) / std::abs(k_new);
+
+    result.k = k_new;
+    result.fission_source = std::move(s_new);
+    result.phi = std::move(mg.phi);
+    f_old = f_new;
+    result.outer_iterations = outer + 1;
+    if (result.k_error <= options.k_tolerance &&
+        result.fission_error <= options.fission_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.stats.task_data_built =
+      SweepTaskData::total_created() - built_before;
+  result.stats.solve_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+EigenResult solve_k_eigenvalue(comm::Context& ctx,
+                               const std::shared_ptr<const SweepPlan>& plan,
+                               sn::MultigroupXs& xs,
+                               const sn::FissionXs& fission,
+                               const EigenOptions& options,
+                               const SolveConfig& solve) {
+  JSWEEP_CHECK_MSG(plan != nullptr, "k-eigenvalue solve needs a plan");
+  JSWEEP_CHECK_MSG(plan->config().multigroup == &xs,
+                   "the plan must be built against the very MultigroupXs "
+                   "passed here (PlanConfig::multigroup == &xs) — the "
+                   "driver rewrites its sources between outers");
+  return power_iteration(xs, fission, plan->disc(), options,
+                         [&ctx, &plan, &options, &solve]() {
+                           // Fresh session per outer: lagged/boundary
+                           // iterates restart from zero, exactly like the
+                           // serial reference's fresh sweepers. The plan
+                           // (graphs, slots, couplings) is shared.
+                           SweepSession session(ctx, plan, solve);
+                           return session.solve_multigroup(options.multigroup);
+                         });
+}
+
+EigenResult solve_k_eigenvalue_serial(
+    sn::MultigroupXs& xs, const sn::FissionXs& fission,
+    const sn::Discretization& disc,
+    const std::function<sn::MultigroupSweepPass()>& make_pass,
+    const EigenOptions& options) {
+  JSWEEP_CHECK_MSG(make_pass != nullptr,
+                   "k-eigenvalue solve needs a pass factory");
+  return power_iteration(xs, fission, disc, options,
+                         [&xs, &make_pass, &options]() {
+                           const sn::MultigroupSweepPass pass = make_pass();
+                           return sn::solve_multigroup_sweeps(
+                               xs, pass, options.multigroup);
+                         });
+}
+
+}  // namespace jsweep::sweep

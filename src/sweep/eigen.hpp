@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file eigen.hpp
+/// k-eigenvalue power iteration over the multigroup transport solve. Each
+/// outer iteration rewrites the multigroup fixed source from the current
+/// fission-source iterate, Q_g(c) = χ_g · S(c) / k, runs the existing
+/// multigroup solve unchanged, recomputes the production
+/// S(c) = Σ_g νΣ_f[g](c) φ_g(c), and updates the eigenvalue by the
+/// production ratio k ← k · F_new / F_old with F = Σ_c S(c) · V(c).
+///
+/// Two drivers share one power-iteration core (identical floating-point
+/// operation sequence, so their iterates agree bitwise given bitwise-equal
+/// transport solves):
+///
+///   - solve_k_eigenvalue(): parallel — one SweepPlan built once, a fresh
+///     SweepSession per outer iteration (zeroed lagged iterates each
+///     outer, matching the serial reference's fresh sweepers). The plan's
+///     task graphs, face slots and boundary-coupling tables are reused
+///     across every outer; EigenStats::task_data_built proves it.
+///   - solve_k_eigenvalue_serial(): the ground-truth reference — a caller
+///     -supplied pass factory is invoked fresh per outer and driven
+///     through sn::solve_multigroup_sweeps.
+///
+/// Every reduction the core performs (production, F-integral, error
+/// norms) runs in ascending cell / group order on data that is already
+/// identical on every rank (the transport solve allreduces φ), so no
+/// additional collectives are needed and the parallel driver is bitwise
+/// rank-count-independent wherever the transport solve is.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "sn/discretization.hpp"
+#include "sn/fission.hpp"
+#include "sn/multigroup.hpp"
+#include "sweep/plan.hpp"
+#include "sweep/session.hpp"
+
+namespace jsweep::sweep {
+
+/// Outer-iteration control of the k-eigenvalue power iteration.
+struct EigenOptions {
+  int max_outer_iterations = 100;  ///< power-iteration cap
+  /// Converge when |Δk| ≤ k_tolerance · |k| ...
+  double k_tolerance = 1e-10;
+  /// ... AND the scale-invariant fission-source change
+  /// max|S_new · (F_old / F_new) − S_old| / max|S_old| drops below this.
+  double fission_tolerance = 1e-8;
+  /// Control of the per-outer multigroup transport solve.
+  sn::MultigroupOptions multigroup;
+};
+
+/// Counters of one k-eigenvalue solve.
+struct EigenStats {
+  std::int64_t transport_sweeps = 0;  ///< sweeps across all outers
+  /// SweepTaskData instances built during the solve — 0 proves the plan's
+  /// task graphs were reused by every outer (parallel driver only).
+  std::int64_t task_data_built = 0;
+  double solve_seconds = 0.0;  ///< wall time of the whole solve
+};
+
+/// Result of a k-eigenvalue power iteration.
+struct EigenResult {
+  double k = 1.0;  ///< the multiplication factor estimate
+  /// phi[g] is group g's scalar flux at the final outer (iterate scale —
+  /// not normalized).
+  std::vector<std::vector<double>> phi;
+  /// Final fission-source iterate S(c) (same scale as phi).
+  std::vector<double> fission_source;
+  int outer_iterations = 0;    ///< power iterations executed
+  double k_error = 0.0;        ///< final |Δk| / |k|
+  double fission_error = 0.0;  ///< final scale-invariant source change
+  bool converged = false;      ///< both tolerances met
+  EigenStats stats;            ///< counters and timings
+};
+
+/// Parallel k-eigenvalue solve over a shared plan. `xs` must be the very
+/// object the plan was built against (PlanConfig::multigroup == &xs) —
+/// the driver rewrites xs.source between outers and the sessions read it
+/// through the plan. Each outer runs in a fresh SweepSession configured
+/// by `solve`; collective across the cluster the plan was built on and
+/// bitwise-identical on every rank.
+EigenResult solve_k_eigenvalue(comm::Context& ctx,
+                               const std::shared_ptr<const SweepPlan>& plan,
+                               sn::MultigroupXs& xs,
+                               const sn::FissionXs& fission,
+                               const EigenOptions& options = {},
+                               const SolveConfig& solve = {});
+
+/// Serial reference k-eigenvalue solve: `make_pass` is invoked fresh at
+/// the start of every outer iteration (so stateful sweepers restart from
+/// zeroed lagged/boundary iterates, matching the parallel driver's fresh
+/// sessions) and the returned pass is driven by
+/// sn::solve_multigroup_sweeps against the same mutated `xs`. `disc`
+/// supplies the cell volumes of the production integral.
+EigenResult solve_k_eigenvalue_serial(
+    sn::MultigroupXs& xs, const sn::FissionXs& fission,
+    const sn::Discretization& disc,
+    const std::function<sn::MultigroupSweepPass()>& make_pass,
+    const EigenOptions& options = {});
+
+}  // namespace jsweep::sweep

@@ -92,16 +92,103 @@ void validate_plan_inputs(comm::Context& ctx, std::int64_t mesh_cells,
 
 }  // namespace
 
+namespace {
+
+/// The ω component along `axis`.
+double omega_component(const mesh::Vec3& omega, int axis) {
+  return axis == 0 ? omega.x : axis == 1 ? omega.y : omega.z;
+}
+
+/// The side angle ω *enters* along `axis` (ω_x > 0 travels +x, entering
+/// through XLo). Quadrature components are never exactly zero.
+mesh::FaceDir inflow_side(const mesh::Vec3& omega, int axis) {
+  return static_cast<mesh::FaceDir>(
+      2 * axis + (omega_component(omega, axis) > 0.0 ? 0 : 1));
+}
+
+}  // namespace
+
 std::shared_ptr<const SweepPlan> SweepPlan::build(
     comm::Context& ctx, const mesh::StructuredMesh& m,
     const partition::PatchSet& ps, std::vector<RankId> patch_owner,
     const sn::StructuredDD& disc, const sn::Quadrature& quad,
     PlanConfig config) {
+  // Reflecting/albedo boundary sides: precompute the per-axis mirror-angle
+  // table (validating quadrature closure up front) and hand build_impl the
+  // slot registrar + per-(patch, angle) coupling builder. All-vacuum specs
+  // register nothing and leave every existing plan bitwise unchanged.
+  const sn::BoundarySpec bc = disc.boundary();
+  std::array<std::vector<int>, 3> mirror;
+  if (bc.any()) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const auto lo = static_cast<mesh::FaceDir>(2 * axis);
+      if (bc.side(lo) == 0.0 && bc.side(mesh::opposite(lo)) == 0.0) continue;
+      mirror[static_cast<std::size_t>(axis)].resize(
+          static_cast<std::size_t>(quad.num_angles()));
+      for (int a = 0; a < quad.num_angles(); ++a)
+        mirror[static_cast<std::size_t>(axis)][static_cast<std::size_t>(a)] =
+            sn::mirror_ordinate(quad, a, axis);
+    }
+  }
+  // Deterministic slot order — identical on every rank: angle-major, then
+  // side, then cell ascending. A slot exists for every (angle, boundary
+  // face) pair the angle flows OUT of on a non-vacuum side.
+  const auto boundary_registrar = [&](LaggedFluxStore& store) {
+    if (!bc.any()) return;
+    for (int a = 0; a < quad.num_angles(); ++a) {
+      const mesh::Vec3 omega = quad.angle(a).dir;
+      for (int side = 0; side < 6; ++side) {
+        const auto d = static_cast<mesh::FaceDir>(side);
+        if (bc.side(d) == 0.0) continue;
+        if (dot(omega, mesh::kFaceNormals[static_cast<std::size_t>(side)]) <=
+            0.0)
+          continue;  // angle does not exit this side
+        for (std::int64_t c = 0; c < m.num_cells(); ++c)
+          if (!m.neighbor(CellId{c}, d))
+            store.add_slot(a, graph::structured_face_id(CellId{c}, d));
+      }
+    }
+  };
+  const auto boundary_builder = [&](PatchId p, AngleId a,
+                                    const LaggedFluxStore& store) {
+    BoundaryCoupling coupling;
+    if (!bc.any()) return coupling;
+    const mesh::Vec3 omega = quad.angle(a.value()).dir;
+    const auto& cells = ps.cells(p);
+    for (std::size_t v = 0; v < cells.size(); ++v) {
+      const CellId c = cells[v];
+      for (int axis = 0; axis < 3; ++axis) {
+        const mesh::FaceDir d_in = inflow_side(omega, axis);
+        const mesh::FaceDir d_out = mesh::opposite(d_in);
+        // Incoming at a non-vacuum boundary side: seed albedo × the mirror
+        // angle's stored outflow at the very same face.
+        if (bc.side(d_in) != 0.0 && !m.neighbor(c, d_in)) {
+          const std::int64_t face = graph::structured_face_id(c, d_in);
+          coupling.reads.push_back(BoundaryRead{
+              face,
+              store.slot_index(
+                  mirror[static_cast<std::size_t>(axis)]
+                        [static_cast<std::size_t>(a.value())],
+                  face),
+              bc.side(d_in)});
+        }
+        // Outgoing at a non-vacuum boundary side: stage the raw outflow
+        // into this angle's own slot for the next sweep's mirror seed.
+        if (bc.side(d_out) != 0.0 && !m.neighbor(c, d_out)) {
+          const std::int64_t face = graph::structured_face_id(c, d_out);
+          coupling.writes.push_back(BoundaryWrite{
+              static_cast<std::int32_t>(v), face,
+              store.slot_index(a.value(), face)});
+        }
+      }
+    }
+    return coupling;
+  };
   return build_impl(
       ctx, m.num_cells(), ps, std::move(patch_owner), disc, quad, config,
       [&](const sn::CellXs& xs) {
-        return std::make_unique<sn::StructuredDD>(m, xs,
-                                                  disc.negative_flux_fixup());
+        return std::make_unique<sn::StructuredDD>(
+            m, xs, disc.negative_flux_fixup(), disc.boundary());
       },
       [&](PatchId p, const mesh::Vec3& omega, AngleId a,
           const graph::CycleCut* cut) {
@@ -112,7 +199,12 @@ std::shared_ptr<const SweepPlan> SweepPlan::build(
       },
       [&](const mesh::Vec3& omega) {
         return graph::compute_cycle_cut(m, omega);
-      });
+      },
+      bc.any() ? boundary_registrar
+               : std::function<void(LaggedFluxStore&)>{},
+      bc.any() ? boundary_builder
+               : std::function<BoundaryCoupling(
+                     PatchId, AngleId, const LaggedFluxStore&)>{});
 }
 
 std::shared_ptr<const SweepPlan> SweepPlan::build(
@@ -131,7 +223,8 @@ std::shared_ptr<const SweepPlan> SweepPlan::build(
       },
       [&](const mesh::Vec3& omega) {
         return graph::compute_cycle_cut(m, omega);
-      });
+      },
+      /*boundary_registrar=*/{}, /*boundary_builder=*/{});
 }
 
 std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
@@ -145,7 +238,11 @@ std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
         task_builder,
     const std::function<graph::Digraph(const mesh::Vec3&)>&
         patch_digraph_builder,
-    const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder) {
+    const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder,
+    const std::function<void(LaggedFluxStore&)>& boundary_registrar,
+    const std::function<BoundaryCoupling(PatchId, AngleId,
+                                         const LaggedFluxStore&)>&
+        boundary_builder) {
   validate_plan_inputs(ctx, mesh_cells, ps, patch_owner, disc, quad, config);
   WallTimer timer;
 
@@ -182,6 +279,11 @@ std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
   plan->lagged_template_.set_num_groups(
       config.multigroup != nullptr ? config.multigroup->groups() : 1);
 
+  // Reflecting/albedo boundary slots register up front — before any task
+  // data is built — because an angle's task resolves the *mirror* angle's
+  // slots, which the per-angle loop below would not have reached yet.
+  if (boundary_registrar) boundary_registrar(plan->lagged_template_);
+
   // Outer loop over angles so all programs of one angle share its
   // patch-priority vector; programs are stored angle-major, a fixed order
   // reused by the deterministic φ collection.
@@ -216,11 +318,15 @@ std::shared_ptr<const SweepPlan> SweepPlan::build_impl(
     // The structural task data is group-independent (same DAG, same face
     // slots): built once per (patch, angle), shared by all group programs.
     for (const auto p : plan->local_patches_) {
+      BoundaryCoupling coupling;
+      if (boundary_builder)
+        coupling = boundary_builder(p, AngleId{a}, plan->lagged_template_);
       plan->task_data_.push_back(std::make_unique<SweepTaskData>(
           task_builder(p, omega, AngleId{a}, cut.empty() ? nullptr : &cut),
           config.vertex_priority, disc, ps, quad.angle(a),
           plan->lagged_template_.empty() ? nullptr
-                                         : &plan->lagged_template_));
+                                         : &plan->lagged_template_,
+          coupling.empty() ? nullptr : &coupling));
       const std::size_t data_index = plan->task_data_.size() - 1;
       for (int g = 0; g < plan->groups_built_; ++g) {
         // Task priority: earlier groups strictly dominate (they unblock

@@ -197,13 +197,16 @@ class SweepPlan {
     return *task_data_[i];
   }
 
-  /// True when any direction needed a cycle cut (sessions then carry
-  /// lagged old-iterate values).
-  [[nodiscard]] bool has_cycles() const { return !lagged_template_.empty(); }
-  /// Slot-layout template of the lagged (cycle-cut) face store: slots
-  /// registered, values zero. Sessions copy it so every request starts
-  /// from the vacuum initial iterate with the identical slot layout the
-  /// task data was interned against.
+  /// True when any direction needed a cycle cut.
+  [[nodiscard]] bool has_cycles() const { return cyclic_angles_ > 0; }
+  /// True when sessions carry lagged old-iterate values — cycle cuts or
+  /// reflecting/albedo boundary faces — and must commit their store after
+  /// every engine run.
+  [[nodiscard]] bool has_lagged() const { return !lagged_template_.empty(); }
+  /// Slot-layout template of the lagged (cycle-cut and boundary-coupled)
+  /// face store: slots registered, values zero. Sessions copy it so every
+  /// request starts from the vacuum initial iterate with the identical
+  /// slot layout the task data was interned against.
   [[nodiscard]] const LaggedFluxStore& lagged_template() const {
     return lagged_template_;
   }
@@ -238,7 +241,11 @@ class SweepPlan {
           task_builder,
       const std::function<graph::Digraph(const mesh::Vec3&)>&
           patch_digraph_builder,
-      const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder);
+      const std::function<graph::CycleCut(const mesh::Vec3&)>& cut_builder,
+      const std::function<void(LaggedFluxStore&)>& boundary_registrar,
+      const std::function<BoundaryCoupling(PatchId, AngleId,
+                                           const LaggedFluxStore&)>&
+          boundary_builder);
 
   PlanConfig config_;
   const partition::PatchSet* ps_ = nullptr;

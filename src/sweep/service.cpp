@@ -141,7 +141,7 @@ void SweepService::solve_batch(PlanRig& rig,
       ++stats_.engine_runs;
       if (metric_engine_runs_ != nullptr) metric_engine_runs_->inc();
       ++lag_sweeps;
-      if (!rig.plan->has_cycles()) break;
+      if (!rig.plan->has_lagged()) break;
       double residual = 0.0;
       for (std::size_t k = 0; k < K; ++k)  // lane order: collectives align
         if (lanes[k].active)

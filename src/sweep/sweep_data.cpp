@@ -20,28 +20,32 @@ std::int64_t SweepTaskData::total_created() {
 SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
                              graph::PriorityStrategy vertex_strategy)
     : SweepTaskData(std::move(g), vertex_strategy, nullptr, nullptr, nullptr,
-                    nullptr) {}
+                    nullptr, nullptr) {}
 
 SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
                              graph::PriorityStrategy vertex_strategy,
                              const sn::Discretization& disc,
                              const partition::PatchSet& ps,
                              const sn::Ordinate& ordinate,
-                             const LaggedFluxStore* lagged)
+                             const LaggedFluxStore* lagged,
+                             const BoundaryCoupling* boundary)
     : SweepTaskData(std::move(g), vertex_strategy, &disc, &ps, &ordinate,
-                    lagged) {}
+                    lagged, boundary) {}
 
 SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
                              graph::PriorityStrategy vertex_strategy,
                              const sn::Discretization* disc,
                              const partition::PatchSet* ps,
                              const sn::Ordinate* ordinate,
-                             const LaggedFluxStore* lagged)
+                             const LaggedFluxStore* lagged,
+                             const BoundaryCoupling* boundary)
     : graph_(std::move(g)) {
   g_task_data_created.fetch_add(1, std::memory_order_relaxed);
   const auto n = static_cast<std::size_t>(graph_.num_vertices);
   const bool dense = disc != nullptr;
-  JSWEEP_CHECK_MSG(!graph_.has_lagged() || (lagged != nullptr && dense),
+  const bool has_boundary = boundary != nullptr && !boundary->empty();
+  any_lagged_ = graph_.has_lagged() || has_boundary;
+  JSWEEP_CHECK_MSG(!any_lagged_ || (lagged != nullptr && dense),
                    "task graph has lagged edges but no LaggedFluxStore");
 
   // Local out-edges with faces, CSR by source vertex.
@@ -141,7 +145,9 @@ SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
 
   // Lagged structure: read-side faces to seed (deduplicated — an intra-
   // patch cut edge appears once) and a CSR of write-side faces per vertex,
-  // both resolved to (workspace, store) slot pairs.
+  // both resolved to (workspace, store) slot pairs. Reflecting/albedo
+  // boundary faces join both lists: reads seed `albedo ×` the mirror
+  // angle's stored outflow, writes stage this angle's raw outflow.
   const std::int32_t angle_id = graph_.angle.value();
   if (graph_.has_lagged()) {
     std::vector<std::int64_t> seed;
@@ -155,24 +161,36 @@ SweepTaskData::SweepTaskData(graph::PatchTaskGraph g,
       lagged_seed_.push_back(
           LaggedSlot{resolve(face), lagged->slot_index(angle_id, face)});
   }
+  if (has_boundary)
+    for (const auto& r : boundary->reads)
+      lagged_seed_.push_back(
+          LaggedSlot{resolve(r.face), r.store_slot, r.scale});
 
   lag_off_.assign(n + 1, 0);
   for (const auto& e : graph_.lagged_local)
     ++lag_off_[static_cast<std::size_t>(e.u) + 1];
   for (const auto& e : graph_.lagged_out)
     ++lag_off_[static_cast<std::size_t>(e.u) + 1];
+  if (has_boundary)
+    for (const auto& w : boundary->writes)
+      ++lag_off_[static_cast<std::size_t>(w.v) + 1];
   for (std::size_t i = 1; i < lag_off_.size(); ++i)
     lag_off_[i] += lag_off_[i - 1];
-  lag_slots_.resize(graph_.lagged_local.size() + graph_.lagged_out.size());
+  lag_slots_.resize(static_cast<std::size_t>(lag_off_.back()));
   {
     std::vector<std::int64_t> cursor(lag_off_.begin(), lag_off_.end() - 1);
-    const auto place = [&](std::int32_t u, std::int64_t face) {
+    const auto place = [&](std::int32_t u, std::int64_t face,
+                           std::int32_t store_slot) {
       lag_slots_[static_cast<std::size_t>(
           cursor[static_cast<std::size_t>(u)]++)] =
-          LaggedSlot{resolve(face), lagged->slot_index(angle_id, face)};
+          LaggedSlot{resolve(face), store_slot};
     };
-    for (const auto& e : graph_.lagged_local) place(e.u, e.face);
-    for (const auto& e : graph_.lagged_out) place(e.u, e.face);
+    for (const auto& e : graph_.lagged_local)
+      place(e.u, e.face, lagged->slot_index(angle_id, e.face));
+    for (const auto& e : graph_.lagged_out)
+      place(e.u, e.face, lagged->slot_index(angle_id, e.face));
+    if (has_boundary)
+      for (const auto& w : boundary->writes) place(w.v, w.face, w.store_slot);
   }
 
   num_slots_ = static_cast<std::int64_t>(slot_of.size());

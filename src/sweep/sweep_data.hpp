@@ -72,11 +72,44 @@ struct RemoteOut {
   std::int32_t dst;       ///< destination index (see destination())
 };
 
-/// A lagged (cycle-cut) face written by a vertex: workspace slot paired
-/// with its LaggedFluxStore slot.
+/// A lagged face (cycle-cut or boundary-coupled) as the programs see it:
+/// workspace slot paired with its LaggedFluxStore slot. `scale` multiplies
+/// the stored old-iterate value on every seed/restore — 1.0 for cycle cuts
+/// (bitwise-neutral) and the side's albedo for reflecting-boundary reads.
 struct LaggedSlot {
   std::int32_t ws_slot;     ///< dense FaceFluxWorkspace slot of the face
   std::int32_t store_slot;  ///< LaggedFluxStore slot (group-strided)
+  double scale = 1.0;       ///< seed multiplier (albedo; 1.0 = neutral)
+};
+
+/// A reflecting/albedo boundary face this task *reads*: angle m's incoming
+/// value at the face is `scale ×` the mirror angle's previous-sweep outflow,
+/// seeded from the mirror angle's store slot before any vertex computes.
+struct BoundaryRead {
+  std::int64_t face;        ///< global boundary face id (incoming side)
+  std::int32_t store_slot;  ///< mirror angle's LaggedFluxStore slot
+  double scale;             ///< the side's albedo
+};
+
+/// A reflecting/albedo boundary face vertex `v` *writes*: its freshly
+/// computed outflow is staged into this angle's own store slot for the next
+/// sweep's mirror-angle seed.
+struct BoundaryWrite {
+  std::int32_t v;           ///< local writer vertex
+  std::int64_t face;        ///< global boundary face id (outgoing side)
+  std::int32_t store_slot;  ///< this angle's LaggedFluxStore slot
+};
+
+/// Reflecting/albedo boundary coupling of one (patch, angle) task, store
+/// slots pre-resolved by the plan build (sweep/plan.cpp). The coupling is
+/// always lagged one sweep — it adds no graph edges, so schedules and
+/// bitwise determinism are untouched; seeds/stages ride the exact
+/// LaggedFluxStore protocol cycle cuts use.
+struct BoundaryCoupling {
+  std::vector<BoundaryRead> reads;    ///< incoming faces to seed
+  std::vector<BoundaryWrite> writes;  ///< outgoing faces to stage
+  /// True when the coupling carries no faces (all-vacuum patch boundary).
+  [[nodiscard]] bool empty() const { return reads.empty() && writes.empty(); }
 };
 
 /// Immutable per-(patch, angle) sweep structure (see \ref sweep_data.hpp):
@@ -86,12 +119,15 @@ struct LaggedSlot {
 class SweepTaskData {
  public:
   /// `disc`, `ps` and `lagged` must outlive the task data; `lagged` may be
-  /// null iff the graph has no lagged edges.
+  /// null iff the graph has no lagged edges and `boundary` is null/empty.
+  /// `boundary` (optional, copied) adds the task's reflecting/albedo
+  /// boundary faces to the lagged seed/stage lists.
   SweepTaskData(graph::PatchTaskGraph g,
                 graph::PriorityStrategy vertex_strategy,
                 const sn::Discretization& disc,
                 const partition::PatchSet& ps, const sn::Ordinate& ordinate,
-                const LaggedFluxStore* lagged = nullptr);
+                const LaggedFluxStore* lagged = nullptr,
+                const BoundaryCoupling* boundary = nullptr);
 
   /// Graph-only form for consumers that replay the DAG without sweeping
   /// (e.g. the simulator's transfer-curve extraction): no dense face index
@@ -167,9 +203,11 @@ class SweepTaskData {
     return dst_capacity_[static_cast<std::size_t>(d)];
   }
 
-  // --- Lagged (cycle-cut) structure -------------------------------------
-  /// True when this task's graph has cycle-cut (lagged) edges.
-  [[nodiscard]] bool has_lagged() const { return graph_.has_lagged(); }
+  // --- Lagged (cycle-cut / boundary-coupled) structure ------------------
+  /// True when this task carries lagged faces — cycle-cut edges in the
+  /// graph or reflecting/albedo boundary faces — so programs must seed and
+  /// stage against the LaggedFluxStore.
+  [[nodiscard]] bool has_lagged() const { return any_lagged_; }
   /// Faces whose old-iterate value must be seeded into the workspace
   /// before any vertex computes (read side of every lagged edge this patch
   /// sees), resolved to (workspace, store) slot pairs.
@@ -197,7 +235,8 @@ class SweepTaskData {
                 graph::PriorityStrategy vertex_strategy,
                 const sn::Discretization* disc,
                 const partition::PatchSet* ps, const sn::Ordinate* ordinate,
-                const LaggedFluxStore* lagged);
+                const LaggedFluxStore* lagged,
+                const BoundaryCoupling* boundary);
 
   graph::PatchTaskGraph graph_;
   std::vector<std::int64_t> out_off_;
@@ -215,6 +254,7 @@ class SweepTaskData {
   std::vector<LaggedSlot> lagged_seed_;
   std::vector<std::int64_t> lag_off_;
   std::vector<LaggedSlot> lag_slots_;
+  bool any_lagged_ = false;
 };
 
 }  // namespace jsweep::sweep

@@ -11,10 +11,13 @@ void seed_lagged_faces(const SweepTaskData& data, const LaggedFluxStore* store,
   if (!data.has_lagged()) return;
   JSWEEP_CHECK_MSG(store != nullptr,
                    "task graph has lagged edges but no LaggedFluxStore");
+  // The scale is 1.0 for cycle-cut faces (1.0 · x is bitwise x) and the
+  // side's albedo for reflecting-boundary reads.
   for (const auto& s : data.lagged_seed_slots())
     for (int l = 0; l < width; ++l)
       flux.write(s.ws_slot * width + l,
-                 store->prev_by_slot(s.store_slot, group.value() + l));
+                 s.scale *
+                     store->prev_by_slot(s.store_slot, group.value() + l));
 }
 
 void stage_lagged_writes(const SweepTaskData& data, LaggedFluxStore* store,

@@ -19,9 +19,11 @@
 #include "partition/block_layout.hpp"
 #include "partition/graph_partition.hpp"
 #include "partition/patch_set.hpp"
+#include "sn/boundary.hpp"
 #include "sn/multigroup.hpp"
 #include "sn/serial_sweep.hpp"
 #include "sn/source_iteration.hpp"
+#include "support/rng.hpp"
 #include "sweep/solver.hpp"
 
 namespace jsweep {
@@ -604,6 +606,156 @@ TEST(Equivalence, MultigroupCyclicGroupSetPipelinedVsBarriered) {
       ASSERT_NEAR(pipelined[g][c], barriered[g][c],
                   kTol * (1.0 + std::abs(barriered[g][c])))
           << "group " << g << " cell " << c;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stress harness: fuzz (mesh family × G × W × boundary
+// condition × engine × rank count × scheduler seed) tuples against the
+// serial references — every engine run must match its reference to 1e-12,
+// and re-running under a different scheduler seed with work stealing
+// flipped must be bitwise identical (schedule perturbations change
+// nothing). Structured draws exercise the reflecting/albedo boundary
+// store; interleaved tet draws exercise the cycle-cut lag path on
+// randomly jittered (vacuum) meshes. Deterministic: one fixed Rng seed.
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, RandomizedBoundaryStressHarness) {
+  Rng rng(0x1c992023ULL);
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  constexpr int kDraws = 27;
+  for (int draw = 0; draw < kDraws; ++draw) {
+    SCOPED_TRACE(testing::Message() << "draw " << draw);
+
+    if (draw % 7 == 6) {
+      // Tet draw: randomly jittered ball (vacuum boundaries, possibly
+      // cyclic) under CyclePolicy::Lag — the stateful serial sweeper is
+      // the reference whether or not the jitter produced cycles.
+      const mesh::TetMesh m = mesh::make_jittered_ball_mesh(
+          4, 2.5, 0.1 + 0.15 * rng.uniform(), rng());
+      const sn::CellXs xs =
+          expand(sn::MaterialTable::ball(), m.materials(), m.num_cells());
+      const sn::TetStep disc(m, xs);
+      const int parts = 3 + static_cast<int>(rng.below(4));
+      const partition::CsrGraph cg = partition::cell_graph(m);
+      const auto part = partition::partition_graph(cg, parts);
+      const partition::PatchSet ps(part, parts, &cg);
+      sn::SerialSweeper sweeper(disc, quad);
+      const auto q = test_source(m.num_cells());
+      std::vector<std::vector<double>> reference;
+      for (int k = 0; k < kSweeps; ++k) reference.push_back(sweeper.sweep(q));
+      const auto kind = rng.below(2) == 0 ? sweep::EngineKind::DataDriven
+                                          : sweep::EngineKind::Bsp;
+      const int ranks = 1 + static_cast<int>(rng.below(2));
+      expect_matches(reference,
+                     run_engine(m, ps, disc, quad, q, ranks, kind, false,
+                                sweep::CyclePolicy::Lag),
+                     "stress-tet", "engine");
+      continue;
+    }
+
+    // Structured draw: random box dims, group count, set width, per-side
+    // albedo, engine, pipelining, rank count and scheduler seed.
+    const mesh::Index3 dims{3 + static_cast<int>(rng.below(4)),
+                            3 + static_cast<int>(rng.below(4)),
+                            3 + static_cast<int>(rng.below(4))};
+    const mesh::StructuredMesh m(dims, {1.0, 1.0, 1.0});
+    const std::int64_t n = m.num_cells();
+    const int G = 1 + static_cast<int>(rng.below(4));
+    const int W = 1 + static_cast<int>(rng.below(
+                          static_cast<std::uint64_t>(std::min(G, 4))));
+
+    // Random downscatter-only cross sections (scattering ratio ≤ 0.9 so
+    // the pass loop converges) and a non-uniform source.
+    sn::MultigroupXs xs(G, n);
+    for (std::int64_t c = 0; c < n; ++c) {
+      for (int g = 0; g < G; ++g) {
+        const double st = 0.6 + 0.4 * rng.uniform();
+        const double ratio = 0.3 + 0.6 * rng.uniform();
+        const double within = g + 1 < G ? 0.5 + 0.4 * rng.uniform() : 1.0;
+        xs.sigma_t(g, c) = st;
+        xs.sigma_s(g, g, c) = ratio * st * within;
+        if (g + 1 < G) xs.sigma_s(g, g + 1, c) = ratio * st * (1.0 - within);
+        xs.source(g, c) = 0.1 + rng.uniform();
+      }
+    }
+    sn::BoundarySpec bc;
+    for (int side = 0; side < 6; ++side) {
+      const auto pick = rng.below(4);  // bias: half the sides stay vacuum
+      bc.albedo[static_cast<std::size_t>(side)] =
+          pick < 2 ? 0.0 : pick == 2 ? 0.5 : 1.0;
+    }
+
+    sn::MultigroupOptions opts;
+    opts.inner = {1e-4, 40, false};
+    opts.group_set_width = W;
+    const auto reference = sn::solve_multigroup_sweeps(
+        xs,
+        sn::sequential_sweep_pass(
+            xs,
+            [&](int g) -> sn::SweepOperator {
+              auto gd = std::make_shared<sn::StructuredDD>(
+                  m, xs.group_view(g), true, bc);
+              auto sweeper =
+                  std::make_shared<sn::StructuredSerialSweeper>(*gd, quad);
+              return [gd, sweeper](const std::vector<double>& q) {
+                return sweeper->sweep(q);
+              };
+            },
+            W),
+        opts);
+
+    const sn::StructuredDD disc(m, xs.group_view(0), true, bc);
+    const partition::StructuredBlockLayout layout(
+        dims, {1 + static_cast<int>(rng.below(2)),
+               1 + static_cast<int>(rng.below(2)),
+               1 + static_cast<int>(rng.below(2))});
+    const partition::CsrGraph cg = partition::cell_graph(m);
+    const partition::PatchSet ps(partition::block_partition(layout),
+                                 layout.num_patches(), &cg);
+    const auto kind = rng.below(2) == 0 ? sweep::EngineKind::DataDriven
+                                        : sweep::EngineKind::Bsp;
+    const bool pipelined = rng.below(2) == 0;
+    const int ranks = 1 + static_cast<int>(rng.below(2));
+    const std::uint64_t seed_a = rng();
+    const std::uint64_t seed_b = rng();
+
+    const auto run = [&](std::uint64_t seed, int stealing) {
+      std::vector<std::vector<double>> phi;
+      comm::Cluster::run(ranks, [&](comm::Context& ctx) {
+        sweep::SolverConfig config;
+        config.engine = kind;
+        config.num_workers = 2;
+        config.cluster_grain = 8;
+        config.multigroup = &xs;
+        config.group_pipelining = pipelined;
+        config.group_set_width = W;
+        config.scheduler_seed = seed;
+        config.work_stealing = stealing;
+        const auto owner =
+            partition::assign_contiguous(ps.num_patches(), ctx.size());
+        sweep::SweepSolver solver(ctx, m, ps, owner, disc, quad, config);
+        const auto result = solver.solve_multigroup(opts);
+        if (ctx.rank().value() == 0) phi = result.phi;
+      });
+      return phi;
+    };
+
+    const auto phi = run(seed_a, -1);
+    ASSERT_EQ(phi.size(), reference.phi.size());
+    for (std::size_t g = 0; g < phi.size(); ++g)
+      for (std::size_t c = 0; c < phi[g].size(); ++c)
+        ASSERT_NEAR(phi[g][c], reference.phi[g][c],
+                    kTol * (1.0 + std::abs(reference.phi[g][c])))
+            << "group " << g << " cell " << c;
+
+    // Schedule perturbation: a different scheduler seed with work
+    // stealing forced on must be bitwise identical.
+    const auto phi_perturbed = run(seed_b, 1);
+    for (std::size_t g = 0; g < phi.size(); ++g)
+      for (std::size_t c = 0; c < phi[g].size(); ++c)
+        ASSERT_EQ(phi[g][c], phi_perturbed[g][c])
+            << "perturbed group " << g << " cell " << c;
+  }
 }
 
 TEST(Equivalence, MultigroupUnstructuredBall) {

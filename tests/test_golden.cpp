@@ -24,9 +24,14 @@
 #include "mesh/generators.hpp"
 #include "partition/adjacency.hpp"
 #include "partition/block_layout.hpp"
+#include "partition/graph_partition.hpp"
 #include "partition/patch_set.hpp"
+#include "sn/boundary.hpp"
+#include "sn/fission.hpp"
+#include "sn/multigroup.hpp"
 #include "sn/serial_sweep.hpp"
 #include "sn/source_iteration.hpp"
+#include "sweep/eigen.hpp"
 #include "sweep/solver.hpp"
 
 #ifndef JSWEEP_GOLDEN_DIR
@@ -195,6 +200,115 @@ TEST(Golden, CyclicTwistedLagSolve) {
       {1e-6, 200, false});
   ASSERT_TRUE(result.converged);
   check_against_golden("twisted_column_s2_lag", result.phi, /*stride=*/3);
+}
+
+TEST(Golden, ReflectingBoxKeff) {
+  // k-eigenvalue snapshot on the boundary-coupling path: a heterogeneous
+  // one-group box with three reflecting sides (an octant-symmetric core),
+  // solved by the parallel power iteration on two ranks. Guards the
+  // mirror-angle boundary store, the fission-source algebra and the
+  // converged eigenvalue in one file.
+  const mesh::StructuredMesh m = mesh::make_cube_mesh(6, 6.0);
+  const std::int64_t n = m.num_cells();
+  sn::FissionXs fission(1, n);
+  fission.chi(0) = 1.0;
+  sn::MultigroupXs xs_template(1, n);
+  for (std::int64_t c = 0; c < n; ++c) {
+    // Fissile center column, absorbing rim.
+    const bool core = (c % 3) != 0;
+    xs_template.sigma_t(0, c) = core ? 1.0 : 1.3;
+    xs_template.sigma_s(0, 0, c) = core ? 0.5 : 0.4;
+    fission.nu_sigma_f(0, c) = core ? 0.35 : 0.0;
+  }
+  sn::BoundarySpec bc;
+  bc.side(mesh::FaceDir::XLo) = 1.0;
+  bc.side(mesh::FaceDir::YLo) = 1.0;
+  bc.side(mesh::FaceDir::ZLo) = 1.0;
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::StructuredBlockLayout layout(m.dims(), {2, 2, 2});
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const partition::PatchSet ps(partition::block_partition(layout),
+                               layout.num_patches(), &cg);
+
+  sweep::EigenOptions options;
+  options.max_outer_iterations = 500;  // near-critical boxes converge slowly
+  options.k_tolerance = 1e-10;
+  options.fission_tolerance = 1e-8;
+  options.multigroup.inner = {1e-10, 500, false};
+
+  sweep::EigenResult result;
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    sn::MultigroupXs xs = xs_template;  // per-rank writable copy
+    const sn::StructuredDD disc(m, xs.group_view(0), true, bc);
+    sweep::PlanConfig pc;
+    pc.cluster_grain = 16;
+    pc.multigroup = &xs;
+    const auto owner =
+        partition::assign_contiguous(ps.num_patches(), ctx.size());
+    const auto plan =
+        sweep::SweepPlan::build(ctx, m, ps, owner, disc, quad, pc);
+    const auto r = sweep::solve_k_eigenvalue(ctx, plan, xs, fission, options);
+    if (ctx.rank().value() == 0) result = r;
+  });
+  ASSERT_TRUE(result.converged);
+  check_against_golden("reflecting_box_keff_k", {result.k}, /*stride=*/1);
+  check_against_golden("reflecting_box_keff_phi", result.phi[0],
+                       /*stride=*/7);
+}
+
+TEST(Golden, ReactorTwoGroupKeff) {
+  // The `reactor` example's physics: a two-group tetrahedral reactor core
+  // (fissile center, reflector rim, vacuum boundary) solved by the
+  // parallel power iteration. Guards the multigroup eigen path on
+  // unstructured meshes.
+  const mesh::TetMesh m = mesh::make_reactor_mesh(4, 4.0, 6.0);
+  const std::int64_t n = m.num_cells();
+  sn::MultigroupXs xs_template(2, n);
+  sn::FissionXs fission(2, n);
+  fission.chi(0) = 1.0;  // fast-born spectrum
+  for (std::int64_t c = 0; c < n; ++c) {
+    const bool core = m.material(CellId{c}) == mesh::kMatCore;
+    xs_template.sigma_t(0, c) = core ? 0.6 : 0.5;
+    xs_template.sigma_t(1, c) = core ? 1.0 : 1.2;
+    xs_template.sigma_s(0, 0, c) = core ? 0.2 : 0.22;
+    xs_template.sigma_s(0, 1, c) = core ? 0.25 : 0.25;  // downscatter
+    xs_template.sigma_s(1, 1, c) = core ? 0.6 : 1.1;
+    if (core) {
+      fission.nu_sigma_f(0, c) = 0.08;
+      fission.nu_sigma_f(1, c) = 0.5;
+    }
+  }
+  const sn::Quadrature quad = sn::Quadrature::level_symmetric(2);
+  const partition::CsrGraph cg = partition::cell_graph(m);
+  const auto part = partition::partition_graph(cg, 4);
+  const partition::PatchSet ps(part, 4, &cg);
+
+  sweep::EigenOptions options;
+  options.max_outer_iterations = 100;
+  options.k_tolerance = 1e-9;
+  options.fission_tolerance = 1e-7;
+  options.multigroup.inner = {1e-9, 300, false};
+
+  sweep::EigenResult result;
+  comm::Cluster::run(2, [&](comm::Context& ctx) {
+    sn::MultigroupXs xs = xs_template;  // per-rank writable copy
+    const sn::TetStep disc(m, xs.group_view(0));
+    sweep::PlanConfig pc;
+    pc.cluster_grain = 16;
+    pc.multigroup = &xs;
+    const auto owner =
+        partition::assign_contiguous(ps.num_patches(), ctx.size());
+    const auto plan =
+        sweep::SweepPlan::build(ctx, m, ps, owner, disc, quad, pc);
+    const auto r = sweep::solve_k_eigenvalue(ctx, plan, xs, fission, options);
+    if (ctx.rank().value() == 0) result = r;
+  });
+  ASSERT_TRUE(result.converged);
+  check_against_golden("reactor_2g_keff_k", {result.k}, /*stride=*/1);
+  check_against_golden("reactor_2g_keff_phi_fast", result.phi[0],
+                       /*stride=*/11);
+  check_against_golden("reactor_2g_keff_phi_thermal", result.phi[1],
+                       /*stride=*/11);
 }
 
 }  // namespace
